@@ -1,0 +1,84 @@
+//! Criterion benches of the simulator under the design-choice variants
+//! DESIGN.md calls out (the *simulated-cycle* comparisons live in the
+//! `ablations` binary; these measure the simulator's own cost so regressions
+//! in the hot paths are caught).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use warden_coherence::Protocol;
+use warden_pbbs::{Bench, Scale};
+use warden_rt::{trace_program, MarkPolicy, RtOptions};
+use warden_sim::{simulate, MachineConfig};
+
+fn protocols(c: &mut Criterion) {
+    let program = Bench::Msort.build(Scale::Tiny);
+    let machine = MachineConfig::dual_socket();
+    let mut g = c.benchmark_group("replay_protocol");
+    for proto in [Protocol::Mesi, Protocol::Warden] {
+        g.bench_with_input(BenchmarkId::from_parameter(proto), &proto, |b, &p| {
+            b.iter(|| simulate(&program, &machine, p));
+        });
+    }
+    g.finish();
+}
+
+fn sector_granularity(c: &mut Criterion) {
+    let program = Bench::Tokens.build(Scale::Tiny);
+    let mut g = c.benchmark_group("replay_sector_bytes");
+    for sector in [1u64, 8, 64] {
+        let mut machine = MachineConfig::dual_socket();
+        machine.cache.sector_bytes = sector;
+        g.bench_with_input(BenchmarkId::from_parameter(sector), &machine, |b, m| {
+            b.iter(|| simulate(&program, m, Protocol::Warden));
+        });
+    }
+    g.finish();
+}
+
+fn region_capacity(c: &mut Criterion) {
+    let program = Bench::Primes.build(Scale::Tiny);
+    let mut g = c.benchmark_group("replay_region_capacity");
+    for cap in [8usize, 128, 1024] {
+        let mut machine = MachineConfig::dual_socket();
+        machine.cache.region_capacity = cap;
+        g.bench_with_input(BenchmarkId::from_parameter(cap), &machine, |b, m| {
+            b.iter(|| simulate(&program, m, Protocol::Warden));
+        });
+    }
+    g.finish();
+}
+
+fn mark_policy_tracing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_mark_policy");
+    for (label, mark) in [
+        ("none", MarkPolicy::None),
+        ("no_unmark_at_fork", MarkPolicy::NoUnmarkAtFork),
+        ("leaf_heaps", MarkPolicy::LeafHeaps),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                trace_program(
+                    "bench",
+                    RtOptions {
+                        mark,
+                        ..RtOptions::default()
+                    },
+                    |ctx| {
+                        let xs = ctx.tabulate::<u64>(4096, 128, &|_c, i| i);
+                        let _ =
+                            ctx.reduce(0, 4096, 128, &|c, i| c.read(&xs, i), &|a, b| a + b, 0);
+                    },
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    protocols,
+    sector_granularity,
+    region_capacity,
+    mark_policy_tracing
+);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates the §6.1 hardware-cost estimates.
+use warden_bench::figures::render_area;
+
+fn main() {
+    println!("{}", render_area());
+}

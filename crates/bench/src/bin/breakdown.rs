@@ -1,0 +1,48 @@
+//! Cycle breakdown per benchmark: where core time goes under MESI vs
+//! WARDen. This is the causal view behind the speedups — WARDen removes
+//! load-stall cycles (downgrade chains) and store back-pressure while
+//! compute stays fixed.
+
+use warden_bench::fmt::table;
+use warden_bench::{run_bench, SuiteScale};
+use warden_pbbs::Bench;
+use warden_sim::{MachineConfig, SimStats};
+
+fn pct_row(stats: &SimStats) -> Vec<String> {
+    let total = stats.core_cycles_total.max(1) as f64;
+    stats
+        .cycle_breakdown()
+        .iter()
+        .map(|&(_, c)| format!("{:.1}%", 100.0 * c as f64 / total))
+        .collect()
+}
+
+fn main() {
+    let scale = SuiteScale::from_args();
+    let machine = MachineConfig::dual_socket();
+    let labels: Vec<&str> = SimStats::default()
+        .cycle_breakdown()
+        .iter()
+        .map(|&(l, _)| l)
+        .collect();
+    let mut headers = vec!["benchmark", "protocol", "cycles"];
+    headers.extend(labels.iter());
+    let mut rows = Vec::new();
+    for bench in Bench::ALL {
+        eprint!("  {:<14}\r", bench.name());
+        let r = run_bench(bench, scale.pbbs(), &machine);
+        for (proto, stats) in [("MESI", &r.mesi.stats), ("WARDen", &r.warden.stats)] {
+            let mut row = vec![
+                bench.name().to_string(),
+                proto.to_string(),
+                stats.cycles.to_string(),
+            ];
+            row.extend(pct_row(stats));
+            rows.push(row);
+        }
+    }
+    println!(
+        "Cycle breakdown (percent of total core time, dual socket)\n\n{}",
+        table(&headers, &rows)
+    );
+}

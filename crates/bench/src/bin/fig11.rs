@@ -1,0 +1,12 @@
+//! Regenerates Figure 11: percentage IPC improvement.
+use warden_bench::figures::render_fig11;
+use warden_bench::{suite, SuiteScale};
+use warden_pbbs::Bench;
+use warden_sim::MachineConfig;
+
+fn main() {
+    let scale = SuiteScale::from_args();
+    let machine = MachineConfig::dual_socket();
+    let runs = suite(&Bench::ALL, scale.pbbs(), &machine);
+    println!("{}", render_fig11(&runs));
+}

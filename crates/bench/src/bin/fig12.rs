@@ -1,0 +1,26 @@
+//! Regenerates Figure 12: the disaggregated two-node machine.
+use warden_bench::figures::render_fig12_titled;
+use warden_bench::{suite, SuiteScale};
+use warden_pbbs::Bench;
+use warden_sim::MachineConfig;
+
+fn main() {
+    let scale = SuiteScale::from_args();
+    let machine = MachineConfig::disaggregated();
+    let runs = suite(&Bench::DISAGGREGATED, scale.pbbs(), &machine);
+    println!(
+        "{}",
+        render_fig12_titled(
+            &runs,
+            "Figure 12 (paper's subset): disaggregated machine (1 µs remote)"
+        )
+    );
+    let ours = suite(&Bench::DISAGGREGATED_OURS, scale.pbbs(), &machine);
+    println!(
+        "{}",
+        render_fig12_titled(
+            &ours,
+            "Figure 12 (this reproduction's most-promising subset, same selection rule)"
+        )
+    );
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 7: single-socket speedup and energy savings.
+use warden_bench::figures::render_fig7;
+use warden_bench::{suite, SuiteScale};
+use warden_pbbs::Bench;
+use warden_sim::MachineConfig;
+
+fn main() {
+    let scale = SuiteScale::from_args();
+    let machine = MachineConfig::single_socket();
+    let runs = suite(&Bench::ALL, scale.pbbs(), &machine);
+    println!("{}", render_fig7(&runs));
+}

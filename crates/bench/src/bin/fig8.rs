@@ -1,0 +1,12 @@
+//! Regenerates Figure 8: dual-socket speedup and energy savings.
+use warden_bench::figures::render_fig8;
+use warden_bench::{suite, SuiteScale};
+use warden_pbbs::Bench;
+use warden_sim::MachineConfig;
+
+fn main() {
+    let scale = SuiteScale::from_args();
+    let machine = MachineConfig::dual_socket();
+    let runs = suite(&Bench::ALL, scale.pbbs(), &machine);
+    println!("{}", render_fig8(&runs));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 9: dual-socket speedup vs coherence-event reduction.
+use warden_bench::figures::render_fig9;
+use warden_bench::{suite, SuiteScale};
+use warden_pbbs::Bench;
+use warden_sim::MachineConfig;
+
+fn main() {
+    let scale = SuiteScale::from_args();
+    let machine = MachineConfig::dual_socket();
+    let runs = suite(&Bench::ALL, scale.pbbs(), &machine);
+    println!("{}", render_fig9(&runs));
+}

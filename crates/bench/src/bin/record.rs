@@ -1,0 +1,39 @@
+//! Record a benchmark's trace to a file for later replay:
+//!
+//! ```console
+//! $ cargo run -p warden-bench --release --bin record -- primes /tmp/primes.trace
+//! $ cargo run -p warden-bench --release --bin replay -- /tmp/primes.trace
+//! ```
+
+use warden_bench::SuiteScale;
+use warden_pbbs::Bench;
+use warden_rt::trace_io;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (name, path) = match (args.get(1), args.get(2)) {
+        (Some(n), Some(p)) => (n.clone(), p.clone()),
+        _ => {
+            eprintln!("usage: record <benchmark> <output-file> [--scale tiny]");
+            eprintln!(
+                "benchmarks: {}",
+                Bench::ALL.map(|b| b.name()).join(", ")
+            );
+            std::process::exit(2);
+        }
+    };
+    let Some(bench) = Bench::by_name(&name) else {
+        eprintln!("unknown benchmark {name:?}");
+        std::process::exit(2);
+    };
+    let scale = SuiteScale::from_args();
+    let program = bench.build(scale.pbbs());
+    let mut file = std::io::BufWriter::new(std::fs::File::create(&path).expect("create file"));
+    trace_io::write_trace(&mut file, &program).expect("write trace");
+    println!(
+        "recorded {} ({} tasks, {} events) to {path}",
+        program.name,
+        program.tasks.len(),
+        program.stats.events
+    );
+}

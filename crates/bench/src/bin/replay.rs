@@ -1,0 +1,51 @@
+//! Replay a recorded trace (see `record`) under both protocols on a chosen
+//! machine:
+//!
+//! ```console
+//! $ cargo run -p warden-bench --release --bin replay -- /tmp/primes.trace dual-socket
+//! ```
+
+use warden_coherence::Protocol;
+use warden_rt::{summarize, trace_io};
+use warden_sim::{simulate, Comparison, MachineConfig};
+
+fn machine_by_name(name: &str) -> Option<MachineConfig> {
+    Some(match name {
+        "single-socket" => MachineConfig::single_socket(),
+        "dual-socket" => MachineConfig::dual_socket(),
+        "disaggregated" => MachineConfig::disaggregated(),
+        "4-socket" => MachineConfig::many_socket(4),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(path) = args.get(1) else {
+        eprintln!("usage: replay <trace-file> [single-socket|dual-socket|4-socket|disaggregated]");
+        std::process::exit(2);
+    };
+    let machine = match args.get(2) {
+        Some(name) => machine_by_name(name).unwrap_or_else(|| {
+            eprintln!("unknown machine {name:?}");
+            std::process::exit(2);
+        }),
+        None => MachineConfig::dual_socket(),
+    };
+    let mut file = std::io::BufReader::new(std::fs::File::open(path).expect("open trace"));
+    let program = trace_io::read_trace(&mut file).expect("parse trace");
+    program.check_invariants().expect("trace invariants");
+    println!("{} — {}", program.name, summarize(&program));
+    let mesi = simulate(&program, &machine, Protocol::Mesi);
+    let warden = simulate(&program, &machine, Protocol::Warden);
+    assert_eq!(mesi.memory_image_digest, warden.memory_image_digest);
+    let c = Comparison::of(&program.name, &mesi, &warden);
+    println!(
+        "\n{} on {}: MESI {} cycles, WARDen {} cycles → speedup {:.2}x",
+        program.name, machine.name, mesi.stats.cycles, warden.stats.cycles, c.speedup
+    );
+    println!(
+        "inv+downgrades avoided/k-instr {:.2}, total energy saved {:.1}%",
+        c.inv_dg_reduced_per_kilo, c.total_energy_savings_pct
+    );
+}

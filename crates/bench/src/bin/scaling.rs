@@ -1,0 +1,43 @@
+//! The §7.3 "many sockets" projection: WARDen's advantage as the machine
+//! grows — 1, 2 and 4 sockets, then the disaggregated two-node system.
+//! (The paper argues, without a figure, that rising interconnect latencies
+//! make WARDen increasingly valuable; this binary puts numbers on it.)
+
+use warden_bench::fmt::{f2, table};
+use warden_bench::{run_bench, SuiteScale};
+use warden_pbbs::Bench;
+use warden_sim::MachineConfig;
+
+fn main() {
+    let scale = SuiteScale::from_args();
+    let machines = [
+        MachineConfig::single_socket(),
+        MachineConfig::dual_socket(),
+        MachineConfig::many_socket(4),
+        MachineConfig::disaggregated(),
+    ];
+    let benches = [
+        Bench::MakeArray,
+        Bench::Msort,
+        Bench::Primes,
+        Bench::SuffixArray,
+        Bench::Tokens,
+    ];
+    let mut rows = Vec::new();
+    for bench in benches {
+        let mut row = vec![bench.name().to_string()];
+        for machine in &machines {
+            eprint!("  {} on {:<14}\r", bench.name(), machine.name);
+            let r = run_bench(bench, scale.pbbs(), machine);
+            row.push(format!("{}x", f2(r.cmp.speedup)));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("benchmark")
+        .chain(machines.iter().map(|m| m.name.as_str()))
+        .collect();
+    println!(
+        "WARDen speedup over MESI as the machine scales (paper §7.3 / Figure 1)\n\n{}",
+        table(&headers, &rows)
+    );
+}

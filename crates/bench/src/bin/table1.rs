@@ -1,0 +1,8 @@
+//! Regenerates Table 1: ping-pong latency validation of the timing model.
+use warden_bench::figures::render_table1;
+use warden_sim::MachineConfig;
+
+fn main() {
+    let machine = MachineConfig::dual_socket();
+    println!("{}", render_table1(&machine, 10_000));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 2: the simulated system specification.
+use warden_bench::figures::render_table2;
+use warden_sim::MachineConfig;
+
+fn main() {
+    println!("{}", render_table2(&MachineConfig::dual_socket()));
+}

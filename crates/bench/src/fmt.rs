@@ -1,0 +1,92 @@
+//! Plain-text tables and bar charts for the figure binaries.
+
+/// Render an aligned text table: `headers` then `rows` (each row one cell
+/// per header). Column widths adapt to content.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(cell);
+            for _ in cell.chars().count()..widths[i] {
+                line.push(' ');
+            }
+        }
+        line.trim_end().to_string()
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// A unicode bar of `width` cells proportional to `value / max`.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let cells = ((value / max) * width as f64).round() as usize;
+    "█".repeat(cells.min(width))
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a percentage with 1 decimal.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a "));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(1.0, 2.0, 10).chars().count(), 5);
+        assert_eq!(bar(2.0, 2.0, 10).chars().count(), 10);
+        assert_eq!(bar(0.0, 2.0, 10), "");
+        assert_eq!(bar(5.0, 2.0, 10).chars().count(), 10, "clamped");
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(pct(17.36), "17.4%");
+    }
+}

@@ -1,0 +1,31 @@
+//! Experiment harness regenerating every table and figure of the WARDen
+//! paper's evaluation (§6.2 validation and §7).
+//!
+//! The library provides the shared machinery; each binary under `src/bin/`
+//! regenerates one table or figure:
+//!
+//! | binary        | regenerates |
+//! |---------------|-------------|
+//! | `table1`      | Table 1 — ping-pong latency validation |
+//! | `table2`      | Table 2 — simulated system specification |
+//! | `fig7`        | Figure 7 — single-socket speedup + energy |
+//! | `fig8`        | Figure 8 — dual-socket speedup + energy |
+//! | `fig9`        | Figure 9 — inv+downgrade reduction vs speedup |
+//! | `fig10`       | Figure 10 — downgrade/invalidations breakdown |
+//! | `fig11`       | Figure 11 — IPC improvement |
+//! | `fig12`       | Figure 12 — disaggregated machine |
+//! | `area`        | §6.1 — CACTI-style area estimates |
+//! | `ablations`   | design-choice ablations from DESIGN.md |
+//! | `all_figures` | everything above, plus an EXPERIMENTS.md-style report |
+//!
+//! Run with `cargo run -p warden-bench --release --bin <name> [-- --scale tiny]`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod fmt;
+pub mod paper;
+pub mod runner;
+
+pub use runner::{run_bench, run_pair, suite, BenchRun, SuiteScale};

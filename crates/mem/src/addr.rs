@@ -1,0 +1,226 @@
+//! Typed simulated addresses and block/page arithmetic.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Cache block (line) size in bytes. Matches the paper's Table 2 (64 B).
+pub const BLOCK_SIZE: u64 = 64;
+/// `log2(BLOCK_SIZE)`.
+pub const BLOCK_SHIFT: u32 = 6;
+/// Heap page size in bytes used by the MPL-style runtime (4 KiB).
+pub const PAGE_SIZE: u64 = 4096;
+/// `log2(PAGE_SIZE)`.
+pub const PAGE_SHIFT: u32 = 12;
+
+/// A byte address in the simulated (virtual) address space.
+///
+/// Addresses are plain 64-bit values; the runtime allocates them from a
+/// monotonically increasing bump pointer, so address reuse never occurs and
+/// every page belongs to exactly one heap for the whole run.
+///
+/// # Example
+///
+/// ```
+/// use warden_mem::{Addr, BLOCK_SIZE};
+/// let a = Addr(130);
+/// assert_eq!(a.block().base(), Addr(128));
+/// assert_eq!(a.block_offset(), 2);
+/// assert_eq!((a + BLOCK_SIZE).block(), a.block() + 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The cache block containing this address.
+    pub fn block(self) -> BlockAddr {
+        BlockAddr(self.0 >> BLOCK_SHIFT)
+    }
+
+    /// The page containing this address.
+    pub fn page(self) -> PageAddr {
+        PageAddr(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset of this address within its cache block (`0..64`).
+    pub fn block_offset(self) -> u64 {
+        self.0 & (BLOCK_SIZE - 1)
+    }
+
+    /// Byte offset of this address within its page (`0..4096`).
+    pub fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Checked addition, mirroring `u64::checked_add`.
+    pub fn checked_add(self, rhs: u64) -> Option<Addr> {
+        self.0.checked_add(rhs).map(Addr)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Addr {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = u64;
+    fn sub(self, rhs: Addr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Addr {
+        Addr(v)
+    }
+}
+
+/// A cache-block number (byte address divided by [`BLOCK_SIZE`]).
+///
+/// Using a distinct type for block numbers keeps directory and cache-array
+/// code from accidentally mixing byte addresses with block indices
+/// (C-NEWTYPE).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr(pub u64);
+
+impl BlockAddr {
+    /// The first byte address of this block.
+    pub fn base(self) -> Addr {
+        Addr(self.0 << BLOCK_SHIFT)
+    }
+
+    /// The page containing this block.
+    pub fn page(self) -> PageAddr {
+        PageAddr(self.0 >> (PAGE_SHIFT - BLOCK_SHIFT))
+    }
+}
+
+impl fmt::Debug for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Block({:#x})", self.0)
+    }
+}
+
+impl Add<u64> for BlockAddr {
+    type Output = BlockAddr;
+    fn add(self, rhs: u64) -> BlockAddr {
+        BlockAddr(self.0 + rhs)
+    }
+}
+
+impl Sub<u64> for BlockAddr {
+    type Output = BlockAddr;
+    fn sub(self, rhs: u64) -> BlockAddr {
+        BlockAddr(self.0 - rhs)
+    }
+}
+
+/// A page number (byte address divided by [`PAGE_SIZE`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageAddr(pub u64);
+
+impl PageAddr {
+    /// The first byte address of this page.
+    pub fn base(self) -> Addr {
+        Addr(self.0 << PAGE_SHIFT)
+    }
+
+    /// The first block of this page.
+    pub fn first_block(self) -> BlockAddr {
+        BlockAddr(self.0 << (PAGE_SHIFT - BLOCK_SHIFT))
+    }
+
+    /// Number of cache blocks per page.
+    pub fn blocks_per_page() -> u64 {
+        PAGE_SIZE / BLOCK_SIZE
+    }
+}
+
+impl fmt::Debug for PageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Page({:#x})", self.0)
+    }
+}
+
+impl Add<u64> for PageAddr {
+    type Output = PageAddr;
+    fn add(self, rhs: u64) -> PageAddr {
+        PageAddr(self.0 + rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_arithmetic_round_trips() {
+        let a = Addr(0x12345);
+        assert_eq!(a.block().base().0, 0x12340);
+        assert_eq!(a.block_offset(), 5);
+        assert_eq!(a.block().base() + a.block_offset(), a);
+    }
+
+    #[test]
+    fn page_arithmetic_round_trips() {
+        let a = Addr(0x1_2f83);
+        assert_eq!(a.page().base().0, 0x1_2000);
+        assert_eq!(a.page_offset(), 0xf83);
+        assert_eq!(a.page().base() + a.page_offset(), a);
+    }
+
+    #[test]
+    fn page_contains_its_blocks() {
+        let p = PageAddr(7);
+        let first = p.first_block();
+        for i in 0..PageAddr::blocks_per_page() {
+            assert_eq!((first + i).page(), p);
+        }
+        assert_ne!((first + PageAddr::blocks_per_page()).page(), p);
+    }
+
+    #[test]
+    fn block_boundaries() {
+        assert_eq!(Addr(63).block(), Addr(0).block());
+        assert_eq!(Addr(64).block(), Addr(0).block() + 1);
+        assert_eq!(Addr(64).block_offset(), 0);
+    }
+
+    #[test]
+    fn addr_ordering_and_sub() {
+        assert!(Addr(10) < Addr(20));
+        assert_eq!(Addr(20) - Addr(10), 10);
+    }
+
+    #[test]
+    fn checked_add_saturates_at_u64_max() {
+        assert_eq!(Addr(u64::MAX).checked_add(1), None);
+        assert_eq!(Addr(1).checked_add(2), Some(Addr(3)));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(format!("{}", Addr(255)), "0xff");
+        assert_eq!(format!("{:?}", BlockAddr(16)), "Block(0x10)");
+    }
+}

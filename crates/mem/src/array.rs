@@ -1,0 +1,340 @@
+//! Set-associative cache arrays with LRU replacement.
+
+use crate::{BlockAddr, CacheGeometry};
+use std::fmt;
+
+/// One resident cache line: its block number, a payload (coherence state,
+/// data, write mask — whatever the protocol layer attaches), and an LRU stamp.
+#[derive(Clone, Debug)]
+struct Line<T> {
+    block: BlockAddr,
+    payload: T,
+    lru: u64,
+}
+
+/// A block evicted by [`CacheArray::insert`], handed back to the caller so
+/// the protocol layer can write it back or notify the directory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Evicted<T> {
+    /// Block number of the victim line.
+    pub block: BlockAddr,
+    /// The victim's payload.
+    pub payload: T,
+}
+
+/// A successful mutable lookup, exposing the payload.
+pub struct LookupMut<'a, T> {
+    payload: &'a mut T,
+}
+
+impl<'a, T> LookupMut<'a, T> {
+    /// The payload of the found line.
+    pub fn payload(&mut self) -> &mut T {
+        self.payload
+    }
+}
+
+/// A set-associative, LRU-replaced cache array with payloads of type `T`.
+///
+/// The array itself is protocol-agnostic: the coherence layer stores MESI/W
+/// state, block data and write masks in `T`. Evictions are returned, never
+/// silently dropped, so the protocol can model write-backs.
+///
+/// # Example
+///
+/// ```
+/// use warden_mem::{BlockAddr, CacheArray, CacheGeometry};
+/// let mut cache: CacheArray<u32> = CacheArray::new(CacheGeometry::new(1024, 2));
+/// assert!(cache.insert(BlockAddr(1), 11).is_none());
+/// assert_eq!(cache.get(BlockAddr(1)), Some(&11));
+/// cache.invalidate(BlockAddr(1));
+/// assert_eq!(cache.get(BlockAddr(1)), None);
+/// ```
+#[derive(Clone)]
+pub struct CacheArray<T> {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<Line<T>>>,
+    tick: u64,
+    len: usize,
+}
+
+impl<T> CacheArray<T> {
+    /// Create an empty array with the given geometry.
+    pub fn new(geometry: CacheGeometry) -> CacheArray<T> {
+        let sets = (0..geometry.num_sets()).map(|_| Vec::new()).collect();
+        CacheArray {
+            geometry,
+            sets,
+            tick: 0,
+            len: 0,
+        }
+    }
+
+    /// The geometry this array was created with.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Look up a block without touching LRU state (a "probe", as a directory
+    /// snoop would do).
+    pub fn peek(&self, block: BlockAddr) -> Option<&T> {
+        let set = &self.sets[self.geometry.set_of(block) as usize];
+        set.iter().find(|l| l.block == block).map(|l| &l.payload)
+    }
+
+    /// Look up a block, updating LRU state (a demand access).
+    pub fn get(&mut self, block: BlockAddr) -> Option<&T> {
+        let tick = self.bump();
+        let set = &mut self.sets[self.geometry.set_of(block) as usize];
+        let line = set.iter_mut().find(|l| l.block == block)?;
+        line.lru = tick;
+        Some(&line.payload)
+    }
+
+    /// Look up a block mutably, updating LRU state.
+    pub fn get_mut(&mut self, block: BlockAddr) -> Option<&mut T> {
+        let tick = self.bump();
+        let set = &mut self.sets[self.geometry.set_of(block) as usize];
+        let line = set.iter_mut().find(|l| l.block == block)?;
+        line.lru = tick;
+        Some(&mut line.payload)
+    }
+
+    /// Look up a block mutably *without* updating LRU state (for snoops and
+    /// reconciliation scans that should not perturb replacement).
+    pub fn peek_mut(&mut self, block: BlockAddr) -> Option<&mut T> {
+        let set = &mut self.sets[self.geometry.set_of(block) as usize];
+        let line = set.iter_mut().find(|l| l.block == block)?;
+        Some(&mut line.payload)
+    }
+
+    /// Insert (or replace) a block's payload. If the set is full, the LRU
+    /// victim is evicted and returned.
+    ///
+    /// Replacing an existing block never evicts and returns `None`.
+    pub fn insert(&mut self, block: BlockAddr, payload: T) -> Option<Evicted<T>> {
+        let tick = self.bump();
+        let ways = self.geometry.associativity() as usize;
+        let set = &mut self.sets[self.geometry.set_of(block) as usize];
+        if let Some(line) = set.iter_mut().find(|l| l.block == block) {
+            line.payload = payload;
+            line.lru = tick;
+            return None;
+        }
+        let mut evicted = None;
+        if set.len() == ways {
+            let (victim_idx, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .expect("full set is non-empty");
+            let victim = set.swap_remove(victim_idx);
+            evicted = Some(Evicted {
+                block: victim.block,
+                payload: victim.payload,
+            });
+            self.len -= 1;
+        }
+        set.push(Line {
+            block,
+            payload,
+            lru: tick,
+        });
+        self.len += 1;
+        evicted
+    }
+
+    /// Remove a block, returning its payload if it was resident.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<T> {
+        let set = &mut self.sets[self.geometry.set_of(block) as usize];
+        let idx = set.iter().position(|l| l.block == block)?;
+        self.len -= 1;
+        Some(set.swap_remove(idx).payload)
+    }
+
+    /// Iterate over all resident lines (block, payload).
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &T)> {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().map(|l| (l.block, &l.payload)))
+    }
+
+    /// Remove every line for which `pred` returns true, invoking `on_removed`
+    /// for each (used for WARD-region flushes during reconciliation).
+    pub fn drain_matching(
+        &mut self,
+        mut pred: impl FnMut(BlockAddr, &T) -> bool,
+        mut on_removed: impl FnMut(BlockAddr, T),
+    ) {
+        for set in &mut self.sets {
+            let mut i = 0;
+            while i < set.len() {
+                if pred(set[i].block, &set[i].payload) {
+                    let line = set.swap_remove(i);
+                    self.len -= 1;
+                    on_removed(line.block, line.payload);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Remove all lines, invoking `on_removed` for each (a full cache flush).
+    pub fn drain_all(&mut self, mut on_removed: impl FnMut(BlockAddr, T)) {
+        for set in &mut self.sets {
+            for line in set.drain(..) {
+                on_removed(line.block, line.payload);
+            }
+        }
+        self.len = 0;
+    }
+
+    /// Mutable lookup wrapped in [`LookupMut`], updating LRU state.
+    pub fn lookup_mut(&mut self, block: BlockAddr) -> Option<LookupMut<'_, T>> {
+        self.get_mut(block).map(|payload| LookupMut { payload })
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CacheArray<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CacheArray({:?}, {} resident)",
+            self.geometry,
+            self.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CacheGeometry;
+
+    fn small() -> CacheArray<u32> {
+        // 2-way, 2 sets.
+        CacheArray::new(CacheGeometry::new(256, 2))
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut c = small();
+        assert!(c.insert(BlockAddr(0), 7).is_none());
+        assert_eq!(c.get(BlockAddr(0)), Some(&7));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn replace_updates_payload_without_eviction() {
+        let mut c = small();
+        c.insert(BlockAddr(0), 1);
+        assert!(c.insert(BlockAddr(0), 2).is_none());
+        assert_eq!(c.get(BlockAddr(0)), Some(&2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_victim_is_least_recently_used() {
+        let mut c = small();
+        // Blocks 0 and 2 both map to set 0 (2 sets).
+        c.insert(BlockAddr(0), 10);
+        c.insert(BlockAddr(2), 20);
+        // Touch 0 so 2 becomes LRU.
+        c.get(BlockAddr(0));
+        let ev = c.insert(BlockAddr(4), 40).expect("set was full");
+        assert_eq!(ev.block, BlockAddr(2));
+        assert_eq!(ev.payload, 20);
+        assert!(c.peek(BlockAddr(0)).is_some());
+        assert!(c.peek(BlockAddr(4)).is_some());
+    }
+
+    #[test]
+    fn peek_does_not_touch_lru() {
+        let mut c = small();
+        c.insert(BlockAddr(0), 10);
+        c.insert(BlockAddr(2), 20);
+        // Peek at 0: should NOT protect it.
+        assert_eq!(c.peek(BlockAddr(0)), Some(&10));
+        let ev = c.insert(BlockAddr(4), 40).expect("eviction");
+        assert_eq!(ev.block, BlockAddr(0));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = small();
+        c.insert(BlockAddr(1), 5);
+        assert_eq!(c.invalidate(BlockAddr(1)), Some(5));
+        assert_eq!(c.invalidate(BlockAddr(1)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn drain_matching_removes_only_matches() {
+        let mut c = small();
+        c.insert(BlockAddr(0), 1);
+        c.insert(BlockAddr(1), 2);
+        c.insert(BlockAddr(2), 3);
+        let mut removed = Vec::new();
+        c.drain_matching(|_, p| *p >= 2, |b, p| removed.push((b, p)));
+        removed.sort();
+        assert_eq!(removed, vec![(BlockAddr(1), 2), (BlockAddr(2), 3)]);
+        assert_eq!(c.len(), 1);
+        assert!(c.peek(BlockAddr(0)).is_some());
+    }
+
+    #[test]
+    fn drain_all_empties() {
+        let mut c = small();
+        c.insert(BlockAddr(0), 1);
+        c.insert(BlockAddr(1), 2);
+        let mut n = 0;
+        c.drain_all(|_, _| n += 1);
+        assert_eq!(n, 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = small();
+        // Blocks 0,2 -> set 0; blocks 1,3 -> set 1.
+        c.insert(BlockAddr(0), 0);
+        c.insert(BlockAddr(2), 2);
+        assert!(c.insert(BlockAddr(1), 1).is_none());
+        assert!(c.insert(BlockAddr(3), 3).is_none());
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut c = small();
+        c.insert(BlockAddr(0), 1);
+        *c.get_mut(BlockAddr(0)).unwrap() += 10;
+        assert_eq!(c.peek(BlockAddr(0)), Some(&11));
+    }
+
+    #[test]
+    fn iter_visits_all_lines() {
+        let mut c = small();
+        c.insert(BlockAddr(0), 1);
+        c.insert(BlockAddr(1), 2);
+        let mut blocks: Vec<_> = c.iter().map(|(b, _)| b.0).collect();
+        blocks.sort();
+        assert_eq!(blocks, vec![0, 1]);
+    }
+}

@@ -1,0 +1,159 @@
+//! The data payload of one cache block.
+
+use crate::{WriteMask, BLOCK_SIZE};
+use std::fmt;
+
+/// The 64 data bytes of one cache block.
+///
+/// The simulator carries real data through the cache hierarchy so that tests
+/// can verify WARDen's claim that unordered reconciliation of WARD regions
+/// produces a correct memory image (paper §5.2).
+///
+/// # Example
+///
+/// ```
+/// use warden_mem::{BlockData, WriteMask};
+/// let mut shared = BlockData::zeroed();
+/// let mut private = BlockData::zeroed();
+/// private.bytes_mut()[3] = 0xAB;
+/// let mut mask = WriteMask::empty();
+/// mask.set_range(3, 1);
+/// shared.merge_from(&private, mask);
+/// assert_eq!(shared.bytes()[3], 0xAB);
+/// assert_eq!(shared.bytes()[4], 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockData([u8; BLOCK_SIZE as usize]);
+
+impl BlockData {
+    /// An all-zero block.
+    pub fn zeroed() -> BlockData {
+        BlockData([0; BLOCK_SIZE as usize])
+    }
+
+    /// Construct from raw bytes.
+    pub fn from_bytes(bytes: [u8; BLOCK_SIZE as usize]) -> BlockData {
+        BlockData(bytes)
+    }
+
+    /// Borrow the data bytes.
+    pub fn bytes(&self) -> &[u8; BLOCK_SIZE as usize] {
+        &self.0
+    }
+
+    /// Mutably borrow the data bytes.
+    pub fn bytes_mut(&mut self) -> &mut [u8; BLOCK_SIZE as usize] {
+        &mut self.0
+    }
+
+    /// Copy `src` into this block at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + src.len()` exceeds the block size.
+    pub fn write(&mut self, offset: u64, src: &[u8]) {
+        let offset = offset as usize;
+        self.0[offset..offset + src.len()].copy_from_slice(src);
+    }
+
+    /// Read `dst.len()` bytes from this block at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + dst.len()` exceeds the block size.
+    pub fn read(&self, offset: u64, dst: &mut [u8]) {
+        let offset = offset as usize;
+        dst.copy_from_slice(&self.0[offset..offset + dst.len()]);
+    }
+
+    /// Overwrite the bytes selected by `mask` with the corresponding bytes of
+    /// `other`, leaving unselected bytes untouched.
+    ///
+    /// This is the hardware merge step of WARDen reconciliation: each private
+    /// copy's *written* sectors are folded into the shared-cache copy. For
+    /// false sharing the masks are disjoint, so merging is order-independent;
+    /// for true (WAW) sharing the last merge processed wins, which the WARD
+    /// property declares acceptable.
+    pub fn merge_from(&mut self, other: &BlockData, mask: WriteMask) {
+        for off in mask.iter_offsets() {
+            self.0[off as usize] = other.0[off as usize];
+        }
+    }
+}
+
+impl Default for BlockData {
+    fn default() -> BlockData {
+        BlockData::zeroed()
+    }
+}
+
+impl fmt::Debug for BlockData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BlockData(")?;
+        for b in &self.0[..8] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut b = BlockData::zeroed();
+        b.write(10, &[1, 2, 3]);
+        let mut out = [0u8; 3];
+        b.read(10, &mut out);
+        assert_eq!(out, [1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_only_masked_bytes() {
+        let mut dst = BlockData::from_bytes([0xEE; 64]);
+        let mut src = BlockData::zeroed();
+        src.write(0, &[9; 64]);
+        let mut mask = WriteMask::empty();
+        mask.set_range(32, 16);
+        dst.merge_from(&src, mask);
+        for i in 0..64 {
+            let expected = if (32..48).contains(&i) { 9 } else { 0xEE };
+            assert_eq!(dst.bytes()[i], expected, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn disjoint_merges_commute() {
+        // False-sharing reconciliation must be order-independent.
+        let base = BlockData::zeroed();
+        let mut a = BlockData::zeroed();
+        a.write(0, &[1; 8]);
+        let mut ma = WriteMask::empty();
+        ma.set_range(0, 8);
+        let mut b = BlockData::zeroed();
+        b.write(8, &[2; 8]);
+        let mut mb = WriteMask::empty();
+        mb.set_range(8, 8);
+
+        let mut ab = base;
+        ab.merge_from(&a, ma);
+        ab.merge_from(&b, mb);
+        let mut ba = base;
+        ba.merge_from(&b, mb);
+        ba.merge_from(&a, ma);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_write_panics() {
+        BlockData::zeroed().write(60, &[0; 8]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", BlockData::zeroed()).is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Cache geometry: size / associativity / set indexing.
+
+use crate::{BlockAddr, BLOCK_SIZE};
+use std::fmt;
+
+/// Shape of one cache: capacity, associativity and the derived set count.
+///
+/// # Example
+///
+/// ```
+/// use warden_mem::CacheGeometry;
+/// // The paper's L1: 32 KiB, 8-way, 64 B blocks => 64 sets.
+/// let l1 = CacheGeometry::new(32 * 1024, 8);
+/// assert_eq!(l1.num_sets(), 64);
+/// assert_eq!(l1.num_blocks(), 512);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    size_bytes: u64,
+    associativity: u32,
+    num_sets: u64,
+}
+
+impl CacheGeometry {
+    /// Create a geometry for a cache of `size_bytes` with `associativity`
+    /// ways and 64-byte blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters do not describe a valid cache: zero sizes,
+    /// a size not divisible into whole sets, or a non-power-of-two set count
+    /// (required for mask-based set indexing).
+    pub fn new(size_bytes: u64, associativity: u32) -> CacheGeometry {
+        assert!(size_bytes > 0, "cache size must be positive");
+        assert!(associativity > 0, "associativity must be positive");
+        let blocks = size_bytes / BLOCK_SIZE;
+        assert_eq!(
+            blocks * BLOCK_SIZE,
+            size_bytes,
+            "cache size must be a multiple of the block size"
+        );
+        assert_eq!(
+            blocks % associativity as u64,
+            0,
+            "cache blocks must divide evenly into ways"
+        );
+        let num_sets = blocks / associativity as u64;
+        CacheGeometry {
+            size_bytes,
+            associativity,
+            num_sets,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Number of ways per set.
+    pub fn associativity(self) -> u32 {
+        self.associativity
+    }
+
+    /// Number of sets.
+    pub fn num_sets(self) -> u64 {
+        self.num_sets
+    }
+
+    /// Total number of blocks the cache can hold.
+    pub fn num_blocks(self) -> u64 {
+        self.size_bytes / BLOCK_SIZE
+    }
+
+    /// The set index for a block.
+    ///
+    /// Power-of-two set counts index by mask; other counts (e.g. the paper's
+    /// 20-way L3, which yields 24576 sets) index by modulo, as NUCA slices do.
+    pub fn set_of(self, block: BlockAddr) -> u64 {
+        if self.num_sets.is_power_of_two() {
+            block.0 & (self.num_sets - 1)
+        } else {
+            block.0 % self.num_sets
+        }
+    }
+}
+
+impl fmt::Debug for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CacheGeometry({} KiB, {}-way, {} sets)",
+            self.size_bytes / 1024,
+            self.associativity,
+            self.num_sets
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_l2_geometry() {
+        // 256 KiB, 8-way => 512 sets.
+        let l2 = CacheGeometry::new(256 * 1024, 8);
+        assert_eq!(l2.num_sets(), 512);
+        assert_eq!(l2.num_blocks(), 4096);
+    }
+
+    #[test]
+    fn set_indexing_wraps() {
+        let g = CacheGeometry::new(8 * 1024, 2); // 64 sets
+        assert_eq!(g.set_of(BlockAddr(0)), 0);
+        assert_eq!(g.set_of(BlockAddr(64)), 0);
+        assert_eq!(g.set_of(BlockAddr(65)), 1);
+    }
+
+    #[test]
+    fn non_power_of_two_sets_use_modulo() {
+        // The paper's L3 slice shape: 20-way gives a non-power-of-two set
+        // count; indexing must still land within range.
+        let g = CacheGeometry::new(30 * 1024, 20); // 24 sets
+        assert_eq!(g.num_sets(), 24);
+        assert_eq!(g.set_of(BlockAddr(25)), 1);
+        for b in 0..1000 {
+            assert!(g.set_of(BlockAddr(b)) < g.num_sets());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_rejected() {
+        CacheGeometry::new(0, 8);
+    }
+
+    #[test]
+    fn fully_associative_single_set() {
+        let g = CacheGeometry::new(64 * 16, 16);
+        assert_eq!(g.num_sets(), 1);
+        assert_eq!(g.set_of(BlockAddr(12345)), 0);
+    }
+}

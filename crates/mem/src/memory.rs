@@ -1,0 +1,260 @@
+//! Sparse backing memory holding real data bytes.
+
+use crate::{Addr, BlockAddr, BlockData, PageAddr, BLOCK_SIZE, PAGE_SIZE};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A sparse, page-granular simulated main memory.
+///
+/// Pages materialize (zero-filled) on first touch. The HLPL runtime computes
+/// program results directly in a `Memory`, and the coherence simulators move
+/// `BlockData` between it and the caches, so final memory images can be
+/// compared between protocols.
+///
+/// # Example
+///
+/// ```
+/// use warden_mem::{Addr, Memory};
+/// let mut mem = Memory::new();
+/// mem.write_bytes(Addr(100), &[1, 2, 3]);
+/// assert_eq!(mem.read_u8(Addr(101)), 2);
+/// // Untouched memory reads as zero.
+/// assert_eq!(mem.read_u64(Addr(1 << 40)), 0);
+/// ```
+#[derive(Clone, Default)]
+pub struct Memory {
+    pages: HashMap<PageAddr, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl Memory {
+    /// An empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Number of materialized pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page_mut(&mut self, page: PageAddr) -> &mut [u8; PAGE_SIZE as usize] {
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
+    }
+
+    /// Read `dst.len()` bytes starting at `addr`. May cross page boundaries.
+    pub fn read_bytes(&self, addr: Addr, dst: &mut [u8]) {
+        let mut cur = addr;
+        let mut done = 0;
+        while done < dst.len() {
+            let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
+            let n = in_page.min(dst.len() - done);
+            match self.pages.get(&cur.page()) {
+                Some(p) => {
+                    let off = cur.page_offset() as usize;
+                    dst[done..done + n].copy_from_slice(&p[off..off + n]);
+                }
+                None => dst[done..done + n].fill(0),
+            }
+            done += n;
+            cur += n as u64;
+        }
+    }
+
+    /// Write `src` starting at `addr`. May cross page boundaries.
+    pub fn write_bytes(&mut self, addr: Addr, src: &[u8]) {
+        let mut cur = addr;
+        let mut done = 0;
+        while done < src.len() {
+            let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
+            let n = in_page.min(src.len() - done);
+            let off = cur.page_offset() as usize;
+            self.page_mut(cur.page())[off..off + n].copy_from_slice(&src[done..done + n]);
+            done += n;
+            cur += n as u64;
+        }
+    }
+
+    /// Read one byte.
+    pub fn read_u8(&self, addr: Addr) -> u8 {
+        let mut b = [0u8; 1];
+        self.read_bytes(addr, &mut b);
+        b[0]
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, addr: Addr, v: u8) {
+        self.write_bytes(addr, &[v]);
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Write a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: Addr, v: u64) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Read a whole cache block.
+    pub fn read_block(&self, block: BlockAddr) -> BlockData {
+        let mut data = BlockData::zeroed();
+        self.read_bytes(block.base(), data.bytes_mut());
+        data
+    }
+
+    /// Write a whole cache block.
+    pub fn write_block(&mut self, block: BlockAddr, data: &BlockData) {
+        self.write_bytes(block.base(), data.bytes());
+    }
+
+    /// The resident pages in ascending address order (all-zero pages are
+    /// skipped: they are indistinguishable from absent pages).
+    pub fn resident(&self) -> Vec<(PageAddr, &[u8; PAGE_SIZE as usize])> {
+        let mut out: Vec<(PageAddr, &[u8; PAGE_SIZE as usize])> = self
+            .pages
+            .iter()
+            .filter(|(_, data)| data.iter().any(|&b| b != 0))
+            .map(|(&p, data)| (p, &**data))
+            .collect();
+        out.sort_by_key(|&(p, _)| p);
+        out
+    }
+
+    /// A content digest of the memory image (FNV-1a over resident pages in
+    /// address order, skipping all-zero pages so that an untouched page and
+    /// an absent page hash identically). Two memories with equal digests are
+    /// equal with overwhelming probability; use [`Self::first_difference`]
+    /// for an exact check.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x1000_0000_01b3;
+        let mut pages: Vec<&PageAddr> = self.pages.keys().collect();
+        pages.sort();
+        let mut h = FNV_OFFSET;
+        for p in pages {
+            let data = &self.pages[p];
+            if data.iter().all(|&b| b == 0) {
+                continue;
+            }
+            for b in p.0.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+            }
+            for &b in data.iter() {
+                h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+            }
+        }
+        h
+    }
+
+    /// Compare two memories over a byte range, returning the first differing
+    /// address (useful in tests comparing protocol end states).
+    pub fn first_difference(&self, other: &Memory, start: Addr, len: u64) -> Option<Addr> {
+        let mut cur = start;
+        let end_excl = Addr(start.0 + len);
+        let mut a = [0u8; BLOCK_SIZE as usize];
+        let mut b = [0u8; BLOCK_SIZE as usize];
+        while cur < end_excl {
+            let n = (BLOCK_SIZE.min(end_excl - cur)) as usize;
+            self.read_bytes(cur, &mut a[..n]);
+            other.read_bytes(cur, &mut b[..n]);
+            if let Some(i) = (0..n).find(|&i| a[i] != b[i]) {
+                return Some(cur + i as u64);
+            }
+            cur += n as u64;
+        }
+        None
+    }
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Memory({} resident pages)", self.pages.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_on_first_touch() {
+        let mem = Memory::new();
+        assert_eq!(mem.read_u64(Addr(0xdead_0000)), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn rw_roundtrip_u64() {
+        let mut mem = Memory::new();
+        mem.write_u64(Addr(8), 0x0102_0304_0506_0708);
+        assert_eq!(mem.read_u64(Addr(8)), 0x0102_0304_0506_0708);
+        // Little-endian layout.
+        assert_eq!(mem.read_u8(Addr(8)), 0x08);
+    }
+
+    #[test]
+    fn cross_page_write_and_read() {
+        let mut mem = Memory::new();
+        let addr = Addr(PAGE_SIZE - 3);
+        mem.write_bytes(addr, &[1, 2, 3, 4, 5, 6]);
+        let mut out = [0u8; 6];
+        mem.read_bytes(addr, &mut out);
+        assert_eq!(out, [1, 2, 3, 4, 5, 6]);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let mut mem = Memory::new();
+        let mut data = BlockData::zeroed();
+        data.write(0, &[7; 64]);
+        mem.write_block(BlockAddr(3), &data);
+        assert_eq!(mem.read_block(BlockAddr(3)), data);
+    }
+
+    #[test]
+    fn first_difference_finds_exact_byte() {
+        let mut a = Memory::new();
+        let mut b = Memory::new();
+        a.write_bytes(Addr(0), &[0; 200]);
+        b.write_bytes(Addr(0), &[0; 200]);
+        b.write_u8(Addr(131), 9);
+        assert_eq!(a.first_difference(&b, Addr(0), 200), Some(Addr(131)));
+        assert_eq!(a.first_difference(&b, Addr(0), 131), None);
+    }
+
+    #[test]
+    fn digest_ignores_zero_pages() {
+        let mut a = Memory::new();
+        let b = Memory::new();
+        // Touch a page with zeros only: digest must equal the empty memory.
+        a.write_bytes(Addr(0), &[0; 64]);
+        assert_eq!(a.digest(), b.digest());
+        a.write_u8(Addr(1), 1);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn digest_is_order_insensitive_to_write_order() {
+        let mut a = Memory::new();
+        a.write_u8(Addr(0), 1);
+        a.write_u8(Addr(PAGE_SIZE), 2);
+        let mut b = Memory::new();
+        b.write_u8(Addr(PAGE_SIZE), 2);
+        b.write_u8(Addr(0), 1);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn first_difference_none_when_equal() {
+        let mut a = Memory::new();
+        a.write_u64(Addr(16), 5);
+        let b = a.clone();
+        assert_eq!(a.first_difference(&b, Addr(0), 4096), None);
+    }
+}

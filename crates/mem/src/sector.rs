@@ -1,0 +1,189 @@
+//! Byte-granularity write masks for sectored cache blocks.
+//!
+//! WARDen's reconciliation (paper §5.2, §6.1) requires *sectored caches*: one
+//! write-flag bit per byte of a 64-byte block, so the hardware knows which
+//! bytes of each private copy were mutated while coherence was disabled.
+
+use crate::BLOCK_SIZE;
+use std::fmt;
+
+/// A per-byte dirty mask for one 64-byte cache block (bit *i* set ⇔ byte *i*
+/// was written).
+///
+/// This is the "byte sectoring" of paper §6.1: it adds one metadata bit per
+/// eight data bits, which [`warden-cacti`](../warden_cacti/index.html)
+/// estimates at ≈7.9% cache area overhead.
+///
+/// # Example
+///
+/// ```
+/// use warden_mem::WriteMask;
+/// let mut m = WriteMask::empty();
+/// m.set_range(4, 8); // an 8-byte store at offset 4
+/// assert!(m.covers(5));
+/// assert!(!m.covers(12));
+/// assert_eq!(m.count(), 8);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct WriteMask(u64);
+
+impl WriteMask {
+    /// A mask with no bytes written.
+    pub fn empty() -> WriteMask {
+        WriteMask(0)
+    }
+
+    /// A mask with every byte written.
+    pub fn full() -> WriteMask {
+        WriteMask(u64::MAX)
+    }
+
+    /// Construct from a raw bit pattern (bit *i* ⇔ byte *i*).
+    pub fn from_bits(bits: u64) -> WriteMask {
+        WriteMask(bits)
+    }
+
+    /// The raw bit pattern.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Mark `len` bytes starting at block offset `offset` as written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + len` exceeds the block size (64).
+    pub fn set_range(&mut self, offset: u64, len: u64) {
+        assert!(
+            offset + len <= BLOCK_SIZE,
+            "write of {len} bytes at offset {offset} exceeds block"
+        );
+        if len == 0 {
+            return;
+        }
+        let bits = if len == BLOCK_SIZE {
+            u64::MAX
+        } else {
+            ((1u64 << len) - 1) << offset
+        };
+        self.0 |= bits;
+    }
+
+    /// Whether byte `offset` has been written.
+    pub fn covers(self, offset: u64) -> bool {
+        debug_assert!(offset < BLOCK_SIZE);
+        self.0 & (1 << offset) != 0
+    }
+
+    /// Whether no byte has been written.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of written bytes.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Bytes written by *both* masks — a non-empty intersection between two
+    /// cores' masks is exactly the paper's *true sharing* case (§5.2).
+    pub fn intersect(self, other: WriteMask) -> WriteMask {
+        WriteMask(self.0 & other.0)
+    }
+
+    /// Bytes written by either mask.
+    pub fn union(self, other: WriteMask) -> WriteMask {
+        WriteMask(self.0 | other.0)
+    }
+
+    /// Iterate over the offsets of written bytes, ascending.
+    pub fn iter_offsets(self) -> impl Iterator<Item = u64> {
+        let bits = self.0;
+        (0..BLOCK_SIZE).filter(move |i| bits & (1 << i) != 0)
+    }
+}
+
+impl fmt::Debug for WriteMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WriteMask({:#018x})", self.0)
+    }
+}
+
+impl fmt::Binary for WriteMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        assert!(WriteMask::empty().is_empty());
+        assert_eq!(WriteMask::full().count(), 64);
+    }
+
+    #[test]
+    fn set_range_marks_exact_bytes() {
+        let mut m = WriteMask::empty();
+        m.set_range(10, 4);
+        for i in 0..64 {
+            assert_eq!(m.covers(i), (10..14).contains(&i), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn set_full_block() {
+        let mut m = WriteMask::empty();
+        m.set_range(0, 64);
+        assert_eq!(m, WriteMask::full());
+    }
+
+    #[test]
+    fn zero_length_write_is_noop() {
+        let mut m = WriteMask::empty();
+        m.set_range(5, 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds block")]
+    fn overlong_range_panics() {
+        WriteMask::empty().set_range(60, 8);
+    }
+
+    #[test]
+    fn intersection_detects_true_sharing() {
+        let mut a = WriteMask::empty();
+        a.set_range(0, 8);
+        let mut b = WriteMask::empty();
+        b.set_range(8, 8);
+        // Distinct sectors: false sharing, empty intersection.
+        assert!(a.intersect(b).is_empty());
+        let mut c = WriteMask::empty();
+        c.set_range(4, 8);
+        // Overlapping sectors: true sharing.
+        assert_eq!(a.intersect(c).count(), 4);
+    }
+
+    #[test]
+    fn union_accumulates() {
+        let mut a = WriteMask::empty();
+        a.set_range(0, 1);
+        let mut b = WriteMask::empty();
+        b.set_range(63, 1);
+        let u = a.union(b);
+        assert_eq!(u.count(), 2);
+        assert!(u.covers(0) && u.covers(63));
+    }
+
+    #[test]
+    fn iter_offsets_ascending() {
+        let mut m = WriteMask::empty();
+        m.set_range(3, 2);
+        m.set_range(40, 1);
+        assert_eq!(m.iter_offsets().collect::<Vec<_>>(), vec![3, 4, 40]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Oracle-based property tests: `CacheArray` must behave exactly like a
+//! reference model (per-set LRU lists), and `WriteMask`/`BlockData` merging
+//! must match naive byte-level bookkeeping.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use warden_mem::{BlockAddr, BlockData, CacheArray, CacheGeometry, WriteMask};
+
+/// A straightforward LRU model: one Vec per set, most-recent at the back.
+struct ModelCache {
+    geometry: CacheGeometry,
+    sets: HashMap<u64, Vec<(u64, u32)>>,
+}
+
+impl ModelCache {
+    fn new(geometry: CacheGeometry) -> ModelCache {
+        ModelCache {
+            geometry,
+            sets: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, block: u64) -> Option<u32> {
+        let set = self.sets.entry(self.geometry.set_of(BlockAddr(block))).or_default();
+        let pos = set.iter().position(|&(b, _)| b == block)?;
+        let entry = set.remove(pos);
+        set.push(entry);
+        Some(entry.1)
+    }
+
+    fn insert(&mut self, block: u64, v: u32) -> Option<(u64, u32)> {
+        let ways = self.geometry.associativity() as usize;
+        let set = self.sets.entry(self.geometry.set_of(BlockAddr(block))).or_default();
+        if let Some(pos) = set.iter().position(|&(b, _)| b == block) {
+            set.remove(pos);
+            set.push((block, v));
+            return None;
+        }
+        let evicted = if set.len() == ways { Some(set.remove(0)) } else { None };
+        set.push((block, v));
+        evicted
+    }
+
+    fn invalidate(&mut self, block: u64) -> Option<u32> {
+        let set = self.sets.entry(self.geometry.set_of(BlockAddr(block))).or_default();
+        let pos = set.iter().position(|&(b, _)| b == block)?;
+        Some(set.remove(pos).1)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Get(u64),
+    Insert(u64, u32),
+    Invalidate(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..64).prop_map(Op::Get),
+        (0u64..64, any::<u32>()).prop_map(|(b, v)| Op::Insert(b, v)),
+        (0u64..64).prop_map(Op::Invalidate),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn cache_array_matches_lru_model(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let geometry = CacheGeometry::new(1024, 2); // 8 sets, 2 ways
+        let mut real: CacheArray<u32> = CacheArray::new(geometry);
+        let mut model = ModelCache::new(geometry);
+        for op in ops {
+            match op {
+                Op::Get(b) => {
+                    prop_assert_eq!(real.get(BlockAddr(b)).copied(), model.get(b));
+                }
+                Op::Insert(b, v) => {
+                    let re = real.insert(BlockAddr(b), v).map(|e| (e.block.0, e.payload));
+                    let me = model.insert(b, v);
+                    prop_assert_eq!(re, me);
+                }
+                Op::Invalidate(b) => {
+                    prop_assert_eq!(real.invalidate(BlockAddr(b)), model.invalidate(b));
+                }
+            }
+        }
+        let model_len: usize = model.sets.values().map(|s| s.len()).sum();
+        prop_assert_eq!(real.len(), model_len);
+    }
+
+    #[test]
+    fn masked_merges_match_byte_bookkeeping(
+        writes in proptest::collection::vec((0u64..64, 1u64..9, any::<u8>(), 0usize..3), 1..60)
+    ) {
+        // Three "cores" write byte ranges; merging their masked copies into
+        // a base block must equal naive last-writer bookkeeping per byte,
+        // as long as ranges written by different cores do not overlap.
+        let mut owner: [Option<usize>; 64] = [None; 64];
+        let mut expected = [0u8; 64];
+        let mut copies = [(BlockData::zeroed(), WriteMask::empty()); 3];
+        for (start, len, val, core) in writes {
+            let len = len.min(64 - start);
+            if len == 0 { continue; }
+            // Skip writes that would overlap another core's bytes (that
+            // would be a true-WAW race with order-dependent outcome).
+            let range = start as usize..(start + len) as usize;
+            if range.clone().any(|i| owner[i].is_some_and(|o| o != core)) {
+                continue;
+            }
+            for i in range.clone() {
+                owner[i] = Some(core);
+                expected[i] = val;
+            }
+            let bytes = vec![val; len as usize];
+            copies[core].0.write(start, &bytes);
+            copies[core].1.set_range(start, len);
+        }
+        let mut merged = BlockData::zeroed();
+        for (data, mask) in &copies {
+            merged.merge_from(data, *mask);
+        }
+        prop_assert_eq!(merged.bytes(), &expected);
+    }
+}

@@ -1,0 +1,275 @@
+//! `bfs` — parallel breadth-first search with *different-value* benign
+//! races (an extension beyond the paper's figure list, implementing its
+//! §2.1 example directly).
+//!
+//! Frontier expansion races to claim each vertex's parent: multiple
+//! neighbours on the same level may write different parents to the same
+//! slot, and "it does not matter which thread wins the race because they are
+//! all writing back values which meet the search criteria" — WAW apathy with
+//! *different* values (Figure 3, Event 3). Consequently the final memory
+//! image is schedule- and protocol-dependent *by design*; validation checks
+//! the semantic invariant instead: every claimed parent is a real in-edge
+//! from the previous level, and distances are exactly the true BFS
+//! distances.
+
+use warden_rt::{trace_program, RtOptions, SimSlice, TaskCtx, TraceProgram};
+
+/// A deterministic sparse digraph: `n` vertices, ~`deg` out-edges each, in
+/// CSR form `(offsets, targets)`, always containing the cycle edges
+/// `v → v+1` so everything is reachable from 0.
+pub fn make_graph(n: u64, deg: u64, tag: u64) -> (Vec<u64>, Vec<u64>) {
+    use rand::Rng;
+    let mut r = crate::util::rng(tag);
+    let mut offsets = Vec::with_capacity(n as usize + 1);
+    let mut targets = Vec::new();
+    offsets.push(0u64);
+    for v in 0..n {
+        targets.push((v + 1) % n);
+        for _ in 1..deg {
+            targets.push(r.gen_range(0..n));
+        }
+        offsets.push(targets.len() as u64);
+    }
+    (offsets, targets)
+}
+
+/// Sequential reference: exact BFS distances from vertex 0.
+pub fn bfs_reference(offsets: &[u64], targets: &[u64]) -> Vec<u64> {
+    let n = offsets.len() - 1;
+    let mut dist = vec![u64::MAX; n];
+    dist[0] = 0;
+    let mut frontier = vec![0usize];
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &t in &targets[offsets[v] as usize..offsets[v + 1] as usize] {
+                let w = t as usize;
+                if dist[w] == u64::MAX {
+                    dist[w] = dist[v] + 1;
+                    next.push(w);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+/// One parallel frontier expansion: each frontier vertex writes itself as
+/// the parent of every neighbour that was unvisited *as of the previous
+/// level* (checked against the level-frozen `dist` array). Neighbours shared
+/// by several frontier vertices therefore receive genuinely racing writes of
+/// *different* parents — WAW apathy with different values, and the trace
+/// records every one of them.
+#[allow(clippy::too_many_arguments)]
+fn expand(
+    ctx: &mut TaskCtx<'_>,
+    offsets: &SimSlice<u64>,
+    targets: &SimSlice<u64>,
+    dist: &SimSlice<u64>,
+    parent: &SimSlice<u64>,
+    frontier: &SimSlice<u64>,
+    frontier_len: u64,
+    grain: u64,
+) {
+    ctx.parallel_for(0, frontier_len, grain, &|c, i| {
+        let v = c.read(frontier, i);
+        let lo = c.read(offsets, v);
+        let hi = c.read(offsets, v + 1);
+        for e in lo..hi {
+            let w = c.read(targets, e);
+            c.work(4);
+            // `dist` is only written between levels, so this read never
+            // races; the parent write does, benignly.
+            if c.read(dist, w) == u64::MAX {
+                c.write(parent, w, v + 1); // +1: 0 is a valid parent id
+            }
+        }
+    });
+}
+
+/// Where the interesting arrays of a [`bfs`] trace live, so tests can
+/// validate the *replayed* images (whose racing parents may legitimately
+/// differ from the logical run).
+#[derive(Clone, Debug)]
+pub struct BfsLayout {
+    /// Base address of the `parent` array (`n` u64 slots).
+    pub parent_base: warden_mem::Addr,
+    /// CSR offsets of the generated graph.
+    pub offsets: Vec<u64>,
+    /// CSR targets of the generated graph.
+    pub targets: Vec<u64>,
+}
+
+/// Build the `bfs` benchmark: BFS from vertex 0 over a seeded graph.
+///
+/// # Panics
+///
+/// Panics (during tracing) if the claimed parents violate the BFS invariant
+/// or the per-level visit counts differ from the reference.
+pub fn bfs(n: u64, deg: u64, grain: u64) -> TraceProgram {
+    bfs_with_layout(n, deg, grain).0
+}
+
+/// [`bfs`] plus the memory layout needed to validate replayed images.
+pub fn bfs_with_layout(n: u64, deg: u64, grain: u64) -> (TraceProgram, BfsLayout) {
+    let (offsets, targets) = make_graph(n, deg, 0x424653);
+    let layout_cell = std::rc::Rc::new(std::cell::Cell::new(warden_mem::Addr(0)));
+    let program = bfs_program(n, grain, offsets.clone(), targets.clone(), layout_cell.clone());
+    let layout = BfsLayout {
+        parent_base: layout_cell.get(),
+        offsets,
+        targets,
+    };
+    (program, layout)
+}
+
+fn bfs_program(
+    n: u64,
+    grain: u64,
+    offsets: Vec<u64>,
+    targets: Vec<u64>,
+    parent_base: std::rc::Rc<std::cell::Cell<warden_mem::Addr>>,
+) -> TraceProgram {
+    let reference = bfs_reference(&offsets, &targets);
+    trace_program("bfs", RtOptions::default(), move |ctx| {
+        let soff = ctx.preload(&offsets);
+        let stgt = ctx.preload(&targets);
+        // parent[w] = claiming vertex + 1, or MAX if unvisited; dist[w] is
+        // only updated between levels (the race-free claim check).
+        let parent = ctx.tabulate::<u64>(n, 1024.max(grain), &|_c, _i| u64::MAX);
+        parent_base.set(parent.base());
+        let dist = ctx.tabulate::<u64>(n, 1024.max(grain), &|_c, _i| u64::MAX);
+        ctx.write(&parent, 0, 0); // root sentinel: claimed, no parent
+        ctx.write(&dist, 0, 0);
+        let frontier = ctx.alloc::<u64>(n);
+        let next = ctx.alloc::<u64>(n);
+        ctx.write(&frontier, 0, 0);
+        let mut flen = 1u64;
+        let mut level = 0u64;
+        let mut visited = 1u64;
+        let mut cur = frontier;
+        let mut nxt = next;
+        while flen > 0 {
+            // The parent array is WARD for the duration of the expansion:
+            // only writes target it inside the scope (the checker verifies
+            // no cross-task RAW), and the racing writes are apathetic —
+            // Figure 3's Event 3 with genuinely different values.
+            ctx.ward_scope(&parent, |ctx| {
+                expand(ctx, &soff, &stgt, &dist, &parent, &cur, flen, grain);
+            });
+            // Sequentially gather the next frontier and freeze distances (a
+            // parallel pack in PBBS; sequential keeps slot order
+            // deterministic).
+            let mut k = 0u64;
+            for w in 0..n {
+                if ctx.peek(&parent, w) != u64::MAX && ctx.peek(&dist, w) == u64::MAX {
+                    ctx.work(2);
+                    ctx.write(&dist, w, level + 1);
+                    ctx.write(&nxt, k, w);
+                    k += 1;
+                }
+            }
+            level += 1;
+            visited += k;
+            flen = k;
+            std::mem::swap(&mut cur, &mut nxt);
+        }
+        // Validate the semantic invariant on the logical image: every
+        // visited vertex's parent is a true in-edge at distance d-1.
+        let mut seen = 0u64;
+        for w in 0..n {
+            let p = ctx.peek(&parent, w);
+            let d = reference[w as usize];
+            if d == u64::MAX {
+                assert_eq!(p, u64::MAX, "unreachable vertex {w} claimed");
+                continue;
+            }
+            seen += 1;
+            if w == 0 {
+                assert_eq!(p, 0);
+                continue;
+            }
+            assert_ne!(p, u64::MAX, "reachable vertex {w} missed");
+            let pv = p - 1;
+            assert_eq!(
+                reference[pv as usize] + 1,
+                d,
+                "vertex {w}: parent {pv} not on the previous level"
+            );
+            let lo = offsets[pv as usize] as usize;
+            let hi = offsets[pv as usize + 1] as usize;
+            assert!(
+                targets[lo..hi].contains(&w),
+                "vertex {w}: {pv} is not an in-neighbour"
+            );
+        }
+        assert_eq!(seen, visited, "visit count mismatch");
+    })
+}
+
+/// Check the BFS invariant on an arbitrary final memory image (used by
+/// integration tests on the *replayed* images, where the racing parents may
+/// legitimately differ from the logical run — Figure 3's "either value is
+/// accepted").
+pub fn validate_parents(
+    mem: &warden_mem::Memory,
+    parent_base: warden_mem::Addr,
+    offsets: &[u64],
+    targets: &[u64],
+) -> Result<(), String> {
+    let reference = bfs_reference(offsets, targets);
+    let n = reference.len();
+    for w in 0..n {
+        let p = mem.read_u64(parent_base + (w as u64) * 8);
+        let d = reference[w];
+        if d == u64::MAX {
+            if p != u64::MAX {
+                return Err(format!("unreachable vertex {w} claimed"));
+            }
+            continue;
+        }
+        if w == 0 {
+            continue;
+        }
+        if p == u64::MAX {
+            return Err(format!("reachable vertex {w} missed"));
+        }
+        let pv = (p - 1) as usize;
+        if pv >= n || reference[pv] + 1 != d {
+            return Err(format!("vertex {w}: bad parent level"));
+        }
+        let (lo, hi) = (offsets[pv] as usize, offsets[pv + 1] as usize);
+        if !targets[lo..hi].contains(&(w as u64)) {
+            return Err(format!("vertex {w}: parent {pv} not an in-neighbour"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_distances_on_ring() {
+        // Pure ring when deg = 1.
+        let (off, tgt) = make_graph(6, 1, 9);
+        let d = bfs_reference(&off, &tgt);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn traced_bfs_validates() {
+        let p = bfs(256, 4, 16);
+        p.check_invariants().unwrap();
+        assert!(p.stats.tasks > 4);
+    }
+
+    #[test]
+    fn graph_is_connected_by_construction() {
+        let (off, tgt) = make_graph(100, 3, 1);
+        let d = bfs_reference(&off, &tgt);
+        assert!(d.iter().all(|&x| x != u64::MAX));
+    }
+}

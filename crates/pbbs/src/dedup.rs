@@ -1,0 +1,110 @@
+//! `dedup` — duplicate removal via a concurrent hash set.
+//!
+//! Tasks claim slots of a shared open-addressing table with CAS (the
+//! busy-wait atomic primitive of PBBS). The table lives in an ancestor heap,
+//! so its traffic is fully coherent under both protocols — the paper finds
+//! dedup among the benchmarks WARDen helps least, and this structure is why.
+
+use warden_rt::{trace_program, RtOptions, SimSlice, TaskCtx, TraceProgram};
+
+fn hash(x: u64) -> u64 {
+    let mut h = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+/// Insert `key` (non-zero) into the CAS-claimed table; returns true if this
+/// call inserted it (i.e. `key` was not yet present).
+fn insert(ctx: &mut TaskCtx<'_>, table: &SimSlice<u64>, key: u64) -> bool {
+    let cap = table.len();
+    let mut slot = hash(key) % cap;
+    loop {
+        ctx.work(4);
+        let cur = ctx.read(table, slot);
+        if cur == key {
+            return false;
+        }
+        if cur == 0 {
+            let (won, prev) = ctx.cas(table, slot, 0, key);
+            if won {
+                return true;
+            }
+            if prev == key {
+                return false;
+            }
+            // Lost the race to a different key: keep probing.
+        }
+        slot = (slot + 1) % cap;
+    }
+}
+
+/// Build the `dedup` benchmark: count distinct values among `n` seeded
+/// random draws from a duplicate-heavy universe.
+///
+/// # Panics
+///
+/// Panics (during tracing) if the distinct count disagrees with a sequential
+/// reference.
+pub fn dedup(n: u64, grain: u64) -> TraceProgram {
+    // Draw from a universe of n/4 so ~75% of inputs are duplicates; keys are
+    // made non-zero because 0 is the empty-slot sentinel.
+    let data: Vec<u64> = crate::util::random_u64s_in(0x4445_4455, n as usize, (n / 4).max(2))
+        .into_iter()
+        .map(|x| x + 1)
+        .collect();
+    let expected = {
+        let mut set = std::collections::HashSet::new();
+        data.iter().for_each(|&x| {
+            set.insert(x);
+        });
+        set.len() as u64
+    };
+    trace_program("dedup", RtOptions::default(), move |ctx| {
+        let input = ctx.preload(&data);
+        let table = ctx.tabulate::<u64>(2 * n, 1024, &|_c, _i| 0);
+        let distinct = ctx.reduce(
+            0,
+            n,
+            grain,
+            &|c, i| {
+                let key = c.read(&input, i);
+                u64::from(insert(c, &table, key))
+            },
+            &|a, b| a + b,
+            0,
+        );
+        assert_eq!(distinct, expected, "dedup distinct count mismatch");
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traced_dedup_validates() {
+        let p = dedup(1024, 64);
+        p.check_invariants().unwrap();
+        assert!(p.stats.tasks > 8);
+    }
+
+    #[test]
+    fn uses_atomics() {
+        let p = dedup(512, 64);
+        // Each distinct key costs one successful CAS (plus join CASes).
+        assert!(
+            p.tasks
+                .iter()
+                .flat_map(|t| &t.events)
+                .filter(|e| matches!(e, warden_rt::Event::Rmw { .. }))
+                .count()
+                > 100
+        );
+    }
+
+    #[test]
+    fn hash_spreads() {
+        assert_ne!(hash(1) % 997, hash(2) % 997);
+    }
+}

@@ -1,0 +1,102 @@
+//! `palindrome` — longest palindromic substring by parallel center
+//! expansion.
+//!
+//! Every task expands around its centers, reading the shared text (clean
+//! read sharing) and keeping a local best that flows up the join tree.
+//! Generated over a two-letter alphabet so expansions are long enough to
+//! matter.
+
+use warden_rt::{trace_program, RtOptions, SimSlice, TaskCtx, TraceProgram};
+
+/// Sequential reference: `(length, start)` of the longest palindromic
+/// substring, preferring the smallest start on ties.
+pub fn longest_reference(text: &[u8]) -> (u64, u64) {
+    let n = text.len() as i64;
+    let mut best = (0u64, 0u64);
+    for center in 0..(2 * n - 1).max(0) {
+        let (mut l, mut r) = (center / 2, center / 2 + center % 2);
+        // [l, r] inclusive bounds once the first match is checked.
+        let mut len = 0i64;
+        while l >= 0 && r < n && text[l as usize] == text[r as usize] {
+            len = r - l + 1;
+            l -= 1;
+            r += 1;
+        }
+        let start = (l + 1) as u64;
+        // Centers are visited in ascending order, so the first maximal
+        // length found has the smallest start.
+        if len as u64 > best.0 {
+            best = (len as u64, start);
+        }
+    }
+    best
+}
+
+fn expand(ctx: &mut TaskCtx<'_>, text: &SimSlice<u8>, center: u64, n: u64) -> (u64, u64) {
+    let (mut l, mut r) = (center as i64 / 2, center as i64 / 2 + center as i64 % 2);
+    let mut len = 0i64;
+    while l >= 0 && (r as u64) < n {
+        let a = ctx.read(text, l as u64);
+        let b = ctx.read(text, r as u64);
+        ctx.work(4);
+        if a != b {
+            break;
+        }
+        len = r - l + 1;
+        l -= 1;
+        r += 1;
+    }
+    (len as u64, (l + 1) as u64)
+}
+
+/// Build the `palindrome` benchmark over `n` bytes of seeded two-letter
+/// text.
+///
+/// # Panics
+///
+/// Panics (during tracing) if the parallel answer's length disagrees with
+/// the sequential reference.
+pub fn palindrome(n: u64, grain: u64) -> TraceProgram {
+    let text = crate::util::random_binary_text(0x50414C, n as usize);
+    let expected = longest_reference(&text);
+    trace_program("palindrome", RtOptions::default(), move |ctx| {
+        let sim_text = ctx.preload(&text);
+        // Encode (len, start) as len*2^32 + (2^32-1-start): max-reduce picks
+        // the longest, ties to the smallest start.
+        let best = ctx.reduce(
+            0,
+            2 * n - 1,
+            grain,
+            &|c, center| {
+                let (len, start) = expand(c, &sim_text, center, n);
+                (len << 32) | (u32::MAX as u64 - start)
+            },
+            &|a, b| a.max(b),
+            0,
+        );
+        let len = best >> 32;
+        let start = u32::MAX as u64 - (best & u32::MAX as u64);
+        assert_eq!(len, expected.0, "palindrome length mismatch");
+        assert_eq!(start, expected.1, "palindrome start mismatch");
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_finds_longest() {
+        assert_eq!(longest_reference(b"babad").0, 3);
+        assert_eq!(longest_reference(b"cbbd").0, 2);
+        assert_eq!(longest_reference(b"aaaa"), (4, 0));
+        assert_eq!(longest_reference(b"abc").0, 1);
+    }
+
+    #[test]
+    fn traced_palindrome_validates() {
+        let p = palindrome(2048, 128);
+        p.check_invariants().unwrap();
+        assert!(p.stats.tasks > 8);
+    }
+}

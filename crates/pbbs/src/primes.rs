@@ -1,0 +1,181 @@
+//! `primes` — the recursive parallel sieve of paper Figure 4.
+//!
+//! `prime_sieve_upto(N)` first recursively computes the primes up to √N,
+//! then for each such prime marks its multiples composite in parallel. The
+//! marking writes race benignly: distinct tasks may write `flags[p*m]` for
+//! the same index, but always with the same value (`0`) — the flagship
+//! example of WAW apathy (paper §3.3).
+//!
+//! Two variants are provided: [`primes`] declares each `flags` array as a
+//! WARD region for the duration of its marking loop (the §3/Figure 4
+//! semantics — "Throughout execution, all instances of flags are WARD
+//! regions"), with the runtime's dynamic checker verifying that no
+//! cross-task RAW occurs; [`primes_automark`] is the ablation with only the
+//! automatic leaf-heap marking of §4.2.
+
+use warden_rt::{trace_program, RtOptions, SimSlice, TaskCtx, TraceProgram};
+
+/// Sequential reference sieve.
+pub fn sieve_reference(n: u64) -> Vec<bool> {
+    let mut flags = vec![true; (n + 1) as usize];
+    flags[0] = false;
+    if n >= 1 {
+        flags[1] = false;
+    }
+    let mut p = 2u64;
+    while p * p <= n {
+        if flags[p as usize] {
+            let mut m = p * p;
+            while m <= n {
+                flags[m as usize] = false;
+                m += p;
+            }
+        }
+        p += 1;
+    }
+    flags
+}
+
+fn isqrt(n: u64) -> u64 {
+    let mut r = (n as f64).sqrt() as u64;
+    while (r + 1) * (r + 1) <= n {
+        r += 1;
+    }
+    while r * r > n {
+        r -= 1;
+    }
+    r
+}
+
+/// The marking loop shared by both variants.
+fn mark_composites(
+    ctx: &mut TaskCtx<'_>,
+    flags: &SimSlice<u8>,
+    sqrtflags: &SimSlice<u8>,
+    n: u64,
+    grain: u64,
+) {
+    let root = isqrt(n);
+    let inner_grain = 1024u64;
+    ctx.parallel_for(2, root + 1, grain.max(1), &|ctx, p| {
+        if ctx.read(sqrtflags, p) != 0 {
+            // p is prime: mark multiples p*2, p*3, … ≤ n composite. Start at
+            // 2p (not p²) exactly as Figure 4 does, so different primes race
+            // on common multiples — benignly, with the same value. Long
+            // chains (small primes) are themselves parallel, mirroring the
+            // nested `parallelfor m` of the figure.
+            let last = n / p;
+            if last > 2 * inner_grain {
+                ctx.parallel_for(2, last + 1, inner_grain, &|ctx, m| {
+                    ctx.write(flags, p * m, 0);
+                    ctx.work(3);
+                });
+            } else {
+                for m in 2..=last {
+                    ctx.write(flags, p * m, 0);
+                    ctx.work(3);
+                }
+            }
+        }
+    });
+}
+
+fn sieve_rec(ctx: &mut TaskCtx<'_>, n: u64, grain: u64, ward: bool) -> SimSlice<u8> {
+    let flags = ctx.tabulate::<u8>(n + 1, 512.max(grain), &|_c, _i| 1);
+    ctx.write(&flags, 0, 0);
+    if n >= 1 {
+        ctx.write(&flags, 1, 0);
+    }
+    if n >= 4 {
+        let sqrtflags = sieve_rec(ctx, isqrt(n), grain, ward);
+        if ward {
+            ctx.ward_scope(&flags, |ctx| {
+                mark_composites(ctx, &flags, &sqrtflags, n, grain);
+            });
+        } else {
+            mark_composites(ctx, &flags, &sqrtflags, n, grain);
+        }
+    }
+    flags
+}
+
+fn build(name: &str, n: u64, grain: u64, ward: bool) -> TraceProgram {
+    trace_program(name, RtOptions::default(), move |ctx| {
+        let flags = sieve_rec(ctx, n, grain, ward);
+        // Validate against the sequential reference.
+        let reference = sieve_reference(n);
+        let mut count = 0u64;
+        for i in 0..=n {
+            let got = ctx.peek(&flags, i) != 0;
+            assert_eq!(got, reference[i as usize], "flag mismatch at {i}");
+            count += u64::from(got);
+        }
+        let expected = reference.iter().filter(|&&b| b).count() as u64;
+        assert_eq!(count, expected);
+    })
+}
+
+/// Build the `primes` benchmark with the Figure 4 semantics: each level's
+/// `flags` array is a declared WARD region for the duration of its marking
+/// loop (verified dynamically), exactly as the paper's example states —
+/// "Throughout execution, all instances of flags are WARD regions."
+pub fn primes(n: u64, grain: u64) -> TraceProgram {
+    build("primes", n, grain, true)
+}
+
+/// Ablation: the same sieve with only the automatic leaf-heap marking of
+/// §4.2 (no declared scope) — the racing composite-marking writes then run
+/// under plain MESI.
+pub fn primes_automark(n: u64, grain: u64) -> TraceProgram {
+    build("primes_automark", n, grain, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_counts() {
+        // π(100) = 25, π(1000) = 168.
+        assert_eq!(sieve_reference(100).iter().filter(|&&b| b).count(), 25);
+        assert_eq!(sieve_reference(1000).iter().filter(|&&b| b).count(), 168);
+    }
+
+    #[test]
+    fn isqrt_exact() {
+        for n in 0..200u64 {
+            let r = isqrt(n.max(1));
+            assert!(r * r <= n.max(1) && (r + 1) * (r + 1) > n.max(1), "n={n}");
+        }
+    }
+
+    #[test]
+    fn traced_sieve_validates() {
+        let p = primes(500, 4);
+        p.check_invariants().unwrap();
+        assert!(p.stats.tasks > 3);
+    }
+
+    #[test]
+    fn ward_scopes_cover_the_marking_writes() {
+        // Flags arrays must span whole pages for the inward-rounded scope
+        // region to be non-empty.
+        let auto = primes_automark(16_384, 4);
+        let ward = primes(16_384, 4);
+        ward.check_invariants().unwrap();
+        assert!(
+            ward.stats.accesses_in_ward > auto.stats.accesses_in_ward,
+            "declared scopes must cover the marking writes (auto {}, ward {})",
+            auto.stats.accesses_in_ward,
+            ward.stats.accesses_in_ward
+        );
+    }
+
+    #[test]
+    fn sub_page_ward_scope_is_checker_only() {
+        // A scope over a sub-page slice emits no hardware region but still
+        // validates (and its trace stays balanced).
+        let p = primes(300, 4);
+        p.check_invariants().unwrap();
+    }
+}

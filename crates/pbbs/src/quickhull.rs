@@ -1,0 +1,225 @@
+//! `quickhull` — 2-D convex hull by recursive farthest-point splitting.
+//!
+//! Each recursive call packs the points outside its two sub-edges into
+//! *scratch* leaf-heap arrays (recycled at task completion — the prompt-GC
+//! pattern of paper §4.1) and forks on them. Hull vertices are claimed in a
+//! shared output array with atomic cursor increments.
+
+use crate::util::unpack_point;
+use warden_rt::{trace_program, RtOptions, SimSlice, TaskCtx, TraceProgram};
+
+/// Twice the signed area of triangle `(a, b, c)`: positive when `c` is to
+/// the left of `a → b`.
+fn cross(a: u64, b: u64, c: u64) -> i64 {
+    let (ax, ay) = unpack_point(a);
+    let (bx, by) = unpack_point(b);
+    let (cx, cy) = unpack_point(c);
+    (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+}
+
+/// Sequential reference with tie-breaking identical to the traced version,
+/// returning the set of hull vertices it discovers.
+pub fn hull_reference(points: &[u64]) -> std::collections::BTreeSet<u64> {
+    fn rec(pts: &[u64], a: u64, b: u64, out: &mut std::collections::BTreeSet<u64>) {
+        let mut best: Option<u64> = None;
+        let mut best_d = 0i64;
+        for &p in pts {
+            let d = cross(a, b, p);
+            let better = d > best_d
+                || (d == best_d && d > 0 && best.is_none_or(|bp| p < bp));
+            if better {
+                best_d = d;
+                best = Some(p);
+            }
+        }
+        let Some(c) = best else { return };
+        out.insert(c);
+        let left: Vec<u64> = pts.iter().copied().filter(|&p| cross(a, c, p) > 0).collect();
+        let right: Vec<u64> = pts.iter().copied().filter(|&p| cross(c, b, p) > 0).collect();
+        rec(&left, a, c, out);
+        rec(&right, c, b, out);
+    }
+    let mut out = std::collections::BTreeSet::new();
+    if points.is_empty() {
+        return out;
+    }
+    let lo = *points.iter().min().expect("non-empty");
+    let hi = *points.iter().max().expect("non-empty");
+    out.insert(lo);
+    out.insert(hi);
+    let upper: Vec<u64> = points.iter().copied().filter(|&p| cross(lo, hi, p) > 0).collect();
+    let lower: Vec<u64> = points.iter().copied().filter(|&p| cross(hi, lo, p) > 0).collect();
+    rec(&upper, lo, hi, &mut out);
+    rec(&lower, hi, lo, &mut out);
+    out
+}
+
+/// Coordinate bits of quickhull inputs: keeps the reduce encoding of
+/// [`farthest`] within 64 bits.
+const COORD_BITS: u32 = 10;
+
+fn compress(p: u64) -> u64 {
+    let (x, y) = unpack_point(p);
+    ((x as u64) << COORD_BITS) | y as u64
+}
+
+fn decompress(q: u64) -> u64 {
+    let x = q >> COORD_BITS;
+    let y = q & ((1 << COORD_BITS) - 1);
+    (x << 32) | y
+}
+
+/// Farthest point from edge `(a, b)` among `pts` (ties: smallest packed
+/// value), or `None` if none is strictly outside.
+fn farthest(ctx: &mut TaskCtx<'_>, pts: &SimSlice<u64>, a: u64, b: u64) -> Option<u64> {
+    let n = pts.len();
+    let qmask = (1u64 << (2 * COORD_BITS)) - 1;
+    let enc = ctx.reduce(
+        0,
+        n,
+        256,
+        &|c, i| {
+            let p = c.read(pts, i);
+            c.work(8);
+            let d = cross(a, b, p);
+            if d > 0 {
+                // Encode (distance, !compressed-point): max() picks the
+                // farthest, ties resolve to the smallest point. Distances
+                // fit 2·2^(2·COORD_BITS) and the point 2·COORD_BITS bits.
+                ((d as u64) << (2 * COORD_BITS)) | (!compress(p) & qmask)
+            } else {
+                0
+            }
+        },
+        &|x, y| x.max(y),
+        0,
+    );
+    if enc == 0 {
+        None
+    } else {
+        Some(decompress(!enc & qmask))
+    }
+}
+
+/// Pack the elements of `pts` outside edge `(a, b)` into a fresh scratch
+/// array, in index order (sequential pass — PBBS uses a parallel pack; the
+/// sequential one keeps slot assignment trivially deterministic).
+fn pack_outside(ctx: &mut TaskCtx<'_>, pts: &SimSlice<u64>, a: u64, b: u64) -> (SimSlice<u64>, u64) {
+    let n = pts.len();
+    let out = ctx.alloc_scratch::<u64>(n.max(1));
+    let mut k = 0u64;
+    for i in 0..n {
+        let p = ctx.read(pts, i);
+        ctx.work(8);
+        if cross(a, b, p) > 0 {
+            ctx.write(&out, k, p);
+            k += 1;
+        }
+    }
+    (out, k)
+}
+
+/// The shared hull output: the vertex array and its atomic cursor.
+#[derive(Clone, Copy)]
+struct HullOut {
+    out: SimSlice<u64>,
+    cursor: SimSlice<u64>,
+}
+
+fn hull_rec(
+    ctx: &mut TaskCtx<'_>,
+    pts: SimSlice<u64>,
+    len: u64,
+    a: u64,
+    b: u64,
+    sink: HullOut,
+    grain: u64,
+) {
+    let pts = pts.view(0, len);
+    let Some(c) = farthest(ctx, &pts, a, b) else {
+        return;
+    };
+    let slot = ctx.fetch_add(&sink.cursor, 0, 1);
+    ctx.write(&sink.out, slot, c);
+    let (left, nl) = pack_outside(ctx, &pts, a, c);
+    let (right, nr) = pack_outside(ctx, &pts, c, b);
+    if nl + nr <= grain {
+        hull_rec(ctx, left, nl, a, c, sink, grain);
+        hull_rec(ctx, right, nr, c, b, sink, grain);
+    } else {
+        ctx.fork2_dyn(
+            &mut |x| hull_rec(x, left, nl, a, c, sink, grain),
+            &mut |x| hull_rec(x, right, nr, c, b, sink, grain),
+        );
+    }
+}
+
+/// Build the `quickhull` benchmark over `n` seeded random points.
+///
+/// # Panics
+///
+/// Panics (during tracing) if the traced hull differs from the sequential
+/// reference.
+pub fn quickhull(n: u64, grain: u64) -> TraceProgram {
+    // Small coordinates keep the reduce encoding of `farthest` in 64 bits.
+    let raw = crate::util::random_points(0x5148, n as usize, 1 << COORD_BITS);
+    let expected = hull_reference(&raw);
+    trace_program("quickhull", RtOptions::default(), move |ctx| {
+        let pts = ctx.preload(&raw);
+        let out = ctx.alloc::<u64>(n.max(4));
+        let cursor = ctx.alloc::<u64>(1);
+        ctx.write(&cursor, 0, 0);
+        let lo = *raw.iter().min().expect("non-empty input");
+        let hi = *raw.iter().max().expect("non-empty input");
+        let (upper, nu) = pack_outside(ctx, &pts, lo, hi);
+        let (lower, nl) = pack_outside(ctx, &pts, hi, lo);
+        let sink = HullOut { out, cursor };
+        ctx.fork2_dyn(
+            &mut |x| hull_rec(x, upper, nu, lo, hi, sink, grain),
+            &mut |x| hull_rec(x, lower, nl, hi, lo, sink, grain),
+        );
+        // Validate: the found vertices plus the two extremes must equal the
+        // reference set.
+        let found = ctx.peek(&cursor, 0);
+        let mut set = std::collections::BTreeSet::new();
+        set.insert(lo);
+        set.insert(hi);
+        for i in 0..found {
+            set.insert(ctx.peek(&out, i));
+        }
+        assert_eq!(set, expected, "hull vertex set mismatch");
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: u64, y: u64) -> u64 {
+        (x << 32) | y
+    }
+
+    #[test]
+    fn reference_square_hull() {
+        let pts = vec![pt(0, 0), pt(10, 0), pt(0, 10), pt(10, 10), pt(5, 5)];
+        let hull = hull_reference(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!(!hull.contains(&pt(5, 5)));
+    }
+
+    #[test]
+    fn cross_orientation() {
+        assert!(cross(pt(0, 0), pt(10, 0), pt(5, 5)) > 0);
+        assert!(cross(pt(0, 0), pt(10, 0), pt(5, 0)) == 0);
+        assert!(cross(pt(10, 0), pt(0, 0), pt(5, 5)) < 0);
+    }
+
+    #[test]
+    fn traced_quickhull_validates() {
+        let p = quickhull(512, 64);
+        p.check_invariants().unwrap();
+        assert!(p.stats.tasks > 4);
+        // Each recursion level packs into scratch pages.
+        assert!(p.stats.allocated_bytes > 512 * 8, "packs must allocate");
+    }
+}

@@ -1,0 +1,178 @@
+//! `ray` — ray casting against a triangle soup.
+//!
+//! Every ray (one per output pixel) tests all triangles with Möller–Trumbore
+//! intersection and records the nearest hit. The triangle data is shared
+//! read-only; the image is written by leaves; the per-ray work is floating
+//! point heavy. The paper's `ray` is the benchmark whose speedup comes with
+//! an IPC *drop* from synchronization effects (§7.2).
+
+use warden_rt::{trace_program, RtOptions, SimSlice, TaskCtx, TraceProgram};
+
+/// One triangle: three vertices of three `f64` coordinates.
+const FLOATS_PER_TRI: u64 = 9;
+
+/// Generate a deterministic triangle soup: `m` triangles hovering above the
+/// unit square at depths 1..2.
+pub fn make_triangles(m: usize) -> Vec<f64> {
+    let mut r = crate::util::rng(0x5241_5900);
+    let mut out = Vec::with_capacity(m * FLOATS_PER_TRI as usize);
+    for _ in 0..m {
+        use rand::Rng;
+        let cx: f64 = r.gen_range(0.0..1.0);
+        let cy: f64 = r.gen_range(0.0..1.0);
+        let cz: f64 = r.gen_range(1.0..2.0);
+        for _ in 0..3 {
+            out.push(cx + r.gen_range(-0.15..0.15));
+            out.push(cy + r.gen_range(-0.15..0.15));
+            out.push(cz + r.gen_range(-0.05..0.05));
+        }
+    }
+    out
+}
+
+/// Ray direction for pixel `(px, py)` on a `side × side` image: through the
+/// unit square at z = 1.
+fn ray_dir(px: u64, py: u64, side: u64) -> [f64; 3] {
+    let x = (px as f64 + 0.5) / side as f64;
+    let y = (py as f64 + 0.5) / side as f64;
+    [x, y, 1.0]
+}
+
+/// Möller–Trumbore: distance `t` along `dir` (from the origin) to the
+/// triangle, if hit.
+fn intersect(v: &[f64; 9], dir: &[f64; 3]) -> Option<f64> {
+    let e1 = [v[3] - v[0], v[4] - v[1], v[5] - v[2]];
+    let e2 = [v[6] - v[0], v[7] - v[1], v[8] - v[2]];
+    let p = [
+        dir[1] * e2[2] - dir[2] * e2[1],
+        dir[2] * e2[0] - dir[0] * e2[2],
+        dir[0] * e2[1] - dir[1] * e2[0],
+    ];
+    let det = e1[0] * p[0] + e1[1] * p[1] + e1[2] * p[2];
+    if det.abs() < 1e-12 {
+        return None;
+    }
+    let inv = 1.0 / det;
+    let tv = [-v[0], -v[1], -v[2]];
+    let u = (tv[0] * p[0] + tv[1] * p[1] + tv[2] * p[2]) * inv;
+    if !(0.0..=1.0).contains(&u) {
+        return None;
+    }
+    let q = [
+        tv[1] * e1[2] - tv[2] * e1[1],
+        tv[2] * e1[0] - tv[0] * e1[2],
+        tv[0] * e1[1] - tv[1] * e1[0],
+    ];
+    let w = (dir[0] * q[0] + dir[1] * q[1] + dir[2] * q[2]) * inv;
+    if w < 0.0 || u + w > 1.0 {
+        return None;
+    }
+    let t = (e2[0] * q[0] + e2[1] * q[1] + e2[2] * q[2]) * inv;
+    (t > 0.0).then_some(t)
+}
+
+/// Sequential reference: nearest triangle per pixel.
+pub fn render_reference(tris: &[f64], side: u64) -> Vec<u64> {
+    let m = tris.len() as u64 / FLOATS_PER_TRI;
+    let mut img = vec![u64::MAX; (side * side) as usize];
+    for py in 0..side {
+        for px in 0..side {
+            let dir = ray_dir(px, py, side);
+            let mut best = f64::INFINITY;
+            let mut hit = u64::MAX;
+            for t in 0..m {
+                let base = (t * FLOATS_PER_TRI) as usize;
+                let v: [f64; 9] = tris[base..base + 9].try_into().expect("9 floats");
+                if let Some(d) = intersect(&v, &dir) {
+                    if d < best {
+                        best = d;
+                        hit = t;
+                    }
+                }
+            }
+            img[(py * side + px) as usize] = hit;
+        }
+    }
+    img
+}
+
+fn trace_pixel(ctx: &mut TaskCtx<'_>, tris: &SimSlice<f64>, m: u64, px: u64, py: u64, side: u64) -> u64 {
+    let dir = ray_dir(px, py, side);
+    let mut best = f64::INFINITY;
+    let mut hit = u64::MAX;
+    for t in 0..m {
+        let base = t * FLOATS_PER_TRI;
+        let mut v = [0.0f64; 9];
+        for (k, slot) in v.iter_mut().enumerate() {
+            *slot = ctx.read(tris, base + k as u64);
+        }
+        ctx.work(40);
+        if let Some(d) = intersect(&v, &dir) {
+            if d < best {
+                best = d;
+                hit = t;
+            }
+        }
+    }
+    hit
+}
+
+/// Build the `ray` benchmark: a `side × side` image over `m` triangles.
+///
+/// # Panics
+///
+/// Panics (during tracing) if any pixel disagrees with the sequential
+/// reference (float operations are identical, so equality is exact).
+pub fn ray(side: u64, m: usize, grain: u64) -> TraceProgram {
+    let tris = make_triangles(m);
+    let expected = render_reference(&tris, side);
+    trace_program("ray", RtOptions::default(), move |ctx| {
+        let sim_tris = ctx.preload(&tris);
+        let img = ctx.alloc::<u64>(side * side);
+        ctx.parallel_for(0, side * side, grain, &|c, pix| {
+            let (px, py) = (pix % side, pix / side);
+            let hit = trace_pixel(c, &sim_tris, m as u64, px, py, side);
+            c.write(&img, pix, hit);
+        });
+        for pix in 0..side * side {
+            assert_eq!(
+                ctx.peek(&img, pix),
+                expected[pix as usize],
+                "pixel {pix} mismatch"
+            );
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_ray_hits_centered_triangle() {
+        // Triangle straddling (0.5, 0.5) at z=1.
+        let v = [0.3, 0.3, 1.0, 0.8, 0.4, 1.0, 0.4, 0.8, 1.0];
+        let dir = ray_dir(0, 0, 1); // through (0.5, 0.5, 1)
+        assert!(intersect(&v, &dir).is_some());
+    }
+
+    #[test]
+    fn miss_returns_none() {
+        let v = [10.0, 10.0, 1.0, 11.0, 10.0, 1.0, 10.0, 11.0, 1.0];
+        assert!(intersect(&v, &ray_dir(0, 0, 2)).is_none());
+    }
+
+    #[test]
+    fn reference_image_has_hits_and_misses() {
+        let tris = make_triangles(16);
+        let img = render_reference(&tris, 8);
+        assert!(img.iter().any(|&p| p != u64::MAX), "some pixel should hit");
+    }
+
+    #[test]
+    fn traced_ray_validates() {
+        let p = ray(8, 8, 8);
+        p.check_invariants().unwrap();
+        assert!(p.stats.tasks > 4);
+    }
+}

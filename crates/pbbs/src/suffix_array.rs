@@ -1,0 +1,118 @@
+//! `suffix-array` — suffix array construction by prefix doubling.
+//!
+//! Each round packs `(rank[i], rank[i+k])` pairs into keys, sorts them with
+//! the suite's parallel mergesort, and recomputes ranks. Sort-dominated,
+//! with heavy leaf-allocated buffer flow between rounds.
+
+use crate::msort::msort_rec;
+use warden_rt::{trace_program, RtOptions, TraceProgram};
+
+/// Bits reserved for one rank in a packed sort key (supports n < 2^22).
+const RANK_BITS: u32 = 22;
+/// Bits reserved for the suffix index.
+const IDX_BITS: u32 = 20;
+
+/// Sequential reference: sort suffix indices by suffix comparison.
+pub fn suffix_array_reference(text: &[u8]) -> Vec<u64> {
+    let mut sa: Vec<u64> = (0..text.len() as u64).collect();
+    sa.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+    sa
+}
+
+fn pack(r1: u64, r2: u64, idx: u64) -> u64 {
+    (r1 << (RANK_BITS as u64 + IDX_BITS as u64)) | (r2 << IDX_BITS) | idx
+}
+
+fn unpack_idx(key: u64) -> u64 {
+    key & ((1 << IDX_BITS) - 1)
+}
+
+fn pair_of(key: u64) -> u64 {
+    key >> IDX_BITS
+}
+
+/// Build the `suffix_array` benchmark over `n` bytes of seeded random text.
+///
+/// # Panics
+///
+/// Panics if `n` exceeds the packing capacity, or (during tracing) if the
+/// result disagrees with the sequential reference.
+pub fn suffix_array(n: u64, grain: u64) -> TraceProgram {
+    assert!(n < (1 << IDX_BITS), "n exceeds index packing");
+    let text = crate::util::random_text(0x5355_4646, n as usize);
+    let expected = suffix_array_reference(&text);
+    trace_program("suffix_array", RtOptions::default(), move |ctx| {
+        let sim_text = ctx.preload(&text);
+        // Initial ranks are the bytes themselves.
+        let mut rank = ctx.tabulate::<u64>(n, grain, &|c, i| c.read(&sim_text, i) as u64);
+        let mut k = 1u64;
+        let mut sorted_keys: Option<warden_rt::SimSlice<u64>>;
+        loop {
+            // Pack (rank[i], rank[i+k], i) keys and sort them.
+            let keys = ctx.tabulate::<u64>(n, grain, &|c, i| {
+                let r1 = c.read(&rank, i);
+                let r2 = if i + k < n { c.read(&rank, i + k) + 1 } else { 0 };
+                c.work(4);
+                pack(r1, r2, i)
+            });
+            let sorted = msort_rec(ctx, keys, grain.max(32));
+            // Re-rank with a parallel diff + prefix scan (PBBS-style):
+            // flags[j] = 1 iff sorted[j]'s pair differs from its
+            // predecessor; the inclusive prefix sum of flags is the rank.
+            let flags = ctx.tabulate::<u64>(n, grain, &|c, j| {
+                if j == 0 {
+                    return 0;
+                }
+                let cur = pair_of(c.read(&sorted, j));
+                let prev = pair_of(c.read(&sorted, j - 1));
+                c.work(3);
+                u64::from(cur != prev)
+            });
+            let diff = ctx.tabulate::<u64>(n, grain, &|c, j| c.read(&flags, j));
+            let max_rank = ctx.scan_exclusive(&diff, grain.max(16));
+            let new_rank = ctx.alloc::<u64>(n);
+            ctx.parallel_for(0, n, grain, &|c, j| {
+                let key = c.read(&sorted, j);
+                let r = c.read(&diff, j) + c.read(&flags, j);
+                c.write(&new_rank, unpack_idx(key), r);
+            });
+            rank = new_rank;
+            sorted_keys = Some(sorted);
+            k *= 2;
+            if max_rank == n - 1 || k >= n {
+                break;
+            }
+        }
+        // The suffix array is the index column of the final sorted keys.
+        let sorted = sorted_keys.expect("at least one round");
+        for j in 0..n {
+            let idx = unpack_idx(ctx.peek(&sorted, j));
+            assert_eq!(idx, expected[j as usize], "suffix array mismatch at {j}");
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_on_banana() {
+        let sa = suffix_array_reference(b"banana");
+        assert_eq!(sa, vec![5, 3, 1, 0, 4, 2]);
+    }
+
+    #[test]
+    fn packing_round_trips() {
+        let key = pack(5, 9, 123);
+        assert_eq!(unpack_idx(key), 123);
+        assert_eq!(pair_of(key), (5 << IDX_BITS >> IDX_BITS << RANK_BITS) | 9);
+    }
+
+    #[test]
+    fn traced_suffix_array_validates() {
+        let p = suffix_array(256, 32);
+        p.check_invariants().unwrap();
+        assert!(p.stats.tasks > 8);
+    }
+}

@@ -1,0 +1,84 @@
+//! `tokens` — text tokenization.
+//!
+//! Marks token-start positions (a non-delimiter preceded by a delimiter or
+//! the text start) into a flags array and counts tokens. Two traced reads
+//! and up to one write per character, with chunk boundaries forcing a little
+//! cross-task read overlap.
+
+use warden_rt::{trace_program, RtOptions, TraceProgram};
+
+fn is_delim(b: u8) -> bool {
+    b == b' ' || b == b'\n' || b == b'\t'
+}
+
+/// Sequential reference: number of maximal non-delimiter runs.
+pub fn count_reference(text: &[u8]) -> u64 {
+    let mut count = 0u64;
+    let mut in_tok = false;
+    for &b in text {
+        let d = is_delim(b);
+        if !d && !in_tok {
+            count += 1;
+        }
+        in_tok = !d;
+    }
+    count
+}
+
+/// Build the `tokens` benchmark over `n` bytes of seeded random text.
+///
+/// # Panics
+///
+/// Panics (during tracing) if the parallel token count disagrees with the
+/// sequential reference.
+pub fn tokens(n: u64, grain: u64) -> TraceProgram {
+    let text = crate::util::random_text(0x544F_4B45, n as usize);
+    let expected = count_reference(&text);
+    trace_program("tokens", RtOptions::default(), move |ctx| {
+        let sim_text = ctx.preload(&text);
+        // starts[i] = 1 iff a token starts at i.
+        let starts = ctx.alloc::<u8>(n);
+        ctx.parallel_for(0, n, grain, &|c, i| {
+            let b = c.read(&sim_text, i);
+            c.work(2);
+            let start = if is_delim(b) {
+                false
+            } else if i == 0 {
+                true
+            } else {
+                is_delim(c.read(&sim_text, i - 1))
+            };
+            c.write(&starts, i, u8::from(start));
+        });
+        let total = ctx.reduce(
+            0,
+            n,
+            grain,
+            &|c, i| c.read(&starts, i) as u64,
+            &|a, b| a + b,
+            0,
+        );
+        assert_eq!(total, expected, "token count mismatch");
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_counts() {
+        assert_eq!(count_reference(b"a bb  ccc"), 3);
+        assert_eq!(count_reference(b"   "), 0);
+        assert_eq!(count_reference(b"x"), 1);
+        assert_eq!(count_reference(b""), 0);
+        assert_eq!(count_reference(b"a\nb\tc"), 3);
+    }
+
+    #[test]
+    fn traced_tokens_validates() {
+        let p = tokens(4096, 256);
+        p.check_invariants().unwrap();
+        assert!(p.stats.tasks > 8);
+    }
+}

@@ -1,0 +1,98 @@
+//! Seeded input generators shared by the benchmark suite.
+//!
+//! All generators are deterministic given a seed, so every trace — and
+//! therefore every simulation — is exactly reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG for a benchmark-specific stream.
+pub fn rng(tag: u64) -> SmallRng {
+    SmallRng::seed_from_u64(0x0C60_2023_u64 ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// `n` uniform random `u64`s.
+pub fn random_u64s(tag: u64, n: usize) -> Vec<u64> {
+    let mut r = rng(tag);
+    (0..n).map(|_| r.gen()).collect()
+}
+
+/// `n` random `u64`s drawn from `0..universe` (for duplicate-heavy inputs).
+pub fn random_u64s_in(tag: u64, n: usize, universe: u64) -> Vec<u64> {
+    let mut r = rng(tag);
+    (0..n).map(|_| r.gen_range(0..universe)).collect()
+}
+
+/// Random text over lowercase letters and spaces, word lengths 1–10.
+pub fn random_text(tag: u64, n: usize) -> Vec<u8> {
+    let mut r = rng(tag);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let word_len = r.gen_range(1..=10usize);
+        for _ in 0..word_len.min(n - out.len()) {
+            out.push(b'a' + r.gen_range(0..26u8));
+        }
+        if out.len() < n {
+            out.push(if r.gen_range(0..14u8) == 0 { b'\n' } else { b' ' });
+        }
+    }
+    out
+}
+
+/// Random text over a tiny alphabet (palindrome-rich).
+pub fn random_binary_text(tag: u64, n: usize) -> Vec<u8> {
+    let mut r = rng(tag);
+    (0..n).map(|_| if r.gen::<bool>() { b'a' } else { b'b' }).collect()
+}
+
+/// `n` random 2-D points with coordinates in `0..extent`, packed
+/// `(x << 32) | y`.
+pub fn random_points(tag: u64, n: usize, extent: u32) -> Vec<u64> {
+    let mut r = rng(tag);
+    (0..n)
+        .map(|_| {
+            let x = r.gen_range(0..extent) as u64;
+            let y = r.gen_range(0..extent) as u64;
+            (x << 32) | y
+        })
+        .collect()
+}
+
+/// Unpack a point packed by [`random_points`].
+pub fn unpack_point(p: u64) -> (i64, i64) {
+    ((p >> 32) as i64, (p & 0xFFFF_FFFF) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_u64s(1, 10), random_u64s(1, 10));
+        assert_ne!(random_u64s(1, 10), random_u64s(2, 10));
+        assert_eq!(random_text(3, 100), random_text(3, 100));
+    }
+
+    #[test]
+    fn bounded_values_respect_universe() {
+        for v in random_u64s_in(4, 1000, 37) {
+            assert!(v < 37);
+        }
+    }
+
+    #[test]
+    fn text_is_requested_length() {
+        assert_eq!(random_text(5, 1234).len(), 1234);
+        assert_eq!(random_binary_text(6, 99).len(), 99);
+    }
+
+    #[test]
+    fn points_round_trip() {
+        for p in random_points(7, 100, 1 << 20) {
+            let (x, y) = unpack_point(p);
+            assert!(x >= 0 && y >= 0 && x < (1 << 20) && y < (1 << 20));
+            assert_eq!(((x as u64) << 32) | y as u64, p);
+        }
+    }
+}

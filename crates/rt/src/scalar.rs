@@ -1,0 +1,226 @@
+//! Typed views over simulated memory.
+
+use std::marker::PhantomData;
+use warden_mem::Addr;
+
+/// A scalar type that can live in simulated memory.
+///
+/// All implementations have power-of-two sizes ≤ 8 bytes, so an aligned
+/// element never crosses a cache-block boundary.
+///
+/// This trait is sealed: the access paths assume the size/alignment
+/// guarantees above.
+pub trait Scalar: Copy + private::Sealed {
+    /// Size in bytes (1, 2, 4 or 8).
+    const SIZE: u64;
+    /// Encode into the low `SIZE` bytes (little-endian).
+    fn to_bits(self) -> u64;
+    /// Decode from the low `SIZE` bytes (little-endian).
+    fn from_bits(bits: u64) -> Self;
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for u8 {}
+    impl Sealed for u16 {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+    impl Sealed for i64 {}
+    impl Sealed for f64 {}
+}
+
+impl Scalar for u8 {
+    const SIZE: u64 = 1;
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    fn from_bits(bits: u64) -> u8 {
+        bits as u8
+    }
+}
+
+impl Scalar for u16 {
+    const SIZE: u64 = 2;
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    fn from_bits(bits: u64) -> u16 {
+        bits as u16
+    }
+}
+
+impl Scalar for u32 {
+    const SIZE: u64 = 4;
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    fn from_bits(bits: u64) -> u32 {
+        bits as u32
+    }
+}
+
+impl Scalar for u64 {
+    const SIZE: u64 = 8;
+    fn to_bits(self) -> u64 {
+        self
+    }
+    fn from_bits(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Scalar for i64 {
+    const SIZE: u64 = 8;
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    fn from_bits(bits: u64) -> i64 {
+        bits as i64
+    }
+}
+
+impl Scalar for f64 {
+    const SIZE: u64 = 8;
+    fn to_bits(self) -> u64 {
+        self.to_bits()
+    }
+    fn from_bits(bits: u64) -> f64 {
+        f64::from_bits(bits)
+    }
+}
+
+/// A typed slice of simulated memory: a base address plus a length.
+///
+/// `SimSlice` is a *handle* (Copy); all element access goes through
+/// [`TaskCtx`](crate::TaskCtx) so that every read and write is traced,
+/// disentanglement-checked, and charged to the accessing task.
+///
+/// # Example
+///
+/// ```
+/// use warden_rt::{trace_program, RtOptions};
+///
+/// let program = trace_program("example", RtOptions::default(), |ctx| {
+///     let xs = ctx.alloc::<u64>(4);
+///     ctx.write(&xs, 0, 41);
+///     let v = ctx.read(&xs, 0) + 1;
+///     ctx.write(&xs, 1, v);
+///     assert_eq!(ctx.read(&xs, 1), 42);
+/// });
+/// assert!(program.check_invariants().is_ok());
+/// ```
+#[derive(Debug)]
+pub struct SimSlice<T> {
+    base: Addr,
+    len: u64,
+    _marker: PhantomData<fn() -> T>,
+}
+
+// Manual impls: `SimSlice<T>` is a handle and is Copy regardless of `T`.
+impl<T> Clone for SimSlice<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SimSlice<T> {}
+
+impl<T: Scalar> SimSlice<T> {
+    /// Construct from a raw base address (runtime-internal).
+    pub(crate) fn from_raw(base: Addr, len: u64) -> SimSlice<T> {
+        SimSlice {
+            base,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the slice has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base address of the slice.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn addr_of(&self, i: u64) -> Addr {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        self.base + i * T::SIZE
+    }
+
+    /// A sub-slice view over `[from, to)` (no allocation, same memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > to` or `to > len()`.
+    pub fn view(&self, from: u64, to: u64) -> SimSlice<T> {
+        assert!(from <= to && to <= self.len, "bad view {from}..{to}");
+        SimSlice {
+            base: self.base + from * T::SIZE,
+            len: to - from,
+            _marker: PhantomData,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(u8::from_bits(0xABu8.to_bits()), 0xAB);
+        assert_eq!(u64::from_bits(u64::MAX.to_bits()), u64::MAX);
+        assert_eq!(i64::from_bits((-5i64).to_bits()), -5);
+        let f = -1234.5e-3;
+        assert_eq!(f64::from_bits(Scalar::to_bits(f)), f);
+    }
+
+    #[test]
+    fn addr_of_scales_by_size() {
+        let s: SimSlice<u32> = SimSlice::from_raw(Addr(0x1000), 10);
+        assert_eq!(s.addr_of(3), Addr(0x100c));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn addr_of_checks_bounds() {
+        let s: SimSlice<u8> = SimSlice::from_raw(Addr(0), 2);
+        s.addr_of(2);
+    }
+
+    #[test]
+    fn view_offsets_base() {
+        let s: SimSlice<u64> = SimSlice::from_raw(Addr(0x100), 8);
+        let v = s.view(2, 6);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.addr_of(0), Addr(0x110));
+        let vv = v.view(1, 2);
+        assert_eq!(vv.addr_of(0), Addr(0x118));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad view")]
+    fn view_checks_range() {
+        let s: SimSlice<u8> = SimSlice::from_raw(Addr(0), 4);
+        s.view(3, 2);
+    }
+
+    #[test]
+    fn handles_are_copy() {
+        let s: SimSlice<u64> = SimSlice::from_raw(Addr(8), 1);
+        let t = s;
+        assert_eq!(t.base(), s.base());
+    }
+}

@@ -1,0 +1,374 @@
+//! The fork-join trace captured by the runtime.
+//!
+//! Phase 1 of the simulation (this crate) executes the program logically and
+//! records, per task, a linear stream of [`Event`]s. Phase 2 (`warden-sim`)
+//! replays the resulting DAG on a simulated multicore under a chosen
+//! coherence protocol.
+
+use std::fmt;
+use warden_mem::{Addr, Memory};
+
+/// Identifies one task (one node of the spawn tree). Task ids are dense and
+/// allocated in spawn order; the root is task 0.
+pub type TaskId = usize;
+
+/// Correlates a `RegionAdd` with its `RegionRemove` across tasks.
+pub type RegionToken = u32;
+
+/// The operation an [`Event::Rmw`] performs.
+///
+/// `Swap` stores a value recorded during the logical execution — correct
+/// whenever the stored value does not depend on interleaving (per-slot CAS
+/// claims, idempotent inserts). `Add` applies a delta to whatever value the
+/// replayed machine holds, so shared counters (fetch-and-add cursors) end at
+/// the right total under *any* schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RmwOp {
+    /// Store the recorded value.
+    Swap,
+    /// Add the recorded delta (wrapping) to the coherent value.
+    Add,
+}
+
+/// One event in a task's trace.
+///
+/// Memory events carry real value bytes so the coherence replay can
+/// reconstruct — and the tests can verify — the final memory image under
+/// either protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// Load `size` bytes at `addr` (never crosses a cache block).
+    Load {
+        /// Byte address.
+        addr: Addr,
+        /// Access size in bytes (1..=8).
+        size: u8,
+    },
+    /// Store `size` bytes of `val` (little-endian) at `addr`.
+    Store {
+        /// Byte address.
+        addr: Addr,
+        /// Access size in bytes (1..=8).
+        size: u8,
+        /// Value bytes, little-endian in the low `size` bytes.
+        val: u64,
+    },
+    /// Atomic read-modify-write.
+    Rmw {
+        /// Byte address.
+        addr: Addr,
+        /// Access size in bytes (1..=8).
+        size: u8,
+        /// Operand: the stored value for [`RmwOp::Swap`], the delta for
+        /// [`RmwOp::Add`].
+        val: u64,
+        /// What the atomic does to the coherent value at replay time.
+        op: RmwOp,
+    },
+    /// `amount` non-memory instructions of pure compute.
+    Compute {
+        /// Instruction count.
+        amount: u64,
+    },
+    /// Spawn children; the task suspends here and resumes at the next event
+    /// once all children have completed (fork-join).
+    Fork {
+        /// Spawned child task ids, in deque-push order.
+        children: Vec<TaskId>,
+    },
+    /// Execute an Add-Region instruction for `[start, end)` (paper §6.1).
+    RegionAdd {
+        /// First byte (page-aligned).
+        start: Addr,
+        /// One past the last byte (page-aligned).
+        end: Addr,
+        /// Token matched by the corresponding `RegionRemove`.
+        token: RegionToken,
+    },
+    /// Execute a Remove-Region instruction, triggering reconciliation.
+    RegionRemove {
+        /// Token from the matching `RegionAdd`.
+        token: RegionToken,
+    },
+}
+
+impl Event {
+    /// Instructions this event retires on the core (region instructions are
+    /// the two new instructions of paper §6.1).
+    pub fn instructions(&self) -> u64 {
+        match self {
+            Event::Compute { amount } => *amount,
+            Event::Fork { .. } => 0,
+            _ => 1,
+        }
+    }
+
+    /// Whether this is a demand memory access.
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Event::Load { .. } | Event::Store { .. } | Event::Rmw { .. }
+        )
+    }
+}
+
+/// The recorded trace of one task.
+#[derive(Clone, Debug, Default)]
+pub struct TaskTrace {
+    /// The task that forked this one (`None` for the root).
+    pub parent: Option<TaskId>,
+    /// Spawn-tree depth (root = 0).
+    pub depth: u32,
+    /// The task's events in program order.
+    pub events: Vec<Event>,
+}
+
+/// Counters describing the logical execution (phase 1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RtStats {
+    /// Tasks spawned (including the root).
+    pub tasks: u64,
+    /// Fork points executed.
+    pub forks: u64,
+    /// Bytes allocated across all heaps.
+    pub allocated_bytes: u64,
+    /// Fresh pages drawn from the virtual-address bump allocator.
+    pub pages_fresh: u64,
+    /// Pages served from the recycled-page pool (models MPL's GC promptly
+    /// reclaiming short-lived data).
+    pub pages_recycled: u64,
+    /// WARD regions marked.
+    pub regions_marked: u64,
+    /// Maximum spawn-tree depth reached.
+    pub max_depth: u32,
+    /// Total events recorded.
+    pub events: u64,
+    /// Total instructions implied by the trace.
+    pub instructions: u64,
+    /// Demand memory accesses in the trace.
+    pub memory_accesses: u64,
+    /// Memory accesses that target WARD-marked pages at the time of access
+    /// (the paper's "90%+ of accesses occur in a WARD region" metric).
+    pub accesses_in_ward: u64,
+}
+
+/// A fully captured program: the spawn-tree of traces plus the logical final
+/// memory image and bookkeeping.
+pub struct TraceProgram {
+    /// Program name (benchmark id).
+    pub name: String,
+    /// Per-task traces; index = [`TaskId`], root = 0.
+    pub tasks: Vec<TaskTrace>,
+    /// The final memory image of the logical (phase-1) execution. The
+    /// coherence replays must converge to this same image.
+    pub memory: Memory,
+    /// Logical-execution counters.
+    pub stats: RtStats,
+    /// Extent of the allocated address space, `[lo, hi)` — useful for
+    /// comparing memory images over exactly the touched range.
+    pub address_range: (Addr, Addr),
+    /// Memory contents when the traced (timed) region begins: preloaded
+    /// inputs live here, as if read from disk before the benchmark kernel.
+    /// Replays start from this image.
+    pub initial_memory: Memory,
+}
+
+impl TraceProgram {
+    /// Total events across all tasks.
+    pub fn total_events(&self) -> u64 {
+        self.stats.events
+    }
+
+    /// Verify structural invariants of the trace (used by tests):
+    /// every forked child exists, has the right parent, and every
+    /// `RegionAdd` has exactly one matching `RegionRemove` somewhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        let mut region_state: HashMap<RegionToken, i32> = HashMap::new();
+        let mut seen_children = vec![false; self.tasks.len()];
+        seen_children[0] = true; // root is never forked
+        for (tid, task) in self.tasks.iter().enumerate() {
+            for ev in &task.events {
+                match ev {
+                    Event::Fork { children } => {
+                        if children.is_empty() {
+                            return Err(format!("task {tid}: empty fork"));
+                        }
+                        for &c in children {
+                            let t = self
+                                .tasks
+                                .get(c)
+                                .ok_or_else(|| format!("task {tid} forks unknown child {c}"))?;
+                            if t.parent != Some(tid) {
+                                return Err(format!(
+                                    "child {c} has parent {:?}, expected {tid}",
+                                    t.parent
+                                ));
+                            }
+                            if seen_children[c] {
+                                return Err(format!("child {c} forked twice"));
+                            }
+                            seen_children[c] = true;
+                        }
+                    }
+                    Event::RegionAdd { token, start, end } => {
+                        if start.page_offset() != 0 || end.page_offset() != 0 || start >= end {
+                            return Err(format!("task {tid}: bad region bounds"));
+                        }
+                        *region_state.entry(*token).or_insert(0) += 1;
+                    }
+                    Event::RegionRemove { token } => {
+                        *region_state.entry(*token).or_insert(0) -= 1;
+                    }
+                    Event::Load { addr, size } | Event::Store { addr, size, .. } | Event::Rmw { addr, size, .. } => {
+                        if *size == 0 || *size > 8 {
+                            return Err(format!("task {tid}: access size {size}"));
+                        }
+                        if addr.block_offset() + *size as u64 > warden_mem::BLOCK_SIZE {
+                            return Err(format!("task {tid}: access crosses block at {addr}"));
+                        }
+                    }
+                    Event::Compute { .. } => {}
+                }
+            }
+        }
+        if let Some(c) = seen_children.iter().position(|s| !s) {
+            return Err(format!("task {c} is never forked"));
+        }
+        for (token, n) in region_state {
+            if n != 0 {
+                return Err(format!("region token {token} adds-removes imbalance {n}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for TraceProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TraceProgram({}, {} tasks, {} events)",
+            self.name,
+            self.tasks.len(),
+            self.stats.events
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_instruction_counts() {
+        assert_eq!(Event::Compute { amount: 7 }.instructions(), 7);
+        assert_eq!(
+            Event::Load {
+                addr: Addr(0),
+                size: 8
+            }
+            .instructions(),
+            1
+        );
+        assert_eq!(Event::Fork { children: vec![1] }.instructions(), 0);
+        assert_eq!(Event::RegionRemove { token: 0 }.instructions(), 1);
+    }
+
+    #[test]
+    fn is_memory_classification() {
+        assert!(Event::Load {
+            addr: Addr(0),
+            size: 1
+        }
+        .is_memory());
+        assert!(!Event::Compute { amount: 1 }.is_memory());
+        assert!(!Event::RegionAdd {
+            start: Addr(0),
+            end: Addr(4096),
+            token: 0
+        }
+        .is_memory());
+    }
+
+    fn mini_program(events_root: Vec<Event>, child: Option<TaskTrace>) -> TraceProgram {
+        let mut tasks = vec![TaskTrace {
+            parent: None,
+            depth: 0,
+            events: events_root,
+        }];
+        if let Some(c) = child {
+            tasks.push(c);
+        }
+        TraceProgram {
+            name: "mini".into(),
+            tasks,
+            memory: Memory::new(),
+            stats: RtStats::default(),
+            address_range: (Addr(0), Addr(0)),
+            initial_memory: Memory::new(),
+        }
+    }
+
+    #[test]
+    fn invariants_accept_well_formed() {
+        let p = mini_program(
+            vec![Event::Fork { children: vec![1] }],
+            Some(TaskTrace {
+                parent: Some(0),
+                depth: 1,
+                events: vec![Event::Compute { amount: 1 }],
+            }),
+        );
+        assert!(p.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn invariants_reject_unforked_task() {
+        let p = mini_program(
+            vec![],
+            Some(TaskTrace {
+                parent: Some(0),
+                depth: 1,
+                events: vec![],
+            }),
+        );
+        assert!(p.check_invariants().is_err());
+    }
+
+    #[test]
+    fn invariants_reject_unbalanced_region() {
+        let p = mini_program(
+            vec![Event::RegionAdd {
+                start: Addr(0),
+                end: Addr(4096),
+                token: 3,
+            }],
+            None,
+        );
+        assert!(p.check_invariants().unwrap_err().contains("imbalance"));
+    }
+
+    #[test]
+    fn invariants_reject_block_crossing_access() {
+        let p = mini_program(
+            vec![Event::Load {
+                addr: Addr(60),
+                size: 8,
+            }],
+            None,
+        );
+        assert!(p.check_invariants().unwrap_err().contains("crosses"));
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn block_addr_type_is_reexported_in_events_module() {
+        // Compile-time sanity that BlockAddr stays accessible for consumers.
+        let _b = Addr(128).block();
+    }
+}

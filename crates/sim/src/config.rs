@@ -1,0 +1,139 @@
+//! Machine configurations for the evaluated systems (paper Table 2 and §7.3).
+
+use warden_coherence::{CacheConfig, LatencyModel, Topology};
+
+/// Full description of one simulated machine.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Human-readable name used in reports.
+    pub name: String,
+    /// Socket/core layout.
+    pub topo: Topology,
+    /// Latency model.
+    pub lat: LatencyModel,
+    /// Cache geometries and region-store capacity.
+    pub cache: CacheConfig,
+    /// Average cycles-per-instruction for non-memory work, expressed as a
+    /// rational `cpi_num / cpi_den` (the default ½ models a superscalar
+    /// core retiring two ALU ops per cycle).
+    pub cpi_num: u64,
+    /// See [`Self::cpi_num`].
+    pub cpi_den: u64,
+    /// Store-buffer entries per core (Skylake-class: 56). Store latency is
+    /// hidden until the buffer fills (the mechanism behind the paper's
+    /// Figure 10 discussion of loads vs. stores).
+    pub store_buffer: usize,
+    /// Outstanding store *misses* per core (write MSHRs): stores that miss
+    /// the private hierarchy drain at most this many at a time, so a burst
+    /// of invalidation-heavy stores eventually back-pressures the core.
+    pub store_mshrs: usize,
+    /// Cycles charged to a thief per steal attempt (deque CAS + bookkeeping).
+    pub steal_cost: u64,
+    /// Cycles an idle core waits before re-probing for work.
+    pub idle_tick: u64,
+    /// RNG seed for steal-victim selection (runs are deterministic given a
+    /// seed).
+    pub seed: u64,
+}
+
+impl MachineConfig {
+    fn base(name: &str, sockets: usize, lat: LatencyModel) -> MachineConfig {
+        let cores_per_socket = 12;
+        MachineConfig {
+            name: name.to_owned(),
+            topo: Topology::new(sockets, cores_per_socket),
+            lat,
+            cache: CacheConfig::paper(cores_per_socket),
+            cpi_num: 1,
+            cpi_den: 2,
+            store_buffer: 56,
+            store_mshrs: 10,
+            steal_cost: 120,
+            idle_tick: 60,
+            seed: 0xC60_2023,
+        }
+    }
+
+    /// The paper's single-socket machine: 12 cores, Table 2 caches.
+    pub fn single_socket() -> MachineConfig {
+        MachineConfig::base("single-socket", 1, LatencyModel::xeon_gold_6126())
+    }
+
+    /// The paper's dual-socket machine: 2 × 12 cores.
+    pub fn dual_socket() -> MachineConfig {
+        MachineConfig::base("dual-socket", 2, LatencyModel::xeon_gold_6126())
+    }
+
+    /// The §7.3 disaggregated machine: two nodes with a 1 µs (3300-cycle)
+    /// remote access time.
+    pub fn disaggregated() -> MachineConfig {
+        MachineConfig::base("disaggregated", 2, LatencyModel::disaggregated())
+    }
+
+    /// A hypothetical many-socket machine (§7.3's "many sockets" future).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sockets * 12 > 64` (sharer-bitmask width).
+    pub fn many_socket(sockets: usize) -> MachineConfig {
+        MachineConfig::base(&format!("{sockets}-socket"), sockets, LatencyModel::xeon_gold_6126())
+    }
+
+    /// Override the core count per socket (smaller machines simulate faster;
+    /// useful for tests and examples).
+    pub fn with_cores(mut self, cores_per_socket: usize) -> MachineConfig {
+        self.topo = Topology::new(self.topo.num_sockets(), cores_per_socket);
+        self.cache = CacheConfig {
+            llc_slice: warden_mem::CacheGeometry::new(
+                2_621_440 * cores_per_socket as u64,
+                20,
+            ),
+            ..self.cache
+        };
+        self
+    }
+
+    /// Override the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> MachineConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Total core count.
+    pub fn num_cores(&self) -> usize {
+        self.topo.num_cores()
+    }
+
+    /// Cycles for `n` instructions of pure compute.
+    pub fn compute_cycles(&self, n: u64) -> u64 {
+        (n * self.cpi_num).div_ceil(self.cpi_den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs() {
+        assert_eq!(MachineConfig::single_socket().num_cores(), 12);
+        assert_eq!(MachineConfig::dual_socket().num_cores(), 24);
+        assert_eq!(MachineConfig::disaggregated().lat.intersocket, 3300);
+        assert_eq!(MachineConfig::many_socket(4).num_cores(), 48);
+    }
+
+    #[test]
+    fn compute_cycles_rounds_up() {
+        let m = MachineConfig::single_socket();
+        assert_eq!(m.compute_cycles(4), 2);
+        assert_eq!(m.compute_cycles(5), 3);
+        assert_eq!(m.compute_cycles(0), 0);
+    }
+
+    #[test]
+    fn with_cores_scales_llc() {
+        let m = MachineConfig::single_socket().with_cores(4);
+        assert_eq!(m.num_cores(), 4);
+        assert_eq!(m.cache.llc_slice.size_bytes(), 4 * 2_621_440);
+    }
+}

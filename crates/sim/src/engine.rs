@@ -1,0 +1,636 @@
+//! The timing replay engine: schedules a captured fork-join DAG onto
+//! simulated cores with work stealing, drives every memory event through the
+//! coherence system, and measures cycles, traffic and energy.
+//!
+//! The engine is *access-atomic and clock-ordered*: at every step the core
+//! with the smallest local clock executes its next event, so cross-core
+//! interactions (steals, invalidations, reconciliations) happen in a
+//! deterministic global order given the seed.
+
+use crate::config::MachineConfig;
+use crate::energy::{energy_of, EnergyBreakdown, EnergyParams};
+use crate::stats::SimStats;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use warden_coherence::{CoherenceSystem, Protocol, RegionId};
+use warden_mem::Memory;
+use warden_rt::{Event, TaskId, TraceProgram};
+
+/// The result of one replay.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// Protocol the machine ran.
+    pub protocol: Protocol,
+    /// Machine name (from [`MachineConfig`]).
+    pub machine: String,
+    /// All measurements.
+    pub stats: SimStats,
+    /// Energy computed from the measurements.
+    pub energy: EnergyBreakdown,
+    /// Digest of the final memory image after flushing all caches
+    /// (equal digests across protocols ⇒ same final memory).
+    pub memory_image_digest: u64,
+    /// The final memory image itself (for exact comparisons in tests).
+    pub final_memory: Memory,
+    /// Peak simultaneous WARD regions observed by the directory.
+    pub region_peak: usize,
+}
+
+struct Core {
+    clock: u64,
+    deque: VecDeque<TaskId>,
+    current: Option<TaskId>,
+    /// Outstanding store completion times.
+    store_buffer: BinaryHeap<Reverse<u64>>,
+}
+
+struct TaskRun {
+    next_event: usize,
+    pending_children: u32,
+}
+
+/// Replay `program` on `machine` under `protocol`.
+///
+/// The replay is deterministic: the same inputs produce identical statistics
+/// and memory images.
+///
+/// # Panics
+///
+/// Panics if the trace is malformed (see
+/// [`TraceProgram::check_invariants`]).
+pub fn simulate(program: &TraceProgram, machine: &MachineConfig, protocol: Protocol) -> SimOutcome {
+    simulate_with_energy(program, machine, protocol, &EnergyParams::default())
+}
+
+/// [`simulate`] with explicit energy parameters.
+pub fn simulate_with_energy(
+    program: &TraceProgram,
+    machine: &MachineConfig,
+    protocol: Protocol,
+    energy_params: &EnergyParams,
+) -> SimOutcome {
+    let mut coh = CoherenceSystem::new(machine.topo, machine.lat, machine.cache, protocol);
+    coh.set_memory(program.initial_memory.clone());
+    let mut rng = SmallRng::seed_from_u64(machine.seed);
+
+    let ncores = machine.num_cores();
+    let mut cores: Vec<Core> = (0..ncores)
+        .map(|_| Core {
+            clock: 0,
+            deque: VecDeque::new(),
+            current: None,
+            store_buffer: BinaryHeap::new(),
+        })
+        .collect();
+    let mut tasks: Vec<TaskRun> = program
+        .tasks
+        .iter()
+        .map(|_| TaskRun {
+            next_event: 0,
+            pending_children: 0,
+        })
+        .collect();
+    let mut regions: HashMap<u32, RegionId> = HashMap::new();
+    let mut stats = SimStats {
+        tasks: program.tasks.len() as u64,
+        ..SimStats::default()
+    };
+
+    cores[0].current = Some(0); // root starts on core 0
+    let mut completed = 0usize;
+    let total = program.tasks.len();
+    let mut makespan = 0u64;
+
+    while completed < total {
+        // Pick the core with the smallest clock (ties: lowest id).
+        let cid = (0..ncores)
+            .min_by_key(|&i| (cores[i].clock, i))
+            .expect("at least one core");
+
+        let Some(task) = cores[cid].current else {
+            acquire_work(cid, &mut cores, machine, &mut rng, &mut stats);
+            continue;
+        };
+
+        let events = &program.tasks[task].events;
+        if tasks[task].next_event == events.len() {
+            // Task complete.
+            completed += 1;
+            makespan = makespan.max(cores[cid].clock);
+            cores[cid].current = None;
+            if let Some(parent) = program.tasks[task].parent {
+                tasks[parent].pending_children -= 1;
+                if tasks[parent].pending_children == 0 {
+                    // The last finisher resumes the parent (work stealing's
+                    // "last one home continues" rule).
+                    cores[cid].current = Some(parent);
+                }
+            }
+            continue;
+        }
+
+        let ev = &events[tasks[task].next_event];
+        tasks[task].next_event += 1;
+        let core = &mut cores[cid];
+        match ev {
+            Event::Compute { amount } => {
+                let c = machine.compute_cycles(*amount);
+                core.clock += c;
+                stats.compute_cycles += c;
+                stats.instructions += *amount;
+            }
+            Event::Load { addr, size } => {
+                drain_store_buffer(core);
+                let lat = coh.load(cid, *addr, *size as u64);
+                core.clock += lat;
+                stats.load_cycles += lat;
+                stats.instructions += 1;
+                stats.memory_accesses += 1;
+            }
+            Event::Store { addr, size, val } => {
+                drain_store_buffer(core);
+                // Missing stores occupy a write MSHR; a burst of long-latency
+                // stores back-pressures the core once all MSHRs are busy.
+                if core.store_buffer.len() >= machine.store_mshrs.min(machine.store_buffer) {
+                    let Reverse(t) = core.store_buffer.pop().expect("non-empty");
+                    if t > core.clock {
+                        stats.store_stall_cycles += t - core.clock;
+                        core.clock = t;
+                    }
+                }
+                let bytes = val.to_le_bytes();
+                let lat = coh.store(cid, *addr, &bytes[..*size as usize]);
+                if lat > machine.lat.l2 {
+                    core.store_buffer.push(Reverse(core.clock + lat));
+                }
+                core.clock += 1; // issue cost; completion hidden by the buffer
+                stats.store_issue_cycles += 1;
+                stats.instructions += 1;
+                stats.memory_accesses += 1;
+            }
+            Event::Rmw { addr, size, val, op } => {
+                drain_store_buffer(core);
+                let lat = match op {
+                    warden_rt::RmwOp::Swap => {
+                        let bytes = val.to_le_bytes();
+                        coh.rmw(cid, *addr, &bytes[..*size as usize])
+                    }
+                    warden_rt::RmwOp::Add => coh.rmw_add(cid, *addr, *size as u64, *val),
+                };
+                core.clock += lat;
+                stats.rmw_cycles += lat;
+                stats.instructions += 1;
+                stats.memory_accesses += 1;
+            }
+            Event::Fork { children } => {
+                tasks[task].pending_children = children.len() as u32;
+                core.current = Some(children[0]);
+                for &c in &children[1..] {
+                    core.deque.push_back(c);
+                }
+            }
+            Event::RegionAdd { start, end, token } => {
+                if protocol == Protocol::Warden {
+                    core.clock += machine.lat.region_instr;
+                    stats.region_cycles += machine.lat.region_instr;
+                    stats.instructions += 1;
+                    if let Some(id) = coh.add_region(*start, *end) {
+                        regions.insert(*token, id);
+                    }
+                }
+            }
+            Event::RegionRemove { token } => {
+                if protocol == Protocol::Warden {
+                    stats.instructions += 1;
+                    match regions.remove(token) {
+                        Some(id) => {
+                            let lat = coh.remove_region(id);
+                            cores[cid].clock += lat;
+                            stats.region_cycles += lat;
+                        }
+                        None => {
+                            // The add overflowed: the remove is a no-op
+                            // instruction.
+                            cores[cid].clock += machine.lat.region_instr;
+                            stats.region_cycles += machine.lat.region_instr;
+                        }
+                    }
+                }
+            }
+        }
+        makespan = makespan.max(cores[cid].clock);
+    }
+
+    let region_peak = coh.region_peak();
+    coh.flush_all();
+    stats.cycles = makespan;
+    stats.core_cycles_total = cores.iter().map(|c| c.clock).sum();
+    stats.coherence = *coh.stats();
+    let energy = energy_of(&stats, machine.topo, energy_params);
+    let final_memory = coh.memory().clone();
+    SimOutcome {
+        protocol,
+        machine: machine.name.clone(),
+        memory_image_digest: final_memory.digest(),
+        final_memory,
+        stats,
+        energy,
+        region_peak,
+    }
+}
+
+fn drain_store_buffer(core: &mut Core) {
+    while let Some(&Reverse(t)) = core.store_buffer.peek() {
+        if t <= core.clock {
+            core.store_buffer.pop();
+        } else {
+            break;
+        }
+    }
+}
+
+/// An idle core looks for work: its own deque first, then a random victim.
+fn acquire_work(
+    cid: usize,
+    cores: &mut [Core],
+    machine: &MachineConfig,
+    rng: &mut SmallRng,
+    stats: &mut SimStats,
+) {
+    if let Some(t) = cores[cid].deque.pop_back() {
+        cores[cid].current = Some(t);
+        return;
+    }
+    let victims: Vec<usize> = (0..cores.len())
+        .filter(|&i| i != cid && !cores[i].deque.is_empty())
+        .collect();
+    if victims.is_empty() {
+        cores[cid].clock += machine.idle_tick;
+        stats.idle_cycles += machine.idle_tick;
+        return;
+    }
+    stats.steal_attempts += 1;
+    let victim = victims[rng.gen_range(0..victims.len())];
+    let stolen = cores[victim].deque.pop_front().expect("victim non-empty");
+    cores[cid].clock += machine.steal_cost;
+    stats.steal_cycles += machine.steal_cost;
+    cores[cid].current = Some(stolen);
+    stats.steals += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warden_rt::{trace_program, MarkPolicy, RtOptions};
+
+    fn tiny_machine() -> MachineConfig {
+        MachineConfig::dual_socket().with_cores(2)
+    }
+
+    fn sample_program() -> TraceProgram {
+        trace_program("sample", RtOptions::default(), |ctx| {
+            let xs = ctx.tabulate::<u64>(512, 32, &|_c, i| i * 3 + 1);
+            let sum = ctx.reduce(0, 512, 32, &|c, i| c.read(&xs, i), &|a, b| a + b, 0);
+            assert_eq!(sum, (0..512u64).map(|i| i * 3 + 1).sum());
+        })
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let p = sample_program();
+        let m = tiny_machine();
+        let a = simulate(&p, &m, Protocol::Warden);
+        let b = simulate(&p, &m, Protocol::Warden);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.memory_image_digest, b.memory_image_digest);
+    }
+
+    #[test]
+    fn protocols_produce_identical_memory_images() {
+        let p = sample_program();
+        let m = tiny_machine();
+        let mesi = simulate(&p, &m, Protocol::Mesi);
+        let warden = simulate(&p, &m, Protocol::Warden);
+        assert_eq!(mesi.memory_image_digest, warden.memory_image_digest);
+        let (lo, _) = p.address_range;
+        let len = p.address_range.1 - lo;
+        assert_eq!(
+            mesi.final_memory.first_difference(&warden.final_memory, lo, len),
+            None
+        );
+    }
+
+    #[test]
+    fn replay_image_matches_logical_image() {
+        let p = sample_program();
+        let m = tiny_machine();
+        let out = simulate(&p, &m, Protocol::Warden);
+        let (lo, hi) = p.address_range;
+        assert_eq!(
+            out.final_memory.first_difference(&p.memory, lo, hi - lo),
+            None,
+            "replayed memory must reproduce the program's logical result"
+        );
+    }
+
+    #[test]
+    fn warden_reduces_downgrades_on_leaf_result_flow() {
+        // The pattern the paper's marking actually captures: every leaf
+        // allocates a result buffer in its own (WARD) heap, fills it, and
+        // the parent reads it after the join. Under MESI those reads
+        // downgrade the child cores' dirty copies; under WARDen the
+        // completion-time reconciliation already pushed the data to the
+        // LLC.
+        use warden_rt::{SimSlice, TaskCtx};
+        fn rec(ctx: &mut TaskCtx<'_>, depth: u32) -> SimSlice<u64> {
+            if depth == 0 {
+                let buf = ctx.alloc::<u64>(64);
+                for i in 0..64 {
+                    ctx.write(&buf, i, i * 7);
+                }
+                return buf;
+            }
+            let (a, b) = ctx.fork2(|c| rec(c, depth - 1), |c| rec(c, depth - 1));
+            // The parent consumes both children's buffers.
+            let mut acc = 0u64;
+            for i in 0..64 {
+                acc = acc.wrapping_add(ctx.read(&a, i)).wrapping_add(ctx.read(&b, i));
+            }
+            let out = ctx.alloc::<u64>(64);
+            for i in 0..64 {
+                ctx.write(&out, i, acc.wrapping_add(i));
+            }
+            out
+        }
+        let p = trace_program("leafres", RtOptions::default(), |ctx| {
+            let _ = rec(ctx, 7);
+        });
+        let m = tiny_machine();
+        let mesi = simulate(&p, &m, Protocol::Mesi);
+        let warden = simulate(&p, &m, Protocol::Warden);
+        let (md, wd) = (
+            mesi.stats.coherence.downgrades,
+            warden.stats.coherence.downgrades,
+        );
+        assert!(
+            (wd as f64) < 0.5 * md as f64,
+            "WARDen should eliminate most result-read downgrades (mesi {md}, warden {wd})"
+        );
+        assert!(
+            warden.stats.cycles < mesi.stats.cycles,
+            "and run faster (mesi {}, warden {})",
+            mesi.stats.cycles,
+            warden.stats.cycles
+        );
+        assert_eq!(mesi.memory_image_digest, warden.memory_image_digest);
+    }
+
+    #[test]
+    fn warden_overhead_is_bounded_on_unfavourable_work() {
+        // Ancestor-tabulate traffic is *not* captured by leaf-heap marking
+        // (paper §4.1's conservatism); WARDen must still stay close to MESI
+        // — the "benchmarks which benefit minimally" of §7.2.
+        let p = trace_program("forky", RtOptions::default(), |ctx| {
+            let xs = ctx.tabulate::<u64>(4096, 16, &|c, i| {
+                c.work(20);
+                i
+            });
+            let _ = ctx.reduce(0, 4096, 16, &|c, i| c.read(&xs, i), &|a, b| a + b, 0);
+        });
+        let m = tiny_machine();
+        let mesi = simulate(&p, &m, Protocol::Mesi);
+        let warden = simulate(&p, &m, Protocol::Warden);
+        assert!(
+            (warden.stats.cycles as f64) < 1.10 * mesi.stats.cycles as f64,
+            "overhead must stay within 10% (mesi {}, warden {})",
+            mesi.stats.cycles,
+            warden.stats.cycles
+        );
+    }
+
+    #[test]
+    fn mesi_sees_no_region_activity() {
+        let p = sample_program();
+        let out = simulate(&p, &tiny_machine(), Protocol::Mesi);
+        assert_eq!(out.stats.coherence.region_adds, 0);
+        assert_eq!(out.region_peak, 0);
+    }
+
+    #[test]
+    fn unmarked_traces_make_warden_behave_like_mesi() {
+        let p = trace_program(
+            "nomark",
+            RtOptions {
+                mark: MarkPolicy::None,
+                ..RtOptions::default()
+            },
+            |ctx| {
+                let xs = ctx.tabulate::<u64>(256, 32, &|_c, i| i);
+                let _ = ctx.reduce(0, 256, 32, &|c, i| c.read(&xs, i), &|a, b| a + b, 0);
+            },
+        );
+        let m = tiny_machine();
+        let mesi = simulate(&p, &m, Protocol::Mesi);
+        let warden = simulate(&p, &m, Protocol::Warden);
+        // A legacy (unmarked) application runs unencumbered: identical
+        // timing and traffic (Figure 1's legacy path).
+        assert_eq!(mesi.stats.cycles, warden.stats.cycles);
+        assert_eq!(
+            mesi.stats.coherence.inv_plus_dg(),
+            warden.stats.coherence.inv_plus_dg()
+        );
+    }
+
+    #[test]
+    fn work_stealing_uses_multiple_cores() {
+        let p = sample_program();
+        let out = simulate(&p, &tiny_machine(), Protocol::Mesi);
+        assert!(out.stats.steals > 0, "parallel work must be stolen");
+    }
+
+    #[test]
+    fn more_cores_do_not_slow_down_parallel_work() {
+        let p = trace_program("wide", RtOptions::default(), |ctx| {
+            ctx.parallel_for(0, 4096, 64, &|c, _i| c.work(400));
+        });
+        let m1 = MachineConfig::single_socket().with_cores(1);
+        let m4 = MachineConfig::single_socket().with_cores(4);
+        let t1 = simulate(&p, &m1, Protocol::Mesi).stats.cycles;
+        let t4 = simulate(&p, &m4, Protocol::Mesi).stats.cycles;
+        assert!(
+            (t4 as f64) < 0.5 * t1 as f64,
+            "4 cores should be at least 2x faster ({t4} vs {t1})"
+        );
+    }
+
+    #[test]
+    fn single_core_runs_to_completion_without_steals() {
+        let p = sample_program();
+        let m = MachineConfig::single_socket().with_cores(1);
+        let out = simulate(&p, &m, Protocol::Warden);
+        assert_eq!(out.stats.steals, 0);
+        assert_eq!(out.stats.tasks, p.tasks.len() as u64);
+    }
+
+    #[test]
+    fn fewer_store_mshrs_slow_invalidation_storms() {
+        // Two tasks ping-pong stores on a shared ancestor array: with one
+        // write MSHR, every missing store serializes; with many, the buffer
+        // hides them.
+        let p = trace_program("storms", RtOptions::default(), |ctx| {
+            let xs = ctx.alloc::<u64>(512);
+            ctx.fork2(
+                |c| {
+                    for i in 0..512 {
+                        c.write(&xs, i, i);
+                    }
+                },
+                |c| {
+                    for i in 0..512 {
+                        c.write(&xs, i, i + 1);
+                    }
+                },
+            );
+        });
+        let base = MachineConfig::dual_socket().with_cores(2);
+        let mut narrow = base.clone();
+        narrow.store_mshrs = 1;
+        let mut wide = base.clone();
+        wide.store_mshrs = 56;
+        let t_narrow = simulate(&p, &narrow, Protocol::Mesi).stats;
+        let t_wide = simulate(&p, &wide, Protocol::Mesi).stats;
+        assert!(
+            t_narrow.cycles > t_wide.cycles,
+            "1 MSHR ({}) must be slower than 56 ({})",
+            t_narrow.cycles,
+            t_wide.cycles
+        );
+        assert!(t_narrow.store_stall_cycles > t_wide.store_stall_cycles);
+    }
+
+    #[test]
+    fn store_hits_bypass_the_miss_queue() {
+        // A single core rewriting one block: after the cold-start misses,
+        // every store is an L1 hit and must add no stall cycles — 100x the
+        // hit-stores, identical stalls.
+        let run = |iters: u64| {
+            let p = trace_program("hits", RtOptions::default(), move |ctx| {
+                let xs = ctx.alloc::<u64>(4);
+                for i in 0..iters {
+                    ctx.write(&xs, i % 4, i);
+                }
+            });
+            let mut m = MachineConfig::single_socket().with_cores(1);
+            m.store_mshrs = 1;
+            simulate(&p, &m, Protocol::Mesi).stats.store_stall_cycles
+        };
+        assert_eq!(run(50), run(5_000));
+    }
+
+    #[test]
+    fn makespan_is_at_least_the_critical_path() {
+        let p = trace_program("serialwork", RtOptions::default(), |ctx| {
+            ctx.work(100_000);
+        });
+        let m = MachineConfig::dual_socket();
+        let out = simulate(&p, &m, Protocol::Mesi);
+        // CPI 1/2 on 100k instructions = 50k cycles minimum.
+        assert!(out.stats.cycles >= m.compute_cycles(100_000));
+        assert!(out.stats.instructions >= 100_000);
+    }
+
+    #[test]
+    fn disaggregated_is_slower_than_dual_socket() {
+        let p = sample_program();
+        let dual = simulate(&p, &MachineConfig::dual_socket(), Protocol::Mesi);
+        let disagg = simulate(&p, &MachineConfig::disaggregated(), Protocol::Mesi);
+        assert!(
+            disagg.stats.cycles > dual.stats.cycles,
+            "1 µs remote accesses must hurt ({} vs {})",
+            disagg.stats.cycles,
+            dual.stats.cycles
+        );
+    }
+
+    #[test]
+    fn region_capacity_overflow_is_harmless() {
+        let p = sample_program();
+        let mut m = tiny_machine();
+        m.cache.region_capacity = 1;
+        let mesi = simulate(&p, &m, Protocol::Mesi);
+        let warden = simulate(&p, &m, Protocol::Warden);
+        assert!(warden.stats.coherence.region_overflows > 0);
+        assert_eq!(mesi.memory_image_digest, warden.memory_image_digest);
+    }
+
+    #[test]
+    fn energy_params_scale_reported_energy() {
+        let p = sample_program();
+        let m = tiny_machine();
+        let cheap = simulate_with_energy(&p, &m, Protocol::Mesi, &EnergyParams::default());
+        let pricey = simulate_with_energy(
+            &p,
+            &m,
+            Protocol::Mesi,
+            &EnergyParams {
+                e_dram: 100.0,
+                ..EnergyParams::default()
+            },
+        );
+        assert!(pricey.energy.in_processor_nj > cheap.energy.in_processor_nj);
+        assert_eq!(pricey.stats.cycles, cheap.stats.cycles, "energy is passive");
+    }
+
+    #[test]
+    fn cycle_categories_conserve_core_time() {
+        // Every clock advance in the engine is classified into exactly one
+        // category, so the categories must sum to the cores' total time.
+        for (bench, m) in [
+            ("sample", tiny_machine()),
+            ("sample", MachineConfig::dual_socket()),
+        ] {
+            let p = sample_program();
+            for proto in [Protocol::Msi, Protocol::Mesi, Protocol::Warden] {
+                let s = simulate(&p, &m, proto).stats;
+                let classified: u64 = s.cycle_breakdown().iter().map(|&(_, c)| c).sum();
+                assert_eq!(
+                    classified, s.core_cycles_total,
+                    "{bench} {proto}: breakdown must conserve core time"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warden_shifts_cycles_from_loads_to_compute_share() {
+        // The mechanism of the speedup: WARDen removes load-stall cycles
+        // (downgrade chains), leaving compute untouched.
+        let p = trace_program("shift", RtOptions::default(), |ctx| {
+            let xs = ctx.tabulate::<u64>(2048, 32, &|c, i| {
+                c.work(10);
+                i
+            });
+            let _ = ctx.reduce(0, 2048, 32, &|c, i| c.read(&xs, i), &|a, b| a + b, 0);
+        });
+        let m = tiny_machine();
+        let mesi = simulate(&p, &m, Protocol::Mesi).stats;
+        let warden = simulate(&p, &m, Protocol::Warden).stats;
+        assert!(warden.load_cycles < mesi.load_cycles);
+        assert_eq!(warden.compute_cycles, mesi.compute_cycles);
+    }
+
+    #[test]
+    fn seeds_change_schedules_not_results() {
+        let p = sample_program();
+        let base = tiny_machine();
+        let a = simulate(&p, &base.clone().with_seed(1), Protocol::Warden);
+        let b = simulate(&p, &base.clone().with_seed(2), Protocol::Warden);
+        assert_eq!(a.memory_image_digest, b.memory_image_digest);
+        // Cycle counts may differ (different steal schedules) but stay in
+        // the same ballpark.
+        let ratio = a.stats.cycles as f64 / b.stats.cycles as f64;
+        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+}

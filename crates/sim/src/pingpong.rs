@@ -1,0 +1,168 @@
+//! The true-sharing ping-pong microbenchmark of paper Figure 6, used to
+//! validate the simulator's latency model (Table 1).
+//!
+//! ```c
+//! /* Ran on two separate cores (myself and partner) */
+//! while (iterations--) {
+//!     while (buf != partnerID) ;
+//!     buf = myID;
+//! }
+//! ```
+//!
+//! Each iteration is one cache-line hand-off: the waiting thread's spin load
+//! misses (the line is dirty in the partner's cache), then its store takes
+//! the line back. We drive the coherence system directly with that
+//! alternating pattern and report cycles per iteration.
+
+use crate::config::MachineConfig;
+use warden_coherence::{CoherenceSystem, CoreId, Protocol};
+use warden_mem::Addr;
+
+/// Placement of the two hardware threads (Table 1's three scenarios).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Two hardware threads of one core (shared L1).
+    SameCore,
+    /// Two cores of one socket.
+    SameSocket,
+    /// Cores on different sockets.
+    DiffSocket,
+}
+
+impl Placement {
+    /// The core ids the two threads run on.
+    pub fn cores(self, machine: &MachineConfig) -> (CoreId, CoreId) {
+        match self {
+            Placement::SameCore => (0, 0),
+            Placement::SameSocket => (0, 1),
+            Placement::DiffSocket => {
+                assert!(
+                    machine.topo.num_sockets() >= 2,
+                    "DiffSocket needs at least two sockets"
+                );
+                (0, machine.topo.cores_per_socket())
+            }
+        }
+    }
+}
+
+/// Run the ping-pong kernel for `iterations` hand-offs and return the mean
+/// cycles per iteration.
+///
+/// # Example
+///
+/// ```
+/// use warden_sim::{pingpong, MachineConfig, Placement};
+///
+/// let m = MachineConfig::dual_socket();
+/// let same = pingpong(&m, Placement::SameSocket, 1000);
+/// let diff = pingpong(&m, Placement::DiffSocket, 1000);
+/// assert!(diff > 2.0 * same, "cross-socket hand-offs are far slower");
+/// ```
+pub fn pingpong(machine: &MachineConfig, placement: Placement, iterations: u64) -> f64 {
+    assert!(iterations > 0, "need at least one iteration");
+    let mut sys = CoherenceSystem::new(machine.topo, machine.lat, machine.cache, Protocol::Mesi);
+    let (a, b) = placement.cores(machine);
+    let buf = Addr(4096);
+    // Warm up: both threads have touched the line once.
+    sys.store(a, buf, &[0xA0]);
+    sys.store(b, buf, &[0xB0]);
+    let mut cycles = 0u64;
+    let mut me = a;
+    let mut other = b;
+    for _ in 0..iterations {
+        // The spin load that finally observes the partner's value: it misses
+        // because the partner holds the line M.
+        cycles += sys.load(me, buf, 1);
+        // Publish my id: takes the line for writing (store latency is on the
+        // critical path here — the partner spins on it).
+        cycles += sys.store(me, buf, &[me as u8]);
+        std::mem::swap(&mut me, &mut other);
+    }
+    cycles as f64 / iterations as f64
+}
+
+/// One row of Table 1: scenario name, the paper's real-hardware and Sniper
+/// latencies (cycles/iteration), and our simulator's measurement.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// The paper's measurement on real hardware.
+    pub paper_real_hw: f64,
+    /// The paper's Sniper measurement.
+    pub paper_sniper: f64,
+    /// Our simulator's measurement.
+    pub measured: f64,
+}
+
+/// Regenerate Table 1 (validation of the timing model).
+pub fn table1(machine: &MachineConfig, iterations: u64) -> Vec<Table1Row> {
+    vec![
+        Table1Row {
+            scenario: "Same core",
+            paper_real_hw: 8.738,
+            paper_sniper: 11.21,
+            measured: pingpong(machine, Placement::SameCore, iterations),
+        },
+        Table1Row {
+            scenario: "Diff. core, same socket",
+            paper_real_hw: 479.68,
+            paper_sniper: 286.01,
+            measured: pingpong(machine, Placement::SameSocket, iterations),
+        },
+        Table1Row {
+            scenario: "Diff. core, diff. socket",
+            paper_real_hw: 1163.23,
+            paper_sniper: 1213.59,
+            measured: pingpong(machine, Placement::DiffSocket, iterations),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_core_is_l1_speed() {
+        let m = MachineConfig::dual_socket();
+        let c = pingpong(&m, Placement::SameCore, 100);
+        // Two L1 accesses per iteration.
+        assert!(c <= 3.0 * m.lat.l1 as f64, "same-core iteration {c}");
+    }
+
+    #[test]
+    fn scenario_ordering_matches_table1() {
+        let m = MachineConfig::dual_socket();
+        let same_core = pingpong(&m, Placement::SameCore, 200);
+        let same_socket = pingpong(&m, Placement::SameSocket, 200);
+        let diff_socket = pingpong(&m, Placement::DiffSocket, 200);
+        assert!(same_core < same_socket);
+        assert!(same_socket < diff_socket);
+    }
+
+    #[test]
+    fn within_2x_of_sniper() {
+        // The validation bar the paper itself meets: correct ordering and
+        // same ballpark as the reference simulator.
+        let m = MachineConfig::dual_socket();
+        for row in table1(&m, 500) {
+            let ratio = row.measured / row.paper_sniper;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "{}: measured {} vs sniper {}",
+                row.scenario,
+                row.measured,
+                row.paper_sniper
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two sockets")]
+    fn diff_socket_needs_two_sockets() {
+        let m = MachineConfig::single_socket();
+        pingpong(&m, Placement::DiffSocket, 10);
+    }
+}

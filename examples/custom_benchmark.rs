@@ -1,0 +1,77 @@
+//! How a downstream user adds their own workload and experiment: write a
+//! program against the runtime API, validate it, and run the full
+//! MESI-vs-WARDen comparison on any machine — exactly what the suite's 14
+//! benchmarks do internally.
+//!
+//! The example implements a parallel histogram (a classic fetch-add
+//! workload the paper's suite does not include) and sweeps it across
+//! machines.
+//!
+//! Run with `cargo run --release --example custom_benchmark`.
+
+use warden::prelude::*;
+use warden::rt::{summarize, TraceProgram};
+use warden::sim::Comparison;
+
+/// Build the histogram workload: `n` seeded samples binned into `bins`
+/// shared counters via atomic fetch-adds, then a parallel verification sum.
+fn histogram(n: u64, bins: u64, grain: u64) -> TraceProgram {
+    // Inputs are plain Rust data, generated deterministically.
+    let samples: Vec<u64> = {
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        (0..n)
+            .map(|_| {
+                // xorshift*
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                x.wrapping_mul(0x2545_F491_4F6C_DD1D) % bins
+            })
+            .collect()
+    };
+    let expected: Vec<u64> = {
+        let mut h = vec![0u64; bins as usize];
+        for &s in &samples {
+            h[s as usize] += 1;
+        }
+        h
+    };
+    trace_program("histogram", RtOptions::default(), move |ctx| {
+        let input = ctx.preload(&samples);
+        let counts = ctx.tabulate::<u64>(bins, 64, &|_c, _i| 0);
+        ctx.parallel_for(0, n, grain, &|c, i| {
+            let bin = c.read(&input, i);
+            c.work(3);
+            c.fetch_add(&counts, bin, 1);
+        });
+        // Validate against the sequential reference (phase-1 values).
+        for b in 0..bins {
+            assert_eq!(ctx.peek(&counts, b), expected[b as usize], "bin {b}");
+        }
+    })
+}
+
+fn main() {
+    let program = histogram(20_000, 256, 256);
+    println!("{}\n", summarize(&program));
+
+    for machine in [
+        MachineConfig::single_socket(),
+        MachineConfig::dual_socket(),
+        MachineConfig::disaggregated(),
+    ] {
+        let mesi = simulate(&program, &machine, Protocol::Mesi);
+        let warden = simulate(&program, &machine, Protocol::Warden);
+        assert_eq!(mesi.memory_image_digest, warden.memory_image_digest);
+        let c = Comparison::of("histogram", &mesi, &warden);
+        println!(
+            "{:14} MESI {:>9} cyc | WARDen {:>9} cyc | speedup {:.2}x | inv+dg avoided/k-instr {:>6.2}",
+            machine.name, mesi.stats.cycles, warden.stats.cycles, c.speedup, c.inv_dg_reduced_per_kilo
+        );
+    }
+    println!(
+        "\n(histogram is atomics-bound: WARDen leaves atomics fully coherent by design,\n\
+         so the gains here come only from the runtime's heap traffic — compare with\n\
+         `cargo run --release --example prime_sieve` where benign WAW dominates)"
+    );
+}

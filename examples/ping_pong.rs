@@ -1,0 +1,31 @@
+//! The true-sharing microbenchmark of paper Figure 6 / Table 1: a cache
+//! line "ping-pongs" between two hardware threads. Used to validate the
+//! simulator's latency model against the paper's measurements.
+//!
+//! Run with `cargo run --release --example ping_pong`.
+
+use warden::prelude::*;
+use warden::sim::{pingpong, table1};
+
+fn main() {
+    let machine = MachineConfig::dual_socket();
+    println!("cycles per ping-pong iteration (100k iterations each):\n");
+    println!(
+        "{:26} {:>13} {:>13} {:>14}",
+        "scenario", "paper real HW", "paper Sniper", "this simulator"
+    );
+    for row in table1(&machine, 100_000) {
+        println!(
+            "{:26} {:>13.2} {:>13.2} {:>14.2}",
+            row.scenario, row.paper_real_hw, row.paper_sniper, row.measured
+        );
+    }
+
+    // The same kernel on the disaggregated machine of §7.3: the hand-off
+    // now crosses a 1 µs link.
+    let disagg = MachineConfig::disaggregated();
+    println!(
+        "\ndisaggregated (1 µs remote): {:.0} cycles/iteration",
+        pingpong(&disagg, Placement::DiffSocket, 10_000)
+    );
+}

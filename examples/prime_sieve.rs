@@ -1,0 +1,53 @@
+//! The paper's flagship example (Figure 4): a parallel prime sieve whose
+//! `flags` array races benign same-value writes — WAW apathy in action.
+//!
+//! Shows the three protocol behaviours side by side:
+//! * MESI — every racing write invalidates the other writers' copies,
+//! * WARDen with automatic leaf-heap marking only (§4.2's conservative
+//!   implementation — the ancestor-heap `flags` stays coherent), and
+//! * WARDen with `flags` declared WARD for the marking loop (Figure 4's
+//!   semantics, dynamically verified by the runtime checker).
+//!
+//! Run with `cargo run --release --example prime_sieve`.
+
+use warden::pbbs::{primes, primes_automark, sieve_reference};
+use warden::prelude::*;
+
+fn main() {
+    let n = 65_536;
+    let machine = MachineConfig::dual_socket();
+    let pi: usize = sieve_reference(n).iter().filter(|&&b| b).count();
+    println!("primes up to {n}: {pi} (every traced run validates this)\n");
+
+    let declared = primes(n, 2);
+    let automark = primes_automark(n, 2);
+
+    let mesi = simulate(&declared, &machine, Protocol::Mesi);
+    let auto_ward = simulate(&automark, &machine, Protocol::Warden);
+    let full_ward = simulate(&declared, &machine, Protocol::Warden);
+    assert_eq!(mesi.memory_image_digest, full_ward.memory_image_digest);
+
+    println!("{:34} {:>10} {:>13} {:>11}", "", "cycles", "invalidations", "downgrades");
+    for (label, o) in [
+        ("MESI baseline", &mesi),
+        ("WARDen, automatic marking only", &auto_ward),
+        ("WARDen + declared flags region", &full_ward),
+    ] {
+        println!(
+            "{:34} {:>10} {:>13} {:>11}",
+            label,
+            o.stats.cycles,
+            o.stats.coherence.invalidations,
+            o.stats.coherence.downgrades
+        );
+    }
+    println!(
+        "\nwith the declared region, {} writes were served in the W state and\n\
+         {} blocks were reconciled (masks merged) when each region ended",
+        full_ward.stats.coherence.ward_serves, full_ward.stats.coherence.recon_blocks
+    );
+    println!(
+        "speedup over MESI: {:.2}x",
+        mesi.stats.cycles as f64 / full_ward.stats.cycles as f64
+    );
+}

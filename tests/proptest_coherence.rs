@@ -1,0 +1,124 @@
+//! Property tests of the coherence engine: under arbitrary interleavings of
+//! per-core accesses and WARD region lifetimes, the final memory image must
+//! equal a flat reference log — as long as each byte has a single writer
+//! (the no-cross-RAW/WAW-free case every protocol must get exactly right).
+
+use proptest::prelude::*;
+use warden::coherence::{CacheConfig, CoherenceSystem, LatencyModel, Protocol, Topology};
+use warden::mem::{Addr, Memory, PAGE_SIZE};
+
+/// One scripted step.
+#[derive(Clone, Debug)]
+enum Step {
+    /// `core` writes its own byte lane of a (possibly false-shared) word.
+    Write { core: usize, slot: u64, val: u8 },
+    /// `core` reads a slot (no semantic effect; exercises sharing states).
+    Read { core: usize, slot: u64 },
+    /// Toggle a WARD region over one of the pages.
+    Region { page: u64 },
+}
+
+const CORES: usize = 4;
+const PAGES: u64 = 3;
+const SLOTS: u64 = 64; // slots per page, each 64 B apart
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..CORES, 0..PAGES * SLOTS, any::<u8>())
+            .prop_map(|(core, slot, val)| Step::Write { core, slot, val }),
+        (0..CORES, 0..PAGES * SLOTS).prop_map(|(core, slot)| Step::Read { core, slot }),
+        (0..PAGES).prop_map(|page| Step::Region { page }),
+    ]
+}
+
+/// The byte address core `core` owns within `slot`'s block: distinct cores
+/// write distinct bytes of the *same* block — maximal false sharing.
+fn lane(slot: u64, core: usize) -> Addr {
+    Addr(PAGE_SIZE + slot * 64 + core as u64)
+}
+
+fn run(protocol: Protocol, steps: &[Step]) -> (Memory, Memory) {
+    let mut sys = CoherenceSystem::new(
+        Topology::new(2, 2),
+        LatencyModel::xeon_gold_6126(),
+        CacheConfig::tiny(), // tiny caches: constant evictions stress merging
+        protocol,
+    );
+    let mut reference = Memory::new();
+    let mut region_ids = vec![None; PAGES as usize];
+    for step in steps {
+        match *step {
+            Step::Write { core, slot, val } => {
+                let a = lane(slot, core);
+                sys.store(core, a, &[val]);
+                reference.write_u8(a, val);
+            }
+            Step::Read { core, slot } => {
+                sys.load(core, lane(slot, core), 1);
+            }
+            Step::Region { page } => {
+                let idx = page as usize;
+                match region_ids[idx].take() {
+                    Some(id) => {
+                        sys.remove_region(id);
+                    }
+                    None => {
+                        let start = Addr((1 + page) * PAGE_SIZE);
+                        region_ids[idx] = sys.add_region(start, Addr(start.0 + PAGE_SIZE));
+                    }
+                }
+            }
+        }
+    }
+    sys.flush_all();
+    (sys.memory().clone(), reference)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mesi_matches_reference(steps in proptest::collection::vec(step_strategy(), 1..300)) {
+        let (mem, reference) = run(Protocol::Mesi, &steps);
+        prop_assert_eq!(
+            mem.first_difference(&reference, Addr(PAGE_SIZE), PAGES * PAGE_SIZE),
+            None
+        );
+    }
+
+    #[test]
+    fn warden_matches_reference(steps in proptest::collection::vec(step_strategy(), 1..300)) {
+        let (mem, reference) = run(Protocol::Warden, &steps);
+        prop_assert_eq!(
+            mem.first_difference(&reference, Addr(PAGE_SIZE), PAGES * PAGE_SIZE),
+            None
+        );
+    }
+
+    #[test]
+    fn protocols_agree(steps in proptest::collection::vec(step_strategy(), 1..300)) {
+        let (mesi, _) = run(Protocol::Mesi, &steps);
+        let (warden, _) = run(Protocol::Warden, &steps);
+        prop_assert_eq!(mesi.digest(), warden.digest());
+    }
+
+    #[test]
+    fn latencies_are_sane(steps in proptest::collection::vec(step_strategy(), 1..100)) {
+        // Every access latency is at least an L1 hit and bounded by a
+        // couple of worst-case chains.
+        let mut sys = CoherenceSystem::new(
+            Topology::new(2, 2),
+            LatencyModel::xeon_gold_6126(),
+            CacheConfig::tiny(),
+            Protocol::Warden,
+        );
+        let lat = sys.latency_model();
+        let bound = 4 * (lat.l3 + lat.fwd + 2 * lat.intersocket + lat.dram);
+        for step in &steps {
+            if let Step::Write { core, slot, val } = *step {
+                let t = sys.store(core, lane(slot, core), &[val]);
+                prop_assert!(t >= lat.l1 && t <= bound, "store latency {t}");
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests of the trace serializer: arbitrary runtime programs must
+//! round-trip exactly, and arbitrary byte soup must never panic the reader.
+
+use proptest::prelude::*;
+use warden::prelude::*;
+use warden::rt::{trace_io, TraceProgram};
+
+/// A small random program: a mix of allocations, writes, atomics and forks
+/// driven by a script of opcodes.
+fn build(script: Vec<u8>) -> TraceProgram {
+    trace_program("prop", RtOptions::default(), move |ctx| {
+        let xs = ctx.alloc::<u64>(64);
+        for (idx, &op) in script.iter().enumerate() {
+            let i = idx as u64;
+            match op % 6 {
+                0 => ctx.write(&xs, i % 64, op as u64),
+                1 => {
+                    let _ = ctx.read(&xs, i % 64);
+                }
+                2 => {
+                    let _ = ctx.fetch_add(&xs, i % 64, u64::from(op));
+                }
+                3 => ctx.work(u64::from(op) + 1),
+                4 => {
+                    let v = u64::from(op);
+                    ctx.fork2(
+                        |c| {
+                            let s = c.alloc_scratch::<u64>(4);
+                            c.write(&s, 0, v);
+                        },
+                        |c| c.work(v + 1),
+                    );
+                }
+                _ => {
+                    let cur = ctx.peek(&xs, i % 64);
+                    let _ = ctx.cas(&xs, i % 64, cur, cur + 1);
+                }
+            }
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_programs_round_trip(script in proptest::collection::vec(any::<u8>(), 0..80)) {
+        let p = build(script);
+        let mut buf = Vec::new();
+        trace_io::write_trace(&mut buf, &p).unwrap();
+        let q = trace_io::read_trace(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(&q.name, &p.name);
+        prop_assert_eq!(q.stats, p.stats);
+        prop_assert_eq!(q.tasks.len(), p.tasks.len());
+        for (a, b) in p.tasks.iter().zip(&q.tasks) {
+            prop_assert_eq!(&a.events, &b.events);
+        }
+        prop_assert_eq!(q.memory.digest(), p.memory.digest());
+        // And the deserialized trace simulates identically.
+        let m = MachineConfig::single_socket().with_cores(2);
+        let a = simulate(&p, &m, Protocol::Warden);
+        let b = simulate(&q, &m, Protocol::Warden);
+        prop_assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn garbage_never_panics_the_reader(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        // Any outcome is fine except a panic.
+        let _ = trace_io::read_trace(&mut bytes.as_slice());
+    }
+
+    #[test]
+    fn valid_prefix_with_garbage_tail_never_panics(
+        script in proptest::collection::vec(any::<u8>(), 0..30),
+        tail in proptest::collection::vec(any::<u8>(), 0..64),
+        cut in 8usize..200,
+    ) {
+        let p = build(script);
+        let mut buf = Vec::new();
+        trace_io::write_trace(&mut buf, &p).unwrap();
+        let cut = cut.min(buf.len());
+        buf.truncate(cut);
+        buf.extend(tail);
+        let _ = trace_io::read_trace(&mut buf.as_slice());
+    }
+}

@@ -1,0 +1,109 @@
+//! Workload-shape assertions over the benchmark suite: the paper's §7.1
+//! methodology claims each benchmark exercises a different memory regime —
+//! this pins those regimes so a refactor can't silently turn, say, the
+//! compute-bound `fib` into a memory-bound workload.
+
+use warden::pbbs::{Bench, Scale};
+use warden::rt::summarize;
+
+#[test]
+fn every_benchmark_has_usable_parallelism() {
+    for bench in Bench::ALL {
+        let p = bench.build(Scale::Tiny);
+        let s = summarize(&p);
+        assert!(
+            s.parallelism() > 1.2,
+            "{}: parallelism {:.2} too low",
+            bench.name(),
+            s.parallelism()
+        );
+        assert!(s.leaves >= 2, "{}", bench.name());
+    }
+}
+
+#[test]
+fn compute_bound_benchmarks_are_compute_bound() {
+    for bench in [Bench::Fib, Bench::Nqueens] {
+        let p = bench.build(Scale::Tiny);
+        let s = summarize(&p);
+        assert!(
+            s.compute_instructions * 2 > s.instructions,
+            "{}: compute share too small ({} of {})",
+            bench.name(),
+            s.compute_instructions,
+            s.instructions
+        );
+    }
+}
+
+#[test]
+fn memory_bound_benchmarks_are_memory_bound() {
+    for bench in [Bench::Msort, Bench::Tokens] {
+        let p = bench.build(Scale::Tiny);
+        let s = summarize(&p);
+        let mem = s.loads + s.stores + s.rmws;
+        assert!(
+            mem * 5 > s.instructions * 2,
+            "{}: memory share too small ({mem} of {})",
+            bench.name(),
+            s.instructions
+        );
+    }
+}
+
+#[test]
+fn atomics_appear_only_where_expected() {
+    // Join CASes exist everywhere; *algorithmic* atomics (beyond ~2 per
+    // fork) only in dedup, nn and quickhull.
+    for bench in Bench::ALL {
+        let p = bench.build(Scale::Tiny);
+        let s = summarize(&p);
+        let join_rmws = 2 * s.forks;
+        let algo_rmws = s.rmws.saturating_sub(join_rmws);
+        let expects_atomics = matches!(bench, Bench::Dedup | Bench::Nn | Bench::Quickhull);
+        if expects_atomics {
+            assert!(algo_rmws > 0, "{} should use atomics", bench.name());
+        } else {
+            assert_eq!(algo_rmws, 0, "{} grew unexpected atomics", bench.name());
+        }
+    }
+}
+
+#[test]
+fn ward_marking_covers_heap_traffic() {
+    // The runtime's automatic marking must cover a nontrivial share of the
+    // suite's accesses (the §7.2 "accesses in a WARD region" metric), with
+    // the declared-region benchmarks well above the rest.
+    // Declared flags regions need page-sized arrays: check at paper scale.
+    let primes = Bench::Primes.build(Scale::Paper);
+    let frac = primes.stats.accesses_in_ward as f64 / primes.stats.memory_accesses as f64;
+    assert!(frac > 0.3, "primes ward coverage {frac:.2}");
+    for bench in Bench::ALL {
+        let p = bench.build(Scale::Tiny);
+        assert!(
+            p.stats.accesses_in_ward > 0,
+            "{}: no ward-covered accesses at all",
+            bench.name()
+        );
+        assert!(p.stats.regions_marked > 0, "{}", bench.name());
+    }
+}
+
+#[test]
+fn tiny_and_paper_scales_share_structure() {
+    // Paper-scale inputs must scale the same algorithms up, not change them:
+    // the event *mix* stays within a factor, tasks grow.
+    for bench in [Bench::Grep, Bench::Primes] {
+        let tiny = summarize(&bench.build(Scale::Tiny));
+        let paper = summarize(&bench.build(Scale::Paper));
+        assert!(paper.tasks >= tiny.tasks, "{}", bench.name());
+        assert!(paper.instructions > tiny.instructions, "{}", bench.name());
+        let tiny_mem_share = (tiny.loads + tiny.stores) as f64 / tiny.instructions as f64;
+        let paper_mem_share = (paper.loads + paper.stores) as f64 / paper.instructions as f64;
+        assert!(
+            (tiny_mem_share / paper_mem_share).clamp(0.2, 5.0) == tiny_mem_share / paper_mem_share,
+            "{}: event mix changed across scales",
+            bench.name()
+        );
+    }
+}
