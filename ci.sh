@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repository CI: build, full test suite (the integration-test profile runs
+# the coherence invariant checker — see tests/invariant_checker.rs and
+# tests/fault_injection.rs), lints, and formatting. Everything runs offline
+# against the vendored crates.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --offline
+
+echo "== tests (workspace) =="
+cargo test -q --workspace --offline
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== rustfmt (check) =="
+cargo fmt --check
+
+echo "CI OK"

@@ -64,8 +64,7 @@ fn mark_policy_tracing(c: &mut Criterion) {
                     },
                     |ctx| {
                         let xs = ctx.tabulate::<u64>(4096, 128, &|_c, i| i);
-                        let _ =
-                            ctx.reduce(0, 4096, 128, &|c, i| c.read(&xs, i), &|a, b| a + b, 0);
+                        let _ = ctx.reduce(0, 4096, 128, &|c, i| c.read(&xs, i), &|a, b| a + b, 0);
                     },
                 )
             });

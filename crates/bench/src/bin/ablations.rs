@@ -44,7 +44,14 @@ fn marking_policy(scale: SuiteScale, m: &MachineConfig) -> String {
                 c.work(8);
                 i ^ 0x5a5a
             });
-            let _ = ctx.reduce(0, n, 64, &|c, i| c.read(&xs, i), &|a, b| a.wrapping_add(b), 0);
+            let _ = ctx.reduce(
+                0,
+                n,
+                64,
+                &|c, i| c.read(&xs, i),
+                &|a, b| a.wrapping_add(b),
+                0,
+            );
         })
     };
     let rows: Vec<Vec<String>> = [
@@ -112,7 +119,11 @@ fn sectoring(scale: SuiteScale, m: &MachineConfig) -> String {
             let correct = mesi.memory_image_digest == warden.memory_image_digest;
             vec![
                 format!("{g} B"),
-                if correct { "identical".into() } else { "CORRUPTED".into() },
+                if correct {
+                    "identical".into()
+                } else {
+                    "CORRUPTED".into()
+                },
                 f2(Comparison::of("sector-demo", &mesi, &warden).speedup),
             ]
         })

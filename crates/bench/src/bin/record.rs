@@ -15,10 +15,7 @@ fn main() {
         (Some(n), Some(p)) => (n.clone(), p.clone()),
         _ => {
             eprintln!("usage: record <benchmark> <output-file> [--scale tiny]");
-            eprintln!(
-                "benchmarks: {}",
-                Bench::ALL.map(|b| b.name()).join(", ")
-            );
+            eprintln!("benchmarks: {}", Bench::ALL.map(|b| b.name()).join(", "));
             std::process::exit(2);
         }
     };
@@ -28,8 +25,15 @@ fn main() {
     };
     let scale = SuiteScale::from_args();
     let program = bench.build(scale.pbbs());
-    let mut file = std::io::BufWriter::new(std::fs::File::create(&path).expect("create file"));
-    trace_io::write_trace(&mut file, &program).expect("write trace");
+    let file = std::fs::File::create(&path).unwrap_or_else(|e| {
+        eprintln!("cannot create {path:?}: {e}");
+        std::process::exit(1);
+    });
+    let mut file = std::io::BufWriter::new(file);
+    trace_io::write_trace(&mut file, &program).unwrap_or_else(|e| {
+        eprintln!("cannot write trace to {path:?}: {e}");
+        std::process::exit(1);
+    });
     println!(
         "recorded {} ({} tasks, {} events) to {path}",
         program.name,

@@ -4,10 +4,17 @@
 //! ```console
 //! $ cargo run -p warden-bench --release --bin replay -- /tmp/primes.trace dual-socket
 //! ```
+//!
+//! Robustness switches: `--check` runs the coherence invariant checker on
+//! both protocols (any violation is reported and fails the run);
+//! `--faults <seed>` injects the benign seeded fault plan — region-CAM
+//! exhaustion storms, forced reconciliations, latency spikes, and a flaky
+//! remote link — which must leave the final memory image untouched.
 
+use warden_bench::RunOptions;
 use warden_coherence::Protocol;
 use warden_rt::{summarize, trace_io};
-use warden_sim::{simulate, Comparison, MachineConfig};
+use warden_sim::{simulate_with_options, try_simulate, Comparison, MachineConfig, SimOutcome};
 
 fn machine_by_name(name: &str) -> Option<MachineConfig> {
     Some(match name {
@@ -19,26 +26,75 @@ fn machine_by_name(name: &str) -> Option<MachineConfig> {
     })
 }
 
+fn fail(msg: String) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1);
+}
+
+fn report_robustness(outcome: &SimOutcome, opts: &RunOptions) -> bool {
+    let mut ok = true;
+    for v in &outcome.violations {
+        eprintln!("[{:?}] invariant violation: {v}", outcome.protocol);
+        ok = false;
+    }
+    if opts.check && outcome.violations.is_empty() {
+        println!("[{:?}] invariant checker: clean", outcome.protocol);
+    }
+    if opts.faults.is_some() {
+        let f = &outcome.stats.faults;
+        println!(
+            "[{:?}] faults injected: {} CAM storms ({} decoy regions), {} forced \
+             reconciles, {} latency spikes, {} link retries ({} stall cycles)",
+            outcome.protocol,
+            f.cam_storms,
+            f.decoy_regions,
+            f.forced_reconciles,
+            f.latency_spikes,
+            f.link_retries,
+            f.stall_cycles,
+        );
+    }
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let Some(path) = args.get(1) else {
-        eprintln!("usage: replay <trace-file> [single-socket|dual-socket|4-socket|disaggregated]");
+        eprintln!(
+            "usage: replay <trace-file> [single-socket|dual-socket|4-socket|disaggregated] \
+             [--check] [--faults <seed>]"
+        );
         std::process::exit(2);
     };
-    let machine = match args.get(2) {
+    let machine = match args.get(2).filter(|a| !a.starts_with("--")) {
         Some(name) => machine_by_name(name).unwrap_or_else(|| {
             eprintln!("unknown machine {name:?}");
             std::process::exit(2);
         }),
         None => MachineConfig::dual_socket(),
     };
-    let mut file = std::io::BufReader::new(std::fs::File::open(path).expect("open trace"));
-    let program = trace_io::read_trace(&mut file).expect("parse trace");
-    program.check_invariants().expect("trace invariants");
+    let opts = RunOptions::from_args();
+    let file = std::fs::File::open(path)
+        .unwrap_or_else(|e| fail(format!("cannot open trace {path:?}: {e}")));
+    let mut reader = std::io::BufReader::new(file);
+    let program = trace_io::read_trace(&mut reader)
+        .unwrap_or_else(|e| fail(format!("cannot parse trace {path:?}: {e}")));
+    program
+        .check_invariants()
+        .unwrap_or_else(|e| fail(format!("trace {path:?} violates invariants: {e}")));
     println!("{} — {}", program.name, summarize(&program));
-    let mesi = simulate(&program, &machine, Protocol::Mesi);
-    let warden = simulate(&program, &machine, Protocol::Warden);
-    assert_eq!(mesi.memory_image_digest, warden.memory_image_digest);
+
+    let sim_opts = opts.sim_options();
+    // Validate machine and plan once through the fallible entry point, then
+    // reuse the infallible one for the second protocol.
+    let mesi = try_simulate(&program, &machine, Protocol::Mesi, &sim_opts)
+        .unwrap_or_else(|e| fail(format!("cannot simulate: {e}")));
+    let warden = simulate_with_options(&program, &machine, Protocol::Warden, &sim_opts);
+    let clean = report_robustness(&mesi, &opts) & report_robustness(&warden, &opts);
+
+    if mesi.memory_image_digest != warden.memory_image_digest {
+        fail("protocols disagree on the final memory image".to_string());
+    }
     let c = Comparison::of(&program.name, &mesi, &warden);
     println!(
         "\n{} on {}: MESI {} cycles, WARDen {} cycles → speedup {:.2}x",
@@ -48,4 +104,7 @@ fn main() {
         "inv+downgrades avoided/k-instr {:.2}, total energy saved {:.1}%",
         c.inv_dg_reduced_per_kilo, c.total_energy_savings_pct
     );
+    if !clean {
+        std::process::exit(1);
+    }
 }

@@ -23,8 +23,10 @@ fn main() {
             (s.loads + s.stores + s.rmws).to_string(),
             format!("{:.1}%", 100.0 * s.sharing_fraction()),
             s.distinct_blocks.to_string(),
-            format!("{:.0}%", 100.0 * p.stats.accesses_in_ward as f64
-                / p.stats.memory_accesses.max(1) as f64),
+            format!(
+                "{:.0}%",
+                100.0 * p.stats.accesses_in_ward as f64 / p.stats.memory_accesses.max(1) as f64
+            ),
         ]);
     }
     println!(

@@ -23,7 +23,12 @@ pub fn render_table1(machine: &MachineConfig, iterations: u64) -> String {
     format!(
         "Table 1: true-sharing ping-pong latency (cycles/iteration)\n\n{}",
         table(
-            &["Scenario", "Paper real HW", "Paper Sniper", "This simulator"],
+            &[
+                "Scenario",
+                "Paper real HW",
+                "Paper Sniper",
+                "This simulator"
+            ],
             &rows
         )
     )
@@ -34,10 +39,7 @@ pub fn render_table2(machine: &MachineConfig) -> String {
     let rows = vec![
         vec!["L1 size".into(), "32 KB".into()],
         vec!["L2 size".into(), "256 KB".into()],
-        vec![
-            "L3 size (per core)".into(),
-            "2.5 MB".into(),
-        ],
+        vec!["L3 size (per core)".into(), "2.5 MB".into()],
         vec!["Cache block size".into(), "64 B".into()],
         vec!["L1/L2 associativity".into(), "8".into()],
         vec!["L3 associativity".into(), "20".into()],
@@ -186,7 +188,12 @@ pub fn render_fig10(runs: &[BenchRun]) -> String {
     format!(
         "Figure 10: percent of the avoided events that were downgrades vs invalidations\n\n{}",
         table(
-            &["Benchmark", "Downgrade %", "Invalidation %", "Paper downgrade %"],
+            &[
+                "Benchmark",
+                "Downgrade %",
+                "Invalidation %",
+                "Paper downgrade %"
+            ],
             &rows
         )
     )

@@ -28,4 +28,4 @@ pub mod fmt;
 pub mod paper;
 pub mod runner;
 
-pub use runner::{run_bench, run_pair, suite, BenchRun, SuiteScale};
+pub use runner::{run_bench, run_pair, suite, BenchRun, RunOptions, SuiteScale};

@@ -3,7 +3,7 @@
 use warden_coherence::Protocol;
 use warden_pbbs::{Bench, Scale};
 use warden_rt::TraceProgram;
-use warden_sim::{simulate, Comparison, MachineConfig, SimOutcome};
+use warden_sim::{simulate, Comparison, FaultPlan, MachineConfig, SimOptions, SimOutcome};
 
 /// Scale selection shared by the harness binaries (`--scale tiny` on the
 /// command line switches every figure to fast test inputs).
@@ -36,6 +36,51 @@ impl SuiteScale {
     }
 }
 
+/// Robustness switches shared by the harness binaries: `--check` turns on
+/// the coherence invariant checker for every simulated run, and
+/// `--faults <seed>` replays the run under the benign seeded fault plan
+/// (CAM-exhaustion storms, forced reconciliations, latency spikes, degraded
+/// links) — none of which may change the final memory image.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Enable the invariant checker ([`SimOptions::check`]).
+    pub check: bool,
+    /// Seed for [`FaultPlan::benign`], if fault injection was requested.
+    pub faults: Option<u64>,
+}
+
+impl RunOptions {
+    /// Parse from process arguments (`--check`, `--faults <seed>`).
+    ///
+    /// An unparsable seed is reported and ignored rather than panicking —
+    /// the binaries treat flags as best-effort switches.
+    pub fn from_args() -> RunOptions {
+        let args: Vec<String> = std::env::args().collect();
+        let mut opts = RunOptions::default();
+        for (i, a) in args.iter().enumerate() {
+            if a == "--check" {
+                opts.check = true;
+            }
+            if a == "--faults" {
+                match args.get(i + 1).map(|s| s.parse::<u64>()) {
+                    Some(Ok(seed)) => opts.faults = Some(seed),
+                    _ => eprintln!("--faults needs a numeric seed; ignoring"),
+                }
+            }
+        }
+        opts
+    }
+
+    /// The simulator options these switches select.
+    pub fn sim_options(&self) -> SimOptions {
+        SimOptions {
+            check: self.check,
+            faults: self.faults.map(FaultPlan::benign),
+            ..SimOptions::default()
+        }
+    }
+}
+
 /// One benchmark's results on one machine: both runs and the comparison.
 #[derive(Clone, Debug)]
 pub struct BenchRun {
@@ -55,7 +100,11 @@ pub struct BenchRun {
 ///
 /// Panics if the two protocols produce different final memory images —
 /// WARDen's reconciliation must be semantically transparent.
-pub fn run_pair(name: &str, program: &TraceProgram, machine: &MachineConfig) -> (SimOutcome, SimOutcome, Comparison) {
+pub fn run_pair(
+    name: &str,
+    program: &TraceProgram,
+    machine: &MachineConfig,
+) -> (SimOutcome, SimOutcome, Comparison) {
     let mesi = simulate(program, machine, Protocol::Mesi);
     let warden = simulate(program, machine, Protocol::Warden);
     assert_eq!(
@@ -99,6 +148,20 @@ mod tests {
         let r = run_bench(Bench::MakeArray, Scale::Tiny, &m);
         assert!(r.cmp.speedup > 0.5);
         assert_eq!(r.mesi.memory_image_digest, r.warden.memory_image_digest);
+    }
+
+    #[test]
+    fn run_options_select_sim_options() {
+        let o = RunOptions {
+            check: true,
+            faults: Some(7),
+        };
+        let s = o.sim_options();
+        assert!(s.check);
+        assert_eq!(s.faults.as_ref().map(|p| p.seed), Some(7));
+        assert!(s.faults.unwrap().is_benign());
+        let d = RunOptions::default().sim_options();
+        assert!(!d.check && d.faults.is_none());
     }
 
     #[test]

@@ -112,9 +112,8 @@ impl CacheBitBudget {
         let private = CacheBitBudget::private_line().line_bits() as f64
             * (lines(32 * 1024) + lines(256 * 1024)) as f64
             * cores as f64;
-        let shared = CacheBitBudget::llc_line().line_bits() as f64
-            * lines(2_621_440) as f64
-            * cores as f64;
+        let shared =
+            CacheBitBudget::llc_line().line_bits() as f64 * lines(2_621_440) as f64 * cores as f64;
         private + shared
     }
 }

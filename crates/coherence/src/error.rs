@@ -1,0 +1,106 @@
+//! Typed errors for recoverable misuse of the coherence engine.
+//!
+//! The panicking entry points ([`crate::CoherenceSystem::load`] and friends)
+//! remain the convenient API for trusted callers (the replay engine feeds
+//! them validated traces); the `try_*` variants return a [`CoherenceError`]
+//! instead, so callers handling untrusted input — decoded trace files, fault
+//! injectors, fuzzers — can reject bad operations without unwinding.
+
+use std::fmt;
+use warden_mem::Addr;
+
+/// A rejected coherence-engine operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoherenceError {
+    /// The core id does not exist on this machine.
+    CoreOutOfRange {
+        /// The offending core id.
+        core: usize,
+        /// Cores on the machine.
+        num_cores: usize,
+    },
+    /// An access would straddle a cache-block boundary.
+    CrossesBlockBoundary {
+        /// Access address.
+        addr: Addr,
+        /// Access size in bytes.
+        size: u64,
+    },
+    /// A store or RMW carried no bytes.
+    EmptyAccess {
+        /// Access address.
+        addr: Addr,
+    },
+    /// An atomic's operand width is outside `1..=8` bytes.
+    BadRmwSize {
+        /// The offending size.
+        size: u64,
+    },
+    /// Region bounds are not page-aligned.
+    UnalignedRegion {
+        /// Region start.
+        start: Addr,
+        /// Region end (exclusive).
+        end: Addr,
+    },
+    /// Region bounds describe an empty or inverted range.
+    EmptyRegion {
+        /// Region start.
+        start: Addr,
+        /// Region end (exclusive).
+        end: Addr,
+    },
+    /// `set_memory` was called after the caches warmed up.
+    CachesNotCold,
+    /// A configuration value is invalid (see the message for which).
+    BadConfig(String),
+}
+
+impl fmt::Display for CoherenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoherenceError::CoreOutOfRange { core, num_cores } => {
+                write!(
+                    f,
+                    "core {core} out of range (machine has {num_cores} cores)"
+                )
+            }
+            CoherenceError::CrossesBlockBoundary { addr, size } => {
+                write!(f, "access at {addr} size {size} crosses a block boundary")
+            }
+            CoherenceError::EmptyAccess { addr } => write!(f, "empty access at {addr}"),
+            CoherenceError::BadRmwSize { size } => {
+                write!(f, "rmw size {size} outside 1..=8 bytes")
+            }
+            CoherenceError::UnalignedRegion { start, end } => {
+                write!(f, "region [{start}, {end}) bounds must be page-aligned")
+            }
+            CoherenceError::EmptyRegion { start, end } => {
+                write!(f, "region [{start}, {end}) must be non-empty")
+            }
+            CoherenceError::CachesNotCold => {
+                write!(f, "set_memory requires cold caches")
+            }
+            CoherenceError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoherenceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        let e = CoherenceError::CrossesBlockBoundary {
+            addr: Addr(0x3c),
+            size: 8,
+        };
+        assert!(e.to_string().contains("crosses a block boundary"));
+        let e = CoherenceError::BadConfig("l1 latency must be below l2".into());
+        assert!(e.to_string().contains("l1 latency"));
+    }
+}

@@ -45,12 +45,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod check;
+mod error;
 mod region;
 mod state;
 mod stats;
 mod system;
 mod topo;
 
+pub use check::{
+    CheckerReport, InvariantChecker, InvariantKind, InvariantViolation, ProtocolMutation,
+};
+pub use error::CoherenceError;
 pub use region::{AddRegion, RegionId, RegionStore};
 pub use state::{DirState, LlcLine, PrivLine, PrivState, Protocol};
 pub use stats::CoherenceStats;

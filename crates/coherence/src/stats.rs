@@ -144,12 +144,41 @@ impl AddAssign for CoherenceStats {
             ($($f:ident),* $(,)?) => { $( self.$f += rhs.$f; )* };
         }
         acc!(
-            loads, stores, rmws, l1_hits, l2_hits, llc_hits, llc_misses, invalidations,
-            downgrades, fwd_gets, fwd_getm, inv_msgs, upgrades, writebacks, llc_evictions,
-            llc_writebacks, inclusion_invalidations, ward_serves, ward_transitions,
-            ward_avoided_inv, ward_avoided_dg, ward_rmw_escapes, ward_entry_syncs, recon_blocks,
-            recon_writebacks, recon_drops, region_adds, region_removes, region_overflows,
-            ctrl_intra, ctrl_inter, data_intra, data_inter, dram_reads, dram_writes,
+            loads,
+            stores,
+            rmws,
+            l1_hits,
+            l2_hits,
+            llc_hits,
+            llc_misses,
+            invalidations,
+            downgrades,
+            fwd_gets,
+            fwd_getm,
+            inv_msgs,
+            upgrades,
+            writebacks,
+            llc_evictions,
+            llc_writebacks,
+            inclusion_invalidations,
+            ward_serves,
+            ward_transitions,
+            ward_avoided_inv,
+            ward_avoided_dg,
+            ward_rmw_escapes,
+            ward_entry_syncs,
+            recon_blocks,
+            recon_writebacks,
+            recon_drops,
+            region_adds,
+            region_removes,
+            region_overflows,
+            ctrl_intra,
+            ctrl_inter,
+            data_intra,
+            data_inter,
+            dram_reads,
+            dram_writes,
             dir_lookups,
         );
         self.region_peak = self.region_peak.max(rhs.region_peak);

@@ -7,11 +7,19 @@
 //! between accesses. Real data bytes travel with every block so that tests
 //! can compare final memory images across protocols.
 
+use crate::check::{
+    CheckerReport, InvariantChecker, InvariantKind, InvariantViolation, MutationSet,
+    ProtocolMutation,
+};
+use crate::error::CoherenceError;
 use crate::region::{AddRegion, RegionId, RegionStore};
 use crate::state::{DirState, LlcLine, PrivLine, PrivState, Protocol};
 use crate::stats::CoherenceStats;
 use crate::topo::{CoreId, LatencyModel, SocketId, Topology};
-use warden_mem::{Addr, BlockAddr, BlockData, CacheArray, CacheGeometry, Memory, BLOCK_SIZE};
+use warden_mem::{
+    Addr, BlockAddr, BlockData, CacheArray, CacheGeometry, Memory, PageAddr, WriteMask, BLOCK_SIZE,
+    PAGE_SIZE,
+};
 
 /// Cache geometries for the simulated machine.
 #[derive(Clone, Copy, Debug)]
@@ -55,6 +63,36 @@ impl CacheConfig {
             region_capacity: 16,
             sector_bytes: 1,
         }
+    }
+
+    /// Check the configuration's internal consistency: the inclusive L1 must
+    /// fit inside the L2, the directory must track at least one region, and
+    /// the sector granularity must be a power of two no larger than a block.
+    /// (Geometry well-formedness — non-zero ways and sets, whole-set sizes —
+    /// is enforced by [`CacheGeometry::new`] itself.)
+    pub fn validate(&self) -> Result<(), CoherenceError> {
+        if self.l1.num_blocks() > self.l2.num_blocks() {
+            return Err(CoherenceError::BadConfig(format!(
+                "inclusive L1 ({} blocks) larger than its L2 ({} blocks)",
+                self.l1.num_blocks(),
+                self.l2.num_blocks()
+            )));
+        }
+        if self.region_capacity == 0 {
+            return Err(CoherenceError::BadConfig(
+                "region capacity must be at least 1".into(),
+            ));
+        }
+        if self.sector_bytes == 0
+            || !self.sector_bytes.is_power_of_two()
+            || self.sector_bytes > BLOCK_SIZE
+        {
+            return Err(CoherenceError::BadConfig(format!(
+                "sector granularity {} must be a power of two in 1..={BLOCK_SIZE}",
+                self.sector_bytes
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -135,6 +173,10 @@ pub struct CoherenceSystem {
     sector_bytes: u64,
     /// Optional directory-transition recorder (see [`Self::enable_dir_log`]).
     dir_log: Option<Vec<(BlockAddr, DirKind)>>,
+    /// Optional invariant checker (see [`Self::enable_checker`]).
+    check: Option<InvariantChecker>,
+    /// Injected protocol defects (see [`Self::inject_mutation`]).
+    mutations: MutationSet,
 }
 
 /// The `[start, len)` byte range a write of `len` bytes at `offset` marks in
@@ -216,7 +258,9 @@ impl CoherenceSystem {
             topo,
             lat,
             protocol,
-            cores: (0..topo.num_cores()).map(|_| PrivateCache::new(&cfg)).collect(),
+            cores: (0..topo.num_cores())
+                .map(|_| PrivateCache::new(&cfg))
+                .collect(),
             llcs: (0..topo.num_sockets())
                 .map(|_| CacheArray::new(cfg.llc_slice))
                 .collect(),
@@ -226,6 +270,8 @@ impl CoherenceSystem {
             dir_pages: std::collections::HashMap::new(),
             sector_bytes: cfg.sector_bytes,
             dir_log: None,
+            check: None,
+            mutations: MutationSet::default(),
         }
     }
 
@@ -254,10 +300,13 @@ impl CoherenceSystem {
     }
 
     /// Record a block's new directory state in the per-page dirty index
-    /// (and the transition log, when enabled).
+    /// (and the transition log / invariant checker, when enabled).
     fn note_dir(&mut self, block: BlockAddr, dir: DirState) {
         if let Some(log) = &mut self.dir_log {
             log.push((block, DirKind::from(dir)));
+        }
+        if let Some(chk) = &mut self.check {
+            chk.pending.push((block, dir));
         }
         let page = block.page();
         let bit = 1u64 << (block.0 % warden_mem::PageAddr::blocks_per_page());
@@ -270,6 +319,258 @@ impl CoherenceSystem {
                     *mask &= !bit;
                     if *mask == 0 {
                         self.dir_pages.remove(&page);
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- invariant checking -------------------------------------------
+
+    /// Install the opt-in [`InvariantChecker`]: after every directory
+    /// transaction (batched at the end of each access or region
+    /// instruction, once transient state has settled) the touched blocks
+    /// are re-validated against the protocol's invariants. Violations
+    /// accumulate as typed [`InvariantViolation`] values — query them with
+    /// [`Self::violations`] / [`Self::take_violations`] — instead of
+    /// panicking mid-simulation.
+    pub fn enable_checker(&mut self) {
+        if self.check.is_none() {
+            self.check = Some(InvariantChecker::new());
+        }
+    }
+
+    /// Whether [`Self::enable_checker`] has run.
+    pub fn checker_enabled(&self) -> bool {
+        self.check.is_some()
+    }
+
+    /// Invariant violations detected so far (empty when the checker is
+    /// disabled or the machine is healthy).
+    pub fn violations(&self) -> &[InvariantViolation] {
+        self.check.as_ref().map_or(&[], |c| c.violations.as_slice())
+    }
+
+    /// Drain the recorded violations, leaving the checker running.
+    pub fn take_violations(&mut self) -> Vec<InvariantViolation> {
+        self.check
+            .as_mut()
+            .map(|c| std::mem::take(&mut c.violations))
+            .unwrap_or_default()
+    }
+
+    /// Checker activity counters, when the checker is enabled.
+    pub fn checker_summary(&self) -> Option<CheckerReport> {
+        self.check.as_ref().map(|c| c.summary())
+    }
+
+    /// Inject a deliberate protocol defect (fault-injection campaigns; see
+    /// [`ProtocolMutation`]). The defect stays active for the system's
+    /// lifetime. Mutated systems corrupt data by design — pair them with
+    /// [`Self::enable_checker`] to prove the defect is caught.
+    pub fn inject_mutation(&mut self, m: ProtocolMutation) {
+        self.mutations.apply(m);
+    }
+
+    /// Whether any protocol mutation is active.
+    pub fn has_mutations(&self) -> bool {
+        self.mutations.any()
+    }
+
+    /// Validate and settle all directory transactions recorded since the
+    /// last check. Called at the end of every public mutating operation;
+    /// a no-op unless the checker is enabled.
+    fn run_checks(&mut self) {
+        let Some(mut chk) = self.check.take() else {
+            return;
+        };
+        if !chk.pending.is_empty() {
+            let pending = std::mem::take(&mut chk.pending);
+            let mut touched: Vec<BlockAddr> = Vec::with_capacity(pending.len());
+            for (block, dir) in pending {
+                chk.transactions += 1;
+                chk.note_history(block, DirKind::from(dir));
+                let prev = chk.prev.insert(block, dir);
+                // Edge invariant: entering W from a single owner requires
+                // the entry sync to have snapshotted (and cleared) the
+                // owner's dirty sectors, or pre-region writes are stale in
+                // the LLC merge base.
+                if let (Some(DirState::Owned(o)), DirState::Ward(copies)) = (prev, dir) {
+                    if copies & DirState::bit(o) != 0 {
+                        if let Some(line) = self.cores[o].l2.peek(block) {
+                            if !line.mask.is_empty() {
+                                chk.report(
+                                    InvariantKind::WardEntrySync,
+                                    block,
+                                    Some(o),
+                                    format!(
+                                        "entered W from dirty owner {o} without an entry \
+                                         sync; un-synced sectors {:?}",
+                                        line.mask
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+                touched.push(block);
+            }
+            touched.sort_unstable();
+            touched.dedup();
+            for block in touched {
+                self.check_block_state(&mut chk, block);
+            }
+        }
+        self.check = Some(chk);
+    }
+
+    /// Validate one block's settled state: SWMR, directory agreement,
+    /// W-in-region, and write-mask mergeability.
+    fn check_block_state(&self, chk: &mut InvariantChecker, block: BlockAddr) {
+        chk.blocks_checked += 1;
+        let home = self.topo.home_of(block);
+        let line = self.llcs[home].peek(block);
+        let dir = line.map(|l| l.dir);
+        let holders: Vec<(CoreId, PrivState, WriteMask)> = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter_map(|(c, pc)| pc.l2.peek(block).map(|l| (c, l.state, l.mask)))
+            .collect();
+        let holder_bits = holders
+            .iter()
+            .fold(0u64, |acc, &(c, ..)| acc | DirState::bit(c));
+        let holder_cores: Vec<CoreId> = holders.iter().map(|h| h.0).collect();
+
+        // A copy that is not Modified must be clean relative to its fill.
+        for &(c, state, mask) in &holders {
+            if state != PrivState::Modified && !mask.is_empty() {
+                chk.report(
+                    InvariantKind::Swmr,
+                    block,
+                    Some(c),
+                    format!("core {c} holds a {state:?} copy with non-empty write mask {mask:?}"),
+                );
+            }
+        }
+        // SWMR outside the W state.
+        if !matches!(dir, Some(DirState::Ward(_))) {
+            let writable: Vec<CoreId> = holders
+                .iter()
+                .filter(|h| h.1.writable())
+                .map(|h| h.0)
+                .collect();
+            if writable.len() > 1 {
+                chk.report(
+                    InvariantKind::Swmr,
+                    block,
+                    Some(writable[1]),
+                    format!("cores {writable:?} hold writable copies simultaneously outside W"),
+                );
+            }
+        }
+
+        match dir {
+            None | Some(DirState::Uncached) => {
+                if holder_bits != 0 {
+                    chk.report(
+                        InvariantKind::DirAgreement,
+                        block,
+                        holder_cores.first().copied(),
+                        format!("directory has no sharers but cores {holder_cores:?} hold copies"),
+                    );
+                }
+            }
+            Some(DirState::Owned(o)) => {
+                if holder_bits != DirState::bit(o) {
+                    chk.report(
+                        InvariantKind::DirAgreement,
+                        block,
+                        Some(o),
+                        format!("directory owner is {o} but copies live at cores {holder_cores:?}"),
+                    );
+                } else if let Some(&(_, state, _)) = holders.first() {
+                    if !state.writable() {
+                        chk.report(
+                            InvariantKind::DirAgreement,
+                            block,
+                            Some(o),
+                            format!("registered owner {o} holds a {state:?} copy, expected M/E"),
+                        );
+                    }
+                }
+            }
+            Some(DirState::Shared(s)) => {
+                if holder_bits != s {
+                    chk.report(
+                        InvariantKind::DirAgreement,
+                        block,
+                        holder_cores.first().copied(),
+                        format!(
+                            "directory sharer set {:?} disagrees with actual copies at {:?}",
+                            DirState::cores_in(s).collect::<Vec<_>>(),
+                            holder_cores
+                        ),
+                    );
+                }
+                for &(c, state, _) in &holders {
+                    if state != PrivState::Shared {
+                        chk.report(
+                            InvariantKind::DirAgreement,
+                            block,
+                            Some(c),
+                            format!("sharer {c} holds a {state:?} copy, expected Shared"),
+                        );
+                    }
+                }
+            }
+            Some(DirState::Ward(copies)) => {
+                if holder_bits != copies {
+                    chk.report(
+                        InvariantKind::DirAgreement,
+                        block,
+                        holder_cores.first().copied(),
+                        format!(
+                            "W copy set {:?} disagrees with actual copies at {:?}",
+                            DirState::cores_in(copies).collect::<Vec<_>>(),
+                            holder_cores
+                        ),
+                    );
+                }
+                if !self.regions.contains_block(block) {
+                    chk.report(
+                        InvariantKind::WardInRegion,
+                        block,
+                        None,
+                        "W-state block lies outside every active WARD region".to_string(),
+                    );
+                }
+                // Mergeability: with no partial merge recorded, every
+                // copy's clean bytes must agree with the LLC merge base —
+                // otherwise a mask merge would lose data silently.
+                let l = line.expect("a directory entry implies an LLC line");
+                if !l.ward_partial {
+                    for (c, pc) in self.cores.iter().enumerate() {
+                        let Some(p) = pc.l2.peek(block) else { continue };
+                        if let Some(b) = p
+                            .mask
+                            .complement()
+                            .iter_offsets()
+                            .find(|&b| p.data.bytes()[b as usize] != l.data.bytes()[b as usize])
+                        {
+                            chk.report(
+                                InvariantKind::MaskMergeability,
+                                block,
+                                Some(c),
+                                format!(
+                                    "core {c}'s clean byte {b} diverged from the LLC merge \
+                                     base (copy {:#04x}, base {:#04x}) with no partial merge \
+                                     recorded",
+                                    p.data.bytes()[b as usize],
+                                    l.data.bytes()[b as usize]
+                                ),
+                            );
+                        }
                     }
                 }
             }
@@ -517,6 +818,120 @@ impl CoherenceSystem {
         }
     }
 
+    // ----- fallible API ---------------------------------------------------
+    //
+    // The panicking entry points above stay the convenient API for trusted
+    // callers; the `try_*` variants below reject malformed operations with a
+    // typed [`CoherenceError`] instead of unwinding, for callers handling
+    // untrusted input (decoded traces, fuzzers, fault injectors).
+
+    /// Validate the core id and access geometry shared by the `try_*`
+    /// entry points.
+    fn validate_access(&self, core: CoreId, addr: Addr, len: u64) -> Result<(), CoherenceError> {
+        if core >= self.cores.len() {
+            return Err(CoherenceError::CoreOutOfRange {
+                core,
+                num_cores: self.cores.len(),
+            });
+        }
+        if addr.block_offset() + len > BLOCK_SIZE {
+            return Err(CoherenceError::CrossesBlockBoundary { addr, size: len });
+        }
+        Ok(())
+    }
+
+    /// Fallible [`Self::load`].
+    pub fn try_load(&mut self, core: CoreId, addr: Addr, size: u64) -> Result<u64, CoherenceError> {
+        self.validate_access(core, addr, size)?;
+        Ok(self.load(core, addr, size))
+    }
+
+    /// Fallible [`Self::store`].
+    pub fn try_store(
+        &mut self,
+        core: CoreId,
+        addr: Addr,
+        data: &[u8],
+    ) -> Result<u64, CoherenceError> {
+        if data.is_empty() {
+            return Err(CoherenceError::EmptyAccess { addr });
+        }
+        self.validate_access(core, addr, data.len() as u64)?;
+        Ok(self.store(core, addr, data))
+    }
+
+    /// Fallible [`Self::rmw`].
+    pub fn try_rmw(
+        &mut self,
+        core: CoreId,
+        addr: Addr,
+        data: &[u8],
+    ) -> Result<u64, CoherenceError> {
+        if data.is_empty() {
+            return Err(CoherenceError::EmptyAccess { addr });
+        }
+        self.validate_access(core, addr, data.len() as u64)?;
+        Ok(self.rmw(core, addr, data))
+    }
+
+    /// Fallible [`Self::rmw_add`].
+    pub fn try_rmw_add(
+        &mut self,
+        core: CoreId,
+        addr: Addr,
+        size: u64,
+        delta: u64,
+    ) -> Result<u64, CoherenceError> {
+        if !(1..=8).contains(&size) {
+            return Err(CoherenceError::BadRmwSize { size });
+        }
+        self.validate_access(core, addr, size)?;
+        Ok(self.rmw_add(core, addr, size, delta))
+    }
+
+    /// Fallible [`Self::access`].
+    pub fn try_access(
+        &mut self,
+        core: CoreId,
+        kind: AccessKind,
+        addr: Addr,
+        data: &[u8],
+    ) -> Result<u64, CoherenceError> {
+        match kind {
+            AccessKind::Load => self.try_load(core, addr, data.len() as u64),
+            AccessKind::Store => self.try_store(core, addr, data),
+            AccessKind::Rmw => self.try_rmw(core, addr, data),
+        }
+    }
+
+    /// Fallible [`Self::add_region`] — rejects unaligned or empty bounds
+    /// instead of panicking. `Ok(None)` still means the safe MESI fallback
+    /// (non-WARDen protocol or directory CAM overflow).
+    pub fn try_add_region(
+        &mut self,
+        start: Addr,
+        end: Addr,
+    ) -> Result<Option<RegionId>, CoherenceError> {
+        if !start.0.is_multiple_of(PAGE_SIZE) || !end.0.is_multiple_of(PAGE_SIZE) {
+            return Err(CoherenceError::UnalignedRegion { start, end });
+        }
+        if start >= end {
+            return Err(CoherenceError::EmptyRegion { start, end });
+        }
+        Ok(self.add_region(start, end))
+    }
+
+    /// Fallible [`Self::set_memory`].
+    pub fn try_set_memory(&mut self, memory: Memory) -> Result<(), CoherenceError> {
+        let cold =
+            self.cores.iter().all(|c| c.l2.is_empty()) && self.llcs.iter().all(|l| l.is_empty());
+        if !cold {
+            return Err(CoherenceError::CachesNotCold);
+        }
+        self.memory = memory;
+        Ok(())
+    }
+
     /// A load of `size` bytes at `addr`. Returns latency in cycles.
     ///
     /// # Panics
@@ -528,7 +943,12 @@ impl CoherenceSystem {
             "load at {addr} size {size} crosses a block boundary"
         );
         self.stats.loads += 1;
-        let block = addr.block();
+        let t = self.load_inner(core, addr.block());
+        self.run_checks();
+        t
+    }
+
+    fn load_inner(&mut self, core: CoreId, block: BlockAddr) -> u64 {
         // L1 fast path.
         if self.cores[core].l1.get(block).is_some() {
             debug_assert!(self.cores[core].l2.peek(block).is_some());
@@ -557,7 +977,9 @@ impl CoherenceSystem {
             "store at {addr} crosses a block boundary"
         );
         self.stats.stores += 1;
-        self.store_inner(core, addr, WriteVal::Bytes(data))
+        let t = self.store_inner(core, addr, WriteVal::Bytes(data));
+        self.run_checks();
+        t
     }
 
     fn store_inner(&mut self, core: CoreId, addr: Addr, val: WriteVal<'_>) -> u64 {
@@ -594,7 +1016,9 @@ impl CoherenceSystem {
     /// MPL live outside the marked heap pages.
     pub fn rmw(&mut self, core: CoreId, addr: Addr, data: &[u8]) -> u64 {
         assert!(!data.is_empty(), "empty rmw");
-        self.rmw_inner(core, addr, WriteVal::Bytes(data))
+        let t = self.rmw_inner(core, addr, WriteVal::Bytes(data));
+        self.run_checks();
+        t
     }
 
     /// An atomic fetch-and-add of `delta` to the `size`-byte little-endian
@@ -607,7 +1031,9 @@ impl CoherenceSystem {
     /// `1..=8`.
     pub fn rmw_add(&mut self, core: CoreId, addr: Addr, size: u64, delta: u64) -> u64 {
         assert!((1..=8).contains(&size), "rmw_add size {size}");
-        self.rmw_inner(core, addr, WriteVal::Add { delta, size })
+        let t = self.rmw_inner(core, addr, WriteVal::Add { delta, size });
+        self.run_checks();
+        t
     }
 
     fn rmw_inner(&mut self, core: CoreId, addr: Addr, val: WriteVal<'_>) -> u64 {
@@ -617,7 +1043,8 @@ impl CoherenceSystem {
         );
         self.stats.rmws += 1;
         let block = addr.block();
-        let in_ward_region = self.protocol == Protocol::Warden && self.regions.contains_block(block);
+        let in_ward_region =
+            self.protocol == Protocol::Warden && self.regions.contains_block(block);
         if in_ward_region {
             let home = self.topo.home_of(block);
             match self.llcs[home].peek(block).map(|l| l.dir) {
@@ -642,7 +1069,9 @@ impl CoherenceSystem {
     /// Semantically a store of 64 bytes.
     pub fn store_block(&mut self, core: CoreId, block: BlockAddr, data: &BlockData) -> u64 {
         self.stats.stores += 1;
-        self.store_inner(core, block.base(), WriteVal::Bytes(data.bytes()))
+        let t = self.store_inner(core, block.base(), WriteVal::Bytes(data.bytes()));
+        self.run_checks();
+        t
     }
 
     // ----- GetS -----------------------------------------------------------
@@ -656,8 +1085,7 @@ impl CoherenceSystem {
         self.stats.dir_lookups += 1;
         self.llc_ensure(home, block, &mut t);
 
-        let ward_now =
-            self.protocol == Protocol::Warden && self.regions.contains_block(block);
+        let ward_now = self.protocol == Protocol::Warden && self.regions.contains_block(block);
         let (dir, llc_data) = {
             let l = self.llcs[home].peek(block).expect("just ensured");
             (l.dir, l.data)
@@ -943,7 +1371,18 @@ impl CoherenceSystem {
     /// its copy and state; the LLC becomes the valid merge base for data
     /// written before the region began. Returns the latency contribution
     /// (zero when the owner had written nothing).
-    fn ward_entry_sync(&mut self, home: SocketId, block: BlockAddr, owner: CoreId, requester: CoreId) -> u64 {
+    fn ward_entry_sync(
+        &mut self,
+        home: SocketId,
+        block: BlockAddr,
+        owner: CoreId,
+        requester: CoreId,
+    ) -> u64 {
+        if self.mutations.skip_ward_entry_sync {
+            // Injected defect: leave the owner's dirty sectors out of the
+            // LLC merge base (and its mask uncleared).
+            return 0;
+        }
         let osock = self.topo.socket_of(owner);
         let Some(line) = self.cores[owner].l2.peek_mut(block) else {
             debug_assert!(false, "owner without private copy");
@@ -986,7 +1425,7 @@ impl CoherenceSystem {
             return None;
         }
         self.stats.region_adds += 1;
-        match self.regions.add(start, end) {
+        let id = match self.regions.add(start, end) {
             AddRegion::Added(id) => {
                 self.stats.region_peak = self.stats.region_peak.max(self.regions.len() as u64);
                 Some(id)
@@ -995,7 +1434,9 @@ impl CoherenceSystem {
                 self.stats.region_overflows += 1;
                 None
             }
-        }
+        };
+        self.run_checks();
+        id
     }
 
     /// Execute a Remove-Region instruction: deactivate the region and
@@ -1031,6 +1472,43 @@ impl CoherenceSystem {
                 processed += 1;
             }
         }
+        self.run_checks();
+        self.lat.region_instr + processed * self.lat.reconcile_per_block
+    }
+
+    /// Force a mid-run reconciliation of every block with an Owned or Ward
+    /// directory entry whose address lies in `[start, end)`, bringing the
+    /// range to baseline MESI state without ending any region (blocks still
+    /// inside an active region simply re-enter W on their next access).
+    /// Semantically transparent — all dirty sectors merge into the LLC — so
+    /// the fault injector uses it to stress reconciliation mid-region.
+    /// Returns the latency such a forced walk would charge.
+    pub fn force_reconcile(&mut self, start: Addr, end: Addr) -> u64 {
+        let mut pages: Vec<PageAddr> = self
+            .dir_pages
+            .keys()
+            .copied()
+            .filter(|p| p.base() < end && p.base() + PAGE_SIZE > start)
+            .collect();
+        pages.sort_unstable();
+        let mut processed = 0;
+        for page in pages {
+            let Some(mask) = self.dir_pages.get(&page).copied() else {
+                continue;
+            };
+            let first = page.first_block();
+            for i in DirState::cores_in(mask) {
+                let block = first + i as u64;
+                let base = block.base();
+                if base < start || base >= end {
+                    continue;
+                }
+                let home = self.topo.home_of(block);
+                self.reconcile_block(home, block);
+                processed += 1;
+            }
+        }
+        self.run_checks();
         self.lat.region_instr + processed * self.lat.reconcile_per_block
     }
 
@@ -1049,6 +1527,104 @@ impl CoherenceSystem {
     ///   resolve deterministically in core order, the stand-in for the
     ///   paper's "whichever block is processed last by the LLC".
     fn reconcile_block(&mut self, home: SocketId, block: BlockAddr) {
+        // Conservation audit: snapshot every dirty copy's bytes before the
+        // merge, verify the LLC afterwards (checker enabled only).
+        let audit: Option<Vec<(CoreId, BlockData, WriteMask)>> = if self.check.is_some() {
+            let writers = match self.llcs[home].peek(block).map(|l| l.dir) {
+                Some(DirState::Owned(o)) => vec![o],
+                Some(DirState::Ward(c)) => DirState::cores_in(c).collect(),
+                _ => Vec::new(),
+            };
+            Some(
+                writers
+                    .into_iter()
+                    .filter_map(|c| {
+                        self.cores[c]
+                            .l2
+                            .peek(block)
+                            .filter(|p| !p.mask.is_empty())
+                            .map(|p| (c, p.data, p.mask))
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        self.reconcile_block_inner(home, block);
+        if let Some(writers) = audit {
+            self.audit_reconciliation(block, home, &writers);
+        }
+    }
+
+    /// Verify dirty-byte conservation after a reconciliation: every byte
+    /// written by exactly one core survives with that core's value, and a
+    /// contested byte resolves to one of the writers' values.
+    fn audit_reconciliation(
+        &mut self,
+        block: BlockAddr,
+        home: SocketId,
+        writers: &[(CoreId, BlockData, WriteMask)],
+    ) {
+        let Some(mut chk) = self.check.take() else {
+            return;
+        };
+        chk.reconciliations_audited += 1;
+        if let Some(l) = self.llcs[home].peek(block) {
+            for b in 0..BLOCK_SIZE {
+                let got = l.data.bytes()[b as usize];
+                let vals: Vec<(CoreId, u8)> = writers
+                    .iter()
+                    .filter(|(_, _, m)| m.covers(b))
+                    .map(|(c, d, _)| (*c, d.bytes()[b as usize]))
+                    .collect();
+                match vals.as_slice() {
+                    [] => {}
+                    [(c, v)] if got != *v => {
+                        chk.report(
+                            InvariantKind::DirtyConservation,
+                            block,
+                            Some(*c),
+                            format!(
+                                "byte {b} written solely by core {c} (value {v:#04x}) was not \
+                                 conserved: LLC holds {got:#04x} after reconciliation"
+                            ),
+                        );
+                        break;
+                    }
+                    [..] if vals.len() > 1 && !vals.iter().any(|&(_, v)| v == got) => {
+                        chk.report(
+                            InvariantKind::DirtyConservation,
+                            block,
+                            vals.first().map(|&(c, _)| c),
+                            format!(
+                                "contested byte {b} resolved to {got:#04x}, a value none of \
+                                 the writing cores {:?} produced",
+                                vals.iter().map(|&(c, _)| c).collect::<Vec<_>>()
+                            ),
+                        );
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.check = Some(chk);
+    }
+
+    /// The mask a reconciliation actually merges for one copy — the true
+    /// mask unless a fault-injection mutation distorts it. `None` means the
+    /// copy's dirty sectors are dropped entirely.
+    fn recon_merge_mask(&self, mask: WriteMask) -> Option<WriteMask> {
+        if self.mutations.skip_recon_writeback {
+            return None;
+        }
+        Some(match self.mutations.coarse_merge_sector {
+            Some(g) => mask.expand_to_sectors(g),
+            None => mask,
+        })
+    }
+
+    fn reconcile_block_inner(&mut self, home: SocketId, block: BlockAddr) {
         let Some((dir, partial)) = self.llcs[home].peek(block).map(|l| (l.dir, l.ward_partial))
         else {
             return;
@@ -1077,9 +1653,14 @@ impl CoherenceSystem {
                 let (data, mask) = (p.data, p.mask);
                 p.state = PrivState::Shared;
                 p.mask = warden_mem::WriteMask::empty();
+                let merge = if mask.is_empty() {
+                    None
+                } else {
+                    self.recon_merge_mask(mask)
+                };
                 let llc = self.llcs[home].peek_mut(block).expect("present");
-                if !mask.is_empty() {
-                    llc.data.merge_from(&data, mask);
+                if let Some(m) = merge {
+                    llc.data.merge_from(&data, m);
                     llc.dirty = true;
                     wrote = true;
                 }
@@ -1105,10 +1686,15 @@ impl CoherenceSystem {
         for o in holders {
             let osock = self.topo.socket_of(o);
             if let Some(p) = self.invalidate_priv(o, block) {
-                if !p.mask.is_empty() {
+                let merge = if p.mask.is_empty() {
+                    None
+                } else {
+                    self.recon_merge_mask(p.mask)
+                };
+                if let Some(m) = merge {
                     {
                         let llc = self.llcs[home].peek_mut(block).expect("present");
-                        llc.data.merge_from(&p.data, p.mask);
+                        llc.data.merge_from(&p.data, m);
                         llc.dirty = true;
                     }
                     self.stats.recon_writebacks += 1;
@@ -1138,6 +1724,12 @@ impl CoherenceSystem {
     /// lines resident to the end.
     pub fn flush_all(&mut self) {
         self.dir_pages.clear();
+        // The drain below bypasses `note_dir`; drop the checker's per-block
+        // expectations so the next transitions are not judged against a
+        // pre-flush world.
+        if let Some(chk) = &mut self.check {
+            chk.reset_state();
+        }
         // Private caches first (core order = deterministic WAW resolution).
         for core in 0..self.cores.len() {
             let csock = self.topo.socket_of(core);
@@ -1490,7 +2082,10 @@ mod tests {
         m.store(0, a, &1u64.to_le_bytes());
         let tw = w.load(1, a, 8);
         let tm = m.load(1, a, 8);
-        assert!(tw < tm, "W-state read ({tw}) must be cheaper than Fwd-GetS ({tm})");
+        assert!(
+            tw < tm,
+            "W-state read ({tw}) must be cheaper than Fwd-GetS ({tm})"
+        );
     }
 
     #[test]
@@ -1535,9 +2130,9 @@ mod tests {
         s.store(0, a, &0x49u64.to_le_bytes()); // pre-region dirty owner
         let id = s.add_region(a, page(41)).unwrap();
         s.store(1, a, &0x13u64.to_le_bytes()); // entry sync, then newer write
-        // Core 1's copy leaves first (eviction via reconcile of just itself
-        // is hard to force; remove the region — multi-holder merge happens
-        // in core order 0 then 1, so order alone cannot mask the bug).
+                                               // Core 1's copy leaves first (eviction via reconcile of just itself
+                                               // is hard to force; remove the region — multi-holder merge happens
+                                               // in core order 0 then 1, so order alone cannot mask the bug).
         s.remove_region(id);
         let img = s.final_memory_image();
         assert_eq!(img.read_u64(a), 0x13, "the in-region write must win");

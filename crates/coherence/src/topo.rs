@@ -132,6 +132,37 @@ impl LatencyModel {
             ..LatencyModel::xeon_gold_6126()
         }
     }
+
+    /// Check the model's physical plausibility: non-zero hit latencies
+    /// strictly ordered L1 < L2 < L3, with remote figures (DRAM and the
+    /// inter-socket crossing) above the L3. The latency composition in the
+    /// protocol engine assumes this ordering (e.g. hit classification and
+    /// the remote-transaction threshold used by the fault injector).
+    pub fn validate(&self) -> Result<(), crate::CoherenceError> {
+        let bad = |msg: String| Err(crate::CoherenceError::BadConfig(msg));
+        if self.l1 == 0 {
+            return bad("l1 latency must be non-zero".into());
+        }
+        if !(self.l1 < self.l2 && self.l2 < self.l3) {
+            return bad(format!(
+                "hit latencies must be ordered l1 < l2 < l3, got {}/{}/{}",
+                self.l1, self.l2, self.l3
+            ));
+        }
+        if self.dram <= self.l3 {
+            return bad(format!(
+                "dram latency {} must exceed l3 latency {}",
+                self.dram, self.l3
+            ));
+        }
+        if self.intersocket <= self.l3 {
+            return bad(format!(
+                "intersocket latency {} must exceed l3 latency {}",
+                self.intersocket, self.l3
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Display for LatencyModel {

@@ -101,6 +101,63 @@ impl WriteMask {
         let bits = self.0;
         (0..BLOCK_SIZE).filter(move |i| bits & (1 << i) != 0)
     }
+
+    /// Whether the two masks mark no byte in common (the paper's *false
+    /// sharing* case: an order-independent reconciliation merge).
+    pub fn is_disjoint(self, other: WriteMask) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Whether every byte marked in `other` is also marked here.
+    pub fn contains(self, other: WriteMask) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Bytes marked here but not in `other`.
+    pub fn difference(self, other: WriteMask) -> WriteMask {
+        WriteMask(self.0 & !other.0)
+    }
+
+    /// Bytes *not* marked in this mask (the clean bytes of a copy).
+    pub fn complement(self) -> WriteMask {
+        WriteMask(!self.0)
+    }
+
+    /// Widen every marked byte to its whole `sector_bytes`-aligned sector —
+    /// the mask a coarser-sectored cache would have recorded for the same
+    /// writes. Used by the fault injector to model (incorrect) coarse-sector
+    /// reconciliation merges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sector_bytes` is zero, not a power of two, or larger than
+    /// the block.
+    pub fn expand_to_sectors(self, sector_bytes: u64) -> WriteMask {
+        assert!(
+            sector_bytes != 0 && sector_bytes.is_power_of_two() && sector_bytes <= BLOCK_SIZE,
+            "bad sector granularity {sector_bytes}"
+        );
+        if sector_bytes == 1 {
+            return self;
+        }
+        if sector_bytes == BLOCK_SIZE {
+            return if self.is_empty() {
+                WriteMask::empty()
+            } else {
+                WriteMask::full()
+            };
+        }
+        let mut out = 0u64;
+        let sector_mask = (1u64 << sector_bytes) - 1;
+        let mut base = 0;
+        while base < BLOCK_SIZE {
+            if self.0 & (sector_mask << base) != 0 {
+                out |= sector_mask << base;
+            }
+            base += sector_bytes;
+        }
+        WriteMask(out)
+    }
 }
 
 impl fmt::Debug for WriteMask {
@@ -177,6 +234,45 @@ mod tests {
         let u = a.union(b);
         assert_eq!(u.count(), 2);
         assert!(u.covers(0) && u.covers(63));
+    }
+
+    #[test]
+    fn disjoint_contains_difference() {
+        let mut a = WriteMask::empty();
+        a.set_range(0, 8);
+        let mut b = WriteMask::empty();
+        b.set_range(8, 8);
+        assert!(a.is_disjoint(b));
+        assert!(!a.is_disjoint(a));
+        assert!(a.contains(WriteMask::empty()));
+        let mut sub = WriteMask::empty();
+        sub.set_range(2, 3);
+        assert!(a.contains(sub));
+        assert!(!sub.contains(a));
+        assert_eq!(a.difference(sub).count(), 5);
+        assert_eq!(a.difference(a), WriteMask::empty());
+        assert_eq!(a.complement().count(), 56);
+        assert!(a.complement().is_disjoint(a));
+    }
+
+    #[test]
+    fn expand_to_sectors_widens() {
+        let mut m = WriteMask::empty();
+        m.set_range(3, 1);
+        m.set_range(17, 2);
+        let w = m.expand_to_sectors(8);
+        assert_eq!(w.count(), 16); // sectors [0,8) and [16,24)
+        assert!(w.covers(0) && w.covers(7) && w.covers(16) && w.covers(23));
+        assert!(!w.covers(8) && !w.covers(24));
+        assert_eq!(m.expand_to_sectors(1), m);
+        assert_eq!(m.expand_to_sectors(64), WriteMask::full());
+        assert_eq!(WriteMask::empty().expand_to_sectors(8), WriteMask::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad sector granularity")]
+    fn expand_rejects_non_power_of_two() {
+        WriteMask::empty().expand_to_sectors(3);
     }
 
     #[test]

@@ -21,7 +21,10 @@ impl ModelCache {
     }
 
     fn get(&mut self, block: u64) -> Option<u32> {
-        let set = self.sets.entry(self.geometry.set_of(BlockAddr(block))).or_default();
+        let set = self
+            .sets
+            .entry(self.geometry.set_of(BlockAddr(block)))
+            .or_default();
         let pos = set.iter().position(|&(b, _)| b == block)?;
         let entry = set.remove(pos);
         set.push(entry);
@@ -30,19 +33,29 @@ impl ModelCache {
 
     fn insert(&mut self, block: u64, v: u32) -> Option<(u64, u32)> {
         let ways = self.geometry.associativity() as usize;
-        let set = self.sets.entry(self.geometry.set_of(BlockAddr(block))).or_default();
+        let set = self
+            .sets
+            .entry(self.geometry.set_of(BlockAddr(block)))
+            .or_default();
         if let Some(pos) = set.iter().position(|&(b, _)| b == block) {
             set.remove(pos);
             set.push((block, v));
             return None;
         }
-        let evicted = if set.len() == ways { Some(set.remove(0)) } else { None };
+        let evicted = if set.len() == ways {
+            Some(set.remove(0))
+        } else {
+            None
+        };
         set.push((block, v));
         evicted
     }
 
     fn invalidate(&mut self, block: u64) -> Option<u32> {
-        let set = self.sets.entry(self.geometry.set_of(BlockAddr(block))).or_default();
+        let set = self
+            .sets
+            .entry(self.geometry.set_of(BlockAddr(block)))
+            .or_default();
         let pos = set.iter().position(|&(b, _)| b == block)?;
         Some(set.remove(pos).1)
     }

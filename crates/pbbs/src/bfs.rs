@@ -115,7 +115,13 @@ pub fn bfs(n: u64, deg: u64, grain: u64) -> TraceProgram {
 pub fn bfs_with_layout(n: u64, deg: u64, grain: u64) -> (TraceProgram, BfsLayout) {
     let (offsets, targets) = make_graph(n, deg, 0x424653);
     let layout_cell = std::rc::Rc::new(std::cell::Cell::new(warden_mem::Addr(0)));
-    let program = bfs_program(n, grain, offsets.clone(), targets.clone(), layout_cell.clone());
+    let program = bfs_program(
+        n,
+        grain,
+        offsets.clone(),
+        targets.clone(),
+        layout_cell.clone(),
+    );
     let layout = BfsLayout {
         parent_base: layout_cell.get(),
         offsets,

@@ -32,7 +32,10 @@ pub fn multiply_reference(a: &[u64], b: &[u64], n: u64) -> Vec<u64> {
 /// Panics if `n` is not a multiple of 8, or (during tracing) if any output
 /// element disagrees with the sequential reference.
 pub fn dmm(n: u64) -> TraceProgram {
-    assert!(n.is_multiple_of(TILE) && n > 0, "n must be a positive multiple of {TILE}");
+    assert!(
+        n.is_multiple_of(TILE) && n > 0,
+        "n must be a positive multiple of {TILE}"
+    );
     let a = crate::util::random_u64s(0x444D_4D41, (n * n) as usize);
     let b = crate::util::random_u64s(0x444D_4D42, (n * n) as usize);
     let expected = multiply_reference(&a, &b, n);

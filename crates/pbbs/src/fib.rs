@@ -28,10 +28,7 @@ fn fib_rec(ctx: &mut TaskCtx<'_>, n: u64, cutoff: u64) -> u64 {
         ctx.work(6 * fib_seq(n + 1));
         return fib_seq(n);
     }
-    let (a, b) = ctx.fork2(
-        |c| fib_rec(c, n - 1, cutoff),
-        |c| fib_rec(c, n - 2, cutoff),
-    );
+    let (a, b) = ctx.fork2(|c| fib_rec(c, n - 1, cutoff), |c| fib_rec(c, n - 2, cutoff));
     ctx.work(4);
     a + b
 }

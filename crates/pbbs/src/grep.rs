@@ -16,13 +16,7 @@ pub fn count_reference(text: &[u8], pattern: &[u8]) -> u64 {
         .count() as u64
 }
 
-fn scan_chunk(
-    ctx: &mut TaskCtx<'_>,
-    text: &SimSlice<u8>,
-    pattern: &[u8],
-    lo: u64,
-    hi: u64,
-) -> u64 {
+fn scan_chunk(ctx: &mut TaskCtx<'_>, text: &SimSlice<u8>, pattern: &[u8], lo: u64, hi: u64) -> u64 {
     // Collect match offsets into a leaf-local buffer (like PBBS's grep
     // writing output lines), then return the count.
     let out = ctx.alloc_scratch::<u64>(hi - lo);

@@ -113,8 +113,12 @@ impl Bench {
     /// The same selection criterion applied to *this* reproduction: the four
     /// benchmarks most accelerated on our dual-socket runs (the paper picked
     /// its own best performers; see EXPERIMENTS.md for why the sets differ).
-    pub const DISAGGREGATED_OURS: [Bench; 4] =
-        [Bench::MakeArray, Bench::Msort, Bench::Primes, Bench::SuffixArray];
+    pub const DISAGGREGATED_OURS: [Bench; 4] = [
+        Bench::MakeArray,
+        Bench::Msort,
+        Bench::Primes,
+        Bench::SuffixArray,
+    ];
 
     /// The benchmark's display name (as it appears in the figures).
     pub fn name(self) -> &'static str {

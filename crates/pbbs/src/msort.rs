@@ -90,7 +90,11 @@ pub(crate) fn merge_par(
         return;
     }
     // Split the larger input at its midpoint.
-    let (big, small, big_first) = if a.len() >= b.len() { (a, b, true) } else { (b, a, false) };
+    let (big, small, big_first) = if a.len() >= b.len() {
+        (a, b, true)
+    } else {
+        (b, a, false)
+    };
     let mid = big.len() / 2;
     let key = ctx.read(&big, mid);
     let split = lower_bound(ctx, &small, key);

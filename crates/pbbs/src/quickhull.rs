@@ -25,8 +25,7 @@ pub fn hull_reference(points: &[u64]) -> std::collections::BTreeSet<u64> {
         let mut best_d = 0i64;
         for &p in pts {
             let d = cross(a, b, p);
-            let better = d > best_d
-                || (d == best_d && d > 0 && best.is_none_or(|bp| p < bp));
+            let better = d > best_d || (d == best_d && d > 0 && best.is_none_or(|bp| p < bp));
             if better {
                 best_d = d;
                 best = Some(p);
@@ -34,8 +33,16 @@ pub fn hull_reference(points: &[u64]) -> std::collections::BTreeSet<u64> {
         }
         let Some(c) = best else { return };
         out.insert(c);
-        let left: Vec<u64> = pts.iter().copied().filter(|&p| cross(a, c, p) > 0).collect();
-        let right: Vec<u64> = pts.iter().copied().filter(|&p| cross(c, b, p) > 0).collect();
+        let left: Vec<u64> = pts
+            .iter()
+            .copied()
+            .filter(|&p| cross(a, c, p) > 0)
+            .collect();
+        let right: Vec<u64> = pts
+            .iter()
+            .copied()
+            .filter(|&p| cross(c, b, p) > 0)
+            .collect();
         rec(&left, a, c, out);
         rec(&right, c, b, out);
     }
@@ -47,8 +54,16 @@ pub fn hull_reference(points: &[u64]) -> std::collections::BTreeSet<u64> {
     let hi = *points.iter().max().expect("non-empty");
     out.insert(lo);
     out.insert(hi);
-    let upper: Vec<u64> = points.iter().copied().filter(|&p| cross(lo, hi, p) > 0).collect();
-    let lower: Vec<u64> = points.iter().copied().filter(|&p| cross(hi, lo, p) > 0).collect();
+    let upper: Vec<u64> = points
+        .iter()
+        .copied()
+        .filter(|&p| cross(lo, hi, p) > 0)
+        .collect();
+    let lower: Vec<u64> = points
+        .iter()
+        .copied()
+        .filter(|&p| cross(hi, lo, p) > 0)
+        .collect();
     rec(&upper, lo, hi, &mut out);
     rec(&lower, hi, lo, &mut out);
     out
@@ -104,7 +119,12 @@ fn farthest(ctx: &mut TaskCtx<'_>, pts: &SimSlice<u64>, a: u64, b: u64) -> Optio
 /// Pack the elements of `pts` outside edge `(a, b)` into a fresh scratch
 /// array, in index order (sequential pass — PBBS uses a parallel pack; the
 /// sequential one keeps slot assignment trivially deterministic).
-fn pack_outside(ctx: &mut TaskCtx<'_>, pts: &SimSlice<u64>, a: u64, b: u64) -> (SimSlice<u64>, u64) {
+fn pack_outside(
+    ctx: &mut TaskCtx<'_>,
+    pts: &SimSlice<u64>,
+    a: u64,
+    b: u64,
+) -> (SimSlice<u64>, u64) {
     let n = pts.len();
     let out = ctx.alloc_scratch::<u64>(n.max(1));
     let mut k = 0u64;

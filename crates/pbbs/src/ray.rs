@@ -96,7 +96,14 @@ pub fn render_reference(tris: &[f64], side: u64) -> Vec<u64> {
     img
 }
 
-fn trace_pixel(ctx: &mut TaskCtx<'_>, tris: &SimSlice<f64>, m: u64, px: u64, py: u64, side: u64) -> u64 {
+fn trace_pixel(
+    ctx: &mut TaskCtx<'_>,
+    tris: &SimSlice<f64>,
+    m: u64,
+    px: u64,
+    py: u64,
+    side: u64,
+) -> u64 {
     let dir = ray_dir(px, py, side);
     let mut best = f64::INFINITY;
     let mut hit = u64::MAX;

@@ -51,7 +51,11 @@ pub fn suffix_array(n: u64, grain: u64) -> TraceProgram {
             // Pack (rank[i], rank[i+k], i) keys and sort them.
             let keys = ctx.tabulate::<u64>(n, grain, &|c, i| {
                 let r1 = c.read(&rank, i);
-                let r2 = if i + k < n { c.read(&rank, i + k) + 1 } else { 0 };
+                let r2 = if i + k < n {
+                    c.read(&rank, i + k) + 1
+                } else {
+                    0
+                };
                 c.work(4);
                 pack(r1, r2, i)
             });

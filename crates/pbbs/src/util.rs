@@ -33,7 +33,11 @@ pub fn random_text(tag: u64, n: usize) -> Vec<u8> {
             out.push(b'a' + r.gen_range(0..26u8));
         }
         if out.len() < n {
-            out.push(if r.gen_range(0..14u8) == 0 { b'\n' } else { b' ' });
+            out.push(if r.gen_range(0..14u8) == 0 {
+                b'\n'
+            } else {
+                b' '
+            });
         }
     }
     out
@@ -42,7 +46,9 @@ pub fn random_text(tag: u64, n: usize) -> Vec<u8> {
 /// Random text over a tiny alphabet (palindrome-rich).
 pub fn random_binary_text(tag: u64, n: usize) -> Vec<u8> {
     let mut r = rng(tag);
-    (0..n).map(|_| if r.gen::<bool>() { b'a' } else { b'b' }).collect()
+    (0..n)
+        .map(|_| if r.gen::<bool>() { b'a' } else { b'b' })
+        .collect()
 }
 
 /// `n` random 2-D points with coordinates in `0..extent`, packed

@@ -180,7 +180,9 @@ impl<'a> TaskCtx<'a> {
             self.st.initial_memory = Some(self.st.memory.clone());
         }
         self.st.stats.events += 1;
-        self.st.tasks[self.task].events.push(Event::Compute { amount });
+        self.st.tasks[self.task]
+            .events
+            .push(Event::Compute { amount });
     }
 
     // ----- allocation --------------------------------------------------------
@@ -235,7 +237,10 @@ impl<'a> TaskCtx<'a> {
             "preload must precede all traced events"
         );
         assert!(!data.is_empty(), "empty preload");
-        let (addr, _run) = self.st.heaps.alloc(self.task, data.len() as u64 * T::SIZE, false);
+        let (addr, _run) = self
+            .st
+            .heaps
+            .alloc(self.task, data.len() as u64 * T::SIZE, false);
         for (i, v) in data.iter().enumerate() {
             let a = addr + i as u64 * T::SIZE;
             let bytes = v.to_bits().to_le_bytes();
@@ -263,7 +268,9 @@ impl<'a> TaskCtx<'a> {
                 unmark_page(&mut self.st.marked_pages, p);
             }
             self.st.token_ranges.remove(&token);
-            self.st.tasks[self.task].events.push(Event::RegionRemove { token });
+            self.st.tasks[self.task]
+                .events
+                .push(Event::RegionRemove { token });
             self.st.stats.events += 1;
             self.st.stats.instructions += 1;
         }
@@ -326,9 +333,7 @@ impl<'a> TaskCtx<'a> {
         self.check_access(addr, T::SIZE, true);
         let bits = v.to_bits();
         let bytes = bits.to_le_bytes();
-        self.st
-            .memory
-            .write_bytes(addr, &bytes[..T::SIZE as usize]);
+        self.st.memory.write_bytes(addr, &bytes[..T::SIZE as usize]);
         self.emit(Event::Store {
             addr,
             size: T::SIZE as u8,
@@ -559,7 +564,13 @@ impl<'a> TaskCtx<'a> {
     /// # Panics
     ///
     /// Panics if `grain == 0`.
-    pub fn parallel_for(&mut self, lo: u64, hi: u64, grain: u64, f: &dyn Fn(&mut TaskCtx<'_>, u64)) {
+    pub fn parallel_for(
+        &mut self,
+        lo: u64,
+        hi: u64,
+        grain: u64,
+        f: &dyn Fn(&mut TaskCtx<'_>, u64),
+    ) {
         assert!(grain > 0, "grain must be positive");
         if hi <= lo {
             return;
@@ -571,10 +582,9 @@ impl<'a> TaskCtx<'a> {
             return;
         }
         let mid = lo + (hi - lo) / 2;
-        self.fork2_dyn(
-            &mut |ctx| ctx.parallel_for(lo, mid, grain, f),
-            &mut |ctx| ctx.parallel_for(mid, hi, grain, f),
-        );
+        self.fork2_dyn(&mut |ctx| ctx.parallel_for(lo, mid, grain, f), &mut |ctx| {
+            ctx.parallel_for(mid, hi, grain, f)
+        });
     }
 
     /// Allocate an array of `n` elements in the *current* heap and fill it
@@ -734,7 +744,9 @@ impl<'a> TaskCtx<'a> {
         };
         // The checker monitors the declared bytes exactly.
         if self.st.opts.check == CheckMode::Strict {
-            self.st.ward_scopes.push(WardScopeState::new(kind, byte_start, byte_end));
+            self.st
+                .ward_scopes
+                .push(WardScopeState::new(kind, byte_start, byte_end));
         }
         let r = f(self);
         if self.st.opts.check == CheckMode::Strict {

@@ -107,7 +107,11 @@ impl HeapManager {
 
     /// Register a new (empty) heap for a task. Heap ids equal task ids.
     pub fn new_heap(&mut self, task: TaskId) {
-        assert_eq!(task, self.heaps.len(), "heaps must be created in task order");
+        assert_eq!(
+            task,
+            self.heaps.len(),
+            "heaps must be created in task order"
+        );
         self.heaps.push(HeapInfo::default());
         self.uf.push(task);
     }
@@ -157,7 +161,11 @@ impl HeapManager {
         assert!(size > 0, "zero-size allocation");
         let size = size.div_ceil(8) * 8;
         let h = &mut self.heaps[task];
-        let end = if scratch { h.sfrontier_end } else { h.frontier_end };
+        let end = if scratch {
+            h.sfrontier_end
+        } else {
+            h.frontier_end
+        };
         let frontier = if scratch {
             &mut h.sfrontier
         } else {

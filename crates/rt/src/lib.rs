@@ -66,6 +66,7 @@ pub use disentangle::{CheckMode, WardViolation};
 pub use scalar::{Scalar, SimSlice};
 pub use summary::{summarize, TraceSummary};
 pub use trace::{Event, RegionToken, RmwOp, RtStats, TaskId, TaskTrace, TraceProgram};
+pub use trace_io::TraceDecodeError;
 
 use warden_mem::{Addr, PageAddr, PAGE_SIZE};
 
@@ -184,10 +185,7 @@ mod tests {
             // Child a allocates and leaks the handle to child b via the Rust
             // side channel; b's access must be caught.
             let mut handle = None;
-            let (_, _) = ctx.fork2(
-                |c| handle = Some(c.alloc::<u64>(8)),
-                |_| (),
-            );
+            let (_, _) = ctx.fork2(|c| handle = Some(c.alloc::<u64>(8)), |_| ());
             // handle's heap merged into root now; create two fresh siblings
             // where one allocates and a *cousin line* reads it concurrently.
             let mut h2 = None;

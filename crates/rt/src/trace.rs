@@ -224,7 +224,9 @@ impl TraceProgram {
                     Event::RegionRemove { token } => {
                         *region_state.entry(*token).or_insert(0) -= 1;
                     }
-                    Event::Load { addr, size } | Event::Store { addr, size, .. } | Event::Rmw { addr, size, .. } => {
+                    Event::Load { addr, size }
+                    | Event::Store { addr, size, .. }
+                    | Event::Rmw { addr, size, .. } => {
                         if *size == 0 || *size > 8 {
                             return Err(format!("task {tid}: access size {size}"));
                         }

@@ -3,8 +3,10 @@
 //!
 //! The format is a simple versioned little-endian binary encoding (no
 //! external dependencies). Readers validate the magic, the version, and all
-//! structural bounds, returning `io::ErrorKind::InvalidData` on anything
-//! unexpected.
+//! structural bounds. [`decode_trace`] reports failures as a typed
+//! [`TraceDecodeError`]; [`read_trace`] keeps the original `io::Result`
+//! surface (every decode failure maps to `io::ErrorKind::InvalidData`,
+//! truncation to `UnexpectedEof`). Neither ever panics on malformed input.
 //!
 //! # Example
 //!
@@ -27,14 +29,98 @@
 //! ```
 
 use crate::trace::{Event, RmwOp, RtStats, TaskTrace, TraceProgram};
+use std::fmt;
 use std::io::{self, Read, Write};
 use warden_mem::{Addr, Memory, PageAddr, PAGE_SIZE};
 
 const MAGIC: &[u8; 8] = b"WARDTRC1";
 
-fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+/// Why a trace failed to decode.
+///
+/// Every malformed input maps to one of these variants; the decoder never
+/// panics. Truncation surfaces as [`TraceDecodeError::Io`] with kind
+/// `UnexpectedEof` (the reader ran dry mid-field).
+#[derive(Debug)]
+pub enum TraceDecodeError {
+    /// The underlying reader failed (includes truncation: `UnexpectedEof`).
+    Io(io::Error),
+    /// The stream does not start with the `WARDTRC1` magic.
+    BadMagic,
+    /// The declared benchmark-name length exceeds the 4096-byte cap.
+    NameTooLong(usize),
+    /// The benchmark name is not valid UTF-8.
+    NameNotUtf8,
+    /// A task names a parent id outside the task table.
+    ParentOutOfRange {
+        /// The task whose header is malformed.
+        task: usize,
+        /// The out-of-range parent id it declared.
+        parent: u64,
+    },
+    /// Task 0 (the root) declared a parent.
+    RootHasParent,
+    /// A fork event's child count is zero or exceeds the task count.
+    ForkChildCount(usize),
+    /// A fork event names a child id outside the task table.
+    ForkChildId(usize),
+    /// A memory-access event's size is outside `1..=8`.
+    AccessSize(u8),
+    /// An event carries an unrecognized tag byte.
+    UnknownTag(u8),
 }
+
+impl fmt::Display for TraceDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceDecodeError::Io(e) => write!(f, "trace read failed: {e}"),
+            TraceDecodeError::BadMagic => write!(f, "not a WARDen trace (bad magic)"),
+            TraceDecodeError::NameTooLong(n) => {
+                write!(f, "unreasonable name length ({n} bytes)")
+            }
+            TraceDecodeError::NameNotUtf8 => write!(f, "name is not UTF-8"),
+            TraceDecodeError::ParentOutOfRange { task, parent } => {
+                write!(f, "task {task}: parent id {parent} out of range")
+            }
+            TraceDecodeError::RootHasParent => write!(f, "root task must have no parent"),
+            TraceDecodeError::ForkChildCount(n) => {
+                write!(f, "fork child count {n} out of range")
+            }
+            TraceDecodeError::ForkChildId(c) => {
+                write!(f, "fork child id {c} out of range")
+            }
+            TraceDecodeError::AccessSize(s) => {
+                write!(f, "access size {s} out of range (want 1..=8)")
+            }
+            TraceDecodeError::UnknownTag(t) => write!(f, "unknown event tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceDecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceDecodeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceDecodeError {
+    fn from(e: io::Error) -> TraceDecodeError {
+        TraceDecodeError::Io(e)
+    }
+}
+
+impl From<TraceDecodeError> for io::Error {
+    fn from(e: TraceDecodeError) -> io::Error {
+        match e {
+            TraceDecodeError::Io(inner) => inner,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+type Decode<T> = Result<T, TraceDecodeError>;
 
 fn put_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -44,13 +130,13 @@ fn put_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn get_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+fn get_u32<R: Read>(r: &mut R) -> Decode<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
 }
 
-fn get_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+fn get_u64<R: Read>(r: &mut R) -> Decode<u64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
@@ -106,12 +192,12 @@ fn put_event<W: Write>(w: &mut W, ev: &Event) -> io::Result<()> {
     }
 }
 
-fn get_event<R: Read>(r: &mut R, ntasks: usize) -> io::Result<Event> {
+fn get_event<R: Read>(r: &mut R, ntasks: usize) -> Decode<Event> {
     let mut head = [0u8; 2];
     r.read_exact(&mut head)?;
     let (tag, size) = (head[0], head[1]);
     if matches!(tag, 0..=3) && !(1..=8).contains(&size) {
-        return Err(bad("access size out of range"));
+        return Err(TraceDecodeError::AccessSize(size));
     }
     Ok(match tag {
         0 => Event::Load {
@@ -135,13 +221,13 @@ fn get_event<R: Read>(r: &mut R, ntasks: usize) -> io::Result<Event> {
         5 => {
             let n = get_u32(r)? as usize;
             if n == 0 || n > ntasks {
-                return Err(bad("fork child count out of range"));
+                return Err(TraceDecodeError::ForkChildCount(n));
             }
             let mut children = Vec::with_capacity(n);
             for _ in 0..n {
                 let c = get_u64(r)? as usize;
                 if c >= ntasks {
-                    return Err(bad("fork child id out of range"));
+                    return Err(TraceDecodeError::ForkChildId(c));
                 }
                 children.push(c);
             }
@@ -153,7 +239,7 @@ fn get_event<R: Read>(r: &mut R, ntasks: usize) -> io::Result<Event> {
             token: get_u32(r)?,
         },
         7 => Event::RegionRemove { token: get_u32(r)? },
-        _ => return Err(bad("unknown event tag")),
+        _ => return Err(TraceDecodeError::UnknownTag(tag)),
     })
 }
 
@@ -167,7 +253,7 @@ fn put_memory<W: Write>(w: &mut W, mem: &Memory) -> io::Result<()> {
     Ok(())
 }
 
-fn get_memory<R: Read>(r: &mut R) -> io::Result<Memory> {
+fn get_memory<R: Read>(r: &mut R) -> Decode<Memory> {
     let n = get_u32(r)?;
     let mut mem = Memory::new();
     let mut buf = vec![0u8; PAGE_SIZE as usize];
@@ -220,25 +306,28 @@ pub fn write_trace<W: Write>(w: &mut W, program: &TraceProgram) -> io::Result<()
     put_memory(w, &program.memory)
 }
 
-/// Deserialize a trace written by [`write_trace`].
+/// Deserialize a trace written by [`write_trace`], reporting failures as a
+/// typed [`TraceDecodeError`].
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` on a bad magic/version, out-of-range ids, or
-/// truncation, and propagates I/O errors from the reader.
-pub fn read_trace<R: Read>(r: &mut R) -> io::Result<TraceProgram> {
+/// Returns the specific structural violation (bad magic, out-of-range ids,
+/// bad sizes, unknown tags), or [`TraceDecodeError::Io`] for reader
+/// failures including truncation (`UnexpectedEof`). Never panics on
+/// malformed input.
+pub fn decode_trace<R: Read>(r: &mut R) -> Decode<TraceProgram> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(bad("not a WARDen trace (bad magic)"));
+        return Err(TraceDecodeError::BadMagic);
     }
     let name_len = get_u32(r)? as usize;
     if name_len > 4096 {
-        return Err(bad("unreasonable name length"));
+        return Err(TraceDecodeError::NameTooLong(name_len));
     }
     let mut name = vec![0u8; name_len];
     r.read_exact(&mut name)?;
-    let name = String::from_utf8(name).map_err(|_| bad("name is not UTF-8"))?;
+    let name = String::from_utf8(name).map_err(|_| TraceDecodeError::NameNotUtf8)?;
     let ntasks = get_u32(r)? as usize;
     let mut tasks = Vec::with_capacity(ntasks.min(1 << 16));
     for tid in 0..ntasks {
@@ -248,12 +337,15 @@ pub fn read_trace<R: Read>(r: &mut R) -> io::Result<TraceProgram> {
         } else {
             let p = parent_raw as usize;
             if p >= ntasks {
-                return Err(bad("parent id out of range"));
+                return Err(TraceDecodeError::ParentOutOfRange {
+                    task: tid,
+                    parent: parent_raw,
+                });
             }
             Some(p)
         };
         if tid == 0 && parent.is_some() {
-            return Err(bad("root task must have no parent"));
+            return Err(TraceDecodeError::RootHasParent);
         }
         let depth = get_u32(r)?;
         let nevents = get_u32(r)? as usize;
@@ -297,6 +389,18 @@ pub fn read_trace<R: Read>(r: &mut R) -> io::Result<TraceProgram> {
     })
 }
 
+/// Deserialize a trace written by [`write_trace`] behind an `io::Result`
+/// surface (a thin wrapper over [`decode_trace`]).
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic/version, out-of-range ids, or
+/// unknown tags; `UnexpectedEof` on truncation; and propagates I/O errors
+/// from the reader.
+pub fn read_trace<R: Read>(r: &mut R) -> io::Result<TraceProgram> {
+    decode_trace(r).map_err(io::Error::from)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +442,8 @@ mod tests {
     fn bad_magic_rejected() {
         let err = read_trace(&mut &b"NOTATRCE________"[..]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let typed = decode_trace(&mut &b"NOTATRCE________"[..]).unwrap_err();
+        assert!(matches!(typed, TraceDecodeError::BadMagic));
     }
 
     #[test]
@@ -350,6 +456,32 @@ mod tests {
                 read_trace(&mut &buf[..cut]).is_err(),
                 "cut at {cut} must fail"
             );
+        }
+    }
+
+    #[test]
+    fn every_prefix_fails_cleanly() {
+        // Exhaustive truncation: decoding any strict prefix must return a
+        // typed error (truncation = Io/UnexpectedEof once the magic is
+        // intact) and must never panic or spuriously succeed.
+        let p = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &p).unwrap();
+        for cut in 0..buf.len() {
+            let err = decode_trace(&mut &buf[..cut]).expect_err("prefix must fail");
+            if cut >= MAGIC.len() {
+                match err {
+                    TraceDecodeError::Io(e) => {
+                        assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+                    }
+                    other => panic!("cut at {cut}: unexpected error {other}"),
+                }
+            } else {
+                assert!(
+                    matches!(err, TraceDecodeError::Io(_)),
+                    "cut at {cut} inside magic"
+                );
+            }
         }
     }
 
@@ -375,5 +507,23 @@ mod tests {
             }
         }
         assert!(rejected > 0, "some corruption must be caught");
+    }
+
+    #[test]
+    fn decode_errors_name_the_violation() {
+        let p = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &p).unwrap();
+        // Corrupt the declared name length to something absurd.
+        let mut long_name = buf.clone();
+        long_name[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_trace(&mut long_name.as_slice()).unwrap_err(),
+            TraceDecodeError::NameTooLong(_)
+        ));
+        // An io::Error round-trip keeps InvalidData for structural errors.
+        let as_io: io::Error = TraceDecodeError::UnknownTag(99).into();
+        assert_eq!(as_io.kind(), io::ErrorKind::InvalidData);
+        assert!(as_io.to_string().contains("99"));
     }
 }

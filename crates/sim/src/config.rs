@@ -1,6 +1,7 @@
 //! Machine configurations for the evaluated systems (paper Table 2 and §7.3).
 
-use warden_coherence::{CacheConfig, LatencyModel, Topology};
+use crate::error::SimError;
+use warden_coherence::{CacheConfig, CoherenceError, LatencyModel, Topology};
 
 /// Full description of one simulated machine.
 #[derive(Clone, Debug)]
@@ -76,7 +77,11 @@ impl MachineConfig {
     ///
     /// Panics if `sockets * 12 > 64` (sharer-bitmask width).
     pub fn many_socket(sockets: usize) -> MachineConfig {
-        MachineConfig::base(&format!("{sockets}-socket"), sockets, LatencyModel::xeon_gold_6126())
+        MachineConfig::base(
+            &format!("{sockets}-socket"),
+            sockets,
+            LatencyModel::xeon_gold_6126(),
+        )
     }
 
     /// Override the core count per socket (smaller machines simulate faster;
@@ -84,10 +89,7 @@ impl MachineConfig {
     pub fn with_cores(mut self, cores_per_socket: usize) -> MachineConfig {
         self.topo = Topology::new(self.topo.num_sockets(), cores_per_socket);
         self.cache = CacheConfig {
-            llc_slice: warden_mem::CacheGeometry::new(
-                2_621_440 * cores_per_socket as u64,
-                20,
-            ),
+            llc_slice: warden_mem::CacheGeometry::new(2_621_440 * cores_per_socket as u64, 20),
             ..self.cache
         };
         self
@@ -107,6 +109,35 @@ impl MachineConfig {
     /// Cycles for `n` instructions of pure compute.
     pub fn compute_cycles(&self, n: u64) -> u64 {
         (n * self.cpi_num).div_ceil(self.cpi_den)
+    }
+
+    /// Check the whole machine description for consistency: cache
+    /// geometry/region/sector constraints ([`CacheConfig::validate`]),
+    /// latency ordering ([`LatencyModel::validate`]), a well-defined CPI
+    /// fraction, at least one store-buffer entry and write MSHR, and a
+    /// non-zero idle tick (a zero tick would let an idle core spin without
+    /// advancing time). All preset constructors produce valid machines —
+    /// asserted by this module's tests.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.cache.validate()?;
+        self.lat.validate()?;
+        let bad = |msg: String| Err(SimError::Config(CoherenceError::BadConfig(msg)));
+        if self.cpi_den == 0 {
+            return bad("cpi denominator must be non-zero".into());
+        }
+        if self.cpi_num == 0 {
+            return bad("cpi numerator must be non-zero (compute must take time)".into());
+        }
+        if self.store_buffer == 0 {
+            return bad("store buffer needs at least one entry".into());
+        }
+        if self.store_mshrs == 0 {
+            return bad("at least one write MSHR is required".into());
+        }
+        if self.idle_tick == 0 {
+            return bad("idle tick must be non-zero (idle cores must advance time)".into());
+        }
+        Ok(())
     }
 }
 
@@ -135,5 +166,50 @@ mod tests {
         let m = MachineConfig::single_socket().with_cores(4);
         assert_eq!(m.num_cores(), 4);
         assert_eq!(m.cache.llc_slice.size_bytes(), 4 * 2_621_440);
+    }
+
+    #[test]
+    fn presets_validate() {
+        for m in [
+            MachineConfig::single_socket(),
+            MachineConfig::dual_socket(),
+            MachineConfig::disaggregated(),
+            MachineConfig::many_socket(4),
+            MachineConfig::dual_socket().with_cores(2),
+        ] {
+            m.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        }
+    }
+
+    #[test]
+    fn each_bad_field_is_rejected() {
+        let expect_bad = |mutate: &dyn Fn(&mut MachineConfig), what: &str| {
+            let mut m = MachineConfig::single_socket();
+            mutate(&mut m);
+            assert!(
+                matches!(m.validate(), Err(SimError::Config(_))),
+                "{what} should be rejected"
+            );
+        };
+        expect_bad(&|m| m.cpi_den = 0, "zero cpi denominator");
+        expect_bad(&|m| m.cpi_num = 0, "zero cpi numerator");
+        expect_bad(&|m| m.store_buffer = 0, "zero store buffer");
+        expect_bad(&|m| m.store_mshrs = 0, "zero write MSHRs");
+        expect_bad(&|m| m.idle_tick = 0, "zero idle tick");
+        expect_bad(&|m| m.cache.region_capacity = 0, "zero region capacity");
+        expect_bad(&|m| m.cache.sector_bytes = 3, "non-power-of-two sector");
+        expect_bad(&|m| m.cache.sector_bytes = 128, "sector wider than a block");
+        expect_bad(&|m| m.lat.l2 = m.lat.l1, "l1 !< l2 ordering");
+        expect_bad(&|m| m.lat.l3 = m.lat.l2, "l2 !< l3 ordering");
+        expect_bad(&|m| m.lat.dram = 10, "dram below l3");
+        expect_bad(&|m| m.lat.intersocket = 10, "intersocket below l3");
+        expect_bad(&|m| m.lat.l1 = 0, "zero l1 latency");
+        expect_bad(
+            &|m| {
+                m.cache.l2 = warden_mem::CacheGeometry::new(512, 2);
+                m.cache.l1 = warden_mem::CacheGeometry::new(1024, 2);
+            },
+            "L1 bigger than inclusive L2",
+        );
     }
 }

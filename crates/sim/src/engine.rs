@@ -9,12 +9,14 @@
 
 use crate::config::MachineConfig;
 use crate::energy::{energy_of, EnergyBreakdown, EnergyParams};
+use crate::error::SimError;
+use crate::faults::{FaultInjector, FaultPlan};
 use crate::stats::SimStats;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
-use warden_coherence::{CoherenceSystem, Protocol, RegionId};
+use warden_coherence::{CoherenceSystem, InvariantViolation, Protocol, RegionId};
 use warden_mem::Memory;
 use warden_rt::{Event, TaskId, TraceProgram};
 
@@ -36,6 +38,21 @@ pub struct SimOutcome {
     pub final_memory: Memory,
     /// Peak simultaneous WARD regions observed by the directory.
     pub region_peak: usize,
+    /// Invariant violations found by the checker (always empty unless
+    /// [`SimOptions::check`] was set; must be empty on an unmutated run).
+    pub violations: Vec<InvariantViolation>,
+}
+
+/// Options for [`simulate_with_options`].
+#[derive(Clone, Debug, Default)]
+pub struct SimOptions {
+    /// Energy parameters.
+    pub energy: EnergyParams,
+    /// An optional deterministic fault-injection campaign.
+    pub faults: Option<FaultPlan>,
+    /// Run the coherence invariant checker after every directory
+    /// transaction; violations land in [`SimOutcome::violations`].
+    pub check: bool,
 }
 
 struct Core {
@@ -71,8 +88,54 @@ pub fn simulate_with_energy(
     protocol: Protocol,
     energy_params: &EnergyParams,
 ) -> SimOutcome {
+    simulate_with_options(
+        program,
+        machine,
+        protocol,
+        &SimOptions {
+            energy: *energy_params,
+            ..SimOptions::default()
+        },
+    )
+}
+
+/// [`simulate_with_options`] behind up-front validation: rejects an
+/// inconsistent machine or out-of-range fault plan with a typed
+/// [`SimError`] instead of panicking mid-replay.
+pub fn try_simulate(
+    program: &TraceProgram,
+    machine: &MachineConfig,
+    protocol: Protocol,
+    opts: &SimOptions,
+) -> Result<SimOutcome, SimError> {
+    machine.validate()?;
+    if let Some(plan) = &opts.faults {
+        plan.validate()?;
+    }
+    Ok(simulate_with_options(program, machine, protocol, opts))
+}
+
+/// [`simulate`] with full control: energy parameters, the invariant
+/// checker, and deterministic fault injection.
+pub fn simulate_with_options(
+    program: &TraceProgram,
+    machine: &MachineConfig,
+    protocol: Protocol,
+    opts: &SimOptions,
+) -> SimOutcome {
+    let energy_params = &opts.energy;
     let mut coh = CoherenceSystem::new(machine.topo, machine.lat, machine.cache, protocol);
     coh.set_memory(program.initial_memory.clone());
+    if opts.check {
+        coh.enable_checker();
+    }
+    let mut injector = opts
+        .faults
+        .clone()
+        .map(|plan| FaultInjector::new(plan, program.address_range));
+    if let Some(inj) = &injector {
+        inj.install_mutations(&mut coh);
+    }
     let mut rng = SmallRng::seed_from_u64(machine.seed);
 
     let ncores = machine.num_cores();
@@ -148,6 +211,9 @@ pub fn simulate_with_energy(
                 stats.load_cycles += lat;
                 stats.instructions += 1;
                 stats.memory_accesses += 1;
+                if let Some(inj) = injector.as_mut() {
+                    core.clock += inj.after_access(lat, machine, &mut coh);
+                }
             }
             Event::Store { addr, size, val } => {
                 drain_store_buffer(core);
@@ -169,8 +235,16 @@ pub fn simulate_with_energy(
                 stats.store_issue_cycles += 1;
                 stats.instructions += 1;
                 stats.memory_accesses += 1;
+                if let Some(inj) = injector.as_mut() {
+                    core.clock += inj.after_access(lat, machine, &mut coh);
+                }
             }
-            Event::Rmw { addr, size, val, op } => {
+            Event::Rmw {
+                addr,
+                size,
+                val,
+                op,
+            } => {
                 drain_store_buffer(core);
                 let lat = match op {
                     warden_rt::RmwOp::Swap => {
@@ -183,6 +257,9 @@ pub fn simulate_with_energy(
                 stats.rmw_cycles += lat;
                 stats.instructions += 1;
                 stats.memory_accesses += 1;
+                if let Some(inj) = injector.as_mut() {
+                    core.clock += inj.after_access(lat, machine, &mut coh);
+                }
             }
             Event::Fork { children } => {
                 tasks[task].pending_children = children.len() as u32;
@@ -198,6 +275,9 @@ pub fn simulate_with_energy(
                     stats.instructions += 1;
                     if let Some(id) = coh.add_region(*start, *end) {
                         regions.insert(*token, id);
+                    }
+                    if let Some(inj) = injector.as_mut() {
+                        core.clock += inj.after_region_add(&mut coh);
                     }
                 }
             }
@@ -223,6 +303,13 @@ pub fn simulate_with_energy(
         makespan = makespan.max(cores[cid].clock);
     }
 
+    if let Some(inj) = injector.as_mut() {
+        // End-of-run cleanup: release decoys still pinned, so region state
+        // matches a fault-free run (unbilled, like the flush below).
+        inj.finish(&mut coh);
+        stats.faults = inj.stats;
+    }
+    let violations = coh.take_violations();
     let region_peak = coh.region_peak();
     coh.flush_all();
     stats.cycles = makespan;
@@ -238,6 +325,7 @@ pub fn simulate_with_energy(
         stats,
         energy,
         region_peak,
+        violations,
     }
 }
 
@@ -317,7 +405,8 @@ mod tests {
         let (lo, _) = p.address_range;
         let len = p.address_range.1 - lo;
         assert_eq!(
-            mesi.final_memory.first_difference(&warden.final_memory, lo, len),
+            mesi.final_memory
+                .first_difference(&warden.final_memory, lo, len),
             None
         );
     }
@@ -356,7 +445,9 @@ mod tests {
             // The parent consumes both children's buffers.
             let mut acc = 0u64;
             for i in 0..64 {
-                acc = acc.wrapping_add(ctx.read(&a, i)).wrapping_add(ctx.read(&b, i));
+                acc = acc
+                    .wrapping_add(ctx.read(&a, i))
+                    .wrapping_add(ctx.read(&b, i));
             }
             let out = ctx.alloc::<u64>(64);
             for i in 0..64 {

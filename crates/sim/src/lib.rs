@@ -38,13 +38,19 @@
 mod config;
 mod energy;
 mod engine;
+mod error;
+mod faults;
 pub mod pingpong;
 mod report;
 mod stats;
 
 pub use config::MachineConfig;
 pub use energy::{energy_of, EnergyBreakdown, EnergyParams};
-pub use engine::{simulate, simulate_with_energy, SimOutcome};
+pub use engine::{
+    simulate, simulate_with_energy, simulate_with_options, try_simulate, SimOptions, SimOutcome,
+};
+pub use error::SimError;
+pub use faults::{FaultPlan, FaultStats};
 pub use pingpong::{pingpong, table1, Placement, Table1Row};
 pub use report::{geomean_speedup, mean, Comparison};
 pub use stats::SimStats;

@@ -61,12 +61,8 @@ impl Comparison {
             name: name.to_owned(),
             speedup: mesi.stats.cycles as f64 / warden.stats.cycles as f64,
             total_energy_savings_pct: warden.energy.total_savings_vs(&mesi.energy),
-            interconnect_energy_savings_pct: warden
-                .energy
-                .interconnect_savings_vs(&mesi.energy),
-            in_processor_energy_savings_pct: warden
-                .energy
-                .in_processor_savings_vs(&mesi.energy),
+            interconnect_energy_savings_pct: warden.energy.interconnect_savings_vs(&mesi.energy),
+            in_processor_energy_savings_pct: warden.energy.in_processor_savings_vs(&mesi.energy),
             inv_dg_reduced_per_kilo: reduced,
             downgrade_share_pct: 100.0 * dg_red as f64 / total_red,
             invalidation_share_pct: 100.0 * inv_red as f64 / total_red,
@@ -125,6 +121,7 @@ mod tests {
             memory_image_digest: 0,
             final_memory: Memory::new(),
             region_peak: 0,
+            violations: Vec::new(),
         }
     }
 

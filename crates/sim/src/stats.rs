@@ -1,5 +1,6 @@
 //! Statistics produced by a timing replay.
 
+use crate::faults::FaultStats;
 use warden_coherence::CoherenceStats;
 
 /// Everything measured during one replay of a program on one machine under
@@ -40,6 +41,8 @@ pub struct SimStats {
     pub core_cycles_total: u64,
     /// All coherence-engine counters.
     pub coherence: CoherenceStats,
+    /// Fault-injection counters (all zero on fault-free runs).
+    pub faults: FaultStats,
 }
 
 impl SimStats {
@@ -70,15 +73,19 @@ impl SimStats {
 
     /// The classified per-category cycle totals, in display order:
     /// (label, cycles) over all cores.
-    pub fn cycle_breakdown(&self) -> [(&'static str, u64); 7] {
+    pub fn cycle_breakdown(&self) -> [(&'static str, u64); 8] {
         [
             ("compute", self.compute_cycles),
             ("loads", self.load_cycles),
             ("atomics", self.rmw_cycles),
-            ("store issue+stall", self.store_issue_cycles + self.store_stall_cycles),
+            (
+                "store issue+stall",
+                self.store_issue_cycles + self.store_stall_cycles,
+            ),
             ("region ops", self.region_cycles),
             ("steals", self.steal_cycles),
             ("idle", self.idle_cycles),
+            ("fault stalls", self.faults.stall_cycles),
         ]
     }
 }

@@ -28,7 +28,10 @@ fn main() {
             });
         })
     }));
-    println!("disentangled program: {}", if ok.is_ok() { "accepted" } else { "rejected" });
+    println!(
+        "disentangled program: {}",
+        if ok.is_ok() { "accepted" } else { "rejected" }
+    );
 
     // Entangled: one child leaks a pointer to its heap to its *sibling*
     // through a Rust-side channel; the sibling's read violates
@@ -52,7 +55,11 @@ fn main() {
     }));
     println!(
         "entangled program:    {}",
-        if bad.is_err() { "rejected (disentanglement violation)" } else { "accepted?!" }
+        if bad.is_err() {
+            "rejected (disentanglement violation)"
+        } else {
+            "accepted?!"
+        }
     );
 
     // WARD scope with a benign WAW: two tasks racing the same value.
@@ -65,7 +72,10 @@ fn main() {
             assert_eq!(ctx.peek(&flags, 6), 1);
         })
     }));
-    println!("benign WAW in scope:  {}", if waw.is_ok() { "accepted" } else { "rejected" });
+    println!(
+        "benign WAW in scope:  {}",
+        if waw.is_ok() { "accepted" } else { "rejected" }
+    );
 
     // WARD scope with a cross-task RAW: condition 1 of the WARD definition
     // is violated and the checker panics.
@@ -84,6 +94,10 @@ fn main() {
     }));
     println!(
         "cross-task RAW:       {}",
-        if raw.is_err() { "rejected (WARD violation)" } else { "accepted?!" }
+        if raw.is_err() {
+            "rejected (WARD violation)"
+        } else {
+            "accepted?!"
+        }
     );
 }

@@ -27,7 +27,10 @@ fn main() {
     let full_ward = simulate(&declared, &machine, Protocol::Warden);
     assert_eq!(mesi.memory_image_digest, full_ward.memory_image_digest);
 
-    println!("{:34} {:>10} {:>13} {:>11}", "", "cycles", "invalidations", "downgrades");
+    println!(
+        "{:34} {:>10} {:>13} {:>11}",
+        "", "cycles", "invalidations", "downgrades"
+    );
     for (label, o) in [
         ("MESI baseline", &mesi),
         ("WARDen, automatic marking only", &auto_ward),
@@ -35,10 +38,7 @@ fn main() {
     ] {
         println!(
             "{:34} {:>10} {:>13} {:>11}",
-            label,
-            o.stats.cycles,
-            o.stats.coherence.invalidations,
-            o.stats.coherence.downgrades
+            label, o.stats.cycles, o.stats.coherence.invalidations, o.stats.coherence.downgrades
         );
     }
     println!(

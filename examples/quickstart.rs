@@ -45,9 +45,7 @@ fn main() {
     let cmp = Comparison::of("quickstart", &mesi, &warden);
     println!(
         "MESI   : {:>9} cycles, {:>6} invalidations, {:>6} downgrades",
-        mesi.stats.cycles,
-        mesi.stats.coherence.invalidations,
-        mesi.stats.coherence.downgrades
+        mesi.stats.cycles, mesi.stats.coherence.invalidations, mesi.stats.coherence.downgrades
     );
     println!(
         "WARDen : {:>9} cycles, {:>6} invalidations, {:>6} downgrades",

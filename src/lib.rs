@@ -41,7 +41,5 @@ pub mod prelude {
     pub use warden_coherence::Protocol;
     pub use warden_mem::{Addr, BlockAddr, Memory, BLOCK_SIZE, PAGE_SIZE};
     pub use warden_rt::{trace_program, MarkPolicy, RtOptions, SimSlice, TaskCtx};
-    pub use warden_sim::{
-        simulate, Comparison, MachineConfig, Placement, SimOutcome, SimStats,
-    };
+    pub use warden_sim::{simulate, Comparison, MachineConfig, Placement, SimOutcome, SimStats};
 }

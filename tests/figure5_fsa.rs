@@ -6,9 +6,7 @@
 //! `Uncached`, S = `Shared`, E/M = `Owned` (the E/M split lives in the
 //! owner's private cache), W = `Ward`.
 
-use warden::coherence::{
-    CacheConfig, CoherenceSystem, DirKind, LatencyModel, Protocol, Topology,
-};
+use warden::coherence::{CacheConfig, CoherenceSystem, DirKind, LatencyModel, Protocol, Topology};
 use warden::mem::{Addr, PAGE_SIZE};
 
 fn sys(protocol: Protocol) -> CoherenceSystem {
@@ -65,10 +63,7 @@ fn getm_invalidates_sharers() {
     s.load(0, a, 8);
     s.load(1, a, 8);
     s.store(2, a, &[1]);
-    assert_eq!(
-        s.dir_history(a.block()),
-        [Uncached, Owned, Shared, Owned]
-    );
+    assert_eq!(s.dir_history(a.block()), [Uncached, Owned, Shared, Owned]);
     assert!(s.stats().invalidations > 0);
 }
 
@@ -119,10 +114,7 @@ fn ward_entry_from_shared() {
     s.load(1, a, 8); // Shared
     s.add_region(a, page(3)).unwrap();
     s.store(2, a, &[1]);
-    assert_eq!(
-        s.dir_history(a.block()),
-        [Uncached, Owned, Shared, Ward]
-    );
+    assert_eq!(s.dir_history(a.block()), [Uncached, Owned, Shared, Ward]);
     assert_eq!(s.stats().invalidations, 0);
 }
 
@@ -190,8 +182,5 @@ fn rmw_escape_path_is_ward_then_uncached_then_owned() {
     s.store(0, a, &[1]);
     s.store(1, a, &[2]); // second ward copy
     s.rmw(2, a, &[3]); // escape: reconcile, then coherent GetM
-    assert_eq!(
-        s.dir_history(a.block()),
-        [Uncached, Ward, Uncached, Owned]
-    );
+    assert_eq!(s.dir_history(a.block()), [Uncached, Ward, Uncached, Owned]);
 }

@@ -1,0 +1,179 @@
+//! The coherence invariant checker: clean runs under both protocols must
+//! produce zero violations, and every seeded protocol mutation must be
+//! caught, naming the corrupted block and the transition history that led
+//! there.
+
+use warden::coherence::{
+    CacheConfig, CoherenceSystem, InvariantKind, LatencyModel, Protocol, ProtocolMutation, Topology,
+};
+use warden::mem::{Addr, PAGE_SIZE};
+use warden::pbbs::{Bench, Scale};
+use warden::prelude::*;
+use warden::sim::{try_simulate, SimOptions};
+
+fn sys(protocol: Protocol) -> CoherenceSystem {
+    let mut s = CoherenceSystem::new(
+        Topology::new(1, 2),
+        LatencyModel::xeon_gold_6126(),
+        CacheConfig::paper(2),
+        protocol,
+    );
+    s.enable_checker();
+    s
+}
+
+fn page(n: u64) -> Addr {
+    Addr(n * PAGE_SIZE)
+}
+
+#[test]
+fn clean_benchmarks_have_zero_violations() {
+    let m = MachineConfig::dual_socket().with_cores(2);
+    let opts = SimOptions {
+        check: true,
+        ..SimOptions::default()
+    };
+    for bench in [Bench::Primes, Bench::Msort, Bench::Dedup, Bench::Quickhull] {
+        let p = bench.build(Scale::Tiny);
+        for proto in [Protocol::Mesi, Protocol::Warden] {
+            let out = try_simulate(&p, &m, proto, &opts).unwrap();
+            assert!(
+                out.violations.is_empty(),
+                "{} under {:?}: {}",
+                bench.name(),
+                proto,
+                out.violations[0]
+            );
+        }
+    }
+}
+
+#[test]
+fn checker_actually_inspects_transactions() {
+    let mut s = sys(Protocol::Warden);
+    let a = page(4);
+    s.store(0, a, &[1]);
+    s.load(1, a, 8);
+    let report = s.checker_summary().unwrap();
+    assert!(report.transactions > 0, "checker saw no transactions");
+    assert!(report.blocks_checked > 0);
+    assert!(s.violations().is_empty());
+}
+
+/// The unmutated protocol performs W-entry synchronization on the
+/// Owned→Ward edge; with the sync skipped, the checker must flag the edge.
+#[test]
+fn skipped_ward_entry_sync_is_detected() {
+    // Baseline: the same scenario without the mutation is clean and does
+    // perform the sync.
+    let mut clean = sys(Protocol::Warden);
+    let a = page(4);
+    clean.store(0, a, &[0xAB]);
+    clean.add_region(page(4), page(5)).unwrap();
+    clean.load(1, a, 8);
+    assert!(
+        clean.stats().ward_entry_syncs > 0,
+        "scenario must exercise the sync"
+    );
+    assert!(clean.violations().is_empty());
+
+    let mut s = sys(Protocol::Warden);
+    s.inject_mutation(ProtocolMutation::SkipWardEntrySync);
+    s.store(0, a, &[0xAB]);
+    s.add_region(page(4), page(5)).unwrap();
+    s.load(1, a, 8);
+    let v = s
+        .violations()
+        .iter()
+        .find(|v| v.kind == InvariantKind::WardEntrySync)
+        .expect("skipping W-entry sync must be caught");
+    assert_eq!(
+        v.block,
+        a.block(),
+        "violation must name the corrupted block"
+    );
+    assert!(
+        !v.history.is_empty(),
+        "violation must carry transition history"
+    );
+}
+
+/// Two cores write disjoint bytes of one block inside a WARD region; set up
+/// so that reconciliation merges both masks into the LLC.
+fn disjoint_writes_then_reconcile(mutation: Option<ProtocolMutation>) -> CoherenceSystem {
+    let mut s = sys(Protocol::Warden);
+    if let Some(m) = mutation {
+        s.inject_mutation(m);
+    }
+    let id = s.add_region(page(4), page(5)).unwrap();
+    let a = page(4);
+    // Core 1 writes byte 8 first, then core 0 writes byte 0 — so core 1's
+    // private copy of byte 0 is stale, which a coarse merge will expose.
+    s.store(1, a + 8, &[0x22]);
+    s.store(0, a, &[0x11]);
+    s.remove_region(id);
+    s
+}
+
+#[test]
+fn disjoint_ward_writes_reconcile_cleanly() {
+    let s = disjoint_writes_then_reconcile(None);
+    assert!(s.violations().is_empty());
+    let a = page(4);
+    let mut b = [0u8; 16];
+    s.final_memory_image().read_bytes(a, &mut b);
+    assert_eq!((b[0], b[8]), (0x11, 0x22));
+}
+
+#[test]
+fn skipped_reconciliation_writeback_is_detected() {
+    let s = disjoint_writes_then_reconcile(Some(ProtocolMutation::SkipReconciliationWriteback));
+    let v = s
+        .violations()
+        .iter()
+        .find(|v| v.kind == InvariantKind::DirtyConservation)
+        .expect("dropping the reconciliation writeback must be caught");
+    assert_eq!(v.block, page(4).block());
+}
+
+#[test]
+fn coarse_sector_merge_is_detected() {
+    let s = disjoint_writes_then_reconcile(Some(ProtocolMutation::CoarseSectorMerge {
+        sector_bytes: 64,
+    }));
+    let v = s
+        .violations()
+        .iter()
+        .find(|v| v.kind == InvariantKind::DirtyConservation)
+        .expect("a whole-block coarse merge clobbers a neighbour's byte");
+    assert_eq!(v.block, page(4).block());
+}
+
+/// Mutations must also surface through the engine entry point: a full
+/// benchmark run with a corrupted protocol reports violations (and the
+/// corruption is real — the image diverges from the MESI baseline or the
+/// checker names the dropped bytes).
+#[test]
+fn engine_surfaces_mutation_violations() {
+    let m = MachineConfig::single_socket().with_cores(2);
+    let p = Bench::Primes.build(Scale::Tiny);
+    let opts = SimOptions {
+        check: true,
+        faults: Some(warden::sim::FaultPlan::mutation_only(
+            9,
+            ProtocolMutation::SkipReconciliationWriteback,
+        )),
+        ..SimOptions::default()
+    };
+    let out = try_simulate(&p, &m, Protocol::Warden, &opts).unwrap();
+    assert!(
+        !out.violations.is_empty(),
+        "a dropped reconciliation writeback must be detected in a real run"
+    );
+    // The dropped writeback shows up as a conservation failure (later state
+    // checks may pile further violations on top of the corrupted LLC).
+    assert!(out
+        .violations
+        .iter()
+        .any(|v| v.kind == InvariantKind::DirtyConservation));
+}

@@ -24,8 +24,11 @@ const SLOTS: u64 = 64; // slots per page, each 64 B apart
 
 fn step_strategy() -> impl Strategy<Value = Step> {
     prop_oneof![
-        (0..CORES, 0..PAGES * SLOTS, any::<u8>())
-            .prop_map(|(core, slot, val)| Step::Write { core, slot, val }),
+        (0..CORES, 0..PAGES * SLOTS, any::<u8>()).prop_map(|(core, slot, val)| Step::Write {
+            core,
+            slot,
+            val
+        }),
         (0..CORES, 0..PAGES * SLOTS).prop_map(|(core, slot)| Step::Read { core, slot }),
         (0..PAGES).prop_map(|page| Step::Region { page }),
     ]

@@ -52,10 +52,9 @@ fn run_tree(ctx: &mut TaskCtx<'_>, t: &Tree, out: &SimSlice<u64>, next: &mut u64
             let (aa, bb) = (a.clone(), b.clone());
             let out_a = *out;
             let out_b = *out;
-            ctx.fork2_dyn(
-                &mut |c| run_tree(c, &aa, &out_a, &mut na),
-                &mut |c| run_tree(c, &bb, &out_b, &mut nb),
-            );
+            ctx.fork2_dyn(&mut |c| run_tree(c, &aa, &out_a, &mut na), &mut |c| {
+                run_tree(c, &bb, &out_b, &mut nb)
+            });
         }
     }
 }
@@ -74,6 +73,40 @@ fn build(t: &Tree) -> TraceProgram {
         }
         std::hint::black_box(acc);
     })
+}
+
+/// Replays the shrunk input recorded in `proptest_rt.proptest-regressions`
+/// as a plain unit test, so the historical failure stays covered even if the
+/// regression file is lost or the proptest seeding scheme changes.
+#[test]
+fn regression_unbalanced_tree_replays_faithfully() {
+    fn leaf(work: u64, writes: u8) -> Tree {
+        Tree::Leaf { work, writes }
+    }
+    fn fork(a: Tree, b: Tree) -> Tree {
+        Tree::Fork(Box::new(a), Box::new(b))
+    }
+    let t = fork(
+        fork(leaf(1, 0), fork(leaf(6, 168), leaf(166, 52))),
+        fork(
+            fork(leaf(12, 23), leaf(67, 95)),
+            fork(leaf(172, 211), fork(leaf(23, 196), leaf(147, 255))),
+        ),
+    );
+    let p = build(&t);
+    p.check_invariants().unwrap();
+    let m = MachineConfig::single_socket()
+        .with_cores(2)
+        .with_seed(3463122757351628199);
+    let mesi = simulate(&p, &m, Protocol::Mesi);
+    let warden = simulate(&p, &m, Protocol::Warden);
+    assert_eq!(mesi.memory_image_digest, warden.memory_image_digest);
+    let (lo, hi) = p.address_range;
+    assert_eq!(
+        warden.final_memory.first_difference(&p.memory, lo, hi - lo),
+        None
+    );
+    assert_eq!(mesi.stats.tasks, p.tasks.len() as u64);
 }
 
 proptest! {

@@ -40,6 +40,28 @@ fn build(script: Vec<u8>) -> TraceProgram {
     })
 }
 
+/// Replays the shrunk input recorded in
+/// `proptest_trace_io.proptest-regressions` as a plain unit test: opcode 191
+/// (CAS) followed by 32 (fork) once tripped a round-trip mismatch.
+#[test]
+fn regression_script_191_32_round_trips() {
+    let p = build(vec![191, 32]);
+    let mut buf = Vec::new();
+    trace_io::write_trace(&mut buf, &p).unwrap();
+    let q = trace_io::read_trace(&mut buf.as_slice()).unwrap();
+    assert_eq!(q.name, p.name);
+    assert_eq!(q.stats, p.stats);
+    assert_eq!(q.tasks.len(), p.tasks.len());
+    for (a, b) in p.tasks.iter().zip(&q.tasks) {
+        assert_eq!(a.events, b.events);
+    }
+    assert_eq!(q.memory.digest(), p.memory.digest());
+    let m = MachineConfig::single_socket().with_cores(2);
+    let a = simulate(&p, &m, Protocol::Warden);
+    let b = simulate(&q, &m, Protocol::Warden);
+    assert_eq!(a.stats, b.stats);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

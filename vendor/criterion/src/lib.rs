@@ -1,0 +1,213 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the API subset its benches use: [`Criterion`] with
+//! `bench_function` / `benchmark_group`, [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros. Each bench runs a short warmup followed by a
+//! fixed measurement window and prints mean ± spread — enough to spot
+//! order-of-magnitude regressions, without upstream's statistics machinery.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An opaque barrier against constant-folding; same contract as upstream.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A bench identifier: `group/parameter` in reports.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with an explicit function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id labelled only by its parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Drives one benchmark's timing loop.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: one untimed call (fills caches, resolves lazy statics).
+        black_box(f());
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            self.total += t0.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<48} (no measurements)");
+            return;
+        }
+        let per = self.total / self.iters as u32;
+        println!("{name:<48} {per:>12.2?}/iter over {} iters", self.iters);
+    }
+}
+
+/// Top-level harness handle, mirroring upstream's `Criterion`.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Keep CI wall-clock sane; override with CRITERION_BUDGET_MS.
+        let ms = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    fn run_one(&mut self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+            budget: self.budget,
+        };
+        f(&mut b);
+        b.report(name);
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark one function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        self.c.run_one(&name, &mut f);
+        self
+    }
+
+    /// Benchmark one function with an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        self.c.run_one(&name, &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declare a bench entry point running the given target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; skip the (slow)
+            // measurement loops there and under `--list`.
+            let args: Vec<String> = std::env::args().collect();
+            if args.iter().any(|a| a == "--test" || a == "--list") {
+                if args.iter().any(|a| a == "--list") {
+                    // Nothing to list: benches are not libtest tests.
+                }
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("w").to_string(), "w");
+    }
+}

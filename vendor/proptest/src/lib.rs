@@ -1,0 +1,605 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the API subset its property tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_recursive` and `boxed`,
+//! * range and `any::<T>()` strategies, tuple strategies, and
+//!   [`collection::vec`],
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`] and [`prop_assert_ne!`] macros, and
+//! * a deterministic [`test_runner::TestRunner`] seeded per test name, so
+//!   failures are reproducible run-to-run.
+//!
+//! Differences from upstream: generation is not size-driven, failing cases
+//! are reported (with their full `Debug` form and the case seed) but not
+//! shrunk, and `proptest-regressions` files are not consulted — regression
+//! inputs worth keeping are committed as explicit unit tests instead.
+
+#![forbid(unsafe_code)]
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SampleRange};
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// A recipe for generating values of `Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Build a recursive strategy: `self` generates leaves, and
+        /// `recurse` wraps an inner strategy into a branch strategy.
+        /// `depth` bounds the nesting; `_desired_size` and
+        /// `_expected_branch_size` are accepted for API compatibility.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf: BoxedStrategy<Self::Value> = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                // At each level: half leaves, half branches of the level
+                // below — expected size stays bounded by construction.
+                strat = Union {
+                    options: vec![leaf.clone(), recurse(strat).boxed()],
+                }
+                .boxed();
+            }
+            strat
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Arc::new(self),
+            }
+        }
+    }
+
+    /// Object-safe view of a strategy (implementation detail of
+    /// [`BoxedStrategy`]).
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut SmallRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut SmallRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A cloneable, type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Arc<dyn DynStrategy<T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            self.inner.generate_dyn(rng)
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut SmallRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between same-valued strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T: Debug> Union<T> {
+        /// Build from pre-boxed options.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `any::<T>()`: the full uniform distribution of `T`.
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The full uniform distribution of `T`.
+    pub fn any<T: rand::StandardSample + Debug>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: rand::StandardSample + Debug> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            rng.gen::<T>()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut SmallRng) -> f64 {
+            self.clone().sample_single(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, G);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length range for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty size range");
+            SizeRange {
+                lo,
+                hi_exclusive: hi + 1,
+            }
+        }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` of values from `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test execution: configuration, runner, and failure type.
+pub mod test_runner {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Runner configuration (`#![proptest_config(...)]`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+        /// Accepted for compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            Config {
+                cases,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    /// A failed property: the rejection message.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        /// Why the case failed.
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        /// Build a failure from a message.
+        pub fn fail(message: impl Into<String>) -> TestCaseError {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Drives the cases of one property test.
+    pub struct TestRunner {
+        config: Config,
+        name: &'static str,
+        rng: SmallRng,
+    }
+
+    impl TestRunner {
+        /// A deterministic runner for the named test. The seed mixes the
+        /// test name with `PROPTEST_SEED` (default 0), so different tests
+        /// explore different streams but every run repeats the last.
+        pub fn new(config: Config, name: &'static str) -> TestRunner {
+            let base: u64 = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+            let mut h = 0xcbf2_9ce4_8422_2325u64 ^ base;
+            for b in name.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+            TestRunner {
+                config,
+                name,
+                rng: SmallRng::seed_from_u64(h),
+            }
+        }
+
+        /// Run `test` against `config.cases` generated inputs, panicking
+        /// with a reproducible report on the first failure.
+        pub fn run<S: Strategy>(
+            &mut self,
+            strategy: &S,
+            mut test: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+        ) {
+            for case in 0..self.config.cases {
+                let case_seed = self.rng.next_u64();
+                let mut case_rng = SmallRng::seed_from_u64(case_seed);
+                let value = strategy.generate(&mut case_rng);
+                let repr = format!("{value:?}");
+                let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+                let failure = match outcome {
+                    Ok(Ok(())) => continue,
+                    Ok(Err(e)) => e.message,
+                    Err(panic) => {
+                        let msg = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "test panicked".to_string());
+                        format!("panic: {msg}")
+                    }
+                };
+                panic!(
+                    "proptest {name}: case {case}/{total} failed: {failure}\n\
+                     input: {repr}\n\
+                     (case seed {case_seed:#x}; set PROPTEST_SEED to reproduce the run)",
+                    name = self.name,
+                    total = self.config.cases,
+                );
+            }
+        }
+    }
+}
+
+/// The commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Reject the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Reject the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Reject the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body against generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strategy = ($($strat,)+);
+                let mut runner =
+                    $crate::test_runner::TestRunner::new($cfg, stringify!($name));
+                runner.run(&strategy, |($($arg,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::Config::default()) $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug)]
+    enum Tree {
+        #[allow(dead_code)]
+        Leaf(u8),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in 0usize..4, b in any::<u8>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+        }
+
+        #[test]
+        fn oneof_and_map_work(v in prop_oneof![
+            (0u64..10).prop_map(|n| n * 2),
+            (100u64..110).prop_map(|n| n + 1),
+        ]) {
+            prop_assert!(v % 2 == 0 && v < 20 || (101..111).contains(&v));
+        }
+
+        #[test]
+        fn recursion_is_depth_bounded(t in (0u8..255).prop_map(Tree::Leaf)
+            .prop_recursive(4, 32, 2, |inner| {
+                (inner.clone(), inner)
+                    .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            }))
+        {
+            prop_assert!(depth(&t) <= 4);
+        }
+    }
+
+    #[test]
+    fn failures_report_input() {
+        let result = std::panic::catch_unwind(|| {
+            let mut runner =
+                crate::test_runner::TestRunner::new(ProptestConfig::with_cases(16), "demo_failure");
+            runner.run(&(0u64..100,), |(x,)| {
+                if x >= 1 {
+                    return Err(TestCaseError::fail("too big"));
+                }
+                Ok(())
+            });
+        });
+        let msg = *result
+            .expect_err("must fail")
+            .downcast::<String>()
+            .expect("panic message");
+        assert!(msg.contains("too big") && msg.contains("input:"), "{msg}");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let collect = || {
+            let mut out = Vec::new();
+            let mut runner =
+                crate::test_runner::TestRunner::new(ProptestConfig::with_cases(10), "determinism");
+            runner.run(&(0u64..1000,), |(x,)| {
+                out.push(x);
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+}
