@@ -1,21 +1,120 @@
 #!/usr/bin/env bash
-# Repository CI: build, full test suite (the integration-test profile runs
-# the coherence invariant checker — see tests/invariant_checker.rs and
-# tests/fault_injection.rs), lints, and formatting. Everything runs offline
-# against the vendored crates.
+# Repository CI. Two stages, both offline against the vendored crates:
+#
+#   ./ci.sh checks   build, full test suite (the integration-test profile
+#                    runs the coherence invariant checker — see
+#                    tests/invariant_checker.rs and tests/fault_injection.rs),
+#                    lints, and formatting
+#   ./ci.sh smoke    kill/resume drill: SIGKILL a tiny benchmark campaign
+#                    mid-flight, resume it, and require the resumed report
+#                    to be bit-identical to an uninterrupted reference
+#   ./ci.sh          both
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== build (release) =="
-cargo build --release --offline
+checks() {
+  echo "== build (release) =="
+  cargo build --release --offline
 
-echo "== tests (workspace) =="
-cargo test -q --workspace --offline
+  echo "== tests (workspace) =="
+  cargo test -q --workspace --offline
 
-echo "== clippy (deny warnings) =="
-cargo clippy --workspace --all-targets --offline -- -D warnings
+  echo "== clippy (deny warnings) =="
+  cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== rustfmt (check) =="
-cargo fmt --check
+  echo "== rustfmt (check) =="
+  cargo fmt --check
+}
+
+# Completed-run records in a campaign directory (0 before the supervisor
+# has created the directory).
+count_records() {
+  if [ -d "$1/records" ]; then
+    find "$1/records" -name '*.rec' | wc -l
+  else
+    echo 0
+  fi
+}
+
+smoke() {
+  echo "== kill/resume smoke test =="
+  cargo build -q --release --offline -p warden-bench --bin all_figures
+  local bin=target/release/all_figures
+  local dir
+  dir="$(mktemp -d)"
+
+  # Uninterrupted reference campaign.
+  "$bin" --scale tiny --quiet --campaign-dir "$dir/ref" >"$dir/ref.out" 2>/dev/null
+  local total
+  total=$(count_records "$dir/ref")
+
+  # Victim: the same campaign on one worker, SIGKILLed once a few runs have
+  # been recorded. Retry in case the kill lands after completion (the tiny
+  # campaign only takes a second or two).
+  local n=0 pid attempt
+  for attempt in 1 2 3 4 5; do
+    rm -rf "$dir/victim"
+    "$bin" --scale tiny --quiet --jobs 1 --campaign-dir "$dir/victim" \
+      >/dev/null 2>&1 &
+    pid=$!
+    while kill -0 "$pid" 2>/dev/null; do
+      n=$(count_records "$dir/victim")
+      if [ "$n" -ge 5 ]; then
+        break
+      fi
+      sleep 0.01
+    done
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    n=$(count_records "$dir/victim")
+    if [ "$n" -gt 0 ] && [ "$n" -lt "$total" ]; then
+      echo "   SIGKILLed mid-flight with $n/$total runs recorded (attempt $attempt)"
+      break
+    fi
+    echo "   kill landed too late ($n/$total records), retrying"
+    n=0
+  done
+  if [ "$n" -le 0 ] || [ "$n" -ge "$total" ]; then
+    echo "FAILED: could not SIGKILL the campaign mid-flight" >&2
+    rm -rf "$dir"
+    exit 1
+  fi
+
+  # Resume: the identical command must reuse the survivors' records, finish
+  # the rest, and print a bit-identical report.
+  "$bin" --scale tiny --quiet --jobs 1 --campaign-dir "$dir/victim" \
+    >"$dir/resumed.out" 2>/dev/null
+  if ! diff -u "$dir/ref.out" "$dir/resumed.out"; then
+    echo "FAILED: resumed report differs from the uninterrupted reference" >&2
+    rm -rf "$dir"
+    exit 1
+  fi
+  if [ "$(count_records "$dir/victim")" -ne "$total" ]; then
+    echo "FAILED: resumed campaign is missing result records" >&2
+    rm -rf "$dir"
+    exit 1
+  fi
+  if ! grep -q '"status": "done"' "$dir/victim/manifest.json"; then
+    echo "FAILED: manifest.json records no completed runs" >&2
+    rm -rf "$dir"
+    exit 1
+  fi
+  echo "   resumed report is bit-identical to the uninterrupted reference"
+  rm -rf "$dir"
+}
+
+stage="${1:-all}"
+case "$stage" in
+  checks) checks ;;
+  smoke) smoke ;;
+  all)
+    checks
+    smoke
+    ;;
+  *)
+    echo "usage: ci.sh [checks|smoke|all]" >&2
+    exit 2
+    ;;
+esac
 
 echo "CI OK"

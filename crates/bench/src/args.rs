@@ -1,0 +1,250 @@
+//! Strict command-line parsing shared by every harness binary.
+//!
+//! All binaries accept the same flag vocabulary (each uses the subset it
+//! needs); anything starting with `--` that is not in the list below is
+//! rejected with an error naming the valid flags — a typo like `--chek`
+//! fails the run instead of silently proceeding unchecked.
+//!
+//! | flag                   | meaning |
+//! |------------------------|---------|
+//! | `--scale tiny\|paper`  | input scale (default `paper`) |
+//! | `--check`              | run the coherence invariant checker |
+//! | `--faults <seed>`      | inject the benign seeded fault plan |
+//! | `--markdown <path>`    | `all_figures`: also write the report as markdown |
+//! | `--campaign-dir <dir>` | durable campaign state (resume after a crash) |
+//! | `--jobs <n>`           | campaign worker threads |
+//! | `--deadline-ms <ms>`   | per-run watchdog deadline |
+//! | `--retries <n>`        | retry budget per campaign run |
+//! | `--quiet`              | suppress campaign progress lines |
+//!
+//! Non-flag arguments are collected in [`HarnessArgs::positional`] for the
+//! binaries that take them (`record`, `replay`).
+
+use crate::campaign::CampaignConfig;
+use crate::error::HarnessError;
+use crate::runner::{RunOptions, SuiteScale};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Every flag the harness binaries understand, with value placeholders —
+/// printed by the unknown-flag error.
+pub const VALID_FLAGS: &[&str] = &[
+    "--campaign-dir <dir>",
+    "--check",
+    "--deadline-ms <ms>",
+    "--faults <seed>",
+    "--jobs <n>",
+    "--markdown <path>",
+    "--quiet",
+    "--retries <n>",
+    "--scale <tiny|paper>",
+];
+
+/// Parsed command line shared by the harness binaries.
+#[derive(Clone, Debug, Default)]
+pub struct HarnessArgs {
+    /// Input scale (`--scale`, default paper).
+    pub scale: SuiteScale,
+    /// Robustness switches (`--check`, `--faults`).
+    pub run: RunOptions,
+    /// `--markdown <path>`, if given.
+    pub markdown: Option<PathBuf>,
+    /// `--campaign-dir <dir>`, if given (otherwise campaigns use an
+    /// ephemeral directory under the system temp dir).
+    pub campaign_dir: Option<PathBuf>,
+    /// `--jobs <n>` override for the campaign worker count.
+    pub jobs: Option<usize>,
+    /// `--deadline-ms <ms>` override for the per-run watchdog deadline.
+    pub deadline_ms: Option<u64>,
+    /// `--retries <n>` override for the per-run retry budget.
+    pub retries: Option<u32>,
+    /// `--quiet`: suppress campaign progress lines on stderr.
+    pub quiet: bool,
+    /// Non-flag arguments, in order (used by `record` and `replay`).
+    pub positional: Vec<String>,
+}
+
+fn unknown(flag: &str) -> HarnessError {
+    HarnessError::Args(format!(
+        "unrecognized flag {flag:?}; valid flags: {}",
+        VALID_FLAGS.join(", ")
+    ))
+}
+
+fn value(
+    it: &mut impl Iterator<Item = String>,
+    flag: &str,
+    placeholder: &str,
+) -> Result<String, HarnessError> {
+    it.next()
+        .ok_or_else(|| HarnessError::Args(format!("{flag} needs a value: {flag} {placeholder}")))
+}
+
+fn number<T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = String>,
+    flag: &str,
+    placeholder: &str,
+) -> Result<T, HarnessError> {
+    let v = value(it, flag, placeholder)?;
+    v.parse().map_err(|_| {
+        HarnessError::Args(format!("{flag} needs a number ({placeholder}), got {v:?}"))
+    })
+}
+
+impl HarnessArgs {
+    /// Parse the process arguments. Unknown `--` flags are rejected with an
+    /// error listing [`VALID_FLAGS`].
+    pub fn parse() -> Result<HarnessArgs, HarnessError> {
+        HarnessArgs::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit argument list (tests).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Result<HarnessArgs, HarnessError> {
+        let mut out = HarnessArgs::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--check" => out.run.check = true,
+                "--quiet" => out.quiet = true,
+                "--scale" => {
+                    let v = value(&mut it, "--scale", "<tiny|paper>")?;
+                    out.scale = match v.as_str() {
+                        "tiny" => SuiteScale::Tiny,
+                        "paper" => SuiteScale::Paper,
+                        _ => {
+                            return Err(HarnessError::Args(format!(
+                                "--scale must be `tiny` or `paper`, got {v:?}"
+                            )))
+                        }
+                    };
+                }
+                "--faults" => out.run.faults = Some(number(&mut it, "--faults", "<seed>")?),
+                "--markdown" => {
+                    out.markdown = Some(PathBuf::from(value(&mut it, "--markdown", "<path>")?))
+                }
+                "--campaign-dir" => {
+                    out.campaign_dir =
+                        Some(PathBuf::from(value(&mut it, "--campaign-dir", "<dir>")?))
+                }
+                "--jobs" => {
+                    let n: usize = number(&mut it, "--jobs", "<n>")?;
+                    if n == 0 {
+                        return Err(HarnessError::Args("--jobs must be at least 1".into()));
+                    }
+                    out.jobs = Some(n);
+                }
+                "--deadline-ms" => {
+                    out.deadline_ms = Some(number(&mut it, "--deadline-ms", "<ms>")?)
+                }
+                "--retries" => out.retries = Some(number(&mut it, "--retries", "<n>")?),
+                _ if a.starts_with("--") => return Err(unknown(&a)),
+                _ => out.positional.push(a),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The simulator options the robustness switches select.
+    pub fn sim_options(&self) -> warden_sim::SimOptions {
+        self.run.sim_options()
+    }
+
+    /// The campaign configuration these flags select: durable under
+    /// `--campaign-dir`, otherwise an ephemeral directory wiped at creation,
+    /// with `--jobs` / `--deadline-ms` / `--retries` / `--quiet` applied.
+    pub fn campaign_config(&self) -> CampaignConfig {
+        let mut cfg = match &self.campaign_dir {
+            Some(dir) => CampaignConfig::new(dir.clone()),
+            None => CampaignConfig::ephemeral(),
+        };
+        if let Some(jobs) = self.jobs {
+            cfg.workers = jobs;
+        }
+        if let Some(ms) = self.deadline_ms {
+            cfg.deadline = Duration::from_millis(ms);
+        }
+        if let Some(retries) = self.retries {
+            cfg.retries = retries;
+        }
+        cfg.quiet = self.quiet;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<HarnessArgs, HarnessError> {
+        HarnessArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_and_full_vocabulary() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.scale, SuiteScale::Paper);
+        assert!(!a.run.check && a.run.faults.is_none() && a.positional.is_empty());
+
+        let a = parse(&[
+            "--scale",
+            "tiny",
+            "--check",
+            "--faults",
+            "7",
+            "--markdown",
+            "out.md",
+            "--campaign-dir",
+            "camp",
+            "--jobs",
+            "3",
+            "--deadline-ms",
+            "250",
+            "--retries",
+            "1",
+            "--quiet",
+            "primes",
+        ])
+        .unwrap();
+        assert_eq!(a.scale, SuiteScale::Tiny);
+        assert!(a.run.check);
+        assert_eq!(a.run.faults, Some(7));
+        assert_eq!(a.markdown.as_deref(), Some(std::path::Path::new("out.md")));
+        assert_eq!(
+            a.campaign_dir.as_deref(),
+            Some(std::path::Path::new("camp"))
+        );
+        assert_eq!(
+            (a.jobs, a.deadline_ms, a.retries),
+            (Some(3), Some(250), Some(1))
+        );
+        assert!(a.quiet);
+        assert_eq!(a.positional, vec!["primes".to_string()]);
+
+        let cfg = a.campaign_config();
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.deadline, Duration::from_millis(250));
+        assert_eq!(cfg.retries, 1);
+        assert!(cfg.quiet);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_with_the_valid_list() {
+        let err = parse(&["--chek"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let msg = err.to_string();
+        assert!(msg.contains("--chek"), "{msg}");
+        for flag in VALID_FLAGS {
+            assert!(msg.contains(flag), "{msg} should list {flag}");
+        }
+    }
+
+    #[test]
+    fn bad_values_are_rejected() {
+        assert!(parse(&["--scale", "medium"]).is_err());
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--faults", "xyz"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--deadline-ms"]).is_err());
+        assert!(parse(&["--retries", "-1"]).is_err());
+    }
+}

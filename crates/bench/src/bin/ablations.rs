@@ -9,13 +9,22 @@
 //!    sub-sector bytes, which the memory-image comparison exposes.
 //! 4. **Store MSHRs** — how much store-miss overlap hides invalidation
 //!    latency (the Figure 10 loads-vs-stores argument).
+//!
+//! Every simulation routes through the campaign runner, so a killed sweep
+//! resumes from its completed cells when `--campaign-dir` is given. The
+//! sectoring ablation deliberately produces corrupted final memory at coarse
+//! granularities, so it uses the raw campaign API (no digest enforcement)
+//! and compares images itself.
 
 use warden_bench::fmt::{f2, table};
-use warden_bench::SuiteScale;
+use warden_bench::{
+    harness_main, run_campaign, CampaignConfig, HarnessArgs, HarnessError, RunSpec, SuiteScale,
+    Workload,
+};
 use warden_coherence::Protocol;
 use warden_pbbs::primes;
-use warden_rt::{trace_program, MarkPolicy, RtOptions, TraceProgram};
-use warden_sim::{simulate, Comparison, MachineConfig};
+use warden_rt::{trace_program, MarkPolicy, RtOptions};
+use warden_sim::{Comparison, MachineConfig, SimOptions, SimOutcome};
 
 fn scaled(scale: SuiteScale, tiny: u64, paper: u64) -> u64 {
     match scale {
@@ -24,98 +33,155 @@ fn scaled(scale: SuiteScale, tiny: u64, paper: u64) -> u64 {
     }
 }
 
-fn speedup(p: &TraceProgram, m: &MachineConfig) -> f64 {
-    let mesi = simulate(p, m, Protocol::Mesi);
-    let warden = simulate(p, m, Protocol::Warden);
-    Comparison::of(&p.name, &mesi, &warden).speedup
+/// Mesi/Warden spec pair for one ablation cell.
+fn pair(id: &str, workload: &Workload, machine: &MachineConfig, opts: &SimOptions) -> [RunSpec; 2] {
+    [Protocol::Mesi, Protocol::Warden].map(|protocol| RunSpec {
+        id: format!(
+            "{id}/{}",
+            if protocol == Protocol::Mesi {
+                "mesi"
+            } else {
+                "warden"
+            }
+        ),
+        workload: workload.clone(),
+        machine: machine.clone(),
+        protocol,
+        opts: opts.clone(),
+    })
 }
 
-fn marking_policy(scale: SuiteScale, m: &MachineConfig) -> String {
-    let n = scaled(scale, 4096, 65_536);
+fn speedup(name: &str, mesi: &SimOutcome, warden: &SimOutcome) -> f64 {
+    Comparison::of(name, mesi, warden).speedup
+}
+
+struct Ctx<'a> {
+    scale: SuiteScale,
+    machine: &'a MachineConfig,
+    opts: &'a SimOptions,
+    cfg: &'a CampaignConfig,
+}
+
+fn marking_policy(ctx: &Ctx) -> Result<String, HarnessError> {
+    let n = scaled(ctx.scale, 4096, 65_536);
     // One program traced under each policy: tabulate + reduce has both the
     // fork-path flow the §5.3 flush accelerates and ancestor-array traffic.
     let build = |mark: MarkPolicy| {
-        let opts = RtOptions {
-            mark,
-            ..RtOptions::default()
-        };
-        trace_program("tabreduce", opts, move |ctx| {
-            let xs = ctx.tabulate::<u64>(n, 64, &|c, i| {
-                c.work(8);
-                i ^ 0x5a5a
-            });
-            let _ = ctx.reduce(
-                0,
-                n,
-                64,
-                &|c, i| c.read(&xs, i),
-                &|a, b| a.wrapping_add(b),
-                0,
-            );
-        })
+        move || {
+            let opts = RtOptions {
+                mark,
+                ..RtOptions::default()
+            };
+            trace_program("tabreduce", opts, move |ctx| {
+                let xs = ctx.tabulate::<u64>(n, 64, &|c, i| {
+                    c.work(8);
+                    i ^ 0x5a5a
+                });
+                let _ = ctx.reduce(
+                    0,
+                    n,
+                    64,
+                    &|c, i| c.read(&xs, i),
+                    &|a, b| a.wrapping_add(b),
+                    0,
+                );
+            })
+        }
     };
-    let rows: Vec<Vec<String>> = [
-        (MarkPolicy::None, "no marking (legacy app)"),
-        (MarkPolicy::NoUnmarkAtFork, "marking, no §5.3 fork flush"),
-        (MarkPolicy::LeafHeaps, "full policy (paper §4.2)"),
-    ]
-    .into_iter()
-    .map(|(mark, label)| {
-        let p = build(mark);
-        vec![label.to_string(), f2(speedup(&p, m))]
-    })
-    .collect();
-    format!(
+    let variants = [
+        (MarkPolicy::None, "none", "no marking (legacy app)"),
+        (
+            MarkPolicy::NoUnmarkAtFork,
+            "no-fork-flush",
+            "marking, no §5.3 fork flush",
+        ),
+        (MarkPolicy::LeafHeaps, "full", "full policy (paper §4.2)"),
+    ];
+    let mut specs = Vec::new();
+    for (mark, token, _) in variants {
+        let w = Workload::custom(format!("abl1/{token}"), build(mark));
+        specs.extend(pair(&format!("abl1/{token}"), &w, ctx.machine, ctx.opts));
+    }
+    let results = run_campaign(&specs, ctx.cfg)?;
+    let rows: Vec<Vec<String>> = variants
+        .iter()
+        .enumerate()
+        .map(|(i, (_, _, label))| {
+            vec![
+                label.to_string(),
+                f2(speedup(
+                    "tabreduce",
+                    &results[2 * i].outcome,
+                    &results[2 * i + 1].outcome,
+                )),
+            ]
+        })
+        .collect();
+    Ok(format!(
         "Ablation 1: WARD marking policy (WARDen speedup over MESI, tabulate+reduce)\n\n{}",
         table(&["Policy", "Speedup"], &rows)
-    )
+    ))
 }
 
-fn region_capacity(scale: SuiteScale, m: &MachineConfig) -> String {
-    let p = primes(scaled(scale, 2000, 65_536), 2);
-    let rows: Vec<Vec<String>> = [8usize, 32, 128, 1024]
-        .into_iter()
-        .map(|cap| {
-            let mut machine = m.clone();
-            machine.cache.region_capacity = cap;
-            let mesi = simulate(&p, &machine, Protocol::Mesi);
-            let warden = simulate(&p, &machine, Protocol::Warden);
-            let c = Comparison::of("primes", &mesi, &warden);
+fn region_capacity(ctx: &Ctx) -> Result<String, HarnessError> {
+    let n = scaled(ctx.scale, 2000, 65_536);
+    let w = Workload::custom("abl2/primes", move || primes(n, 2));
+    let caps = [8usize, 32, 128, 1024];
+    let mut specs = Vec::new();
+    for cap in caps {
+        let mut machine = ctx.machine.clone();
+        machine.cache.region_capacity = cap;
+        specs.extend(pair(&format!("abl2/cap{cap}"), &w, &machine, ctx.opts));
+    }
+    let results = run_campaign(&specs, ctx.cfg)?;
+    let rows: Vec<Vec<String>> = caps
+        .iter()
+        .enumerate()
+        .map(|(i, cap)| {
+            let (mesi, warden) = (&results[2 * i].outcome, &results[2 * i + 1].outcome);
             vec![
                 cap.to_string(),
                 warden.stats.coherence.region_overflows.to_string(),
                 warden.region_peak.to_string(),
-                f2(c.speedup),
+                f2(speedup("primes", mesi, warden)),
             ]
         })
         .collect();
-    format!(
+    Ok(format!(
         "Ablation 2: region-store capacity (primes; overflowed regions fall back to MESI)\n\n{}",
         table(&["Capacity", "Overflows", "Peak live", "Speedup"], &rows)
-    )
+    ))
 }
 
-fn sectoring(scale: SuiteScale, m: &MachineConfig) -> String {
+fn sectoring(ctx: &Ctx) -> Result<String, HarnessError> {
     // Concurrent tasks write *different* values at adjacent bytes of a
     // declared WARD region (sound: no cross-task reads inside the scope, as
     // the runtime checker verifies). Reconciliation merges the per-copy
     // write masks — only byte sectors can separate the neighbours.
     // An odd element count keeps the parallel-for split points unaligned to
     // cache blocks, so neighbouring tasks genuinely share boundary blocks.
-    let n = scaled(scale, 16_383, 131_071);
-    let p = trace_program("sector-demo", RtOptions::default(), move |ctx| {
-        let xs = ctx.alloc::<u8>(n);
-        ctx.ward_scope(&xs, |ctx| {
-            ctx.parallel_for(0, n, 509, &|c, i| c.write(&xs, i, (i % 251) as u8));
-        });
+    let n = scaled(ctx.scale, 16_383, 131_071);
+    let w = Workload::custom("abl3/sector-demo", move || {
+        trace_program("sector-demo", RtOptions::default(), move |ctx| {
+            let xs = ctx.alloc::<u8>(n);
+            ctx.ward_scope(&xs, |ctx| {
+                ctx.parallel_for(0, n, 509, &|c, i| c.write(&xs, i, (i % 251) as u8));
+            });
+        })
     });
-    let rows: Vec<Vec<String>> = [1u64, 8, 64]
-        .into_iter()
-        .map(|g| {
-            let mut machine = m.clone();
-            machine.cache.sector_bytes = g;
-            let mesi = simulate(&p, &machine, Protocol::Mesi);
-            let warden = simulate(&p, &machine, Protocol::Warden);
+    let grains = [1u64, 8, 64];
+    let mut specs = Vec::new();
+    for g in grains {
+        let mut machine = ctx.machine.clone();
+        machine.cache.sector_bytes = g;
+        specs.extend(pair(&format!("abl3/sector{g}"), &w, &machine, ctx.opts));
+    }
+    let results = run_campaign(&specs, ctx.cfg)?;
+    let rows: Vec<Vec<String>> = grains
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let (mesi, warden) = (&results[2 * i].outcome, &results[2 * i + 1].outcome);
             let correct = mesi.memory_image_digest == warden.memory_image_digest;
             vec![
                 format!("{g} B"),
@@ -124,36 +190,51 @@ fn sectoring(scale: SuiteScale, m: &MachineConfig) -> String {
                 } else {
                     "CORRUPTED".into()
                 },
-                f2(Comparison::of("sector-demo", &mesi, &warden).speedup),
+                f2(speedup("sector-demo", mesi, warden)),
             ]
         })
         .collect();
-    format!(
+    Ok(format!(
         "Ablation 3: write-mask sector granularity (neighbouring tasks write adjacent\nbytes of a WARD region with different values)\n\n{}\n\
          Byte sectoring (the paper's choice, §6.1: \"to match the smallest granularity\n\
          in software\") is required for correctness: coarser masks turn adjacent\n\
          sub-sector writes into lossy true-sharing merges.\n",
         table(&["Sector", "Final memory vs MESI", "Speedup"], &rows)
-    )
+    ))
 }
 
-fn store_mshrs(scale: SuiteScale, m: &MachineConfig) -> String {
-    let p = primes(scaled(scale, 2000, 65_536), 2);
-    let rows: Vec<Vec<String>> = [1usize, 4, 10, 56]
-        .into_iter()
-        .map(|n| {
-            let mut machine = m.clone();
-            machine.store_mshrs = n;
-            vec![n.to_string(), f2(speedup(&p, &machine))]
+fn store_mshrs(ctx: &Ctx) -> Result<String, HarnessError> {
+    let n = scaled(ctx.scale, 2000, 65_536);
+    let w = Workload::custom("abl4/primes", move || primes(n, 2));
+    let mshrs = [1usize, 4, 10, 56];
+    let mut specs = Vec::new();
+    for m in mshrs {
+        let mut machine = ctx.machine.clone();
+        machine.store_mshrs = m;
+        specs.extend(pair(&format!("abl4/mshr{m}"), &w, &machine, ctx.opts));
+    }
+    let results = run_campaign(&specs, ctx.cfg)?;
+    let rows: Vec<Vec<String>> = mshrs
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            vec![
+                m.to_string(),
+                f2(speedup(
+                    "primes",
+                    &results[2 * i].outcome,
+                    &results[2 * i + 1].outcome,
+                )),
+            ]
         })
         .collect();
-    format!(
+    Ok(format!(
         "Ablation 4: outstanding store misses (primes — benign-WAW stores dominate;\nmore overlap hides the invalidation latency MESI pays)\n\n{}",
         table(&["Store MSHRs", "WARDen speedup"], &rows)
-    )
+    ))
 }
 
-fn baselines(scale: SuiteScale, m: &MachineConfig) -> String {
+fn baselines(ctx: &Ctx) -> Result<String, HarnessError> {
     // What does the E state buy, and how much more does WARDen add? All
     // cycles normalized to the MSI baseline.
     let benches = [
@@ -161,37 +242,59 @@ fn baselines(scale: SuiteScale, m: &MachineConfig) -> String {
         warden_pbbs::Bench::Msort,
         warden_pbbs::Bench::Tokens,
     ];
-    let pbbs_scale = match scale {
-        SuiteScale::Tiny => warden_pbbs::Scale::Tiny,
-        SuiteScale::Paper => warden_pbbs::Scale::Paper,
-    };
+    let protocols = [Protocol::Msi, Protocol::Mesi, Protocol::Warden];
+    let mut specs = Vec::new();
+    for b in benches {
+        let w = Workload::bench(b, ctx.scale.pbbs());
+        for (p, tag) in protocols.iter().zip(["msi", "mesi", "warden"]) {
+            specs.push(RunSpec {
+                id: format!("abl5/{}/{tag}", b.name()),
+                workload: w.clone(),
+                machine: ctx.machine.clone(),
+                protocol: *p,
+                opts: ctx.opts.clone(),
+            });
+        }
+    }
+    let results = run_campaign(&specs, ctx.cfg)?;
     let rows: Vec<Vec<String>> = benches
-        .into_iter()
-        .map(|b| {
-            let p = b.build(pbbs_scale);
-            let msi = simulate(&p, m, Protocol::Msi).stats.cycles as f64;
-            let mesi = simulate(&p, m, Protocol::Mesi).stats.cycles as f64;
-            let warden = simulate(&p, m, Protocol::Warden).stats.cycles as f64;
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let cycles = |j: usize| results[protocols.len() * i + j].outcome.stats.cycles as f64;
+            let msi = cycles(0);
             vec![
                 b.name().to_string(),
                 "1.00".into(),
-                f2(msi / mesi),
-                f2(msi / warden),
+                f2(msi / cycles(1)),
+                f2(msi / cycles(2)),
             ]
         })
         .collect();
-    format!(
+    Ok(format!(
         "Ablation 5: protocol baselines (speedup over plain MSI)\n\n{}",
         table(&["Benchmark", "MSI", "MESI", "WARDen"], &rows)
-    )
+    ))
 }
 
 fn main() {
-    let scale = SuiteScale::from_args();
-    let m = MachineConfig::dual_socket();
-    println!("{}\n", marking_policy(scale, &m));
-    println!("{}\n", region_capacity(scale, &m));
-    println!("{}\n", sectoring(scale, &m));
-    println!("{}\n", store_mshrs(scale, &m));
-    println!("{}", baselines(scale, &m));
+    harness_main(run);
+}
+
+fn run() -> Result<(), HarnessError> {
+    let args = HarnessArgs::parse()?;
+    let cfg = args.campaign_config();
+    let machine = MachineConfig::dual_socket();
+    let ctx = Ctx {
+        scale: args.scale,
+        machine: &machine,
+        opts: &args.sim_options(),
+        cfg: &cfg,
+    };
+    println!("{}\n", marking_policy(&ctx)?);
+    println!("{}\n", region_capacity(&ctx)?);
+    println!("{}\n", sectoring(&ctx)?);
+    println!("{}\n", store_mshrs(&ctx)?);
+    println!("{}", baselines(&ctx)?);
+    Ok(())
 }

@@ -1,6 +1,13 @@
 //! Regenerates the §6.1 hardware-cost estimates.
 use warden_bench::figures::render_area;
+use warden_bench::{harness_main, HarnessArgs, HarnessError};
 
 fn main() {
+    harness_main(run);
+}
+
+fn run() -> Result<(), HarnessError> {
+    HarnessArgs::parse()?;
     println!("{}", render_area());
+    Ok(())
 }

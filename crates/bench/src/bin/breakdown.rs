@@ -4,7 +4,7 @@
 //! compute stays fixed.
 
 use warden_bench::fmt::table;
-use warden_bench::{run_bench, SuiteScale};
+use warden_bench::{campaign_suite, harness_main, HarnessArgs, HarnessError};
 use warden_pbbs::Bench;
 use warden_sim::{MachineConfig, SimStats};
 
@@ -18,7 +18,12 @@ fn pct_row(stats: &SimStats) -> Vec<String> {
 }
 
 fn main() {
-    let scale = SuiteScale::from_args();
+    harness_main(run);
+}
+
+fn run() -> Result<(), HarnessError> {
+    let args = HarnessArgs::parse()?;
+    let cfg = args.campaign_config();
     let machine = MachineConfig::dual_socket();
     let labels: Vec<&str> = SimStats::default()
         .cycle_breakdown()
@@ -27,13 +32,18 @@ fn main() {
         .collect();
     let mut headers = vec!["benchmark", "protocol", "cycles"];
     headers.extend(labels.iter());
+    let runs = campaign_suite(
+        &Bench::ALL,
+        args.scale.pbbs(),
+        &machine,
+        &args.sim_options(),
+        &cfg,
+    )?;
     let mut rows = Vec::new();
-    for bench in Bench::ALL {
-        eprint!("  {:<14}\r", bench.name());
-        let r = run_bench(bench, scale.pbbs(), &machine);
+    for r in &runs {
         for (proto, stats) in [("MESI", &r.mesi.stats), ("WARDen", &r.warden.stats)] {
             let mut row = vec![
-                bench.name().to_string(),
+                r.bench.name().to_string(),
                 proto.to_string(),
                 stats.cycles.to_string(),
             ];
@@ -45,4 +55,5 @@ fn main() {
         "Cycle breakdown (percent of total core time, dual socket)\n\n{}",
         table(&headers, &rows)
     );
+    Ok(())
 }

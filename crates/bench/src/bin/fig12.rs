@@ -1,13 +1,20 @@
 //! Regenerates Figure 12: the disaggregated two-node machine.
 use warden_bench::figures::render_fig12_titled;
-use warden_bench::{suite, SuiteScale};
+use warden_bench::{campaign_suite, harness_main, HarnessArgs, HarnessError};
 use warden_pbbs::Bench;
 use warden_sim::MachineConfig;
 
 fn main() {
-    let scale = SuiteScale::from_args();
+    harness_main(run);
+}
+
+fn run() -> Result<(), HarnessError> {
+    let args = HarnessArgs::parse()?;
+    let cfg = args.campaign_config();
     let machine = MachineConfig::disaggregated();
-    let runs = suite(&Bench::DISAGGREGATED, scale.pbbs(), &machine);
+    let scale = args.scale.pbbs();
+    let opts = args.sim_options();
+    let runs = campaign_suite(&Bench::DISAGGREGATED, scale, &machine, &opts, &cfg)?;
     println!(
         "{}",
         render_fig12_titled(
@@ -15,7 +22,9 @@ fn main() {
             "Figure 12 (paper's subset): disaggregated machine (1 µs remote)"
         )
     );
-    let ours = suite(&Bench::DISAGGREGATED_OURS, scale.pbbs(), &machine);
+    // Cells shared between the two subsets were just recorded by the first
+    // suite, so the campaign reuses them instead of simulating twice.
+    let ours = campaign_suite(&Bench::DISAGGREGATED_OURS, scale, &machine, &opts, &cfg)?;
     println!(
         "{}",
         render_fig12_titled(
@@ -23,4 +32,5 @@ fn main() {
             "Figure 12 (this reproduction's most-promising subset, same selection rule)"
         )
     );
+    Ok(())
 }

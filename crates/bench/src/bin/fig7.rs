@@ -1,12 +1,24 @@
 //! Regenerates Figure 7: single-socket speedup and energy savings.
 use warden_bench::figures::render_fig7;
-use warden_bench::{suite, SuiteScale};
+use warden_bench::{campaign_suite, harness_main, HarnessArgs, HarnessError};
 use warden_pbbs::Bench;
 use warden_sim::MachineConfig;
 
 fn main() {
-    let scale = SuiteScale::from_args();
+    harness_main(run);
+}
+
+fn run() -> Result<(), HarnessError> {
+    let args = HarnessArgs::parse()?;
+    let cfg = args.campaign_config();
     let machine = MachineConfig::single_socket();
-    let runs = suite(&Bench::ALL, scale.pbbs(), &machine);
+    let runs = campaign_suite(
+        &Bench::ALL,
+        args.scale.pbbs(),
+        &machine,
+        &args.sim_options(),
+        &cfg,
+    )?;
     println!("{}", render_fig7(&runs));
+    Ok(())
 }

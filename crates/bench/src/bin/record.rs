@@ -5,39 +5,38 @@
 //! $ cargo run -p warden-bench --release --bin replay -- /tmp/primes.trace
 //! ```
 
-use warden_bench::SuiteScale;
+use warden_bench::{harness_main, HarnessArgs, HarnessError};
 use warden_pbbs::Bench;
 use warden_rt::trace_io;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let (name, path) = match (args.get(1), args.get(2)) {
-        (Some(n), Some(p)) => (n.clone(), p.clone()),
-        _ => {
-            eprintln!("usage: record <benchmark> <output-file> [--scale tiny]");
-            eprintln!("benchmarks: {}", Bench::ALL.map(|b| b.name()).join(", "));
-            std::process::exit(2);
-        }
+    harness_main(run);
+}
+
+fn run() -> Result<(), HarnessError> {
+    let args = HarnessArgs::parse()?;
+    let [name, path] = args.positional.as_slice() else {
+        return Err(HarnessError::Args(format!(
+            "usage: record <benchmark> <output-file> [--scale tiny]\nbenchmarks: {}",
+            Bench::ALL.map(|b| b.name()).join(", ")
+        )));
     };
-    let Some(bench) = Bench::by_name(&name) else {
-        eprintln!("unknown benchmark {name:?}");
-        std::process::exit(2);
+    let Some(bench) = Bench::by_name(name) else {
+        return Err(HarnessError::Args(format!("unknown benchmark {name:?}")));
     };
-    let scale = SuiteScale::from_args();
-    let program = bench.build(scale.pbbs());
-    let file = std::fs::File::create(&path).unwrap_or_else(|e| {
-        eprintln!("cannot create {path:?}: {e}");
-        std::process::exit(1);
-    });
+    let program = bench.build(args.scale.pbbs());
+    let io_err = |e| HarnessError::Io {
+        path: path.into(),
+        source: e,
+    };
+    let file = std::fs::File::create(path).map_err(io_err)?;
     let mut file = std::io::BufWriter::new(file);
-    trace_io::write_trace(&mut file, &program).unwrap_or_else(|e| {
-        eprintln!("cannot write trace to {path:?}: {e}");
-        std::process::exit(1);
-    });
+    trace_io::write_trace(&mut file, &program).map_err(io_err)?;
     println!(
         "recorded {} ({} tasks, {} events) to {path}",
         program.name,
         program.tasks.len(),
         program.stats.events
     );
+    Ok(())
 }

@@ -11,7 +11,7 @@
 //! exhaustion storms, forced reconciliations, latency spikes, and a flaky
 //! remote link — which must leave the final memory image untouched.
 
-use warden_bench::RunOptions;
+use warden_bench::{harness_main, HarnessArgs, HarnessError, RunOptions};
 use warden_coherence::Protocol;
 use warden_rt::{summarize, trace_io};
 use warden_sim::{simulate_with_options, try_simulate, Comparison, MachineConfig, SimOutcome};
@@ -24,11 +24,6 @@ fn machine_by_name(name: &str) -> Option<MachineConfig> {
         "4-socket" => MachineConfig::many_socket(4),
         _ => return None,
     })
-}
-
-fn fail(msg: String) -> ! {
-    eprintln!("{msg}");
-    std::process::exit(1);
 }
 
 fn report_robustness(outcome: &SimOutcome, opts: &RunOptions) -> bool {
@@ -58,42 +53,50 @@ fn report_robustness(outcome: &SimOutcome, opts: &RunOptions) -> bool {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let Some(path) = args.get(1) else {
-        eprintln!(
+    harness_main(run);
+}
+
+fn run() -> Result<(), HarnessError> {
+    let args = HarnessArgs::parse()?;
+    let Some(path) = args.positional.first() else {
+        return Err(HarnessError::Args(
             "usage: replay <trace-file> [single-socket|dual-socket|4-socket|disaggregated] \
              [--check] [--faults <seed>]"
-        );
-        std::process::exit(2);
+                .into(),
+        ));
     };
-    let machine = match args.get(2).filter(|a| !a.starts_with("--")) {
-        Some(name) => machine_by_name(name).unwrap_or_else(|| {
-            eprintln!("unknown machine {name:?}");
-            std::process::exit(2);
-        }),
+    let machine = match args.positional.get(1) {
+        Some(name) => machine_by_name(name)
+            .ok_or_else(|| HarnessError::Args(format!("unknown machine {name:?}")))?,
         None => MachineConfig::dual_socket(),
     };
-    let opts = RunOptions::from_args();
-    let file = std::fs::File::open(path)
-        .unwrap_or_else(|e| fail(format!("cannot open trace {path:?}: {e}")));
+    let io_err = |e| HarnessError::Io {
+        path: path.into(),
+        source: e,
+    };
+    let file = std::fs::File::open(path).map_err(io_err)?;
     let mut reader = std::io::BufReader::new(file);
     let program = trace_io::read_trace(&mut reader)
-        .unwrap_or_else(|e| fail(format!("cannot parse trace {path:?}: {e}")));
+        .map_err(|e| HarnessError::Failed(format!("cannot parse trace {path:?}: {e}")))?;
     program
         .check_invariants()
-        .unwrap_or_else(|e| fail(format!("trace {path:?} violates invariants: {e}")));
+        .map_err(|e| HarnessError::Failed(format!("trace {path:?} violates invariants: {e}")))?;
     println!("{} — {}", program.name, summarize(&program));
 
-    let sim_opts = opts.sim_options();
+    let sim_opts = args.sim_options();
     // Validate machine and plan once through the fallible entry point, then
     // reuse the infallible one for the second protocol.
     let mesi = try_simulate(&program, &machine, Protocol::Mesi, &sim_opts)
-        .unwrap_or_else(|e| fail(format!("cannot simulate: {e}")));
+        .map_err(|e| HarnessError::Failed(format!("cannot simulate: {e}")))?;
     let warden = simulate_with_options(&program, &machine, Protocol::Warden, &sim_opts);
-    let clean = report_robustness(&mesi, &opts) & report_robustness(&warden, &opts);
+    let clean = report_robustness(&mesi, &args.run) & report_robustness(&warden, &args.run);
 
     if mesi.memory_image_digest != warden.memory_image_digest {
-        fail("protocols disagree on the final memory image".to_string());
+        return Err(HarnessError::ImageMismatch {
+            id: program.name.clone(),
+            mesi: mesi.memory_image_digest,
+            warden: warden.memory_image_digest,
+        });
     }
     let c = Comparison::of(&program.name, &mesi, &warden);
     println!(
@@ -105,6 +108,9 @@ fn main() {
         c.inv_dg_reduced_per_kilo, c.total_energy_savings_pct
     );
     if !clean {
-        std::process::exit(1);
+        return Err(HarnessError::Failed(
+            "invariant violations were reported".into(),
+        ));
     }
+    Ok(())
 }

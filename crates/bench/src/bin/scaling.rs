@@ -4,12 +4,17 @@
 //! make WARDen increasingly valuable; this binary puts numbers on it.)
 
 use warden_bench::fmt::{f2, table};
-use warden_bench::{run_bench, SuiteScale};
+use warden_bench::{campaign_suite, harness_main, HarnessArgs, HarnessError};
 use warden_pbbs::Bench;
 use warden_sim::MachineConfig;
 
 fn main() {
-    let scale = SuiteScale::from_args();
+    harness_main(run);
+}
+
+fn run() -> Result<(), HarnessError> {
+    let args = HarnessArgs::parse()?;
+    let cfg = args.campaign_config();
     let machines = [
         MachineConfig::single_socket(),
         MachineConfig::dual_socket(),
@@ -23,13 +28,23 @@ fn main() {
         Bench::SuffixArray,
         Bench::Tokens,
     ];
+    // One campaign per machine; run ids embed the machine name, so all four
+    // share the campaign directory and a killed grid resumes where it died.
+    let mut columns = Vec::new();
+    for machine in &machines {
+        columns.push(campaign_suite(
+            &benches,
+            args.scale.pbbs(),
+            machine,
+            &args.sim_options(),
+            &cfg,
+        )?);
+    }
     let mut rows = Vec::new();
-    for bench in benches {
+    for (i, bench) in benches.iter().enumerate() {
         let mut row = vec![bench.name().to_string()];
-        for machine in &machines {
-            eprint!("  {} on {:<14}\r", bench.name(), machine.name);
-            let r = run_bench(bench, scale.pbbs(), machine);
-            row.push(format!("{}x", f2(r.cmp.speedup)));
+        for col in &columns {
+            row.push(format!("{}x", f2(col[i].cmp.speedup)));
         }
         rows.push(row);
     }
@@ -40,4 +55,5 @@ fn main() {
         "WARDen speedup over MESI as the machine scales (paper §7.3 / Figure 1)\n\n{}",
         table(&headers, &rows)
     );
+    Ok(())
 }

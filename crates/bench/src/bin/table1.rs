@@ -1,8 +1,15 @@
 //! Regenerates Table 1: ping-pong latency validation of the timing model.
 use warden_bench::figures::render_table1;
+use warden_bench::{harness_main, HarnessArgs, HarnessError};
 use warden_sim::MachineConfig;
 
 fn main() {
+    harness_main(run);
+}
+
+fn run() -> Result<(), HarnessError> {
+    HarnessArgs::parse()?;
     let machine = MachineConfig::dual_socket();
     println!("{}", render_table1(&machine, 10_000));
+    Ok(())
 }

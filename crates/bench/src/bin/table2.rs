@@ -1,7 +1,14 @@
 //! Regenerates Table 2: the simulated system specification.
 use warden_bench::figures::render_table2;
+use warden_bench::{harness_main, HarnessArgs, HarnessError};
 use warden_sim::MachineConfig;
 
 fn main() {
+    harness_main(run);
+}
+
+fn run() -> Result<(), HarnessError> {
+    HarnessArgs::parse()?;
     println!("{}", render_table2(&MachineConfig::dual_socket()));
+    Ok(())
 }

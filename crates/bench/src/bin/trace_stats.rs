@@ -3,16 +3,20 @@
 //! methodology" view of the suite.
 
 use warden_bench::fmt::table;
-use warden_bench::SuiteScale;
+use warden_bench::{harness_main, HarnessArgs, HarnessError};
 use warden_pbbs::Bench;
 use warden_rt::summarize;
 
 fn main() {
-    let scale = SuiteScale::from_args();
+    harness_main(run);
+}
+
+fn run() -> Result<(), HarnessError> {
+    let args = HarnessArgs::parse()?;
     let mut rows = Vec::new();
     for bench in Bench::ALL {
         eprint!("  {:<14}\r", bench.name());
-        let p = bench.build(scale.pbbs());
+        let p = bench.build(args.scale.pbbs());
         let s = summarize(&p);
         rows.push(vec![
             bench.name().to_string(),
@@ -46,4 +50,5 @@ fn main() {
             &rows
         )
     );
+    Ok(())
 }

@@ -19,13 +19,27 @@
 //! | `all_figures` | everything above, plus an EXPERIMENTS.md-style report |
 //!
 //! Run with `cargo run -p warden-bench --release --bin <name> [-- --scale tiny]`.
+//!
+//! Every matrix binary routes its simulations through the supervised
+//! [`campaign`] runner: worker threads with `catch_unwind` panic isolation,
+//! per-run watchdog deadlines, bounded retry-with-backoff, and — with
+//! `--campaign-dir <dir>` — durable, checksummed per-run records plus a
+//! `manifest.json`, so a killed campaign resumes from completed work and
+//! interrupted runs continue from their engine checkpoints bit-identically.
+//! See [`args`] for the shared strict flag vocabulary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod args;
+pub mod campaign;
+pub mod error;
 pub mod figures;
 pub mod fmt;
 pub mod paper;
 pub mod runner;
 
+pub use args::HarnessArgs;
+pub use campaign::{campaign_suite, run_campaign, CampaignConfig, RunResult, RunSpec, Workload};
+pub use error::{harness_main, HarnessError, RunFailure};
 pub use runner::{run_bench, run_pair, suite, BenchRun, RunOptions, SuiteScale};

@@ -1,5 +1,7 @@
 //! Running benchmarks under both protocols and collecting comparisons.
 
+use crate::args::HarnessArgs;
+use crate::error::HarnessError;
 use warden_coherence::Protocol;
 use warden_pbbs::{Bench, Scale};
 use warden_rt::TraceProgram;
@@ -7,24 +9,24 @@ use warden_sim::{simulate, Comparison, FaultPlan, MachineConfig, SimOptions, Sim
 
 /// Scale selection shared by the harness binaries (`--scale tiny` on the
 /// command line switches every figure to fast test inputs).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum SuiteScale {
     /// Unit-test inputs, seconds for the whole set.
     Tiny,
     /// The evaluation inputs.
+    #[default]
     Paper,
 }
 
 impl SuiteScale {
     /// Parse from process arguments (`--scale tiny|paper`, default paper).
-    pub fn from_args() -> SuiteScale {
-        let args: Vec<String> = std::env::args().collect();
-        for w in args.windows(2) {
-            if w[0] == "--scale" && w[1] == "tiny" {
-                return SuiteScale::Tiny;
-            }
-        }
-        SuiteScale::Paper
+    ///
+    /// Parsing is strict: an unrecognized `--` flag anywhere on the command
+    /// line is rejected with an error listing the valid flags
+    /// ([`crate::args::VALID_FLAGS`]) — a typo like `--scael` fails the run
+    /// instead of silently selecting the default.
+    pub fn from_args() -> Result<SuiteScale, HarnessError> {
+        Ok(HarnessArgs::parse()?.scale)
     }
 
     /// The pbbs scale this maps to.
@@ -52,23 +54,12 @@ pub struct RunOptions {
 impl RunOptions {
     /// Parse from process arguments (`--check`, `--faults <seed>`).
     ///
-    /// An unparsable seed is reported and ignored rather than panicking —
-    /// the binaries treat flags as best-effort switches.
-    pub fn from_args() -> RunOptions {
-        let args: Vec<String> = std::env::args().collect();
-        let mut opts = RunOptions::default();
-        for (i, a) in args.iter().enumerate() {
-            if a == "--check" {
-                opts.check = true;
-            }
-            if a == "--faults" {
-                match args.get(i + 1).map(|s| s.parse::<u64>()) {
-                    Some(Ok(seed)) => opts.faults = Some(seed),
-                    _ => eprintln!("--faults needs a numeric seed; ignoring"),
-                }
-            }
-        }
-        opts
+    /// Parsing is strict: an unparsable seed or an unrecognized `--` flag
+    /// is a hard error listing the valid flags
+    /// ([`crate::args::VALID_FLAGS`]) — a typo like `--chek` fails the run
+    /// instead of silently proceeding unchecked.
+    pub fn from_args() -> Result<RunOptions, HarnessError> {
+        Ok(HarnessArgs::parse()?.run)
     }
 
     /// The simulator options these switches select.
@@ -127,7 +118,12 @@ pub fn run_bench(bench: Bench, scale: Scale, machine: &MachineConfig) -> BenchRu
     }
 }
 
-/// Run a set of benchmarks, printing one progress line each.
+/// Run a set of benchmarks in-process, printing one progress line each.
+///
+/// This is the unsupervised path kept for tests and library callers; the
+/// harness binaries route through [`crate::campaign::campaign_suite`],
+/// which adds panic isolation, watchdog deadlines, retries and durable
+/// crash-safe resume.
 pub fn suite(benches: &[Bench], scale: Scale, machine: &MachineConfig) -> Vec<BenchRun> {
     benches
         .iter()

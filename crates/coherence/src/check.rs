@@ -36,6 +36,7 @@ use crate::system::DirKind;
 use crate::topo::CoreId;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use warden_mem::codec::{CodecError, Decoder, Encoder};
 use warden_mem::BlockAddr;
 
 /// How many recent directory transitions the checker retains per block for
@@ -58,6 +59,36 @@ pub enum InvariantKind {
     WardEntrySync,
     /// Reconciliation lost or corrupted dirty bytes.
     DirtyConservation,
+}
+
+impl InvariantKind {
+    fn tag(self) -> u8 {
+        match self {
+            InvariantKind::Swmr => 0,
+            InvariantKind::DirAgreement => 1,
+            InvariantKind::WardInRegion => 2,
+            InvariantKind::MaskMergeability => 3,
+            InvariantKind::WardEntrySync => 4,
+            InvariantKind::DirtyConservation => 5,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<InvariantKind, CodecError> {
+        Ok(match tag {
+            0 => InvariantKind::Swmr,
+            1 => InvariantKind::DirAgreement,
+            2 => InvariantKind::WardInRegion,
+            3 => InvariantKind::MaskMergeability,
+            4 => InvariantKind::WardEntrySync,
+            5 => InvariantKind::DirtyConservation,
+            t => {
+                return Err(CodecError::BadTag {
+                    what: "invariant kind",
+                    tag: t as u64,
+                })
+            }
+        })
+    }
 }
 
 impl fmt::Display for InvariantKind {
@@ -92,6 +123,53 @@ pub struct InvariantViolation {
     /// Index of the directory transaction after which the violation was
     /// detected (monotonic per system).
     pub transaction: u64,
+}
+
+impl InvariantViolation {
+    /// Serialize this violation for a checkpoint or campaign record.
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u8(self.kind.tag());
+        enc.put_u64(self.block.0);
+        match self.core {
+            Some(c) => {
+                enc.put_bool(true);
+                enc.put_u64(c as u64);
+            }
+            None => enc.put_bool(false),
+        }
+        enc.put_str(&self.detail);
+        enc.put_usize(self.history.len());
+        for k in &self.history {
+            enc.put_u8(k.tag());
+        }
+        enc.put_u64(self.transaction);
+    }
+
+    /// Decode a violation serialized by [`Self::encode_into`].
+    pub fn decode_from(dec: &mut Decoder<'_>) -> Result<InvariantViolation, CodecError> {
+        let kind = InvariantKind::from_tag(dec.take_u8()?)?;
+        let block = BlockAddr(dec.take_u64()?);
+        let core = if dec.take_bool()? {
+            Some(dec.take_usize()?)
+        } else {
+            None
+        };
+        let detail = dec.take_str()?;
+        let nh = dec.take_count(1)?;
+        let mut history = Vec::with_capacity(nh);
+        for _ in 0..nh {
+            history.push(DirKind::from_tag(dec.take_u8()?)?);
+        }
+        let transaction = dec.take_u64()?;
+        Ok(InvariantViolation {
+            kind,
+            block,
+            core,
+            detail,
+            history,
+            transaction,
+        })
+    }
 }
 
 impl fmt::Display for InvariantViolation {
@@ -256,6 +334,93 @@ impl InvariantChecker {
             reconciliations_audited: self.reconciliations_audited,
             violations: self.violations.len(),
         }
+    }
+
+    /// Serialize the checker's complete bookkeeping for a checkpoint. Maps
+    /// are written sorted by block so equal checkers produce identical
+    /// bytes. (`pending` is drained at the end of every public coherence
+    /// operation, so at instruction boundaries it is normally empty — but it
+    /// is serialized regardless for exactness.)
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u64(self.transactions);
+        enc.put_u64(self.blocks_checked);
+        enc.put_u64(self.reconciliations_audited);
+        enc.put_usize(self.pending.len());
+        for (block, dir) in &self.pending {
+            enc.put_u64(block.0);
+            dir.encode_into(enc);
+        }
+        let mut prev: Vec<(&BlockAddr, &DirState)> = self.prev.iter().collect();
+        prev.sort_by_key(|(b, _)| **b);
+        enc.put_usize(prev.len());
+        for (block, dir) in prev {
+            enc.put_u64(block.0);
+            dir.encode_into(enc);
+        }
+        let mut history: Vec<(&BlockAddr, &VecDeque<DirKind>)> = self.history.iter().collect();
+        history.sort_by_key(|(b, _)| **b);
+        enc.put_usize(history.len());
+        for (block, ring) in history {
+            enc.put_u64(block.0);
+            enc.put_usize(ring.len());
+            for k in ring {
+                enc.put_u8(k.tag());
+            }
+        }
+        enc.put_usize(self.violations.len());
+        for v in &self.violations {
+            v.encode_into(enc);
+        }
+    }
+
+    /// Decode a checker serialized by [`Self::encode_into`].
+    pub fn decode_from(dec: &mut Decoder<'_>) -> Result<InvariantChecker, CodecError> {
+        let transactions = dec.take_u64()?;
+        let blocks_checked = dec.take_u64()?;
+        let reconciliations_audited = dec.take_u64()?;
+        let np = dec.take_count(17)?;
+        let mut pending = Vec::with_capacity(np);
+        for _ in 0..np {
+            let block = BlockAddr(dec.take_u64()?);
+            pending.push((block, DirState::decode_from(dec)?));
+        }
+        let npr = dec.take_count(17)?;
+        let mut prev = HashMap::with_capacity(npr);
+        for _ in 0..npr {
+            let block = BlockAddr(dec.take_u64()?);
+            prev.insert(block, DirState::decode_from(dec)?);
+        }
+        let nh = dec.take_count(16)?;
+        let mut history = HashMap::with_capacity(nh);
+        for _ in 0..nh {
+            let block = BlockAddr(dec.take_u64()?);
+            let n = dec.take_count(1)?;
+            if n > HISTORY_DEPTH {
+                return Err(CodecError::Invalid {
+                    what: "checker history ring",
+                    detail: format!("{n} entries exceed depth {HISTORY_DEPTH}"),
+                });
+            }
+            let mut ring = VecDeque::with_capacity(n);
+            for _ in 0..n {
+                ring.push_back(DirKind::from_tag(dec.take_u8()?)?);
+            }
+            history.insert(block, ring);
+        }
+        let nv = dec.take_count(8)?;
+        let mut violations = Vec::with_capacity(nv);
+        for _ in 0..nv {
+            violations.push(InvariantViolation::decode_from(dec)?);
+        }
+        Ok(InvariantChecker {
+            pending,
+            prev,
+            history,
+            violations,
+            transactions,
+            blocks_checked,
+            reconciliations_audited,
+        })
     }
 }
 

@@ -9,6 +9,7 @@
 //! plain MESI — a silent, safe fallback.
 
 use std::collections::HashMap;
+use warden_mem::codec::{CodecError, Decoder, Encoder};
 use warden_mem::{Addr, PageAddr, PAGE_SIZE};
 
 /// Identifier of one active WARD region.
@@ -163,6 +164,77 @@ impl RegionStore {
         let n = (end.0 - start.0).div_ceil(PAGE_SIZE);
         (0..n).map(move |i| first + i)
     }
+
+    /// Serialize the complete CAM state (capacity, id allocator, live
+    /// regions, page index, peak) for a checkpoint. Maps are written sorted
+    /// by key so equal stores always produce identical bytes.
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_usize(self.capacity);
+        enc.put_u64(self.next_id);
+        enc.put_usize(self.peak);
+        let mut regions: Vec<(&RegionId, &(Addr, Addr))> = self.regions.iter().collect();
+        regions.sort_by_key(|(id, _)| **id);
+        enc.put_usize(regions.len());
+        for (id, (start, end)) in regions {
+            enc.put_u64(id.0);
+            enc.put_u64(start.0);
+            enc.put_u64(end.0);
+        }
+        let mut pages: Vec<(&PageAddr, &RegionId)> = self.pages.iter().collect();
+        pages.sort_by_key(|(p, _)| **p);
+        enc.put_usize(pages.len());
+        for (page, id) in pages {
+            enc.put_u64(page.0);
+            enc.put_u64(id.0);
+        }
+    }
+
+    /// Decode a store serialized by [`Self::encode_into`].
+    pub fn decode_from(dec: &mut Decoder<'_>) -> Result<RegionStore, CodecError> {
+        let capacity = dec.take_usize()?;
+        let next_id = dec.take_u64()?;
+        let peak = dec.take_usize()?;
+        let nr = dec.take_count(24)?;
+        if nr > capacity {
+            return Err(CodecError::Invalid {
+                what: "region store",
+                detail: format!("{nr} live regions exceed capacity {capacity}"),
+            });
+        }
+        let mut regions = HashMap::with_capacity(nr);
+        for _ in 0..nr {
+            let id = RegionId(dec.take_u64()?);
+            let start = Addr(dec.take_u64()?);
+            let end = Addr(dec.take_u64()?);
+            if id.0 >= next_id || start >= end {
+                return Err(CodecError::Invalid {
+                    what: "region",
+                    detail: format!("region {} [{:#x},{:#x}) is malformed", id.0, start.0, end.0),
+                });
+            }
+            regions.insert(id, (start, end));
+        }
+        let np = dec.take_count(16)?;
+        let mut pages = HashMap::with_capacity(np);
+        for _ in 0..np {
+            let page = PageAddr(dec.take_u64()?);
+            let id = RegionId(dec.take_u64()?);
+            if !regions.contains_key(&id) {
+                return Err(CodecError::Invalid {
+                    what: "region page index",
+                    detail: format!("page {:#x} maps to unknown region {}", page.0, id.0),
+                });
+            }
+            pages.insert(page, id);
+        }
+        Ok(RegionStore {
+            capacity,
+            next_id,
+            regions,
+            pages,
+            peak,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +323,48 @@ mod tests {
     #[should_panic(expected = "page-aligned")]
     fn unaligned_region_panics() {
         RegionStore::new(4).add(Addr(10), Addr(PAGE_SIZE));
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_cam_state() {
+        let mut s = RegionStore::new(8);
+        let a = match s.add(page(0), page(2)) {
+            AddRegion::Added(id) => id,
+            _ => panic!(),
+        };
+        s.add(page(1), page(3));
+        s.add(page(10), page(11));
+        s.remove(a);
+        let mut enc = Encoder::new();
+        s.encode_into(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = RegionStore::decode_from(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(back.capacity(), s.capacity());
+        assert_eq!(back.len(), s.len());
+        assert_eq!(back.peak(), s.peak());
+        assert_eq!(back.next_id, s.next_id);
+        assert_eq!(back.contains(page(1)), s.contains(page(1)));
+        assert_eq!(back.contains(page(0)), s.contains(page(0)));
+        // Re-encoding the decoded store yields identical bytes.
+        let mut enc2 = Encoder::new();
+        back.encode_into(&mut enc2);
+        assert_eq!(enc2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn codec_rejects_dangling_page_index() {
+        let mut enc = Encoder::new();
+        enc.put_u64(4); // capacity
+        enc.put_u64(7); // next_id
+        enc.put_u64(0); // peak
+        enc.put_u64(0); // no regions
+        enc.put_u64(1); // one page entry...
+        enc.put_u64(0);
+        enc.put_u64(3); // ...pointing at a region that does not exist
+        let bytes = enc.into_bytes();
+        assert!(RegionStore::decode_from(&mut Decoder::new(&bytes)).is_err());
     }
 
     #[test]

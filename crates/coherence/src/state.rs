@@ -2,6 +2,7 @@
 
 use crate::CoreId;
 use std::fmt;
+use warden_mem::codec::{CodecError, Decoder, Encoder};
 use warden_mem::{BlockData, WriteMask};
 
 /// Which coherence protocol the system runs.
@@ -69,6 +70,39 @@ impl PrivLine {
             mask: WriteMask::empty(),
         }
     }
+
+    /// Serialize this line for a checkpoint.
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u8(match self.state {
+            PrivState::Modified => 0,
+            PrivState::Exclusive => 1,
+            PrivState::Shared => 2,
+        });
+        enc.put_raw(self.data.bytes());
+        enc.put_u64(self.mask.bits());
+    }
+
+    /// Decode a line serialized by [`Self::encode_into`].
+    pub fn decode_from(dec: &mut Decoder<'_>) -> Result<PrivLine, CodecError> {
+        let state = match dec.take_u8()? {
+            0 => PrivState::Modified,
+            1 => PrivState::Exclusive,
+            2 => PrivState::Shared,
+            t => {
+                return Err(CodecError::BadTag {
+                    what: "private cache state",
+                    tag: t as u64,
+                })
+            }
+        };
+        let data = BlockData::from_bytes(
+            dec.take_raw(64)?
+                .try_into()
+                .expect("take_raw(64) yields 64 bytes"),
+        );
+        let mask = WriteMask::from_bits(dec.take_u64()?);
+        Ok(PrivLine { state, data, mask })
+    }
 }
 
 /// Directory state for one block, stored alongside the LLC line.
@@ -98,6 +132,52 @@ impl DirState {
     pub fn cores_in(mask: u64) -> impl Iterator<Item = CoreId> {
         (0..64usize).filter(move |c| mask & (1 << c) != 0)
     }
+
+    /// Serialize this directory entry for a checkpoint.
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        match *self {
+            DirState::Uncached => {
+                enc.put_u8(0);
+                enc.put_u64(0);
+            }
+            DirState::Shared(mask) => {
+                enc.put_u8(1);
+                enc.put_u64(mask);
+            }
+            DirState::Owned(core) => {
+                enc.put_u8(2);
+                enc.put_u64(core as u64);
+            }
+            DirState::Ward(mask) => {
+                enc.put_u8(3);
+                enc.put_u64(mask);
+            }
+        }
+    }
+
+    /// Decode a directory entry serialized by [`Self::encode_into`].
+    pub fn decode_from(dec: &mut Decoder<'_>) -> Result<DirState, CodecError> {
+        let tag = dec.take_u8()?;
+        let payload = dec.take_u64()?;
+        Ok(match tag {
+            0 => DirState::Uncached,
+            1 => DirState::Shared(payload),
+            2 => {
+                let core = usize::try_from(payload).map_err(|_| CodecError::Invalid {
+                    what: "directory owner",
+                    detail: format!("core id {payload} out of range"),
+                })?;
+                DirState::Owned(core)
+            }
+            3 => DirState::Ward(payload),
+            t => {
+                return Err(CodecError::BadTag {
+                    what: "directory state",
+                    tag: t as u64,
+                })
+            }
+        })
+    }
 }
 
 /// One LLC line: data, a dirty bit relative to memory, and the co-located
@@ -126,6 +206,33 @@ impl LlcLine {
             dir: DirState::Uncached,
             ward_partial: false,
         }
+    }
+
+    /// Serialize this LLC line (data, dirty bit, directory entry) for a
+    /// checkpoint.
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_raw(self.data.bytes());
+        enc.put_bool(self.dirty);
+        self.dir.encode_into(enc);
+        enc.put_bool(self.ward_partial);
+    }
+
+    /// Decode a line serialized by [`Self::encode_into`].
+    pub fn decode_from(dec: &mut Decoder<'_>) -> Result<LlcLine, CodecError> {
+        let data = BlockData::from_bytes(
+            dec.take_raw(64)?
+                .try_into()
+                .expect("take_raw(64) yields 64 bytes"),
+        );
+        let dirty = dec.take_bool()?;
+        let dir = DirState::decode_from(dec)?;
+        let ward_partial = dec.take_bool()?;
+        Ok(LlcLine {
+            data,
+            dirty,
+            dir,
+            ward_partial,
+        })
     }
 }
 

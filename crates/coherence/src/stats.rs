@@ -2,6 +2,55 @@
 
 use std::fmt;
 use std::ops::{Add, AddAssign};
+use warden_mem::codec::{CodecError, Decoder, Encoder};
+
+/// Every counter field in declaration order — the canonical field list shared
+/// by the accumulation, encode and decode macros so a newly added counter
+/// fails to compile unless it is wired into all three.
+macro_rules! for_each_counter {
+    ($m:ident, $($args:tt)*) => {
+        $m!(
+            $($args)*:
+            loads,
+            stores,
+            rmws,
+            l1_hits,
+            l2_hits,
+            llc_hits,
+            llc_misses,
+            invalidations,
+            downgrades,
+            fwd_gets,
+            fwd_getm,
+            inv_msgs,
+            upgrades,
+            writebacks,
+            llc_evictions,
+            llc_writebacks,
+            inclusion_invalidations,
+            ward_serves,
+            ward_transitions,
+            ward_avoided_inv,
+            ward_avoided_dg,
+            ward_rmw_escapes,
+            ward_entry_syncs,
+            recon_blocks,
+            recon_writebacks,
+            recon_drops,
+            region_adds,
+            region_removes,
+            region_overflows,
+            region_peak,
+            ctrl_intra,
+            ctrl_inter,
+            data_intra,
+            data_inter,
+            dram_reads,
+            dram_writes,
+            dir_lookups,
+        );
+    };
+}
 
 /// Aggregate counters for one simulated run of the coherence system.
 ///
@@ -128,6 +177,28 @@ impl CoherenceStats {
     pub fn intersocket_messages(&self) -> u64 {
         self.ctrl_inter + self.data_inter
     }
+
+    /// Serialize every counter, in declaration order, for a checkpoint.
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        macro_rules! put {
+            ($self:ident, $enc:ident: $($f:ident),* $(,)?) => {
+                $( $enc.put_u64($self.$f); )*
+            };
+        }
+        for_each_counter!(put, self, enc);
+    }
+
+    /// Decode counters serialized by [`Self::encode_into`].
+    pub fn decode_from(dec: &mut Decoder<'_>) -> Result<CoherenceStats, CodecError> {
+        let mut s = CoherenceStats::new();
+        macro_rules! take {
+            ($s:ident, $dec:ident: $($f:ident),* $(,)?) => {
+                $( $s.$f = $dec.take_u64()?; )*
+            };
+        }
+        for_each_counter!(take, s, dec);
+        Ok(s)
+    }
 }
 
 impl Add for CoherenceStats {
@@ -246,5 +317,27 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!format!("{}", CoherenceStats::new()).is_empty());
+    }
+
+    #[test]
+    fn codec_roundtrip_covers_every_field() {
+        // Give each field a distinct value so a swapped or skipped field in
+        // the codec cannot cancel out.
+        let mut s = CoherenceStats::new();
+        let mut i = 1u64;
+        macro_rules! fill {
+            ($s:ident, $i:ident: $($f:ident),* $(,)?) => {
+                $( $s.$f = $i; $i += 1; )*
+            };
+        }
+        for_each_counter!(fill, s, i);
+        assert!(i > 37, "expected at least 37 counters");
+        let mut enc = Encoder::new();
+        s.encode_into(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = CoherenceStats::decode_from(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(back, s);
     }
 }

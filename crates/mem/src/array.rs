@@ -1,5 +1,6 @@
 //! Set-associative cache arrays with LRU replacement.
 
+use crate::codec::{CodecError, Decoder, Encoder};
 use crate::{BlockAddr, CacheGeometry};
 use std::fmt;
 
@@ -209,6 +210,90 @@ impl<T> CacheArray<T> {
     pub fn lookup_mut(&mut self, block: BlockAddr) -> Option<LookupMut<'_, T>> {
         self.get_mut(block).map(|payload| LookupMut { payload })
     }
+
+    /// Serialize the array's complete replacement state: the LRU tick and,
+    /// per set, every line *in its exact storage order* with its LRU stamp.
+    /// Order matters for bit-identical resume: [`Self::insert`] evicts with
+    /// `swap_remove`, so within-set position influences future victim
+    /// selection whenever LRU stamps tie.
+    ///
+    /// Payloads are emitted through `put` so the protocol layer controls
+    /// their encoding.
+    pub fn encode_with(&self, enc: &mut Encoder, mut put: impl FnMut(&mut Encoder, &T)) {
+        enc.put_u64(self.tick);
+        enc.put_usize(self.sets.len());
+        for set in &self.sets {
+            enc.put_usize(set.len());
+            for line in set {
+                enc.put_u64(line.block.0);
+                enc.put_u64(line.lru);
+                put(enc, &line.payload);
+            }
+        }
+    }
+
+    /// Decode an array serialized by [`Self::encode_with`] into the given
+    /// geometry, restoring tick, per-set line order and LRU stamps exactly.
+    pub fn decode_with(
+        geometry: CacheGeometry,
+        dec: &mut Decoder<'_>,
+        mut take: impl FnMut(&mut Decoder<'_>) -> Result<T, CodecError>,
+    ) -> Result<CacheArray<T>, CodecError> {
+        let tick = dec.take_u64()?;
+        let num_sets = dec.take_usize()?;
+        if num_sets != geometry.num_sets() as usize {
+            return Err(CodecError::Invalid {
+                what: "cache array",
+                detail: format!(
+                    "snapshot has {num_sets} sets, geometry expects {}",
+                    geometry.num_sets()
+                ),
+            });
+        }
+        let ways = geometry.associativity() as usize;
+        let mut sets = Vec::with_capacity(num_sets);
+        let mut len = 0usize;
+        for set_idx in 0..num_sets {
+            let n = dec.take_count(16)?;
+            if n > ways {
+                return Err(CodecError::Invalid {
+                    what: "cache set",
+                    detail: format!("set {set_idx} holds {n} lines, associativity is {ways}"),
+                });
+            }
+            let mut set = Vec::with_capacity(n);
+            for _ in 0..n {
+                let block = BlockAddr(dec.take_u64()?);
+                if geometry.set_of(block) as usize != set_idx {
+                    return Err(CodecError::Invalid {
+                        what: "cache line",
+                        detail: format!("block {} does not map to set {set_idx}", block.0),
+                    });
+                }
+                if set.iter().any(|l: &Line<T>| l.block == block) {
+                    return Err(CodecError::Invalid {
+                        what: "cache line",
+                        detail: format!("block {} duplicated within set {set_idx}", block.0),
+                    });
+                }
+                let lru = dec.take_u64()?;
+                let payload = take(dec)?;
+                set.push(Line {
+                    block,
+                    payload,
+                    lru,
+                });
+            }
+            len += set.len();
+            sets.push(set);
+        }
+        Ok(CacheArray {
+            geometry,
+            sets,
+            tick,
+            len,
+        })
+    }
 }
 
 impl<T: fmt::Debug> fmt::Debug for CacheArray<T> {
@@ -326,6 +411,44 @@ mod tests {
         c.insert(BlockAddr(0), 1);
         *c.get_mut(BlockAddr(0)).unwrap() += 10;
         assert_eq!(c.peek(BlockAddr(0)), Some(&11));
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_order_lru_and_tick() {
+        let mut c = small();
+        c.insert(BlockAddr(0), 10);
+        c.insert(BlockAddr(2), 20);
+        c.get(BlockAddr(0));
+        c.insert(BlockAddr(4), 40); // evicts via swap_remove, perturbing order
+        c.insert(BlockAddr(1), 11);
+
+        let mut enc = crate::codec::Encoder::new();
+        c.encode_with(&mut enc, |e, p| e.put_u32(*p));
+        let bytes = enc.into_bytes();
+        let mut dec = crate::codec::Decoder::new(&bytes);
+        let mut d: CacheArray<u32> =
+            CacheArray::decode_with(c.geometry(), &mut dec, |d| d.take_u32()).unwrap();
+        dec.finish().unwrap();
+
+        // Behavioral equivalence: the same future insert evicts the same victim.
+        let ev_c = c.insert(BlockAddr(6), 60).expect("eviction");
+        let ev_d = d.insert(BlockAddr(6), 60).expect("eviction");
+        assert_eq!(ev_c.block, ev_d.block);
+        assert_eq!(ev_c.payload, ev_d.payload);
+        assert_eq!(c.len(), d.len());
+    }
+
+    #[test]
+    fn codec_rejects_overfull_set_and_wrong_geometry() {
+        let mut c = small();
+        c.insert(BlockAddr(0), 1);
+        let mut enc = crate::codec::Encoder::new();
+        c.encode_with(&mut enc, |e, p| e.put_u32(*p));
+        let bytes = enc.into_bytes();
+        // Decoding into a different geometry must fail.
+        let mut dec = crate::codec::Decoder::new(&bytes);
+        let wrong = CacheGeometry::new(512, 2);
+        assert!(CacheArray::<u32>::decode_with(wrong, &mut dec, |d| d.take_u32()).is_err());
     }
 
     #[test]

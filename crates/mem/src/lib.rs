@@ -36,6 +36,7 @@
 mod addr;
 mod array;
 mod block;
+pub mod codec;
 mod geometry;
 mod memory;
 mod sector;

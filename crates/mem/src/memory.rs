@@ -1,5 +1,6 @@
 //! Sparse backing memory holding real data bytes.
 
+use crate::codec::{CodecError, Decoder, Encoder};
 use crate::{Addr, BlockAddr, BlockData, PageAddr, BLOCK_SIZE, PAGE_SIZE};
 use std::collections::HashMap;
 use std::fmt;
@@ -151,6 +152,43 @@ impl Memory {
         h
     }
 
+    /// Serialize the full memory image (every resident page, including
+    /// all-zero ones, in ascending address order). Keeping zero pages makes a
+    /// decoded memory structurally identical to the original, not just
+    /// semantically equal — a checkpointed run must resume with the exact
+    /// page map it was snapshotted with.
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        let mut pages: Vec<&PageAddr> = self.pages.keys().collect();
+        pages.sort();
+        enc.put_usize(pages.len());
+        for p in pages {
+            enc.put_u64(p.0);
+            enc.put_raw(&self.pages[p][..]);
+        }
+    }
+
+    /// Decode a memory image produced by [`Self::encode_into`].
+    pub fn decode_from(dec: &mut Decoder<'_>) -> Result<Memory, CodecError> {
+        let n = dec.take_count(8 + PAGE_SIZE as usize)?;
+        let mut pages = HashMap::with_capacity(n);
+        let mut last: Option<u64> = None;
+        for _ in 0..n {
+            let addr = dec.take_u64()?;
+            if last.is_some_and(|prev| addr <= prev) {
+                return Err(CodecError::Invalid {
+                    what: "memory page",
+                    detail: format!("page {addr:#x} out of order"),
+                });
+            }
+            last = Some(addr);
+            let raw = dec.take_raw(PAGE_SIZE as usize)?;
+            let mut data = Box::new([0u8; PAGE_SIZE as usize]);
+            data.copy_from_slice(raw);
+            pages.insert(PageAddr(addr), data);
+        }
+        Ok(Memory { pages })
+    }
+
     /// Compare two memories over a byte range, returning the first differing
     /// address (useful in tests comparing protocol end states).
     pub fn first_difference(&self, other: &Memory, start: Addr, len: u64) -> Option<Addr> {
@@ -248,6 +286,36 @@ mod tests {
         b.write_u8(Addr(PAGE_SIZE), 2);
         b.write_u8(Addr(0), 1);
         assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_exact_page_map() {
+        let mut m = Memory::new();
+        m.write_u64(Addr(16), 0xfeed);
+        m.write_bytes(Addr(3 * PAGE_SIZE - 2), &[9; 5]);
+        m.write_bytes(Addr(10 * PAGE_SIZE), &[0; 8]); // resident all-zero page
+        let mut enc = crate::codec::Encoder::new();
+        m.encode_into(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = crate::codec::Decoder::new(&bytes);
+        let back = Memory::decode_from(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(back.resident_pages(), m.resident_pages());
+        assert_eq!(back.digest(), m.digest());
+        assert_eq!(m.first_difference(&back, Addr(0), 12 * PAGE_SIZE), None);
+    }
+
+    #[test]
+    fn codec_rejects_out_of_order_pages() {
+        let mut enc = crate::codec::Encoder::new();
+        enc.put_usize(2);
+        enc.put_u64(5);
+        enc.put_raw(&[0; PAGE_SIZE as usize]);
+        enc.put_u64(5); // duplicate / not strictly ascending
+        enc.put_raw(&[0; PAGE_SIZE as usize]);
+        let bytes = enc.into_bytes();
+        let mut dec = crate::codec::Decoder::new(&bytes);
+        assert!(Memory::decode_from(&mut dec).is_err());
     }
 
     #[test]

@@ -248,6 +248,86 @@ impl TraceProgram {
         }
         Ok(())
     }
+
+    /// A content fingerprint of the program: name, the complete spawn tree
+    /// with every event, the address range, and the initial memory image.
+    /// Checkpoints embed it so a snapshot taken against one trace can never
+    /// be resumed against a different one.
+    ///
+    /// (The phase-1 *final* image and stats are derived from the events and
+    /// initial image, so they are not hashed separately.)
+    pub fn fingerprint(&self) -> u64 {
+        use warden_mem::codec::{fnv1a64, Encoder};
+        let mut enc = Encoder::new();
+        enc.put_str(&self.name);
+        enc.put_usize(self.tasks.len());
+        for task in &self.tasks {
+            match task.parent {
+                Some(p) => {
+                    enc.put_bool(true);
+                    enc.put_usize(p);
+                }
+                None => enc.put_bool(false),
+            }
+            enc.put_u32(task.depth);
+            enc.put_usize(task.events.len());
+            for ev in &task.events {
+                match ev {
+                    Event::Load { addr, size } => {
+                        enc.put_u8(0);
+                        enc.put_u64(addr.0);
+                        enc.put_u8(*size);
+                    }
+                    Event::Store { addr, size, val } => {
+                        enc.put_u8(1);
+                        enc.put_u64(addr.0);
+                        enc.put_u8(*size);
+                        enc.put_u64(*val);
+                    }
+                    Event::Rmw {
+                        addr,
+                        size,
+                        val,
+                        op,
+                    } => {
+                        enc.put_u8(2);
+                        enc.put_u64(addr.0);
+                        enc.put_u8(*size);
+                        enc.put_u64(*val);
+                        enc.put_u8(match op {
+                            RmwOp::Swap => 0,
+                            RmwOp::Add => 1,
+                        });
+                    }
+                    Event::Compute { amount } => {
+                        enc.put_u8(3);
+                        enc.put_u64(*amount);
+                    }
+                    Event::Fork { children } => {
+                        enc.put_u8(4);
+                        enc.put_usize(children.len());
+                        for &c in children {
+                            enc.put_usize(c);
+                        }
+                    }
+                    Event::RegionAdd { start, end, token } => {
+                        enc.put_u8(5);
+                        enc.put_u64(start.0);
+                        enc.put_u64(end.0);
+                        enc.put_u32(*token);
+                    }
+                    Event::RegionRemove { token } => {
+                        enc.put_u8(6);
+                        enc.put_u32(*token);
+                    }
+                }
+            }
+        }
+        enc.put_u64(self.address_range.0 .0);
+        enc.put_u64(self.address_range.1 .0);
+        enc.put_u64(self.initial_memory.digest());
+        fnv1a64(enc.bytes())
+    }
 }
 
 impl fmt::Debug for TraceProgram {

@@ -1,0 +1,712 @@
+//! Crash-safe simulation checkpoints.
+//!
+//! A checkpoint is a single binary file holding the *complete* mutable state
+//! of a paused [`SimEngine`] — scheduler, per-core clocks/deques/store
+//! buffers, RNG streams, fault-injector cursors, the whole coherence system
+//! (caches, directory, W state, region CAM), the memory image and every
+//! statistics accumulator — so a run interrupted at any instruction boundary
+//! continues **bit-identically**.
+//!
+//! # File format
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  "WARDCKPT"
+//! 8       4     format version (u32 LE)
+//! 12      8     payload length (u64 LE)
+//! 20      n     payload
+//! 20+n    8     FNV-1a-64 checksum of bytes [0, 20+n) (u64 LE)
+//! ```
+//!
+//! The payload of an engine checkpoint starts with an identity header —
+//! fingerprints of the trace program, the machine description, the protocol
+//! and the simulation options — followed by the serialized engine state.
+//! Resume verifies each fingerprint before touching the state, so a
+//! checkpoint can never silently resume under different inputs.
+//!
+//! Every strict byte prefix of a valid file fails [`unframe`] (short header
+//! ⇒ [`CheckpointError::Truncated`], short payload ⇒ `Truncated`, missing
+//! checksum ⇒ `Truncated`), and any bit corruption fails the checksum — a
+//! torn write can never load.
+//!
+//! # Durability
+//!
+//! [`write_atomic`] writes to a sibling `*.tmp` file, `fsync`s it, renames
+//! it over the destination and `fsync`s the parent directory, so the
+//! destination path always holds either the old or the new complete file.
+//! [`CheckpointStore`] keeps two slots (`current.ckpt`, `prev.ckpt`):
+//! `save` first rotates `current` to `prev` and then writes the new file
+//! atomically, and `load` falls back to `prev` when `current` is missing or
+//! unreadable — a crash at *any* point loses at most one snapshot interval.
+
+use crate::config::MachineConfig;
+use crate::energy::EnergyBreakdown;
+use crate::engine::{SimEngine, SimOptions, SimOutcome};
+use crate::stats::SimStats;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use warden_coherence::{InvariantViolation, Protocol};
+use warden_mem::codec::{fnv1a64, CodecError, Decoder, Encoder};
+use warden_mem::Memory;
+use warden_rt::TraceProgram;
+
+/// Magic bytes opening every checkpoint file.
+pub const MAGIC: [u8; 8] = *b"WARDCKPT";
+/// Current checkpoint format version.
+pub const VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 8 + 4 + 8;
+const FOOTER_LEN: usize = 8;
+
+/// Everything that can go wrong writing, reading or resuming a checkpoint.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// An I/O operation on `path` failed.
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The file ends before the frame does (torn write, partial copy).
+    Truncated,
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`VERSION`].
+    UnsupportedVersion {
+        /// The version found in the file.
+        found: u32,
+    },
+    /// The checksum does not match the file's contents (bit corruption).
+    ChecksumMismatch,
+    /// The frame verified but its payload does not decode.
+    Corrupt(CodecError),
+    /// The checkpoint belongs to a different run (program, machine,
+    /// protocol or options fingerprint differs).
+    Mismatch {
+        /// Which identity component differed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, source } => {
+                write!(f, "checkpoint I/O on {}: {source}", path.display())
+            }
+            CheckpointError::Truncated => write!(f, "checkpoint file is truncated"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CheckpointError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {found} (expected {VERSION})"
+                )
+            }
+            CheckpointError::ChecksumMismatch => write!(f, "checkpoint checksum mismatch"),
+            CheckpointError::Corrupt(e) => write!(f, "corrupt checkpoint payload: {e}"),
+            CheckpointError::Mismatch { what } => {
+                write!(f, "checkpoint was taken from a different {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io { source, .. } => Some(source),
+            CheckpointError::Corrupt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for CheckpointError {
+    fn from(e: CodecError) -> CheckpointError {
+        CheckpointError::Corrupt(e)
+    }
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> CheckpointError {
+    CheckpointError::Io {
+        path: path.to_owned(),
+        source,
+    }
+}
+
+/// Wrap a payload in the checkpoint frame: magic, version, length, payload,
+/// checksum.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + HEADER_LEN + FOOTER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = fnv1a64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Verify a checkpoint frame and return its payload slice.
+///
+/// Every strict byte prefix of a valid frame is rejected, as is any frame
+/// whose checksum does not match its contents.
+pub fn unframe(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
+    if bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    if bytes.len() < HEADER_LEN + FOOTER_LEN {
+        return Err(CheckpointError::Truncated);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion { found: version });
+    }
+    let plen = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let plen = usize::try_from(plen).map_err(|_| CheckpointError::Truncated)?;
+    let expected = HEADER_LEN
+        .checked_add(plen)
+        .and_then(|n| n.checked_add(FOOTER_LEN))
+        .ok_or(CheckpointError::Truncated)?;
+    if bytes.len() < expected {
+        return Err(CheckpointError::Truncated);
+    }
+    if bytes.len() > expected {
+        return Err(CheckpointError::Corrupt(CodecError::Invalid {
+            what: "checkpoint frame",
+            detail: format!("{} trailing bytes after the frame", bytes.len() - expected),
+        }));
+    }
+    let body = &bytes[..expected - FOOTER_LEN];
+    let sum = u64::from_le_bytes(bytes[expected - FOOTER_LEN..].try_into().expect("8 bytes"));
+    if fnv1a64(body) != sum {
+        return Err(CheckpointError::ChecksumMismatch);
+    }
+    Ok(&bytes[HEADER_LEN..HEADER_LEN + plen])
+}
+
+/// Durably write `bytes` to `path`: write a sibling temporary file, `fsync`
+/// it, rename it into place and `fsync` the parent directory. After a crash
+/// at any point, `path` holds either its previous contents or the new bytes
+/// — never a mixture.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+    let mut tmp_os = path.as_os_str().to_owned();
+    tmp_os.push(".tmp");
+    let tmp = PathBuf::from(tmp_os);
+    {
+        let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+        f.write_all(bytes).map_err(|e| io_err(&tmp, e))?;
+        f.sync_all().map_err(|e| io_err(&tmp, e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            // Persist the rename itself (directory entry update).
+            fs::File::open(dir)
+                .and_then(|d| d.sync_all())
+                .map_err(|e| io_err(dir, e))?;
+        }
+    }
+    Ok(())
+}
+
+/// A two-slot checkpoint directory: `current.ckpt` is the newest snapshot,
+/// `prev.ckpt` the one before it. Saving rotates current → prev before the
+/// atomic write, and loading falls back to `prev` when `current` is missing
+/// or fails verification, so a crash mid-save loses at most one snapshot
+/// interval and a torn file is never resumed from.
+#[derive(Clone, Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Open (creating if necessary) a checkpoint directory.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<CheckpointStore, CheckpointError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        Ok(CheckpointStore { dir })
+    }
+
+    /// Path of the newest snapshot slot.
+    pub fn current_path(&self) -> PathBuf {
+        self.dir.join("current.ckpt")
+    }
+
+    /// Path of the previous snapshot slot.
+    pub fn prev_path(&self) -> PathBuf {
+        self.dir.join("prev.ckpt")
+    }
+
+    /// Store a framed checkpoint: rotate the current slot to `prev`, then
+    /// write the new file atomically.
+    pub fn save(&self, framed: &[u8]) -> Result<(), CheckpointError> {
+        let cur = self.current_path();
+        match fs::rename(&cur, self.prev_path()) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_err(&cur, e)),
+        }
+        write_atomic(&cur, framed)
+    }
+
+    /// Load the newest verifiable checkpoint payload: `current.ckpt` if it
+    /// verifies, else `prev.ckpt`. Returns `Ok(None)` when neither slot
+    /// exists, and the verification error only when a slot exists but no
+    /// slot is readable.
+    pub fn load(&self) -> Result<Option<Vec<u8>>, CheckpointError> {
+        let mut first_err = None;
+        for path in [self.current_path(), self.prev_path()] {
+            match fs::read(&path) {
+                Ok(bytes) => match unframe(&bytes) {
+                    Ok(payload) => return Ok(Some(payload.to_vec())),
+                    Err(e) => first_err = first_err.or(Some(e)),
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => first_err = first_err.or(Some(io_err(&path, e))),
+            }
+        }
+        match first_err {
+            None => Ok(None),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Delete both slots (e.g. after a run completes and its outcome has
+    /// been recorded elsewhere).
+    pub fn clear(&self) -> Result<(), CheckpointError> {
+        for path in [self.current_path(), self.prev_path()] {
+            match fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(io_err(&path, e)),
+            }
+        }
+        Ok(())
+    }
+}
+
+fn protocol_tag(p: Protocol) -> u8 {
+    match p {
+        Protocol::Msi => 0,
+        Protocol::Mesi => 1,
+        Protocol::Warden => 2,
+    }
+}
+
+fn protocol_from_tag(tag: u8) -> Result<Protocol, CodecError> {
+    Ok(match tag {
+        0 => Protocol::Msi,
+        1 => Protocol::Mesi,
+        2 => Protocol::Warden,
+        t => {
+            return Err(CodecError::BadTag {
+                what: "protocol",
+                tag: t as u64,
+            })
+        }
+    })
+}
+
+/// Fingerprint of the simulation options (energy parameters, checker flag
+/// and fault plan) — everything besides the program, machine and protocol
+/// that affects a replay. Checkpoints and the campaign runner's result
+/// records both embed this value to bind saved state to its inputs.
+pub fn options_fingerprint(opts: &SimOptions) -> u64 {
+    let mut enc = Encoder::new();
+    let e = &opts.energy;
+    for v in [
+        e.e_instr,
+        e.e_l1,
+        e.e_l2,
+        e.e_llc,
+        e.e_dir,
+        e.e_dram,
+        e.e_ctrl_intra,
+        e.e_ctrl_inter,
+        e.e_data_intra,
+        e.e_data_inter,
+        e.e_link_retry,
+        e.p_static_core,
+        e.p_static_uncore,
+        e.freq_ghz,
+    ] {
+        enc.put_f64(v);
+    }
+    enc.put_bool(opts.check);
+    match &opts.faults {
+        Some(p) => {
+            enc.put_bool(true);
+            enc.put_u64(p.seed);
+            enc.put_u64(p.cam_storm_period);
+            enc.put_u64(p.cam_storm_len);
+            enc.put_u64(p.forced_reconcile_period);
+            enc.put_u64(p.forced_reconcile_pages);
+            enc.put_f64(p.spike_prob);
+            enc.put_u64(p.spike_cycles);
+            enc.put_f64(p.link_degrade_prob);
+            enc.put_u64(p.link_degrade_len);
+            enc.put_u64(p.link_timeout);
+            enc.put_u32(p.link_max_retries);
+            enc.put_u64(p.link_backoff_base);
+            enc.put_usize(p.mutations.len());
+            for m in &p.mutations {
+                enc.put_str(&format!("{m:?}"));
+            }
+        }
+        None => enc.put_bool(false),
+    }
+    fnv1a64(enc.bytes())
+}
+
+impl<'a> SimEngine<'a> {
+    /// Serialize the paused engine into a complete framed checkpoint
+    /// (identity header + full simulation state + checksum).
+    pub fn snapshot_to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_u64(self.program_ref().fingerprint());
+        enc.put_u64(self.machine_ref().fingerprint());
+        enc.put_u8(protocol_tag(self.protocol()));
+        enc.put_u64(options_fingerprint(self.opts_ref()));
+        self.encode_state(&mut enc);
+        frame(enc.bytes())
+    }
+
+    /// Write a snapshot of the paused engine into `store`, rotating the
+    /// previous snapshot into the fallback slot.
+    pub fn try_snapshot(&self, store: &CheckpointStore) -> Result<(), CheckpointError> {
+        store.save(&self.snapshot_to_bytes())
+    }
+
+    /// Reconstruct a paused engine from framed checkpoint bytes. The
+    /// supplied `(program, machine, protocol, opts)` must fingerprint-match
+    /// the ones the checkpoint was taken under.
+    pub fn resume_from_bytes(
+        program: &'a TraceProgram,
+        machine: &'a MachineConfig,
+        protocol: Protocol,
+        opts: &SimOptions,
+        bytes: &[u8],
+    ) -> Result<SimEngine<'a>, CheckpointError> {
+        let payload = unframe(bytes)?;
+        SimEngine::resume_from_payload(program, machine, protocol, opts, payload)
+    }
+
+    fn resume_from_payload(
+        program: &'a TraceProgram,
+        machine: &'a MachineConfig,
+        protocol: Protocol,
+        opts: &SimOptions,
+        payload: &[u8],
+    ) -> Result<SimEngine<'a>, CheckpointError> {
+        let mut dec = Decoder::new(payload);
+        if dec.take_u64()? != program.fingerprint() {
+            return Err(CheckpointError::Mismatch { what: "program" });
+        }
+        if dec.take_u64()? != machine.fingerprint() {
+            return Err(CheckpointError::Mismatch { what: "machine" });
+        }
+        if dec.take_u8()? != protocol_tag(protocol) {
+            return Err(CheckpointError::Mismatch { what: "protocol" });
+        }
+        if dec.take_u64()? != options_fingerprint(opts) {
+            return Err(CheckpointError::Mismatch { what: "options" });
+        }
+        let mut eng = SimEngine::new(program, machine, protocol, opts);
+        eng.apply_state(&mut dec)?;
+        dec.finish()?;
+        Ok(eng)
+    }
+
+    /// Resume from the newest verifiable checkpoint in `store`, or return
+    /// `Ok(None)` when the store holds no checkpoint (fresh start). A
+    /// torn `current.ckpt` silently falls back to `prev.ckpt`.
+    pub fn try_resume(
+        program: &'a TraceProgram,
+        machine: &'a MachineConfig,
+        protocol: Protocol,
+        opts: &SimOptions,
+        store: &CheckpointStore,
+    ) -> Result<Option<SimEngine<'a>>, CheckpointError> {
+        match store.load()? {
+            None => Ok(None),
+            Some(payload) => Ok(Some(SimEngine::resume_from_payload(
+                program, machine, protocol, opts, &payload,
+            )?)),
+        }
+    }
+}
+
+/// Serialize a finished run's [`SimOutcome`] into a framed, checksummed
+/// record (used by the campaign runner's durable result files).
+pub fn encode_outcome(out: &SimOutcome) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u8(protocol_tag(out.protocol));
+    enc.put_str(&out.machine);
+    out.stats.encode_into(&mut enc);
+    enc.put_f64(out.energy.interconnect_nj);
+    enc.put_f64(out.energy.in_processor_nj);
+    enc.put_f64(out.energy.static_nj);
+    enc.put_u64(out.memory_image_digest);
+    out.final_memory.encode_into(&mut enc);
+    enc.put_usize(out.region_peak);
+    enc.put_usize(out.violations.len());
+    for v in &out.violations {
+        v.encode_into(&mut enc);
+    }
+    frame(enc.bytes())
+}
+
+/// Decode a record produced by [`encode_outcome`].
+pub fn decode_outcome(bytes: &[u8]) -> Result<SimOutcome, CheckpointError> {
+    let payload = unframe(bytes)?;
+    let mut dec = Decoder::new(payload);
+    let protocol = protocol_from_tag(dec.take_u8()?)?;
+    let machine = dec.take_str()?;
+    let stats = SimStats::decode_from(&mut dec)?;
+    let energy = EnergyBreakdown {
+        interconnect_nj: dec.take_f64()?,
+        in_processor_nj: dec.take_f64()?,
+        static_nj: dec.take_f64()?,
+    };
+    let memory_image_digest = dec.take_u64()?;
+    let final_memory = Memory::decode_from(&mut dec)?;
+    let region_peak = dec.take_usize()?;
+    let n = dec.take_count(1)?;
+    let mut violations = Vec::with_capacity(n);
+    for _ in 0..n {
+        violations.push(InvariantViolation::decode_from(&mut dec)?);
+    }
+    dec.finish()?;
+    Ok(SimOutcome {
+        protocol,
+        machine,
+        stats,
+        energy,
+        memory_image_digest,
+        final_memory,
+        region_peak,
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate_with_options;
+    use crate::faults::FaultPlan;
+    use warden_rt::{trace_program, RtOptions};
+
+    fn tiny_machine() -> MachineConfig {
+        MachineConfig::dual_socket().with_cores(2)
+    }
+
+    fn sample_program() -> TraceProgram {
+        trace_program("ckpt-sample", RtOptions::default(), |ctx| {
+            let xs = ctx.tabulate::<u64>(256, 32, &|_c, i| i * 5 + 2);
+            let _ = ctx.reduce(0, 256, 32, &|c, i| c.read(&xs, i), &|a, b| a + b, 0);
+        })
+    }
+
+    /// A unique scratch directory under the system temp dir, cleaned on
+    /// entry so reruns start fresh.
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("warden-ckpt-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn frame_roundtrip_and_every_prefix_fails() {
+        let payload = b"some checkpoint payload".to_vec();
+        let framed = frame(&payload);
+        assert_eq!(unframe(&framed).expect("frame verifies"), &payload[..]);
+        for cut in 0..framed.len() {
+            assert!(
+                unframe(&framed[..cut]).is_err(),
+                "prefix of {cut} bytes must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let framed = frame(b"sensitive state");
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                let mut bad = framed.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    unframe(&bad).is_err(),
+                    "flip of byte {byte} bit {bit} must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_magic_version_and_trailing_bytes_are_typed() {
+        let framed = frame(b"x");
+        let mut bad = framed.clone();
+        bad[0] = b'X';
+        assert!(matches!(unframe(&bad), Err(CheckpointError::BadMagic)));
+        let mut bad = framed.clone();
+        bad[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            unframe(&bad),
+            Err(CheckpointError::UnsupportedVersion { found: 99 })
+        ));
+        let mut bad = framed.clone();
+        bad.push(0);
+        assert!(matches!(unframe(&bad), Err(CheckpointError::Corrupt(_))));
+        let mut bad = framed;
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        assert!(matches!(
+            unframe(&bad),
+            Err(CheckpointError::ChecksumMismatch)
+        ));
+    }
+
+    #[test]
+    fn store_rotates_and_falls_back_to_prev_on_torn_current() {
+        let dir = scratch("store");
+        let store = CheckpointStore::new(&dir).expect("create store");
+        assert!(store.load().expect("empty store loads").is_none());
+
+        store.save(&frame(b"first")).expect("save first");
+        store.save(&frame(b"second")).expect("save second");
+        assert_eq!(store.load().unwrap().unwrap(), b"second");
+
+        // Tear the current slot at every prefix length: recovery must land
+        // on the previous snapshot each time.
+        let full = fs::read(store.current_path()).unwrap();
+        for cut in 0..full.len() {
+            fs::write(store.current_path(), &full[..cut]).unwrap();
+            assert_eq!(
+                store.load().unwrap().unwrap(),
+                b"first",
+                "torn current ({cut} bytes) must fall back to prev"
+            );
+        }
+
+        // Both slots torn: a typed error, never a bogus payload.
+        fs::write(store.prev_path(), b"garbage").unwrap();
+        assert!(store.load().is_err());
+
+        store.clear().expect("clear");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_resume_cycle_is_bit_identical() {
+        let p = sample_program();
+        let m = tiny_machine();
+        let opts = SimOptions {
+            faults: Some(FaultPlan::benign(11)),
+            check: true,
+            ..SimOptions::default()
+        };
+        let reference = simulate_with_options(&p, &m, Protocol::Warden, &opts);
+
+        let dir = scratch("resume");
+        let store = CheckpointStore::new(&dir).expect("create store");
+        assert!(
+            SimEngine::try_resume(&p, &m, Protocol::Warden, &opts, &store)
+                .expect("empty resume")
+                .is_none()
+        );
+
+        let mut eng = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        for _ in 0..1_500 {
+            if !eng.step() {
+                break;
+            }
+        }
+        eng.try_snapshot(&store).expect("snapshot");
+        drop(eng); // the interrupted process is gone
+
+        let resumed = SimEngine::try_resume(&p, &m, Protocol::Warden, &opts, &store)
+            .expect("resume")
+            .expect("checkpoint present");
+        let out = resumed.run();
+        assert_eq!(out.stats, reference.stats);
+        assert_eq!(out.memory_image_digest, reference.memory_image_digest);
+        assert_eq!(out.energy, reference.energy);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_identity_mismatches() {
+        let p = sample_program();
+        let m = tiny_machine();
+        let opts = SimOptions::default();
+        let mut eng = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        for _ in 0..200 {
+            eng.step();
+        }
+        let bytes = eng.snapshot_to_bytes();
+
+        let other_program = trace_program("other", RtOptions::default(), |ctx| {
+            let xs = ctx.alloc::<u64>(8);
+            ctx.write(&xs, 0, 1);
+        });
+        let err = SimEngine::resume_from_bytes(&other_program, &m, Protocol::Warden, &opts, &bytes)
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { what: "program" }));
+
+        let other_machine = tiny_machine().with_seed(99);
+        let err = SimEngine::resume_from_bytes(&p, &other_machine, Protocol::Warden, &opts, &bytes)
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { what: "machine" }));
+
+        let err = SimEngine::resume_from_bytes(&p, &m, Protocol::Mesi, &opts, &bytes).unwrap_err();
+        assert!(matches!(
+            err,
+            CheckpointError::Mismatch { what: "protocol" }
+        ));
+
+        let other_opts = SimOptions {
+            check: true,
+            ..SimOptions::default()
+        };
+        let err = SimEngine::resume_from_bytes(&p, &m, Protocol::Warden, &other_opts, &bytes)
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { what: "options" }));
+
+        // The matching identity still resumes.
+        let resumed =
+            SimEngine::resume_from_bytes(&p, &m, Protocol::Warden, &opts, &bytes).expect("resume");
+        let a = resumed.run();
+        let b = simulate_with_options(&p, &m, Protocol::Warden, &opts);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn outcome_records_roundtrip() {
+        let p = sample_program();
+        let m = tiny_machine();
+        let out = simulate_with_options(&p, &m, Protocol::Warden, &SimOptions::default());
+        let bytes = encode_outcome(&out);
+        let back = decode_outcome(&bytes).expect("record decodes");
+        assert_eq!(back.protocol, out.protocol);
+        assert_eq!(back.machine, out.machine);
+        assert_eq!(back.stats, out.stats);
+        assert_eq!(back.energy, out.energy);
+        assert_eq!(back.memory_image_digest, out.memory_image_digest);
+        assert_eq!(back.region_peak, out.region_peak);
+        assert_eq!(back.violations.len(), out.violations.len());
+        assert_eq!(
+            back.final_memory.digest(),
+            out.final_memory.digest(),
+            "memory image survives the record"
+        );
+        for cut in 0..bytes.len() {
+            assert!(decode_outcome(&bytes[..cut]).is_err());
+        }
+    }
+}

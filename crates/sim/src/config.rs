@@ -111,6 +111,45 @@ impl MachineConfig {
         (n * self.cpi_num).div_ceil(self.cpi_den)
     }
 
+    /// A stable fingerprint over every parameter that affects a replay.
+    ///
+    /// Checkpoints embed this value so a snapshot taken on one machine
+    /// description can never silently resume under a different one; two
+    /// configurations with equal fingerprints replay identically.
+    pub fn fingerprint(&self) -> u64 {
+        use warden_mem::codec::{fnv1a64, Encoder};
+        let mut enc = Encoder::new();
+        enc.put_str(&self.name);
+        enc.put_usize(self.topo.num_sockets());
+        enc.put_usize(self.topo.cores_per_socket());
+        for v in [
+            self.lat.l1,
+            self.lat.l2,
+            self.lat.l3,
+            self.lat.fwd,
+            self.lat.intersocket,
+            self.lat.dram,
+            self.lat.region_instr,
+            self.lat.reconcile_per_block,
+        ] {
+            enc.put_u64(v);
+        }
+        for g in [self.cache.l1, self.cache.l2, self.cache.llc_slice] {
+            enc.put_u64(g.size_bytes());
+            enc.put_u32(g.associativity());
+        }
+        enc.put_usize(self.cache.region_capacity);
+        enc.put_u64(self.cache.sector_bytes);
+        enc.put_u64(self.cpi_num);
+        enc.put_u64(self.cpi_den);
+        enc.put_usize(self.store_buffer);
+        enc.put_usize(self.store_mshrs);
+        enc.put_u64(self.steal_cost);
+        enc.put_u64(self.idle_tick);
+        enc.put_u64(self.seed);
+        fnv1a64(enc.bytes())
+    }
+
     /// Check the whole machine description for consistency: cache
     /// geometry/region/sector constraints ([`CacheConfig::validate`]),
     /// latency ordering ([`LatencyModel::validate`]), a well-defined CPI
@@ -179,6 +218,25 @@ mod tests {
         ] {
             m.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
         }
+    }
+
+    #[test]
+    fn fingerprints_distinguish_machines_and_are_stable() {
+        let a = MachineConfig::dual_socket();
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        assert_ne!(
+            a.fingerprint(),
+            MachineConfig::single_socket().fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            MachineConfig::disaggregated().fingerprint()
+        );
+        assert_ne!(a.fingerprint(), a.clone().with_seed(7).fingerprint());
+        assert_ne!(a.fingerprint(), a.clone().with_cores(2).fingerprint());
+        let mut b = a.clone();
+        b.store_mshrs -= 1;
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

@@ -6,6 +6,13 @@
 //! with the smallest local clock executes its next event, so cross-core
 //! interactions (steals, invalidations, reconciliations) happen in a
 //! deterministic global order given the seed.
+//!
+//! The engine runs in one of two modes: the one-shot helpers
+//! ([`simulate`], [`simulate_with_options`], [`try_simulate`]) replay a
+//! whole trace and return the [`SimOutcome`], while [`SimEngine`] exposes
+//! the same replay one scheduler step at a time so a run can be paused,
+//! snapshotted to a crash-safe checkpoint (see [`crate::checkpoint`]) and
+//! resumed bit-identically.
 
 use crate::config::MachineConfig;
 use crate::energy::{energy_of, EnergyBreakdown, EnergyParams};
@@ -16,7 +23,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
 use warden_coherence::{CoherenceSystem, InvariantViolation, Protocol, RegionId};
+use warden_mem::codec::{CodecError, Decoder, Encoder};
 use warden_mem::Memory;
 use warden_rt::{Event, TaskId, TraceProgram};
 
@@ -108,11 +117,7 @@ pub fn try_simulate(
     protocol: Protocol,
     opts: &SimOptions,
 ) -> Result<SimOutcome, SimError> {
-    machine.validate()?;
-    if let Some(plan) = &opts.faults {
-        plan.validate()?;
-    }
-    Ok(simulate_with_options(program, machine, protocol, opts))
+    Ok(SimEngine::try_new(program, machine, protocol, opts)?.run())
 }
 
 /// [`simulate`] with full control: energy parameters, the invariant
@@ -123,80 +128,229 @@ pub fn simulate_with_options(
     protocol: Protocol,
     opts: &SimOptions,
 ) -> SimOutcome {
-    let energy_params = &opts.energy;
-    let mut coh = CoherenceSystem::new(machine.topo, machine.lat, machine.cache, protocol);
-    coh.set_memory(program.initial_memory.clone());
-    if opts.check {
-        coh.enable_checker();
+    SimEngine::new(program, machine, protocol, opts).run()
+}
+
+/// A resumable replay: the whole simulation state of one run, advanced one
+/// scheduler step at a time.
+///
+/// `SimEngine::new(p, m, proto, opts).run()` is exactly
+/// [`simulate_with_options`]`(p, m, proto, opts)`. Between any two
+/// [`step`](Self::step) calls the engine sits at an instruction boundary
+/// and can be serialized to a checkpoint ([`crate::checkpoint`]); a fresh
+/// engine restored from that checkpoint continues the run bit-identically.
+pub struct SimEngine<'a> {
+    program: &'a TraceProgram,
+    machine: &'a MachineConfig,
+    protocol: Protocol,
+    opts: SimOptions,
+    coh: CoherenceSystem,
+    injector: Option<FaultInjector>,
+    rng: SmallRng,
+    cores: Vec<Core>,
+    tasks: Vec<TaskRun>,
+    regions: HashMap<u32, RegionId>,
+    stats: SimStats,
+    completed: usize,
+    makespan: u64,
+    steps: u64,
+}
+
+impl fmt::Debug for SimEngine<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimEngine")
+            .field("program", &self.program.name)
+            .field("machine", &self.machine.name)
+            .field("protocol", &self.protocol)
+            .field("completed", &self.completed)
+            .field("steps", &self.steps)
+            .finish_non_exhaustive()
     }
-    let mut injector = opts
-        .faults
-        .clone()
-        .map(|plan| FaultInjector::new(plan, program.address_range));
-    if let Some(inj) = &injector {
-        inj.install_mutations(&mut coh);
+}
+
+impl<'a> SimEngine<'a> {
+    /// Set up a replay of `program` on `machine` under `protocol`, ready at
+    /// the first instruction boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is malformed (see
+    /// [`TraceProgram::check_invariants`]); use [`Self::try_new`] to also
+    /// validate the machine and fault plan up front.
+    pub fn new(
+        program: &'a TraceProgram,
+        machine: &'a MachineConfig,
+        protocol: Protocol,
+        opts: &SimOptions,
+    ) -> SimEngine<'a> {
+        let mut coh = CoherenceSystem::new(machine.topo, machine.lat, machine.cache, protocol);
+        coh.set_memory(program.initial_memory.clone());
+        if opts.check {
+            coh.enable_checker();
+        }
+        let injector = opts
+            .faults
+            .clone()
+            .map(|plan| FaultInjector::new(plan, program.address_range));
+        if let Some(inj) = &injector {
+            inj.install_mutations(&mut coh);
+        }
+        let rng = SmallRng::seed_from_u64(machine.seed);
+
+        let ncores = machine.num_cores();
+        let mut cores: Vec<Core> = (0..ncores)
+            .map(|_| Core {
+                clock: 0,
+                deque: VecDeque::new(),
+                current: None,
+                store_buffer: BinaryHeap::new(),
+            })
+            .collect();
+        let tasks: Vec<TaskRun> = program
+            .tasks
+            .iter()
+            .map(|_| TaskRun {
+                next_event: 0,
+                pending_children: 0,
+            })
+            .collect();
+        let stats = SimStats {
+            tasks: program.tasks.len() as u64,
+            ..SimStats::default()
+        };
+        cores[0].current = Some(0); // root starts on core 0
+
+        SimEngine {
+            program,
+            machine,
+            protocol,
+            opts: opts.clone(),
+            coh,
+            injector,
+            rng,
+            cores,
+            tasks,
+            regions: HashMap::new(),
+            stats,
+            completed: 0,
+            makespan: 0,
+            steps: 0,
+        }
     }
-    let mut rng = SmallRng::seed_from_u64(machine.seed);
 
-    let ncores = machine.num_cores();
-    let mut cores: Vec<Core> = (0..ncores)
-        .map(|_| Core {
-            clock: 0,
-            deque: VecDeque::new(),
-            current: None,
-            store_buffer: BinaryHeap::new(),
-        })
-        .collect();
-    let mut tasks: Vec<TaskRun> = program
-        .tasks
-        .iter()
-        .map(|_| TaskRun {
-            next_event: 0,
-            pending_children: 0,
-        })
-        .collect();
-    let mut regions: HashMap<u32, RegionId> = HashMap::new();
-    let mut stats = SimStats {
-        tasks: program.tasks.len() as u64,
-        ..SimStats::default()
-    };
+    /// [`Self::new`] behind up-front validation of the machine description
+    /// and fault plan.
+    pub fn try_new(
+        program: &'a TraceProgram,
+        machine: &'a MachineConfig,
+        protocol: Protocol,
+        opts: &SimOptions,
+    ) -> Result<SimEngine<'a>, SimError> {
+        machine.validate()?;
+        if let Some(plan) = &opts.faults {
+            plan.validate()?;
+        }
+        Ok(SimEngine::new(program, machine, protocol, opts))
+    }
 
-    cores[0].current = Some(0); // root starts on core 0
-    let mut completed = 0usize;
-    let total = program.tasks.len();
-    let mut makespan = 0u64;
+    /// Whether every task of the trace has run to completion.
+    pub fn is_done(&self) -> bool {
+        self.completed >= self.program.tasks.len()
+    }
 
-    while completed < total {
+    /// Scheduler steps executed so far (each [`Self::step`] that did work).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Tasks that have run to completion so far.
+    pub fn completed_tasks(&self) -> usize {
+        self.completed
+    }
+
+    /// The protocol this engine replays under.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    pub(crate) fn program_ref(&self) -> &'a TraceProgram {
+        self.program
+    }
+
+    pub(crate) fn machine_ref(&self) -> &'a MachineConfig {
+        self.machine
+    }
+
+    pub(crate) fn opts_ref(&self) -> &SimOptions {
+        &self.opts
+    }
+
+    /// Execute one scheduler step (one event, one task completion or one
+    /// work-acquisition attempt on the core with the smallest clock).
+    /// Returns `true` while more work remains; once it returns `false` the
+    /// replay is complete and [`Self::finish`] produces the outcome.
+    pub fn step(&mut self) -> bool {
+        if self.is_done() {
+            return false;
+        }
+        self.step_inner();
+        self.steps += 1;
+        !self.is_done()
+    }
+
+    /// Run the replay to completion and produce the outcome.
+    pub fn run(mut self) -> SimOutcome {
+        while self.step() {}
+        self.finish()
+    }
+
+    fn step_inner(&mut self) {
+        let program = self.program;
+        let machine = self.machine;
+        let ncores = self.cores.len();
+
         // Pick the core with the smallest clock (ties: lowest id).
         let cid = (0..ncores)
-            .min_by_key(|&i| (cores[i].clock, i))
+            .min_by_key(|&i| (self.cores[i].clock, i))
             .expect("at least one core");
 
-        let Some(task) = cores[cid].current else {
-            acquire_work(cid, &mut cores, machine, &mut rng, &mut stats);
-            continue;
+        let Some(task) = self.cores[cid].current else {
+            acquire_work(
+                cid,
+                &mut self.cores,
+                machine,
+                &mut self.rng,
+                &mut self.stats,
+            );
+            return;
         };
 
         let events = &program.tasks[task].events;
-        if tasks[task].next_event == events.len() {
+        if self.tasks[task].next_event == events.len() {
             // Task complete.
-            completed += 1;
-            makespan = makespan.max(cores[cid].clock);
-            cores[cid].current = None;
+            self.completed += 1;
+            self.makespan = self.makespan.max(self.cores[cid].clock);
+            self.cores[cid].current = None;
             if let Some(parent) = program.tasks[task].parent {
-                tasks[parent].pending_children -= 1;
-                if tasks[parent].pending_children == 0 {
+                self.tasks[parent].pending_children -= 1;
+                if self.tasks[parent].pending_children == 0 {
                     // The last finisher resumes the parent (work stealing's
                     // "last one home continues" rule).
-                    cores[cid].current = Some(parent);
+                    self.cores[cid].current = Some(parent);
                 }
             }
-            continue;
+            return;
         }
 
-        let ev = &events[tasks[task].next_event];
-        tasks[task].next_event += 1;
-        let core = &mut cores[cid];
+        let ev = &events[self.tasks[task].next_event];
+        self.tasks[task].next_event += 1;
+        let protocol = self.protocol;
+        let coh = &mut self.coh;
+        let injector = &mut self.injector;
+        let stats = &mut self.stats;
+        let regions = &mut self.regions;
+        let tasks = &mut self.tasks;
+        let core = &mut self.cores[cid];
         match ev {
             Event::Compute { amount } => {
                 let c = machine.compute_cycles(*amount);
@@ -212,7 +366,7 @@ pub fn simulate_with_options(
                 stats.instructions += 1;
                 stats.memory_accesses += 1;
                 if let Some(inj) = injector.as_mut() {
-                    core.clock += inj.after_access(lat, machine, &mut coh);
+                    core.clock += inj.after_access(lat, machine, coh);
                 }
             }
             Event::Store { addr, size, val } => {
@@ -236,7 +390,7 @@ pub fn simulate_with_options(
                 stats.instructions += 1;
                 stats.memory_accesses += 1;
                 if let Some(inj) = injector.as_mut() {
-                    core.clock += inj.after_access(lat, machine, &mut coh);
+                    core.clock += inj.after_access(lat, machine, coh);
                 }
             }
             Event::Rmw {
@@ -258,7 +412,7 @@ pub fn simulate_with_options(
                 stats.instructions += 1;
                 stats.memory_accesses += 1;
                 if let Some(inj) = injector.as_mut() {
-                    core.clock += inj.after_access(lat, machine, &mut coh);
+                    core.clock += inj.after_access(lat, machine, coh);
                 }
             }
             Event::Fork { children } => {
@@ -277,7 +431,7 @@ pub fn simulate_with_options(
                         regions.insert(*token, id);
                     }
                     if let Some(inj) = injector.as_mut() {
-                        core.clock += inj.after_region_add(&mut coh);
+                        core.clock += inj.after_region_add(coh);
                     }
                 }
             }
@@ -287,45 +441,238 @@ pub fn simulate_with_options(
                     match regions.remove(token) {
                         Some(id) => {
                             let lat = coh.remove_region(id);
-                            cores[cid].clock += lat;
+                            core.clock += lat;
                             stats.region_cycles += lat;
                         }
                         None => {
                             // The add overflowed: the remove is a no-op
                             // instruction.
-                            cores[cid].clock += machine.lat.region_instr;
+                            core.clock += machine.lat.region_instr;
                             stats.region_cycles += machine.lat.region_instr;
                         }
                     }
                 }
             }
         }
-        makespan = makespan.max(cores[cid].clock);
+        self.makespan = self.makespan.max(self.cores[cid].clock);
     }
 
-    if let Some(inj) = injector.as_mut() {
-        // End-of-run cleanup: release decoys still pinned, so region state
-        // matches a fault-free run (unbilled, like the flush below).
-        inj.finish(&mut coh);
-        stats.faults = inj.stats;
+    /// Consume the engine and produce the [`SimOutcome`] (end-of-run
+    /// cleanup, cache flush, energy accounting). Meaningful once
+    /// [`Self::step`] has returned `false`; calling it earlier reports the
+    /// partial run as-is.
+    pub fn finish(mut self) -> SimOutcome {
+        if let Some(inj) = self.injector.as_mut() {
+            // End-of-run cleanup: release decoys still pinned, so region
+            // state matches a fault-free run (unbilled, like the flush
+            // below).
+            inj.finish(&mut self.coh);
+            self.stats.faults = inj.stats;
+        }
+        let violations = self.coh.take_violations();
+        let region_peak = self.coh.region_peak();
+        self.coh.flush_all();
+        self.stats.cycles = self.makespan;
+        self.stats.core_cycles_total = self.cores.iter().map(|c| c.clock).sum();
+        self.stats.coherence = *self.coh.stats();
+        let energy = energy_of(&self.stats, self.machine.topo, &self.opts.energy);
+        let final_memory = self.coh.memory().clone();
+        SimOutcome {
+            protocol: self.protocol,
+            machine: self.machine.name.clone(),
+            memory_image_digest: final_memory.digest(),
+            final_memory,
+            stats: self.stats,
+            energy,
+            region_peak,
+            violations,
+        }
     }
-    let violations = coh.take_violations();
-    let region_peak = coh.region_peak();
-    coh.flush_all();
-    stats.cycles = makespan;
-    stats.core_cycles_total = cores.iter().map(|c| c.clock).sum();
-    stats.coherence = *coh.stats();
-    let energy = energy_of(&stats, machine.topo, energy_params);
-    let final_memory = coh.memory().clone();
-    SimOutcome {
-        protocol,
-        machine: machine.name.clone(),
-        memory_image_digest: final_memory.digest(),
-        final_memory,
-        stats,
-        energy,
-        region_peak,
-        violations,
+
+    /// Serialize the complete mutable simulation state (scheduler, cores,
+    /// store buffers, RNG, fault injector, coherence system, memory image
+    /// and statistics) at the current instruction boundary.
+    pub(crate) fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_usize(self.completed);
+        enc.put_u64(self.makespan);
+        enc.put_u64(self.steps);
+        enc.put_u64(self.rng.state());
+
+        enc.put_usize(self.cores.len());
+        for core in &self.cores {
+            enc.put_u64(core.clock);
+            match core.current {
+                Some(t) => {
+                    enc.put_bool(true);
+                    enc.put_usize(t);
+                }
+                None => enc.put_bool(false),
+            }
+            enc.put_usize(core.deque.len());
+            for &t in &core.deque {
+                enc.put_usize(t);
+            }
+            // The heap only ever exposes its minimum, so a sorted vector is
+            // a canonical, replay-equivalent encoding of its contents.
+            let mut pending: Vec<u64> = core.store_buffer.iter().map(|&Reverse(t)| t).collect();
+            pending.sort_unstable();
+            enc.put_usize(pending.len());
+            for t in pending {
+                enc.put_u64(t);
+            }
+        }
+
+        enc.put_usize(self.tasks.len());
+        for t in &self.tasks {
+            enc.put_usize(t.next_event);
+            enc.put_u32(t.pending_children);
+        }
+
+        let mut regions: Vec<(u32, RegionId)> =
+            self.regions.iter().map(|(&tok, &id)| (tok, id)).collect();
+        regions.sort_unstable_by_key(|&(tok, _)| tok);
+        enc.put_usize(regions.len());
+        for (tok, id) in regions {
+            enc.put_u32(tok);
+            enc.put_u64(id.0);
+        }
+
+        self.stats.encode_into(enc);
+        match &self.injector {
+            Some(inj) => {
+                enc.put_bool(true);
+                inj.encode_state(enc);
+            }
+            None => enc.put_bool(false),
+        }
+        self.coh.encode_state(enc);
+    }
+
+    /// Restore state serialized by [`Self::encode_state`] into this engine,
+    /// which must have been freshly constructed from the same `(program,
+    /// machine, protocol, opts)` — the checkpoint layer verifies that via
+    /// fingerprints before calling this. On error the engine must be
+    /// discarded (it may be partially updated).
+    pub(crate) fn apply_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        let invalid = |what: &'static str, detail: String| CodecError::Invalid { what, detail };
+        let total = self.program.tasks.len();
+
+        let completed = dec.take_usize()?;
+        if completed > total {
+            return Err(invalid(
+                "engine",
+                format!("{completed} completed of {total} tasks"),
+            ));
+        }
+        let makespan = dec.take_u64()?;
+        let steps = dec.take_u64()?;
+        let rng_state = dec.take_u64()?;
+
+        let ncores = dec.take_usize()?;
+        if ncores != self.cores.len() {
+            return Err(invalid(
+                "engine",
+                format!("{ncores} cores, machine has {}", self.cores.len()),
+            ));
+        }
+        let mut cores = Vec::with_capacity(ncores);
+        for _ in 0..ncores {
+            let clock = dec.take_u64()?;
+            let current = if dec.take_bool()? {
+                let t = dec.take_usize()?;
+                if t >= total {
+                    return Err(invalid("engine", format!("current task {t} out of range")));
+                }
+                Some(t)
+            } else {
+                None
+            };
+            let dlen = dec.take_count(8)?;
+            let mut deque = VecDeque::with_capacity(dlen);
+            for _ in 0..dlen {
+                let t = dec.take_usize()?;
+                if t >= total {
+                    return Err(invalid("engine", format!("queued task {t} out of range")));
+                }
+                deque.push_back(t);
+            }
+            let sblen = dec.take_count(8)?;
+            let mut store_buffer = BinaryHeap::with_capacity(sblen);
+            let mut prev = 0u64;
+            for i in 0..sblen {
+                let t = dec.take_u64()?;
+                if i > 0 && t < prev {
+                    return Err(invalid("engine", "store buffer not sorted".into()));
+                }
+                prev = t;
+                store_buffer.push(Reverse(t));
+            }
+            cores.push(Core {
+                clock,
+                deque,
+                current,
+                store_buffer,
+            });
+        }
+
+        let ntasks = dec.take_usize()?;
+        if ntasks != total {
+            return Err(invalid(
+                "engine",
+                format!("{ntasks} tasks, trace has {total}"),
+            ));
+        }
+        let mut tasks = Vec::with_capacity(ntasks);
+        for i in 0..ntasks {
+            let next_event = dec.take_usize()?;
+            if next_event > self.program.tasks[i].events.len() {
+                return Err(invalid(
+                    "engine",
+                    format!("task {i} event cursor {next_event} out of range"),
+                ));
+            }
+            let pending_children = dec.take_u32()?;
+            tasks.push(TaskRun {
+                next_event,
+                pending_children,
+            });
+        }
+
+        let nregions = dec.take_count(12)?;
+        let mut regions = HashMap::with_capacity(nregions);
+        let mut prev_tok: Option<u32> = None;
+        for _ in 0..nregions {
+            let tok = dec.take_u32()?;
+            if prev_tok.is_some_and(|p| tok <= p) {
+                return Err(invalid("engine", "region tokens not ascending".into()));
+            }
+            prev_tok = Some(tok);
+            let id = RegionId(dec.take_u64()?);
+            regions.insert(tok, id);
+        }
+
+        let stats = SimStats::decode_from(dec)?;
+        let has_injector = dec.take_bool()?;
+        if has_injector != self.injector.is_some() {
+            return Err(invalid(
+                "engine",
+                "fault-plan presence differs from the checkpoint".into(),
+            ));
+        }
+        if let Some(inj) = self.injector.as_mut() {
+            inj.apply_state(dec)?;
+        }
+        self.coh.restore_state(dec)?;
+
+        self.completed = completed;
+        self.makespan = makespan;
+        self.steps = steps;
+        self.rng = SmallRng::seed_from_u64(rng_state);
+        self.cores = cores;
+        self.tasks = tasks;
+        self.regions = regions;
+        self.stats = stats;
+        Ok(())
     }
 }
 
@@ -422,6 +769,93 @@ mod tests {
             None,
             "replayed memory must reproduce the program's logical result"
         );
+    }
+
+    #[test]
+    fn engine_stepping_matches_one_shot_simulation() {
+        let p = sample_program();
+        let m = tiny_machine();
+        let opts = SimOptions::default();
+        let mut eng = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        assert!(!eng.is_done());
+        while eng.step() {}
+        assert!(eng.is_done());
+        assert!(eng.steps() > 0);
+        assert_eq!(eng.completed_tasks(), p.tasks.len());
+        let stepped = eng.finish();
+        let oneshot = simulate(&p, &m, Protocol::Warden);
+        assert_eq!(stepped.stats, oneshot.stats);
+        assert_eq!(stepped.memory_image_digest, oneshot.memory_image_digest);
+    }
+
+    #[test]
+    fn state_transfer_mid_run_continues_bit_identically() {
+        // The core checkpoint property, without any file I/O: pause a run
+        // (with the checker and a benign fault campaign active, so every
+        // serializable subsystem is live), move its encoded state into a
+        // freshly constructed engine, and the continuation must reproduce
+        // the uninterrupted run exactly — statistics, energy bits, image.
+        let p = sample_program();
+        let m = tiny_machine();
+        let opts = SimOptions {
+            faults: Some(FaultPlan::benign(5)),
+            check: true,
+            ..SimOptions::default()
+        };
+        let reference = simulate_with_options(&p, &m, Protocol::Warden, &opts);
+
+        let mut eng = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        for _ in 0..2_000 {
+            if !eng.step() {
+                break;
+            }
+        }
+        let mut enc = Encoder::new();
+        eng.encode_state(&mut enc);
+        let bytes = enc.into_bytes();
+
+        let mut fresh = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        let mut dec = Decoder::new(&bytes);
+        fresh.apply_state(&mut dec).expect("state applies");
+        dec.finish().expect("no trailing bytes");
+
+        // Re-encoding the restored engine reproduces the snapshot exactly.
+        let mut enc2 = Encoder::new();
+        fresh.encode_state(&mut enc2);
+        assert_eq!(enc2.bytes(), &bytes[..], "snapshot must be canonical");
+
+        let resumed = fresh.run();
+        assert_eq!(resumed.stats, reference.stats);
+        assert_eq!(resumed.memory_image_digest, reference.memory_image_digest);
+        assert_eq!(resumed.energy, reference.energy);
+        assert!(resumed.violations.is_empty());
+    }
+
+    #[test]
+    fn state_transfer_rejects_wrong_shapes() {
+        let p = sample_program();
+        let m = tiny_machine();
+        let opts = SimOptions::default();
+        let mut eng = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        for _ in 0..500 {
+            eng.step();
+        }
+        let mut enc = Encoder::new();
+        eng.encode_state(&mut enc);
+        let bytes = enc.into_bytes();
+
+        // A machine with a different core count refuses the state.
+        let m1 = MachineConfig::dual_socket().with_cores(1);
+        let mut other = SimEngine::new(&p, &m1, Protocol::Warden, &opts);
+        assert!(other.apply_state(&mut Decoder::new(&bytes)).is_err());
+
+        // An engine expecting a fault injector refuses a fault-free state.
+        let faulty = SimOptions {
+            faults: Some(FaultPlan::benign(1)),
+            ..SimOptions::default()
+        };
+        let mut other = SimEngine::new(&p, &m, Protocol::Warden, &faulty);
+        assert!(other.apply_state(&mut Decoder::new(&bytes)).is_err());
     }
 
     #[test]

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod config;
 mod energy;
 mod engine;
@@ -44,10 +45,12 @@ pub mod pingpong;
 mod report;
 mod stats;
 
+pub use checkpoint::{CheckpointError, CheckpointStore};
 pub use config::MachineConfig;
 pub use energy::{energy_of, EnergyBreakdown, EnergyParams};
 pub use engine::{
-    simulate, simulate_with_energy, simulate_with_options, try_simulate, SimOptions, SimOutcome,
+    simulate, simulate_with_energy, simulate_with_options, try_simulate, SimEngine, SimOptions,
+    SimOutcome,
 };
 pub use error::SimError;
 pub use faults::{FaultPlan, FaultStats};

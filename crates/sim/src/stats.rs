@@ -2,6 +2,34 @@
 
 use crate::faults::FaultStats;
 use warden_coherence::CoherenceStats;
+use warden_mem::codec::{CodecError, Decoder, Encoder};
+
+/// Every scalar counter of [`SimStats`] in declaration order — shared by
+/// the encode and decode macros so a newly added counter fails to compile
+/// unless it is wired into both (the nested coherence and fault counters
+/// have their own canonical lists).
+macro_rules! for_each_sim_counter {
+    ($m:ident, $($args:tt)*) => {
+        $m!(
+            $($args)*:
+            cycles,
+            instructions,
+            memory_accesses,
+            steals,
+            steal_attempts,
+            idle_cycles,
+            store_stall_cycles,
+            tasks,
+            compute_cycles,
+            load_cycles,
+            rmw_cycles,
+            store_issue_cycles,
+            region_cycles,
+            steal_cycles,
+            core_cycles_total,
+        );
+    };
+}
 
 /// Everything measured during one replay of a program on one machine under
 /// one protocol.
@@ -71,6 +99,33 @@ impl SimStats {
         self.coherence.ward_serves as f64 / self.memory_accesses as f64
     }
 
+    /// Serialize every measurement, in declaration order, for a checkpoint
+    /// or a campaign result record.
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        macro_rules! put {
+            ($self:ident, $enc:ident: $($f:ident),* $(,)?) => {
+                $( $enc.put_u64($self.$f); )*
+            };
+        }
+        for_each_sim_counter!(put, self, enc);
+        self.coherence.encode_into(enc);
+        self.faults.encode_into(enc);
+    }
+
+    /// Decode measurements serialized by [`Self::encode_into`].
+    pub fn decode_from(dec: &mut Decoder<'_>) -> Result<SimStats, CodecError> {
+        let mut s = SimStats::default();
+        macro_rules! take {
+            ($s:ident, $dec:ident: $($f:ident),* $(,)?) => {
+                $( $s.$f = $dec.take_u64()?; )*
+            };
+        }
+        for_each_sim_counter!(take, s, dec);
+        s.coherence = CoherenceStats::decode_from(dec)?;
+        s.faults = FaultStats::decode_from(dec)?;
+        Ok(s)
+    }
+
     /// The classified per-category cycle totals, in display order:
     /// (label, cycles) over all cores.
     pub fn cycle_breakdown(&self) -> [(&'static str, u64); 8] {
@@ -113,6 +168,30 @@ mod tests {
         s.coherence.invalidations = 30;
         s.coherence.downgrades = 20;
         assert!((s.inv_dg_per_kilo_instr() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn codec_roundtrip_covers_every_field() {
+        // Distinct values per scalar field so a swapped or skipped field in
+        // the codec cannot cancel out.
+        let mut s = SimStats::default();
+        let mut i = 1u64;
+        macro_rules! fill {
+            ($s:ident, $i:ident: $($f:ident),* $(,)?) => {
+                $( $s.$f = $i; $i += 1; )*
+            };
+        }
+        for_each_sim_counter!(fill, s, i);
+        assert!(i > 15, "expected at least 15 scalar counters");
+        s.coherence.downgrades = 99;
+        s.faults.latency_spikes = 77;
+        let mut enc = Encoder::new();
+        s.encode_into(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = SimStats::decode_from(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]

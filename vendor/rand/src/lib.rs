@@ -180,6 +180,16 @@ pub mod rngs {
         state: u64,
     }
 
+    impl SmallRng {
+        /// The raw internal state. Since [`SeedableRng::seed_from_u64`]
+        /// installs the seed as the state verbatim, `seed_from_u64(state())`
+        /// reconstructs the generator exactly — the hook checkpointing code
+        /// relies on to snapshot and restore RNG position mid-stream.
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+    }
+
     impl SeedableRng for SmallRng {
         fn seed_from_u64(seed: u64) -> SmallRng {
             SmallRng { state: seed }
@@ -221,6 +231,18 @@ mod tests {
             let _ = w;
             let f: f64 = r.gen_range(-0.5..0.5);
             assert!((-0.5..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn state_snapshot_resumes_stream_exactly() {
+        let mut a = SmallRng::seed_from_u64(99);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = SmallRng::seed_from_u64(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
 
