@@ -8,7 +8,11 @@
 #   ./ci.sh smoke    kill/resume drill: SIGKILL a tiny benchmark campaign
 #                    mid-flight, resume it, and require the resumed report
 #                    to be bit-identical to an uninterrupted reference
-#   ./ci.sh          both
+#   ./ci.sh bench    build and smoke-run the criterion hot-path suite
+#                    (--test mode: every benchmark body executes once, no
+#                    timing gate), then emit BENCH_hotpath.json at tiny
+#                    scale so the workflow can archive it
+#   ./ci.sh          all of the above
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -103,16 +107,29 @@ smoke() {
   rm -rf "$dir"
 }
 
+bench() {
+  echo "== hot-path criterion suite (smoke, --test mode) =="
+  cargo bench -q --offline -p warden-bench --bench hotpath -- --test
+
+  echo "== hot-path throughput report (tiny scale) =="
+  cargo build -q --release --offline -p warden-bench --bin bench_baseline
+  target/release/bench_baseline --scale tiny --runs 3 --out BENCH_hotpath_ci.json
+  test -s BENCH_hotpath_ci.json
+  echo "   wrote BENCH_hotpath_ci.json"
+}
+
 stage="${1:-all}"
 case "$stage" in
   checks) checks ;;
   smoke) smoke ;;
+  bench) bench ;;
   all)
     checks
     smoke
+    bench
     ;;
   *)
-    echo "usage: ci.sh [checks|smoke|all]" >&2
+    echo "usage: ci.sh [checks|smoke|bench|all]" >&2
     exit 2
     ;;
 esac

@@ -16,6 +16,9 @@
 //! | `--deadline-ms <ms>`   | per-run watchdog deadline |
 //! | `--retries <n>`        | retry budget per campaign run |
 //! | `--quiet`              | suppress campaign progress lines |
+//! | `--out <path>`         | `bench_baseline`: report destination |
+//! | `--baseline <path>`    | `bench_baseline`: earlier report to compare against |
+//! | `--runs <n>`           | `bench_baseline`: repetitions per sample |
 //!
 //! Non-flag arguments are collected in [`HarnessArgs::positional`] for the
 //! binaries that take them (`record`, `replay`).
@@ -29,14 +32,17 @@ use std::time::Duration;
 /// Every flag the harness binaries understand, with value placeholders —
 /// printed by the unknown-flag error.
 pub const VALID_FLAGS: &[&str] = &[
+    "--baseline <path>",
     "--campaign-dir <dir>",
     "--check",
     "--deadline-ms <ms>",
     "--faults <seed>",
     "--jobs <n>",
     "--markdown <path>",
+    "--out <path>",
     "--quiet",
     "--retries <n>",
+    "--runs <n>",
     "--scale <tiny|paper>",
 ];
 
@@ -60,6 +66,13 @@ pub struct HarnessArgs {
     pub retries: Option<u32>,
     /// `--quiet`: suppress campaign progress lines on stderr.
     pub quiet: bool,
+    /// `--out <path>`: where `bench_baseline` writes its JSON report.
+    pub out: Option<PathBuf>,
+    /// `--baseline <path>`: an earlier `bench_baseline` report to embed as
+    /// the before side of the comparison.
+    pub baseline: Option<PathBuf>,
+    /// `--runs <n>`: repetitions per throughput sample.
+    pub runs: Option<u32>,
     /// Non-flag arguments, in order (used by `record` and `replay`).
     pub positional: Vec<String>,
 }
@@ -137,6 +150,11 @@ impl HarnessArgs {
                     out.deadline_ms = Some(number(&mut it, "--deadline-ms", "<ms>")?)
                 }
                 "--retries" => out.retries = Some(number(&mut it, "--retries", "<n>")?),
+                "--out" => out.out = Some(PathBuf::from(value(&mut it, "--out", "<path>")?)),
+                "--baseline" => {
+                    out.baseline = Some(PathBuf::from(value(&mut it, "--baseline", "<path>")?))
+                }
+                "--runs" => out.runs = Some(number(&mut it, "--runs", "<n>")?),
                 _ if a.starts_with("--") => return Err(unknown(&a)),
                 _ => out.positional.push(a),
             }

@@ -36,6 +36,7 @@ pub mod campaign;
 pub mod error;
 pub mod figures;
 pub mod fmt;
+pub mod hotpath;
 pub mod paper;
 pub mod runner;
 

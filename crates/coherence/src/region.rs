@@ -3,14 +3,19 @@
 //! The paper (§6.1) stores each region as a begin/end pointer pair in a
 //! CAM-like structure supporting 1024 simultaneous regions. Functionally a
 //! lookup asks "does address A fall inside any active region?"; we answer it
-//! with a page-index hash map (regions are always page-multiples in the MPL
+//! with a flat page index (regions are always page-multiples in the MPL
 //! runtime) while modelling the *capacity* of the hardware structure: adding
-//! a region beyond capacity fails, and those addresses simply stay under
-//! plain MESI — a silent, safe fallback.
+//! a region beyond capacity fails — counted in [`RegionStore::overflows`] —
+//! and those addresses simply stay under plain MESI, a safe fallback.
+//!
+//! Live regions are kept sorted by ascending [`RegionId`], which makes every
+//! operation deterministic: when overlapping regions cover the same page and
+//! the owner is removed, the page is reassigned to the *lowest* live id
+//! covering it, so two identically built stores always agree (a hash-map
+//! scan here once broke checkpoint bit-identity).
 
-use std::collections::HashMap;
 use warden_mem::codec::{CodecError, Decoder, Encoder};
-use warden_mem::{Addr, PageAddr, PAGE_SIZE};
+use warden_mem::{Addr, PageAddr, PageMap, PAGE_SIZE};
 
 /// Identifier of one active WARD region.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -47,11 +52,20 @@ pub enum AddRegion {
 pub struct RegionStore {
     capacity: usize,
     next_id: u64,
-    /// Live regions: id → (start, end) byte addresses.
-    regions: HashMap<RegionId, (Addr, Addr)>,
+    /// Live regions as `(id, start, end)`, sorted by ascending id (ids are
+    /// allocated monotonically, so `add` appends in order). The sorted
+    /// order doubles as the deterministic tie-breaker for overlaps.
+    regions: Vec<(RegionId, Addr, Addr)>,
     /// Page → owning region, for O(1) lookups.
-    pages: HashMap<PageAddr, RegionId>,
+    pages: PageMap<RegionId>,
     peak: usize,
+    /// Adds rejected at capacity (CAM pressure; those regions silently
+    /// stayed under baseline coherence).
+    overflows: u64,
+    /// Bumped on every successful add/remove, so callers can keep derived
+    /// lookup caches (e.g. the per-core region cache) coherent. Starts at 1
+    /// and is *not* serialized — caches must be dropped across a restore.
+    epoch: u64,
 }
 
 impl RegionStore {
@@ -61,9 +75,11 @@ impl RegionStore {
         RegionStore {
             capacity,
             next_id: 0,
-            regions: HashMap::new(),
-            pages: HashMap::new(),
+            regions: Vec::new(),
+            pages: PageMap::new(),
             peak: 0,
+            overflows: 0,
+            epoch: 1,
         }
     }
 
@@ -87,6 +103,17 @@ impl RegionStore {
         self.peak
     }
 
+    /// Adds rejected because the store was at capacity.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Mutation counter: changes whenever the page→region mapping may have
+    /// changed. Derived caches are valid only while this is unchanged.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Add a region covering `[start, end)`.
     ///
     /// Bounds must be page-aligned, matching the MPL runtime which marks
@@ -104,58 +131,77 @@ impl RegionStore {
         );
         assert!(start < end, "region must be non-empty");
         if self.regions.len() == self.capacity {
+            self.overflows += 1;
             return AddRegion::Overflow;
         }
         let id = RegionId(self.next_id);
         self.next_id += 1;
-        self.regions.insert(id, (start, end));
+        self.regions.push((id, start, end));
         let mut page = start.page();
         while page.base() < end {
-            self.pages.entry(page).or_insert(id);
+            self.pages.or_insert_with(page, || id);
             page = page + 1;
         }
         self.peak = self.peak.max(self.regions.len());
+        self.epoch += 1;
         AddRegion::Added(id)
     }
 
     /// Remove a region, returning its page range for reconciliation.
     /// Removing an unknown (e.g. overflowed) region returns `None`.
+    ///
+    /// Pages the removed region owned but which other live regions still
+    /// cover are reassigned to the lowest live id covering them — the
+    /// region list is sorted by id, so the first covering entry wins,
+    /// deterministically.
     pub fn remove(&mut self, id: RegionId) -> Option<(Addr, Addr)> {
-        let (start, end) = self.regions.remove(&id)?;
+        let idx = self
+            .regions
+            .binary_search_by_key(&id, |&(i, _, _)| i)
+            .ok()?;
+        let (_, start, end) = self.regions.remove(idx);
         let mut page = start.page();
         while page.base() < end {
-            if self.pages.get(&page) == Some(&id) {
-                self.pages.remove(&page);
-                // Another live region may also cover this page.
-                if let Some((&other, _)) = self
+            if self.pages.get(page) == Some(&id) {
+                self.pages.remove(page);
+                // Lowest live region also covering this page, if any.
+                if let Some(&(other, _, _)) = self
                     .regions
                     .iter()
-                    .find(|(_, &(s, e))| s <= page.base() && page.base() < e)
+                    .find(|&&(_, s, e)| s <= page.base() && page.base() < e)
                 {
                     self.pages.insert(page, other);
                 }
             }
             page = page + 1;
         }
+        self.epoch += 1;
         Some((start, end))
     }
 
     /// Remove the region covering `addr`, if any, returning its id and range.
     pub fn remove_covering(&mut self, addr: Addr) -> Option<(RegionId, Addr, Addr)> {
-        let id = *self.pages.get(&addr.page())?;
+        let id = *self.pages.get(addr.page())?;
         let (s, e) = self.remove(id)?;
         Some((id, s, e))
     }
 
+    /// The region owning `addr`'s page, if any.
+    pub fn region_of(&self, addr: Addr) -> Option<RegionId> {
+        self.pages.get(addr.page()).copied()
+    }
+
     /// Whether `addr` is inside any active region.
+    #[inline]
     pub fn contains(&self, addr: Addr) -> bool {
-        self.pages.contains_key(&addr.page())
+        self.pages.contains(addr.page())
     }
 
     /// Whether any address of the given block is inside an active region.
     /// (Blocks never straddle pages, so this is the block's page.)
+    #[inline]
     pub fn contains_block(&self, block: warden_mem::BlockAddr) -> bool {
-        self.pages.contains_key(&block.page())
+        self.pages.contains(block.page())
     }
 
     /// Iterate the pages of a byte range (helper for reconciliation walks).
@@ -165,23 +211,25 @@ impl RegionStore {
         (0..n).map(move |i| first + i)
     }
 
-    /// Serialize the complete CAM state (capacity, id allocator, live
-    /// regions, page index, peak) for a checkpoint. Maps are written sorted
-    /// by key so equal stores always produce identical bytes.
+    /// Serialize the complete CAM state (capacity, id allocator, peak,
+    /// overflow count, live regions, page index) for a checkpoint. Regions
+    /// are kept sorted by id and pages are written sorted, so equal stores
+    /// always produce identical bytes. The epoch is derived state and is
+    /// not written.
     pub fn encode_into(&self, enc: &mut Encoder) {
         enc.put_usize(self.capacity);
         enc.put_u64(self.next_id);
         enc.put_usize(self.peak);
-        let mut regions: Vec<(&RegionId, &(Addr, Addr))> = self.regions.iter().collect();
-        regions.sort_by_key(|(id, _)| **id);
-        enc.put_usize(regions.len());
-        for (id, (start, end)) in regions {
+        enc.put_u64(self.overflows);
+        enc.put_usize(self.regions.len());
+        for &(id, start, end) in &self.regions {
             enc.put_u64(id.0);
             enc.put_u64(start.0);
             enc.put_u64(end.0);
         }
-        let mut pages: Vec<(&PageAddr, &RegionId)> = self.pages.iter().collect();
-        pages.sort_by_key(|(p, _)| **p);
+        let mut pages: Vec<(PageAddr, RegionId)> =
+            self.pages.iter().map(|(p, &id)| (p, id)).collect();
+        pages.sort_by_key(|&(p, _)| p);
         enc.put_usize(pages.len());
         for (page, id) in pages {
             enc.put_u64(page.0);
@@ -194,6 +242,7 @@ impl RegionStore {
         let capacity = dec.take_usize()?;
         let next_id = dec.take_u64()?;
         let peak = dec.take_usize()?;
+        let overflows = dec.take_u64()?;
         let nr = dec.take_count(24)?;
         if nr > capacity {
             return Err(CodecError::Invalid {
@@ -201,7 +250,7 @@ impl RegionStore {
                 detail: format!("{nr} live regions exceed capacity {capacity}"),
             });
         }
-        let mut regions = HashMap::with_capacity(nr);
+        let mut regions: Vec<(RegionId, Addr, Addr)> = Vec::with_capacity(nr);
         for _ in 0..nr {
             let id = RegionId(dec.take_u64()?);
             let start = Addr(dec.take_u64()?);
@@ -212,14 +261,20 @@ impl RegionStore {
                     detail: format!("region {} [{:#x},{:#x}) is malformed", id.0, start.0, end.0),
                 });
             }
-            regions.insert(id, (start, end));
+            if regions.last().is_some_and(|&(prev, _, _)| id <= prev) {
+                return Err(CodecError::Invalid {
+                    what: "region store",
+                    detail: format!("region ids out of order at {}", id.0),
+                });
+            }
+            regions.push((id, start, end));
         }
         let np = dec.take_count(16)?;
-        let mut pages = HashMap::with_capacity(np);
+        let mut pages = PageMap::new();
         for _ in 0..np {
             let page = PageAddr(dec.take_u64()?);
             let id = RegionId(dec.take_u64()?);
-            if !regions.contains_key(&id) {
+            if regions.binary_search_by_key(&id, |&(i, _, _)| i).is_err() {
                 return Err(CodecError::Invalid {
                     what: "region page index",
                     detail: format!("page {:#x} maps to unknown region {}", page.0, id.0),
@@ -233,6 +288,8 @@ impl RegionStore {
             regions,
             pages,
             peak,
+            overflows,
+            epoch: 1,
         })
     }
 }
@@ -245,13 +302,17 @@ mod tests {
         Addr(n * PAGE_SIZE)
     }
 
+    fn added(r: AddRegion) -> RegionId {
+        match r {
+            AddRegion::Added(id) => id,
+            AddRegion::Overflow => panic!("unexpected overflow"),
+        }
+    }
+
     #[test]
     fn add_contains_remove() {
         let mut s = RegionStore::new(4);
-        let id = match s.add(page(1), page(3)) {
-            AddRegion::Added(id) => id,
-            AddRegion::Overflow => panic!(),
-        };
+        let id = added(s.add(page(1), page(3)));
         assert!(s.contains(page(1)));
         assert!(s.contains(Addr(page(2).0 + 123)));
         assert!(!s.contains(page(3)));
@@ -262,22 +323,22 @@ mod tests {
     }
 
     #[test]
-    fn overflow_at_capacity() {
+    fn overflow_at_capacity_is_counted() {
         let mut s = RegionStore::new(2);
         assert!(matches!(s.add(page(0), page(1)), AddRegion::Added(_)));
         assert!(matches!(s.add(page(1), page(2)), AddRegion::Added(_)));
+        assert_eq!(s.overflows(), 0);
         assert_eq!(s.add(page(2), page(3)), AddRegion::Overflow);
+        assert_eq!(s.add(page(3), page(4)), AddRegion::Overflow);
         assert_eq!(s.len(), 2);
         assert!(!s.contains(page(2)));
+        assert_eq!(s.overflows(), 2);
     }
 
     #[test]
     fn capacity_frees_on_remove() {
         let mut s = RegionStore::new(1);
-        let id = match s.add(page(0), page(1)) {
-            AddRegion::Added(id) => id,
-            AddRegion::Overflow => panic!(),
-        };
+        let id = added(s.add(page(0), page(1)));
         s.remove(id);
         assert!(matches!(s.add(page(5), page(6)), AddRegion::Added(_)));
     }
@@ -285,10 +346,7 @@ mod tests {
     #[test]
     fn peak_tracks_maximum() {
         let mut s = RegionStore::new(8);
-        let a = match s.add(page(0), page(1)) {
-            AddRegion::Added(id) => id,
-            _ => panic!(),
-        };
+        let a = added(s.add(page(0), page(1)));
         s.add(page(1), page(2));
         assert_eq!(s.peak(), 2);
         s.remove(a);
@@ -298,16 +356,45 @@ mod tests {
     #[test]
     fn overlapping_regions_keep_page_ward_after_one_removal() {
         let mut s = RegionStore::new(8);
-        let a = match s.add(page(0), page(2)) {
-            AddRegion::Added(id) => id,
-            _ => panic!(),
-        };
+        let a = added(s.add(page(0), page(2)));
         // Second region overlaps page 1.
         s.add(page(1), page(3));
         s.remove(a);
         // Page 1 is still covered by the second region.
         assert!(s.contains(page(1)));
         assert!(!s.contains(page(0)));
+    }
+
+    #[test]
+    fn overlap_reassignment_picks_lowest_live_id_deterministically() {
+        // Three regions all cover page 5; the owner is the first. Removing
+        // it must hand the page to the lowest *live* id — and two stores
+        // built identically must agree exactly (the old hash-map scan chose
+        // an arbitrary covering region per store instance).
+        let build = || {
+            let mut s = RegionStore::new(8);
+            let a = added(s.add(page(5), page(6))); // owner
+            let b = added(s.add(page(4), page(7)));
+            let c = added(s.add(page(5), page(8)));
+            (s, a, b, c)
+        };
+        let (mut s1, a1, b1, _) = build();
+        let (mut s2, a2, b2, _) = build();
+        s1.remove(a1);
+        s2.remove(a2);
+        assert_eq!(s1.region_of(page(5)), Some(b1), "lowest live id wins");
+        assert_eq!(s1.region_of(page(5)), s2.region_of(page(5)));
+        let encode = |s: &RegionStore| {
+            let mut enc = Encoder::new();
+            s.encode_into(&mut enc);
+            enc.into_bytes()
+        };
+        assert_eq!(encode(&s1), encode(&s2), "stores must be bit-identical");
+        // Removing the new owner promotes the next-lowest covering region.
+        s1.remove(b1);
+        s2.remove(b2);
+        assert_eq!(s1.region_of(page(5)), s2.region_of(page(5)));
+        assert!(s1.contains(page(5)), "third region still covers the page");
     }
 
     #[test]
@@ -326,12 +413,23 @@ mod tests {
     }
 
     #[test]
+    fn epoch_advances_only_on_mutation() {
+        let mut s = RegionStore::new(1);
+        let e0 = s.epoch();
+        assert!(!s.contains(page(0)) && s.epoch() == e0);
+        let id = added(s.add(page(0), page(1)));
+        let e1 = s.epoch();
+        assert_ne!(e1, e0);
+        assert_eq!(s.add(page(1), page(2)), AddRegion::Overflow);
+        assert_eq!(s.epoch(), e1, "a rejected add changes no mapping");
+        s.remove(id);
+        assert_ne!(s.epoch(), e1);
+    }
+
+    #[test]
     fn codec_roundtrip_preserves_cam_state() {
         let mut s = RegionStore::new(8);
-        let a = match s.add(page(0), page(2)) {
-            AddRegion::Added(id) => id,
-            _ => panic!(),
-        };
+        let a = added(s.add(page(0), page(2)));
         s.add(page(1), page(3));
         s.add(page(10), page(11));
         s.remove(a);
@@ -344,6 +442,7 @@ mod tests {
         assert_eq!(back.capacity(), s.capacity());
         assert_eq!(back.len(), s.len());
         assert_eq!(back.peak(), s.peak());
+        assert_eq!(back.overflows(), s.overflows());
         assert_eq!(back.next_id, s.next_id);
         assert_eq!(back.contains(page(1)), s.contains(page(1)));
         assert_eq!(back.contains(page(0)), s.contains(page(0)));
@@ -359,10 +458,30 @@ mod tests {
         enc.put_u64(4); // capacity
         enc.put_u64(7); // next_id
         enc.put_u64(0); // peak
+        enc.put_u64(0); // overflows
         enc.put_u64(0); // no regions
         enc.put_u64(1); // one page entry...
         enc.put_u64(0);
         enc.put_u64(3); // ...pointing at a region that does not exist
+        let bytes = enc.into_bytes();
+        assert!(RegionStore::decode_from(&mut Decoder::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn codec_rejects_out_of_order_region_ids() {
+        let mut enc = Encoder::new();
+        enc.put_u64(4); // capacity
+        enc.put_u64(7); // next_id
+        enc.put_u64(0); // peak
+        enc.put_u64(0); // overflows
+        enc.put_u64(2); // two regions, ids descending
+        enc.put_u64(5);
+        enc.put_u64(0);
+        enc.put_u64(PAGE_SIZE);
+        enc.put_u64(2);
+        enc.put_u64(PAGE_SIZE);
+        enc.put_u64(2 * PAGE_SIZE);
+        enc.put_u64(0); // no pages
         let bytes = enc.into_bytes();
         assert!(RegionStore::decode_from(&mut Decoder::new(&bytes)).is_err());
     }

@@ -17,8 +17,8 @@ use crate::state::{DirState, LlcLine, PrivLine, PrivState, Protocol};
 use crate::stats::CoherenceStats;
 use crate::topo::{CoreId, LatencyModel, SocketId, Topology};
 use warden_mem::{
-    Addr, BlockAddr, BlockData, CacheArray, CacheGeometry, Memory, PageAddr, WriteMask, BLOCK_SIZE,
-    PAGE_SIZE,
+    Addr, BlockAddr, BlockData, CacheArray, CacheGeometry, Memory, PageAddr, Slot, WriteMask,
+    BLOCK_SIZE, PAGE_SIZE,
 };
 
 /// Cache geometries for the simulated machine.
@@ -167,8 +167,18 @@ pub struct CoherenceSystem {
     stats: CoherenceStats,
     /// Per-page bitmask of blocks whose directory state is Owned or Ward —
     /// the blocks a Remove-Region walk must visit. Keeps reconciliation cost
-    /// proportional to dirty blocks rather than region size.
-    dir_pages: std::collections::HashMap<warden_mem::PageAddr, u64>,
+    /// proportional to dirty blocks rather than region size. Flat-indexed
+    /// by page ([`warden_mem::PageMap`]): `note_dir` runs on essentially
+    /// every directory transition.
+    dir_pages: warden_mem::PageMap<u64>,
+    /// Per-core last-page region-lookup cache (the core-side region CAM of
+    /// paper §6.2): each entry memoizes "was my last page WARD?" and is
+    /// revalidated against the region store's epoch. Derived state — never
+    /// serialized, reset on restore.
+    region_cache: Vec<RegionCache>,
+    /// Reusable page buffer for reconciliation walks (avoids a fresh
+    /// allocation per forced walk).
+    scratch_pages: Vec<PageAddr>,
     /// Write-mask sector granularity in bytes (see [`CacheConfig`]).
     sector_bytes: u64,
     /// Optional directory-transition recorder (see [`Self::enable_dir_log`]).
@@ -177,6 +187,16 @@ pub struct CoherenceSystem {
     check: Option<InvariantChecker>,
     /// Injected protocol defects (see [`Self::inject_mutation`]).
     mutations: MutationSet,
+}
+
+/// One core's memoized region lookup: valid while `epoch` matches the
+/// region store's mutation epoch (store epochs start at 1, so the default
+/// entry never validates).
+#[derive(Clone, Copy, Debug, Default)]
+struct RegionCache {
+    epoch: u64,
+    page: warden_mem::PageAddr,
+    ward: bool,
 }
 
 /// The `[start, len)` byte range a write of `len` bytes at `offset` marks in
@@ -295,7 +315,9 @@ impl CoherenceSystem {
             regions: RegionStore::new(cfg.region_capacity),
             memory: Memory::new(),
             stats: CoherenceStats::new(),
-            dir_pages: std::collections::HashMap::new(),
+            dir_pages: warden_mem::PageMap::new(),
+            region_cache: vec![RegionCache::default(); topo.num_cores()],
+            scratch_pages: Vec::new(),
             sector_bytes: cfg.sector_bytes,
             dir_log: None,
             check: None,
@@ -340,13 +362,13 @@ impl CoherenceSystem {
         let bit = 1u64 << (block.0 % warden_mem::PageAddr::blocks_per_page());
         match dir {
             DirState::Owned(_) | DirState::Ward(_) => {
-                *self.dir_pages.entry(page).or_insert(0) |= bit;
+                *self.dir_pages.or_insert_with(page, || 0) |= bit;
             }
             DirState::Uncached | DirState::Shared(_) => {
-                if let Some(mask) = self.dir_pages.get_mut(&page) {
+                if let Some(mask) = self.dir_pages.get_mut(page) {
                     *mask &= !bit;
                     if *mask == 0 {
-                        self.dir_pages.remove(&page);
+                        self.dir_pages.remove(page);
                     }
                 }
             }
@@ -409,6 +431,11 @@ impl CoherenceSystem {
     /// last check. Called at the end of every public mutating operation;
     /// a no-op unless the checker is enabled.
     fn run_checks(&mut self) {
+        // Fast exit before the `take`: moving the whole checker out and back
+        // is a struct-sized memcpy, and this runs after *every* access.
+        if self.check.is_none() {
+            return;
+        }
         let Some(mut chk) = self.check.take() else {
             return;
         };
@@ -635,6 +662,14 @@ impl CoherenceSystem {
         &self.memory
     }
 
+    /// Take the backing memory out of the system, leaving an empty one
+    /// behind. Intended for end-of-run accounting after [`Self::flush_all`]:
+    /// moving the final multi-megabyte image is free where cloning it is
+    /// not. The system is incoherent afterwards and should be discarded.
+    pub fn take_memory(&mut self) -> Memory {
+        std::mem::replace(&mut self.memory, Memory::new())
+    }
+
     /// Install initial memory contents (e.g. preloaded benchmark inputs).
     ///
     /// # Panics
@@ -675,12 +710,13 @@ impl CoherenceSystem {
         self.regions.encode_into(enc);
         self.memory.encode_into(enc);
         self.stats.encode_into(enc);
-        let mut dir_pages: Vec<(&PageAddr, &u64)> = self.dir_pages.iter().collect();
-        dir_pages.sort_by_key(|(p, _)| **p);
+        let mut dir_pages: Vec<(PageAddr, u64)> =
+            self.dir_pages.iter().map(|(p, &m)| (p, m)).collect();
+        dir_pages.sort_by_key(|&(p, _)| p);
         enc.put_usize(dir_pages.len());
         for (page, mask) in dir_pages {
             enc.put_u64(page.0);
-            enc.put_u64(*mask);
+            enc.put_u64(mask);
         }
         match &self.dir_log {
             Some(log) => {
@@ -759,7 +795,7 @@ impl CoherenceSystem {
         let memory = Memory::decode_from(dec)?;
         let stats = CoherenceStats::decode_from(dec)?;
         let ndp = dec.take_count(16)?;
-        let mut dir_pages = std::collections::HashMap::with_capacity(ndp);
+        let mut dir_pages = warden_mem::PageMap::new();
         for _ in 0..ndp {
             let page = PageAddr(dec.take_u64()?);
             let mask = dec.take_u64()?;
@@ -795,6 +831,9 @@ impl CoherenceSystem {
         self.dir_pages = dir_pages;
         self.dir_log = dir_log;
         self.check = check;
+        // The per-core region caches are derived from the replaced store;
+        // the defaults never validate against any epoch, forcing re-lookup.
+        self.region_cache.fill(RegionCache::default());
         Ok(())
     }
 
@@ -826,6 +865,24 @@ impl CoherenceSystem {
     fn invalidate_priv(&mut self, core: CoreId, block: BlockAddr) -> Option<PrivLine> {
         self.cores[core].l1.invalidate(block);
         self.cores[core].l2.invalidate(block)
+    }
+
+    /// [`Self::invalidate_priv`] fused with the per-level hit count the
+    /// stats charge (what `levels()` before the removal would have said) —
+    /// one pass over each cache instead of a count pass plus a removal pass.
+    fn invalidate_priv_counted(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+    ) -> (u64, Option<PrivLine>) {
+        let in_l1 = self.cores[core].l1.invalidate(block).is_some();
+        let line = self.cores[core].l2.invalidate(block);
+        let levels = match (line.is_some(), in_l1) {
+            (true, true) => 2,
+            (true, false) => 1,
+            (false, _) => 0,
+        };
+        (levels, line)
     }
 
     /// Install a line in a core's private hierarchy, handling the L2 victim.
@@ -915,11 +972,14 @@ impl CoherenceSystem {
     // ----- LLC plumbing ---------------------------------------------------
 
     /// Make sure the home LLC slice holds `block`, fetching from memory on a
-    /// miss. Adds any memory latency to `*t`.
-    fn llc_ensure(&mut self, home: SocketId, block: BlockAddr, t: &mut u64) {
-        if self.llcs[home].get(block).is_some() {
+    /// miss. Adds any memory latency to `*t`. Returns the line's [`Slot`] so
+    /// the caller can finish the transaction without re-scanning the set —
+    /// valid because no directory transaction inserts or removes another
+    /// line in the home slice between here and its final state write.
+    fn llc_ensure(&mut self, home: SocketId, block: BlockAddr, t: &mut u64) -> Slot {
+        if let Some(slot) = self.llcs[home].get_slot(block) {
             self.stats.llc_hits += 1;
-            return;
+            return slot;
         }
         self.stats.llc_misses += 1;
         self.stats.dram_reads += 1;
@@ -929,6 +989,7 @@ impl CoherenceSystem {
         if let Some(v) = victim {
             self.handle_llc_eviction(home, v.block, v.payload);
         }
+        self.llcs[home].locate(block).expect("just inserted")
     }
 
     /// An (inclusive) LLC victim: pull and invalidate all private copies,
@@ -939,9 +1000,10 @@ impl CoherenceSystem {
         match line.dir {
             DirState::Uncached => {}
             DirState::Owned(o) => {
-                self.stats.inclusion_invalidations += self.cores[o].levels(block);
+                let (levels, invalidated) = self.invalidate_priv_counted(o, block);
+                self.stats.inclusion_invalidations += levels;
                 self.ctrl_msg(home, self.topo.socket_of(o));
-                if let Some(p) = self.invalidate_priv(o, block) {
+                if let Some(p) = invalidated {
                     if p.state == PrivState::Modified {
                         line.data = p.data;
                         line.dirty = true;
@@ -951,16 +1013,17 @@ impl CoherenceSystem {
             }
             DirState::Shared(s) => {
                 for o in DirState::cores_in(s) {
-                    self.stats.inclusion_invalidations += self.cores[o].levels(block);
+                    let (levels, _) = self.invalidate_priv_counted(o, block);
+                    self.stats.inclusion_invalidations += levels;
                     self.ctrl_msg(home, self.topo.socket_of(o));
-                    self.invalidate_priv(o, block);
                 }
             }
             DirState::Ward(copies) => {
                 for o in DirState::cores_in(copies) {
-                    self.stats.inclusion_invalidations += self.cores[o].levels(block);
+                    let (levels, invalidated) = self.invalidate_priv_counted(o, block);
+                    self.stats.inclusion_invalidations += levels;
                     self.ctrl_msg(home, self.topo.socket_of(o));
-                    if let Some(p) = self.invalidate_priv(o, block) {
+                    if let Some(p) = invalidated {
                         if !p.mask.is_empty() {
                             line.data.merge_from(&p.data, p.mask);
                             line.dirty = true;
@@ -1162,17 +1225,17 @@ impl CoherenceSystem {
     fn store_inner(&mut self, core: CoreId, addr: Addr, val: WriteVal<'_>) -> u64 {
         let block = addr.block();
         let offset = addr.block_offset();
+        let sector_bytes = self.sector_bytes;
         // Writable hit in the private hierarchy?
-        let in_l1 = self.cores[core].l1.peek(block).is_some();
+        let l1_slot = self.cores[core].l1.locate(block);
         if let Some(line) = self.cores[core].l2.get_mut(block) {
             if line.state.writable() {
                 line.state = PrivState::Modified;
                 val.apply(&mut line.data, offset);
-                let (ms, ml) = sector_range(self.sector_bytes, offset, val.len());
-                let line = self.cores[core].l2.peek_mut(block).expect("present");
+                let (ms, ml) = sector_range(sector_bytes, offset, val.len());
                 line.mask.set_range(ms, ml);
-                if in_l1 {
-                    self.cores[core].l1.get(block); // LRU touch
+                if let Some(slot) = l1_slot {
+                    self.cores[core].l1.touch(slot); // LRU promote, no rescan
                     self.stats.l1_hits += 1;
                     return self.lat.l1;
                 }
@@ -1220,8 +1283,7 @@ impl CoherenceSystem {
         );
         self.stats.rmws += 1;
         let block = addr.block();
-        let in_ward_region =
-            self.protocol == Protocol::Warden && self.regions.contains_block(block);
+        let in_ward_region = self.in_ward_region(core, block);
         if in_ward_region {
             let home = self.topo.home_of(block);
             match self.llcs[home].peek(block).map(|l| l.dir) {
@@ -1260,11 +1322,11 @@ impl CoherenceSystem {
         let mut t = self.lat.l3 + self.xs(csock, home);
         self.ctrl_msg(csock, home);
         self.stats.dir_lookups += 1;
-        self.llc_ensure(home, block, &mut t);
+        let slot = self.llc_ensure(home, block, &mut t);
 
-        let ward_now = self.protocol == Protocol::Warden && self.regions.contains_block(block);
+        let ward_now = self.in_ward_region(core, block);
         let (dir, llc_data) = {
-            let l = self.llcs[home].peek(block).expect("just ensured");
+            let l = self.llcs[home].at(slot);
             (l.dir, l.data)
         };
 
@@ -1293,8 +1355,9 @@ impl CoherenceSystem {
             };
             self.stats.ward_serves += 1;
             let new = copies | DirState::bit(core);
-            let data = self.llcs[home].peek(block).expect("present").data;
-            self.llcs[home].peek_mut(block).expect("present").dir = DirState::Ward(new);
+            let line = self.llcs[home].at_mut(slot);
+            line.dir = DirState::Ward(new);
+            let data = line.data;
             self.note_dir(block, DirState::Ward(new));
             self.data_msg(home, csock);
             self.fill_private(core, block, PrivLine::filled(PrivState::Exclusive, data));
@@ -1306,8 +1369,9 @@ impl CoherenceSystem {
                 // Region is gone but the block is still W (possible with
                 // overlapping regions): reconcile, then retry coherently.
                 self.reconcile_block(home, block);
-                let data = self.llcs[home].peek(block).expect("present").data;
-                self.llcs[home].peek_mut(block).expect("present").dir = DirState::Owned(core);
+                let line = self.llcs[home].at_mut(slot);
+                line.dir = DirState::Owned(core);
+                let data = line.data;
                 self.note_dir(block, DirState::Owned(core));
                 self.data_msg(home, csock);
                 self.fill_private(core, block, PrivLine::filled(PrivState::Exclusive, data));
@@ -1321,15 +1385,14 @@ impl CoherenceSystem {
                 } else {
                     (DirState::Owned(core), PrivState::Exclusive)
                 };
-                self.llcs[home].peek_mut(block).expect("present").dir = dir;
+                self.llcs[home].at_mut(slot).dir = dir;
                 self.note_dir(block, dir);
                 self.data_msg(home, csock);
                 self.fill_private(core, block, PrivLine::filled(fill, llc_data));
                 t
             }
             DirState::Shared(s) => {
-                self.llcs[home].peek_mut(block).expect("present").dir =
-                    DirState::Shared(s | DirState::bit(core));
+                self.llcs[home].at_mut(slot).dir = DirState::Shared(s | DirState::bit(core));
                 self.note_dir(block, DirState::Shared(0));
                 self.data_msg(home, csock);
                 self.fill_private(core, block, PrivLine::filled(PrivState::Shared, llc_data));
@@ -1341,10 +1404,12 @@ impl CoherenceSystem {
                 // Fwd-GetS: intervention at the owner, who downgrades.
                 self.stats.fwd_gets += 1;
                 self.ctrl_msg(home, osock);
-                self.stats.downgrades += self.cores[o].levels(block);
                 t += self.lat.fwd + self.xs(home, osock) + self.xs(osock, csock);
                 let mut data = llc_data;
-                if let Some(line) = self.cores[o].l2.peek_mut(block) {
+                let in_l1 = u64::from(self.cores[o].l1.peek(block).is_some());
+                if let Some(l2_slot) = self.cores[o].l2.locate(block) {
+                    self.stats.downgrades += 1 + in_l1;
+                    let line = self.cores[o].l2.at_mut(l2_slot);
                     if line.state == PrivState::Modified {
                         data = line.data;
                         line.mask = warden_mem::WriteMask::empty();
@@ -1353,7 +1418,7 @@ impl CoherenceSystem {
                 }
                 // Dirty data goes both to the requestor and back to the LLC.
                 let wrote_back = {
-                    let llc = self.llcs[home].peek_mut(block).expect("present");
+                    let llc = self.llcs[home].at_mut(slot);
                     let changed = data != llc.data;
                     if changed {
                         llc.data = data;
@@ -1390,13 +1455,11 @@ impl CoherenceSystem {
         let mut t = self.lat.l3 + self.xs(csock, home);
         self.ctrl_msg(csock, home);
         self.stats.dir_lookups += 1;
-        self.llc_ensure(home, block, &mut t);
+        let slot = self.llc_ensure(home, block, &mut t);
 
-        let ward_now = !coherent_only
-            && self.protocol == Protocol::Warden
-            && self.regions.contains_block(block);
+        let ward_now = !coherent_only && self.in_ward_region(core, block);
         let (dir, llc_data) = {
-            let l = self.llcs[home].peek(block).expect("just ensured");
+            let l = self.llcs[home].at(slot);
             (l.dir, l.data)
         };
 
@@ -1424,8 +1487,9 @@ impl CoherenceSystem {
             };
             self.stats.ward_serves += 1;
             let new = copies | DirState::bit(core);
-            let fresh = self.llcs[home].peek(block).expect("present").data;
-            self.llcs[home].peek_mut(block).expect("present").dir = DirState::Ward(new);
+            let line = self.llcs[home].at_mut(slot);
+            line.dir = DirState::Ward(new);
+            let fresh = line.data;
             self.note_dir(block, DirState::Ward(new));
             // The requester may already hold an S copy (upgrade-in-region):
             // write in place; otherwise fill from the LLC.
@@ -1454,7 +1518,7 @@ impl CoherenceSystem {
                 self.get_modified(core, block, offset, val, coherent_only)
             }
             DirState::Uncached => {
-                self.llcs[home].peek_mut(block).expect("present").dir = DirState::Owned(core);
+                self.llcs[home].at_mut(slot).dir = DirState::Owned(core);
                 self.note_dir(block, DirState::Owned(core));
                 self.data_msg(home, csock);
                 let mut line = PrivLine::filled(PrivState::Modified, llc_data);
@@ -1469,17 +1533,17 @@ impl CoherenceSystem {
                 let mut max_cross = 0;
                 for o in DirState::cores_in(others) {
                     let osock = self.topo.socket_of(o);
-                    self.stats.invalidations += self.cores[o].levels(block);
+                    let (levels, _) = self.invalidate_priv_counted(o, block);
+                    self.stats.invalidations += levels;
                     self.stats.inv_msgs += 1;
                     self.ctrl_msg(home, osock);
                     self.ctrl_msg(osock, home); // Inv-Ack
                     max_cross = max_cross.max(self.xs(home, osock));
-                    self.invalidate_priv(o, block);
                 }
                 if others != 0 {
                     t += self.lat.fwd + max_cross;
                 }
-                self.llcs[home].peek_mut(block).expect("present").dir = DirState::Owned(core);
+                self.llcs[home].at_mut(slot).dir = DirState::Owned(core);
                 self.note_dir(block, DirState::Owned(core));
                 if s & DirState::bit(core) != 0 {
                     // Upgrade in place (S→M), data already present.
@@ -1506,11 +1570,12 @@ impl CoherenceSystem {
                 let osock = self.topo.socket_of(o);
                 self.stats.fwd_getm += 1;
                 self.ctrl_msg(home, osock);
-                self.stats.invalidations += self.cores[o].levels(block);
                 t += self.lat.fwd + self.xs(home, osock) + self.xs(osock, csock);
                 let mut fill = llc_data;
                 let mut was_dirty = false;
-                if let Some(p) = self.invalidate_priv(o, block) {
+                let (levels, invalidated) = self.invalidate_priv_counted(o, block);
+                self.stats.invalidations += levels;
+                if let Some(p) = invalidated {
                     if p.state == PrivState::Modified {
                         fill = p.data;
                         was_dirty = true;
@@ -1522,7 +1587,7 @@ impl CoherenceSystem {
                     // the LLC copy: dirty ownership transfers also refresh
                     // the LLC (so every line's write mask describes exactly
                     // its dirtiness relative to the LLC).
-                    let llc = self.llcs[home].peek_mut(block).expect("present");
+                    let llc = self.llcs[home].at_mut(slot);
                     if was_dirty {
                         llc.data = fill;
                         llc.dirty = true;
@@ -1609,11 +1674,37 @@ impl CoherenceSystem {
             }
             AddRegion::Overflow => {
                 self.stats.region_overflows += 1;
+                debug_assert_eq!(
+                    self.stats.region_overflows,
+                    self.regions.overflows(),
+                    "every rejected add flows through here, so the stat and \
+                     the store's own pressure counter must agree"
+                );
                 None
             }
         };
         self.run_checks();
         id
+    }
+
+    /// Whether `block` lies in an active WARD region, answered through
+    /// `core`'s cached last-page lookup (the paper's core-side region CAM,
+    /// §6.2): spatial locality makes consecutive accesses hit the same
+    /// page, so most queries never reach the store.
+    #[inline]
+    fn in_ward_region(&mut self, core: CoreId, block: BlockAddr) -> bool {
+        if self.protocol != Protocol::Warden {
+            return false;
+        }
+        let page = block.page();
+        let epoch = self.regions.epoch();
+        let entry = &mut self.region_cache[core];
+        if entry.epoch == epoch && entry.page == page {
+            return entry.ward;
+        }
+        let ward = self.regions.contains_block(block);
+        *entry = RegionCache { epoch, page, ward };
+        ward
     }
 
     /// Execute a Remove-Region instruction: deactivate the region and
@@ -1638,7 +1729,7 @@ impl CoherenceSystem {
             }
             // Visit only blocks the dirty index says have an Owned/Ward
             // directory entry.
-            let Some(mask) = self.dir_pages.get(&page).copied() else {
+            let Some(mask) = self.dir_pages.get(page).copied() else {
                 continue;
             };
             let first = page.first_block();
@@ -1661,16 +1752,18 @@ impl CoherenceSystem {
     /// the fault injector uses it to stress reconciliation mid-region.
     /// Returns the latency such a forced walk would charge.
     pub fn force_reconcile(&mut self, start: Addr, end: Addr) -> u64 {
-        let mut pages: Vec<PageAddr> = self
-            .dir_pages
-            .keys()
-            .copied()
-            .filter(|p| p.base() < end && p.base() + PAGE_SIZE > start)
-            .collect();
+        let mut pages = std::mem::take(&mut self.scratch_pages);
+        pages.clear();
+        pages.extend(
+            self.dir_pages
+                .iter()
+                .map(|(p, _)| p)
+                .filter(|p| p.base() < end && p.base() + PAGE_SIZE > start),
+        );
         pages.sort_unstable();
         let mut processed = 0;
-        for page in pages {
-            let Some(mask) = self.dir_pages.get(&page).copied() else {
+        for &page in &pages {
+            let Some(mask) = self.dir_pages.get(page).copied() else {
                 continue;
             };
             let first = page.first_block();
@@ -1685,6 +1778,8 @@ impl CoherenceSystem {
                 processed += 1;
             }
         }
+        pages.clear();
+        self.scratch_pages = pages;
         self.run_checks();
         self.lat.region_instr + processed * self.lat.reconcile_per_block
     }
@@ -1806,13 +1901,27 @@ impl CoherenceSystem {
         else {
             return;
         };
-        let holders: Vec<CoreId> = match dir {
+        // Copy holders into a stack buffer (≤ 64 cores by construction —
+        // the sharer bitmask is a u64): reconciliation runs once per dirty
+        // block on every region removal, so no per-block allocation.
+        let mut holder_buf = [0 as CoreId; 64];
+        let holders: &[CoreId] = match dir {
             DirState::Uncached => return,
-            DirState::Owned(o) => vec![o],
+            DirState::Owned(o) => {
+                holder_buf[0] = o;
+                &holder_buf[..1]
+            }
             // Clean shared copies are already coherent and complete:
             // reconciliation has nothing to do.
             DirState::Shared(_) => return,
-            DirState::Ward(c) => DirState::cores_in(c).collect(),
+            DirState::Ward(c) => {
+                let mut n = 0;
+                for o in DirState::cores_in(c) {
+                    holder_buf[n] = o;
+                    n += 1;
+                }
+                &holder_buf[..n]
+            }
         };
         if holders.is_empty() {
             self.llcs[home].peek_mut(block).expect("present").dir = DirState::Uncached;
@@ -1860,7 +1969,7 @@ impl CoherenceSystem {
             }
             return;
         }
-        for o in holders {
+        for &o in holders {
             let osock = self.topo.socket_of(o);
             if let Some(p) = self.invalidate_priv(o, block) {
                 let merge = if p.mask.is_empty() {
@@ -1908,14 +2017,19 @@ impl CoherenceSystem {
             chk.reset_state();
         }
         // Private caches first (core order = deterministic WAW resolution).
+        // Split borrows let each drained line settle inside the drain
+        // callback itself — no intermediate line buffer (whole-LLC copies
+        // used to dominate end-of-run time on large images).
+        let topo = self.topo;
         for core in 0..self.cores.len() {
-            let csock = self.topo.socket_of(core);
-            let mut drained: Vec<(BlockAddr, PrivLine)> = Vec::new();
+            let csock = topo.socket_of(core);
             self.cores[core].l1.drain_all(|_, _| {});
-            self.cores[core].l2.drain_all(|b, l| drained.push((b, l)));
-            for (block, line) in drained {
-                let home = self.topo.home_of(block);
-                if let Some(llc) = self.llcs[home].peek_mut(block) {
+            let llcs = &mut self.llcs;
+            let memory = &mut self.memory;
+            let stats = &mut self.stats;
+            self.cores[core].l2.drain_all(|block, line| {
+                let home = topo.home_of(block);
+                if let Some(llc) = llcs[home].peek_mut(block) {
                     let mut wrote = false;
                     if !line.mask.is_empty() {
                         llc.data.merge_from(&line.data, line.mask);
@@ -1924,28 +2038,32 @@ impl CoherenceSystem {
                     }
                     llc.dir = DirState::Uncached;
                     if wrote {
-                        self.stats.writebacks += 1;
-                        self.data_msg(csock, home);
+                        stats.writebacks += 1;
+                        if csock == home {
+                            stats.data_intra += 1;
+                        } else {
+                            stats.data_inter += 1;
+                        }
                     }
                 } else if !line.mask.is_empty() {
-                    let mut blk = self.memory.read_block(block);
+                    let mut blk = memory.read_block(block);
                     blk.merge_from(&line.data, line.mask);
-                    self.memory.write_block(block, &blk);
-                    self.stats.writebacks += 1;
-                    self.stats.dram_writes += 1;
+                    memory.write_block(block, &blk);
+                    stats.writebacks += 1;
+                    stats.dram_writes += 1;
                 }
-            }
+            });
         }
-        for socket in 0..self.llcs.len() {
-            let mut drained: Vec<(BlockAddr, LlcLine)> = Vec::new();
-            self.llcs[socket].drain_all(|b, l| drained.push((b, l)));
-            for (block, line) in drained {
+        let memory = &mut self.memory;
+        let stats = &mut self.stats;
+        for llc in &mut self.llcs {
+            llc.drain_all(|block, line| {
                 if line.dirty {
-                    self.memory.write_block(block, &line.data);
-                    self.stats.llc_writebacks += 1;
-                    self.stats.dram_writes += 1;
+                    memory.write_block(block, &line.data);
+                    stats.llc_writebacks += 1;
+                    stats.dram_writes += 1;
                 }
-            }
+            });
         }
     }
 

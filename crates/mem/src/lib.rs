@@ -39,11 +39,13 @@ mod block;
 pub mod codec;
 mod geometry;
 mod memory;
+mod pagemap;
 mod sector;
 
 pub use addr::{Addr, BlockAddr, PageAddr, BLOCK_SHIFT, BLOCK_SIZE, PAGE_SHIFT, PAGE_SIZE};
-pub use array::{CacheArray, Evicted, LookupMut};
+pub use array::{CacheArray, Evicted, LookupMut, Slot};
 pub use block::BlockData;
 pub use geometry::CacheGeometry;
 pub use memory::Memory;
+pub use pagemap::PageMap;
 pub use sector::WriteMask;

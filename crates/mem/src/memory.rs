@@ -1,8 +1,7 @@
 //! Sparse backing memory holding real data bytes.
 
 use crate::codec::{CodecError, Decoder, Encoder};
-use crate::{Addr, BlockAddr, BlockData, PageAddr, BLOCK_SIZE, PAGE_SIZE};
-use std::collections::HashMap;
+use crate::{Addr, BlockAddr, BlockData, PageAddr, PageMap, BLOCK_SIZE, PAGE_SIZE};
 use std::fmt;
 
 /// A sparse, page-granular simulated main memory.
@@ -24,7 +23,9 @@ use std::fmt;
 /// ```
 #[derive(Clone, Default)]
 pub struct Memory {
-    pages: HashMap<PageAddr, Box<[u8; PAGE_SIZE as usize]>>,
+    /// Flat page table: dense over the program's address span, spilling to
+    /// a hash map only for far outliers (see [`PageMap`]).
+    pages: PageMap<Box<[u8; PAGE_SIZE as usize]>>,
 }
 
 impl Memory {
@@ -40,8 +41,7 @@ impl Memory {
 
     fn page_mut(&mut self, page: PageAddr) -> &mut [u8; PAGE_SIZE as usize] {
         self.pages
-            .entry(page)
-            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
+            .or_insert_with(page, || Box::new([0; PAGE_SIZE as usize]))
     }
 
     /// Read `dst.len()` bytes starting at `addr`. May cross page boundaries.
@@ -51,7 +51,7 @@ impl Memory {
         while done < dst.len() {
             let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
             let n = in_page.min(dst.len() - done);
-            match self.pages.get(&cur.page()) {
+            match self.pages.get(cur.page()) {
                 Some(p) => {
                     let off = cur.page_offset() as usize;
                     dst[done..done + n].copy_from_slice(&p[off..off + n]);
@@ -120,33 +120,52 @@ impl Memory {
             .pages
             .iter()
             .filter(|(_, data)| data.iter().any(|&b| b != 0))
-            .map(|(&p, data)| (p, &**data))
+            .map(|(p, data)| (p, &**data))
             .collect();
         out.sort_by_key(|&(p, _)| p);
         out
     }
 
-    /// A content digest of the memory image (FNV-1a over resident pages in
-    /// address order, skipping all-zero pages so that an untouched page and
-    /// an absent page hash identically). Two memories with equal digests are
-    /// equal with overwhelming probability; use [`Self::first_difference`]
-    /// for an exact check.
+    /// A content digest of the memory image (FNV-1a folded over 64-bit
+    /// little-endian words of each resident page in address order, skipping
+    /// all-zero pages so that an untouched page and an absent page hash
+    /// identically). Hashing word-at-a-time instead of byte-at-a-time makes
+    /// the digest ~8× cheaper — it dominates end-of-run accounting on
+    /// multi-megabyte images. Two memories with equal digests are equal
+    /// with overwhelming probability; use [`Self::first_difference`] for an
+    /// exact check.
     pub fn digest(&self) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x1000_0000_01b3;
-        let mut pages: Vec<&PageAddr> = self.pages.keys().collect();
-        pages.sort();
+        let mut pages: Vec<(PageAddr, &[u8; PAGE_SIZE as usize])> =
+            self.pages.iter().map(|(p, data)| (p, &**data)).collect();
+        pages.sort_by_key(|&(p, _)| p);
         let mut h = FNV_OFFSET;
-        for p in pages {
-            let data = &self.pages[p];
-            if data.iter().all(|&b| b == 0) {
+        for (p, data) in pages {
+            // PAGE_SIZE is a multiple of 32, so the page splits exactly into
+            // groups of four u64 words.
+            let words = data
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+            if words.clone().all(|w| w == 0) {
                 continue;
             }
-            for b in p.0.to_le_bytes() {
-                h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+            h = (h ^ p.0).wrapping_mul(FNV_PRIME);
+            // Four independent FNV lanes folded at the end: a single chain is
+            // one dependent multiply per word, and its latency alone is a
+            // visible slice of a multi-megabyte final-image hash.
+            let mut lanes = [h, h ^ FNV_PRIME, h.rotate_left(17), h.rotate_left(43)];
+            let mut it = words;
+            while let (Some(a), Some(b), Some(c), Some(d)) =
+                (it.next(), it.next(), it.next(), it.next())
+            {
+                lanes[0] = (lanes[0] ^ a).wrapping_mul(FNV_PRIME);
+                lanes[1] = (lanes[1] ^ b).wrapping_mul(FNV_PRIME);
+                lanes[2] = (lanes[2] ^ c).wrapping_mul(FNV_PRIME);
+                lanes[3] = (lanes[3] ^ d).wrapping_mul(FNV_PRIME);
             }
-            for &b in data.iter() {
-                h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+            for lane in lanes {
+                h = (h ^ lane).wrapping_mul(FNV_PRIME);
             }
         }
         h
@@ -158,19 +177,20 @@ impl Memory {
     /// semantically equal — a checkpointed run must resume with the exact
     /// page map it was snapshotted with.
     pub fn encode_into(&self, enc: &mut Encoder) {
-        let mut pages: Vec<&PageAddr> = self.pages.keys().collect();
-        pages.sort();
+        let mut pages: Vec<(PageAddr, &[u8; PAGE_SIZE as usize])> =
+            self.pages.iter().map(|(p, data)| (p, &**data)).collect();
+        pages.sort_by_key(|&(p, _)| p);
         enc.put_usize(pages.len());
-        for p in pages {
+        for (p, data) in pages {
             enc.put_u64(p.0);
-            enc.put_raw(&self.pages[p][..]);
+            enc.put_raw(&data[..]);
         }
     }
 
     /// Decode a memory image produced by [`Self::encode_into`].
     pub fn decode_from(dec: &mut Decoder<'_>) -> Result<Memory, CodecError> {
         let n = dec.take_count(8 + PAGE_SIZE as usize)?;
-        let mut pages = HashMap::with_capacity(n);
+        let mut pages = PageMap::new();
         let mut last: Option<u64> = None;
         for _ in 0..n {
             let addr = dec.take_u64()?;

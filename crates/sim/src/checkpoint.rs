@@ -55,7 +55,14 @@ use warden_rt::TraceProgram;
 /// Magic bytes opening every checkpoint file.
 pub const MAGIC: [u8; 8] = *b"WARDCKPT";
 /// Current checkpoint format version.
-pub const VERSION: u32 = 1;
+///
+/// History:
+/// * **1** — initial format.
+/// * **2** — `RegionStore` payload gained the `overflows` counter, and task
+///   `pending_children` widened from `u32` to `u64`. Version-1 files are
+///   rejected with [`CheckpointError::UnsupportedVersion`] rather than
+///   misdecoded.
+pub const VERSION: u32 = 2;
 
 const HEADER_LEN: usize = 8 + 4 + 8;
 const FOOTER_LEN: usize = 8;

@@ -22,7 +22,7 @@ use crate::stats::SimStats;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 use warden_coherence::{CoherenceSystem, InvariantViolation, Protocol, RegionId};
 use warden_mem::codec::{CodecError, Decoder, Encoder};
@@ -74,7 +74,12 @@ struct Core {
 
 struct TaskRun {
     next_event: usize,
-    pending_children: u32,
+    /// Forked children not yet completed. `u64`, not `u32`: the count comes
+    /// from `children.len()`, and narrowing it was the one genuinely lossy
+    /// cast on the replay path — a fork wider than `u32::MAX` would have
+    /// wrapped and deadlocked the join. Widening also widens the
+    /// checkpoint field (format version 2).
+    pending_children: u64,
 }
 
 /// Replay `program` on `machine` under `protocol`.
@@ -149,7 +154,11 @@ pub struct SimEngine<'a> {
     rng: SmallRng,
     cores: Vec<Core>,
     tasks: Vec<TaskRun>,
-    regions: HashMap<u32, RegionId>,
+    /// Live region-token → directory id bindings, sorted by token. A flat
+    /// sorted vec: traces hold few simultaneous regions, lookups are binary
+    /// searches, and the checkpoint encoding (sorted by token) falls out
+    /// for free.
+    regions: Vec<(u32, RegionId)>,
     stats: SimStats,
     completed: usize,
     makespan: u64,
@@ -230,7 +239,7 @@ impl<'a> SimEngine<'a> {
             rng,
             cores,
             tasks,
-            regions: HashMap::new(),
+            regions: Vec::new(),
             stats,
             completed: 0,
             makespan: 0,
@@ -416,7 +425,7 @@ impl<'a> SimEngine<'a> {
                 }
             }
             Event::Fork { children } => {
-                tasks[task].pending_children = children.len() as u32;
+                tasks[task].pending_children = children.len() as u64;
                 core.current = Some(children[0]);
                 for &c in &children[1..] {
                     core.deque.push_back(c);
@@ -428,7 +437,10 @@ impl<'a> SimEngine<'a> {
                     stats.region_cycles += machine.lat.region_instr;
                     stats.instructions += 1;
                     if let Some(id) = coh.add_region(*start, *end) {
-                        regions.insert(*token, id);
+                        match regions.binary_search_by_key(token, |&(t, _)| t) {
+                            Ok(pos) => regions[pos].1 = id,
+                            Err(pos) => regions.insert(pos, (*token, id)),
+                        }
                     }
                     if let Some(inj) = injector.as_mut() {
                         core.clock += inj.after_region_add(coh);
@@ -438,7 +450,11 @@ impl<'a> SimEngine<'a> {
             Event::RegionRemove { token } => {
                 if protocol == Protocol::Warden {
                     stats.instructions += 1;
-                    match regions.remove(token) {
+                    match regions
+                        .binary_search_by_key(token, |&(t, _)| t)
+                        .ok()
+                        .map(|pos| regions.remove(pos).1)
+                    {
                         Some(id) => {
                             let lat = coh.remove_region(id);
                             core.clock += lat;
@@ -476,7 +492,10 @@ impl<'a> SimEngine<'a> {
         self.stats.core_cycles_total = self.cores.iter().map(|c| c.clock).sum();
         self.stats.coherence = *self.coh.stats();
         let energy = energy_of(&self.stats, self.machine.topo, &self.opts.energy);
-        let final_memory = self.coh.memory().clone();
+        // The engine is consumed: move the final image out instead of
+        // cloning it (the clone used to rival the replay itself on
+        // multi-megabyte images).
+        let final_memory = self.coh.take_memory();
         SimOutcome {
             protocol: self.protocol,
             machine: self.machine.name.clone(),
@@ -525,14 +544,13 @@ impl<'a> SimEngine<'a> {
         enc.put_usize(self.tasks.len());
         for t in &self.tasks {
             enc.put_usize(t.next_event);
-            enc.put_u32(t.pending_children);
+            enc.put_u64(t.pending_children);
         }
 
-        let mut regions: Vec<(u32, RegionId)> =
-            self.regions.iter().map(|(&tok, &id)| (tok, id)).collect();
-        regions.sort_unstable_by_key(|&(tok, _)| tok);
-        enc.put_usize(regions.len());
-        for (tok, id) in regions {
+        // `self.regions` is kept sorted by token, which is exactly the
+        // canonical encoding order.
+        enc.put_usize(self.regions.len());
+        for &(tok, id) in &self.regions {
             enc.put_u32(tok);
             enc.put_u64(id.0);
         }
@@ -631,7 +649,7 @@ impl<'a> SimEngine<'a> {
                     format!("task {i} event cursor {next_event} out of range"),
                 ));
             }
-            let pending_children = dec.take_u32()?;
+            let pending_children = dec.take_u64()?;
             tasks.push(TaskRun {
                 next_event,
                 pending_children,
@@ -639,7 +657,7 @@ impl<'a> SimEngine<'a> {
         }
 
         let nregions = dec.take_count(12)?;
-        let mut regions = HashMap::with_capacity(nregions);
+        let mut regions = Vec::with_capacity(nregions);
         let mut prev_tok: Option<u32> = None;
         for _ in 0..nregions {
             let tok = dec.take_u32()?;
@@ -648,7 +666,7 @@ impl<'a> SimEngine<'a> {
             }
             prev_tok = Some(tok);
             let id = RegionId(dec.take_u64()?);
-            regions.insert(tok, id);
+            regions.push((tok, id));
         }
 
         let stats = SimStats::decode_from(dec)?;
@@ -698,16 +716,23 @@ fn acquire_work(
         cores[cid].current = Some(t);
         return;
     }
-    let victims: Vec<usize> = (0..cores.len())
-        .filter(|&i| i != cid && !cores[i].deque.is_empty())
-        .collect();
-    if victims.is_empty() {
+    // Count-then-nth instead of collecting a victims Vec: the hot idle path
+    // allocates nothing, and `gen_range(0..count)` draws exactly the same
+    // RNG value the old `gen_range(0..victims.len())` did, so replay stays
+    // bit-identical.
+    let is_victim = |i: &usize| *i != cid && !cores[*i].deque.is_empty();
+    let count = (0..cores.len()).filter(is_victim).count();
+    if count == 0 {
         cores[cid].clock += machine.idle_tick;
         stats.idle_cycles += machine.idle_tick;
         return;
     }
     stats.steal_attempts += 1;
-    let victim = victims[rng.gen_range(0..victims.len())];
+    let k = rng.gen_range(0..count);
+    let victim = (0..cores.len())
+        .filter(is_victim)
+        .nth(k)
+        .expect("k < victim count");
     let stolen = cores[victim].deque.pop_front().expect("victim non-empty");
     cores[cid].clock += machine.steal_cost;
     stats.steal_cycles += machine.steal_cost;
@@ -856,6 +881,33 @@ mod tests {
         };
         let mut other = SimEngine::new(&p, &m, Protocol::Warden, &faulty);
         assert!(other.apply_state(&mut Decoder::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn pending_children_survives_codec_beyond_u32() {
+        // Regression for the lossy-cast audit: `pending_children` was `u32`
+        // and `children.len() as u32` would silently wrap for a fork wider
+        // than u32::MAX, deadlocking the join. The field (and its checkpoint
+        // encoding) is now u64; a value past the old limit must round-trip.
+        let p = sample_program();
+        let m = tiny_machine();
+        let opts = SimOptions::default();
+        let mut eng = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        for _ in 0..100 {
+            eng.step();
+        }
+        let wide = u64::from(u32::MAX) + 5;
+        eng.tasks[0].pending_children = wide;
+
+        let mut enc = Encoder::new();
+        eng.encode_state(&mut enc);
+        let bytes = enc.into_bytes();
+
+        let mut fresh = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        let mut dec = Decoder::new(&bytes);
+        fresh.apply_state(&mut dec).expect("state applies");
+        dec.finish().expect("no trailing bytes");
+        assert_eq!(fresh.tasks[0].pending_children, wide);
     }
 
     #[test]
