@@ -12,6 +12,12 @@
 #                    (--test mode: every benchmark body executes once, no
 #                    timing gate), then emit BENCH_hotpath.json at tiny
 #                    scale so the workflow can archive it
+#   ./ci.sh obs      observability gate: golden-stats snapshots,
+#                    cross-protocol consistency checks, the release-mode
+#                    throughput guard against BENCH_hotpath.json, and an
+#                    end-to-end trace export validated with obs_lint
+#                    (obs_trace_ci/ is left behind for the workflow to
+#                    archive)
 #   ./ci.sh          all of the above
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -118,18 +124,41 @@ bench() {
   echo "   wrote BENCH_hotpath_ci.json"
 }
 
+obs() {
+  echo "== golden-stats snapshots + cross-protocol consistency =="
+  cargo test -q --offline --test golden_stats --test stats_consistency
+
+  echo "== throughput guard (obs compiled in, disabled) =="
+  cargo test -q --release --offline -p warden-bench --test bench_guard
+
+  echo "== trace export + validation =="
+  cargo build -q --release --offline -p warden-bench \
+    --bin replay --bin record --bin obs_lint
+  local dir=obs_trace_ci
+  rm -rf "$dir"
+  mkdir -p "$dir"
+  target/release/record suffix-array "$dir/suffix-array.trace" --scale tiny
+  target/release/replay "$dir/suffix-array.trace" dual-socket --obs "$dir" \
+    >/dev/null
+  target/release/obs_lint "$dir"/*.trace.json
+  test -s "$dir/suffix_array-warden.epochs.txt"
+  echo "   exported and validated $(ls "$dir"/*.trace.json | wc -l) traces in $dir/"
+}
+
 stage="${1:-all}"
 case "$stage" in
   checks) checks ;;
   smoke) smoke ;;
   bench) bench ;;
+  obs) obs ;;
   all)
     checks
     smoke
     bench
+    obs
     ;;
   *)
-    echo "usage: ci.sh [checks|smoke|bench|all]" >&2
+    echo "usage: ci.sh [checks|smoke|bench|obs|all]" >&2
     exit 2
     ;;
 esac

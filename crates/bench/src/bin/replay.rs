@@ -10,8 +10,13 @@
 //! `--faults <seed>` injects the benign seeded fault plan — region-CAM
 //! exhaustion storms, forced reconciliations, latency spikes, and a flaky
 //! remote link — which must leave the final memory image untouched.
+//!
+//! `--obs <dir>` records protocol observability on both runs (passive:
+//! the reported stats are bit-identical either way) and writes a Perfetto
+//! trace (`<name>-<protocol>.trace.json`) plus a per-epoch activity table
+//! (`.epochs.txt`) per protocol into the directory.
 
-use warden_bench::{harness_main, HarnessArgs, HarnessError, RunOptions};
+use warden_bench::{export_outcome, harness_main, HarnessArgs, HarnessError, RunOptions};
 use warden_coherence::Protocol;
 use warden_rt::{summarize, trace_io};
 use warden_sim::{simulate_with_options, try_simulate, Comparison, MachineConfig, SimOutcome};
@@ -61,7 +66,7 @@ fn run() -> Result<(), HarnessError> {
     let Some(path) = args.positional.first() else {
         return Err(HarnessError::Args(
             "usage: replay <trace-file> [single-socket|dual-socket|4-socket|disaggregated] \
-             [--check] [--faults <seed>]"
+             [--check] [--faults <seed>] [--obs <dir>]"
                 .into(),
         ));
     };
@@ -107,6 +112,13 @@ fn run() -> Result<(), HarnessError> {
         "inv+downgrades avoided/k-instr {:.2}, total energy saved {:.1}%",
         c.inv_dg_reduced_per_kilo, c.total_energy_savings_pct
     );
+    if let Some(dir) = &args.obs {
+        for outcome in [&mesi, &warden] {
+            for p in export_outcome(dir, &program.name, outcome)? {
+                println!("wrote {}", p.display());
+            }
+        }
+    }
     if !clean {
         return Err(HarnessError::Failed(
             "invariant violations were reported".into(),

@@ -37,10 +37,12 @@ pub mod error;
 pub mod figures;
 pub mod fmt;
 pub mod hotpath;
+pub mod obs_export;
 pub mod paper;
 pub mod runner;
 
 pub use args::HarnessArgs;
 pub use campaign::{campaign_suite, run_campaign, CampaignConfig, RunResult, RunSpec, Workload};
 pub use error::{harness_main, HarnessError, RunFailure};
+pub use obs_export::export_outcome;
 pub use runner::{run_bench, run_pair, suite, BenchRun, RunOptions, SuiteScale};

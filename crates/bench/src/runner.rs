@@ -49,6 +49,11 @@ pub struct RunOptions {
     pub check: bool,
     /// Seed for [`FaultPlan::benign`], if fault injection was requested.
     pub faults: Option<u64>,
+    /// Enable the observability recorder ([`SimOptions::obs`]): every run
+    /// carries a protocol-event timeline, metrics registry, and per-epoch
+    /// summaries in its outcome. Passive — stats and the final memory image
+    /// are bit-identical with it on or off.
+    pub obs: bool,
 }
 
 impl RunOptions {
@@ -67,6 +72,7 @@ impl RunOptions {
         SimOptions {
             check: self.check,
             faults: self.faults.map(FaultPlan::benign),
+            obs: self.obs,
             ..SimOptions::default()
         }
     }
@@ -151,13 +157,15 @@ mod tests {
         let o = RunOptions {
             check: true,
             faults: Some(7),
+            obs: true,
         };
         let s = o.sim_options();
         assert!(s.check);
+        assert!(s.obs);
         assert_eq!(s.faults.as_ref().map(|p| p.seed), Some(7));
         assert!(s.faults.unwrap().is_benign());
         let d = RunOptions::default().sim_options();
-        assert!(!d.check && d.faults.is_none());
+        assert!(!d.check && d.faults.is_none() && !d.obs);
     }
 
     #[test]

@@ -47,6 +47,7 @@
 
 mod check;
 mod error;
+mod obs;
 mod region;
 mod state;
 mod stats;
@@ -57,6 +58,7 @@ pub use check::{
     CheckerReport, InvariantChecker, InvariantKind, InvariantViolation, ProtocolMutation,
 };
 pub use error::CoherenceError;
+pub use obs::{decode_events, encode_events, EventSink, ProtocolEvent};
 pub use region::{AddRegion, RegionId, RegionStore};
 pub use state::{DirState, LlcLine, PrivLine, PrivState, Protocol};
 pub use stats::CoherenceStats;

@@ -1,0 +1,460 @@
+//! Typed protocol events emitted by the coherence engine.
+//!
+//! Every directory transaction — and nothing on the private-cache hit path —
+//! can emit one [`ProtocolEvent`] describing what the protocol did: which
+//! request arrived, what directory state it found, whether the W state served
+//! it, what a reconciliation merged. The events are the raw material for the
+//! observability layer in `warden-sim` (cycle-stamped timelines, per-epoch
+//! summaries, Perfetto export); the coherence crate itself only defines the
+//! vocabulary and a checkpoint codec for it.
+//!
+//! Emission is opt-in ([`crate::CoherenceSystem::enable_obs`]) and costs one
+//! `Option` check per directory transaction when disabled — the L1/L2 hit
+//! fast path never consults it.
+
+use crate::system::DirKind;
+use crate::topo::CoreId;
+use warden_mem::codec::{CodecError, Decoder, Encoder};
+use warden_mem::{Addr, BlockAddr};
+
+/// One observable protocol action, in directory order.
+///
+/// Events carry no timestamps: the coherence engine has no clock. The
+/// simulation engine drains the buffer after every access and stamps each
+/// event with the issuing core's cycle counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolEvent {
+    /// A read miss reached the directory.
+    GetS {
+        /// The requesting core.
+        core: CoreId,
+        /// The target block.
+        block: BlockAddr,
+        /// The directory state the request found.
+        dir: DirKind,
+        /// Whether the W state served it (a WARD-region hit).
+        ward: bool,
+    },
+    /// A write miss or upgrade reached the directory.
+    GetM {
+        /// The requesting core.
+        core: CoreId,
+        /// The target block.
+        block: BlockAddr,
+        /// The directory state the request found.
+        dir: DirKind,
+        /// Whether the W state admitted it without invalidations.
+        ward: bool,
+        /// Whether this was a coherent S→M in-place upgrade.
+        upgrade: bool,
+    },
+    /// A dirty owner's written sectors were snapshotted into the LLC as the
+    /// block entered the W state (the sound-entry intervention).
+    WardEntrySync {
+        /// The block entering W.
+        block: BlockAddr,
+        /// The dirty owner that was snapshotted.
+        owner: CoreId,
+    },
+    /// An atomic RMW hit a W block and forced a single-block reconciliation
+    /// (the coherent escape).
+    RmwEscape {
+        /// The core issuing the atomic.
+        core: CoreId,
+        /// The reconciled block.
+        block: BlockAddr,
+    },
+    /// One block was reconciled (write-mask merge at the LLC).
+    Reconcile {
+        /// The reconciled block.
+        block: BlockAddr,
+        /// How many private copies existed.
+        holders: u32,
+        /// Copies whose dirty sectors merged into the LLC.
+        writebacks: u32,
+        /// Clean copies dropped without data movement.
+        drops: u32,
+    },
+    /// An Add-Region instruction was accepted.
+    RegionAdd {
+        /// The region id the store assigned.
+        id: u64,
+        /// Inclusive page-aligned start address.
+        start: Addr,
+        /// Exclusive page-aligned end address.
+        end: Addr,
+    },
+    /// An Add-Region instruction overflowed the region store (the range
+    /// falls back to baseline coherence).
+    RegionOverflow {
+        /// Inclusive page-aligned start address.
+        start: Addr,
+        /// Exclusive page-aligned end address.
+        end: Addr,
+    },
+    /// A Remove-Region instruction completed.
+    RegionRemove {
+        /// The removed region's id.
+        id: u64,
+        /// Dirty blocks the reconciliation walk visited.
+        blocks: u64,
+    },
+    /// A private L2 victim left the hierarchy.
+    PrivEviction {
+        /// The evicting core.
+        core: CoreId,
+        /// The victim block.
+        block: BlockAddr,
+        /// Whether dirty data travelled to the LLC.
+        writeback: bool,
+    },
+    /// An inclusive LLC victim was evicted.
+    LlcEviction {
+        /// The victim block.
+        block: BlockAddr,
+        /// Whether the line was dirty and written to memory.
+        writeback: bool,
+    },
+}
+
+impl ProtocolEvent {
+    /// Short stable name, used as the Perfetto event name and in summaries.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolEvent::GetS { ward: true, .. } => "GetS.ward",
+            ProtocolEvent::GetS { .. } => "GetS",
+            ProtocolEvent::GetM { ward: true, .. } => "GetM.ward",
+            ProtocolEvent::GetM { upgrade: true, .. } => "GetM.upgrade",
+            ProtocolEvent::GetM { .. } => "GetM",
+            ProtocolEvent::WardEntrySync { .. } => "WardEntrySync",
+            ProtocolEvent::RmwEscape { .. } => "RmwEscape",
+            ProtocolEvent::Reconcile { .. } => "Reconcile",
+            ProtocolEvent::RegionAdd { .. } => "RegionAdd",
+            ProtocolEvent::RegionOverflow { .. } => "RegionOverflow",
+            ProtocolEvent::RegionRemove { .. } => "RegionRemove",
+            ProtocolEvent::PrivEviction { .. } => "PrivEviction",
+            ProtocolEvent::LlcEviction { .. } => "LlcEviction",
+        }
+    }
+
+    /// The core the event is attributed to, if it has one (region and LLC
+    /// events are directory-side and carry none).
+    pub fn core(&self) -> Option<CoreId> {
+        match *self {
+            ProtocolEvent::GetS { core, .. }
+            | ProtocolEvent::GetM { core, .. }
+            | ProtocolEvent::RmwEscape { core, .. }
+            | ProtocolEvent::PrivEviction { core, .. } => Some(core),
+            ProtocolEvent::WardEntrySync { owner, .. } => Some(owner),
+            _ => None,
+        }
+    }
+
+    /// Serialize one event (tag byte + fields).
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        match *self {
+            ProtocolEvent::GetS {
+                core,
+                block,
+                dir,
+                ward,
+            } => {
+                enc.put_u8(0);
+                enc.put_usize(core);
+                enc.put_u64(block.0);
+                enc.put_u8(dir.tag());
+                enc.put_bool(ward);
+            }
+            ProtocolEvent::GetM {
+                core,
+                block,
+                dir,
+                ward,
+                upgrade,
+            } => {
+                enc.put_u8(1);
+                enc.put_usize(core);
+                enc.put_u64(block.0);
+                enc.put_u8(dir.tag());
+                enc.put_bool(ward);
+                enc.put_bool(upgrade);
+            }
+            ProtocolEvent::WardEntrySync { block, owner } => {
+                enc.put_u8(2);
+                enc.put_u64(block.0);
+                enc.put_usize(owner);
+            }
+            ProtocolEvent::RmwEscape { core, block } => {
+                enc.put_u8(3);
+                enc.put_usize(core);
+                enc.put_u64(block.0);
+            }
+            ProtocolEvent::Reconcile {
+                block,
+                holders,
+                writebacks,
+                drops,
+            } => {
+                enc.put_u8(4);
+                enc.put_u64(block.0);
+                enc.put_u32(holders);
+                enc.put_u32(writebacks);
+                enc.put_u32(drops);
+            }
+            ProtocolEvent::RegionAdd { id, start, end } => {
+                enc.put_u8(5);
+                enc.put_u64(id);
+                enc.put_u64(start.0);
+                enc.put_u64(end.0);
+            }
+            ProtocolEvent::RegionOverflow { start, end } => {
+                enc.put_u8(6);
+                enc.put_u64(start.0);
+                enc.put_u64(end.0);
+            }
+            ProtocolEvent::RegionRemove { id, blocks } => {
+                enc.put_u8(7);
+                enc.put_u64(id);
+                enc.put_u64(blocks);
+            }
+            ProtocolEvent::PrivEviction {
+                core,
+                block,
+                writeback,
+            } => {
+                enc.put_u8(8);
+                enc.put_usize(core);
+                enc.put_u64(block.0);
+                enc.put_bool(writeback);
+            }
+            ProtocolEvent::LlcEviction { block, writeback } => {
+                enc.put_u8(9);
+                enc.put_u64(block.0);
+                enc.put_bool(writeback);
+            }
+        }
+    }
+
+    /// Decode one event serialized by [`Self::encode_into`].
+    pub fn decode_from(dec: &mut Decoder<'_>) -> Result<ProtocolEvent, CodecError> {
+        Ok(match dec.take_u8()? {
+            0 => ProtocolEvent::GetS {
+                core: dec.take_usize()?,
+                block: BlockAddr(dec.take_u64()?),
+                dir: DirKind::from_tag(dec.take_u8()?)?,
+                ward: dec.take_bool()?,
+            },
+            1 => ProtocolEvent::GetM {
+                core: dec.take_usize()?,
+                block: BlockAddr(dec.take_u64()?),
+                dir: DirKind::from_tag(dec.take_u8()?)?,
+                ward: dec.take_bool()?,
+                upgrade: dec.take_bool()?,
+            },
+            2 => ProtocolEvent::WardEntrySync {
+                block: BlockAddr(dec.take_u64()?),
+                owner: dec.take_usize()?,
+            },
+            3 => ProtocolEvent::RmwEscape {
+                core: dec.take_usize()?,
+                block: BlockAddr(dec.take_u64()?),
+            },
+            4 => ProtocolEvent::Reconcile {
+                block: BlockAddr(dec.take_u64()?),
+                holders: dec.take_u32()?,
+                writebacks: dec.take_u32()?,
+                drops: dec.take_u32()?,
+            },
+            5 => ProtocolEvent::RegionAdd {
+                id: dec.take_u64()?,
+                start: Addr(dec.take_u64()?),
+                end: Addr(dec.take_u64()?),
+            },
+            6 => ProtocolEvent::RegionOverflow {
+                start: Addr(dec.take_u64()?),
+                end: Addr(dec.take_u64()?),
+            },
+            7 => ProtocolEvent::RegionRemove {
+                id: dec.take_u64()?,
+                blocks: dec.take_u64()?,
+            },
+            8 => ProtocolEvent::PrivEviction {
+                core: dec.take_usize()?,
+                block: BlockAddr(dec.take_u64()?),
+                writeback: dec.take_bool()?,
+            },
+            9 => ProtocolEvent::LlcEviction {
+                block: BlockAddr(dec.take_u64()?),
+                writeback: dec.take_bool()?,
+            },
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "protocol event",
+                    tag: tag as u64,
+                })
+            }
+        })
+    }
+}
+
+/// Serialize a whole event buffer (length-prefixed).
+pub fn encode_events(events: &[ProtocolEvent], enc: &mut Encoder) {
+    enc.put_usize(events.len());
+    for ev in events {
+        ev.encode_into(enc);
+    }
+}
+
+/// Decode a buffer serialized by [`encode_events`].
+pub fn decode_events(dec: &mut Decoder<'_>) -> Result<Vec<ProtocolEvent>, CodecError> {
+    // Smallest event is a tag plus one varint-free field pair; 2 bytes is a
+    // safe floor that still bounds a hostile length prefix.
+    let n = dec.take_count(2)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(ProtocolEvent::decode_from(dec)?);
+    }
+    Ok(out)
+}
+
+/// A consumer of protocol events. The engine's buffer is the canonical
+/// implementation; tests use it to script expectations.
+pub trait EventSink {
+    /// Accept one event.
+    fn accept(&mut self, ev: ProtocolEvent);
+}
+
+impl EventSink for Vec<ProtocolEvent> {
+    fn accept(&mut self, ev: ProtocolEvent) {
+        self.push(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<ProtocolEvent> {
+        vec![
+            ProtocolEvent::GetS {
+                core: 3,
+                block: BlockAddr(42),
+                dir: DirKind::Shared,
+                ward: false,
+            },
+            ProtocolEvent::GetM {
+                core: 1,
+                block: BlockAddr(7),
+                dir: DirKind::Owned,
+                ward: true,
+                upgrade: false,
+            },
+            ProtocolEvent::WardEntrySync {
+                block: BlockAddr(9),
+                owner: 2,
+            },
+            ProtocolEvent::RmwEscape {
+                core: 0,
+                block: BlockAddr(1),
+            },
+            ProtocolEvent::Reconcile {
+                block: BlockAddr(5),
+                holders: 4,
+                writebacks: 3,
+                drops: 1,
+            },
+            ProtocolEvent::RegionAdd {
+                id: 11,
+                start: Addr(0x1000),
+                end: Addr(0x3000),
+            },
+            ProtocolEvent::RegionOverflow {
+                start: Addr(0x4000),
+                end: Addr(0x5000),
+            },
+            ProtocolEvent::RegionRemove { id: 11, blocks: 17 },
+            ProtocolEvent::PrivEviction {
+                core: 5,
+                block: BlockAddr(99),
+                writeback: true,
+            },
+            ProtocolEvent::LlcEviction {
+                block: BlockAddr(100),
+                writeback: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let events = samples();
+        let mut enc = Encoder::new();
+        encode_events(&events, &mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = decode_events(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn every_prefix_truncation_is_a_typed_error() {
+        let events = samples();
+        let mut enc = Encoder::new();
+        encode_events(&events, &mut enc);
+        let bytes = enc.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut dec = Decoder::new(&bytes[..cut]);
+            let r = decode_events(&mut dec).and_then(|v| dec.finish().map(|()| v));
+            assert!(r.is_err(), "prefix of {cut} bytes decoded successfully");
+        }
+    }
+
+    #[test]
+    fn bad_tag_is_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_u8(250);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        match ProtocolEvent::decode_from(&mut dec) {
+            Err(CodecError::BadTag { what, tag }) => {
+                assert_eq!(what, "protocol event");
+                assert_eq!(tag, 250);
+            }
+            other => panic!("expected BadTag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn names_and_cores_are_stable() {
+        for ev in samples() {
+            assert!(!ev.name().is_empty());
+        }
+        let ev = ProtocolEvent::GetS {
+            core: 3,
+            block: BlockAddr(42),
+            dir: DirKind::Uncached,
+            ward: true,
+        };
+        assert_eq!(ev.name(), "GetS.ward");
+        assert_eq!(ev.core(), Some(3));
+        assert_eq!(
+            ProtocolEvent::LlcEviction {
+                block: BlockAddr(1),
+                writeback: true
+            }
+            .core(),
+            None
+        );
+    }
+
+    #[test]
+    fn vec_is_an_event_sink() {
+        let mut sink: Vec<ProtocolEvent> = Vec::new();
+        sink.accept(ProtocolEvent::RmwEscape {
+            core: 1,
+            block: BlockAddr(2),
+        });
+        assert_eq!(sink.len(), 1);
+    }
+}

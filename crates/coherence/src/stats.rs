@@ -34,6 +34,7 @@ macro_rules! for_each_counter {
             ward_avoided_dg,
             ward_rmw_escapes,
             ward_entry_syncs,
+            ward_stale_retries,
             recon_blocks,
             recon_writebacks,
             recon_drops,
@@ -117,6 +118,12 @@ pub struct CoherenceStats {
     /// Dirty-owner snapshots performed as blocks entered the W state (the
     /// sound-entry intervention: one per block per region epoch).
     pub ward_entry_syncs: u64,
+    /// Write misses that found a stale W entry outside any active region and
+    /// retried the directory transaction after reconciling the block. Each
+    /// retry re-runs the LLC lookup, so the cache-level accounting identity
+    /// is `l1_hits + l2_hits + llc_hits + llc_misses ==
+    /// accesses() + ward_stale_retries`.
+    pub ward_stale_retries: u64,
 
     /// Blocks processed by reconciliation (had at least one private copy).
     pub recon_blocks: u64,
@@ -176,6 +183,19 @@ impl CoherenceStats {
     /// Messages that crossed the inter-socket link.
     pub fn intersocket_messages(&self) -> u64 {
         self.ctrl_inter + self.data_inter
+    }
+
+    /// Every counter as a `(name, value)` pair, in declaration order — the
+    /// canonical flat view the golden-stats fixtures and the observability
+    /// exporters print. Driven by the same macro as the codec, so a new
+    /// counter shows up here (and in the goldens) automatically.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        macro_rules! list {
+            ($self:ident: $($f:ident),* $(,)?) => {
+                return vec![ $( (stringify!($f), $self.$f) ),* ];
+            };
+        }
+        for_each_counter!(list, self);
     }
 
     /// Serialize every counter, in declaration order, for a checkpoint.
@@ -238,6 +258,7 @@ impl AddAssign for CoherenceStats {
             ward_avoided_dg,
             ward_rmw_escapes,
             ward_entry_syncs,
+            ward_stale_retries,
             recon_blocks,
             recon_writebacks,
             recon_drops,
@@ -331,7 +352,8 @@ mod tests {
             };
         }
         for_each_counter!(fill, s, i);
-        assert!(i > 37, "expected at least 37 counters");
+        assert!(i > 38, "expected at least 38 counters");
+        assert_eq!(s.fields().len() as u64, i - 1, "fields() covers the list");
         let mut enc = Encoder::new();
         s.encode_into(&mut enc);
         let bytes = enc.into_bytes();

@@ -12,6 +12,7 @@ use crate::check::{
     ProtocolMutation,
 };
 use crate::error::CoherenceError;
+use crate::obs::{decode_events, encode_events, ProtocolEvent};
 use crate::region::{AddRegion, RegionId, RegionStore};
 use crate::state::{DirState, LlcLine, PrivLine, PrivState, Protocol};
 use crate::stats::CoherenceStats;
@@ -185,6 +186,10 @@ pub struct CoherenceSystem {
     dir_log: Option<Vec<(BlockAddr, DirKind)>>,
     /// Optional invariant checker (see [`Self::enable_checker`]).
     check: Option<InvariantChecker>,
+    /// Optional protocol-event buffer (see [`Self::enable_obs`]). Drained by
+    /// the simulation engine after every access; directory transactions pay
+    /// one `Option` check when disabled, the L1/L2 hit path pays nothing.
+    obs: Option<Vec<ProtocolEvent>>,
     /// Injected protocol defects (see [`Self::inject_mutation`]).
     mutations: MutationSet,
 }
@@ -321,7 +326,37 @@ impl CoherenceSystem {
             sector_bytes: cfg.sector_bytes,
             dir_log: None,
             check: None,
+            obs: None,
             mutations: MutationSet::default(),
+        }
+    }
+
+    /// Start buffering typed protocol events (see [`ProtocolEvent`]). The
+    /// buffer has no timestamps of its own; callers drain it with
+    /// [`Self::drain_events`] after each access and stamp the events with
+    /// their own clock.
+    pub fn enable_obs(&mut self) {
+        self.obs = Some(Vec::new());
+    }
+
+    /// Whether [`Self::enable_obs`] ran.
+    pub fn obs_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Move the buffered protocol events since the last drain into `out`
+    /// (appending; `out` is not cleared). No-op when observability is off.
+    pub fn drain_events(&mut self, out: &mut Vec<ProtocolEvent>) {
+        if let Some(buf) = &mut self.obs {
+            out.append(buf);
+        }
+    }
+
+    /// Push one event onto the buffer, when enabled.
+    #[inline]
+    fn emit(&mut self, ev: ProtocolEvent) {
+        if let Some(buf) = &mut self.obs {
+            buf.push(ev);
         }
     }
 
@@ -690,8 +725,8 @@ impl CoherenceSystem {
     /// (including LRU order and ticks — eviction order must replay
     /// identically), the LLC slices with their co-located directory entries,
     /// the region CAM, the memory image, the stats counters, the dirty-page
-    /// index, the optional transition log and the optional invariant
-    /// checker.
+    /// index, the optional transition log, the optional invariant checker
+    /// and the optional protocol-event buffer.
     ///
     /// Configuration (topology, latencies, geometries, protocol, injected
     /// mutations) is *not* serialized; [`Self::restore_state`] is called on a
@@ -733,6 +768,16 @@ impl CoherenceSystem {
             Some(chk) => {
                 enc.put_bool(true);
                 chk.encode_into(enc);
+            }
+            None => enc.put_bool(false),
+        }
+        match &self.obs {
+            Some(buf) => {
+                enc.put_bool(true);
+                // The engine drains the buffer after every access, so at a
+                // checkpoint boundary this is normally empty — but any
+                // undrained events must survive a restore.
+                encode_events(buf, enc);
             }
             None => enc.put_bool(false),
         }
@@ -823,6 +868,11 @@ impl CoherenceSystem {
         } else {
             None
         };
+        let obs = if dec.take_bool()? {
+            Some(decode_events(dec)?)
+        } else {
+            None
+        };
         self.cores = cores;
         self.llcs = llcs;
         self.regions = regions;
@@ -831,6 +881,7 @@ impl CoherenceSystem {
         self.dir_pages = dir_pages;
         self.dir_log = dir_log;
         self.check = check;
+        self.obs = obs;
         // The per-core region caches are derived from the replaced store;
         // the defaults never validate against any epoch, forcing re-lookup.
         self.region_cache.fill(RegionCache::default());
@@ -967,6 +1018,11 @@ impl CoherenceSystem {
         } else {
             self.ctrl_msg(csock, home);
         }
+        self.emit(ProtocolEvent::PrivEviction {
+            core,
+            block,
+            writeback: wrote,
+        });
     }
 
     // ----- LLC plumbing ---------------------------------------------------
@@ -1038,6 +1094,10 @@ impl CoherenceSystem {
             self.stats.llc_writebacks += 1;
             self.stats.dram_writes += 1;
         }
+        self.emit(ProtocolEvent::LlcEviction {
+            block,
+            writeback: line.dirty,
+        });
     }
 
     // ----- demand accesses ------------------------------------------------
@@ -1294,6 +1354,7 @@ impl CoherenceSystem {
                 }
                 Some(DirState::Ward(_)) => {
                     self.stats.ward_rmw_escapes += 1;
+                    self.emit(ProtocolEvent::RmwEscape { core, block });
                     self.reconcile_block(home, block);
                 }
                 _ => {}
@@ -1329,6 +1390,12 @@ impl CoherenceSystem {
             let l = self.llcs[home].at(slot);
             (l.dir, l.data)
         };
+        self.emit(ProtocolEvent::GetS {
+            core,
+            block,
+            dir: dir.into(),
+            ward: ward_now,
+        });
 
         if ward_now {
             // WARDen §5.1: serve from the shared cache, return an exclusive
@@ -1462,6 +1529,14 @@ impl CoherenceSystem {
             let l = self.llcs[home].at(slot);
             (l.dir, l.data)
         };
+        self.emit(ProtocolEvent::GetM {
+            core,
+            block,
+            dir: dir.into(),
+            ward: ward_now,
+            upgrade: !ward_now
+                && matches!(dir, DirState::Shared(s) if s & DirState::bit(core) != 0),
+        });
 
         if ward_now {
             let copies = match dir {
@@ -1514,6 +1589,10 @@ impl CoherenceSystem {
         match dir {
             DirState::Ward(_) => {
                 // Stale W entry outside any active region: reconcile first.
+                // The retry below re-runs the whole directory transaction
+                // (another LLC lookup and dir_lookup); the counter keeps the
+                // cache-level accounting identity exact.
+                self.stats.ward_stale_retries += 1;
                 self.reconcile_block(home, block);
                 self.get_modified(core, block, offset, val, coherent_only)
             }
@@ -1644,6 +1723,7 @@ impl CoherenceSystem {
             llc.dirty = true;
         }
         self.stats.ward_entry_syncs += 1;
+        self.emit(ProtocolEvent::WardEntrySync { block, owner });
         self.ctrl_msg(home, osock);
         self.data_msg(osock, home);
         if owner == requester {
@@ -1670,10 +1750,16 @@ impl CoherenceSystem {
         let id = match self.regions.add(start, end) {
             AddRegion::Added(id) => {
                 self.stats.region_peak = self.stats.region_peak.max(self.regions.len() as u64);
+                self.emit(ProtocolEvent::RegionAdd {
+                    id: id.0,
+                    start,
+                    end,
+                });
                 Some(id)
             }
             AddRegion::Overflow => {
                 self.stats.region_overflows += 1;
+                self.emit(ProtocolEvent::RegionOverflow { start, end });
                 debug_assert_eq!(
                     self.stats.region_overflows,
                     self.regions.overflows(),
@@ -1740,6 +1826,10 @@ impl CoherenceSystem {
                 processed += 1;
             }
         }
+        self.emit(ProtocolEvent::RegionRemove {
+            id: id.0,
+            blocks: processed,
+        });
         self.run_checks();
         self.lat.region_instr + processed * self.lat.reconcile_per_block
     }
@@ -1929,6 +2019,8 @@ impl CoherenceSystem {
             return;
         }
         self.stats.recon_blocks += 1;
+        let (wb0, dp0) = (self.stats.recon_writebacks, self.stats.recon_drops);
+        let nholders = holders.len() as u32;
         if holders.len() == 1 && !partial {
             // No sharing: write back in place, keep the copy.
             let o = holders[0];
@@ -1967,6 +2059,12 @@ impl CoherenceSystem {
                 self.stats.recon_drops += 1;
                 self.ctrl_msg(osock, home);
             }
+            self.emit(ProtocolEvent::Reconcile {
+                block,
+                holders: nholders,
+                writebacks: (self.stats.recon_writebacks - wb0) as u32,
+                drops: (self.stats.recon_drops - dp0) as u32,
+            });
             return;
         }
         for &o in holders {
@@ -1995,6 +2093,12 @@ impl CoherenceSystem {
         llc.dir = DirState::Uncached;
         llc.ward_partial = false;
         self.note_dir(block, DirState::Uncached);
+        self.emit(ProtocolEvent::Reconcile {
+            block,
+            holders: nholders,
+            writebacks: (self.stats.recon_writebacks - wb0) as u32,
+            drops: (self.stats.recon_drops - dp0) as u32,
+        });
     }
 
     // ----- whole-system flush ----------------------------------------------

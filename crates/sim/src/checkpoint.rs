@@ -42,6 +42,7 @@
 use crate::config::MachineConfig;
 use crate::energy::EnergyBreakdown;
 use crate::engine::{SimEngine, SimOptions, SimOutcome};
+use crate::obs::ObsReport;
 use crate::stats::SimStats;
 use std::fmt;
 use std::fs;
@@ -62,7 +63,11 @@ pub const MAGIC: [u8; 8] = *b"WARDCKPT";
 ///   `pending_children` widened from `u32` to `u64`. Version-1 files are
 ///   rejected with [`CheckpointError::UnsupportedVersion`] rather than
 ///   misdecoded.
-pub const VERSION: u32 = 2;
+/// * **3** — engine state gained the optional observability recorder (and
+///   the coherence payload its undrained event buffer), outcome records the
+///   optional observability report, and the options fingerprint covers
+///   [`SimOptions::obs`]. Older files are rejected, not misdecoded.
+pub const VERSION: u32 = 3;
 
 const HEADER_LEN: usize = 8 + 4 + 8;
 const FOOTER_LEN: usize = 8;
@@ -345,6 +350,7 @@ pub fn options_fingerprint(opts: &SimOptions) -> u64 {
         enc.put_f64(v);
     }
     enc.put_bool(opts.check);
+    enc.put_bool(opts.obs);
     match &opts.faults {
         Some(p) => {
             enc.put_bool(true);
@@ -373,7 +379,12 @@ pub fn options_fingerprint(opts: &SimOptions) -> u64 {
 impl<'a> SimEngine<'a> {
     /// Serialize the paused engine into a complete framed checkpoint
     /// (identity header + full simulation state + checksum).
-    pub fn snapshot_to_bytes(&self) -> Vec<u8> {
+    ///
+    /// Takes `&mut self` because an observability-enabled engine records a
+    /// checkpoint-frame event first — part of the run's execution history,
+    /// so the frame itself is included in the snapshot and survives resume.
+    pub fn snapshot_to_bytes(&mut self) -> Vec<u8> {
+        self.note_checkpoint_frame();
         let mut enc = Encoder::new();
         enc.put_u64(self.program_ref().fingerprint());
         enc.put_u64(self.machine_ref().fingerprint());
@@ -385,7 +396,7 @@ impl<'a> SimEngine<'a> {
 
     /// Write a snapshot of the paused engine into `store`, rotating the
     /// previous snapshot into the fallback slot.
-    pub fn try_snapshot(&self, store: &CheckpointStore) -> Result<(), CheckpointError> {
+    pub fn try_snapshot(&mut self, store: &CheckpointStore) -> Result<(), CheckpointError> {
         store.save(&self.snapshot_to_bytes())
     }
 
@@ -465,6 +476,13 @@ pub fn encode_outcome(out: &SimOutcome) -> Vec<u8> {
     for v in &out.violations {
         v.encode_into(&mut enc);
     }
+    match &out.obs {
+        Some(rep) => {
+            enc.put_bool(true);
+            rep.encode_into(&mut enc);
+        }
+        None => enc.put_bool(false),
+    }
     frame(enc.bytes())
 }
 
@@ -488,6 +506,11 @@ pub fn decode_outcome(bytes: &[u8]) -> Result<SimOutcome, CheckpointError> {
     for _ in 0..n {
         violations.push(InvariantViolation::decode_from(&mut dec)?);
     }
+    let obs = if dec.take_bool()? {
+        Some(ObsReport::decode_from(&mut dec)?)
+    } else {
+        None
+    };
     dec.finish()?;
     Ok(SimOutcome {
         protocol,
@@ -498,6 +521,7 @@ pub fn decode_outcome(bytes: &[u8]) -> Result<SimOutcome, CheckpointError> {
         final_memory,
         region_peak,
         violations,
+        obs,
     })
 }
 
@@ -691,6 +715,62 @@ mod tests {
         let a = resumed.run();
         let b = simulate_with_options(&p, &m, Protocol::Warden, &opts);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn obs_reports_ride_records_and_checkpoints() {
+        use crate::obs::SimEvent;
+        let p = sample_program();
+        let m = tiny_machine();
+        let opts = SimOptions {
+            obs: true,
+            ..SimOptions::default()
+        };
+        let out = simulate_with_options(&p, &m, Protocol::Warden, &opts);
+
+        // The report travels inside the outcome record (host spans do not).
+        let bytes = encode_outcome(&out);
+        let back = decode_outcome(&bytes).expect("record decodes");
+        assert_eq!(back.stats, out.stats);
+        let (a, b) = (back.obs.unwrap(), out.obs.clone().unwrap());
+        assert_eq!(a.timeline, b.timeline);
+        assert_eq!(a.epochs, b.epochs);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.region_spans, b.region_spans);
+        assert!(a.spans.is_empty(), "host spans do not ride records");
+
+        // A snapshot taken with obs on refuses to resume without it, and
+        // the matching resume keeps the pre-snapshot event history plus the
+        // checkpoint-frame marker.
+        let mut eng = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        for _ in 0..500 {
+            eng.step();
+        }
+        let snap = eng.snapshot_to_bytes();
+        let plain = SimOptions::default();
+        let err =
+            SimEngine::resume_from_bytes(&p, &m, Protocol::Warden, &plain, &snap).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { what: "options" }));
+
+        let resumed = SimEngine::resume_from_bytes(&p, &m, Protocol::Warden, &opts, &snap)
+            .expect("resume")
+            .run();
+        assert_eq!(resumed.stats, out.stats);
+        let rep = resumed.obs.unwrap();
+        assert!(
+            rep.timeline
+                .iter()
+                .any(|t| t.event == SimEvent::CheckpointFrame),
+            "checkpoint frame is part of the resumed run's history"
+        );
+        assert!(
+            !out.obs
+                .unwrap()
+                .timeline
+                .iter()
+                .any(|t| t.event == SimEvent::CheckpointFrame),
+            "an uninterrupted run records no frame"
+        );
     }
 
     #[test]

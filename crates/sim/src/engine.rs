@@ -18,6 +18,7 @@ use crate::config::MachineConfig;
 use crate::energy::{energy_of, EnergyBreakdown, EnergyParams};
 use crate::error::SimError;
 use crate::faults::{FaultInjector, FaultPlan};
+use crate::obs::{timed, ObsRecorder, ObsReport};
 use crate::stats::SimStats;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -50,6 +51,10 @@ pub struct SimOutcome {
     /// Invariant violations found by the checker (always empty unless
     /// [`SimOptions::check`] was set; must be empty on an unmutated run).
     pub violations: Vec<InvariantViolation>,
+    /// The observability report (always `None` unless [`SimOptions::obs`]
+    /// was set): cycle-stamped event timeline, per-epoch summaries, latency
+    /// histograms and the Perfetto exporter.
+    pub obs: Option<ObsReport>,
 }
 
 /// Options for [`simulate_with_options`].
@@ -62,6 +67,11 @@ pub struct SimOptions {
     /// Run the coherence invariant checker after every directory
     /// transaction; violations land in [`SimOutcome::violations`].
     pub check: bool,
+    /// Record cycle-stamped protocol events, per-epoch summaries and
+    /// latency histograms; the report lands in [`SimOutcome::obs`].
+    /// Recording is passive — statistics and memory images stay
+    /// bit-identical to an unobserved run.
+    pub obs: bool,
 }
 
 struct Core {
@@ -151,6 +161,7 @@ pub struct SimEngine<'a> {
     opts: SimOptions,
     coh: CoherenceSystem,
     injector: Option<FaultInjector>,
+    recorder: Option<ObsRecorder>,
     rng: SmallRng,
     cores: Vec<Core>,
     tasks: Vec<TaskRun>,
@@ -197,6 +208,12 @@ impl<'a> SimEngine<'a> {
         if opts.check {
             coh.enable_checker();
         }
+        let recorder = if opts.obs {
+            coh.enable_obs();
+            Some(ObsRecorder::new())
+        } else {
+            None
+        };
         let injector = opts
             .faults
             .clone()
@@ -236,6 +253,7 @@ impl<'a> SimEngine<'a> {
             opts: opts.clone(),
             coh,
             injector,
+            recorder,
             rng,
             cores,
             tasks,
@@ -356,10 +374,16 @@ impl<'a> SimEngine<'a> {
         let protocol = self.protocol;
         let coh = &mut self.coh;
         let injector = &mut self.injector;
+        let recorder = &mut self.recorder;
         let stats = &mut self.stats;
         let regions = &mut self.regions;
         let tasks = &mut self.tasks;
         let core = &mut self.cores[cid];
+        // Observability bookkeeping filled in by the access arms and
+        // consumed after the match (where the core borrow has ended); both
+        // stay untouched when recording is off.
+        let mut obs_access: Option<u64> = None;
+        let mut obs_fault_extra = 0u64;
         match ev {
             Event::Compute { amount } => {
                 let c = machine.compute_cycles(*amount);
@@ -369,14 +393,19 @@ impl<'a> SimEngine<'a> {
             }
             Event::Load { addr, size } => {
                 drain_store_buffer(core);
-                let lat = coh.load(cid, *addr, *size as u64);
+                let lat = timed(recorder, "access.load", || {
+                    coh.load(cid, *addr, *size as u64)
+                });
                 core.clock += lat;
                 stats.load_cycles += lat;
                 stats.instructions += 1;
                 stats.memory_accesses += 1;
                 if let Some(inj) = injector.as_mut() {
-                    core.clock += inj.after_access(lat, machine, coh);
+                    let extra = inj.after_access(lat, machine, coh);
+                    core.clock += extra;
+                    obs_fault_extra += extra;
                 }
+                obs_access = Some(lat);
             }
             Event::Store { addr, size, val } => {
                 drain_store_buffer(core);
@@ -390,7 +419,9 @@ impl<'a> SimEngine<'a> {
                     }
                 }
                 let bytes = val.to_le_bytes();
-                let lat = coh.store(cid, *addr, &bytes[..*size as usize]);
+                let lat = timed(recorder, "access.store", || {
+                    coh.store(cid, *addr, &bytes[..*size as usize])
+                });
                 if lat > machine.lat.l2 {
                     core.store_buffer.push(Reverse(core.clock + lat));
                 }
@@ -399,8 +430,11 @@ impl<'a> SimEngine<'a> {
                 stats.instructions += 1;
                 stats.memory_accesses += 1;
                 if let Some(inj) = injector.as_mut() {
-                    core.clock += inj.after_access(lat, machine, coh);
+                    let extra = inj.after_access(lat, machine, coh);
+                    core.clock += extra;
+                    obs_fault_extra += extra;
                 }
+                obs_access = Some(lat);
             }
             Event::Rmw {
                 addr,
@@ -409,20 +443,23 @@ impl<'a> SimEngine<'a> {
                 op,
             } => {
                 drain_store_buffer(core);
-                let lat = match op {
+                let lat = timed(recorder, "access.rmw", || match op {
                     warden_rt::RmwOp::Swap => {
                         let bytes = val.to_le_bytes();
                         coh.rmw(cid, *addr, &bytes[..*size as usize])
                     }
                     warden_rt::RmwOp::Add => coh.rmw_add(cid, *addr, *size as u64, *val),
-                };
+                });
                 core.clock += lat;
                 stats.rmw_cycles += lat;
                 stats.instructions += 1;
                 stats.memory_accesses += 1;
                 if let Some(inj) = injector.as_mut() {
-                    core.clock += inj.after_access(lat, machine, coh);
+                    let extra = inj.after_access(lat, machine, coh);
+                    core.clock += extra;
+                    obs_fault_extra += extra;
                 }
+                obs_access = Some(lat);
             }
             Event::Fork { children } => {
                 tasks[task].pending_children = children.len() as u64;
@@ -443,7 +480,9 @@ impl<'a> SimEngine<'a> {
                         }
                     }
                     if let Some(inj) = injector.as_mut() {
-                        core.clock += inj.after_region_add(coh);
+                        let extra = inj.after_region_add(coh);
+                        core.clock += extra;
+                        obs_fault_extra += extra;
                     }
                 }
             }
@@ -456,7 +495,7 @@ impl<'a> SimEngine<'a> {
                         .map(|pos| regions.remove(pos).1)
                     {
                         Some(id) => {
-                            let lat = coh.remove_region(id);
+                            let lat = timed(recorder, "reconcile-walk", || coh.remove_region(id));
                             core.clock += lat;
                             stats.region_cycles += lat;
                         }
@@ -470,7 +509,27 @@ impl<'a> SimEngine<'a> {
                 }
             }
         }
+        if let Some(rec) = self.recorder.as_mut() {
+            let clock = self.cores[cid].clock;
+            if let Some(lat) = obs_access {
+                rec.note_access(clock, lat, machine.lat.l2);
+            }
+            if obs_fault_extra > 0 {
+                rec.note_fault_stall(clock, cid, obs_fault_extra);
+            }
+            rec.drain(&mut self.coh, clock, cid);
+        }
         self.makespan = self.makespan.max(self.cores[cid].clock);
+    }
+
+    /// Record a checkpoint-frame event at the run's current leading clock.
+    /// Frames are execution history — a resumed run keeps the one recorded
+    /// before its snapshot, an uninterrupted run records none.
+    pub(crate) fn note_checkpoint_frame(&mut self) {
+        if let Some(rec) = self.recorder.as_mut() {
+            let clock = self.cores.iter().map(|c| c.clock).max().unwrap_or(0);
+            rec.note_checkpoint_frame(clock);
+        }
     }
 
     /// Consume the engine and produce the [`SimOutcome`] (end-of-run
@@ -485,6 +544,12 @@ impl<'a> SimEngine<'a> {
             inj.finish(&mut self.coh);
             self.stats.faults = inj.stats;
         }
+        if let Some(rec) = self.recorder.as_mut() {
+            // End-of-run cleanup events (e.g. decoy-region releases) land
+            // at the makespan, attributed to core 0.
+            rec.drain(&mut self.coh, self.makespan, 0);
+        }
+        let obs = self.recorder.take().map(ObsRecorder::into_report);
         let violations = self.coh.take_violations();
         let region_peak = self.coh.region_peak();
         self.coh.flush_all();
@@ -505,6 +570,7 @@ impl<'a> SimEngine<'a> {
             energy,
             region_peak,
             violations,
+            obs,
         }
     }
 
@@ -560,6 +626,13 @@ impl<'a> SimEngine<'a> {
             Some(inj) => {
                 enc.put_bool(true);
                 inj.encode_state(enc);
+            }
+            None => enc.put_bool(false),
+        }
+        match &self.recorder {
+            Some(rec) => {
+                enc.put_bool(true);
+                rec.encode_state(enc);
             }
             None => enc.put_bool(false),
         }
@@ -679,6 +752,17 @@ impl<'a> SimEngine<'a> {
         }
         if let Some(inj) = self.injector.as_mut() {
             inj.apply_state(dec)?;
+        }
+        let has_recorder = dec.take_bool()?;
+        if has_recorder != self.recorder.is_some() {
+            return Err(invalid(
+                "engine",
+                "observability presence differs from the checkpoint".into(),
+            ));
+        }
+        if let Some(rec) = self.recorder.as_mut() {
+            // The span profile restarts empty: it measures the host.
+            *rec = ObsRecorder::decode_state(dec)?;
         }
         self.coh.restore_state(dec)?;
 
@@ -857,6 +941,94 @@ mod tests {
     }
 
     #[test]
+    fn observability_is_passive_and_reports() {
+        use crate::obs::SimEvent;
+        let p = sample_program();
+        let m = tiny_machine();
+        let plain = simulate(&p, &m, Protocol::Warden);
+        assert!(plain.obs.is_none(), "obs is opt-in");
+        let opts = SimOptions {
+            obs: true,
+            ..SimOptions::default()
+        };
+        let observed = simulate_with_options(&p, &m, Protocol::Warden, &opts);
+        assert_eq!(
+            observed.stats, plain.stats,
+            "recording must not perturb the run"
+        );
+        assert_eq!(observed.memory_image_digest, plain.memory_image_digest);
+
+        let rep = observed.obs.expect("report present");
+        assert!(!rep.timeline.is_empty());
+        assert!(
+            rep.metrics.counter("GetS").unwrap_or(0)
+                + rep.metrics.counter("GetS.ward").unwrap_or(0)
+                > 0,
+            "read misses must be observed"
+        );
+        assert!(
+            !rep.region_spans.is_empty(),
+            "leaf heaps must open WARD regions"
+        );
+        assert!(rep.metrics.hist("miss_latency_cycles").unwrap().count() > 0);
+        // With nothing dropped, the epoch summaries account for exactly the
+        // protocol events on the timeline.
+        assert_eq!(rep.dropped_events, 0);
+        let epoch_events: u64 = rep.epochs.iter().map(|e| e.events).sum();
+        let proto_events = rep
+            .timeline
+            .iter()
+            .filter(|t| matches!(t.event, SimEvent::Protocol(_)))
+            .count() as u64;
+        assert_eq!(epoch_events, proto_events);
+        // The host profile saw the instrumented phases.
+        assert!(rep.spans.get("access.load").is_some());
+        assert!(rep.spans.get("reconcile-walk").is_some());
+        // And the timeline exports as a well-formed Perfetto trace.
+        warden_obs::validate_trace(&rep.trace_event_json("sample")).expect("well-formed trace");
+    }
+
+    #[test]
+    fn state_transfer_preserves_observability_history() {
+        let p = sample_program();
+        let m = tiny_machine();
+        let opts = SimOptions {
+            obs: true,
+            ..SimOptions::default()
+        };
+        let reference = simulate_with_options(&p, &m, Protocol::Warden, &opts);
+
+        let mut eng = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        for _ in 0..2_000 {
+            if !eng.step() {
+                break;
+            }
+        }
+        let mut enc = Encoder::new();
+        eng.encode_state(&mut enc);
+        let bytes = enc.into_bytes();
+
+        let mut fresh = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        let mut dec = Decoder::new(&bytes);
+        fresh.apply_state(&mut dec).expect("state applies");
+        dec.finish().expect("no trailing bytes");
+        let mut enc2 = Encoder::new();
+        fresh.encode_state(&mut enc2);
+        assert_eq!(
+            enc2.bytes(),
+            &bytes[..],
+            "snapshot stays canonical with the recorder live"
+        );
+
+        let resumed = fresh.run();
+        assert_eq!(resumed.stats, reference.stats);
+        let (a, b) = (resumed.obs.unwrap(), reference.obs.unwrap());
+        assert_eq!(a.timeline, b.timeline, "event history survives transfer");
+        assert_eq!(a.epochs, b.epochs);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
     fn state_transfer_rejects_wrong_shapes() {
         let p = sample_program();
         let m = tiny_machine();
@@ -881,6 +1053,21 @@ mod tests {
         };
         let mut other = SimEngine::new(&p, &m, Protocol::Warden, &faulty);
         assert!(other.apply_state(&mut Decoder::new(&bytes)).is_err());
+
+        // An observed state refuses an engine without a recorder.
+        let observed = SimOptions {
+            obs: true,
+            ..SimOptions::default()
+        };
+        let mut eng = SimEngine::new(&p, &m, Protocol::Warden, &observed);
+        for _ in 0..500 {
+            eng.step();
+        }
+        let mut enc = Encoder::new();
+        eng.encode_state(&mut enc);
+        let obs_bytes = enc.into_bytes();
+        let mut other = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        assert!(other.apply_state(&mut Decoder::new(&obs_bytes)).is_err());
     }
 
     #[test]

@@ -236,6 +236,17 @@ impl FaultStats {
         for_each_fault_counter!(take, s, dec);
         Ok(s)
     }
+
+    /// Every counter as `(name, value)` pairs in declaration order, for
+    /// golden-stats snapshots.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        macro_rules! list {
+            ($self:ident: $($f:ident),* $(,)?) => {
+                return vec![ $( (stringify!($f), $self.$f) ),* ];
+            };
+        }
+        for_each_fault_counter!(list, self);
+    }
 }
 
 /// The live injector driving one replay's [`FaultPlan`].

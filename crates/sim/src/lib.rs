@@ -41,6 +41,7 @@ mod energy;
 mod engine;
 mod error;
 mod faults;
+mod obs;
 pub mod pingpong;
 mod report;
 mod stats;
@@ -54,6 +55,10 @@ pub use engine::{
 };
 pub use error::SimError;
 pub use faults::{FaultPlan, FaultStats};
+pub use obs::{
+    EpochSummary, ObsReport, RegionSpan, SimEvent, TimedEvent, DEFAULT_EPOCH_SHIFT,
+    MAX_TIMELINE_EVENTS,
+};
 pub use pingpong::{pingpong, table1, Placement, Table1Row};
 pub use report::{geomean_speedup, mean, Comparison};
 pub use stats::SimStats;

@@ -126,6 +126,27 @@ impl SimStats {
         Ok(s)
     }
 
+    /// Every measurement as `(name, value)` pairs in declaration order,
+    /// with nested coherence and fault counters flattened under
+    /// `coherence.` / `faults.` prefixes — the surface the golden-stats
+    /// snapshot tests freeze.
+    pub fn fields(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        macro_rules! list {
+            ($self:ident: $($f:ident),* $(,)?) => {
+                $( out.push((stringify!($f).to_string(), $self.$f)); )*
+            };
+        }
+        for_each_sim_counter!(list, self);
+        for (n, v) in self.coherence.fields() {
+            out.push((format!("coherence.{n}"), v));
+        }
+        for (n, v) in self.faults.fields() {
+            out.push((format!("faults.{n}"), v));
+        }
+        out
+    }
+
     /// The classified per-category cycle totals, in display order:
     /// (label, cycles) over all cores.
     pub fn cycle_breakdown(&self) -> [(&'static str, u64); 8] {

@@ -29,9 +29,11 @@
 //! assert_eq!(baseline.memory_image_digest, warden.memory_image_digest);
 //! ```
 
+pub use warden_bench as bench;
 pub use warden_cacti as cacti;
 pub use warden_coherence as coherence;
 pub use warden_mem as mem;
+pub use warden_obs as obs;
 pub use warden_pbbs as pbbs;
 pub use warden_rt as rt;
 pub use warden_sim as sim;

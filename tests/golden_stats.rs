@@ -1,0 +1,118 @@
+//! Golden-stats snapshot tests: every PBBS benchmark at tiny scale, under
+//! both protocols, must reproduce its committed statistics exactly.
+//!
+//! The simulator is deterministic, so any drift in any counter — cycle
+//! counts, hit rates, coherence events, reconciliation totals — is a
+//! behaviour change that must be reviewed, not noise. A mismatch prints a
+//! field-level diff (golden vs. measured, with the delta) instead of two
+//! opaque blobs.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```console
+//! $ UPDATE_GOLDENS=1 cargo test --test golden_stats
+//! $ git diff tests/goldens/   # review every changed counter
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use warden::coherence::Protocol;
+use warden::pbbs::{Bench, Scale};
+use warden::sim::{simulate, MachineConfig};
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens")
+}
+
+fn render(fields: &[(String, u64)]) -> String {
+    let mut s = String::new();
+    for (n, v) in fields {
+        writeln!(s, "{n} = {v}").unwrap();
+    }
+    s
+}
+
+fn parse(text: &str) -> BTreeMap<String, u64> {
+    text.lines()
+        .filter_map(|line| {
+            let (n, v) = line.split_once(" = ")?;
+            Some((n.to_string(), v.parse().ok()?))
+        })
+        .collect()
+}
+
+/// A readable field-level diff: changed counters with deltas, then any
+/// fields present on only one side.
+fn diff(golden: &BTreeMap<String, u64>, measured: &[(String, u64)]) -> String {
+    let mut out = String::new();
+    let measured_map: BTreeMap<&str, u64> =
+        measured.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    for (n, v) in measured {
+        match golden.get(n) {
+            Some(want) if want != v => {
+                let delta = *v as i128 - *want as i128;
+                writeln!(out, "    {n}: golden {want}, measured {v} ({delta:+})").unwrap();
+            }
+            Some(_) => {}
+            None => writeln!(out, "    {n}: not in golden (measured {v})").unwrap(),
+        }
+    }
+    for (n, v) in golden {
+        if !measured_map.contains_key(n.as_str()) {
+            writeln!(out, "    {n}: only in golden ({v})").unwrap();
+        }
+    }
+    out
+}
+
+#[test]
+fn every_benchmark_matches_its_golden_stats() {
+    let machine = MachineConfig::dual_socket().with_cores(4);
+    let update = std::env::var("UPDATE_GOLDENS").as_deref() == Ok("1");
+    let mut failures = Vec::new();
+    let mut checked = 0;
+    for bench in Bench::ALL {
+        let program = bench.build(Scale::Tiny);
+        for (protocol, tag) in [(Protocol::Mesi, "mesi"), (Protocol::Warden, "warden")] {
+            let out = simulate(&program, &machine, protocol);
+            let fields = out.stats.fields();
+            let path = goldens_dir().join(format!("{}-{tag}.txt", bench.name()));
+            let rendered = render(&fields);
+            if update {
+                std::fs::write(&path, &rendered)
+                    .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+                checked += 1;
+                continue;
+            }
+            let Ok(want_text) = std::fs::read_to_string(&path) else {
+                failures.push(format!(
+                    "  {}/{tag}: golden file {} missing — run \
+                     `UPDATE_GOLDENS=1 cargo test --test golden_stats`",
+                    bench.name(),
+                    path.display()
+                ));
+                continue;
+            };
+            if want_text != rendered {
+                failures.push(format!(
+                    "  {}/{tag}:\n{}",
+                    bench.name(),
+                    diff(&parse(&want_text), &fields)
+                ));
+            }
+            checked += 1;
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} golden snapshot(s) diverged:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+    assert_eq!(
+        checked,
+        Bench::ALL.len() * 2,
+        "expected every benchmark under both protocols"
+    );
+}
