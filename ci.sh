@@ -18,6 +18,13 @@
 #                    end-to-end trace export validated with obs_lint
 #                    (obs_trace_ci/ is left behind for the workflow to
 #                    archive)
+#   ./ci.sh serve    simulation-service gate: the serve wire-protocol and
+#                    cache/soak test suites, then a release loadgen run
+#                    against an in-process server over a Unix socket —
+#                    every response digest-checked against a direct
+#                    simulation, the request timeline validated with
+#                    obs_lint, and serve_metrics_ci.json left behind for
+#                    the workflow to archive
 #   ./ci.sh          all of the above
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -145,20 +152,46 @@ obs() {
   echo "   exported and validated $(ls "$dir"/*.trace.json | wc -l) traces in $dir/"
 }
 
+serve() {
+  echo "== serve protocol + cache + soak test suites =="
+  cargo test -q --offline -p warden-serve
+  cargo test -q --offline --test proptest_serve --test serve_soak
+
+  echo "== loadgen conformance run (in-process server, Unix socket) =="
+  cargo build -q --release --offline -p warden-bench --bin loadgen --bin obs_lint
+  local dir=serve_ci
+  rm -rf "$dir"
+  mkdir -p "$dir"
+  target/release/loadgen --spawn --uds "$dir/warden.sock" --scale tiny \
+    --clients 8 --iters 6 --quiet \
+    --out serve_metrics_ci.json --obs "$dir"
+  target/release/obs_lint "$dir/loadgen.trace.json"
+  test -s serve_metrics_ci.json
+  # The run must have exercised the cache: a zero hit count would mean the
+  # content addressing silently stopped working.
+  if ! grep -qE '"cache_hits": [1-9]' serve_metrics_ci.json; then
+    echo "FAILED: loadgen reports no cache hits" >&2
+    exit 1
+  fi
+  echo "   wrote serve_metrics_ci.json and validated $dir/loadgen.trace.json"
+}
+
 stage="${1:-all}"
 case "$stage" in
   checks) checks ;;
   smoke) smoke ;;
   bench) bench ;;
   obs) obs ;;
+  serve) serve ;;
   all)
     checks
     smoke
     bench
     obs
+    serve
     ;;
   *)
-    echo "usage: ci.sh [checks|smoke|bench|obs|all]" >&2
+    echo "usage: ci.sh [checks|smoke|bench|obs|serve|all]" >&2
     exit 2
     ;;
 esac

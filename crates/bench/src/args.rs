@@ -17,9 +17,15 @@
 //! | `--deadline-ms <ms>`   | per-run watchdog deadline |
 //! | `--retries <n>`        | retry budget per campaign run |
 //! | `--quiet`              | suppress campaign progress lines |
-//! | `--out <path>`         | `bench_baseline`: report destination |
+//! | `--out <path>`         | `bench_baseline`/`loadgen`: report destination |
 //! | `--baseline <path>`    | `bench_baseline`: earlier report to compare against |
 //! | `--runs <n>`           | `bench_baseline`: repetitions per sample |
+//! | `--addr <host:port>`   | `serve`/`loadgen`: TCP address to bind/connect |
+//! | `--uds <path>`         | `serve`/`loadgen`: Unix-socket path to bind/connect |
+//! | `--clients <n>`        | `loadgen`: concurrent client connections |
+//! | `--iters <n>`          | `loadgen`: requests per client |
+//! | `--queue-cap <n>`      | `serve`/`loadgen --spawn`: bounded queue capacity |
+//! | `--spawn`              | `loadgen`: start an in-process server to drive |
 //!
 //! Non-flag arguments are collected in [`HarnessArgs::positional`] for the
 //! binaries that take them (`record`, `replay`).
@@ -33,19 +39,25 @@ use std::time::Duration;
 /// Every flag the harness binaries understand, with value placeholders —
 /// printed by the unknown-flag error.
 pub const VALID_FLAGS: &[&str] = &[
+    "--addr <host:port>",
     "--baseline <path>",
     "--campaign-dir <dir>",
     "--check",
+    "--clients <n>",
     "--deadline-ms <ms>",
     "--faults <seed>",
+    "--iters <n>",
     "--jobs <n>",
     "--markdown <path>",
     "--obs <dir>",
     "--out <path>",
+    "--queue-cap <n>",
     "--quiet",
     "--retries <n>",
     "--runs <n>",
     "--scale <tiny|paper>",
+    "--spawn",
+    "--uds <path>",
 ];
 
 /// Parsed command line shared by the harness binaries.
@@ -78,6 +90,20 @@ pub struct HarnessArgs {
     pub baseline: Option<PathBuf>,
     /// `--runs <n>`: repetitions per throughput sample.
     pub runs: Option<u32>,
+    /// `--addr <host:port>`: TCP address for `serve` (bind) and `loadgen`
+    /// (connect).
+    pub addr: Option<String>,
+    /// `--uds <path>`: Unix-socket path for `serve` (bind) and `loadgen`
+    /// (connect).
+    pub uds: Option<PathBuf>,
+    /// `--clients <n>`: concurrent load-generator connections.
+    pub clients: Option<usize>,
+    /// `--iters <n>`: requests each load-generator client sends.
+    pub iters: Option<usize>,
+    /// `--queue-cap <n>`: bounded request-queue capacity for the server.
+    pub queue_cap: Option<usize>,
+    /// `--spawn`: `loadgen` starts an in-process server to drive.
+    pub spawn: bool,
     /// Non-flag arguments, in order (used by `record` and `replay`).
     pub positional: Vec<String>,
 }
@@ -164,6 +190,30 @@ impl HarnessArgs {
                     out.baseline = Some(PathBuf::from(value(&mut it, "--baseline", "<path>")?))
                 }
                 "--runs" => out.runs = Some(number(&mut it, "--runs", "<n>")?),
+                "--addr" => out.addr = Some(value(&mut it, "--addr", "<host:port>")?),
+                "--uds" => out.uds = Some(PathBuf::from(value(&mut it, "--uds", "<path>")?)),
+                "--clients" => {
+                    let n: usize = number(&mut it, "--clients", "<n>")?;
+                    if n == 0 {
+                        return Err(HarnessError::Args("--clients must be at least 1".into()));
+                    }
+                    out.clients = Some(n);
+                }
+                "--iters" => {
+                    let n: usize = number(&mut it, "--iters", "<n>")?;
+                    if n == 0 {
+                        return Err(HarnessError::Args("--iters must be at least 1".into()));
+                    }
+                    out.iters = Some(n);
+                }
+                "--queue-cap" => {
+                    let n: usize = number(&mut it, "--queue-cap", "<n>")?;
+                    if n == 0 {
+                        return Err(HarnessError::Args("--queue-cap must be at least 1".into()));
+                    }
+                    out.queue_cap = Some(n);
+                }
+                "--spawn" => out.spawn = true,
                 _ if a.starts_with("--") => return Err(unknown(&a)),
                 _ => out.positional.push(a),
             }
@@ -232,6 +282,17 @@ mod tests {
             "--retries",
             "1",
             "--quiet",
+            "--addr",
+            "127.0.0.1:0",
+            "--uds",
+            "sock",
+            "--clients",
+            "8",
+            "--iters",
+            "4",
+            "--queue-cap",
+            "2",
+            "--spawn",
             "primes",
         ])
         .unwrap();
@@ -250,6 +311,13 @@ mod tests {
             (Some(3), Some(250), Some(1))
         );
         assert!(a.quiet);
+        assert_eq!(a.addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(a.uds.as_deref(), Some(std::path::Path::new("sock")));
+        assert_eq!(
+            (a.clients, a.iters, a.queue_cap),
+            (Some(8), Some(4), Some(2))
+        );
+        assert!(a.spawn);
         assert_eq!(a.positional, vec!["primes".to_string()]);
 
         let cfg = a.campaign_config();
@@ -278,5 +346,9 @@ mod tests {
         assert!(parse(&["--jobs", "0"]).is_err());
         assert!(parse(&["--deadline-ms"]).is_err());
         assert!(parse(&["--retries", "-1"]).is_err());
+        assert!(parse(&["--clients", "0"]).is_err());
+        assert!(parse(&["--iters", "0"]).is_err());
+        assert!(parse(&["--queue-cap", "0"]).is_err());
+        assert!(parse(&["--addr"]).is_err());
     }
 }

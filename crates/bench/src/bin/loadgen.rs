@@ -1,0 +1,186 @@
+//! Oracle-backed load generator for `warden-serve`:
+//!
+//! ```console
+//! $ cargo run -p warden-bench --release --bin loadgen -- \
+//!       --spawn --clients 8 --iters 6 --scale tiny
+//! ```
+//!
+//! The plan is five benchmarks × {MESI, WARDen} on a dual-socket machine
+//! (2 cores/socket at `--scale tiny`, the full 12 at `paper`). Every
+//! expected outcome is first computed *directly* through the supervised
+//! campaign runner; the clients then drive the server concurrently and
+//! every `Outcome` response must match its oracle digest bit for bit.
+//! The exit status is the conformance verdict.
+//!
+//! | flag                 | effect |
+//! |----------------------|--------|
+//! | `--spawn`            | start an in-process server and drive it |
+//! | `--addr <host:port>` | connect to (or, with `--spawn`, bind) this TCP address |
+//! | `--uds <path>`       | connect over (or bind) a Unix socket instead |
+//! | `--clients <n>`      | concurrent connections (default 8) |
+//! | `--iters <n>`        | requests per client (default 6) |
+//! | `--queue-cap <n>`    | `--spawn`: bounded queue capacity |
+//! | `--jobs <n>`         | `--spawn`: server workers; always: oracle workers |
+//! | `--scale tiny|paper` | input scale for the plan |
+//! | `--check`            | run the invariant checker inside each simulation |
+//! | `--obs <dir>`        | `--spawn`: write the server timeline as `loadgen.trace.json` |
+//! | `--out <path>`       | write the metrics + conformance JSON report |
+
+use warden_bench::loadgen::{drive, metrics_json, oracle, Target};
+use warden_bench::runner::SuiteScale;
+use warden_bench::{harness_main, HarnessArgs, HarnessError};
+use warden_coherence::Protocol;
+use warden_pbbs::{Bench, Scale};
+use warden_serve::{MachinePreset, MachineSpec, ServeConfig, Server, SimRequest};
+
+fn main() {
+    harness_main(run);
+}
+
+fn run() -> Result<(), HarnessError> {
+    let args = HarnessArgs::parse()?;
+    if !args.positional.is_empty() {
+        return Err(HarnessError::Args(format!(
+            "loadgen takes no positional arguments, got {:?}",
+            args.positional
+        )));
+    }
+    if !args.spawn && args.addr.is_none() && args.uds.is_none() {
+        return Err(HarnessError::Args(
+            "loadgen needs a target: --spawn, --addr <host:port> or --uds <path>".into(),
+        ));
+    }
+
+    let scale = match args.scale {
+        SuiteScale::Tiny => Scale::Tiny,
+        SuiteScale::Paper => Scale::Paper,
+    };
+    // Small machines keep tiny-scale replays fast without changing what is
+    // being proven: the digests cover the full outcome either way.
+    let machine = match scale {
+        Scale::Tiny => MachineSpec::new(MachinePreset::DualSocket).with_cores(2),
+        Scale::Paper => MachineSpec::new(MachinePreset::DualSocket),
+    };
+    let benches = [
+        Bench::Fib,
+        Bench::MakeArray,
+        Bench::Primes,
+        Bench::Msort,
+        Bench::Tokens,
+    ];
+    let mut requests = Vec::new();
+    for bench in benches {
+        for protocol in [Protocol::Mesi, Protocol::Warden] {
+            requests.push(SimRequest {
+                bench,
+                scale,
+                machine,
+                protocol,
+                check: args.run.check,
+            });
+        }
+    }
+
+    eprintln!(
+        "loadgen: computing {} oracle digest(s) through the campaign runner",
+        requests.len()
+    );
+    let plan = oracle(&requests, &args.campaign_config())?;
+
+    let clients = args.clients.unwrap_or(8);
+    let iters = args.iters.unwrap_or(6);
+    let (server, target) = if args.spawn {
+        let cfg = ServeConfig {
+            tcp: match (&args.addr, &args.uds) {
+                (Some(addr), _) => Some(addr.clone()),
+                (None, Some(_)) => None,
+                (None, None) => Some("127.0.0.1:0".to_string()),
+            },
+            uds: args.uds.clone(),
+            workers: args.jobs.unwrap_or(2),
+            queue_cap: args.queue_cap.unwrap_or(16),
+            record_trace: args.obs.is_some(),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(cfg).map_err(|e| HarnessError::Failed(e.to_string()))?;
+        let target = match (server.uds_path(), server.tcp_addr()) {
+            (Some(path), _) => Target::Uds(path.clone()),
+            (None, Some(addr)) => Target::Tcp(addr.to_string()),
+            (None, None) => unreachable!("a started server has a listener"),
+        };
+        (Some(server), target)
+    } else if let Some(path) = &args.uds {
+        (None, Target::Uds(path.clone()))
+    } else {
+        (None, Target::Tcp(args.addr.clone().expect("checked above")))
+    };
+
+    eprintln!("loadgen: driving {target:?} with {clients} client(s) x {iters} request(s)");
+    let outcome = drive(&target, &plan, clients, iters);
+
+    // Drain the spawned server even when the drive failed, so its report
+    // (and trace) survive for diagnosis.
+    let shutdown = server.map(Server::shutdown);
+    let report = outcome?;
+
+    let metrics = match &shutdown {
+        Some(s) => s.metrics.clone(),
+        None => {
+            // Remote server: pull its snapshot over the wire.
+            let fetched = match &target {
+                Target::Tcp(addr) => {
+                    warden_serve::Client::connect(addr).and_then(|mut c| c.metrics())
+                }
+                #[cfg(unix)]
+                Target::Uds(path) => {
+                    warden_serve::Client::connect_uds(path).and_then(|mut c| c.metrics())
+                }
+                #[cfg(not(unix))]
+                Target::Uds(_) => Err(warden_serve::ServeError::Config(
+                    "Unix sockets are unavailable on this platform".into(),
+                )),
+            };
+            fetched.map_err(|e| HarnessError::Failed(format!("metrics fetch failed: {e}")))?
+        }
+    };
+
+    println!(
+        "loadgen: {} response(s), {} cache-served, {} busy retr(ies), {} mismatch(es)",
+        report.responses, report.cache_hits, report.busy_retries, report.mismatches
+    );
+    let expected = clients as u64 * iters as u64;
+    if report.responses != expected {
+        return Err(HarnessError::Failed(format!(
+            "expected {expected} responses, got {}",
+            report.responses
+        )));
+    }
+    if report.cache_hits == 0 && expected > plan.len() as u64 {
+        return Err(HarnessError::Failed(
+            "a plan smaller than the request count must produce cache hits".into(),
+        ));
+    }
+
+    if let (Some(dir), Some(s)) = (&args.obs, &shutdown) {
+        std::fs::create_dir_all(dir).map_err(|e| HarnessError::Io {
+            path: dir.clone(),
+            source: e,
+        })?;
+        let path = dir.join("loadgen.trace.json");
+        let json = s.trace_json.as_deref().unwrap_or("{}");
+        std::fs::write(&path, json).map_err(|e| HarnessError::Io {
+            path: path.clone(),
+            source: e,
+        })?;
+        println!("loadgen: wrote {}", path.display());
+    }
+    if let Some(out) = &args.out {
+        std::fs::write(out, metrics_json(&metrics, &report)).map_err(|e| HarnessError::Io {
+            path: out.clone(),
+            source: e,
+        })?;
+        println!("loadgen: wrote {}", out.display());
+    }
+    println!("loadgen: conformance OK — every response matched its oracle digest");
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! Run a `warden-serve` simulation server:
+//!
+//! ```console
+//! $ cargo run -p warden-bench --release --bin serve -- --addr 127.0.0.1:7878
+//! serve: listening on 127.0.0.1:7878 (2 workers, queue 16)
+//! ```
+//!
+//! The server runs until stdin reaches EOF or a line reading `quit`
+//! arrives, then drains gracefully: queued simulations finish, every
+//! blocked client receives its reply, and only then do the threads join.
+//!
+//! | flag                 | effect |
+//! |----------------------|--------|
+//! | `--addr <host:port>` | TCP bind address (default `127.0.0.1:7878`) |
+//! | `--uds <path>`       | also (or only) bind a Unix socket |
+//! | `--jobs <n>`         | worker threads (default 2) |
+//! | `--queue-cap <n>`    | bounded queue capacity (default 16) |
+//! | `--obs <dir>`        | record a request timeline; write `serve.trace.json` there |
+//! | `--out <path>`       | write a final metrics JSON report |
+
+use std::io::BufRead;
+use warden_bench::loadgen::{metrics_json, LoadReport};
+use warden_bench::{harness_main, HarnessArgs, HarnessError};
+use warden_serve::{ServeConfig, Server};
+
+fn main() {
+    harness_main(run);
+}
+
+fn run() -> Result<(), HarnessError> {
+    let args = HarnessArgs::parse()?;
+    if !args.positional.is_empty() {
+        return Err(HarnessError::Args(format!(
+            "serve takes no positional arguments, got {:?}",
+            args.positional
+        )));
+    }
+    let cfg = ServeConfig {
+        tcp: match (&args.addr, &args.uds) {
+            (Some(addr), _) => Some(addr.clone()),
+            (None, Some(_)) => None,
+            (None, None) => Some("127.0.0.1:7878".to_string()),
+        },
+        uds: args.uds.clone(),
+        workers: args.jobs.unwrap_or(2),
+        queue_cap: args.queue_cap.unwrap_or(16),
+        record_trace: args.obs.is_some(),
+        ..ServeConfig::default()
+    };
+    let workers = cfg.workers;
+    let queue_cap = cfg.queue_cap;
+    let server = Server::start(cfg).map_err(|e| HarnessError::Failed(e.to_string()))?;
+    if let Some(addr) = server.tcp_addr() {
+        println!("serve: listening on {addr} ({workers} workers, queue {queue_cap})");
+    }
+    if let Some(path) = server.uds_path() {
+        println!("serve: listening on {}", path.display());
+    }
+    println!("serve: EOF or `quit` on stdin drains and exits");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+
+    let report = server.shutdown();
+    eprintln!(
+        "serve: drained — {} request(s), cache {}/{} hit+coalesced/miss",
+        report.metrics.counter("serve_requests").unwrap_or(0),
+        report.cache.hits + report.cache.coalesced,
+        report.cache.misses,
+    );
+    if let Some(dir) = &args.obs {
+        std::fs::create_dir_all(dir).map_err(|e| HarnessError::Io {
+            path: dir.clone(),
+            source: e,
+        })?;
+        let path = dir.join("serve.trace.json");
+        let json = report.trace_json.as_deref().unwrap_or("{}");
+        std::fs::write(&path, json).map_err(|e| HarnessError::Io {
+            path: path.clone(),
+            source: e,
+        })?;
+        println!("serve: wrote {}", path.display());
+    }
+    if let Some(out) = &args.out {
+        let json = metrics_json(&report.metrics, &LoadReport::default());
+        std::fs::write(out, json).map_err(|e| HarnessError::Io {
+            path: out.clone(),
+            source: e,
+        })?;
+        println!("serve: wrote {}", out.display());
+    }
+    Ok(())
+}

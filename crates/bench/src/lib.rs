@@ -17,6 +17,8 @@
 //! | `area`        | §6.1 — CACTI-style area estimates |
 //! | `ablations`   | design-choice ablations from DESIGN.md |
 //! | `all_figures` | everything above, plus an EXPERIMENTS.md-style report |
+//! | `serve`       | the `warden-serve` simulation server (drains on stdin EOF/`quit`) |
+//! | `loadgen`     | oracle-backed conformance load generator for `serve` |
 //!
 //! Run with `cargo run -p warden-bench --release --bin <name> [-- --scale tiny]`.
 //!
@@ -37,6 +39,7 @@ pub mod error;
 pub mod figures;
 pub mod fmt;
 pub mod hotpath;
+pub mod loadgen;
 pub mod obs_export;
 pub mod paper;
 pub mod runner;

@@ -1,0 +1,309 @@
+//! Conformance load generation against a `warden-serve` instance.
+//!
+//! The load generator is an *oracle-backed* client: before opening a single
+//! connection it computes every expected outcome directly — each unique
+//! request is simulated once through the supervised [`crate::campaign`]
+//! runner (panic isolation, watchdog, retries) and reduced to its
+//! [`warden_serve::outcome_digest`]. K concurrent clients then hammer the
+//! server with the request mix, and **every** `Outcome` response must carry
+//! exactly the digest the oracle predicts — statistics, energy, final
+//! memory image and region peak all collapse into that one comparison, so
+//! a single flipped bit anywhere in the served result fails the run.
+//!
+//! `Busy` responses are retried with backoff and counted, never fatal:
+//! backpressure is the server working as designed, and the report proves
+//! the rejected requests eventually completed.
+
+use crate::campaign::{run_campaign, RunSpec, Workload};
+use crate::error::HarnessError;
+use crate::CampaignConfig;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use warden_obs::MetricsRegistry;
+use warden_serve::{outcome_digest, Client, Request, Response, SimRequest};
+
+/// Where the load generator connects.
+#[derive(Clone, Debug)]
+pub enum Target {
+    /// A TCP address (`host:port`).
+    Tcp(String),
+    /// A Unix-socket path.
+    Uds(PathBuf),
+}
+
+/// One request paired with the digest a conforming server must produce.
+#[derive(Clone, Debug)]
+pub struct Expectation {
+    /// The request to send.
+    pub req: SimRequest,
+    /// FNV-1a digest of the directly computed [`warden_sim::SimOutcome`].
+    pub digest: u64,
+}
+
+/// What one load-generation run measured.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// `Outcome` responses received (across all clients and retries).
+    pub responses: u64,
+    /// Responses the server marked as cache-served (or coalesced).
+    pub cache_hits: u64,
+    /// `Busy` rejections absorbed by retrying.
+    pub busy_retries: u64,
+    /// Responses whose digest disagreed with the oracle (must be 0).
+    pub mismatches: u64,
+}
+
+/// Compute the oracle digest for every request through the campaign
+/// runner. Requests are deduplicated by equality first, so the ground
+/// truth costs one simulation per unique request.
+pub fn oracle(
+    requests: &[SimRequest],
+    cfg: &CampaignConfig,
+) -> Result<Vec<Expectation>, HarnessError> {
+    let mut unique: Vec<SimRequest> = Vec::new();
+    for r in requests {
+        if !unique.contains(r) {
+            unique.push(*r);
+        }
+    }
+    let mut specs = Vec::with_capacity(unique.len());
+    for req in &unique {
+        let machine = req
+            .machine
+            .to_machine()
+            .map_err(|e| HarnessError::Failed(format!("unusable machine in plan: {e}")))?;
+        let opts = warden_sim::SimOptions {
+            check: req.check,
+            ..warden_sim::SimOptions::default()
+        };
+        specs.push(RunSpec {
+            id: format!(
+                "loadgen-{}-{:?}-{:#x}-{:?}{}",
+                req.bench.name(),
+                req.scale,
+                machine.fingerprint(),
+                req.protocol,
+                if req.check { "-check" } else { "" }
+            ),
+            workload: Workload::bench(req.bench, req.scale),
+            machine,
+            protocol: req.protocol,
+            opts,
+        });
+    }
+    let results = run_campaign(&specs, cfg)?;
+    Ok(unique
+        .into_iter()
+        .zip(results)
+        .map(|(req, res)| Expectation {
+            req,
+            digest: outcome_digest(&res.outcome),
+        })
+        .collect())
+}
+
+fn connect(target: &Target) -> Result<Box<dyn ClientCall>, HarnessError> {
+    match target {
+        Target::Tcp(addr) => Client::connect(addr)
+            .map(|c| Box::new(c) as Box<dyn ClientCall>)
+            .map_err(|e| HarnessError::Failed(format!("cannot connect to {addr}: {e}"))),
+        #[cfg(unix)]
+        Target::Uds(path) => Client::connect_uds(path)
+            .map(|c| Box::new(c) as Box<dyn ClientCall>)
+            .map_err(|e| {
+                HarnessError::Failed(format!("cannot connect to {}: {e}", path.display()))
+            }),
+        #[cfg(not(unix))]
+        Target::Uds(path) => Err(HarnessError::Failed(format!(
+            "Unix sockets are unavailable on this platform ({})",
+            path.display()
+        ))),
+    }
+}
+
+/// The one client operation the load generator needs, object-safe so TCP
+/// and Unix-socket clients share the driving loop.
+trait ClientCall: Send {
+    fn call(&mut self, req: &Request) -> Result<Response, warden_serve::ServeError>;
+}
+
+impl<S: std::io::Read + std::io::Write + Send> ClientCall for Client<S> {
+    fn call(&mut self, req: &Request) -> Result<Response, warden_serve::ServeError> {
+        Client::call(self, req)
+    }
+}
+
+/// Maximum `Busy` retries per request before the run is declared stuck.
+const BUSY_RETRY_LIMIT: u64 = 10_000;
+
+/// Drive the server at `target` with `clients` concurrent connections,
+/// each sending `iters` requests drawn round-robin from `plan` (offset by
+/// client id, so the mix interleaves hot and cold keys). Every `Outcome`
+/// is checked against its oracle digest; any mismatch, transport error or
+/// non-`Busy` rejection fails the run.
+pub fn drive(
+    target: &Target,
+    plan: &[Expectation],
+    clients: usize,
+    iters: usize,
+) -> Result<LoadReport, HarnessError> {
+    if plan.is_empty() {
+        return Err(HarnessError::Failed("empty load plan".into()));
+    }
+    let plan: Arc<[Expectation]> = plan.to_vec().into();
+    let responses = AtomicU64::new(0);
+    let cache_hits = AtomicU64::new(0);
+    let busy_retries = AtomicU64::new(0);
+    let mismatches = AtomicU64::new(0);
+    let failures: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(clients.max(1));
+        for client_id in 0..clients.max(1) {
+            let plan = Arc::clone(&plan);
+            let (responses, cache_hits, busy_retries, mismatches, failures) = (
+                &responses,
+                &cache_hits,
+                &busy_retries,
+                &mismatches,
+                &failures,
+            );
+            handles.push(scope.spawn(move || {
+                let mut client = match connect(target) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        failures
+                            .lock()
+                            .expect("failures lock")
+                            .push(format!("client {client_id}: {e}"));
+                        return;
+                    }
+                };
+                for i in 0..iters {
+                    let exp = &plan[(client_id + i) % plan.len()];
+                    let mut busy = 0u64;
+                    loop {
+                        match client.call(&Request::Simulate(exp.req)) {
+                            Ok(Response::Outcome { summary, cache_hit }) => {
+                                responses.fetch_add(1, Ordering::Relaxed);
+                                if cache_hit {
+                                    cache_hits.fetch_add(1, Ordering::Relaxed);
+                                }
+                                if summary.outcome_digest != exp.digest {
+                                    mismatches.fetch_add(1, Ordering::Relaxed);
+                                    failures.lock().expect("failures lock").push(format!(
+                                        "client {client_id}: digest mismatch for {}/{:?}: \
+                                         served {:#018x}, oracle {:#018x}",
+                                        exp.req.bench.name(),
+                                        exp.req.protocol,
+                                        summary.outcome_digest,
+                                        exp.digest
+                                    ));
+                                }
+                                break;
+                            }
+                            Ok(Response::Busy { .. }) => {
+                                busy += 1;
+                                busy_retries.fetch_add(1, Ordering::Relaxed);
+                                if busy > BUSY_RETRY_LIMIT {
+                                    failures.lock().expect("failures lock").push(format!(
+                                        "client {client_id}: still Busy after {busy} retries"
+                                    ));
+                                    return;
+                                }
+                                std::thread::sleep(Duration::from_millis(1 + busy.min(20)));
+                            }
+                            Ok(other) => {
+                                failures.lock().expect("failures lock").push(format!(
+                                    "client {client_id}: unexpected response {other:?}"
+                                ));
+                                return;
+                            }
+                            Err(e) => {
+                                failures
+                                    .lock()
+                                    .expect("failures lock")
+                                    .push(format!("client {client_id}: transport error: {e}"));
+                                return;
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            if h.join().is_err() {
+                failures
+                    .lock()
+                    .expect("failures lock")
+                    .push("a load-generator thread panicked".to_string());
+            }
+        }
+    });
+
+    let failures = failures.into_inner().expect("failures lock");
+    if !failures.is_empty() {
+        return Err(HarnessError::Failed(format!(
+            "{} load-generation failure(s):\n  {}",
+            failures.len(),
+            failures.join("\n  ")
+        )));
+    }
+    Ok(LoadReport {
+        responses: responses.into_inner(),
+        cache_hits: cache_hits.into_inner(),
+        busy_retries: busy_retries.into_inner(),
+        mismatches: mismatches.into_inner(),
+    })
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a metrics snapshot as a stable JSON document (counters sorted as
+/// stored, histograms reduced to count/sum/min/max) — the artifact the CI
+/// `serve` stage uploads.
+pub fn metrics_json(reg: &MetricsRegistry, report: &LoadReport) -> String {
+    let mut out = String::from("{\n  \"loadgen\": {\n");
+    out.push_str(&format!(
+        "    \"responses\": {},\n    \"cache_hits\": {},\n    \
+         \"busy_retries\": {},\n    \"mismatches\": {}\n  }},\n",
+        report.responses, report.cache_hits, report.busy_retries, report.mismatches
+    ));
+    out.push_str("  \"counters\": {\n");
+    let counters = reg.counters();
+    for (i, (name, v)) in counters.iter().enumerate() {
+        let comma = if i + 1 < counters.len() { "," } else { "" };
+        out.push_str(&format!("    \"{}\": {v}{comma}\n", json_escape(name)));
+    }
+    out.push_str("  },\n  \"hists\": {\n");
+    let hists = reg.hists();
+    for (i, (name, h)) in hists.iter().enumerate() {
+        let comma = if i + 1 < hists.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}{comma}\n",
+            json_escape(name),
+            h.count(),
+            h.sum(),
+            h.min().unwrap_or(0),
+            h.max().unwrap_or(0)
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}

@@ -1,0 +1,282 @@
+//! A sharded, content-addressed result cache with single-flight semantics.
+//!
+//! The cache maps a key to a value computed exactly once: the first thread
+//! to ask for a missing key becomes the **leader** and runs the compute
+//! closure; every concurrent thread asking for the same key **coalesces**
+//! onto that in-flight computation and blocks on a condvar until the leader
+//! publishes the value. N identical requests therefore cost one
+//! simulation — the batching mechanism behind `warden-serve`.
+//!
+//! Keys are spread over independently locked shards so unrelated requests
+//! never contend; the per-key flight state lives outside the shard lock, so
+//! a shard is only held for map lookups, never for the seconds a
+//! simulation takes.
+//!
+//! A leader that fails (typed error *or* panic — the closure runs under
+//! `catch_unwind`, the same isolation discipline as the campaign runner's
+//! workers) marks the flight failed, wakes every waiter with the error, and
+//! removes the entry so the next request retries fresh; a failure is never
+//! cached and a panicking leader can never strand its waiters.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How a value was obtained from [`SingleFlight::get_or_compute`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Source {
+    /// This call ran the compute closure (cache miss, leader).
+    Fresh,
+    /// This call waited on a concurrent identical computation.
+    Coalesced,
+    /// The value was already cached.
+    Cached,
+}
+
+/// Monotonic counters describing cache behavior.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Calls served from a completed entry.
+    pub hits: u64,
+    /// Calls that ran the compute closure.
+    pub misses: u64,
+    /// Calls that waited on an in-flight computation.
+    pub coalesced: u64,
+    /// Leader computations that failed (error or panic).
+    pub failures: u64,
+}
+
+enum FlightState<V> {
+    Pending,
+    Ready(V),
+    Failed(String),
+}
+
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    cv: Condvar,
+}
+
+type Shard<K, V> = Mutex<HashMap<K, Arc<Flight<V>>>>;
+
+/// The sharded single-flight cache. `V` is cloned out on every hit, so
+/// callers wrap heavyweight values in an `Arc`.
+pub struct SingleFlight<K, V> {
+    shards: Box<[Shard<K, V>]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
+    /// A cache with `shards` independently locked shards (at least one).
+    pub fn new(shards: usize) -> SingleFlight<K, V> {
+        let shards = shards.max(1);
+        SingleFlight {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> &Shard<K, V> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    /// Completed entries across all shards (in-flight computations count —
+    /// they own a map slot from the moment a leader claims them).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").len())
+            .sum()
+    }
+
+    /// Whether no entry exists in any shard.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the hit/miss/coalesce/failure counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fetch `key`, computing it with `f` on a miss. Exactly one caller
+    /// runs `f` per key; concurrent callers block until it publishes.
+    /// Returns the value and how it was obtained. A failed computation
+    /// (error or panic) propagates to the leader *and* every coalesced
+    /// waiter, and leaves the key absent so a later call retries.
+    pub fn get_or_compute(
+        &self,
+        key: K,
+        f: impl FnOnce() -> Result<V, String>,
+    ) -> Result<(V, Source), String> {
+        let (flight, leader) = {
+            let mut shard = self.shard_of(&key).lock().expect("cache shard lock");
+            match shard.get(&key) {
+                Some(flight) => (Arc::clone(flight), false),
+                None => {
+                    let flight = Arc::new(Flight {
+                        state: Mutex::new(FlightState::Pending),
+                        cv: Condvar::new(),
+                    });
+                    shard.insert(key.clone(), Arc::clone(&flight));
+                    (flight, true)
+                }
+            }
+        };
+
+        if leader {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let result = catch_unwind(AssertUnwindSafe(f)).unwrap_or_else(|payload| {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                Err(format!("computation panicked: {msg}"))
+            });
+            match result {
+                Ok(v) => {
+                    *flight.state.lock().expect("flight lock") = FlightState::Ready(v.clone());
+                    flight.cv.notify_all();
+                    Ok((v, Source::Fresh))
+                }
+                Err(msg) => {
+                    self.failures.fetch_add(1, Ordering::Relaxed);
+                    // Vacate the slot *before* waking waiters so nobody can
+                    // coalesce onto a flight that will never succeed.
+                    let mut shard = self.shard_of(&key).lock().expect("cache shard lock");
+                    if shard.get(&key).is_some_and(|cur| Arc::ptr_eq(cur, &flight)) {
+                        shard.remove(&key);
+                    }
+                    drop(shard);
+                    *flight.state.lock().expect("flight lock") = FlightState::Failed(msg.clone());
+                    flight.cv.notify_all();
+                    Err(msg)
+                }
+            }
+        } else {
+            let mut state = flight.state.lock().expect("flight lock");
+            let mut waited = false;
+            loop {
+                match &*state {
+                    FlightState::Ready(v) => {
+                        let v = v.clone();
+                        if waited {
+                            self.coalesced.fetch_add(1, Ordering::Relaxed);
+                            return Ok((v, Source::Coalesced));
+                        }
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok((v, Source::Cached));
+                    }
+                    FlightState::Failed(msg) => return Err(msg.clone()),
+                    FlightState::Pending => {
+                        waited = true;
+                        state = flight.cv.wait(state).expect("flight lock");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn value_computed_once_then_cached() {
+        let cache: SingleFlight<u64, u64> = SingleFlight::new(4);
+        let probe = AtomicUsize::new(0);
+        let compute = || {
+            probe.fetch_add(1, Ordering::SeqCst);
+            Ok(42)
+        };
+        let (v, src) = cache.get_or_compute(7, compute).unwrap();
+        assert_eq!((v, src), (42, Source::Fresh));
+        let (v, src) = cache
+            .get_or_compute(7, || panic!("must not recompute"))
+            .unwrap();
+        assert_eq!((v, src), (42, Source::Cached));
+        assert_eq!(probe.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.len(), 1);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.failures), (1, 1, 0));
+    }
+
+    #[test]
+    fn failure_is_not_cached_and_retries_fresh() {
+        let cache: SingleFlight<u64, u64> = SingleFlight::new(4);
+        let err = cache
+            .get_or_compute(1, || Err("boom".to_string()))
+            .unwrap_err();
+        assert_eq!(err, "boom");
+        assert!(cache.is_empty(), "a failure must vacate the slot");
+        let (v, src) = cache.get_or_compute(1, || Ok(9)).unwrap();
+        assert_eq!((v, src), (9, Source::Fresh));
+        assert_eq!(cache.stats().failures, 1);
+    }
+
+    #[test]
+    fn panicking_leader_fails_typed_and_vacates() {
+        let cache: SingleFlight<u64, u64> = SingleFlight::new(1);
+        let err = cache
+            .get_or_compute(3, || panic!("exploding compute"))
+            .unwrap_err();
+        assert!(err.contains("exploding compute"), "{err}");
+        assert!(cache.is_empty());
+        // The key is usable again afterwards.
+        assert_eq!(cache.get_or_compute(3, || Ok(1)).unwrap().0, 1);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce() {
+        let cache: Arc<SingleFlight<u64, u64>> = Arc::new(SingleFlight::new(4));
+        let probe = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let probe = Arc::clone(&probe);
+                let gate = Arc::clone(&gate);
+                std::thread::spawn(move || {
+                    gate.wait();
+                    let (v, _) = cache
+                        .get_or_compute(5, || {
+                            probe.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open long enough for the
+                            // other threads to pile on.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Ok(77)
+                        })
+                        .unwrap();
+                    v
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 77);
+        }
+        assert_eq!(
+            probe.load(Ordering::SeqCst),
+            1,
+            "single-flight: one compute for 8 concurrent callers"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! A blocking client for the `warden-serve` wire protocol.
+//!
+//! Generic over any `Read + Write` stream, so the same request/response
+//! logic drives TCP sockets, Unix sockets and in-memory test doubles.
+//! Client sockets stay fully blocking — simulations take real time, and
+//! [`proto::read_frame`] only reports [`FrameEvent::Idle`] on a read
+//! timeout, which a blocking socket never produces.
+
+use crate::error::ServeError;
+use crate::proto::{self, FrameEvent, OutcomeSummary, Request, Response, SimRequest};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A connected client.
+pub struct Client<S> {
+    stream: S,
+    max_frame: u64,
+}
+
+impl Client<TcpStream> {
+    /// Connect over TCP.
+    pub fn connect(addr: &str) -> Result<Client<TcpStream>, ServeError> {
+        let stream = TcpStream::connect(addr).map_err(ServeError::Io)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client::over(stream))
+    }
+}
+
+#[cfg(unix)]
+impl Client<std::os::unix::net::UnixStream> {
+    /// Connect over a Unix socket.
+    pub fn connect_uds(
+        path: &std::path::Path,
+    ) -> Result<Client<std::os::unix::net::UnixStream>, ServeError> {
+        let stream = std::os::unix::net::UnixStream::connect(path).map_err(ServeError::Io)?;
+        Ok(Client::over(stream))
+    }
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Wrap an already-connected stream.
+    pub fn over(stream: S) -> Client<S> {
+        Client {
+            stream,
+            max_frame: proto::DEFAULT_MAX_FRAME,
+        }
+    }
+
+    /// Override the frame size cap (must match the server's).
+    pub fn with_max_frame(mut self, max: u64) -> Client<S> {
+        self.max_frame = max;
+        self
+    }
+
+    /// Send one request and wait for its response.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
+        proto::write_frame(&mut self.stream, &req.encode(), self.max_frame)?;
+        loop {
+            match proto::read_frame(&mut self.stream, self.max_frame)? {
+                FrameEvent::Frame(payload) => return Ok(Response::decode(&payload)?),
+                FrameEvent::Idle => continue,
+                FrameEvent::Eof => {
+                    return Err(ServeError::UnexpectedResponse(
+                        "server closed the connection before replying".to_string(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Liveness check: send `Ping`, expect `Pong`.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ServeError::UnexpectedResponse(format!(
+                "ping answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the server's metrics snapshot.
+    pub fn metrics(&mut self) -> Result<warden_obs::MetricsRegistry, ServeError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(reg) => Ok(reg),
+            other => Err(ServeError::UnexpectedResponse(format!(
+                "metrics answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// Run one simulation, retrying `Busy` with a linear backoff for up to
+    /// `tries` attempts. Returns the summary and whether the cache (or a
+    /// coalesced in-flight computation) served it. `Draining`, `Error` and
+    /// exhausted retries are typed failures.
+    pub fn simulate(
+        &mut self,
+        req: SimRequest,
+        tries: usize,
+    ) -> Result<(OutcomeSummary, bool), ServeError> {
+        let mut last_busy = None;
+        for attempt in 0..tries.max(1) {
+            match self.call(&Request::Simulate(req))? {
+                Response::Outcome { summary, cache_hit } => return Ok((*summary, cache_hit)),
+                Response::Busy {
+                    queue_len,
+                    queue_cap,
+                } => {
+                    last_busy = Some((queue_len, queue_cap));
+                    std::thread::sleep(Duration::from_millis(5 * (attempt as u64 + 1)));
+                }
+                other => {
+                    return Err(ServeError::UnexpectedResponse(format!(
+                        "simulate answered with {other:?}"
+                    )))
+                }
+            }
+        }
+        let (len, cap) = last_busy.unwrap_or((0, 0));
+        Err(ServeError::UnexpectedResponse(format!(
+            "server still busy after {tries} attempts (queue {len}/{cap})"
+        )))
+    }
+}

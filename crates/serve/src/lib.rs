@@ -1,0 +1,43 @@
+//! `warden-serve` — a concurrent simulation service for the WARDen
+//! reproduction.
+//!
+//! The simulator's results are pure functions of `(trace, machine,
+//! protocol, options)`, which makes them perfect cache fodder: this crate
+//! wraps [`warden_sim::simulate_with_options`] in a multi-threaded server
+//! speaking a length-prefixed binary protocol (built on the workspace's
+//! hand-rolled [`warden_mem::codec`]) over TCP and Unix sockets, with
+//!
+//! - a **content-addressed result cache** keyed by `(options fingerprint,
+//!   trace digest, machine fingerprint, protocol)` with **single-flight**
+//!   semantics — N concurrent identical requests cost one simulation
+//!   ([`cache::SingleFlight`]);
+//! - a **bounded request queue** with typed backpressure
+//!   ([`proto::Response::Busy`], [`proto::Response::TooLarge`]) and
+//!   per-flight panic isolation, so overload and bugs degrade into typed
+//!   rejections, never a wedged server;
+//! - **observability** through `warden-obs`: queue-depth and in-flight
+//!   gauges, latency histograms and cache counters in one
+//!   [`warden_obs::MetricsRegistry`] snapshot, plus an optional Chrome
+//!   trace-event timeline of every request;
+//! - a **graceful drain**: shutdown finishes every queued job and delivers
+//!   every pending reply before joining a single thread.
+//!
+//! The `warden-bench` crate ships the `serve` and `loadgen` binaries; the
+//! load generator holds every response to the digest of a directly
+//! computed [`warden_sim::SimOutcome`], making the service conformance-
+//! testable end to end.
+
+pub mod cache;
+pub mod client;
+pub mod error;
+pub mod proto;
+pub mod server;
+
+pub use cache::{CacheStats, SingleFlight, Source};
+pub use client::Client;
+pub use error::ServeError;
+pub use proto::{
+    outcome_digest, protocol_tag, summarize_outcome, ErrorKind, FrameEvent, MachinePreset,
+    MachineSpec, OutcomeSummary, Request, Response, SimRequest,
+};
+pub use server::{CacheKey, ServeConfig, Server, ShutdownReport};

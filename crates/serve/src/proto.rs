@@ -1,0 +1,699 @@
+//! The `warden-serve` wire protocol.
+//!
+//! Frames are length-prefixed: a 4-byte magic (`WSRV`), one version byte,
+//! a little-endian `u32` payload length, then the payload. Payloads are
+//! encoded with the workspace's hand-rolled [`warden_mem::codec`] — typed
+//! errors on every malformed byte, never a panic, and every strict prefix
+//! of a valid frame fails to decode (the property `tests/proptest_serve.rs`
+//! pins for every request/response variant).
+//!
+//! The framing layer enforces a size cap *before* reading a payload, so a
+//! hostile or corrupt length field is a typed
+//! [`ServeError::FrameTooLarge`], not an allocation storm. The server
+//! answers an oversized request frame with [`Response::TooLarge`] and
+//! closes the connection.
+
+use crate::error::ServeError;
+use std::io::{Read, Write};
+use warden_coherence::Protocol;
+use warden_mem::codec::{CodecError, Decoder, Encoder};
+use warden_obs::MetricsRegistry;
+use warden_pbbs::{Bench, Scale};
+use warden_sim::{MachineConfig, SimError, SimStats};
+
+/// Magic bytes opening every frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"WSRV";
+/// Wire-protocol version carried in every frame header.
+pub const PROTO_VERSION: u8 = 1;
+/// Default cap on a frame payload (requests are tiny; responses carry one
+/// statistics block — a megabyte is generous for both directions).
+pub const DEFAULT_MAX_FRAME: u64 = 1 << 20;
+
+const FRAME_HEADER: usize = 4 + 1 + 4;
+
+/// Write one frame (header + payload) to `w`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8], max: u64) -> Result<(), ServeError> {
+    if payload.len() as u64 > max {
+        return Err(ServeError::FrameTooLarge {
+            len: payload.len() as u64,
+            max,
+        });
+    }
+    let mut buf = Vec::with_capacity(FRAME_HEADER + payload.len());
+    buf.extend_from_slice(&FRAME_MAGIC);
+    buf.push(PROTO_VERSION);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf).map_err(ServeError::Io)?;
+    w.flush().map_err(ServeError::Io)
+}
+
+/// What one attempt to read a frame produced.
+#[derive(Debug)]
+pub enum FrameEvent {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// The peer closed the stream at a frame boundary (clean EOF).
+    Eof,
+    /// No bytes arrived within the stream's read timeout while *between*
+    /// frames — the connection is idle, not broken. (A timeout in the
+    /// middle of a frame keeps waiting: the header promised more bytes.)
+    Idle,
+}
+
+/// Read `buf.len()` bytes, retrying on read timeouts (used once a frame has
+/// started: the remaining bytes are owed, a slow sender is not an error).
+fn read_exact_patient(r: &mut impl Read, buf: &mut [u8]) -> Result<(), ServeError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(ServeError::Io(std::io::ErrorKind::UnexpectedEof.into())),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(ServeError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Read one frame from `r`, distinguishing a clean EOF and an idle timeout
+/// (both only *between* frames) from real failures. `max` caps the payload
+/// length before any payload byte is read.
+pub fn read_frame(r: &mut impl Read, max: u64) -> Result<FrameEvent, ServeError> {
+    // First byte decides between idle / EOF / frame-in-progress.
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(FrameEvent::Eof),
+            Ok(1) => break,
+            Ok(_) => unreachable!("read into a 1-byte buffer"),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Ok(FrameEvent::Idle)
+            }
+            Err(e) => return Err(ServeError::Io(e)),
+        }
+    }
+    let mut header = [0u8; FRAME_HEADER];
+    header[0] = first[0];
+    read_exact_patient(r, &mut header[1..])?;
+    if header[..4] != FRAME_MAGIC {
+        return Err(ServeError::BadMagic([
+            header[0], header[1], header[2], header[3],
+        ]));
+    }
+    if header[4] != PROTO_VERSION {
+        return Err(ServeError::BadVersion(header[4]));
+    }
+    let len = u32::from_le_bytes(header[5..9].try_into().expect("4 bytes")) as u64;
+    if len > max {
+        return Err(ServeError::FrameTooLarge { len, max });
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_patient(r, &mut payload)?;
+    Ok(FrameEvent::Frame(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Machine descriptions on the wire.
+
+/// The machine presets a client can request (the paper's Table 2 systems
+/// plus the §7.3 hypotheticals) — the wire never ships raw latency tables,
+/// so a request cannot describe a machine the reproduction never measured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MachinePreset {
+    /// [`MachineConfig::single_socket`].
+    SingleSocket,
+    /// [`MachineConfig::dual_socket`].
+    DualSocket,
+    /// [`MachineConfig::disaggregated`].
+    Disaggregated,
+    /// [`MachineConfig::try_many_socket`] with this socket count.
+    ManySocket(u32),
+}
+
+/// A machine description as requested over the wire: a preset plus an
+/// optional core-count override (smaller machines simulate faster — tests
+/// and the load generator use 2 cores per socket).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MachineSpec {
+    /// Which preset to start from.
+    pub preset: MachinePreset,
+    /// Override for cores per socket (`None` keeps the preset's 12).
+    pub cores_per_socket: Option<u32>,
+}
+
+impl MachineSpec {
+    /// The preset with no overrides.
+    pub fn new(preset: MachinePreset) -> MachineSpec {
+        MachineSpec {
+            preset,
+            cores_per_socket: None,
+        }
+    }
+
+    /// Override the core count per socket.
+    pub fn with_cores(mut self, cores: u32) -> MachineSpec {
+        self.cores_per_socket = Some(cores);
+        self
+    }
+
+    /// Materialize the [`MachineConfig`], rejecting impossible requests
+    /// (zero cores, sharer-bitmask overflow) with a typed [`SimError`]
+    /// instead of tripping an internal assertion.
+    pub fn to_machine(&self) -> Result<MachineConfig, SimError> {
+        use warden_coherence::CoherenceError;
+        let bad = |msg: String| SimError::Config(CoherenceError::BadConfig(msg));
+        let m = match self.preset {
+            MachinePreset::SingleSocket => MachineConfig::single_socket(),
+            MachinePreset::DualSocket => MachineConfig::dual_socket(),
+            MachinePreset::Disaggregated => MachineConfig::disaggregated(),
+            MachinePreset::ManySocket(n) => MachineConfig::try_many_socket(n as usize)?,
+        };
+        let m = match self.cores_per_socket {
+            None => m,
+            Some(0) => return Err(bad("cores per socket must be non-zero".into())),
+            Some(c) => {
+                let total = m.topo.num_sockets() as u64 * c as u64;
+                if total > 64 {
+                    return Err(bad(format!(
+                        "{} sockets x {c} cores = {total} cores exceed the 64-wide \
+                         sharer bitmask",
+                        m.topo.num_sockets()
+                    )));
+                }
+                m.with_cores(c as usize)
+            }
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    fn encode_into(&self, enc: &mut Encoder) {
+        match self.preset {
+            MachinePreset::SingleSocket => enc.put_u8(0),
+            MachinePreset::DualSocket => enc.put_u8(1),
+            MachinePreset::Disaggregated => enc.put_u8(2),
+            MachinePreset::ManySocket(n) => {
+                enc.put_u8(3);
+                enc.put_u32(n);
+            }
+        }
+        match self.cores_per_socket {
+            None => enc.put_bool(false),
+            Some(c) => {
+                enc.put_bool(true);
+                enc.put_u32(c);
+            }
+        }
+    }
+
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<MachineSpec, CodecError> {
+        let preset = match dec.take_u8()? {
+            0 => MachinePreset::SingleSocket,
+            1 => MachinePreset::DualSocket,
+            2 => MachinePreset::Disaggregated,
+            3 => MachinePreset::ManySocket(dec.take_u32()?),
+            t => {
+                return Err(CodecError::BadTag {
+                    what: "machine preset",
+                    tag: t as u64,
+                })
+            }
+        };
+        let cores_per_socket = if dec.take_bool()? {
+            Some(dec.take_u32()?)
+        } else {
+            None
+        };
+        Ok(MachineSpec {
+            preset,
+            cores_per_socket,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests.
+
+/// One simulation request: which benchmark trace to replay, on which
+/// machine, under which protocol. The server resolves this to a cache key
+/// of `(options fingerprint, trace digest, machine fingerprint, protocol)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimRequest {
+    /// The PBBS benchmark whose trace to replay.
+    pub bench: Bench,
+    /// Input scale.
+    pub scale: Scale,
+    /// The machine description.
+    pub machine: MachineSpec,
+    /// The coherence protocol.
+    pub protocol: Protocol,
+    /// Run the coherence invariant checker during the replay.
+    pub check: bool,
+}
+
+/// Every request a client can send.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Replay a benchmark; answered with [`Response::Outcome`] (or a typed
+    /// rejection: [`Response::Busy`], [`Response::Draining`], ...).
+    Simulate(SimRequest),
+    /// Fetch the server's metrics snapshot ([`Response::Metrics`]).
+    Metrics,
+}
+
+fn scale_tag(s: Scale) -> u8 {
+    match s {
+        Scale::Tiny => 0,
+        Scale::Paper => 1,
+    }
+}
+
+fn scale_from_tag(tag: u8) -> Result<Scale, CodecError> {
+    match tag {
+        0 => Ok(Scale::Tiny),
+        1 => Ok(Scale::Paper),
+        t => Err(CodecError::BadTag {
+            what: "scale",
+            tag: t as u64,
+        }),
+    }
+}
+
+/// The canonical on-wire tag for a protocol (shared with the cache key).
+pub fn protocol_tag(p: Protocol) -> u8 {
+    match p {
+        Protocol::Msi => 0,
+        Protocol::Mesi => 1,
+        Protocol::Warden => 2,
+    }
+}
+
+fn protocol_from_tag(tag: u8) -> Result<Protocol, CodecError> {
+    match tag {
+        0 => Ok(Protocol::Msi),
+        1 => Ok(Protocol::Mesi),
+        2 => Ok(Protocol::Warden),
+        t => Err(CodecError::BadTag {
+            what: "protocol",
+            tag: t as u64,
+        }),
+    }
+}
+
+impl SimRequest {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_str(self.bench.name());
+        enc.put_u8(scale_tag(self.scale));
+        self.machine.encode_into(enc);
+        enc.put_u8(protocol_tag(self.protocol));
+        enc.put_bool(self.check);
+    }
+
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<SimRequest, CodecError> {
+        let name = dec.take_str()?;
+        let bench = Bench::by_name(&name).ok_or_else(|| CodecError::Invalid {
+            what: "benchmark name",
+            detail: format!("unknown benchmark {name:?}"),
+        })?;
+        let scale = scale_from_tag(dec.take_u8()?)?;
+        let machine = MachineSpec::decode_from(dec)?;
+        let protocol = protocol_from_tag(dec.take_u8()?)?;
+        let check = dec.take_bool()?;
+        Ok(SimRequest {
+            bench,
+            scale,
+            machine,
+            protocol,
+            check,
+        })
+    }
+}
+
+impl Request {
+    /// Serialize the request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        match self {
+            Request::Ping => enc.put_u8(0),
+            Request::Simulate(req) => {
+                enc.put_u8(1);
+                req.encode_into(&mut enc);
+            }
+            Request::Metrics => enc.put_u8(2),
+        }
+        enc.into_bytes()
+    }
+
+    /// Decode a frame payload; every malformed or truncated input is a
+    /// typed [`CodecError`].
+    pub fn decode(bytes: &[u8]) -> Result<Request, CodecError> {
+        let mut dec = Decoder::new(bytes);
+        let out = match dec.take_u8()? {
+            0 => Request::Ping,
+            1 => Request::Simulate(SimRequest::decode_from(&mut dec)?),
+            2 => Request::Metrics,
+            t => {
+                return Err(CodecError::BadTag {
+                    what: "request",
+                    tag: t as u64,
+                })
+            }
+        };
+        dec.finish()?;
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses.
+
+/// The digest-bearing summary of one simulation, small enough to ship per
+/// request (the full [`warden_sim::SimOutcome`] carries the final memory
+/// image; clients that need bit-level conformance compare
+/// [`Self::outcome_digest`], which covers it).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OutcomeSummary {
+    /// Protocol the replay ran.
+    pub protocol: Protocol,
+    /// Machine name (from the resolved [`MachineConfig`]).
+    pub machine: String,
+    /// Every measurement, via the existing statistics codec.
+    pub stats: SimStats,
+    /// Digest of the final memory image.
+    pub memory_image_digest: u64,
+    /// Peak simultaneous WARD regions.
+    pub region_peak: u64,
+    /// FNV-1a digest over the *entire* serialized outcome (statistics,
+    /// energy, final memory image, violations) — byte-for-byte conformance
+    /// with a direct `simulate()` call collapses to comparing this value.
+    pub outcome_digest: u64,
+}
+
+/// Why the server rejected or failed a request (carried by
+/// [`Response::Error`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request itself is unserviceable (bad machine description, ...).
+    BadRequest,
+    /// The server failed internally (simulation error or panic).
+    Internal,
+}
+
+/// Every response the server can send.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// A completed simulation. `cache_hit` is true when the result came
+    /// from the content-addressed cache (or was coalesced onto a
+    /// concurrent identical computation) instead of a fresh replay.
+    Outcome {
+        /// The digest-bearing summary (boxed: it dwarfs the other arms).
+        summary: Box<OutcomeSummary>,
+        /// Whether the result cache served it.
+        cache_hit: bool,
+    },
+    /// Backpressure: the bounded request queue is full. Retry later.
+    Busy {
+        /// Queue occupancy at rejection time.
+        queue_len: u32,
+        /// The configured queue capacity.
+        queue_cap: u32,
+    },
+    /// The request frame exceeded the server's size cap.
+    TooLarge {
+        /// The declared frame length.
+        len: u64,
+        /// The cap it exceeded.
+        max: u64,
+    },
+    /// The server is draining for shutdown and accepts no new work.
+    Draining,
+    /// A typed failure (see [`ErrorKind`]).
+    Error {
+        /// Whether the client or the server is at fault.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        msg: String,
+    },
+    /// Answer to [`Request::Metrics`]: the server's counters, gauges
+    /// (flattened) and latency histograms.
+    Metrics(MetricsRegistry),
+}
+
+impl OutcomeSummary {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u8(protocol_tag(self.protocol));
+        enc.put_str(&self.machine);
+        self.stats.encode_into(enc);
+        enc.put_u64(self.memory_image_digest);
+        enc.put_u64(self.region_peak);
+        enc.put_u64(self.outcome_digest);
+    }
+
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<OutcomeSummary, CodecError> {
+        let protocol = protocol_from_tag(dec.take_u8()?)?;
+        let machine = dec.take_str()?;
+        let stats = SimStats::decode_from(dec)?;
+        let memory_image_digest = dec.take_u64()?;
+        let region_peak = dec.take_u64()?;
+        let outcome_digest = dec.take_u64()?;
+        Ok(OutcomeSummary {
+            protocol,
+            machine,
+            stats,
+            memory_image_digest,
+            region_peak,
+            outcome_digest,
+        })
+    }
+}
+
+impl Response {
+    /// Serialize the response into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        match self {
+            Response::Pong => enc.put_u8(0),
+            Response::Outcome { summary, cache_hit } => {
+                enc.put_u8(1);
+                summary.encode_into(&mut enc);
+                enc.put_bool(*cache_hit);
+            }
+            Response::Busy {
+                queue_len,
+                queue_cap,
+            } => {
+                enc.put_u8(2);
+                enc.put_u32(*queue_len);
+                enc.put_u32(*queue_cap);
+            }
+            Response::TooLarge { len, max } => {
+                enc.put_u8(3);
+                enc.put_u64(*len);
+                enc.put_u64(*max);
+            }
+            Response::Draining => enc.put_u8(4),
+            Response::Error { kind, msg } => {
+                enc.put_u8(5);
+                enc.put_u8(match kind {
+                    ErrorKind::BadRequest => 0,
+                    ErrorKind::Internal => 1,
+                });
+                enc.put_str(msg);
+            }
+            Response::Metrics(reg) => {
+                enc.put_u8(6);
+                reg.encode_into(&mut enc);
+            }
+        }
+        enc.into_bytes()
+    }
+
+    /// Decode a frame payload; every malformed or truncated input is a
+    /// typed [`CodecError`].
+    pub fn decode(bytes: &[u8]) -> Result<Response, CodecError> {
+        let mut dec = Decoder::new(bytes);
+        let out = match dec.take_u8()? {
+            0 => Response::Pong,
+            1 => {
+                let summary = Box::new(OutcomeSummary::decode_from(&mut dec)?);
+                let cache_hit = dec.take_bool()?;
+                Response::Outcome { summary, cache_hit }
+            }
+            2 => Response::Busy {
+                queue_len: dec.take_u32()?,
+                queue_cap: dec.take_u32()?,
+            },
+            3 => Response::TooLarge {
+                len: dec.take_u64()?,
+                max: dec.take_u64()?,
+            },
+            4 => Response::Draining,
+            5 => {
+                let kind = match dec.take_u8()? {
+                    0 => ErrorKind::BadRequest,
+                    1 => ErrorKind::Internal,
+                    t => {
+                        return Err(CodecError::BadTag {
+                            what: "error kind",
+                            tag: t as u64,
+                        })
+                    }
+                };
+                Response::Error {
+                    kind,
+                    msg: dec.take_str()?,
+                }
+            }
+            6 => Response::Metrics(MetricsRegistry::decode_from(&mut dec)?),
+            t => {
+                return Err(CodecError::BadTag {
+                    what: "response",
+                    tag: t as u64,
+                })
+            }
+        };
+        dec.finish()?;
+        Ok(out)
+    }
+}
+
+/// The conformance digest of a complete outcome: FNV-1a over the outcome's
+/// full serialized record (the same bytes the campaign runner persists).
+/// Two outcomes digest equal iff statistics, energy, final memory image,
+/// region peak and violations are all identical — the oracle the load
+/// generator holds every served response to.
+pub fn outcome_digest(out: &warden_sim::SimOutcome) -> u64 {
+    warden_mem::codec::fnv1a64(&warden_sim::checkpoint::encode_outcome(out))
+}
+
+/// Build the [`OutcomeSummary`] for a finished replay.
+pub fn summarize_outcome(out: &warden_sim::SimOutcome) -> OutcomeSummary {
+    OutcomeSummary {
+        protocol: out.protocol,
+        machine: out.machine.clone(),
+        stats: out.stats.clone(),
+        memory_image_digest: out.memory_image_digest,
+        region_peak: out.region_peak as u64,
+        outcome_digest: outcome_digest(out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip_and_rejections() {
+        let payload = Request::Ping.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload, DEFAULT_MAX_FRAME).unwrap();
+        let mut rd = &wire[..];
+        match read_frame(&mut rd, DEFAULT_MAX_FRAME).unwrap() {
+            FrameEvent::Frame(p) => assert_eq!(p, payload),
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        match read_frame(&mut rd, DEFAULT_MAX_FRAME).unwrap() {
+            FrameEvent::Eof => {}
+            other => panic!("expected EOF, got {other:?}"),
+        }
+
+        // Bad magic.
+        let mut bad = wire.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut &bad[..], DEFAULT_MAX_FRAME),
+            Err(ServeError::BadMagic(_))
+        ));
+        // Bad version.
+        let mut bad = wire.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            read_frame(&mut &bad[..], DEFAULT_MAX_FRAME),
+            Err(ServeError::BadVersion(99))
+        ));
+        // Oversized length is rejected before the payload is read.
+        assert!(matches!(
+            read_frame(&mut &wire[..], 0),
+            Err(ServeError::FrameTooLarge { .. })
+        ));
+        // A torn frame (payload cut short) is an UnexpectedEof I/O error.
+        let torn = &wire[..wire.len() - 1];
+        assert!(matches!(
+            read_frame(&mut &torn[..], DEFAULT_MAX_FRAME),
+            Err(ServeError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn machine_spec_resolves_presets_and_rejects_impossible_machines() {
+        let m = MachineSpec::new(MachinePreset::DualSocket)
+            .with_cores(2)
+            .to_machine()
+            .unwrap();
+        assert_eq!(m.num_cores(), 4);
+        assert_eq!(
+            m.fingerprint(),
+            MachineConfig::dual_socket().with_cores(2).fingerprint()
+        );
+        assert!(MachineSpec::new(MachinePreset::ManySocket(5))
+            .to_machine()
+            .is_ok());
+        for spec in [
+            MachineSpec::new(MachinePreset::ManySocket(6)),
+            MachineSpec::new(MachinePreset::ManySocket(0)),
+            MachineSpec::new(MachinePreset::SingleSocket).with_cores(0),
+            MachineSpec::new(MachinePreset::DualSocket).with_cores(33),
+        ] {
+            assert!(
+                matches!(spec.to_machine(), Err(SimError::Config(_))),
+                "{spec:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_benchmark_name_is_typed() {
+        let req = Request::Simulate(SimRequest {
+            bench: Bench::Fib,
+            scale: Scale::Tiny,
+            machine: MachineSpec::new(MachinePreset::SingleSocket),
+            protocol: Protocol::Warden,
+            check: false,
+        });
+        let mut bytes = req.encode();
+        // Corrupt the benchmark name ("fib" → "fxb").
+        let pos = bytes
+            .windows(3)
+            .position(|w| w == b"fib")
+            .expect("name on the wire");
+        bytes[pos + 1] = b'x';
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(CodecError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Request::Ping.encode();
+        bytes.push(0);
+        assert!(Request::decode(&bytes).is_err());
+        let mut bytes = Response::Pong.encode();
+        bytes.push(0);
+        assert!(Response::decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,651 @@
+//! The simulation server: listeners, connection threads, a bounded request
+//! queue, and the worker pool that runs replays through the single-flight
+//! result cache.
+//!
+//! Threading model (all `std`, no runtime dependency):
+//!
+//! - one **acceptor** thread per listener (TCP and/or Unix socket), polling
+//!   a non-blocking `accept` so it can observe the drain flag;
+//! - one **connection** thread per client, reading frames with a short
+//!   read timeout ([`proto::read_frame`] distinguishes an idle connection
+//!   from a torn frame) and answering `Ping`/`Metrics` inline;
+//! - a **bounded queue** in between: `Simulate` requests are enqueued if
+//!   there is room and rejected with a typed [`Response::Busy`] otherwise —
+//!   overload degrades into fast rejections, never an unbounded pileup;
+//! - `workers` **worker** threads popping jobs and computing through the
+//!   [`SingleFlight`] cache, so N identical concurrent requests cost one
+//!   simulation. Panics inside a replay are caught per-flight (the
+//!   campaign-runner isolation discipline) and surface as typed
+//!   [`Response::Error`]s.
+//!
+//! Shutdown is a drain, not an abort: [`Server::shutdown`] stops intake
+//! (new `Simulate` requests get [`Response::Draining`]), lets the workers
+//! finish every queued job — each blocked client receives its reply — and
+//! only then joins the threads.
+
+use crate::cache::{CacheStats, SingleFlight, Source};
+use crate::error::ServeError;
+use crate::proto::{
+    self, protocol_tag, summarize_outcome, ErrorKind, FrameEvent, OutcomeSummary, Request,
+    Response, SimRequest,
+};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use warden_obs::{ArgVal, Gauge, Hist, MetricsRegistry, TraceBuilder};
+use warden_pbbs::Scale;
+use warden_rt::TraceProgram;
+use warden_sim::checkpoint::options_fingerprint;
+use warden_sim::{simulate_with_options, SimOptions};
+
+/// The content address of one simulation result: everything that determines
+/// the outcome bytes, nothing that doesn't.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`options_fingerprint`] over the resolved [`SimOptions`].
+    pub options_fp: u64,
+    /// [`TraceProgram::fingerprint`] of the replayed trace.
+    pub trace_fp: u64,
+    /// [`warden_sim::MachineConfig::fingerprint`] of the machine.
+    pub machine_fp: u64,
+    /// The protocol's canonical wire tag ([`protocol_tag`]).
+    pub protocol: u8,
+}
+
+/// How to run a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// TCP bind address (e.g. `127.0.0.1:0`); `None` disables TCP.
+    pub tcp: Option<String>,
+    /// Unix-socket path; `None` disables it. Ignored off Unix.
+    pub uds: Option<PathBuf>,
+    /// Worker threads running simulations.
+    pub workers: usize,
+    /// Bounded request-queue capacity; a full queue answers `Busy`.
+    pub queue_cap: usize,
+    /// Frame payload size cap for both directions.
+    pub max_frame: u64,
+    /// Shards in the result cache.
+    pub cache_shards: usize,
+    /// Record a Chrome trace-event timeline of every request.
+    pub record_trace: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            tcp: Some("127.0.0.1:0".to_string()),
+            uds: None,
+            workers: 2,
+            queue_cap: 16,
+            max_frame: proto::DEFAULT_MAX_FRAME,
+            cache_shards: 8,
+            record_trace: false,
+        }
+    }
+}
+
+/// What the server hands back after a graceful drain.
+#[derive(Clone, Debug)]
+pub struct ShutdownReport {
+    /// Final metrics snapshot (counters, flattened gauges, histograms).
+    pub metrics: MetricsRegistry,
+    /// Final result-cache counters.
+    pub cache: CacheStats,
+    /// The recorded timeline as trace-event JSON, if recording was on.
+    pub trace_json: Option<String>,
+}
+
+struct Job {
+    req: SimRequest,
+    reply: SyncSender<Response>,
+    enqueued: Instant,
+}
+
+/// Mutable serving metrics, updated under one short-lived lock.
+struct Meters {
+    latency_us: Hist,
+    queue_wait_us: Hist,
+    queue_depth: Gauge,
+    inflight: Gauge,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    draining: AtomicBool,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    results: SingleFlight<CacheKey, Arc<OutcomeSummary>>,
+    /// Built traces, also single-flight: concurrent cold requests for the
+    /// same benchmark build its trace once.
+    traces: SingleFlight<(&'static str, u8), Arc<TraceProgram>>,
+    meters: Mutex<Meters>,
+    requests: AtomicU64,
+    pings: AtomicU64,
+    metrics_reqs: AtomicU64,
+    simulates: AtomicU64,
+    busy: AtomicU64,
+    too_large: AtomicU64,
+    drain_rejects: AtomicU64,
+    bad_requests: AtomicU64,
+    internal_errors: AtomicU64,
+    trace: Option<Mutex<TraceBuilder>>,
+    trace_dropped: AtomicU64,
+    started: Instant,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Events kept in a recorded timeline before further ones are counted as
+/// dropped instead of queued (a soak run must not grow without bound).
+const TRACE_EVENT_CAP: usize = 100_000;
+
+fn scale_wire_tag(s: Scale) -> u8 {
+    match s {
+        Scale::Tiny => 0,
+        Scale::Paper => 1,
+    }
+}
+
+impl Inner {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn now_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    fn trace_event(&self, f: impl FnOnce(&mut TraceBuilder)) {
+        if let Some(trace) = &self.trace {
+            let mut t = trace.lock().expect("trace lock");
+            if t.len() < TRACE_EVENT_CAP {
+                f(&mut t);
+            } else {
+                self.trace_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Snapshot everything into one [`MetricsRegistry`] (gauges flattened
+    /// through [`Gauge::export_into`], cache counters included).
+    fn metrics_snapshot(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.set_counter("serve_requests", self.requests.load(Ordering::Relaxed));
+        reg.set_counter("serve_ping", self.pings.load(Ordering::Relaxed));
+        reg.set_counter("serve_metrics", self.metrics_reqs.load(Ordering::Relaxed));
+        reg.set_counter("serve_simulate", self.simulates.load(Ordering::Relaxed));
+        reg.set_counter("serve_busy", self.busy.load(Ordering::Relaxed));
+        reg.set_counter("serve_too_large", self.too_large.load(Ordering::Relaxed));
+        reg.set_counter("serve_draining", self.drain_rejects.load(Ordering::Relaxed));
+        reg.set_counter(
+            "serve_bad_request",
+            self.bad_requests.load(Ordering::Relaxed),
+        );
+        reg.set_counter(
+            "serve_internal_error",
+            self.internal_errors.load(Ordering::Relaxed),
+        );
+        let c = self.results.stats();
+        reg.set_counter("cache_hits", c.hits);
+        reg.set_counter("cache_misses", c.misses);
+        reg.set_counter("cache_coalesced", c.coalesced);
+        reg.set_counter("cache_failures", c.failures);
+        reg.set_counter(
+            "trace_events_dropped",
+            self.trace_dropped.load(Ordering::Relaxed),
+        );
+        let m = self.meters.lock().expect("meters lock");
+        m.queue_depth.export_into(&mut reg, "serve_queue_depth");
+        m.inflight.export_into(&mut reg, "serve_inflight");
+        reg.set_hist("serve_latency_us", m.latency_us.clone());
+        reg.set_hist("serve_queue_wait_us", m.queue_wait_us.clone());
+        reg
+    }
+
+    /// Enqueue a simulation or reject it; on success, block until a worker
+    /// replies. Called from connection threads, so blocking here holds only
+    /// this client's thread.
+    fn submit(&self, req: SimRequest) -> Response {
+        let (tx, rx) = mpsc::sync_channel(1);
+        {
+            let mut q = self.queue.lock().expect("queue lock");
+            // Checked under the queue lock: after `shutdown` flips the
+            // flag and takes this lock once, no job can slip in.
+            if self.draining() {
+                self.drain_rejects.fetch_add(1, Ordering::Relaxed);
+                return Response::Draining;
+            }
+            if q.len() >= self.cfg.queue_cap {
+                self.busy.fetch_add(1, Ordering::Relaxed);
+                let ts = self.now_us();
+                self.trace_event(|t| {
+                    t.instant(
+                        "busy",
+                        ts,
+                        1,
+                        0,
+                        vec![("queue_len".into(), ArgVal::U64(q.len() as u64))],
+                    )
+                });
+                return Response::Busy {
+                    queue_len: q.len() as u32,
+                    queue_cap: self.cfg.queue_cap as u32,
+                };
+            }
+            q.push_back(Job {
+                req,
+                reply: tx,
+                enqueued: Instant::now(),
+            });
+            let depth = q.len() as u64;
+            self.meters
+                .lock()
+                .expect("meters lock")
+                .queue_depth
+                .set(depth);
+            self.queue_cv.notify_one();
+        }
+        match rx.recv() {
+            Ok(resp) => resp,
+            Err(_) => {
+                self.internal_errors.fetch_add(1, Ordering::Relaxed);
+                Response::Error {
+                    kind: ErrorKind::Internal,
+                    msg: "worker dropped the request".to_string(),
+                }
+            }
+        }
+    }
+
+    /// Resolve and run one simulation request, through both caches.
+    fn run_simulate(&self, req: &SimRequest) -> Response {
+        let machine = match req.machine.to_machine() {
+            Ok(m) => m,
+            Err(e) => {
+                self.bad_requests.fetch_add(1, Ordering::Relaxed);
+                return Response::Error {
+                    kind: ErrorKind::BadRequest,
+                    msg: e.to_string(),
+                };
+            }
+        };
+        let opts = SimOptions {
+            check: req.check,
+            ..SimOptions::default()
+        };
+        let (bench, scale) = (req.bench, req.scale);
+        let trace = match self
+            .traces
+            .get_or_compute((bench.name(), scale_wire_tag(scale)), || {
+                Ok(Arc::new(bench.build(scale)))
+            }) {
+            Ok((t, _)) => t,
+            Err(msg) => {
+                self.internal_errors.fetch_add(1, Ordering::Relaxed);
+                return Response::Error {
+                    kind: ErrorKind::Internal,
+                    msg: format!("trace construction failed: {msg}"),
+                };
+            }
+        };
+        let key = CacheKey {
+            options_fp: options_fingerprint(&opts),
+            trace_fp: trace.fingerprint(),
+            machine_fp: machine.fingerprint(),
+            protocol: protocol_tag(req.protocol),
+        };
+        let computed = self.results.get_or_compute(key, || {
+            let out = simulate_with_options(&trace, &machine, req.protocol, &opts);
+            Ok(Arc::new(summarize_outcome(&out)))
+        });
+        match computed {
+            Ok((summary, source)) => Response::Outcome {
+                summary: Box::new((*summary).clone()),
+                cache_hit: source != Source::Fresh,
+            },
+            Err(msg) => {
+                self.internal_errors.fetch_add(1, Ordering::Relaxed);
+                Response::Error {
+                    kind: ErrorKind::Internal,
+                    msg,
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner, worker_id: u32) {
+    loop {
+        let job = {
+            let mut q = inner.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    let depth = q.len() as u64;
+                    let mut m = inner.meters.lock().expect("meters lock");
+                    m.queue_depth.set(depth);
+                    m.inflight.add(1);
+                    break job;
+                }
+                if inner.draining() {
+                    return;
+                }
+                q = inner.queue_cv.wait(q).expect("queue lock");
+            }
+        };
+        let Job {
+            req,
+            reply,
+            enqueued,
+        } = job;
+        let waited_us = enqueued.elapsed().as_micros() as u64;
+        let start = inner.now_us();
+        let began = Instant::now();
+        let response = inner.run_simulate(&req);
+        let compute_us = began.elapsed().as_micros() as u64;
+        {
+            let mut m = inner.meters.lock().expect("meters lock");
+            m.latency_us.add(waited_us + compute_us);
+            m.queue_wait_us.add(waited_us);
+            m.inflight.sub(1);
+        }
+        let cache_hit = matches!(
+            &response,
+            Response::Outcome {
+                cache_hit: true,
+                ..
+            }
+        );
+        inner.trace_event(|t| {
+            t.complete(
+                &format!("{}/{:?}", req.bench.name(), req.protocol),
+                start,
+                compute_us.max(1),
+                1,
+                worker_id + 1,
+                vec![
+                    ("cache_hit".into(), ArgVal::U64(cache_hit as u64)),
+                    ("queue_wait_us".into(), ArgVal::U64(waited_us)),
+                ],
+            )
+        });
+        // The client may have vanished; a dead receiver is not an error.
+        let _ = reply.send(response);
+    }
+}
+
+/// Serve one connection until EOF, error, or drain.
+fn connection_loop(inner: &Arc<Inner>, stream: &mut (impl Read + Write)) {
+    let max = inner.cfg.max_frame;
+    loop {
+        match proto::read_frame(stream, max) {
+            Ok(FrameEvent::Idle) => {
+                if inner.draining() {
+                    return;
+                }
+            }
+            Ok(FrameEvent::Eof) => return,
+            Ok(FrameEvent::Frame(payload)) => {
+                inner.requests.fetch_add(1, Ordering::Relaxed);
+                let response = match Request::decode(&payload) {
+                    Ok(Request::Ping) => {
+                        inner.pings.fetch_add(1, Ordering::Relaxed);
+                        Response::Pong
+                    }
+                    Ok(Request::Metrics) => {
+                        inner.metrics_reqs.fetch_add(1, Ordering::Relaxed);
+                        Response::Metrics(inner.metrics_snapshot())
+                    }
+                    Ok(Request::Simulate(req)) => {
+                        inner.simulates.fetch_add(1, Ordering::Relaxed);
+                        inner.submit(req)
+                    }
+                    Err(e) => {
+                        // The frame was well-delimited, so the stream is
+                        // still in sync: answer and keep the connection.
+                        inner.bad_requests.fetch_add(1, Ordering::Relaxed);
+                        Response::Error {
+                            kind: ErrorKind::BadRequest,
+                            msg: e.to_string(),
+                        }
+                    }
+                };
+                if proto::write_frame(stream, &response.encode(), max).is_err() {
+                    return;
+                }
+            }
+            Err(ServeError::FrameTooLarge { len, max }) => {
+                // The oversized payload was never read, so the stream is
+                // desynced: reply, then hang up.
+                inner.too_large.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::TooLarge { len, max };
+                let _ = proto::write_frame(stream, &resp.encode(), max);
+                return;
+            }
+            Err(e @ (ServeError::BadMagic(_) | ServeError::BadVersion(_))) => {
+                inner.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error {
+                    kind: ErrorKind::BadRequest,
+                    msg: e.to_string(),
+                };
+                let _ = proto::write_frame(stream, &resp.encode(), max);
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// How long an acceptor sleeps between polls of a non-blocking listener.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Per-connection read timeout; [`proto::read_frame`] reports a timeout
+/// between frames as [`FrameEvent::Idle`] so the drain flag gets checked.
+const READ_TIMEOUT: Duration = Duration::from_millis(50);
+
+fn spawn_conn(inner: &Arc<Inner>, mut stream: impl Read + Write + Send + 'static) {
+    let inner2 = Arc::clone(inner);
+    let handle = std::thread::spawn(move || connection_loop(&inner2, &mut stream));
+    inner.conns.lock().expect("conns lock").push(handle);
+}
+
+fn tcp_acceptor(inner: Arc<Inner>, listener: TcpListener) {
+    while !inner.draining() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+                spawn_conn(&inner, stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+#[cfg(unix)]
+fn uds_acceptor(inner: Arc<Inner>, listener: std::os::unix::net::UnixListener) {
+    while !inner.draining() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+                spawn_conn(&inner, stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// A running server. Dropping it without calling [`Server::shutdown`]
+/// leaks the serving threads; tests and binaries should always drain.
+pub struct Server {
+    inner: Arc<Inner>,
+    acceptors: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    tcp_addr: Option<SocketAddr>,
+    uds_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// Bind the configured listeners and start serving.
+    pub fn start(cfg: ServeConfig) -> Result<Server, ServeError> {
+        if cfg.tcp.is_none() && cfg.uds.is_none() {
+            return Err(ServeError::Config(
+                "at least one of a TCP address or a Unix-socket path is required".into(),
+            ));
+        }
+        if cfg.workers == 0 {
+            return Err(ServeError::Config("at least one worker is required".into()));
+        }
+        if cfg.queue_cap == 0 {
+            return Err(ServeError::Config(
+                "the request queue needs a non-zero capacity".into(),
+            ));
+        }
+        let trace = cfg.record_trace.then(|| {
+            let mut t = TraceBuilder::new();
+            t.process_name(1, "warden-serve");
+            for w in 0..cfg.workers {
+                t.thread_name(1, w as u32 + 1, &format!("worker-{w}"));
+            }
+            Mutex::new(t)
+        });
+        let inner = Arc::new(Inner {
+            draining: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            results: SingleFlight::new(cfg.cache_shards),
+            traces: SingleFlight::new(4),
+            meters: Mutex::new(Meters {
+                latency_us: Hist::new(),
+                queue_wait_us: Hist::new(),
+                queue_depth: Gauge::new(),
+                inflight: Gauge::new(),
+            }),
+            requests: AtomicU64::new(0),
+            pings: AtomicU64::new(0),
+            metrics_reqs: AtomicU64::new(0),
+            simulates: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            too_large: AtomicU64::new(0),
+            drain_rejects: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            internal_errors: AtomicU64::new(0),
+            trace,
+            trace_dropped: AtomicU64::new(0),
+            started: Instant::now(),
+            conns: Mutex::new(Vec::new()),
+            cfg: cfg.clone(),
+        });
+
+        let mut acceptors = Vec::new();
+        let mut tcp_addr = None;
+        if let Some(addr) = &cfg.tcp {
+            let listener = TcpListener::bind(addr).map_err(|e| {
+                ServeError::Config(format!("cannot bind TCP listener on {addr}: {e}"))
+            })?;
+            listener.set_nonblocking(true)?;
+            tcp_addr = Some(listener.local_addr()?);
+            let inner2 = Arc::clone(&inner);
+            acceptors.push(std::thread::spawn(move || tcp_acceptor(inner2, listener)));
+        }
+        let mut uds_path = None;
+        #[cfg(unix)]
+        if let Some(path) = &cfg.uds {
+            // A stale socket file from a previous run would fail the bind.
+            let _ = std::fs::remove_file(path);
+            let listener = std::os::unix::net::UnixListener::bind(path).map_err(|e| {
+                ServeError::Config(format!("cannot bind Unix socket {}: {e}", path.display()))
+            })?;
+            listener.set_nonblocking(true)?;
+            uds_path = Some(path.clone());
+            let inner2 = Arc::clone(&inner);
+            acceptors.push(std::thread::spawn(move || uds_acceptor(inner2, listener)));
+        }
+        #[cfg(not(unix))]
+        if cfg.uds.is_some() && cfg.tcp.is_none() {
+            return Err(ServeError::Config(
+                "Unix sockets are unavailable on this platform".into(),
+            ));
+        }
+
+        let workers = (0..cfg.workers)
+            .map(|w| {
+                let inner2 = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner2, w as u32))
+            })
+            .collect();
+
+        Ok(Server {
+            inner,
+            acceptors,
+            workers,
+            tcp_addr,
+            uds_path,
+        })
+    }
+
+    /// The bound TCP address (with the real port when `127.0.0.1:0` was
+    /// requested).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound Unix-socket path.
+    pub fn uds_path(&self) -> Option<&PathBuf> {
+        self.uds_path.as_ref()
+    }
+
+    /// A live metrics snapshot.
+    pub fn metrics_snapshot(&self) -> MetricsRegistry {
+        self.inner.metrics_snapshot()
+    }
+
+    /// Live result-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.results.stats()
+    }
+
+    /// Drain and stop: refuse new work, finish every queued job (each
+    /// blocked client gets its reply), then join acceptors, workers and
+    /// connection threads, in that order.
+    pub fn shutdown(self) -> ShutdownReport {
+        self.inner.draining.store(true, Ordering::SeqCst);
+        // Take the queue lock once so every in-flight `submit` has either
+        // enqueued (and will be drained) or will observe the flag.
+        drop(self.inner.queue.lock().expect("queue lock"));
+        self.inner.queue_cv.notify_all();
+        for a in self.acceptors {
+            let _ = a.join();
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
+        let conns = std::mem::take(&mut *self.inner.conns.lock().expect("conns lock"));
+        for c in conns {
+            let _ = c.join();
+        }
+        if let Some(path) = &self.uds_path {
+            let _ = std::fs::remove_file(path);
+        }
+        let trace_json = self
+            .inner
+            .trace
+            .as_ref()
+            .map(|t| t.lock().expect("trace lock").to_json());
+        ShutdownReport {
+            metrics: self.inner.metrics_snapshot(),
+            cache: self.inner.results.stats(),
+            trace_json,
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Concurrency stress for the sharded single-flight cache: 32 threads
+//! hammer a mix of hot keys (all threads collide) and cold keys (each
+//! thread owns some), with a probe counter proving **exactly one** compute
+//! ran per unique key, and every thread receiving the identical value.
+//! A second scenario stresses the failure path: panicking leaders must
+//! propagate to every waiter of that round, vacate the slot, and leave the
+//! key computable afterwards.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use warden_serve::cache::{SingleFlight, Source};
+use warden_serve::CacheKey;
+
+const THREADS: usize = 32;
+const ROUNDS: usize = 25;
+const HOT_KEYS: u64 = 4;
+
+fn key(n: u64) -> CacheKey {
+    // Spread the fields so distinct logical keys differ in every component.
+    CacheKey {
+        options_fp: n.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        trace_fp: n ^ 0xdead_beef,
+        machine_fp: n.rotate_left(17),
+        protocol: (n % 3) as u8,
+    }
+}
+
+#[test]
+fn single_flight_under_32_thread_storm() {
+    let cache: Arc<SingleFlight<CacheKey, u64>> = Arc::new(SingleFlight::new(8));
+    // One probe counter per key, incremented inside the compute closure.
+    let probes: Arc<Mutex<HashMap<u64, Arc<AtomicUsize>>>> = Arc::new(Mutex::new(HashMap::new()));
+    let fresh_total = Arc::new(AtomicU64::new(0));
+    let gate = Arc::new(Barrier::new(THREADS));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|tid| {
+            let cache = Arc::clone(&cache);
+            let probes = Arc::clone(&probes);
+            let fresh_total = Arc::clone(&fresh_total);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                gate.wait();
+                let mut got: Vec<(u64, u64)> = Vec::new();
+                for round in 0..ROUNDS {
+                    // Hot keys collide across every thread; cold keys are
+                    // unique to (thread, round) so they always miss.
+                    let hot = (round as u64) % HOT_KEYS;
+                    let cold = 1_000 + (tid as u64) * ROUNDS as u64 + round as u64;
+                    for logical in [hot, cold] {
+                        let probe = Arc::clone(
+                            probes
+                                .lock()
+                                .unwrap()
+                                .entry(logical)
+                                .or_insert_with(|| Arc::new(AtomicUsize::new(0))),
+                        );
+                        let (v, src) = cache
+                            .get_or_compute(key(logical), || {
+                                probe.fetch_add(1, Ordering::SeqCst);
+                                // Widen the race window so coalescing
+                                // actually happens on the hot keys.
+                                std::thread::yield_now();
+                                Ok(logical.wrapping_mul(31).wrapping_add(7))
+                            })
+                            .expect("compute never fails here");
+                        if src == Source::Fresh {
+                            fresh_total.fetch_add(1, Ordering::SeqCst);
+                        }
+                        got.push((logical, v));
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+
+    let mut by_key: HashMap<u64, u64> = HashMap::new();
+    for h in handles {
+        for (logical, v) in h.join().expect("no stress thread panics") {
+            // Every response for a key is identical across all threads.
+            let prev = by_key.insert(logical, v);
+            if let Some(p) = prev {
+                assert_eq!(p, v, "key {logical} answered two different values");
+            }
+            assert_eq!(v, logical.wrapping_mul(31).wrapping_add(7));
+        }
+    }
+
+    let unique_keys = HOT_KEYS as usize + THREADS * ROUNDS;
+    assert_eq!(by_key.len(), unique_keys);
+    // The single-flight guarantee, via the probe counters: every unique key
+    // computed exactly once, no matter how many threads collided on it.
+    let probes = probes.lock().unwrap();
+    assert_eq!(probes.len(), unique_keys);
+    for (logical, probe) in probes.iter() {
+        assert_eq!(
+            probe.load(Ordering::SeqCst),
+            1,
+            "key {logical} computed more than once"
+        );
+    }
+    assert_eq!(fresh_total.load(Ordering::SeqCst), unique_keys as u64);
+
+    let stats = cache.stats();
+    assert_eq!(stats.misses, unique_keys as u64);
+    assert_eq!(stats.failures, 0);
+    // Each (thread, round) pair issued 2 requests; everything that wasn't
+    // a fresh compute was served from the cache or coalesced.
+    let total = (THREADS * ROUNDS * 2) as u64;
+    assert_eq!(stats.hits + stats.coalesced + stats.misses, total);
+    assert!(
+        stats.hits + stats.coalesced > 0,
+        "a hot-key storm must produce cache-served responses"
+    );
+    assert_eq!(cache.len(), unique_keys);
+}
+
+#[test]
+fn panicking_leaders_never_strand_waiters() {
+    const ATTACKERS: usize = 16;
+    let cache: Arc<SingleFlight<u64, u64>> = Arc::new(SingleFlight::new(4));
+    let probe = Arc::new(AtomicUsize::new(0));
+    let gate = Arc::new(Barrier::new(ATTACKERS));
+
+    // Every thread races on ONE key whose compute panics the first two
+    // times it runs. No waiter may hang; eventually the value lands.
+    let handles: Vec<_> = (0..ATTACKERS)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            let probe = Arc::clone(&probe);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                gate.wait();
+                loop {
+                    let attempt = {
+                        let probe = Arc::clone(&probe);
+                        move || {
+                            let n = probe.fetch_add(1, Ordering::SeqCst);
+                            if n < 2 {
+                                panic!("induced failure #{n}");
+                            }
+                            Ok(99)
+                        }
+                    };
+                    match cache.get_or_compute(7, attempt) {
+                        Ok((v, _)) => return v,
+                        Err(msg) => assert!(msg.contains("induced failure"), "{msg}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().expect("waiters must not hang or panic"), 99);
+    }
+    // The two induced panics each vacated the slot; the third compute won.
+    assert_eq!(probe.load(Ordering::SeqCst), 3);
+    let stats = cache.stats();
+    assert_eq!(stats.failures, 2);
+    assert_eq!(cache.len(), 1);
+}

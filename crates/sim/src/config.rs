@@ -75,13 +75,37 @@ impl MachineConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `sockets * 12 > 64` (sharer-bitmask width).
+    /// Panics if `sockets * 12 > 64` (sharer-bitmask width) or `sockets`
+    /// is zero. [`Self::try_many_socket`] is the non-panicking form for
+    /// callers handing over externally supplied socket counts.
     pub fn many_socket(sockets: usize) -> MachineConfig {
-        MachineConfig::base(
+        MachineConfig::try_many_socket(sockets).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::many_socket`] behind validation: a socket count whose cores
+    /// would overflow the 64-bit sharer bitmask (or a zero socket count) is
+    /// a typed [`SimError`] instead of a panic — the serving layer feeds
+    /// client-supplied machine descriptions through this.
+    pub fn try_many_socket(sockets: usize) -> Result<MachineConfig, SimError> {
+        let cores_per_socket = 12;
+        let bad = |msg: String| SimError::Config(CoherenceError::BadConfig(msg));
+        if sockets == 0 {
+            return Err(bad("a machine needs at least one socket".into()));
+        }
+        let cores = sockets
+            .checked_mul(cores_per_socket)
+            .ok_or_else(|| bad(format!("{sockets} sockets overflow the core count")))?;
+        if cores > 64 {
+            return Err(bad(format!(
+                "{sockets} sockets x {cores_per_socket} cores = {cores} cores exceed the \
+                 64-wide sharer bitmask"
+            )));
+        }
+        Ok(MachineConfig::base(
             &format!("{sockets}-socket"),
             sockets,
             LatencyModel::xeon_gold_6126(),
-        )
+        ))
     }
 
     /// Override the core count per socket (smaller machines simulate faster;
@@ -190,6 +214,39 @@ mod tests {
         assert_eq!(MachineConfig::dual_socket().num_cores(), 24);
         assert_eq!(MachineConfig::disaggregated().lat.intersocket, 3300);
         assert_eq!(MachineConfig::many_socket(4).num_cores(), 48);
+    }
+
+    #[test]
+    fn try_many_socket_splits_ok_from_typed_rejection() {
+        // 5 sockets x 12 cores = 60 <= 64: the widest machine that fits.
+        let m = MachineConfig::try_many_socket(5).expect("60 cores fit the bitmask");
+        assert_eq!(m.num_cores(), 60);
+        assert_eq!(m.name, "5-socket");
+        m.validate().expect("preset validates");
+        // The panicking wrapper delegates, so both paths agree.
+        assert_eq!(
+            MachineConfig::many_socket(5).fingerprint(),
+            MachineConfig::try_many_socket(5).unwrap().fingerprint()
+        );
+        // 6 sockets x 12 = 72 > 64: typed error, not a panic.
+        let err = MachineConfig::try_many_socket(6).unwrap_err();
+        assert!(matches!(err, SimError::Config(_)));
+        assert!(err.to_string().contains("sharer bitmask"), "{err}");
+        // Zero sockets and overflow-sized counts are rejected the same way.
+        assert!(matches!(
+            MachineConfig::try_many_socket(0),
+            Err(SimError::Config(_))
+        ));
+        assert!(matches!(
+            MachineConfig::try_many_socket(usize::MAX),
+            Err(SimError::Config(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "sharer bitmask")]
+    fn many_socket_still_panics_on_overflow() {
+        let _ = MachineConfig::many_socket(6);
     }
 
     #[test]

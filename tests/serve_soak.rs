@@ -1,0 +1,263 @@
+//! End-to-end soak of `warden-serve`: an in-process server driven by
+//! concurrent clients over real TCP sockets, held to the digest of a
+//! directly computed [`warden::sim::simulate_with_options`] outcome —
+//! bit-identical conformance, not approximate agreement. Also covered:
+//! backpressure recovery without `Busy` leaks, typed oversized-frame
+//! rejection on the wire, and a graceful drain that completes every
+//! in-flight request.
+
+use std::io::Write;
+use std::time::{Duration, Instant};
+use warden::bench::loadgen::{drive, Expectation, Target};
+use warden::coherence::Protocol;
+use warden::obs::validate_trace;
+use warden::pbbs::{Bench, Scale};
+use warden::serve::{
+    outcome_digest, Client, MachinePreset, MachineSpec, Request, Response, ServeConfig, Server,
+    SimRequest,
+};
+use warden::sim::{simulate_with_options, SimOptions};
+
+/// Four benchmarks × both protocols on a small dual-socket machine: the
+/// soak plan, with every expected digest computed directly.
+fn plan() -> Vec<Expectation> {
+    let machine = MachineSpec::new(MachinePreset::DualSocket).with_cores(2);
+    let resolved = machine.to_machine().expect("valid machine");
+    let mut plan = Vec::new();
+    for bench in [Bench::Fib, Bench::MakeArray, Bench::Primes, Bench::Tokens] {
+        let program = bench.build(Scale::Tiny);
+        for protocol in [Protocol::Mesi, Protocol::Warden] {
+            let out = simulate_with_options(&program, &resolved, protocol, &SimOptions::default());
+            plan.push(Expectation {
+                req: SimRequest {
+                    bench,
+                    scale: Scale::Tiny,
+                    machine,
+                    protocol,
+                    check: false,
+                },
+                digest: outcome_digest(&out),
+            });
+        }
+    }
+    plan
+}
+
+#[test]
+fn soak_concurrent_clients_conform_bit_for_bit() {
+    let server = Server::start(ServeConfig {
+        tcp: Some("127.0.0.1:0".to_string()),
+        workers: 3,
+        queue_cap: 32,
+        record_trace: true,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.tcp_addr().expect("tcp bound").to_string();
+    let plan = plan();
+
+    // 8 clients × 8 requests, every response checked against the direct
+    // simulation digest inside `drive`.
+    let report = drive(&Target::Tcp(addr.clone()), &plan, 8, plan.len()).expect("conformance");
+    assert_eq!(report.responses, 64);
+    assert_eq!(report.mismatches, 0);
+    assert!(
+        report.cache_hits > 0,
+        "64 requests over 8 unique keys must hit the cache"
+    );
+
+    // The cache-hit ratio is also visible through the wire metrics.
+    let mut client = Client::connect(&addr).expect("connect");
+    client.ping().expect("pong");
+    let metrics = client.metrics().expect("metrics over the wire");
+    let hits = metrics.counter("cache_hits").unwrap_or(0)
+        + metrics.counter("cache_coalesced").unwrap_or(0);
+    let misses = metrics.counter("cache_misses").unwrap_or(0);
+    assert_eq!(misses, plan.len() as u64, "one simulation per unique key");
+    assert!(hits > 0, "hit ratio must be positive");
+    assert_eq!(metrics.counter("serve_internal_error"), Some(0));
+    assert!(
+        metrics.counter("serve_latency_us_why").is_none(),
+        "sanity: absent counters read as None"
+    );
+    drop(client);
+
+    let report = server.shutdown();
+    assert_eq!(report.cache.failures, 0);
+    // The recorded timeline is valid trace-event JSON with one slice per
+    // completed simulation.
+    let trace = report.trace_json.expect("recording was on");
+    let stats = validate_trace(&trace).expect("timeline lints");
+    assert_eq!(stats.complete, 64, "one slice per served simulation");
+}
+
+#[test]
+fn backpressure_rejects_typed_then_recovers_without_leaks() {
+    // One worker, a one-slot queue: concurrent distinct requests MUST see
+    // Busy, and retrying MUST eventually serve all of them.
+    let server = Server::start(ServeConfig {
+        tcp: Some("127.0.0.1:0".to_string()),
+        workers: 1,
+        queue_cap: 1,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.tcp_addr().expect("tcp bound").to_string();
+
+    // Distinct machines make distinct cache keys, so nothing coalesces and
+    // the queue actually fills.
+    let plan: Vec<Expectation> = [1u32, 2, 3, 4]
+        .iter()
+        .map(|&cores| {
+            let machine = MachineSpec::new(MachinePreset::DualSocket).with_cores(cores);
+            let resolved = machine.to_machine().unwrap();
+            let program = Bench::Fib.build(Scale::Tiny);
+            let out = simulate_with_options(
+                &program,
+                &resolved,
+                Protocol::Warden,
+                &SimOptions::default(),
+            );
+            Expectation {
+                req: SimRequest {
+                    bench: Bench::Fib,
+                    scale: Scale::Tiny,
+                    machine,
+                    protocol: Protocol::Warden,
+                    check: false,
+                },
+                digest: outcome_digest(&out),
+            }
+        })
+        .collect();
+
+    let report = drive(&Target::Tcp(addr.clone()), &plan, 8, 4).expect("all served eventually");
+    assert_eq!(report.responses, 32);
+    assert_eq!(report.mismatches, 0);
+
+    // Recovery: the queue drained, so a fresh request must succeed with no
+    // Busy on the first attempt — backpressure leaves no residue.
+    let snapshot = server.metrics_snapshot();
+    assert_eq!(snapshot.counter("serve_queue_depth_current"), Some(0));
+    assert_eq!(snapshot.counter("serve_inflight_current"), Some(0));
+    let busy_before = snapshot.counter("serve_busy").unwrap_or(0);
+    let mut client = Client::connect(&addr).expect("connect");
+    match client.call(&Request::Simulate(plan[0].req)).expect("call") {
+        Response::Outcome { summary, cache_hit } => {
+            assert_eq!(summary.outcome_digest, plan[0].digest);
+            assert!(cache_hit, "recovered server still has the cached result");
+        }
+        other => panic!("expected an outcome after recovery, got {other:?}"),
+    }
+    let busy_after = server.metrics_snapshot().counter("serve_busy").unwrap_or(0);
+    assert_eq!(busy_after, busy_before, "no Busy after recovery");
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frames_are_rejected_typed_on_the_wire() {
+    let server = Server::start(ServeConfig {
+        tcp: Some("127.0.0.1:0".to_string()),
+        max_frame: 64,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.tcp_addr().expect("tcp bound").to_string();
+
+    // Hand-craft a frame header promising a payload far over the cap; the
+    // server must answer `TooLarge` without reading (or allocating) it.
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    let mut raw = Vec::new();
+    raw.extend_from_slice(b"WSRV");
+    raw.push(1);
+    raw.extend_from_slice(&(1_000_000u32).to_le_bytes());
+    stream.write_all(&raw).expect("header sent");
+    // Read the reply directly — the server answers TooLarge and hangs up.
+    match warden::serve::proto::read_frame(&mut stream, 1 << 20).expect("response frame") {
+        warden::serve::FrameEvent::Frame(payload) => {
+            match Response::decode(&payload).expect("typed response") {
+                Response::TooLarge { len, max } => assert_eq!((len, max), (1_000_000, 64)),
+                other => panic!("expected TooLarge, got {other:?}"),
+            }
+        }
+        other => panic!("expected a response frame, got {other:?}"),
+    }
+    let report = server.shutdown();
+    assert_eq!(report.metrics.counter("serve_too_large"), Some(1));
+}
+
+#[test]
+fn graceful_drain_completes_every_inflight_request() {
+    let server = Server::start(ServeConfig {
+        tcp: Some("127.0.0.1:0".to_string()),
+        workers: 1,
+        queue_cap: 8,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.tcp_addr().expect("tcp bound").to_string();
+
+    // Six requests with distinct cache keys funneled through ONE worker:
+    // while the first simulates, the rest wait in the queue.
+    let n = 6usize;
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let req = SimRequest {
+                    bench: Bench::Fib,
+                    scale: Scale::Tiny,
+                    machine: MachineSpec::new(MachinePreset::ManySocket(i as u32 % 5 + 1))
+                        .with_cores(2),
+                    protocol: Protocol::Warden,
+                    check: i >= 5,
+                };
+                client.call(&Request::Simulate(req)).expect("reply arrives")
+            })
+        })
+        .collect();
+
+    // Wait until all six are accepted (completed + queued + running == 6),
+    // so none can be turned away by the drain flag — then shut down while
+    // most still sit in the queue.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let m = server.metrics_snapshot();
+        let completed = m.hist("serve_latency_us").map(|h| h.count()).unwrap_or(0);
+        let queued = m.counter("serve_queue_depth_current").unwrap_or(0);
+        let running = m.counter("serve_inflight_current").unwrap_or(0);
+        if completed + queued + running == n as u64 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "requests never reached the server"
+        );
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let report = server.shutdown();
+
+    // The drain completed every accepted request: each blocked client got a
+    // real outcome, none were dropped or answered `Draining`.
+    for h in handles {
+        match h.join().expect("client thread") {
+            Response::Outcome { .. } => {}
+            other => panic!("in-flight request lost to the drain: {other:?}"),
+        }
+    }
+    assert_eq!(report.metrics.counter("serve_draining"), Some(0));
+    assert_eq!(
+        report.metrics.hist("serve_latency_us").map(|h| h.count()),
+        Some(n as u64)
+    );
+
+    // After the drain the port is released: a fresh server can bind it.
+    let rebound = Server::start(ServeConfig {
+        tcp: Some(addr),
+        ..ServeConfig::default()
+    })
+    .expect("address is reusable after a clean drain");
+    rebound.shutdown();
+}
