@@ -25,6 +25,16 @@
 #                    simulation, the request timeline validated with
 #                    obs_lint, and serve_metrics_ci.json left behind for
 #                    the workflow to archive
+#   ./ci.sh chaos    fault-tolerance gate: the same conformance suite
+#                    driven through the seeded fault-injecting proxy
+#                    (torn frames, partial writes, byte delays,
+#                    slow-loris, resets) by resilient clients — once
+#                    with a Unix-socket upstream and once over TCP.
+#                    Every response must still match its oracle digest,
+#                    the drained server must show no leaked work, the
+#                    cache must respect its byte budget, the timeline is
+#                    obs_lint-validated, and chaos_metrics_ci.json is
+#                    left behind for the workflow to archive
 #   ./ci.sh          all of the above
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -176,6 +186,38 @@ serve() {
   echo "   wrote serve_metrics_ci.json and validated $dir/loadgen.trace.json"
 }
 
+chaos() {
+  echo "== chaos conformance (seeded fault-injecting proxy) =="
+  cargo build -q --release --offline -p warden-bench --bin loadgen --bin obs_lint
+  local dir=chaos_ci
+  rm -rf "$dir"
+  mkdir -p "$dir"
+
+  echo "   -- Unix-socket upstream --"
+  target/release/loadgen --spawn --chaos --chaos-seed 7 \
+    --uds "$dir/warden.sock" --scale tiny --clients 8 --iters 6 --quiet \
+    --request-deadline-ms 30000 --cache-budget 65536 \
+    --out chaos_metrics_ci.json --obs "$dir"
+  target/release/obs_lint "$dir/loadgen.trace.json"
+  test -s chaos_metrics_ci.json
+  # The resilient clients must have been exercised: a chaos run in which
+  # no client ever reconnected means the proxy injected nothing.
+  if ! grep -qE '"reconnects": [1-9]' chaos_metrics_ci.json; then
+    echo "FAILED: chaos run reports no client reconnects" >&2
+    exit 1
+  fi
+  if ! grep -qE '"cache_hits": [1-9]' chaos_metrics_ci.json; then
+    echo "FAILED: chaos run reports no cache hits" >&2
+    exit 1
+  fi
+
+  echo "   -- TCP upstream --"
+  target/release/loadgen --spawn --chaos --chaos-seed 11 \
+    --scale tiny --clients 8 --iters 6 --quiet \
+    --request-deadline-ms 30000 --cache-budget 65536
+  echo "   wrote chaos_metrics_ci.json and validated $dir/loadgen.trace.json"
+}
+
 stage="${1:-all}"
 case "$stage" in
   checks) checks ;;
@@ -183,15 +225,17 @@ case "$stage" in
   bench) bench ;;
   obs) obs ;;
   serve) serve ;;
+  chaos) chaos ;;
   all)
     checks
     smoke
     bench
     obs
     serve
+    chaos
     ;;
   *)
-    echo "usage: ci.sh [checks|smoke|bench|obs|serve|all]" >&2
+    echo "usage: ci.sh [checks|smoke|bench|obs|serve|chaos|all]" >&2
     exit 2
     ;;
 esac

@@ -26,6 +26,10 @@
 //! | `--iters <n>`          | `loadgen`: requests per client |
 //! | `--queue-cap <n>`      | `serve`/`loadgen --spawn`: bounded queue capacity |
 //! | `--spawn`              | `loadgen`: start an in-process server to drive |
+//! | `--chaos`              | `loadgen`: drive through the fault-injecting proxy |
+//! | `--chaos-seed <seed>`  | `loadgen`: seed for the chaos fault stream |
+//! | `--request-deadline-ms <ms>` | `serve`/`loadgen --spawn`: per-request deadline |
+//! | `--cache-budget <bytes>` | `serve`/`loadgen --spawn`: result-cache byte budget |
 //!
 //! Non-flag arguments are collected in [`HarnessArgs::positional`] for the
 //! binaries that take them (`record`, `replay`).
@@ -41,7 +45,10 @@ use std::time::Duration;
 pub const VALID_FLAGS: &[&str] = &[
     "--addr <host:port>",
     "--baseline <path>",
+    "--cache-budget <bytes>",
     "--campaign-dir <dir>",
+    "--chaos",
+    "--chaos-seed <seed>",
     "--check",
     "--clients <n>",
     "--deadline-ms <ms>",
@@ -53,6 +60,7 @@ pub const VALID_FLAGS: &[&str] = &[
     "--out <path>",
     "--queue-cap <n>",
     "--quiet",
+    "--request-deadline-ms <ms>",
     "--retries <n>",
     "--runs <n>",
     "--scale <tiny|paper>",
@@ -104,6 +112,18 @@ pub struct HarnessArgs {
     pub queue_cap: Option<usize>,
     /// `--spawn`: `loadgen` starts an in-process server to drive.
     pub spawn: bool,
+    /// `--chaos`: `loadgen` interposes the fault-injecting proxy and
+    /// drives it with resilient clients.
+    pub chaos: bool,
+    /// `--chaos-seed <seed>`: seed for the deterministic fault stream
+    /// (also salts the clients' retry jitter).
+    pub chaos_seed: Option<u64>,
+    /// `--request-deadline-ms <ms>`: per-request server deadline covering
+    /// queue wait plus simulation.
+    pub request_deadline_ms: Option<u64>,
+    /// `--cache-budget <bytes>`: byte budget for the server's result
+    /// cache.
+    pub cache_budget: Option<u64>,
     /// Non-flag arguments, in order (used by `record` and `replay`).
     pub positional: Vec<String>,
 }
@@ -214,6 +234,26 @@ impl HarnessArgs {
                     out.queue_cap = Some(n);
                 }
                 "--spawn" => out.spawn = true,
+                "--chaos" => out.chaos = true,
+                "--chaos-seed" => out.chaos_seed = Some(number(&mut it, "--chaos-seed", "<seed>")?),
+                "--request-deadline-ms" => {
+                    let ms: u64 = number(&mut it, "--request-deadline-ms", "<ms>")?;
+                    if ms == 0 {
+                        return Err(HarnessError::Args(
+                            "--request-deadline-ms must be at least 1".into(),
+                        ));
+                    }
+                    out.request_deadline_ms = Some(ms);
+                }
+                "--cache-budget" => {
+                    let bytes: u64 = number(&mut it, "--cache-budget", "<bytes>")?;
+                    if bytes == 0 {
+                        return Err(HarnessError::Args(
+                            "--cache-budget must be at least 1 byte".into(),
+                        ));
+                    }
+                    out.cache_budget = Some(bytes);
+                }
                 _ if a.starts_with("--") => return Err(unknown(&a)),
                 _ => out.positional.push(a),
             }
@@ -293,6 +333,13 @@ mod tests {
             "--queue-cap",
             "2",
             "--spawn",
+            "--chaos",
+            "--chaos-seed",
+            "42",
+            "--request-deadline-ms",
+            "1500",
+            "--cache-budget",
+            "65536",
             "primes",
         ])
         .unwrap();
@@ -318,6 +365,10 @@ mod tests {
             (Some(8), Some(4), Some(2))
         );
         assert!(a.spawn);
+        assert!(a.chaos);
+        assert_eq!(a.chaos_seed, Some(42));
+        assert_eq!(a.request_deadline_ms, Some(1500));
+        assert_eq!(a.cache_budget, Some(65536));
         assert_eq!(a.positional, vec!["primes".to_string()]);
 
         let cfg = a.campaign_config();
@@ -350,5 +401,8 @@ mod tests {
         assert!(parse(&["--iters", "0"]).is_err());
         assert!(parse(&["--queue-cap", "0"]).is_err());
         assert!(parse(&["--addr"]).is_err());
+        assert!(parse(&["--chaos-seed", "many"]).is_err());
+        assert!(parse(&["--request-deadline-ms", "0"]).is_err());
+        assert!(parse(&["--cache-budget", "0"]).is_err());
     }
 }

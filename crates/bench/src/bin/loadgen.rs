@@ -25,13 +25,29 @@
 //! | `--check`            | run the invariant checker inside each simulation |
 //! | `--obs <dir>`        | `--spawn`: write the server timeline as `loadgen.trace.json` |
 //! | `--out <path>`       | write the metrics + conformance JSON report |
+//! | `--chaos`            | interpose the fault-injecting proxy; drive with resilient clients |
+//! | `--chaos-seed <n>`   | seed for the deterministic fault stream (default 0xC4A05EED) |
+//! | `--request-deadline-ms <ms>` | `--spawn`: per-request deadline on the server |
+//! | `--cache-budget <bytes>`     | `--spawn`: result-cache byte budget |
+//!
+//! With `--chaos` the same conformance suite runs through a seeded
+//! fault-injecting TCP proxy (torn frames, partial writes, byte delays,
+//! slow-loris half-open connections, mid-flight resets) and
+//! [`warden_serve::ResilientClient`]s that must absorb every fault: the
+//! run still demands bit-identical outcomes, and afterwards the server's
+//! own metrics must show zero in-flight work, an empty queue, and — when
+//! a budget is set — cache residency that never exceeded it.
 
-use warden_bench::loadgen::{drive, metrics_json, oracle, Target};
+use std::time::Duration;
+use warden_bench::chaos::{ChaosConfig, ChaosProxy, Upstream};
+use warden_bench::loadgen::{drive, drive_resilient, metrics_json, oracle, Target};
 use warden_bench::runner::SuiteScale;
 use warden_bench::{harness_main, HarnessArgs, HarnessError};
 use warden_coherence::Protocol;
 use warden_pbbs::{Bench, Scale};
-use warden_serve::{MachinePreset, MachineSpec, ServeConfig, Server, SimRequest};
+use warden_serve::{
+    MachinePreset, MachineSpec, RetryPolicy, ServeConfig, Server, ServerOptions, SimRequest,
+};
 
 fn main() {
     harness_main(run);
@@ -90,6 +106,18 @@ fn run() -> Result<(), HarnessError> {
     let clients = args.clients.unwrap_or(8);
     let iters = args.iters.unwrap_or(6);
     let (server, target) = if args.spawn {
+        let mut opts = ServerOptions::default();
+        if let Some(ms) = args.request_deadline_ms {
+            opts.request_deadline = Some(Duration::from_millis(ms));
+        }
+        if let Some(bytes) = args.cache_budget {
+            opts.cache_budget_bytes = bytes;
+        }
+        if args.chaos {
+            // Tighten the stall bound so the proxy's slow-loris hold
+            // (750 ms) trips it well inside the run.
+            opts.frame_stall = Duration::from_millis(250);
+        }
         let cfg = ServeConfig {
             tcp: match (&args.addr, &args.uds) {
                 (Some(addr), _) => Some(addr.clone()),
@@ -100,6 +128,7 @@ fn run() -> Result<(), HarnessError> {
             workers: args.jobs.unwrap_or(2),
             queue_cap: args.queue_cap.unwrap_or(16),
             record_trace: args.obs.is_some(),
+            opts,
             ..ServeConfig::default()
         };
         let server = Server::start(cfg).map_err(|e| HarnessError::Failed(e.to_string()))?;
@@ -115,8 +144,46 @@ fn run() -> Result<(), HarnessError> {
         (None, Target::Tcp(args.addr.clone().expect("checked above")))
     };
 
-    eprintln!("loadgen: driving {target:?} with {clients} client(s) x {iters} request(s)");
-    let outcome = drive(&target, &plan, clients, iters);
+    let (outcome, chaos_report) = if args.chaos {
+        let upstream = match &target {
+            Target::Tcp(addr) => Upstream::Tcp(addr.clone()),
+            Target::Uds(path) => Upstream::Uds(path.clone()),
+        };
+        let chaos_cfg = ChaosConfig {
+            seed: args
+                .chaos_seed
+                .unwrap_or_else(|| ChaosConfig::default().seed),
+            loris_hold: Duration::from_millis(750),
+            ..ChaosConfig::default()
+        };
+        let seed = chaos_cfg.seed;
+        let proxy = ChaosProxy::start(upstream, chaos_cfg)
+            .map_err(|e| HarnessError::Failed(format!("chaos proxy failed to start: {e}")))?;
+        eprintln!(
+            "loadgen: chaos proxy on {} (seed {seed:#x}) fronting {target:?}; \
+             driving {clients} resilient client(s) x {iters} request(s)",
+            proxy.addr()
+        );
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(200),
+            call_deadline: Some(Duration::from_secs(120)),
+            frame_stall: Duration::from_millis(500),
+            seed,
+        };
+        let outcome = drive_resilient(
+            &Target::Tcp(proxy.addr().to_string()),
+            &plan,
+            clients,
+            iters,
+            &policy,
+        );
+        (outcome, Some(proxy.stop()))
+    } else {
+        eprintln!("loadgen: driving {target:?} with {clients} client(s) x {iters} request(s)");
+        (drive(&target, &plan, clients, iters), None)
+    };
 
     // Drain the spawned server even when the drive failed, so its report
     // (and trace) survive for diagnosis.
@@ -159,6 +226,56 @@ fn run() -> Result<(), HarnessError> {
         return Err(HarnessError::Failed(
             "a plan smaller than the request count must produce cache hits".into(),
         ));
+    }
+
+    if let Some(chaos) = &chaos_report {
+        println!(
+            "loadgen: chaos injected {} fault(s) over {} connection(s) \
+             (torn {}, partial {}, delay {}, loris {}, reset {}); \
+             clients retried {} time(s), reconnected {} time(s)",
+            chaos.faulted(),
+            chaos.connections,
+            chaos.torn_frames,
+            chaos.partial_writes,
+            chaos.byte_delays,
+            chaos.slow_loris,
+            chaos.resets,
+            report.retries,
+            report.reconnects
+        );
+        if chaos.connections < clients as u64 {
+            return Err(HarnessError::Failed(format!(
+                "chaos proxy saw {} connection(s) for {clients} client(s) — \
+                 the drive did not go through the proxy",
+                chaos.connections
+            )));
+        }
+        let counter = |name: &str| -> u64 {
+            metrics
+                .counters()
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        // A clean post-drain server: nothing in flight, nothing queued —
+        // no fault may leak a single-flight slot or wedge a worker.
+        let inflight = counter("serve_inflight_current");
+        let queued = counter("serve_queue_depth_current");
+        if inflight != 0 || queued != 0 {
+            return Err(HarnessError::Failed(format!(
+                "chaos run leaked work: {inflight} in flight, {queued} queued after drain"
+            )));
+        }
+        if let Some(budget) = args.cache_budget {
+            let peak = counter("cache_resident_peak");
+            if peak > budget {
+                return Err(HarnessError::Failed(format!(
+                    "cache residency peaked at {peak} bytes, over the {budget}-byte budget"
+                )));
+            }
+            println!("loadgen: cache peak {peak} B stayed within the {budget} B budget");
+        }
     }
 
     if let (Some(dir), Some(s)) = (&args.obs, &shutdown) {

@@ -5,9 +5,12 @@
 //! serve: listening on 127.0.0.1:7878 (2 workers, queue 16)
 //! ```
 //!
-//! The server runs until stdin reaches EOF or a line reading `quit`
-//! arrives, then drains gracefully: queued simulations finish, every
-//! blocked client receives its reply, and only then do the threads join.
+//! The server runs until stdin reaches EOF, a line reading `quit`
+//! arrives, or the process receives SIGTERM — all three trigger the same
+//! graceful drain: queued simulations finish, every blocked client
+//! receives its reply, and only then do the threads join. SIGTERM-as-drain
+//! makes the daemon a well-behaved citizen under process supervisors
+//! (systemd, Kubernetes, CI runners) that signal before killing.
 //!
 //! | flag                 | effect |
 //! |----------------------|--------|
@@ -15,13 +18,16 @@
 //! | `--uds <path>`       | also (or only) bind a Unix socket |
 //! | `--jobs <n>`         | worker threads (default 2) |
 //! | `--queue-cap <n>`    | bounded queue capacity (default 16) |
+//! | `--request-deadline-ms <ms>` | per-request deadline (queue wait + simulation) |
+//! | `--cache-budget <bytes>`     | result-cache byte budget |
 //! | `--obs <dir>`        | record a request timeline; write `serve.trace.json` there |
 //! | `--out <path>`       | write a final metrics JSON report |
 
 use std::io::BufRead;
+use std::time::Duration;
 use warden_bench::loadgen::{metrics_json, LoadReport};
 use warden_bench::{harness_main, HarnessArgs, HarnessError};
-use warden_serve::{ServeConfig, Server};
+use warden_serve::{drain_requested, install_sigterm_drain, ServeConfig, Server, ServerOptions};
 
 fn main() {
     harness_main(run);
@@ -35,6 +41,13 @@ fn run() -> Result<(), HarnessError> {
             args.positional
         )));
     }
+    let mut opts = ServerOptions::default();
+    if let Some(ms) = args.request_deadline_ms {
+        opts.request_deadline = Some(Duration::from_millis(ms));
+    }
+    if let Some(bytes) = args.cache_budget {
+        opts.cache_budget_bytes = bytes;
+    }
     let cfg = ServeConfig {
         tcp: match (&args.addr, &args.uds) {
             (Some(addr), _) => Some(addr.clone()),
@@ -45,6 +58,7 @@ fn run() -> Result<(), HarnessError> {
         workers: args.jobs.unwrap_or(2),
         queue_cap: args.queue_cap.unwrap_or(16),
         record_trace: args.obs.is_some(),
+        opts,
         ..ServeConfig::default()
     };
     let workers = cfg.workers;
@@ -56,14 +70,36 @@ fn run() -> Result<(), HarnessError> {
     if let Some(path) = server.uds_path() {
         println!("serve: listening on {}", path.display());
     }
-    println!("serve: EOF or `quit` on stdin drains and exits");
+    let sigterm = install_sigterm_drain();
+    println!(
+        "serve: EOF or `quit` on stdin{} drains and exits",
+        if sigterm { " (or SIGTERM)" } else { "" }
+    );
 
-    let stdin = std::io::stdin();
-    for line in stdin.lock().lines() {
-        match line {
-            Ok(l) if l.trim() == "quit" => break,
-            Ok(_) => {}
-            Err(_) => break,
+    // stdin is read on its own thread so the control loop can also poll
+    // the SIGTERM flag; either source requests the same graceful drain.
+    let (quit_tx, quit_rx) = std::sync::mpsc::channel::<()>();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            match line {
+                Ok(l) if l.trim() == "quit" => break,
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        // EOF, `quit`, or a read error — all mean drain. A closed channel
+        // (the server already shut down) is fine to ignore.
+        let _ = quit_tx.send(());
+    });
+    loop {
+        if drain_requested() {
+            eprintln!("serve: SIGTERM — draining");
+            break;
+        }
+        match quit_rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(()) | Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
         }
     }
 

@@ -1,0 +1,596 @@
+//! Deterministic wire-level fault injection for `warden-serve`.
+//!
+//! [`ChaosProxy`] is an in-process TCP proxy (std::net only) that sits
+//! between the load generator and a server and injects the transport
+//! faults a resilient system must absorb:
+//!
+//! | fault           | mechanics |
+//! |-----------------|-----------|
+//! | torn frame      | forward a prefix of the response — often mid-header — then close |
+//! | partial writes  | deliver the response in 1–3 byte chunks with pauses |
+//! | byte delay      | stall a few milliseconds every few dozen bytes |
+//! | slow loris      | forward a prefix of the *request*, then hold the connection half-open past the server's stall bound |
+//! | reset           | close abruptly mid-flight, deeper into the stream |
+//!
+//! Fault plans are chosen per connection from a seeded xorshift64* stream
+//! (`seed ^ connection-ordinal` through splitmix64), so a run's fault mix
+//! is reproducible from its seed alone. Roughly `1/fault_one_in`
+//! connections are sabotaged; the rest pump cleanly, which keeps every
+//! request completable through client retries (each retry re-dials and
+//! draws a fresh plan). [`ChaosProxy::stop`] tears everything down and
+//! returns the tally of injected faults as a [`ChaosReport`].
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Where the proxy forwards accepted connections.
+#[derive(Clone, Debug)]
+pub enum Upstream {
+    /// A TCP address (`host:port`).
+    Tcp(String),
+    /// A Unix-socket path.
+    Uds(PathBuf),
+}
+
+/// Tuning for a [`ChaosProxy`].
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Seed for the deterministic fault stream.
+    pub seed: u64,
+    /// Roughly one connection in this many draws a fault (0 disables all
+    /// faults — the proxy becomes a transparent relay).
+    pub fault_one_in: u32,
+    /// How long a slow-loris connection is held half-open before the proxy
+    /// finally closes it. Must exceed the server's frame-stall bound for
+    /// the fault to bite.
+    pub loris_hold: Duration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            seed: 0xC4A0_5EED,
+            fault_one_in: 3,
+            loris_hold: Duration::from_secs(1),
+        }
+    }
+}
+
+/// How many connections drew each fault class, reported by
+/// [`ChaosProxy::stop`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChaosReport {
+    /// Connections accepted in total.
+    pub connections: u64,
+    /// Connections relayed without any fault.
+    pub clean: u64,
+    /// Responses truncated mid-frame before an abrupt close.
+    pub torn_frames: u64,
+    /// Responses delivered in tiny pause-separated chunks.
+    pub partial_writes: u64,
+    /// Responses trickled with per-batch delays.
+    pub byte_delays: u64,
+    /// Requests held half-open past the server's stall bound.
+    pub slow_loris: u64,
+    /// Connections closed abruptly deeper into the stream.
+    pub resets: u64,
+}
+
+impl ChaosReport {
+    /// Faulted connections (everything but `clean`).
+    pub fn faulted(&self) -> u64 {
+        self.connections.saturating_sub(self.clean)
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    clean: AtomicU64,
+    torn_frames: AtomicU64,
+    partial_writes: AtomicU64,
+    byte_delays: AtomicU64,
+    slow_loris: AtomicU64,
+    resets: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ChaosReport {
+        ChaosReport {
+            connections: self.connections.load(Ordering::Relaxed),
+            clean: self.clean.load(Ordering::Relaxed),
+            torn_frames: self.torn_frames.load(Ordering::Relaxed),
+            partial_writes: self.partial_writes.load(Ordering::Relaxed),
+            byte_delays: self.byte_delays.load(Ordering::Relaxed),
+            slow_loris: self.slow_loris.load(Ordering::Relaxed),
+            resets: self.resets.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// The per-direction behavior a connection's fault plan selects.
+enum PumpFault {
+    /// Relay faithfully.
+    None,
+    /// Relay in `max_chunk`-byte slices with `pause` between them.
+    Chunked { max_chunk: usize, pause: Duration },
+    /// Relay faithfully but sleep `pause` after every read batch.
+    Delayed { pause: Duration },
+    /// Forward exactly `after` bytes, then close both directions.
+    CutThenClose { after: u64 },
+    /// Forward exactly `after` bytes, then go silent holding the
+    /// connection half-open for `hold` before closing.
+    CutThenHold { after: u64, hold: Duration },
+}
+
+/// Both halves of a proxied stream: TCP on the client side, TCP or Unix
+/// socket upstream.
+trait Wire: Read + Write + Send {
+    fn clone_wire(&self) -> std::io::Result<Box<dyn Wire>>;
+    fn shut_both(&self);
+}
+
+impl Wire for TcpStream {
+    fn clone_wire(&self) -> std::io::Result<Box<dyn Wire>> {
+        self.try_clone().map(|s| Box::new(s) as Box<dyn Wire>)
+    }
+    fn shut_both(&self) {
+        let _ = self.shutdown(Shutdown::Both);
+    }
+}
+
+#[cfg(unix)]
+impl Wire for UnixStream {
+    fn clone_wire(&self) -> std::io::Result<Box<dyn Wire>> {
+        self.try_clone().map(|s| Box::new(s) as Box<dyn Wire>)
+    }
+    fn shut_both(&self) {
+        let _ = self.shutdown(Shutdown::Both);
+    }
+}
+
+/// The poll tick every blocking wait in the proxy runs at, so `stop` is
+/// honored promptly.
+const TICK: Duration = Duration::from_millis(10);
+
+fn dial(upstream: &Upstream) -> std::io::Result<Box<dyn Wire>> {
+    match upstream {
+        Upstream::Tcp(addr) => {
+            let s = TcpStream::connect(addr)?;
+            s.set_nodelay(true)?;
+            s.set_read_timeout(Some(TICK))?;
+            Ok(Box::new(s))
+        }
+        #[cfg(unix)]
+        Upstream::Uds(path) => {
+            let s = UnixStream::connect(path)?;
+            s.set_read_timeout(Some(TICK))?;
+            Ok(Box::new(s))
+        }
+        #[cfg(not(unix))]
+        Upstream::Uds(_) => Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "Unix sockets are unavailable on this platform",
+        )),
+    }
+}
+
+/// Relay `from` into `to` under `fault` until EOF, error, a cut point, or
+/// `stop`. Any terminal condition closes **both** streams in **both**
+/// directions so the sibling pump unblocks too.
+fn pump(mut from: Box<dyn Wire>, mut to: Box<dyn Wire>, fault: PumpFault, stop: Arc<AtomicBool>) {
+    let mut buf = [0u8; 4096];
+    let mut forwarded: u64 = 0;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        let batch = &buf[..n];
+        let deliver: &[u8] = match &fault {
+            PumpFault::CutThenClose { after } | PumpFault::CutThenHold { after, .. } => {
+                let room = after.saturating_sub(forwarded);
+                &batch[..batch.len().min(room as usize)]
+            }
+            _ => batch,
+        };
+        let ok = match &fault {
+            PumpFault::Chunked { max_chunk, pause } => {
+                let mut all = true;
+                for chunk in deliver.chunks((*max_chunk).max(1)) {
+                    if stop.load(Ordering::Relaxed) || to.write_all(chunk).is_err() {
+                        all = false;
+                        break;
+                    }
+                    let _ = to.flush();
+                    std::thread::sleep(*pause);
+                }
+                all
+            }
+            _ => to.write_all(deliver).and_then(|()| to.flush()).is_ok(),
+        };
+        if !ok {
+            break;
+        }
+        forwarded += deliver.len() as u64;
+        match &fault {
+            PumpFault::Delayed { pause } => std::thread::sleep(*pause),
+            PumpFault::CutThenClose { after } if forwarded >= *after => break,
+            PumpFault::CutThenHold { after, hold } if forwarded >= *after => {
+                // Half-open: stay silent without closing, so the peer's
+                // stall defense — not an EOF — has to reclaim the slot.
+                let held = Instant::now();
+                while held.elapsed() < *hold && !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(TICK.min(*hold));
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    from.shut_both();
+    to.shut_both();
+}
+
+/// The fault-injecting TCP proxy. Bind with [`ChaosProxy::start`], point
+/// clients at [`ChaosProxy::addr`], and call [`ChaosProxy::stop`] for the
+/// fault tally.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    counters: Arc<Counters>,
+}
+
+impl ChaosProxy {
+    /// Bind a loopback listener and start proxying to `upstream` with the
+    /// fault mix `cfg` describes.
+    pub fn start(upstream: Upstream, cfg: ChaosConfig) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("chaos-accept".into())
+                .spawn(move || accept_loop(listener, upstream, cfg, stop, counters))?
+        };
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            counters,
+        })
+    }
+
+    /// The loopback address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The fault tally so far (the proxy keeps running).
+    pub fn report(&self) -> ChaosReport {
+        self.counters.snapshot()
+    }
+
+    /// Stop accepting, tear down every live connection, join all pump
+    /// threads, and return the final fault tally.
+    pub fn stop(mut self) -> ChaosReport {
+        self.shutdown();
+        self.counters.snapshot()
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    upstream: Upstream,
+    cfg: ChaosConfig,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+) {
+    let mut pumps: Vec<JoinHandle<()>> = Vec::new();
+    let mut ordinal: u64 = 0;
+    while !stop.load(Ordering::Relaxed) {
+        let client = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                pumps.retain(|h| !h.is_finished());
+                std::thread::sleep(TICK);
+                continue;
+            }
+            Err(_) => break,
+        };
+        if client.set_nodelay(true).is_err() || client.set_read_timeout(Some(TICK)).is_err() {
+            continue;
+        }
+        let server = match dial(&upstream) {
+            Ok(s) => s,
+            Err(_) => continue, // client sees a reset and retries
+        };
+        counters.connections.fetch_add(1, Ordering::Relaxed);
+        let mut rng = splitmix64(cfg.seed ^ ordinal);
+        ordinal += 1;
+        let (c2s, s2c) = choose_plan(&mut rng, &cfg, &counters);
+        let (Ok(client_rd), Ok(server_rd)) = (client.clone_wire(), server.clone_wire()) else {
+            continue;
+        };
+        let up = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("chaos-c2s".into())
+                .spawn(move || pump(client_rd, server, c2s, stop))
+        };
+        let down = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("chaos-s2c".into())
+                .spawn(move || pump(server_rd, Box::new(client), s2c, stop))
+        };
+        pumps.extend([up, down].into_iter().flatten());
+    }
+    for h in pumps {
+        let _ = h.join();
+    }
+}
+
+/// Draw one connection's fault plan: `(client→server, server→client)`.
+/// Response-side faults (tear, chunking, delay, reset) exercise the
+/// resilient client; the slow loris goes on the request side, where the
+/// server's stall bound has to reclaim the half-open connection.
+fn choose_plan(rng: &mut u64, cfg: &ChaosConfig, counters: &Counters) -> (PumpFault, PumpFault) {
+    let roll = xorshift(rng);
+    if cfg.fault_one_in == 0 || !roll.is_multiple_of(cfg.fault_one_in as u64) {
+        counters.clean.fetch_add(1, Ordering::Relaxed);
+        return (PumpFault::None, PumpFault::None);
+    }
+    let detail = xorshift(rng);
+    match (roll >> 32) % 5 {
+        0 => {
+            counters.torn_frames.fetch_add(1, Ordering::Relaxed);
+            // Inside or just past the 9-byte frame header: the client sees
+            // a syntactically torn frame, not merely a short payload.
+            let after = 1 + detail % 12;
+            (PumpFault::None, PumpFault::CutThenClose { after })
+        }
+        1 => {
+            counters.partial_writes.fetch_add(1, Ordering::Relaxed);
+            let plan = PumpFault::Chunked {
+                max_chunk: 1 + (detail % 3) as usize,
+                pause: Duration::from_millis(1),
+            };
+            (PumpFault::None, plan)
+        }
+        2 => {
+            counters.byte_delays.fetch_add(1, Ordering::Relaxed);
+            let plan = PumpFault::Delayed {
+                pause: Duration::from_millis(2 + detail % 7),
+            };
+            (PumpFault::None, plan)
+        }
+        3 => {
+            counters.slow_loris.fetch_add(1, Ordering::Relaxed);
+            let plan = PumpFault::CutThenHold {
+                after: 1 + detail % 8,
+                hold: cfg.loris_hold,
+            };
+            (plan, PumpFault::None)
+        }
+        _ => {
+            counters.resets.fetch_add(1, Ordering::Relaxed);
+            let after = 9 + detail % 192;
+            (PumpFault::None, PumpFault::CutThenClose { after })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    /// An echo upstream: reads bytes, writes them straight back.
+    fn echo_upstream() -> (Upstream, JoinHandle<()>, Arc<AtomicBool>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind echo");
+        let addr = listener.local_addr().expect("echo addr");
+        listener.set_nonblocking(true).expect("nonblocking");
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut workers = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((mut s, _)) => {
+                            s.set_read_timeout(Some(TICK)).expect("timeout");
+                            let stop = Arc::clone(&stop);
+                            workers.push(std::thread::spawn(move || {
+                                let mut buf = [0u8; 1024];
+                                loop {
+                                    if stop.load(Ordering::Relaxed) {
+                                        return;
+                                    }
+                                    match s.read(&mut buf) {
+                                        Ok(0) => return,
+                                        Ok(n) => {
+                                            if s.write_all(&buf[..n]).is_err() {
+                                                return;
+                                            }
+                                        }
+                                        Err(e)
+                                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                                        {
+                                            continue
+                                        }
+                                        Err(_) => return,
+                                    }
+                                }
+                            }));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(TICK)
+                        }
+                        Err(_) => return,
+                    }
+                }
+                for w in workers {
+                    let _ = w.join();
+                }
+            })
+        };
+        (Upstream::Tcp(addr.to_string()), handle, stop)
+    }
+
+    #[test]
+    fn a_faultless_proxy_is_a_transparent_relay() {
+        let (upstream, echo, echo_stop) = echo_upstream();
+        let proxy = ChaosProxy::start(
+            upstream,
+            ChaosConfig {
+                fault_one_in: 0, // relay only
+                ..ChaosConfig::default()
+            },
+        )
+        .expect("proxy start");
+
+        let mut conn = TcpStream::connect(proxy.addr()).expect("connect proxy");
+        conn.write_all(b"through the relay").expect("write");
+        let mut back = [0u8; 17];
+        conn.read_exact(&mut back).expect("echo back");
+        assert_eq!(&back, b"through the relay");
+        drop(conn);
+
+        let report = proxy.stop();
+        assert_eq!(report.connections, 1);
+        assert_eq!(report.clean, 1);
+        assert_eq!(report.faulted(), 0);
+
+        echo_stop.store(true, Ordering::Relaxed);
+        let _ = echo.join();
+    }
+
+    #[test]
+    fn the_same_seed_draws_the_same_fault_mix() {
+        let cfg = ChaosConfig::default();
+        // The plan *sequence* (one class index per connection ordinal) is a
+        // pure function of the seed.
+        let draw = |seed: u64| -> Vec<usize> {
+            (0..64u64)
+                .map(|ordinal| {
+                    let counters = Counters::default();
+                    let mut rng = splitmix64(seed ^ ordinal);
+                    let _ = choose_plan(&mut rng, &cfg, &counters);
+                    let r = counters.snapshot();
+                    [
+                        r.clean,
+                        r.torn_frames,
+                        r.partial_writes,
+                        r.byte_delays,
+                        r.slow_loris,
+                        r.resets,
+                    ]
+                    .iter()
+                    .position(|&c| c == 1)
+                    .expect("every connection draws exactly one plan")
+                })
+                .collect()
+        };
+        assert_eq!(draw(7), draw(7), "identical seeds, identical sequences");
+        assert_ne!(
+            draw(7),
+            draw(8),
+            "different seeds should shuffle the sequence (64 draws cannot all tie)"
+        );
+        assert!(draw(7).iter().any(|&c| c != 0), "some faults at 1-in-3");
+    }
+
+    #[test]
+    fn a_torn_connection_still_delivers_the_prefix_then_closes() {
+        let (upstream, echo, echo_stop) = echo_upstream();
+        let proxy = ChaosProxy::start(
+            upstream,
+            ChaosConfig {
+                fault_one_in: 1, // every connection faulted
+                seed: 3,         // seed 3, ordinal 0 draws a torn frame (checked below)
+                loris_hold: Duration::from_millis(50),
+            },
+        )
+        .expect("proxy start");
+
+        // Hammer a handful of connections; every fault class must let the
+        // connection die rather than wedge, and the proxy must absorb the
+        // mess without leaking threads past `stop`.
+        for _ in 0..6 {
+            let mut conn = match TcpStream::connect(proxy.addr()) {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
+            conn.set_read_timeout(Some(Duration::from_millis(400)))
+                .expect("timeout");
+            let _ = conn.write_all(&[0xAB; 64]);
+            let mut sink = [0u8; 256];
+            // Read until close, error or timeout — tolerated all the same.
+            while let Ok(n) = conn.read(&mut sink) {
+                if n == 0 {
+                    break;
+                }
+            }
+        }
+        let report = proxy.stop();
+        assert_eq!(report.connections, 6);
+        assert_eq!(report.clean, 0, "fault_one_in=1 spares nobody");
+        assert_eq!(report.faulted(), 6);
+
+        echo_stop.store(true, Ordering::Relaxed);
+        let _ = echo.join();
+    }
+}

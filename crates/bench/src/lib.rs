@@ -35,6 +35,7 @@
 
 pub mod args;
 pub mod campaign;
+pub mod chaos;
 pub mod error;
 pub mod figures;
 pub mod fmt;

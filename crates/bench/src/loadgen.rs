@@ -22,7 +22,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use warden_obs::MetricsRegistry;
-use warden_serve::{outcome_digest, Client, Request, Response, SimRequest};
+use warden_serve::SimRequest;
+use warden_serve::{outcome_digest, Client, Request, ResilientClient, Response, RetryPolicy};
 
 /// Where the load generator connects.
 #[derive(Clone, Debug)]
@@ -53,6 +54,11 @@ pub struct LoadReport {
     pub busy_retries: u64,
     /// Responses whose digest disagreed with the oracle (must be 0).
     pub mismatches: u64,
+    /// Transport-level retries the resilient clients performed
+    /// (always 0 under [`drive`], which fails fast on transport errors).
+    pub retries: u64,
+    /// Reconnects the resilient clients performed.
+    pub reconnects: u64,
 }
 
 /// Compute the oracle digest for every request through the campaign
@@ -256,6 +262,125 @@ pub fn drive(
         cache_hits: cache_hits.into_inner(),
         busy_retries: busy_retries.into_inner(),
         mismatches: mismatches.into_inner(),
+        retries: 0,
+        reconnects: 0,
+    })
+}
+
+/// Like [`drive`], but through [`ResilientClient`]s: transport errors,
+/// torn frames and stalls are absorbed by reconnect-and-retry instead of
+/// failing the run, which is what makes this the driver for chaos runs —
+/// the conformance bar stays identical (every `Outcome` must match its
+/// oracle digest bit for bit; anything the retry budget cannot absorb is
+/// a failure), only the tolerance for a hostile wire changes. Each client
+/// gets its own deterministic jitter stream derived from `policy.seed`
+/// and its client id.
+pub fn drive_resilient(
+    target: &Target,
+    plan: &[Expectation],
+    clients: usize,
+    iters: usize,
+    policy: &RetryPolicy,
+) -> Result<LoadReport, HarnessError> {
+    if plan.is_empty() {
+        return Err(HarnessError::Failed("empty load plan".into()));
+    }
+    let plan: Arc<[Expectation]> = plan.to_vec().into();
+    let responses = AtomicU64::new(0);
+    let cache_hits = AtomicU64::new(0);
+    let mismatches = AtomicU64::new(0);
+    let retries = AtomicU64::new(0);
+    let reconnects = AtomicU64::new(0);
+    let failures: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(clients.max(1));
+        for client_id in 0..clients.max(1) {
+            let plan = Arc::clone(&plan);
+            let (responses, cache_hits, mismatches, retries, reconnects, failures) = (
+                &responses,
+                &cache_hits,
+                &mismatches,
+                &retries,
+                &reconnects,
+                &failures,
+            );
+            let policy = RetryPolicy {
+                seed: policy.seed ^ (client_id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                ..policy.clone()
+            };
+            handles.push(scope.spawn(move || {
+                let mut client = match target {
+                    Target::Tcp(addr) => ResilientClient::tcp(addr.clone(), policy),
+                    #[cfg(unix)]
+                    Target::Uds(path) => ResilientClient::uds(path.clone(), policy),
+                    #[cfg(not(unix))]
+                    Target::Uds(path) => {
+                        failures.lock().expect("failures lock").push(format!(
+                            "client {client_id}: Unix sockets unavailable ({})",
+                            path.display()
+                        ));
+                        return;
+                    }
+                };
+                for i in 0..iters {
+                    let exp = &plan[(client_id + i) % plan.len()];
+                    match client.simulate(exp.req) {
+                        Ok((summary, cache_hit)) => {
+                            responses.fetch_add(1, Ordering::Relaxed);
+                            if cache_hit {
+                                cache_hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                            if summary.outcome_digest != exp.digest {
+                                mismatches.fetch_add(1, Ordering::Relaxed);
+                                failures.lock().expect("failures lock").push(format!(
+                                    "client {client_id}: digest mismatch for {}/{:?}: \
+                                     served {:#018x}, oracle {:#018x}",
+                                    exp.req.bench.name(),
+                                    exp.req.protocol,
+                                    summary.outcome_digest,
+                                    exp.digest
+                                ));
+                            }
+                        }
+                        Err(e) => {
+                            failures
+                                .lock()
+                                .expect("failures lock")
+                                .push(format!("client {client_id}: request {i} not absorbed: {e}"));
+                            break;
+                        }
+                    }
+                }
+                retries.fetch_add(client.retries(), Ordering::Relaxed);
+                reconnects.fetch_add(client.reconnects(), Ordering::Relaxed);
+            }));
+        }
+        for h in handles {
+            if h.join().is_err() {
+                failures
+                    .lock()
+                    .expect("failures lock")
+                    .push("a load-generator thread panicked".to_string());
+            }
+        }
+    });
+
+    let failures = failures.into_inner().expect("failures lock");
+    if !failures.is_empty() {
+        return Err(HarnessError::Failed(format!(
+            "{} load-generation failure(s):\n  {}",
+            failures.len(),
+            failures.join("\n  ")
+        )));
+    }
+    Ok(LoadReport {
+        responses: responses.into_inner(),
+        cache_hits: cache_hits.into_inner(),
+        busy_retries: 0, // Busy absorption happens inside ResilientClient
+        mismatches: mismatches.into_inner(),
+        retries: retries.into_inner(),
+        reconnects: reconnects.into_inner(),
     })
 }
 
@@ -282,8 +407,14 @@ pub fn metrics_json(reg: &MetricsRegistry, report: &LoadReport) -> String {
     let mut out = String::from("{\n  \"loadgen\": {\n");
     out.push_str(&format!(
         "    \"responses\": {},\n    \"cache_hits\": {},\n    \
-         \"busy_retries\": {},\n    \"mismatches\": {}\n  }},\n",
-        report.responses, report.cache_hits, report.busy_retries, report.mismatches
+         \"busy_retries\": {},\n    \"mismatches\": {},\n    \
+         \"retries\": {},\n    \"reconnects\": {}\n  }},\n",
+        report.responses,
+        report.cache_hits,
+        report.busy_retries,
+        report.mismatches,
+        report.retries,
+        report.reconnects
     ));
     out.push_str("  \"counters\": {\n");
     let counters = reg.counters();

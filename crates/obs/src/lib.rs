@@ -25,6 +25,6 @@ pub mod metrics;
 pub mod span;
 pub mod trace_event;
 
-pub use metrics::{Gauge, Hist, MetricsRegistry};
+pub use metrics::{AtomicGauge, Gauge, Hist, MetricsRegistry};
 pub use span::{SpanAgg, SpanSet};
 pub use trace_event::{validate_trace, ArgVal, TraceBuilder, TraceError, TraceStats};

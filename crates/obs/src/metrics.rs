@@ -319,6 +319,107 @@ impl fmt::Display for Gauge {
     }
 }
 
+/// A [`Gauge`] whose movements are lock-free: value, peak and move count
+/// are atomics, so many threads can raise and lower the level without
+/// sharing a mutex.
+///
+/// The serving layer needs this where a plain [`Gauge`] forces a lock onto
+/// a hot path — per-request in-flight tracking, live connection counts,
+/// and the result cache's resident-byte accounting (where the *peak* is
+/// the value a byte-budget proof wants: it must never exceed the
+/// configured budget). The peak is maintained with a compare-exchange
+/// maximum, so it is exact even under contention.
+#[derive(Debug, Default)]
+pub struct AtomicGauge {
+    value: std::sync::atomic::AtomicU64,
+    peak: std::sync::atomic::AtomicU64,
+    moves: std::sync::atomic::AtomicU64,
+}
+
+impl AtomicGauge {
+    /// A gauge at zero.
+    pub fn new() -> AtomicGauge {
+        AtomicGauge::default()
+    }
+
+    fn raise_peak(&self, candidate: u64) {
+        use std::sync::atomic::Ordering;
+        self.peak.fetch_max(candidate, Ordering::AcqRel);
+    }
+
+    /// Set the level to `v`.
+    pub fn set(&self, v: u64) {
+        use std::sync::atomic::Ordering;
+        self.value.store(v, Ordering::Release);
+        self.raise_peak(v);
+        self.moves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raise the level by `n` and return the new level.
+    pub fn add(&self, n: u64) -> u64 {
+        use std::sync::atomic::Ordering;
+        let now = self
+            .value
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| {
+                Some(v.saturating_add(n))
+            })
+            .expect("fetch_update closure always returns Some")
+            .saturating_add(n);
+        self.raise_peak(now);
+        self.moves.fetch_add(1, Ordering::Relaxed);
+        now
+    }
+
+    /// Lower the level by `n` (saturating at zero, like [`Gauge::sub`]) and
+    /// return the new level.
+    pub fn sub(&self, n: u64) -> u64 {
+        use std::sync::atomic::Ordering;
+        let now = self
+            .value
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| {
+                Some(v.saturating_sub(n))
+            })
+            .expect("fetch_update closure always returns Some")
+            .saturating_sub(n);
+        self.moves.fetch_add(1, Ordering::Relaxed);
+        now
+    }
+
+    /// The current level.
+    pub fn value(&self) -> u64 {
+        self.value.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// The highest level ever reached.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// How many times the level moved.
+    pub fn moves(&self) -> u64 {
+        self.moves.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Snapshot into a plain [`Gauge`] (for export or comparison). The
+    /// three fields are read independently, so a snapshot taken while other
+    /// threads move the level is a *consistent-enough* view: the peak is
+    /// always ≥ every value it is snapshotted with.
+    pub fn snapshot(&self) -> Gauge {
+        let value = self.value();
+        let peak = self.peak().max(value);
+        Gauge {
+            value,
+            peak,
+            moves: self.moves(),
+        }
+    }
+
+    /// Flatten into `registry`, exactly like [`Gauge::export_into`].
+    pub fn export_into(&self, registry: &mut MetricsRegistry, name: &str) {
+        self.snapshot().export_into(registry, name);
+    }
+}
+
 /// An ordered collection of named counters and histograms.
 ///
 /// The registry is the serialization surface of the observability layer:
@@ -616,6 +717,44 @@ mod tests {
         let mut enc2 = Encoder::new();
         back.encode_into(&mut enc2);
         assert_eq!(enc2.bytes(), &bytes[..]);
+    }
+
+    #[test]
+    fn atomic_gauge_tracks_peak_exactly_under_contention() {
+        let g = std::sync::Arc::new(AtomicGauge::new());
+        // 8 threads each add 5 then sub 5; the peak is whatever simultaneity
+        // the scheduler produced, but accounting must balance to zero and
+        // the peak must be at least one thread's worth and at most all of
+        // them.
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let g = std::sync::Arc::clone(&g);
+                std::thread::spawn(move || {
+                    let seen = g.add(5);
+                    assert!(g.peak() >= seen);
+                    std::thread::yield_now();
+                    g.sub(5);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.value(), 0);
+        assert!(g.peak() >= 5 && g.peak() <= 40, "peak {}", g.peak());
+        assert_eq!(g.moves(), 16);
+
+        // sub saturates instead of wrapping, like the plain Gauge.
+        g.sub(1);
+        assert_eq!(g.value(), 0);
+
+        let snap = g.snapshot();
+        assert_eq!(snap.value(), 0);
+        assert_eq!(snap.peak(), g.peak());
+        let mut reg = MetricsRegistry::new();
+        g.export_into(&mut reg, "cache_resident_bytes");
+        assert_eq!(reg.counter("cache_resident_bytes_current"), Some(0));
+        assert_eq!(reg.counter("cache_resident_bytes_peak"), Some(g.peak()));
     }
 
     #[test]

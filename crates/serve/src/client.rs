@@ -10,7 +10,7 @@ use crate::error::ServeError;
 use crate::proto::{self, FrameEvent, OutcomeSummary, Request, Response, SimRequest};
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A connected client.
 pub struct Client<S> {
@@ -105,9 +105,12 @@ impl<S: Read + Write> Client<S> {
                 Response::Busy {
                     queue_len,
                     queue_cap,
+                    retry_after_ms,
                 } => {
                     last_busy = Some((queue_len, queue_cap));
-                    std::thread::sleep(Duration::from_millis(5 * (attempt as u64 + 1)));
+                    // Honor the server's hint as the backoff floor.
+                    let backoff = (5 * (attempt as u64 + 1)).max(retry_after_ms as u64);
+                    std::thread::sleep(Duration::from_millis(backoff));
                 }
                 other => {
                     return Err(ServeError::UnexpectedResponse(format!(
@@ -120,5 +123,290 @@ impl<S: Read + Write> Client<S> {
         Err(ServeError::UnexpectedResponse(format!(
             "server still busy after {tries} attempts (queue {len}/{cap})"
         )))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The resilient client.
+
+/// How a [`ResilientClient`] retries: attempt budget, exponential backoff
+/// with deterministic jitter, an overall per-call deadline, and the
+/// mid-frame stall bound it tolerates from the server.
+///
+/// Re-issuing a `Simulate` after a connection failure is safe because
+/// requests are **content-addressed**: a retry of work the server already
+/// finished is served from the result cache (or coalesced onto the
+/// in-flight computation), never recomputed — the conformance suite pins
+/// this.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per call (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `base_backoff × 2ⁿ`, jittered down by
+    /// up to half, capped at [`RetryPolicy::max_backoff`].
+    pub base_backoff: Duration,
+    /// Upper bound on one backoff sleep.
+    pub max_backoff: Duration,
+    /// Overall wall-clock budget for one call, covering every reconnect,
+    /// backoff and wait. `None` relies on the attempt budget alone.
+    pub call_deadline: Option<Duration>,
+    /// How long the server may stall mid-frame before this client drops
+    /// the connection and retries.
+    pub frame_stall: Duration,
+    /// Seed for the jitter PRNG — equal seeds retry on equal schedules,
+    /// which keeps chaos runs reproducible.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            call_deadline: None,
+            frame_stall: Duration::from_secs(2),
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+enum Endpoint {
+    Tcp(String),
+    #[cfg(unix)]
+    Uds(std::path::PathBuf),
+}
+
+trait Conn: Read + Write + Send {}
+impl<T: Read + Write + Send> Conn for T {}
+
+/// A self-healing client: dials lazily, reconnects after any transport
+/// failure, retries with jittered exponential backoff, honors the
+/// server's `Busy` retry-after hint as its backoff floor, and enforces an
+/// overall per-call deadline. Built for hostile networks — the chaos
+/// harness drives the full conformance suite through it.
+pub struct ResilientClient {
+    endpoint: Endpoint,
+    max_frame: u64,
+    policy: RetryPolicy,
+    conn: Option<Box<dyn Conn>>,
+    rng: u64,
+    /// Reconnections performed over this client's lifetime.
+    reconnects: u64,
+    /// Retried calls (any attempt after the first) over its lifetime.
+    retries: u64,
+}
+
+/// The poll tick for deadline checks while waiting on a response.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+impl ResilientClient {
+    /// A client for a TCP endpoint. Does not dial until the first call.
+    pub fn tcp(addr: impl Into<String>, policy: RetryPolicy) -> ResilientClient {
+        ResilientClient::over_endpoint(Endpoint::Tcp(addr.into()), policy)
+    }
+
+    /// A client for a Unix-socket endpoint. Does not dial until the first
+    /// call.
+    #[cfg(unix)]
+    pub fn uds(path: impl Into<std::path::PathBuf>, policy: RetryPolicy) -> ResilientClient {
+        ResilientClient::over_endpoint(Endpoint::Uds(path.into()), policy)
+    }
+
+    fn over_endpoint(endpoint: Endpoint, policy: RetryPolicy) -> ResilientClient {
+        ResilientClient {
+            endpoint,
+            max_frame: proto::DEFAULT_MAX_FRAME,
+            rng: policy.seed | 1,
+            policy,
+            conn: None,
+            reconnects: 0,
+            retries: 0,
+        }
+    }
+
+    /// Override the frame size cap (must match the server's).
+    pub fn with_max_frame(mut self, max: u64) -> ResilientClient {
+        self.max_frame = max;
+        self
+    }
+
+    /// Reconnections performed so far.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Calls that needed at least one retry so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64* — deterministic jitter, no dependencies.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Backoff for retry `attempt` (0-based), jittered down by up to half,
+    /// floored at the server's latest retry-after hint.
+    fn backoff(&mut self, attempt: u32, floor_ms: u64) -> Duration {
+        let exp = self
+            .policy
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.policy.max_backoff);
+        let exp_ms = exp.as_millis() as u64;
+        let jittered = exp_ms / 2 + self.next_rand() % (exp_ms / 2 + 1);
+        Duration::from_millis(jittered.max(floor_ms))
+    }
+
+    fn dial(&mut self) -> Result<(), ServeError> {
+        let conn: Box<dyn Conn> = match &self.endpoint {
+            Endpoint::Tcp(addr) => {
+                let s = TcpStream::connect(addr).map_err(ServeError::Io)?;
+                let _ = s.set_nodelay(true);
+                let _ = s.set_read_timeout(Some(POLL_TICK));
+                Box::new(s)
+            }
+            #[cfg(unix)]
+            Endpoint::Uds(path) => {
+                let s = std::os::unix::net::UnixStream::connect(path).map_err(ServeError::Io)?;
+                let _ = s.set_read_timeout(Some(POLL_TICK));
+                Box::new(s)
+            }
+        };
+        self.conn = Some(conn);
+        self.reconnects += 1;
+        Ok(())
+    }
+
+    /// Remaining budget, or a typed deadline error once it is spent.
+    fn remaining(&self, started: Instant) -> Result<Option<Duration>, ServeError> {
+        match self.policy.call_deadline {
+            None => Ok(None),
+            Some(d) => match d.checked_sub(started.elapsed()) {
+                Some(rem) if !rem.is_zero() => Ok(Some(rem)),
+                _ => Err(ServeError::Deadline {
+                    deadline_ms: d.as_millis() as u64,
+                }),
+            },
+        }
+    }
+
+    /// One wire round trip on the current connection. Any error leaves the
+    /// connection dropped so the next attempt redials.
+    fn round_trip(&mut self, req: &Request, started: Instant) -> Result<Response, ServeError> {
+        if self.conn.is_none() {
+            self.dial()?;
+        }
+        let result = (|| {
+            let conn = self.conn.as_mut().expect("dialed above");
+            proto::write_frame(conn, &req.encode(), self.max_frame)?;
+            loop {
+                match proto::read_frame_stall_bounded(
+                    conn,
+                    self.max_frame,
+                    Some(self.policy.frame_stall),
+                )? {
+                    FrameEvent::Frame(payload) => return Ok(Response::decode(&payload)?),
+                    FrameEvent::Eof => {
+                        return Err(ServeError::Io(std::io::ErrorKind::ConnectionReset.into()))
+                    }
+                    FrameEvent::Idle => {
+                        // Deadline check per poll tick while waiting.
+                        if let Some(d) = self.policy.call_deadline {
+                            if started.elapsed() >= d {
+                                return Err(ServeError::Deadline {
+                                    deadline_ms: d.as_millis() as u64,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        })();
+        if result.is_err() {
+            // Never reuse a stream in an unknown framing state.
+            self.conn = None;
+        }
+        result
+    }
+
+    /// Run one simulation to completion: reconnect, back off (honoring the
+    /// server's `Busy` hint), and re-issue through transport failures and
+    /// server-side deadline rejections, within the attempt budget and the
+    /// overall call deadline. Non-transient answers (`Draining`, typed
+    /// `Error`s) fail immediately.
+    pub fn simulate(&mut self, req: SimRequest) -> Result<(OutcomeSummary, bool), ServeError> {
+        let started = Instant::now();
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.retries += 1;
+            }
+            let mut floor_ms = 0;
+            match self.round_trip(&Request::Simulate(req), started) {
+                Ok(Response::Outcome { summary, cache_hit }) => return Ok((*summary, cache_hit)),
+                Ok(Response::Busy { retry_after_ms, .. }) => {
+                    floor_ms = retry_after_ms as u64;
+                    last = format!("busy (retry-after {retry_after_ms} ms)");
+                }
+                Ok(Response::DeadlineExceeded {
+                    deadline_ms,
+                    elapsed_ms,
+                }) => {
+                    // The server gave up on this attempt, but a concurrent
+                    // identical request may still finish and populate the
+                    // cache — re-issuing is cheap and safe.
+                    last =
+                        format!("server deadline {deadline_ms} ms exceeded after {elapsed_ms} ms");
+                }
+                // `Draining`, typed `Error`s and anything else non-transient
+                // fail the call immediately: retrying cannot change them.
+                Ok(other) => {
+                    return Err(ServeError::UnexpectedResponse(format!(
+                        "simulate answered with {other:?}"
+                    )));
+                }
+                Err(e @ ServeError::Deadline { .. }) => return Err(e),
+                Err(e) => last = e.to_string(),
+            }
+            // Back off before the next attempt, never past the deadline.
+            let mut pause = self.backoff(attempt, floor_ms);
+            if let Some(rem) = self.remaining(started)? {
+                pause = pause.min(rem);
+            }
+            std::thread::sleep(pause);
+            self.remaining(started)?;
+        }
+        Err(ServeError::RetriesExhausted { attempts, last })
+    }
+
+    /// Liveness check with the same retry machinery.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        let started = Instant::now();
+        match self.round_trip(&Request::Ping, started)? {
+            Response::Pong => Ok(()),
+            other => Err(ServeError::UnexpectedResponse(format!(
+                "ping answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the server's metrics snapshot (single attempt — metrics are
+    /// cheap and callers poll anyway).
+    pub fn metrics(&mut self) -> Result<warden_obs::MetricsRegistry, ServeError> {
+        let started = Instant::now();
+        match self.round_trip(&Request::Metrics, started)? {
+            Response::Metrics(reg) => Ok(reg),
+            other => Err(ServeError::UnexpectedResponse(format!(
+                "metrics answered with {other:?}"
+            ))),
+        }
     }
 }

@@ -29,6 +29,29 @@ pub enum ServeError {
     /// A peer answered with something the caller cannot use (e.g. a
     /// non-`Outcome` response where a result was required).
     UnexpectedResponse(String),
+    /// A peer started a frame but stopped sending mid-frame for longer
+    /// than the frame deadline (slow-loris protection).
+    Stalled {
+        /// How long the incomplete frame sat idle.
+        stalled_ms: u64,
+        /// Bytes of the frame that did arrive.
+        got: usize,
+        /// Bytes the frame header promised.
+        want: usize,
+    },
+    /// The caller's deadline expired before a usable response arrived.
+    Deadline {
+        /// The deadline that was exceeded.
+        deadline_ms: u64,
+    },
+    /// The resilient client exhausted its retry budget. The message
+    /// carries the final attempt's failure.
+    RetriesExhausted {
+        /// Attempts made (initial call + retries).
+        attempts: u32,
+        /// The last failure, rendered.
+        last: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -43,6 +66,20 @@ impl fmt::Display for ServeError {
             ServeError::Codec(e) => write!(f, "malformed frame payload: {e}"),
             ServeError::Config(msg) => write!(f, "server configuration: {msg}"),
             ServeError::UnexpectedResponse(msg) => write!(f, "unexpected response: {msg}"),
+            ServeError::Stalled {
+                stalled_ms,
+                got,
+                want,
+            } => write!(
+                f,
+                "peer stalled mid-frame for {stalled_ms} ms ({got}/{want} bytes arrived)"
+            ),
+            ServeError::Deadline { deadline_ms } => {
+                write!(f, "deadline of {deadline_ms} ms exceeded")
+            }
+            ServeError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
         }
     }
 }

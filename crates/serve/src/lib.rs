@@ -12,9 +12,25 @@
 //!   semantics — N concurrent identical requests cost one simulation
 //!   ([`cache::SingleFlight`]);
 //! - a **bounded request queue** with typed backpressure
-//!   ([`proto::Response::Busy`], [`proto::Response::TooLarge`]) and
-//!   per-flight panic isolation, so overload and bugs degrade into typed
-//!   rejections, never a wedged server;
+//!   ([`proto::Response::Busy`] carrying a retry-after hint,
+//!   [`proto::Response::TooLarge`]) and per-flight panic isolation, so
+//!   overload and bugs degrade into typed rejections, never a wedged
+//!   server;
+//! - **deadlines with cooperative cancellation**: a per-request deadline
+//!   covers queue wait plus simulation; on expiry the client gets a typed
+//!   [`proto::Response::DeadlineExceeded`] immediately and the replay is
+//!   cancelled through [`warden_sim::CancelToken`], freeing the worker. A
+//!   cancelled single-flight leader vacates its slot so coalesced waiters
+//!   retry under their own deadlines;
+//! - a **byte-budgeted cache** with cost-aware eviction (compute time ×
+//!   size; in-flight entries are never evicted) and full residency
+//!   metrics;
+//! - **slow-loris defense**: a mid-frame stall bound drops drip-feeding
+//!   connections and frees their slots ([`ServeError::Stalled`]);
+//! - a **resilient client** ([`client::ResilientClient`]) that reconnects,
+//!   retries with jittered exponential backoff, honors `Busy` retry-after
+//!   hints, and enforces an overall per-call deadline — safe because
+//!   requests are content-addressed and therefore idempotent;
 //! - **observability** through `warden-obs`: queue-depth and in-flight
 //!   gauges, latency histograms and cache counters in one
 //!   [`warden_obs::MetricsRegistry`] snapshot, plus an optional Chrome
@@ -32,12 +48,14 @@ pub mod client;
 pub mod error;
 pub mod proto;
 pub mod server;
+pub mod signal;
 
-pub use cache::{CacheStats, SingleFlight, Source};
-pub use client::Client;
+pub use cache::{CacheStats, Computed, FlightError, SingleFlight, Source};
+pub use client::{Client, ResilientClient, RetryPolicy};
 pub use error::ServeError;
 pub use proto::{
     outcome_digest, protocol_tag, summarize_outcome, ErrorKind, FrameEvent, MachinePreset,
     MachineSpec, OutcomeSummary, Request, Response, SimRequest,
 };
-pub use server::{CacheKey, ServeConfig, Server, ShutdownReport};
+pub use server::{CacheKey, ServeConfig, Server, ServerOptions, ShutdownReport};
+pub use signal::{drain_requested, install_sigterm_drain};

@@ -15,6 +15,7 @@
 
 use crate::error::ServeError;
 use std::io::{Read, Write};
+use std::time::{Duration, Instant};
 use warden_coherence::Protocol;
 use warden_mem::codec::{CodecError, Decoder, Encoder};
 use warden_obs::MetricsRegistry;
@@ -61,18 +62,48 @@ pub enum FrameEvent {
     Idle,
 }
 
-/// Read `buf.len()` bytes, retrying on read timeouts (used once a frame has
-/// started: the remaining bytes are owed, a slow sender is not an error).
-fn read_exact_patient(r: &mut impl Read, buf: &mut [u8]) -> Result<(), ServeError> {
+/// Read `buf.len()` bytes, retrying on read timeouts. Once a frame has
+/// started the remaining bytes are owed, so a *briefly* slow sender is not
+/// an error — but `stall` bounds how long the stream may sit idle
+/// mid-frame before the read fails with [`ServeError::Stalled`] (the
+/// slow-loris defense: one drip-feeding peer cannot pin a connection
+/// handler forever). `None` waits patiently without bound.
+///
+/// The stall clock only advances across timed-out reads, so it needs the
+/// stream to have a read timeout configured (every server connection
+/// does); each successful read resets it — progress is what is owed, not
+/// completion.
+fn read_exact_stall_bounded(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    stall: Option<Duration>,
+) -> Result<(), ServeError> {
     let mut filled = 0;
+    let mut idle_since: Option<Instant> = None;
     while filled < buf.len() {
         match r.read(&mut buf[filled..]) {
             Ok(0) => return Err(ServeError::Io(std::io::ErrorKind::UnexpectedEof.into())),
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                idle_since = None;
+            }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if let Some(limit) = stall {
+                    let since = *idle_since.get_or_insert_with(Instant::now);
+                    let stalled = since.elapsed();
+                    if stalled >= limit {
+                        return Err(ServeError::Stalled {
+                            stalled_ms: stalled.as_millis() as u64,
+                            got: filled,
+                            want: buf.len(),
+                        });
+                    }
+                }
+            }
             Err(e) => return Err(ServeError::Io(e)),
         }
     }
@@ -81,8 +112,21 @@ fn read_exact_patient(r: &mut impl Read, buf: &mut [u8]) -> Result<(), ServeErro
 
 /// Read one frame from `r`, distinguishing a clean EOF and an idle timeout
 /// (both only *between* frames) from real failures. `max` caps the payload
-/// length before any payload byte is read.
+/// length before any payload byte is read. Mid-frame the read waits
+/// without bound; servers use [`read_frame_stall_bounded`] instead.
 pub fn read_frame(r: &mut impl Read, max: u64) -> Result<FrameEvent, ServeError> {
+    read_frame_stall_bounded(r, max, None)
+}
+
+/// [`read_frame`] with a mid-frame stall bound: once the first byte of a
+/// frame arrives, any stretch of `stall` with no further progress fails
+/// with [`ServeError::Stalled`]. Between frames the usual idle semantics
+/// apply ([`FrameEvent::Idle`] on a quiet timeout tick).
+pub fn read_frame_stall_bounded(
+    r: &mut impl Read,
+    max: u64,
+    stall: Option<Duration>,
+) -> Result<FrameEvent, ServeError> {
     // First byte decides between idle / EOF / frame-in-progress.
     let mut first = [0u8; 1];
     loop {
@@ -102,7 +146,7 @@ pub fn read_frame(r: &mut impl Read, max: u64) -> Result<FrameEvent, ServeError>
     }
     let mut header = [0u8; FRAME_HEADER];
     header[0] = first[0];
-    read_exact_patient(r, &mut header[1..])?;
+    read_exact_stall_bounded(r, &mut header[1..], stall)?;
     if header[..4] != FRAME_MAGIC {
         return Err(ServeError::BadMagic([
             header[0], header[1], header[2], header[3],
@@ -116,7 +160,7 @@ pub fn read_frame(r: &mut impl Read, max: u64) -> Result<FrameEvent, ServeError>
         return Err(ServeError::FrameTooLarge { len, max });
     }
     let mut payload = vec![0u8; len as usize];
-    read_exact_patient(r, &mut payload)?;
+    read_exact_stall_bounded(r, &mut payload, stall)?;
     Ok(FrameEvent::Frame(payload))
 }
 
@@ -431,6 +475,10 @@ pub enum Response {
         queue_len: u32,
         /// The configured queue capacity.
         queue_cap: u32,
+        /// The server's advice on how long to back off before retrying,
+        /// in milliseconds. Well-behaved clients (the resilient client,
+        /// the load generator) honor it as their backoff floor.
+        retry_after_ms: u32,
     },
     /// The request frame exceeded the server's size cap.
     TooLarge {
@@ -451,9 +499,30 @@ pub enum Response {
     /// Answer to [`Request::Metrics`]: the server's counters, gauges
     /// (flattened) and latency histograms.
     Metrics(MetricsRegistry),
+    /// The request's deadline (queue wait + simulation) expired before a
+    /// result was ready. The computation was cooperatively cancelled; the
+    /// worker is already free. Retrying is safe — requests are
+    /// content-addressed, so a retry that finds the result cached (another
+    /// client finished the same work) is served instantly.
+    DeadlineExceeded {
+        /// The deadline the request carried.
+        deadline_ms: u64,
+        /// Wall-clock time the request had been in the server when the
+        /// deadline fired.
+        elapsed_ms: u64,
+    },
 }
 
 impl OutcomeSummary {
+    /// The exact number of payload bytes this summary occupies on the
+    /// wire — the byte cost a cache hit actually ships, and therefore the
+    /// weight the bounded result cache charges against its budget.
+    pub fn wire_size(&self) -> u64 {
+        let mut enc = Encoder::new();
+        self.encode_into(&mut enc);
+        enc.bytes().len() as u64
+    }
+
     fn encode_into(&self, enc: &mut Encoder) {
         enc.put_u8(protocol_tag(self.protocol));
         enc.put_str(&self.machine);
@@ -495,10 +564,12 @@ impl Response {
             Response::Busy {
                 queue_len,
                 queue_cap,
+                retry_after_ms,
             } => {
                 enc.put_u8(2);
                 enc.put_u32(*queue_len);
                 enc.put_u32(*queue_cap);
+                enc.put_u32(*retry_after_ms);
             }
             Response::TooLarge { len, max } => {
                 enc.put_u8(3);
@@ -518,6 +589,14 @@ impl Response {
                 enc.put_u8(6);
                 reg.encode_into(&mut enc);
             }
+            Response::DeadlineExceeded {
+                deadline_ms,
+                elapsed_ms,
+            } => {
+                enc.put_u8(7);
+                enc.put_u64(*deadline_ms);
+                enc.put_u64(*elapsed_ms);
+            }
         }
         enc.into_bytes()
     }
@@ -536,6 +615,7 @@ impl Response {
             2 => Response::Busy {
                 queue_len: dec.take_u32()?,
                 queue_cap: dec.take_u32()?,
+                retry_after_ms: dec.take_u32()?,
             },
             3 => Response::TooLarge {
                 len: dec.take_u64()?,
@@ -559,6 +639,10 @@ impl Response {
                 }
             }
             6 => Response::Metrics(MetricsRegistry::decode_from(&mut dec)?),
+            7 => Response::DeadlineExceeded {
+                deadline_ms: dec.take_u64()?,
+                elapsed_ms: dec.take_u64()?,
+            },
             t => {
                 return Err(CodecError::BadTag {
                     what: "response",

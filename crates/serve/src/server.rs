@@ -23,7 +23,7 @@
 //! finish every queued job — each blocked client receives its reply — and
 //! only then joins the threads.
 
-use crate::cache::{CacheStats, SingleFlight, Source};
+use crate::cache::{CacheStats, Computed, FlightError, SingleFlight, Source};
 use crate::error::ServeError;
 use crate::proto::{
     self, protocol_tag, summarize_outcome, ErrorKind, FrameEvent, OutcomeSummary, Request,
@@ -34,15 +34,15 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, SyncSender};
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use warden_obs::{ArgVal, Gauge, Hist, MetricsRegistry, TraceBuilder};
+use warden_obs::{ArgVal, AtomicGauge, Gauge, Hist, MetricsRegistry, TraceBuilder};
 use warden_pbbs::Scale;
 use warden_rt::TraceProgram;
 use warden_sim::checkpoint::options_fingerprint;
-use warden_sim::{simulate_with_options, SimOptions};
+use warden_sim::{try_simulate, CancelToken, SimError, SimOptions};
 
 /// The content address of one simulation result: everything that determines
 /// the outcome bytes, nothing that doesn't.
@@ -56,6 +56,77 @@ pub struct CacheKey {
     pub machine_fp: u64,
     /// The protocol's canonical wire tag ([`protocol_tag`]).
     pub protocol: u8,
+}
+
+/// Tunables that used to be hard-coded constants, now validated at
+/// [`Server::start`]: every timeout the serving loops run on, the
+/// per-request deadline, the `Busy` retry hint, and the result-cache byte
+/// budget.
+#[derive(Clone, Debug)]
+pub struct ServerOptions {
+    /// Per-connection socket read timeout. This is the tick at which an
+    /// idle connection re-checks the drain flag, and the resolution of the
+    /// mid-frame stall clock.
+    pub read_timeout: Duration,
+    /// How long a started frame may sit with no new bytes before the
+    /// connection is dropped as a slow-loris ([`ServeError::Stalled`]).
+    /// Must be at least [`ServerOptions::read_timeout`] (the stall clock
+    /// only advances on read-timeout ticks).
+    pub frame_stall: Duration,
+    /// How long an acceptor sleeps between polls of its non-blocking
+    /// listener (bounds both accept latency and drain latency).
+    pub accept_poll: Duration,
+    /// Deadline for one `Simulate` request, covering queue wait *plus*
+    /// simulation. On expiry the client gets a typed
+    /// [`Response::DeadlineExceeded`] immediately and the replay is
+    /// cooperatively cancelled so the worker frees up. `None` waits
+    /// without bound (the pre-deadline behavior).
+    pub request_deadline: Option<Duration>,
+    /// The backoff hint carried in [`Response::Busy`] replies.
+    pub busy_retry_ms: u32,
+    /// Byte budget for the result cache (`u64::MAX` = unbounded). Split
+    /// evenly across `cache_shards`; cost-aware eviction keeps residency
+    /// under it at all times.
+    pub cache_budget_bytes: u64,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            read_timeout: Duration::from_millis(50),
+            frame_stall: Duration::from_secs(2),
+            accept_poll: Duration::from_millis(10),
+            request_deadline: None,
+            busy_retry_ms: 25,
+            cache_budget_bytes: u64::MAX,
+        }
+    }
+}
+
+impl ServerOptions {
+    fn validate(&self) -> Result<(), ServeError> {
+        let bad = |msg: &str| Err(ServeError::Config(msg.into()));
+        if self.read_timeout.is_zero() {
+            return bad("read timeout must be non-zero");
+        }
+        if self.frame_stall < self.read_timeout {
+            return bad("frame stall bound must be at least the read timeout \
+                 (the stall clock advances on read-timeout ticks)");
+        }
+        if self.accept_poll.is_zero() {
+            return bad("accept poll interval must be non-zero");
+        }
+        if self.request_deadline.is_some_and(|d| d.is_zero()) {
+            return bad("a request deadline must be non-zero (use None for unbounded)");
+        }
+        if self.busy_retry_ms == 0 {
+            return bad("the Busy retry-after hint must be non-zero");
+        }
+        if self.cache_budget_bytes == 0 {
+            return bad("the cache byte budget must be non-zero (use u64::MAX for unbounded)");
+        }
+        Ok(())
+    }
 }
 
 /// How to run a [`Server`].
@@ -75,6 +146,8 @@ pub struct ServeConfig {
     pub cache_shards: usize,
     /// Record a Chrome trace-event timeline of every request.
     pub record_trace: bool,
+    /// Timeouts, deadline, backoff hint and cache budget.
+    pub opts: ServerOptions,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +160,7 @@ impl Default for ServeConfig {
             max_frame: proto::DEFAULT_MAX_FRAME,
             cache_shards: 8,
             record_trace: false,
+            opts: ServerOptions::default(),
         }
     }
 }
@@ -106,6 +180,10 @@ struct Job {
     req: SimRequest,
     reply: SyncSender<Response>,
     enqueued: Instant,
+    /// Cancelled by the connection thread when the request's deadline
+    /// expires; polled by the replay engine every
+    /// [`warden_sim::CANCEL_CHECK_EVENTS`] scheduler steps.
+    cancel: CancelToken,
 }
 
 /// Mutable serving metrics, updated under one short-lived lock.
@@ -135,6 +213,10 @@ struct Inner {
     drain_rejects: AtomicU64,
     bad_requests: AtomicU64,
     internal_errors: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    expired_in_queue: AtomicU64,
+    stalled_conns: AtomicU64,
+    conns_live: AtomicGauge,
     trace: Option<Mutex<TraceBuilder>>,
     trace_dropped: AtomicU64,
     started: Instant,
@@ -191,11 +273,26 @@ impl Inner {
             "serve_internal_error",
             self.internal_errors.load(Ordering::Relaxed),
         );
+        reg.set_counter(
+            "serve_deadline_exceeded",
+            self.deadline_exceeded.load(Ordering::Relaxed),
+        );
+        reg.set_counter(
+            "serve_expired_in_queue",
+            self.expired_in_queue.load(Ordering::Relaxed),
+        );
+        reg.set_counter("serve_stalled", self.stalled_conns.load(Ordering::Relaxed));
+        self.conns_live.export_into(&mut reg, "serve_conns");
         let c = self.results.stats();
         reg.set_counter("cache_hits", c.hits);
         reg.set_counter("cache_misses", c.misses);
         reg.set_counter("cache_coalesced", c.coalesced);
         reg.set_counter("cache_failures", c.failures);
+        reg.set_counter("cache_cancelled", c.cancelled);
+        reg.set_counter("cache_evictions", c.evictions);
+        reg.set_counter("cache_evicted_bytes", c.evicted_bytes);
+        reg.set_counter("cache_resident_bytes", c.resident_bytes);
+        reg.set_counter("cache_resident_peak", c.resident_peak);
         reg.set_counter(
             "trace_events_dropped",
             self.trace_dropped.load(Ordering::Relaxed),
@@ -209,10 +306,16 @@ impl Inner {
     }
 
     /// Enqueue a simulation or reject it; on success, block until a worker
-    /// replies. Called from connection threads, so blocking here holds only
-    /// this client's thread.
+    /// replies or the request's deadline (queue wait + simulation) expires.
+    /// Called from connection threads, so blocking here holds only this
+    /// client's thread. On expiry the job's cancel token fires — the
+    /// replay engine observes it within one poll interval, the worker
+    /// frees up, and this client gets a typed `DeadlineExceeded` *now*,
+    /// not when the worker notices.
     fn submit(&self, req: SimRequest) -> Response {
         let (tx, rx) = mpsc::sync_channel(1);
+        let cancel = CancelToken::new();
+        let accepted = Instant::now();
         {
             let mut q = self.queue.lock().expect("queue lock");
             // Checked under the queue lock: after `shutdown` flips the
@@ -236,12 +339,14 @@ impl Inner {
                 return Response::Busy {
                     queue_len: q.len() as u32,
                     queue_cap: self.cfg.queue_cap as u32,
+                    retry_after_ms: self.cfg.opts.busy_retry_ms,
                 };
             }
             q.push_back(Job {
                 req,
                 reply: tx,
-                enqueued: Instant::now(),
+                enqueued: accepted,
+                cancel: cancel.clone(),
             });
             let depth = q.len() as u64;
             self.meters
@@ -251,20 +356,51 @@ impl Inner {
                 .set(depth);
             self.queue_cv.notify_one();
         }
-        match rx.recv() {
-            Ok(resp) => resp,
-            Err(_) => {
-                self.internal_errors.fetch_add(1, Ordering::Relaxed);
-                Response::Error {
-                    kind: ErrorKind::Internal,
-                    msg: "worker dropped the request".to_string(),
-                }
+        let worker_died = |inner: &Inner| {
+            inner.internal_errors.fetch_add(1, Ordering::Relaxed);
+            Response::Error {
+                kind: ErrorKind::Internal,
+                msg: "worker dropped the request".to_string(),
             }
+        };
+        match self.cfg.opts.request_deadline {
+            None => match rx.recv() {
+                Ok(resp) => resp,
+                Err(_) => worker_died(self),
+            },
+            Some(deadline) => match rx.recv_timeout(deadline) {
+                Ok(resp) => resp,
+                Err(RecvTimeoutError::Timeout) => {
+                    cancel.cancel();
+                    self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                    let ts = self.now_us();
+                    self.trace_event(|t| {
+                        t.instant(
+                            "deadline_exceeded",
+                            ts,
+                            1,
+                            0,
+                            vec![(
+                                "deadline_ms".into(),
+                                ArgVal::U64(deadline.as_millis() as u64),
+                            )],
+                        )
+                    });
+                    Response::DeadlineExceeded {
+                        deadline_ms: deadline.as_millis() as u64,
+                        elapsed_ms: accepted.elapsed().as_millis() as u64,
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => worker_died(self),
+            },
         }
     }
 
-    /// Resolve and run one simulation request, through both caches.
-    fn run_simulate(&self, req: &SimRequest) -> Response {
+    /// Resolve and run one simulation request, through both caches. The
+    /// cancel token rides inside [`SimOptions`] but is excluded from the
+    /// options fingerprint, so two requests for the same work with
+    /// different tokens still share one cache entry.
+    fn run_simulate(&self, req: &SimRequest, cancel: &CancelToken, enqueued: Instant) -> Response {
         let machine = match req.machine.to_machine() {
             Ok(m) => m,
             Err(e) => {
@@ -277,6 +413,7 @@ impl Inner {
         };
         let opts = SimOptions {
             check: req.check,
+            cancel: Some(cancel.clone()),
             ..SimOptions::default()
         };
         let (bench, scale) = (req.bench, req.scale);
@@ -300,16 +437,36 @@ impl Inner {
             machine_fp: machine.fingerprint(),
             protocol: protocol_tag(req.protocol),
         };
-        let computed = self.results.get_or_compute(key, || {
-            let out = simulate_with_options(&trace, &machine, req.protocol, &opts);
-            Ok(Arc::new(summarize_outcome(&out)))
+        let computed = self.results.get_or_compute_with(key, || {
+            match try_simulate(&trace, &machine, req.protocol, &opts) {
+                Ok(out) => Ok(Computed::Ready(Arc::new(summarize_outcome(&out)))),
+                // A cancelled leader vacates its slot: waiters coalesced on
+                // this flight loop back and retry under their own deadlines
+                // instead of inheriting this request's failure.
+                Err(SimError::Cancelled { .. }) => Ok(Computed::Cancelled),
+                Err(e) => Err(e.to_string()),
+            }
         });
         match computed {
             Ok((summary, source)) => Response::Outcome {
                 summary: Box::new((*summary).clone()),
                 cache_hit: source != Source::Fresh,
             },
-            Err(msg) => {
+            Err(FlightError::Cancelled) => {
+                // The connection thread already answered the client when
+                // the deadline fired; this reply goes to a dead receiver
+                // and exists so the worker's bookkeeping stays uniform.
+                let deadline_ms = self
+                    .cfg
+                    .opts
+                    .request_deadline
+                    .map_or(0, |d| d.as_millis() as u64);
+                Response::DeadlineExceeded {
+                    deadline_ms,
+                    elapsed_ms: enqueued.elapsed().as_millis() as u64,
+                }
+            }
+            Err(FlightError::Failed(msg)) => {
                 self.internal_errors.fetch_add(1, Ordering::Relaxed);
                 Response::Error {
                     kind: ErrorKind::Internal,
@@ -342,11 +499,19 @@ fn worker_loop(inner: &Inner, worker_id: u32) {
             req,
             reply,
             enqueued,
+            cancel,
         } = job;
         let waited_us = enqueued.elapsed().as_micros() as u64;
+        if cancel.is_cancelled() {
+            // The client's deadline expired while this job sat queued; its
+            // connection thread already replied. Skip the replay entirely.
+            inner.expired_in_queue.fetch_add(1, Ordering::Relaxed);
+            inner.meters.lock().expect("meters lock").inflight.sub(1);
+            continue;
+        }
         let start = inner.now_us();
         let began = Instant::now();
-        let response = inner.run_simulate(&req);
+        let response = inner.run_simulate(&req, &cancel, enqueued);
         let compute_us = began.elapsed().as_micros() as u64;
         {
             let mut m = inner.meters.lock().expect("meters lock");
@@ -379,11 +544,12 @@ fn worker_loop(inner: &Inner, worker_id: u32) {
     }
 }
 
-/// Serve one connection until EOF, error, or drain.
+/// Serve one connection until EOF, error, stall, or drain.
 fn connection_loop(inner: &Arc<Inner>, stream: &mut (impl Read + Write)) {
     let max = inner.cfg.max_frame;
+    let stall = Some(inner.cfg.opts.frame_stall);
     loop {
-        match proto::read_frame(stream, max) {
+        match proto::read_frame_stall_bounded(stream, max, stall) {
             Ok(FrameEvent::Idle) => {
                 if inner.draining() {
                     return;
@@ -427,6 +593,13 @@ fn connection_loop(inner: &Arc<Inner>, stream: &mut (impl Read + Write)) {
                 let _ = proto::write_frame(stream, &resp.encode(), max);
                 return;
             }
+            Err(ServeError::Stalled { .. }) => {
+                // Slow-loris: the peer started a frame and drip-fed (or
+                // abandoned) it. The stream is desynced mid-frame, so no
+                // reply is possible — free the connection slot.
+                inner.stalled_conns.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
             Err(e @ (ServeError::BadMagic(_) | ServeError::BadVersion(_))) => {
                 inner.bad_requests.fetch_add(1, Ordering::Relaxed);
                 let resp = Response::Error {
@@ -441,46 +614,52 @@ fn connection_loop(inner: &Arc<Inner>, stream: &mut (impl Read + Write)) {
     }
 }
 
-/// How long an acceptor sleeps between polls of a non-blocking listener.
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
-/// Per-connection read timeout; [`proto::read_frame`] reports a timeout
-/// between frames as [`FrameEvent::Idle`] so the drain flag gets checked.
-const READ_TIMEOUT: Duration = Duration::from_millis(50);
-
 fn spawn_conn(inner: &Arc<Inner>, mut stream: impl Read + Write + Send + 'static) {
     let inner2 = Arc::clone(inner);
-    let handle = std::thread::spawn(move || connection_loop(&inner2, &mut stream));
-    inner.conns.lock().expect("conns lock").push(handle);
+    inner.conns_live.add(1);
+    let handle = std::thread::spawn(move || {
+        connection_loop(&inner2, &mut stream);
+        inner2.conns_live.sub(1);
+    });
+    let mut conns = inner.conns.lock().expect("conns lock");
+    // Reap finished handlers so a long-lived server's handle list stays
+    // proportional to *live* connections, not historical ones.
+    conns.retain(|h| !h.is_finished());
+    conns.push(handle);
 }
 
 fn tcp_acceptor(inner: Arc<Inner>, listener: TcpListener) {
+    let poll = inner.cfg.opts.accept_poll;
+    let read_timeout = inner.cfg.opts.read_timeout;
     while !inner.draining() {
         match listener.accept() {
             Ok((stream, _)) => {
                 let _ = stream.set_nodelay(true);
-                let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+                let _ = stream.set_read_timeout(Some(read_timeout));
                 spawn_conn(&inner, stream);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
+                std::thread::sleep(poll);
             }
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(poll),
         }
     }
 }
 
 #[cfg(unix)]
 fn uds_acceptor(inner: Arc<Inner>, listener: std::os::unix::net::UnixListener) {
+    let poll = inner.cfg.opts.accept_poll;
+    let read_timeout = inner.cfg.opts.read_timeout;
     while !inner.draining() {
         match listener.accept() {
             Ok((stream, _)) => {
-                let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+                let _ = stream.set_read_timeout(Some(read_timeout));
                 spawn_conn(&inner, stream);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
+                std::thread::sleep(poll);
             }
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(poll),
         }
     }
 }
@@ -511,6 +690,7 @@ impl Server {
                 "the request queue needs a non-zero capacity".into(),
             ));
         }
+        cfg.opts.validate()?;
         let trace = cfg.record_trace.then(|| {
             let mut t = TraceBuilder::new();
             t.process_name(1, "warden-serve");
@@ -523,7 +703,14 @@ impl Server {
             draining: AtomicBool::new(false),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
-            results: SingleFlight::new(cfg.cache_shards),
+            // Weigh cached summaries by their exact wire size: it is what
+            // a hit actually ships, and it makes the byte budget auditable
+            // from the outside.
+            results: SingleFlight::bounded(
+                cfg.cache_shards,
+                cfg.opts.cache_budget_bytes,
+                |v: &Arc<OutcomeSummary>| v.wire_size(),
+            ),
             traces: SingleFlight::new(4),
             meters: Mutex::new(Meters {
                 latency_us: Hist::new(),
@@ -540,6 +727,10 @@ impl Server {
             drain_rejects: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
             internal_errors: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            expired_in_queue: AtomicU64::new(0),
+            stalled_conns: AtomicU64::new(0),
+            conns_live: AtomicGauge::new(),
             trace,
             trace_dropped: AtomicU64::new(0),
             started: Instant::now(),

@@ -1,0 +1,78 @@
+//! Minimal SIGTERM-to-drain plumbing for serve daemons.
+//!
+//! The workspace vendors no `libc`, so this module carries its own
+//! one-symbol binding to the C library's `signal(2)` wrapper (present in
+//! every process `std` links on Unix). The handler does the only thing a
+//! signal handler safely can: store to a `static` atomic. Daemons poll
+//! [`drain_requested`] from their control loop and run the ordinary
+//! graceful drain — SIGTERM becomes indistinguishable from an operator
+//! typing the quit command.
+//!
+//! This is deliberately the *only* `unsafe` code in the workspace, and it
+//! is two expressions long: a handler installation and an `extern` fn
+//! that stores a boolean.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::*;
+
+    const SIGTERM: i32 = 15;
+    /// `SIG_ERR` as glibc and musl define it.
+    const SIG_ERR: usize = usize::MAX;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigterm(_signum: i32) {
+        // Async-signal-safe: one relaxed store, nothing else.
+        DRAIN.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() -> bool {
+        // SAFETY: `signal` is the C library's own wrapper (std already
+        // links it); the handler only stores to a static atomic, which is
+        // async-signal-safe.
+        unsafe { signal(SIGTERM, on_sigterm as *const () as usize) != SIG_ERR }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() -> bool {
+        false
+    }
+}
+
+/// Install the SIGTERM handler. Returns `false` (and changes nothing) on
+/// platforms without Unix signals or if installation fails; callers keep
+/// working, they just cannot be drained by signal.
+pub fn install_sigterm_drain() -> bool {
+    imp::install()
+}
+
+/// Whether a SIGTERM has arrived since [`install_sigterm_drain`]. Sticky:
+/// once true, stays true for the life of the process.
+pub fn drain_requested() -> bool {
+    DRAIN.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_install_reports() {
+        // The flag must start clear; installation succeeds on Unix. (The
+        // handler itself is exercised by the serve-daemon integration
+        // path, not by raising signals inside the test harness.)
+        assert!(!drain_requested() || cfg!(not(unix)));
+        if cfg!(unix) {
+            assert!(install_sigterm_drain());
+        }
+    }
+}

@@ -161,3 +161,196 @@ fn panicking_leaders_never_strand_waiters() {
     assert_eq!(stats.failures, 2);
     assert_eq!(cache.len(), 1);
 }
+
+// ---------------------------------------------------------------------------
+// Property tests of the byte budget.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exact byte accounting under arbitrary insert/evict/coalesce
+    /// interleavings: two threads race the same op sequence (so computes
+    /// coalesce unpredictably), and afterwards every byte a compute ever
+    /// produced is either still resident or counted as evicted — while
+    /// residency (and its peak) never exceeded the budget, not even
+    /// transiently.
+    #[test]
+    fn byte_accounting_is_exact_under_interleavings(
+        budget in 16u64..256,
+        ops in proptest::collection::vec((0u64..16, 1u64..96), 1..80),
+    ) {
+        let cache: Arc<SingleFlight<u64, Vec<u8>>> =
+            Arc::new(SingleFlight::bounded(1, budget, |v: &Vec<u8>| v.len() as u64));
+        let produced = Arc::new(AtomicU64::new(0));
+        let ops: Arc<[(u64, u64)]> = ops.into();
+        let gate = Arc::new(Barrier::new(2));
+
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let produced = Arc::clone(&produced);
+                let ops = Arc::clone(&ops);
+                let gate = Arc::clone(&gate);
+                std::thread::spawn(move || {
+                    gate.wait();
+                    for &(key, size) in ops.iter() {
+                        let produced = Arc::clone(&produced);
+                        let (v, _) = cache
+                            .get_or_compute(key, move || {
+                                produced.fetch_add(size, Ordering::SeqCst);
+                                Ok(vec![key as u8; size as usize])
+                            })
+                            .expect("computes never fail here");
+                        // Whoever computed it, the value is the key's.
+                        prop_assert_eq!(v.first().copied(), Some(key as u8));
+                        let s = cache.stats();
+                        prop_assert!(
+                            s.resident_bytes <= budget,
+                            "resident {} over budget {budget}", s.resident_bytes
+                        );
+                        prop_assert!(
+                            s.resident_peak <= budget,
+                            "peak {} over budget {budget}", s.resident_peak
+                        );
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("no accounting thread panics")?;
+        }
+
+        let s = cache.stats();
+        prop_assert_eq!(
+            s.resident_bytes + s.evicted_bytes,
+            produced.load(Ordering::SeqCst),
+            "bytes leaked: resident {} + evicted {} != produced; stats {:?}",
+            s.resident_bytes, s.evicted_bytes, s
+        );
+        prop_assert_eq!(s.resident_bytes, cache.resident_bytes());
+        prop_assert!(s.resident_peak <= budget);
+        prop_assert_eq!(s.failures, 0);
+        prop_assert_eq!(s.cancelled, 0);
+    }
+
+    /// An in-flight entry survives arbitrary eviction pressure: while one
+    /// leader is pinned mid-compute, a storm of other keys overflows the
+    /// budget many times over; the pending flight must keep its slot (its
+    /// eventual waiters coalesce, nothing recomputes) and the accounting
+    /// still balances to the byte.
+    #[test]
+    fn in_flight_entries_survive_eviction_pressure(
+        budget in 32u64..128,
+        sizes in proptest::collection::vec(1u64..64, 4..40),
+        pinned_size in 1u64..24,
+    ) {
+        let cache: Arc<SingleFlight<u64, Vec<u8>>> =
+            Arc::new(SingleFlight::bounded(1, budget, |v: &Vec<u8>| v.len() as u64));
+        const PINNED: u64 = u64::MAX; // outside the storm's key space
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+
+        let leader = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                cache.get_or_compute(PINNED, move || {
+                    started_tx.send(()).expect("test alive");
+                    release_rx.recv().expect("released");
+                    Ok(vec![7u8; pinned_size as usize])
+                })
+            })
+        };
+        started_rx.recv().expect("leader entered its compute");
+
+        // The storm: total bytes far beyond the budget, forcing evictions
+        // while the pinned flight is mid-compute.
+        let mut produced = pinned_size;
+        for (i, &size) in sizes.iter().enumerate() {
+            produced += size;
+            cache
+                .get_or_compute(i as u64, move || Ok(vec![i as u8; size as usize]))
+                .expect("storm computes never fail");
+        }
+
+        release_tx.send(()).expect("leader still waiting");
+        let (v, src) = leader
+            .join()
+            .expect("leader thread survives")
+            .expect("pinned compute succeeds");
+        prop_assert_eq!(v.len() as u64, pinned_size);
+        prop_assert_eq!(src, Source::Fresh);
+
+        // The pinned entry kept its slot through the storm: a second
+        // lookup is answered from cache, its compute closure never runs.
+        let (again, src) = cache
+            .get_or_compute(PINNED, || panic!("the pinned entry was evicted"))
+            .expect("cache-served");
+        prop_assert_eq!(again.len() as u64, pinned_size);
+        prop_assert_eq!(src, Source::Cached);
+
+        let s = cache.stats();
+        prop_assert_eq!(s.resident_bytes + s.evicted_bytes, produced);
+        prop_assert!(s.resident_peak <= budget);
+    }
+}
+
+proptest! {
+    // Each case spins ~10 ms to make one entry's measured compute cost
+    // unambiguous, so keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Eviction order respects the cost weighting (compute time × bytes):
+    /// among same-sized entries, the one that was expensive to compute
+    /// outlives cheap ones when the budget forces an eviction.
+    #[test]
+    fn eviction_prefers_cheap_entries_over_expensive_ones(
+        cheap_count in 2u64..5,
+        size in 6u64..20,
+    ) {
+        // Budget fits the expensive entry plus every cheap one exactly;
+        // one more insert must evict exactly one resident entry.
+        let budget = (cheap_count + 1) * size;
+        let cache: SingleFlight<u64, Vec<u8>> =
+            SingleFlight::bounded(1, budget, |v: &Vec<u8>| v.len() as u64);
+
+        const EXPENSIVE: u64 = 100;
+        cache
+            .get_or_compute(EXPENSIVE, || {
+                // Burn measurable compute time; the weight becomes
+                // ~10'000 µs × size, orders of magnitude above the cheap
+                // entries' sub-millisecond computes.
+                let until = std::time::Instant::now() + std::time::Duration::from_millis(10);
+                while std::time::Instant::now() < until {
+                    std::hint::spin_loop();
+                }
+                Ok(vec![0xEE; size as usize])
+            })
+            .expect("expensive compute");
+        for k in 0..cheap_count {
+            cache
+                .get_or_compute(k, move || Ok(vec![k as u8; size as usize]))
+                .expect("cheap compute");
+        }
+        prop_assert_eq!(cache.stats().evictions, 0, "everything fits so far");
+
+        // The trigger: over budget by exactly one entry.
+        cache
+            .get_or_compute(200, move || Ok(vec![0x77; size as usize]))
+            .expect("trigger compute");
+
+        let s = cache.stats();
+        prop_assert_eq!(s.evictions, 1);
+        prop_assert_eq!(s.evicted_bytes, size);
+        prop_assert!(s.resident_bytes <= budget);
+
+        // The expensive entry survived — a cheap one paid for the trigger.
+        let (v, src) = cache
+            .get_or_compute(EXPENSIVE, || panic!("the expensive entry was evicted first"))
+            .expect("cache-served");
+        prop_assert_eq!(v.len() as u64, size);
+        prop_assert_eq!(src, Source::Cached);
+    }
+}

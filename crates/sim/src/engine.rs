@@ -14,6 +14,7 @@
 //! snapshotted to a crash-safe checkpoint (see [`crate::checkpoint`]) and
 //! resumed bit-identically.
 
+use crate::cancel::CancelToken;
 use crate::config::MachineConfig;
 use crate::energy::{energy_of, EnergyBreakdown, EnergyParams};
 use crate::error::SimError;
@@ -72,7 +73,22 @@ pub struct SimOptions {
     /// Recording is passive — statistics and memory images stay
     /// bit-identical to an unobserved run.
     pub obs: bool,
+    /// Cooperative cancellation: when set, [`SimEngine::run_with_cancel`]
+    /// (and [`try_simulate`]) poll the token every
+    /// [`CANCEL_CHECK_EVENTS`] scheduler steps and return a typed
+    /// [`SimError::Cancelled`] once it trips. `None` (the default) costs
+    /// nothing: the cancellable run loop collapses to the plain one. The
+    /// token is **not** part of the options fingerprint — the same
+    /// simulation requested with different tokens is the same
+    /// content-addressed computation — and it is never checkpointed.
+    pub cancel: Option<CancelToken>,
 }
+
+/// Scheduler steps between polls of the cancellation token in
+/// [`SimEngine::run_with_cancel`]. At the measured millions of events per
+/// second this bounds cancellation latency to well under a millisecond,
+/// while keeping the hot loop free of per-event atomic loads.
+pub const CANCEL_CHECK_EVENTS: u64 = 4096;
 
 struct Core {
     clock: u64,
@@ -132,7 +148,7 @@ pub fn try_simulate(
     protocol: Protocol,
     opts: &SimOptions,
 ) -> Result<SimOutcome, SimError> {
-    Ok(SimEngine::try_new(program, machine, protocol, opts)?.run())
+    SimEngine::try_new(program, machine, protocol, opts)?.run_with_cancel()
 }
 
 /// [`simulate`] with full control: energy parameters, the invariant
@@ -325,10 +341,37 @@ impl<'a> SimEngine<'a> {
         !self.is_done()
     }
 
-    /// Run the replay to completion and produce the outcome.
+    /// Run the replay to completion and produce the outcome. Ignores any
+    /// [`SimOptions::cancel`] token; use [`Self::run_with_cancel`] for the
+    /// cooperative path.
     pub fn run(mut self) -> SimOutcome {
         while self.step() {}
         self.finish()
+    }
+
+    /// Run the replay to completion, polling the [`SimOptions::cancel`]
+    /// token (if any) every [`CANCEL_CHECK_EVENTS`] scheduler steps. With
+    /// no token installed this is exactly [`Self::run`] — the per-step
+    /// loop carries no extra branch. With a token, a trip is observed
+    /// within one check interval and surfaces as a typed
+    /// [`SimError::Cancelled`]; the partially-advanced engine is dropped
+    /// (a cancelled replay publishes nothing).
+    pub fn run_with_cancel(mut self) -> Result<SimOutcome, SimError> {
+        let Some(token) = self.opts.cancel.clone() else {
+            return Ok(self.run());
+        };
+        loop {
+            if token.is_cancelled() {
+                return Err(SimError::Cancelled { steps: self.steps });
+            }
+            let mut burst = 0u64;
+            while burst < CANCEL_CHECK_EVENTS {
+                if !self.step() {
+                    return Ok(self.finish());
+                }
+                burst += 1;
+            }
+        }
     }
 
     fn step_inner(&mut self) {
@@ -895,6 +938,69 @@ mod tests {
         let oneshot = simulate(&p, &m, Protocol::Warden);
         assert_eq!(stepped.stats, oneshot.stats);
         assert_eq!(stepped.memory_image_digest, oneshot.memory_image_digest);
+    }
+
+    #[test]
+    fn pre_cancelled_token_rejects_the_replay() {
+        let p = sample_program();
+        let m = tiny_machine();
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = SimOptions {
+            cancel: Some(token),
+            ..SimOptions::default()
+        };
+        match try_simulate(&p, &m, Protocol::Warden, &opts) {
+            Err(SimError::Cancelled { steps }) => assert_eq!(steps, 0),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uncancelled_token_is_bit_identical_to_plain_run() {
+        let p = sample_program();
+        let m = tiny_machine();
+        let opts = SimOptions {
+            cancel: Some(CancelToken::new()),
+            ..SimOptions::default()
+        };
+        let with_token = try_simulate(&p, &m, Protocol::Warden, &opts).expect("runs to completion");
+        let plain = simulate(&p, &m, Protocol::Warden);
+        assert_eq!(with_token.stats, plain.stats);
+        assert_eq!(with_token.memory_image_digest, plain.memory_image_digest);
+    }
+
+    #[test]
+    fn mid_run_cancellation_stops_at_the_next_poll_boundary() {
+        // Deterministic mid-run cancellation: advance the engine partway by
+        // hand, flip the token (as the serving layer does from another
+        // thread), then hand the rest of the replay to `run_with_cancel`.
+        // It must stop at its first poll rather than finish the program.
+        let p = sample_program();
+        let m = tiny_machine();
+        let full = {
+            let mut eng = SimEngine::new(&p, &m, Protocol::Warden, &SimOptions::default());
+            while eng.step() {}
+            eng.steps()
+        };
+        let head = full / 2;
+        let token = CancelToken::new();
+        let opts = SimOptions {
+            cancel: Some(token.clone()),
+            ..SimOptions::default()
+        };
+        let mut eng = SimEngine::try_new(&p, &m, Protocol::Warden, &opts).expect("valid machine");
+        for _ in 0..head {
+            assert!(eng.step(), "half the run must not exhaust the program");
+        }
+        token.cancel();
+        match eng.run_with_cancel() {
+            Err(SimError::Cancelled { steps }) => {
+                assert_eq!(steps, head, "cancellation observed at the first poll");
+                assert!(steps < full);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
     }
 
     #[test]

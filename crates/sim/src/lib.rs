@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 pub mod checkpoint;
 mod config;
 mod energy;
@@ -46,12 +47,13 @@ pub mod pingpong;
 mod report;
 mod stats;
 
+pub use cancel::CancelToken;
 pub use checkpoint::{CheckpointError, CheckpointStore};
 pub use config::MachineConfig;
 pub use energy::{energy_of, EnergyBreakdown, EnergyParams};
 pub use engine::{
     simulate, simulate_with_energy, simulate_with_options, try_simulate, SimEngine, SimOptions,
-    SimOutcome,
+    SimOutcome, CANCEL_CHECK_EVENTS,
 };
 pub use error::SimError;
 pub use faults::{FaultPlan, FaultStats};

@@ -145,10 +145,13 @@ fn response() -> impl Strategy<Value = Response> {
             summary: Box::new(summary),
             cache_hit
         }),
-        (any::<u32>(), any::<u32>()).prop_map(|(queue_len, queue_cap)| Response::Busy {
-            queue_len,
-            queue_cap
-        }),
+        (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
+            |(queue_len, queue_cap, retry_after_ms)| Response::Busy {
+                queue_len,
+                queue_cap,
+                retry_after_ms
+            }
+        ),
         (any::<u64>(), any::<u64>()).prop_map(|(len, max)| Response::TooLarge { len, max }),
         Just(Response::Draining),
         (
@@ -157,6 +160,12 @@ fn response() -> impl Strategy<Value = Response> {
         )
             .prop_map(|(kind, msg)| Response::Error { kind, msg }),
         registry().prop_map(Response::Metrics),
+        (any::<u64>(), any::<u64>()).prop_map(|(deadline_ms, elapsed_ms)| {
+            Response::DeadlineExceeded {
+                deadline_ms,
+                elapsed_ms,
+            }
+        }),
     ]
 }
 

@@ -6,15 +6,17 @@
 //! rejection on the wire, and a graceful drain that completes every
 //! in-flight request.
 
-use std::io::Write;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 use warden::bench::loadgen::{drive, Expectation, Target};
 use warden::coherence::Protocol;
 use warden::obs::validate_trace;
 use warden::pbbs::{Bench, Scale};
+use warden::serve::proto::{read_frame, write_frame, DEFAULT_MAX_FRAME};
 use warden::serve::{
-    outcome_digest, Client, MachinePreset, MachineSpec, Request, Response, ServeConfig, Server,
-    SimRequest,
+    outcome_digest, Client, FrameEvent, MachinePreset, MachineSpec, Request, ResilientClient,
+    Response, RetryPolicy, ServeConfig, Server, ServerOptions, SimRequest,
 };
 use warden::sim::{simulate_with_options, SimOptions};
 
@@ -260,4 +262,268 @@ fn graceful_drain_completes_every_inflight_request() {
     })
     .expect("address is reusable after a clean drain");
     rebound.shutdown();
+}
+
+#[test]
+fn deadline_drill_cancels_the_long_request_and_frees_the_worker() {
+    // A deadline far below what a paper-scale msort replay on a four-socket
+    // machine costs (hundreds of ms even in release builds, seconds in
+    // debug), but comfortably above scheduler jitter.
+    let deadline = Duration::from_millis(200);
+    let server = Server::start(ServeConfig {
+        tcp: Some("127.0.0.1:0".to_string()),
+        workers: 1,
+        queue_cap: 4,
+        opts: ServerOptions {
+            request_deadline: Some(deadline),
+            ..ServerOptions::default()
+        },
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.tcp_addr().expect("tcp bound").to_string();
+
+    let long_req = SimRequest {
+        bench: Bench::Msort,
+        scale: Scale::Paper,
+        machine: MachineSpec::new(MachinePreset::ManySocket(4)),
+        protocol: Protocol::Mesi,
+        check: true,
+    };
+    let mut client = Client::connect(&addr).expect("connect");
+    let started = Instant::now();
+    match client
+        .call(&Request::Simulate(long_req))
+        .expect("typed reply")
+    {
+        Response::DeadlineExceeded {
+            deadline_ms,
+            elapsed_ms,
+        } => {
+            assert_eq!(deadline_ms, deadline.as_millis() as u64);
+            assert!(
+                elapsed_ms >= deadline_ms,
+                "the reply cannot predate its own deadline ({elapsed_ms} ms)"
+            );
+        }
+        other => panic!("a paper-scale msort cannot finish inside {deadline:?}: {other:?}"),
+    }
+    let waited = started.elapsed();
+    assert!(
+        waited < deadline * 2,
+        "the typed reply took {waited:?}, over twice the {deadline:?} deadline"
+    );
+
+    // The drill's second half: the worker becomes healthy again and serves
+    // a real, correct outcome. Until it finishes tearing down the
+    // cancelled replay, a quick request can itself expire in the queue
+    // (its deadline covers queue wait too — by design), so retry; the
+    // point under test is that the worker *recovers*, bounded below.
+    let quick = SimRequest {
+        bench: Bench::Fib,
+        scale: Scale::Tiny,
+        machine: MachineSpec::new(MachinePreset::DualSocket).with_cores(2),
+        protocol: Protocol::Warden,
+        check: false,
+    };
+    let program = Bench::Fib.build(Scale::Tiny);
+    let resolved = quick.machine.to_machine().expect("valid machine");
+    let direct = simulate_with_options(
+        &program,
+        &resolved,
+        Protocol::Warden,
+        &SimOptions::default(),
+    );
+    let recovery = Instant::now() + Duration::from_secs(60);
+    loop {
+        match client.call(&Request::Simulate(quick)).expect("reply") {
+            Response::Outcome { summary, .. } => {
+                assert_eq!(summary.outcome_digest, outcome_digest(&direct));
+                break;
+            }
+            Response::DeadlineExceeded { .. } => {
+                assert!(
+                    Instant::now() < recovery,
+                    "the worker never recovered from the cancellation"
+                );
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            other => panic!("the worker must serve after a cancellation, got {other:?}"),
+        }
+    }
+    drop(client);
+
+    let report = server.shutdown();
+    assert!(
+        report
+            .metrics
+            .counter("serve_deadline_exceeded")
+            .unwrap_or(0)
+            >= 1,
+        "the drill's long request must be counted"
+    );
+    assert!(
+        report.cache.cancelled >= 1,
+        "the expired flight must be torn down through the cancel token, \
+         not simulated to completion: {:?}",
+        report.cache
+    );
+    assert_eq!(
+        report.cache.failures, 0,
+        "cancellation is not a failure: {:?}",
+        report.cache
+    );
+}
+
+#[test]
+fn slow_loris_connections_are_reclaimed_within_the_stall_bound() {
+    let server = Server::start(ServeConfig {
+        tcp: Some("127.0.0.1:0".to_string()),
+        opts: ServerOptions {
+            frame_stall: Duration::from_millis(200),
+            ..ServerOptions::default()
+        },
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.tcp_addr().expect("tcp bound").to_string();
+
+    // Four connections each drip a few bytes of a frame, then go silent
+    // while staying open — the classic slow loris.
+    let loris: Vec<TcpStream> = (0..4usize)
+        .map(|i| {
+            let mut s = TcpStream::connect(&addr).expect("connect");
+            s.write_all(&b"WSRV\x01"[..2 + i % 3]).expect("drip");
+            s
+        })
+        .collect();
+
+    // The stall bound (not the peers closing — they never do) must free
+    // every slot. Generous wall deadline for loaded CI machines; the
+    // per-connection bound under test is the 200 ms stall.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let m = server.metrics_snapshot();
+        let stalled = m.counter("serve_stalled").unwrap_or(0);
+        let live = m.counter("serve_conns_current").unwrap_or(u64::MAX);
+        if stalled == 4 && live == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "slow-loris slots not reclaimed: {stalled} stalled, {live} still live"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The server shut the drip-feeders down: their sockets read EOF (or a
+    // reset), never a response frame.
+    for mut s in loris {
+        s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let mut sink = [0u8; 16];
+        match s.read(&mut sink) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("a stalled connection got {n} bytes of response"),
+        }
+    }
+
+    // And the listener still serves honest clients.
+    let mut client = Client::connect(&addr).expect("connect");
+    client.ping().expect("pong after the loris purge");
+    drop(client);
+    let report = server.shutdown();
+    assert_eq!(report.metrics.counter("serve_stalled"), Some(4));
+}
+
+/// A proxy that tears the first response mid-header, then relays every
+/// later connection faithfully — the deterministic core of the chaos
+/// harness's torn-frame fault, used to pin retry-from-cache semantics.
+fn tear_first_response_proxy(upstream: String) -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("proxy bind");
+    let addr = listener.local_addr().expect("proxy addr");
+    std::thread::spawn(move || {
+        // Connection 1: forward the request, tear the response.
+        if let Ok((mut conn, _)) = listener.accept() {
+            let mut up = TcpStream::connect(&upstream).expect("upstream");
+            if let Ok(FrameEvent::Frame(req)) = read_frame(&mut conn, DEFAULT_MAX_FRAME) {
+                write_frame(&mut up, &req, DEFAULT_MAX_FRAME).expect("forward request");
+                if let Ok(FrameEvent::Frame(_)) = read_frame(&mut up, DEFAULT_MAX_FRAME) {
+                    // The server answered in full; the client gets five
+                    // bytes of frame header and then a closed socket.
+                    let _ = conn.write_all(b"WSRV\x01");
+                }
+            }
+            // Dropping both sockets closes the torn connection.
+        }
+        // Connection 2 (the retry): relay frames faithfully until EOF.
+        if let Ok((mut conn, _)) = listener.accept() {
+            let mut up = TcpStream::connect(&upstream).expect("upstream");
+            while let Ok(FrameEvent::Frame(req)) = read_frame(&mut conn, DEFAULT_MAX_FRAME) {
+                write_frame(&mut up, &req, DEFAULT_MAX_FRAME).expect("forward request");
+                match read_frame(&mut up, DEFAULT_MAX_FRAME) {
+                    Ok(FrameEvent::Frame(resp)) => {
+                        if write_frame(&mut conn, &resp, DEFAULT_MAX_FRAME).is_err() {
+                            break;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+        }
+    });
+    addr
+}
+
+#[test]
+fn a_retried_request_is_served_from_cache_not_recomputed() {
+    let server = Server::start(ServeConfig {
+        tcp: Some("127.0.0.1:0".to_string()),
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.tcp_addr().expect("tcp bound").to_string();
+    let proxy = tear_first_response_proxy(addr);
+
+    let req = SimRequest {
+        bench: Bench::Primes,
+        scale: Scale::Tiny,
+        machine: MachineSpec::new(MachinePreset::DualSocket).with_cores(2),
+        protocol: Protocol::Warden,
+        check: false,
+    };
+    let program = Bench::Primes.build(Scale::Tiny);
+    let resolved = req.machine.to_machine().expect("valid machine");
+    let direct = simulate_with_options(
+        &program,
+        &resolved,
+        Protocol::Warden,
+        &SimOptions::default(),
+    );
+
+    let mut client = ResilientClient::tcp(
+        proxy.to_string(),
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(50),
+            call_deadline: Some(Duration::from_secs(30)),
+            frame_stall: Duration::from_millis(500),
+            seed: 11,
+        },
+    );
+    let (summary, cache_hit) = client.simulate(req).expect("the retry must succeed");
+
+    // The conformance core: the first attempt's computation was completed
+    // and cached by the server even though its response was torn on the
+    // wire, so the safe re-issue is answered from cache — same digest,
+    // zero recomputation.
+    assert_eq!(summary.outcome_digest, outcome_digest(&direct));
+    assert!(cache_hit, "the retried request must be served from cache");
+    assert_eq!(client.retries(), 1, "exactly one retry absorbed the tear");
+    assert_eq!(client.reconnects(), 2, "initial dial plus one re-dial");
+
+    let report = server.shutdown();
+    assert_eq!(report.cache.misses, 1, "one simulation, not two");
+    assert_eq!(report.cache.hits, 1, "the retry was a cache hit");
+    assert_eq!(report.metrics.counter("serve_simulate"), Some(2));
 }
