@@ -35,6 +35,15 @@
 #                    cache must respect its byte budget, the timeline is
 #                    obs_lint-validated, and chaos_metrics_ci.json is
 #                    left behind for the workflow to archive
+#   ./ci.sh durable  durability gate: a cold loadgen run populates the
+#                    crash-safe disk tier, the server is SIGKILLed and
+#                    restarted on the same directory, and a warm run must
+#                    serve every repeat bit-identically from disk with
+#                    zero re-simulations (durable_metrics_ci.json is left
+#                    behind for the workflow to archive); then the full
+#                    conformance suite runs once more with seeded storage
+#                    faults (torn writes, ENOSPC, corrupt reads, crashes
+#                    around rename) injected under the disk tier
 #   ./ci.sh          all of the above
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -218,6 +227,89 @@ chaos() {
   echo "   wrote chaos_metrics_ci.json and validated $dir/loadgen.trace.json"
 }
 
+# Poll a server's captured stdout for its bound TCP address.
+serve_addr() {
+  local out="$1" addr="" i
+  for i in $(seq 1 200); do
+    addr=$(sed -n 's/^serve: listening on \([0-9.]*:[0-9]*\).*/\1/p' "$out")
+    if [ -n "$addr" ]; then
+      echo "$addr"
+      return 0
+    fi
+    sleep 0.05
+  done
+  return 1
+}
+
+durable() {
+  echo "== durable serving: restart-warm drill + storage chaos =="
+  cargo build -q --release --offline -p warden-bench --bin serve --bin loadgen
+  local dir=durable_ci
+  rm -rf "$dir"
+  mkdir -p "$dir"
+
+  echo "   -- cold run: populate the disk tier --"
+  # The serve daemon drains on stdin EOF, so each instance reads a fifo
+  # that the script holds open until it wants the server gone.
+  mkfifo "$dir/ctl1"
+  target/release/serve --addr 127.0.0.1:0 --disk-cache "$dir/tier" \
+    <"$dir/ctl1" >"$dir/serve1.out" 2>/dev/null &
+  local pid=$!
+  exec 3>"$dir/ctl1"
+  local addr
+  if ! addr=$(serve_addr "$dir/serve1.out"); then
+    echo "FAILED: cold server never reported its address" >&2
+    exit 1
+  fi
+  target/release/loadgen --addr "$addr" --scale tiny --clients 4 --iters 4 \
+    --quiet --out "$dir/cold_metrics.json"
+
+  # Results are durable on disk before each reply is sent, so SIGKILL —
+  # not a drain — must lose nothing.
+  kill -9 "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  exec 3>&-
+  echo "   SIGKILLed the populated server"
+
+  echo "   -- warm run: restart on the same tier --"
+  mkfifo "$dir/ctl2"
+  target/release/serve --addr 127.0.0.1:0 --disk-cache "$dir/tier" \
+    <"$dir/ctl2" >"$dir/serve2.out" 2>/dev/null &
+  pid=$!
+  exec 4>"$dir/ctl2"
+  if ! addr=$(serve_addr "$dir/serve2.out"); then
+    echo "FAILED: restarted server never reported its address" >&2
+    exit 1
+  fi
+  # Conformance inside loadgen re-checks every response against its oracle
+  # digest, so "served from disk" and "bit-identical" are proved together.
+  target/release/loadgen --addr "$addr" --scale tiny --clients 4 --iters 4 \
+    --quiet --out durable_metrics_ci.json
+  echo quit >&4
+  exec 4>&-
+  wait "$pid" 2>/dev/null || true
+  test -s durable_metrics_ci.json
+  if ! grep -qE '"disk_hits": [1-9]' durable_metrics_ci.json; then
+    echo "FAILED: restarted server served nothing from the disk tier" >&2
+    exit 1
+  fi
+  if grep -qE '"serve_full_sims": [1-9]' durable_metrics_ci.json; then
+    echo "FAILED: restarted server re-simulated instead of serving from disk" >&2
+    exit 1
+  fi
+  echo "   restart-warm OK: disk hits, zero re-simulations, digests conform"
+
+  echo "   -- seeded storage-fault conformance run --"
+  target/release/loadgen --spawn --scale tiny --clients 6 --iters 6 --quiet \
+    --disk-cache "$dir/chaos-tier" --storage-chaos --storage-chaos-seed 7 \
+    --out "$dir/storage_chaos_metrics.json"
+  if ! grep -qE '"storage_faults_injected": [1-9]' "$dir/storage_chaos_metrics.json"; then
+    echo "FAILED: storage-chaos run injected no faults" >&2
+    exit 1
+  fi
+  echo "   wrote durable_metrics_ci.json and $dir/storage_chaos_metrics.json"
+}
+
 stage="${1:-all}"
 case "$stage" in
   checks) checks ;;
@@ -226,6 +318,7 @@ case "$stage" in
   obs) obs ;;
   serve) serve ;;
   chaos) chaos ;;
+  durable) durable ;;
   all)
     checks
     smoke
@@ -233,9 +326,10 @@ case "$stage" in
     obs
     serve
     chaos
+    durable
     ;;
   *)
-    echo "usage: ci.sh [checks|smoke|bench|obs|serve|chaos|all]" >&2
+    echo "usage: ci.sh [checks|smoke|bench|obs|serve|chaos|durable|all]" >&2
     exit 2
     ;;
 esac

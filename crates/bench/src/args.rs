@@ -30,6 +30,11 @@
 //! | `--chaos-seed <seed>`  | `loadgen`: seed for the chaos fault stream |
 //! | `--request-deadline-ms <ms>` | `serve`/`loadgen --spawn`: per-request deadline |
 //! | `--cache-budget <bytes>` | `serve`/`loadgen --spawn`: result-cache byte budget |
+//! | `--disk-cache <dir>`   | `serve`/`loadgen --spawn`: crash-safe disk tier directory |
+//! | `--disk-budget <bytes>` | byte budget for the disk tier |
+//! | `--checkpoint-every <steps>` | steps between prefix-checkpoint frames (0 = off) |
+//! | `--storage-chaos`      | inject seeded storage faults into the disk tier |
+//! | `--storage-chaos-seed <seed>` | seed for the storage-fault stream |
 //!
 //! Non-flag arguments are collected in [`HarnessArgs::positional`] for the
 //! binaries that take them (`record`, `replay`).
@@ -39,6 +44,7 @@ use crate::error::HarnessError;
 use crate::runner::{RunOptions, SuiteScale};
 use std::path::PathBuf;
 use std::time::Duration;
+use warden_serve::{DiskTierConfig, StorageFaultPlan};
 
 /// Every flag the harness binaries understand, with value placeholders —
 /// printed by the unknown-flag error.
@@ -50,8 +56,11 @@ pub const VALID_FLAGS: &[&str] = &[
     "--chaos",
     "--chaos-seed <seed>",
     "--check",
+    "--checkpoint-every <steps>",
     "--clients <n>",
     "--deadline-ms <ms>",
+    "--disk-budget <bytes>",
+    "--disk-cache <dir>",
     "--faults <seed>",
     "--iters <n>",
     "--jobs <n>",
@@ -65,6 +74,8 @@ pub const VALID_FLAGS: &[&str] = &[
     "--runs <n>",
     "--scale <tiny|paper>",
     "--spawn",
+    "--storage-chaos",
+    "--storage-chaos-seed <seed>",
     "--uds <path>",
 ];
 
@@ -124,6 +135,18 @@ pub struct HarnessArgs {
     /// `--cache-budget <bytes>`: byte budget for the server's result
     /// cache.
     pub cache_budget: Option<u64>,
+    /// `--disk-cache <dir>`: enable the crash-safe disk tier rooted here.
+    pub disk_cache: Option<PathBuf>,
+    /// `--disk-budget <bytes>`: byte budget for the disk tier.
+    pub disk_budget: Option<u64>,
+    /// `--checkpoint-every <steps>`: scheduler steps between periodic
+    /// prefix-checkpoint frames (0 disables periodic frames).
+    pub checkpoint_every: Option<u64>,
+    /// `--storage-chaos`: inject the seeded storage-fault plan into the
+    /// disk tier (requires `--disk-cache`).
+    pub storage_chaos: bool,
+    /// `--storage-chaos-seed <seed>`: seed for the storage-fault stream.
+    pub storage_chaos_seed: Option<u64>,
     /// Non-flag arguments, in order (used by `record` and `replay`).
     pub positional: Vec<String>,
 }
@@ -254,6 +277,26 @@ impl HarnessArgs {
                     }
                     out.cache_budget = Some(bytes);
                 }
+                "--disk-cache" => {
+                    out.disk_cache = Some(PathBuf::from(value(&mut it, "--disk-cache", "<dir>")?))
+                }
+                "--disk-budget" => {
+                    let bytes: u64 = number(&mut it, "--disk-budget", "<bytes>")?;
+                    if bytes == 0 {
+                        return Err(HarnessError::Args(
+                            "--disk-budget must be at least 1 byte".into(),
+                        ));
+                    }
+                    out.disk_budget = Some(bytes);
+                }
+                "--checkpoint-every" => {
+                    out.checkpoint_every = Some(number(&mut it, "--checkpoint-every", "<steps>")?)
+                }
+                "--storage-chaos" => out.storage_chaos = true,
+                "--storage-chaos-seed" => {
+                    out.storage_chaos_seed =
+                        Some(number(&mut it, "--storage-chaos-seed", "<seed>")?)
+                }
                 _ if a.starts_with("--") => return Err(unknown(&a)),
                 _ => out.positional.push(a),
             }
@@ -264,6 +307,51 @@ impl HarnessArgs {
     /// The simulator options the robustness switches select.
     pub fn sim_options(&self) -> warden_sim::SimOptions {
         self.run.sim_options()
+    }
+
+    /// The disk-tier configuration (and, under `--storage-chaos`, the
+    /// seeded storage-fault plan) these flags select. The disk-dependent
+    /// flags are rejected without `--disk-cache` — a silently ignored
+    /// durability flag would be worse than an error.
+    pub fn disk_config(
+        &self,
+    ) -> Result<(Option<DiskTierConfig>, Option<StorageFaultPlan>), HarnessError> {
+        let Some(dir) = &self.disk_cache else {
+            for (set, flag) in [
+                (self.disk_budget.is_some(), "--disk-budget"),
+                (self.checkpoint_every.is_some(), "--checkpoint-every"),
+                (self.storage_chaos, "--storage-chaos"),
+                (self.storage_chaos_seed.is_some(), "--storage-chaos-seed"),
+            ] {
+                if set {
+                    return Err(HarnessError::Args(format!(
+                        "{flag} requires --disk-cache <dir>"
+                    )));
+                }
+            }
+            return Ok((None, None));
+        };
+        let mut cfg = DiskTierConfig::at(dir.clone());
+        if let Some(bytes) = self.disk_budget {
+            cfg.budget_bytes = bytes;
+        }
+        if let Some(steps) = self.checkpoint_every {
+            cfg.checkpoint_every = steps;
+        }
+        let faults = if self.storage_chaos {
+            Some(match self.storage_chaos_seed {
+                Some(seed) => StorageFaultPlan::seeded(seed),
+                None => StorageFaultPlan::default(),
+            })
+        } else {
+            if self.storage_chaos_seed.is_some() {
+                return Err(HarnessError::Args(
+                    "--storage-chaos-seed requires --storage-chaos".into(),
+                ));
+            }
+            None
+        };
+        Ok((Some(cfg), faults))
     }
 
     /// The campaign configuration these flags select: durable under
@@ -340,6 +428,15 @@ mod tests {
             "1500",
             "--cache-budget",
             "65536",
+            "--disk-cache",
+            "tier",
+            "--disk-budget",
+            "1048576",
+            "--checkpoint-every",
+            "50000",
+            "--storage-chaos",
+            "--storage-chaos-seed",
+            "13",
             "primes",
         ])
         .unwrap();
@@ -369,6 +466,11 @@ mod tests {
         assert_eq!(a.chaos_seed, Some(42));
         assert_eq!(a.request_deadline_ms, Some(1500));
         assert_eq!(a.cache_budget, Some(65536));
+        assert_eq!(a.disk_cache.as_deref(), Some(std::path::Path::new("tier")));
+        assert_eq!(a.disk_budget, Some(1_048_576));
+        assert_eq!(a.checkpoint_every, Some(50_000));
+        assert!(a.storage_chaos);
+        assert_eq!(a.storage_chaos_seed, Some(13));
         assert_eq!(a.positional, vec!["primes".to_string()]);
 
         let cfg = a.campaign_config();
@@ -404,5 +506,46 @@ mod tests {
         assert!(parse(&["--chaos-seed", "many"]).is_err());
         assert!(parse(&["--request-deadline-ms", "0"]).is_err());
         assert!(parse(&["--cache-budget", "0"]).is_err());
+        assert!(parse(&["--disk-cache"]).is_err());
+        assert!(parse(&["--disk-budget", "0"]).is_err());
+        assert!(parse(&["--checkpoint-every", "soon"]).is_err());
+        assert!(parse(&["--storage-chaos-seed", "many"]).is_err());
+    }
+
+    #[test]
+    fn disk_flags_compose_and_orphans_are_rejected() {
+        let (cfg, faults) = parse(&[]).unwrap().disk_config().unwrap();
+        assert!(cfg.is_none() && faults.is_none());
+
+        let (cfg, faults) = parse(&[
+            "--disk-cache",
+            "tier",
+            "--disk-budget",
+            "4096",
+            "--checkpoint-every",
+            "100",
+            "--storage-chaos",
+            "--storage-chaos-seed",
+            "7",
+        ])
+        .unwrap()
+        .disk_config()
+        .unwrap();
+        let cfg = cfg.unwrap();
+        assert_eq!(cfg.dir, std::path::Path::new("tier"));
+        assert_eq!(cfg.budget_bytes, 4096);
+        assert_eq!(cfg.checkpoint_every, 100);
+        assert_eq!(faults.unwrap(), StorageFaultPlan::seeded(7));
+
+        // Disk-dependent flags without the tier are errors, not no-ops.
+        for orphan in [
+            vec!["--disk-budget", "4096"],
+            vec!["--checkpoint-every", "100"],
+            vec!["--storage-chaos"],
+            vec!["--storage-chaos-seed", "7"],
+            vec!["--disk-cache", "tier", "--storage-chaos-seed", "7"],
+        ] {
+            assert!(parse(&orphan).unwrap().disk_config().is_err(), "{orphan:?}");
+        }
     }
 }

@@ -29,6 +29,11 @@
 //! | `--chaos-seed <n>`   | seed for the deterministic fault stream (default 0xC4A05EED) |
 //! | `--request-deadline-ms <ms>` | `--spawn`: per-request deadline on the server |
 //! | `--cache-budget <bytes>`     | `--spawn`: result-cache byte budget |
+//! | `--disk-cache <dir>` | `--spawn`: crash-safe disk tier directory |
+//! | `--disk-budget <bytes>`      | `--spawn`: disk-tier byte budget |
+//! | `--checkpoint-every <steps>` | `--spawn`: steps between prefix-checkpoint frames |
+//! | `--storage-chaos`    | `--spawn`: inject seeded storage faults into the disk tier |
+//! | `--storage-chaos-seed <seed>` | seed for the storage-fault stream |
 //!
 //! With `--chaos` the same conformance suite runs through a seeded
 //! fault-injecting TCP proxy (torn frames, partial writes, byte delays,
@@ -105,6 +110,12 @@ fn run() -> Result<(), HarnessError> {
 
     let clients = args.clients.unwrap_or(8);
     let iters = args.iters.unwrap_or(6);
+    let (disk, storage_faults) = args.disk_config()?;
+    if disk.is_some() && !args.spawn {
+        return Err(HarnessError::Args(
+            "--disk-cache configures the spawned server; it requires --spawn".into(),
+        ));
+    }
     let (server, target) = if args.spawn {
         let mut opts = ServerOptions::default();
         if let Some(ms) = args.request_deadline_ms {
@@ -129,6 +140,8 @@ fn run() -> Result<(), HarnessError> {
             queue_cap: args.queue_cap.unwrap_or(16),
             record_trace: args.obs.is_some(),
             opts,
+            disk,
+            storage_faults,
             ..ServeConfig::default()
         };
         let server = Server::start(cfg).map_err(|e| HarnessError::Failed(e.to_string()))?;
@@ -214,6 +227,22 @@ fn run() -> Result<(), HarnessError> {
     println!(
         "loadgen: {} response(s), {} cache-served, {} busy retr(ies), {} mismatch(es)",
         report.responses, report.cache_hits, report.busy_retries, report.mismatches
+    );
+    let s = &report.served;
+    println!(
+        "loadgen: warm/cold split — memory {} ({} us), coalesced {} ({} us), \
+         disk {} ({} us), resume {} ({} us), full {} ({} us); hit ratio {:.1}%",
+        s.memory_hit.count,
+        s.memory_hit.mean_us(),
+        s.coalesced.count,
+        s.coalesced.mean_us(),
+        s.disk_hit.count,
+        s.disk_hit.mean_us(),
+        s.prefix_resume.count,
+        s.prefix_resume.mean_us(),
+        s.full_sim.count,
+        s.full_sim.mean_us(),
+        s.hit_ratio().unwrap_or(0.0) * 100.0
     );
     let expected = clients as u64 * iters as u64;
     if report.responses != expected {

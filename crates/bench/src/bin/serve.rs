@@ -20,6 +20,11 @@
 //! | `--queue-cap <n>`    | bounded queue capacity (default 16) |
 //! | `--request-deadline-ms <ms>` | per-request deadline (queue wait + simulation) |
 //! | `--cache-budget <bytes>`     | result-cache byte budget |
+//! | `--disk-cache <dir>` | crash-safe disk tier: results + prefix checkpoints |
+//! | `--disk-budget <bytes>`      | disk-tier byte budget |
+//! | `--checkpoint-every <steps>` | steps between prefix-checkpoint frames |
+//! | `--storage-chaos`    | inject seeded storage faults (drills only) |
+//! | `--storage-chaos-seed <seed>` | seed for the storage-fault stream |
 //! | `--obs <dir>`        | record a request timeline; write `serve.trace.json` there |
 //! | `--out <path>`       | write a final metrics JSON report |
 
@@ -48,6 +53,7 @@ fn run() -> Result<(), HarnessError> {
     if let Some(bytes) = args.cache_budget {
         opts.cache_budget_bytes = bytes;
     }
+    let (disk, storage_faults) = args.disk_config()?;
     let cfg = ServeConfig {
         tcp: match (&args.addr, &args.uds) {
             (Some(addr), _) => Some(addr.clone()),
@@ -59,13 +65,24 @@ fn run() -> Result<(), HarnessError> {
         queue_cap: args.queue_cap.unwrap_or(16),
         record_trace: args.obs.is_some(),
         opts,
+        disk,
+        storage_faults,
         ..ServeConfig::default()
     };
     let workers = cfg.workers;
     let queue_cap = cfg.queue_cap;
+    let chaos = cfg.storage_faults.is_some();
+    let disk_dir = cfg.disk.as_ref().map(|d| d.dir.clone());
     let server = Server::start(cfg).map_err(|e| HarnessError::Failed(e.to_string()))?;
     if let Some(addr) = server.tcp_addr() {
         println!("serve: listening on {addr} ({workers} workers, queue {queue_cap})");
+    }
+    if let Some(dir) = disk_dir {
+        println!(
+            "serve: disk tier at {}{}",
+            dir.display(),
+            if chaos { " (storage chaos ON)" } else { "" }
+        );
     }
     if let Some(path) = server.uds_path() {
         println!("serve: listening on {}", path.display());

@@ -19,11 +19,13 @@ use crate::error::HarnessError;
 use crate::CampaignConfig;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use warden_obs::MetricsRegistry;
 use warden_serve::SimRequest;
-use warden_serve::{outcome_digest, Client, Request, ResilientClient, Response, RetryPolicy};
+use warden_serve::{
+    outcome_digest, Client, Request, ResilientClient, Response, RetryPolicy, ServedFrom,
+};
 
 /// Where the load generator connects.
 #[derive(Clone, Debug)]
@@ -43,12 +45,124 @@ pub struct Expectation {
     pub digest: u64,
 }
 
+/// Latency aggregate for one provenance class, in microseconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyStat {
+    /// Responses observed in this class.
+    pub count: u64,
+    /// Sum of per-response latencies.
+    pub total_us: u64,
+    /// Fastest response (0 when `count == 0`).
+    pub min_us: u64,
+    /// Slowest response.
+    pub max_us: u64,
+}
+
+impl LatencyStat {
+    fn record(&mut self, us: u64) {
+        if self.count == 0 || us < self.min_us {
+            self.min_us = us;
+        }
+        if us > self.max_us {
+            self.max_us = us;
+        }
+        self.count += 1;
+        self.total_us = self.total_us.saturating_add(us);
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.total_us.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Warm-vs-cold latency split, one [`LatencyStat`] per wire-reported
+/// [`ServedFrom`] provenance class.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServedBreakdown {
+    /// Served straight from the in-memory result cache.
+    pub memory_hit: LatencyStat,
+    /// Coalesced onto another request's in-flight simulation.
+    pub coalesced: LatencyStat,
+    /// Warmed from the crash-safe disk tier.
+    pub disk_hit: LatencyStat,
+    /// Resumed from a persisted prefix checkpoint.
+    pub prefix_resume: LatencyStat,
+    /// Simulated from cycle 0.
+    pub full_sim: LatencyStat,
+}
+
+impl ServedBreakdown {
+    fn record(&mut self, served: ServedFrom, us: u64) {
+        match served {
+            ServedFrom::Memory => self.memory_hit.record(us),
+            ServedFrom::Coalesced => self.coalesced.record(us),
+            ServedFrom::Disk => self.disk_hit.record(us),
+            ServedFrom::Resumed => self.prefix_resume.record(us),
+            ServedFrom::Fresh => self.full_sim.record(us),
+        }
+    }
+
+    fn merge(&mut self, other: &ServedBreakdown) {
+        for (mine, theirs) in self.classes_mut().into_iter().zip(other.classes()) {
+            if theirs.count == 0 {
+                continue;
+            }
+            if mine.count == 0 || theirs.min_us < mine.min_us {
+                mine.min_us = theirs.min_us;
+            }
+            if theirs.max_us > mine.max_us {
+                mine.max_us = theirs.max_us;
+            }
+            mine.count += theirs.count;
+            mine.total_us = mine.total_us.saturating_add(theirs.total_us);
+        }
+    }
+
+    fn classes(&self) -> [LatencyStat; 5] {
+        [
+            self.memory_hit,
+            self.coalesced,
+            self.disk_hit,
+            self.prefix_resume,
+            self.full_sim,
+        ]
+    }
+
+    fn classes_mut(&mut self) -> [&mut LatencyStat; 5] {
+        [
+            &mut self.memory_hit,
+            &mut self.coalesced,
+            &mut self.disk_hit,
+            &mut self.prefix_resume,
+            &mut self.full_sim,
+        ]
+    }
+
+    /// Total responses across every class.
+    pub fn total(&self) -> u64 {
+        self.classes().iter().map(|s| s.count).sum()
+    }
+
+    /// Fraction of responses served without a from-scratch simulation
+    /// (memory, coalesced or disk); `None` when no responses were seen.
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let hits = self.memory_hit.count + self.coalesced.count + self.disk_hit.count;
+        Some(hits as f64 / total as f64)
+    }
+}
+
 /// What one load-generation run measured.
 #[derive(Clone, Debug, Default)]
 pub struct LoadReport {
     /// `Outcome` responses received (across all clients and retries).
     pub responses: u64,
-    /// Responses the server marked as cache-served (or coalesced).
+    /// Responses the server marked as cache-served (memory, coalesced or
+    /// disk — see [`ServedFrom::cache_hit`]).
     pub cache_hits: u64,
     /// `Busy` rejections absorbed by retrying.
     pub busy_retries: u64,
@@ -59,6 +173,11 @@ pub struct LoadReport {
     pub retries: u64,
     /// Reconnects the resilient clients performed.
     pub reconnects: u64,
+    /// Client-observed latency split by served-from provenance. Under
+    /// [`drive_resilient`] each sample times the whole resilient call,
+    /// retries and reconnects included — that is the latency a caller
+    /// actually experiences.
+    pub served: ServedBreakdown,
 }
 
 /// Compute the oracle digest for every request through the campaign
@@ -163,17 +282,19 @@ pub fn drive(
     let cache_hits = AtomicU64::new(0);
     let busy_retries = AtomicU64::new(0);
     let mismatches = AtomicU64::new(0);
-    let failures: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
+    let served_split: Mutex<ServedBreakdown> = Mutex::new(ServedBreakdown::default());
+    let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(clients.max(1));
         for client_id in 0..clients.max(1) {
             let plan = Arc::clone(&plan);
-            let (responses, cache_hits, busy_retries, mismatches, failures) = (
+            let (responses, cache_hits, busy_retries, mismatches, served_split, failures) = (
                 &responses,
                 &cache_hits,
                 &busy_retries,
                 &mismatches,
+                &served_split,
                 &failures,
             );
             handles.push(scope.spawn(move || {
@@ -187,16 +308,20 @@ pub fn drive(
                         return;
                     }
                 };
+                let mut local_split = ServedBreakdown::default();
                 for i in 0..iters {
                     let exp = &plan[(client_id + i) % plan.len()];
                     let mut busy = 0u64;
                     loop {
+                        let began = Instant::now();
                         match client.call(&Request::Simulate(exp.req)) {
-                            Ok(Response::Outcome { summary, cache_hit }) => {
+                            Ok(Response::Outcome { summary, served }) => {
+                                let us = began.elapsed().as_micros() as u64;
                                 responses.fetch_add(1, Ordering::Relaxed);
-                                if cache_hit {
+                                if served.cache_hit() {
                                     cache_hits.fetch_add(1, Ordering::Relaxed);
                                 }
+                                local_split.record(served, us);
                                 if summary.outcome_digest != exp.digest {
                                     mismatches.fetch_add(1, Ordering::Relaxed);
                                     failures.lock().expect("failures lock").push(format!(
@@ -237,6 +362,10 @@ pub fn drive(
                         }
                     }
                 }
+                served_split
+                    .lock()
+                    .expect("served lock")
+                    .merge(&local_split);
             }));
         }
         for h in handles {
@@ -264,6 +393,7 @@ pub fn drive(
         mismatches: mismatches.into_inner(),
         retries: 0,
         reconnects: 0,
+        served: served_split.into_inner().expect("served lock"),
     })
 }
 
@@ -291,18 +421,20 @@ pub fn drive_resilient(
     let mismatches = AtomicU64::new(0);
     let retries = AtomicU64::new(0);
     let reconnects = AtomicU64::new(0);
-    let failures: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
+    let served_split: Mutex<ServedBreakdown> = Mutex::new(ServedBreakdown::default());
+    let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(clients.max(1));
         for client_id in 0..clients.max(1) {
             let plan = Arc::clone(&plan);
-            let (responses, cache_hits, mismatches, retries, reconnects, failures) = (
+            let (responses, cache_hits, mismatches, retries, reconnects, served_split, failures) = (
                 &responses,
                 &cache_hits,
                 &mismatches,
                 &retries,
                 &reconnects,
+                &served_split,
                 &failures,
             );
             let policy = RetryPolicy {
@@ -323,14 +455,18 @@ pub fn drive_resilient(
                         return;
                     }
                 };
+                let mut local_split = ServedBreakdown::default();
                 for i in 0..iters {
                     let exp = &plan[(client_id + i) % plan.len()];
+                    let began = Instant::now();
                     match client.simulate(exp.req) {
-                        Ok((summary, cache_hit)) => {
+                        Ok((summary, served)) => {
+                            let us = began.elapsed().as_micros() as u64;
                             responses.fetch_add(1, Ordering::Relaxed);
-                            if cache_hit {
+                            if served.cache_hit() {
                                 cache_hits.fetch_add(1, Ordering::Relaxed);
                             }
+                            local_split.record(served, us);
                             if summary.outcome_digest != exp.digest {
                                 mismatches.fetch_add(1, Ordering::Relaxed);
                                 failures.lock().expect("failures lock").push(format!(
@@ -352,6 +488,10 @@ pub fn drive_resilient(
                         }
                     }
                 }
+                served_split
+                    .lock()
+                    .expect("served lock")
+                    .merge(&local_split);
                 retries.fetch_add(client.retries(), Ordering::Relaxed);
                 reconnects.fetch_add(client.reconnects(), Ordering::Relaxed);
             }));
@@ -381,6 +521,7 @@ pub fn drive_resilient(
         mismatches: mismatches.into_inner(),
         retries: retries.into_inner(),
         reconnects: reconnects.into_inner(),
+        served: served_split.into_inner().expect("served lock"),
     })
 }
 
@@ -408,7 +549,7 @@ pub fn metrics_json(reg: &MetricsRegistry, report: &LoadReport) -> String {
     out.push_str(&format!(
         "    \"responses\": {},\n    \"cache_hits\": {},\n    \
          \"busy_retries\": {},\n    \"mismatches\": {},\n    \
-         \"retries\": {},\n    \"reconnects\": {}\n  }},\n",
+         \"retries\": {},\n    \"reconnects\": {},\n",
         report.responses,
         report.cache_hits,
         report.busy_retries,
@@ -416,7 +557,30 @@ pub fn metrics_json(reg: &MetricsRegistry, report: &LoadReport) -> String {
         report.retries,
         report.reconnects
     ));
-    out.push_str("  \"counters\": {\n");
+    out.push_str(&format!(
+        "    \"hit_ratio\": {:.4}\n  }},\n",
+        report.served.hit_ratio().unwrap_or(0.0)
+    ));
+    out.push_str("  \"served\": {\n");
+    let classes: [(&str, &LatencyStat); 5] = [
+        ("memory_hit", &report.served.memory_hit),
+        ("coalesced", &report.served.coalesced),
+        ("disk_hit", &report.served.disk_hit),
+        ("prefix_resume", &report.served.prefix_resume),
+        ("full_sim", &report.served.full_sim),
+    ];
+    for (i, (name, s)) in classes.iter().enumerate() {
+        let comma = if i + 1 < classes.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    \"{name}\": {{\"count\": {}, \"mean_us\": {}, \
+             \"min_us\": {}, \"max_us\": {}}}{comma}\n",
+            s.count,
+            s.mean_us(),
+            s.min_us,
+            s.max_us
+        ));
+    }
+    out.push_str("  },\n  \"counters\": {\n");
     let counters = reg.counters();
     for (i, (name, v)) in counters.iter().enumerate() {
         let comma = if i + 1 < counters.len() { "," } else { "" };

@@ -7,7 +7,7 @@
 //! timeout, which a blocking socket never produces.
 
 use crate::error::ServeError;
-use crate::proto::{self, FrameEvent, OutcomeSummary, Request, Response, SimRequest};
+use crate::proto::{self, FrameEvent, OutcomeSummary, Request, Response, ServedFrom, SimRequest};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -90,18 +90,18 @@ impl<S: Read + Write> Client<S> {
     }
 
     /// Run one simulation, retrying `Busy` with a linear backoff for up to
-    /// `tries` attempts. Returns the summary and whether the cache (or a
-    /// coalesced in-flight computation) served it. `Draining`, `Error` and
-    /// exhausted retries are typed failures.
+    /// `tries` attempts. Returns the summary and its provenance (which
+    /// cache tier served it, or that it was resumed or freshly computed).
+    /// `Draining`, `Error` and exhausted retries are typed failures.
     pub fn simulate(
         &mut self,
         req: SimRequest,
         tries: usize,
-    ) -> Result<(OutcomeSummary, bool), ServeError> {
+    ) -> Result<(OutcomeSummary, ServedFrom), ServeError> {
         let mut last_busy = None;
         for attempt in 0..tries.max(1) {
             match self.call(&Request::Simulate(req))? {
-                Response::Outcome { summary, cache_hit } => return Ok((*summary, cache_hit)),
+                Response::Outcome { summary, served } => return Ok((*summary, served)),
                 Response::Busy {
                     queue_len,
                     queue_cap,
@@ -341,7 +341,10 @@ impl ResilientClient {
     /// server-side deadline rejections, within the attempt budget and the
     /// overall call deadline. Non-transient answers (`Draining`, typed
     /// `Error`s) fail immediately.
-    pub fn simulate(&mut self, req: SimRequest) -> Result<(OutcomeSummary, bool), ServeError> {
+    pub fn simulate(
+        &mut self,
+        req: SimRequest,
+    ) -> Result<(OutcomeSummary, ServedFrom), ServeError> {
         let started = Instant::now();
         let attempts = self.policy.max_attempts.max(1);
         let mut last = String::new();
@@ -351,7 +354,7 @@ impl ResilientClient {
             }
             let mut floor_ms = 0;
             match self.round_trip(&Request::Simulate(req), started) {
-                Ok(Response::Outcome { summary, cache_hit }) => return Ok((*summary, cache_hit)),
+                Ok(Response::Outcome { summary, served }) => return Ok((*summary, served)),
                 Ok(Response::Busy { retry_after_ms, .. }) => {
                     floor_ms = retry_after_ms as u64;
                     last = format!("busy (retry-after {retry_after_ms} ms)");

@@ -25,6 +25,20 @@
 //! - a **byte-budgeted cache** with cost-aware eviction (compute time ×
 //!   size; in-flight entries are never evicted) and full residency
 //!   metrics;
+//! - a **crash-safe disk tier** ([`disk::DiskTier`]) behind the memory
+//!   cache: finished results are persisted with the checkpoint module's
+//!   atomic-write + checksummed-frame discipline and survive restarts
+//!   bit-identically; an fsck-style startup scan quarantines (never
+//!   panics on) torn, corrupt or version-skewed entries; a byte budget
+//!   with cost-aware eviction bounds it;
+//! - **prefix-checkpoint resume**: long replays persist periodic engine
+//!   frames (and one on cancellation), so a repeat of interrupted work
+//!   resumes from the newest frame instead of cycle 0 — the wire reports
+//!   provenance per response ([`proto::ServedFrom`]);
+//! - an injectable **storage-fault layer** ([`storage::FaultyStorage`]):
+//!   seeded torn writes, `ENOSPC`, corrupt-on-read and crashes on either
+//!   side of the rename, under which the tier must degrade (typed counter
+//!   bumps, recompute) and never fail a request;
 //! - **slow-loris defense**: a mid-frame stall bound drops drip-feeding
 //!   connections and frees their slots ([`ServeError::Stalled`]);
 //! - a **resilient client** ([`client::ResilientClient`]) that reconnects,
@@ -45,17 +59,21 @@
 
 pub mod cache;
 pub mod client;
+pub mod disk;
 pub mod error;
 pub mod proto;
 pub mod server;
 pub mod signal;
+pub mod storage;
 
 pub use cache::{CacheStats, Computed, FlightError, SingleFlight, Source};
 pub use client::{Client, ResilientClient, RetryPolicy};
+pub use disk::{DiskBody, DiskEntry, DiskStats, DiskTier, DiskTierConfig};
 pub use error::ServeError;
 pub use proto::{
     outcome_digest, protocol_tag, summarize_outcome, ErrorKind, FrameEvent, MachinePreset,
-    MachineSpec, OutcomeSummary, Request, Response, SimRequest,
+    MachineSpec, OutcomeSummary, Request, Response, ServedFrom, SimRequest,
 };
 pub use server::{CacheKey, ServeConfig, Server, ServerOptions, ShutdownReport};
 pub use signal::{drain_requested, install_sigterm_drain};
+pub use storage::{FaultyStorage, RealStorage, Storage, StorageFaultPlan, StorageFaultStats};

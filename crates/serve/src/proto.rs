@@ -25,7 +25,14 @@ use warden_sim::{MachineConfig, SimError, SimStats};
 /// Magic bytes opening every frame.
 pub const FRAME_MAGIC: [u8; 4] = *b"WSRV";
 /// Wire-protocol version carried in every frame header.
-pub const PROTO_VERSION: u8 = 1;
+///
+/// History:
+/// * **1** — initial protocol.
+/// * **2** — [`Response::Outcome`] replaced its `cache_hit` boolean with
+///   the [`ServedFrom`] provenance tag (memory hit / coalesced / disk hit
+///   / prefix resume / full simulation). Version-1 peers are rejected with
+///   a typed `BadVersion`, never misdecoded.
+pub const PROTO_VERSION: u8 = 2;
 /// Default cap on a frame payload (requests are tiny; responses carry one
 /// statistics block — a megabyte is generous for both directions).
 pub const DEFAULT_MAX_FRAME: u64 = 1 << 20;
@@ -444,6 +451,77 @@ pub struct OutcomeSummary {
     pub outcome_digest: u64,
 }
 
+/// Where a served [`Response::Outcome`] came from — the provenance the
+/// wire carries so clients (and the load generator's warm-vs-cold latency
+/// split) can tell a cache hit from a recompute without guessing from
+/// latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ServedFrom {
+    /// The in-memory result cache.
+    Memory,
+    /// Coalesced onto a concurrent identical computation (single-flight).
+    Coalesced,
+    /// The crash-safe disk tier (a prior run — possibly a prior process —
+    /// left the finished result behind).
+    Disk,
+    /// Simulated, but resumed from a persisted checkpoint frame instead of
+    /// cycle 0.
+    Resumed,
+    /// Simulated from cycle 0.
+    Fresh,
+}
+
+impl ServedFrom {
+    /// Every variant, in wire-tag order.
+    pub const ALL: [ServedFrom; 5] = [
+        ServedFrom::Memory,
+        ServedFrom::Coalesced,
+        ServedFrom::Disk,
+        ServedFrom::Resumed,
+        ServedFrom::Fresh,
+    ];
+
+    /// Whether a cache (memory or disk) served the result without running
+    /// the simulation to completion — what version 1's `cache_hit` meant.
+    pub fn cache_hit(self) -> bool {
+        matches!(
+            self,
+            ServedFrom::Memory | ServedFrom::Coalesced | ServedFrom::Disk
+        )
+    }
+
+    /// The stable snake_case label used in metrics JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServedFrom::Memory => "memory_hit",
+            ServedFrom::Coalesced => "coalesced",
+            ServedFrom::Disk => "disk_hit",
+            ServedFrom::Resumed => "prefix_resume",
+            ServedFrom::Fresh => "full_sim",
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            ServedFrom::Memory => 0,
+            ServedFrom::Coalesced => 1,
+            ServedFrom::Disk => 2,
+            ServedFrom::Resumed => 3,
+            ServedFrom::Fresh => 4,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<ServedFrom, CodecError> {
+        ServedFrom::ALL
+            .get(tag as usize)
+            .copied()
+            .ok_or(CodecError::BadTag {
+                what: "served-from",
+                tag: tag as u64,
+            })
+    }
+}
+
 /// Why the server rejected or failed a request (carried by
 /// [`Response::Error`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -460,14 +538,14 @@ pub enum ErrorKind {
 pub enum Response {
     /// Answer to [`Request::Ping`].
     Pong,
-    /// A completed simulation. `cache_hit` is true when the result came
-    /// from the content-addressed cache (or was coalesced onto a
-    /// concurrent identical computation) instead of a fresh replay.
+    /// A completed simulation, tagged with where it was served from
+    /// (cache tier, coalesced flight, checkpoint resume, or a full
+    /// replay).
     Outcome {
         /// The digest-bearing summary (boxed: it dwarfs the other arms).
         summary: Box<OutcomeSummary>,
-        /// Whether the result cache served it.
-        cache_hit: bool,
+        /// The result's provenance.
+        served: ServedFrom,
     },
     /// Backpressure: the bounded request queue is full. Retry later.
     Busy {
@@ -523,7 +601,7 @@ impl OutcomeSummary {
         enc.bytes().len() as u64
     }
 
-    fn encode_into(&self, enc: &mut Encoder) {
+    pub(crate) fn encode_into(&self, enc: &mut Encoder) {
         enc.put_u8(protocol_tag(self.protocol));
         enc.put_str(&self.machine);
         self.stats.encode_into(enc);
@@ -532,7 +610,7 @@ impl OutcomeSummary {
         enc.put_u64(self.outcome_digest);
     }
 
-    fn decode_from(dec: &mut Decoder<'_>) -> Result<OutcomeSummary, CodecError> {
+    pub(crate) fn decode_from(dec: &mut Decoder<'_>) -> Result<OutcomeSummary, CodecError> {
         let protocol = protocol_from_tag(dec.take_u8()?)?;
         let machine = dec.take_str()?;
         let stats = SimStats::decode_from(dec)?;
@@ -556,10 +634,10 @@ impl Response {
         let mut enc = Encoder::new();
         match self {
             Response::Pong => enc.put_u8(0),
-            Response::Outcome { summary, cache_hit } => {
+            Response::Outcome { summary, served } => {
                 enc.put_u8(1);
                 summary.encode_into(&mut enc);
-                enc.put_bool(*cache_hit);
+                enc.put_u8(served.tag());
             }
             Response::Busy {
                 queue_len,
@@ -609,8 +687,8 @@ impl Response {
             0 => Response::Pong,
             1 => {
                 let summary = Box::new(OutcomeSummary::decode_from(&mut dec)?);
-                let cache_hit = dec.take_bool()?;
-                Response::Outcome { summary, cache_hit }
+                let served = ServedFrom::from_tag(dec.take_u8()?)?;
+                Response::Outcome { summary, served }
             }
             2 => Response::Busy {
                 queue_len: dec.take_u32()?,
@@ -769,6 +847,30 @@ mod tests {
             Request::decode(&bytes),
             Err(CodecError::Invalid { .. })
         ));
+    }
+
+    #[test]
+    fn served_from_tags_round_trip_and_reject_unknowns() {
+        for s in ServedFrom::ALL {
+            assert_eq!(ServedFrom::from_tag(s.tag()).unwrap(), s);
+        }
+        assert!(ServedFrom::from_tag(5).is_err());
+        assert!(ServedFrom::Memory.cache_hit());
+        assert!(ServedFrom::Coalesced.cache_hit());
+        assert!(ServedFrom::Disk.cache_hit());
+        assert!(!ServedFrom::Resumed.cache_hit());
+        assert!(!ServedFrom::Fresh.cache_hit());
+        let labels: Vec<&str> = ServedFrom::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "memory_hit",
+                "coalesced",
+                "disk_hit",
+                "prefix_resume",
+                "full_sim"
+            ]
+        );
     }
 
     #[test]

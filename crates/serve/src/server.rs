@@ -24,11 +24,14 @@
 //! only then joins the threads.
 
 use crate::cache::{CacheStats, Computed, FlightError, SingleFlight, Source};
+use crate::disk::{DiskStats, DiskTier, DiskTierConfig};
 use crate::error::ServeError;
 use crate::proto::{
     self, protocol_tag, summarize_outcome, ErrorKind, FrameEvent, OutcomeSummary, Request,
-    Response, SimRequest,
+    Response, ServedFrom, SimRequest,
 };
+use crate::storage::{FaultyStorage, RealStorage, Storage, StorageFaultPlan};
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener};
@@ -38,11 +41,12 @@ use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use warden_coherence::Protocol;
 use warden_obs::{ArgVal, AtomicGauge, Gauge, Hist, MetricsRegistry, TraceBuilder};
 use warden_pbbs::Scale;
 use warden_rt::TraceProgram;
 use warden_sim::checkpoint::options_fingerprint;
-use warden_sim::{try_simulate, CancelToken, SimError, SimOptions};
+use warden_sim::{CancelToken, MachineConfig, SimEngine, SimError, SimOptions, SimOutcome};
 
 /// The content address of one simulation result: everything that determines
 /// the outcome bytes, nothing that doesn't.
@@ -146,6 +150,15 @@ pub struct ServeConfig {
     pub cache_shards: usize,
     /// Record a Chrome trace-event timeline of every request.
     pub record_trace: bool,
+    /// The crash-safe disk tier behind the memory cache (`None` disables
+    /// it): finished results survive restarts, and periodic checkpoint
+    /// frames let an interrupted replay resume instead of restarting at
+    /// cycle 0.
+    pub disk: Option<DiskTierConfig>,
+    /// Inject seeded storage faults under the disk tier (chaos drills;
+    /// requires `disk`). The tier degrades on every injected failure —
+    /// requests are still served from memory and recompute.
+    pub storage_faults: Option<StorageFaultPlan>,
     /// Timeouts, deadline, backoff hint and cache budget.
     pub opts: ServerOptions,
 }
@@ -160,6 +173,8 @@ impl Default for ServeConfig {
             max_frame: proto::DEFAULT_MAX_FRAME,
             cache_shards: 8,
             record_trace: false,
+            disk: None,
+            storage_faults: None,
             opts: ServerOptions::default(),
         }
     }
@@ -172,6 +187,8 @@ pub struct ShutdownReport {
     pub metrics: MetricsRegistry,
     /// Final result-cache counters.
     pub cache: CacheStats,
+    /// Final disk-tier counters, when the tier was configured.
+    pub disk: Option<DiskStats>,
     /// The recorded timeline as trace-event JSON, if recording was on.
     pub trace_json: Option<String>,
 }
@@ -216,6 +233,13 @@ struct Inner {
     deadline_exceeded: AtomicU64,
     expired_in_queue: AtomicU64,
     stalled_conns: AtomicU64,
+    /// Replays resumed from a persisted checkpoint frame instead of
+    /// starting at cycle 0.
+    resumes: AtomicU64,
+    /// Replays that ran from cycle 0 to completion.
+    full_sims: AtomicU64,
+    disk: Option<Arc<DiskTier>>,
+    faults: Option<Arc<FaultyStorage>>,
     conns_live: AtomicGauge,
     trace: Option<Mutex<TraceBuilder>>,
     trace_dropped: AtomicU64,
@@ -293,6 +317,36 @@ impl Inner {
         reg.set_counter("cache_evicted_bytes", c.evicted_bytes);
         reg.set_counter("cache_resident_bytes", c.resident_bytes);
         reg.set_counter("cache_resident_peak", c.resident_peak);
+        reg.set_counter(
+            "resume_from_checkpoint",
+            self.resumes.load(Ordering::Relaxed),
+        );
+        reg.set_counter("serve_full_sims", self.full_sims.load(Ordering::Relaxed));
+        if let Some(disk) = &self.disk {
+            let d = disk.stats();
+            reg.set_counter("disk_hits", d.hits);
+            reg.set_counter("disk_misses", d.misses);
+            reg.set_counter("disk_checkpoint_hits", d.checkpoint_hits);
+            reg.set_counter("disk_checkpoints_written", d.checkpoints_written);
+            reg.set_counter("disk_writes", d.writes);
+            reg.set_counter("disk_quarantined", d.quarantined);
+            reg.set_counter("disk_evictions", d.evictions);
+            reg.set_counter("disk_evicted_bytes", d.evicted_bytes);
+            reg.set_counter("disk_resident_bytes", d.resident_bytes);
+            reg.set_counter("disk_resident_peak", d.resident_peak);
+            reg.set_counter("disk_enospc_degraded", d.enospc_degraded);
+            reg.set_counter("disk_write_errors", d.write_errors);
+            reg.set_counter("disk_read_errors", d.read_errors);
+        }
+        if let Some(faults) = &self.faults {
+            let f = faults.stats();
+            reg.set_counter("storage_faults_injected", f.injected());
+            reg.set_counter("storage_fault_torn_writes", f.torn_writes);
+            reg.set_counter("storage_fault_enospc", f.enospc);
+            reg.set_counter("storage_fault_corrupt_reads", f.corrupt_reads);
+            reg.set_counter("storage_fault_crash_before_rename", f.crash_before_rename);
+            reg.set_counter("storage_fault_crash_after_rename", f.crash_after_rename);
+        }
         reg.set_counter(
             "trace_events_dropped",
             self.trace_dropped.load(Ordering::Relaxed),
@@ -437,20 +491,22 @@ impl Inner {
             machine_fp: machine.fingerprint(),
             protocol: protocol_tag(req.protocol),
         };
+        // Set by the leader closure: whether this flight's result came off
+        // the disk tier, resumed from a checkpoint frame, or ran from
+        // cycle 0. Callers that hit the memory cache or coalesced never run
+        // the closure, so `Source` overrides it below.
+        let leader_served = Cell::new(ServedFrom::Fresh);
         let computed = self.results.get_or_compute_with(key, || {
-            match try_simulate(&trace, &machine, req.protocol, &opts) {
-                Ok(out) => Ok(Computed::Ready(Arc::new(summarize_outcome(&out)))),
-                // A cancelled leader vacates its slot: waiters coalesced on
-                // this flight loop back and retry under their own deadlines
-                // instead of inheriting this request's failure.
-                Err(SimError::Cancelled { .. }) => Ok(Computed::Cancelled),
-                Err(e) => Err(e.to_string()),
-            }
+            self.leader_compute(&key, &trace, &machine, req.protocol, &opts, &leader_served)
         });
         match computed {
             Ok((summary, source)) => Response::Outcome {
                 summary: Box::new((*summary).clone()),
-                cache_hit: source != Source::Fresh,
+                served: match source {
+                    Source::Cached => ServedFrom::Memory,
+                    Source::Coalesced => ServedFrom::Coalesced,
+                    Source::Fresh => leader_served.get(),
+                },
             },
             Err(FlightError::Cancelled) => {
                 // The connection thread already answered the client when
@@ -473,6 +529,90 @@ impl Inner {
                     msg,
                 }
             }
+        }
+    }
+
+    /// The single-flight leader's compute path, in durability order:
+    /// 1. the disk tier may hold the finished result (a prior process
+    ///    computed it — zero re-simulation);
+    /// 2. a persisted checkpoint frame may hold a prefix of the run (a
+    ///    crashed, cancelled or evicted flight got partway — resume from
+    ///    its step count instead of cycle 0);
+    /// 3. otherwise simulate from scratch.
+    ///
+    /// While a simulation runs, periodic frames (and a final frame on
+    /// cooperative cancellation) are persisted so the *next* attempt
+    /// starts where this one stopped. Every disk failure degrades to the
+    /// slower path with a typed counter bump; no request fails because
+    /// storage did.
+    fn leader_compute(
+        &self,
+        key: &CacheKey,
+        trace: &TraceProgram,
+        machine: &MachineConfig,
+        protocol: Protocol,
+        opts: &SimOptions,
+        served: &Cell<ServedFrom>,
+    ) -> Result<Computed<Arc<OutcomeSummary>>, String> {
+        if let Some(disk) = &self.disk {
+            if let Some((summary, _compute_us)) = disk.result(key) {
+                served.set(ServedFrom::Disk);
+                return Ok(Computed::Ready(Arc::new(summary)));
+            }
+        }
+        let began = Instant::now();
+        let mut engine: Option<SimEngine<'_>> = None;
+        if let Some(disk) = &self.disk {
+            if let Some((_steps, frame)) = disk.checkpoint(key) {
+                match SimEngine::resume_from_bytes(trace, machine, protocol, opts, &frame) {
+                    Ok(eng) => {
+                        served.set(ServedFrom::Resumed);
+                        self.resumes.fetch_add(1, Ordering::Relaxed);
+                        engine = Some(eng);
+                    }
+                    // The outer frame verified but the engine refused the
+                    // payload (identity mismatch from a fingerprint
+                    // collision, inner corruption): set it aside and run
+                    // from cycle 0.
+                    Err(_) => disk.quarantine_checkpoint(key),
+                }
+            }
+        }
+        let result: Result<SimOutcome, SimError> = match engine {
+            Some(eng) => self.run_framed(eng, key),
+            None => SimEngine::try_new(trace, machine, protocol, opts)
+                .and_then(|eng| self.run_framed(eng, key)),
+        };
+        match result {
+            Ok(out) => {
+                if served.get() == ServedFrom::Fresh {
+                    self.full_sims.fetch_add(1, Ordering::Relaxed);
+                }
+                let summary = summarize_outcome(&out);
+                if let Some(disk) = &self.disk {
+                    disk.put_result(key, &summary, began.elapsed().as_micros() as u64);
+                }
+                Ok(Computed::Ready(Arc::new(summary)))
+            }
+            // A cancelled leader vacates its slot: waiters coalesced on
+            // this flight loop back and retry under their own deadlines
+            // instead of inheriting this request's failure. With a disk
+            // tier, the final frame written at cancellation means the
+            // retry resumes rather than restarts.
+            Err(SimError::Cancelled { .. }) => Ok(Computed::Cancelled),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    /// Run an engine to completion, persisting periodic checkpoint frames
+    /// when the disk tier asks for them.
+    fn run_framed(&self, eng: SimEngine<'_>, key: &CacheKey) -> Result<SimOutcome, SimError> {
+        match &self.disk {
+            Some(disk) if disk.checkpoint_every() > 0 => eng
+                .run_with_cancel_frames(disk.checkpoint_every(), |steps, frame| {
+                    disk.put_checkpoint(key, steps, frame)
+                }),
+            _ => eng.run_with_cancel(),
         }
     }
 }
@@ -519,13 +659,10 @@ fn worker_loop(inner: &Inner, worker_id: u32) {
             m.queue_wait_us.add(waited_us);
             m.inflight.sub(1);
         }
-        let cache_hit = matches!(
-            &response,
-            Response::Outcome {
-                cache_hit: true,
-                ..
-            }
-        );
+        let served = match &response {
+            Response::Outcome { served, .. } => Some(*served),
+            _ => None,
+        };
         inner.trace_event(|t| {
             t.complete(
                 &format!("{}/{:?}", req.bench.name(), req.protocol),
@@ -534,7 +671,14 @@ fn worker_loop(inner: &Inner, worker_id: u32) {
                 1,
                 worker_id + 1,
                 vec![
-                    ("cache_hit".into(), ArgVal::U64(cache_hit as u64)),
+                    (
+                        "cache_hit".into(),
+                        ArgVal::U64(served.is_some_and(ServedFrom::cache_hit) as u64),
+                    ),
+                    (
+                        "served".into(),
+                        ArgVal::Str(served.map_or("rejected", ServedFrom::label).into()),
+                    ),
                     ("queue_wait_us".into(), ArgVal::U64(waited_us)),
                 ],
             )
@@ -691,6 +835,31 @@ impl Server {
             ));
         }
         cfg.opts.validate()?;
+        if cfg.storage_faults.is_some() && cfg.disk.is_none() {
+            return Err(ServeError::Config(
+                "storage-fault injection requires a disk tier to inject into".into(),
+            ));
+        }
+        if let Some(plan) = &cfg.storage_faults {
+            plan.validate().map_err(ServeError::Config)?;
+        }
+        let mut faults = None;
+        let disk = match &cfg.disk {
+            None => None,
+            Some(tier_cfg) => {
+                let storage: Arc<dyn Storage> = match cfg.storage_faults {
+                    None => Arc::new(RealStorage),
+                    Some(plan) => {
+                        let faulty = Arc::new(FaultyStorage::new(RealStorage, plan));
+                        faults = Some(Arc::clone(&faulty));
+                        faulty
+                    }
+                };
+                Some(Arc::new(
+                    DiskTier::open(tier_cfg.clone(), storage).map_err(ServeError::Config)?,
+                ))
+            }
+        };
         let trace = cfg.record_trace.then(|| {
             let mut t = TraceBuilder::new();
             t.process_name(1, "warden-serve");
@@ -730,6 +899,10 @@ impl Server {
             deadline_exceeded: AtomicU64::new(0),
             expired_in_queue: AtomicU64::new(0),
             stalled_conns: AtomicU64::new(0),
+            resumes: AtomicU64::new(0),
+            full_sims: AtomicU64::new(0),
+            disk,
+            faults,
             conns_live: AtomicGauge::new(),
             trace,
             trace_dropped: AtomicU64::new(0),
@@ -806,6 +979,11 @@ impl Server {
         self.inner.results.stats()
     }
 
+    /// Live disk-tier counters, when the tier is configured.
+    pub fn disk_stats(&self) -> Option<DiskStats> {
+        self.inner.disk.as_ref().map(|d| d.stats())
+    }
+
     /// Drain and stop: refuse new work, finish every queued job (each
     /// blocked client gets its reply), then join acceptors, workers and
     /// connection threads, in that order.
@@ -836,6 +1014,7 @@ impl Server {
         ShutdownReport {
             metrics: self.inner.metrics_snapshot(),
             cache: self.inner.results.stats(),
+            disk: self.inner.disk.as_ref().map(|d| d.stats()),
             trace_json,
         }
     }

@@ -1,0 +1,313 @@
+//! Integration drills for the crash-safe disk tier: round trips across a
+//! process "restart" (drop + reopen), fsck sweeping and quarantine,
+//! budget-driven eviction, and graceful degradation under every injected
+//! storage fault — torn writes, `ENOSPC`, corrupt reads, and crashes on
+//! either side of the rename. The invariant throughout: the tier answers
+//! hit-or-miss and bumps a typed counter; it never panics and never
+//! surfaces an error the serving path would have to turn into a failed
+//! request.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use warden_coherence::Protocol;
+use warden_serve::{
+    CacheKey, DiskTier, DiskTierConfig, FaultyStorage, OutcomeSummary, RealStorage,
+    StorageFaultPlan,
+};
+use warden_sim::SimStats;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("warden-disk-tier-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn key(tag: u64) -> CacheKey {
+    CacheKey {
+        options_fp: tag,
+        trace_fp: tag.wrapping_mul(3),
+        machine_fp: tag.wrapping_mul(5),
+        protocol: (tag % 3) as u8,
+    }
+}
+
+fn summary(tag: u64) -> OutcomeSummary {
+    OutcomeSummary {
+        protocol: Protocol::Warden,
+        machine: format!("machine-{tag}"),
+        stats: SimStats {
+            cycles: tag,
+            instructions: tag * 2,
+            ..SimStats::default()
+        },
+        memory_image_digest: tag ^ 0xABCD,
+        region_peak: tag + 7,
+        outcome_digest: tag ^ 0x5A5A,
+    }
+}
+
+fn open_real(dir: &PathBuf) -> DiskTier {
+    DiskTier::open(DiskTierConfig::at(dir), Arc::new(RealStorage)).expect("tier opens")
+}
+
+fn open_faulty(dir: &PathBuf, plan: StorageFaultPlan) -> DiskTier {
+    DiskTier::open(
+        DiskTierConfig::at(dir),
+        Arc::new(FaultyStorage::new(RealStorage, plan)),
+    )
+    .expect("tier opens")
+}
+
+/// A plan that injects nothing except the one listed fault.
+fn only(f: impl FnOnce(&mut StorageFaultPlan)) -> StorageFaultPlan {
+    let mut plan = StorageFaultPlan {
+        torn_write_prob: 0.0,
+        enospc_prob: 0.0,
+        corrupt_read_prob: 0.0,
+        crash_before_rename_prob: 0.0,
+        crash_after_rename_prob: 0.0,
+        ..StorageFaultPlan::default()
+    };
+    f(&mut plan);
+    plan
+}
+
+#[test]
+fn results_and_checkpoints_survive_a_reopen_bit_identically() {
+    let dir = scratch("reopen");
+    {
+        let tier = open_real(&dir);
+        tier.put_result(&key(1), &summary(1), 1_000);
+        tier.put_checkpoint(&key(2), 500, b"frame-bytes");
+        assert_eq!(tier.stats().writes, 2);
+    }
+    // The process is gone; a new one opens the same directory.
+    let tier = open_real(&dir);
+    assert_eq!(tier.len(), 2, "fsck admitted both entries");
+    let (summary_back, compute_us) = tier.result(&key(1)).expect("result survives");
+    assert_eq!(summary_back, summary(1));
+    assert_eq!(compute_us, 1_000);
+    let (steps, frame) = tier.checkpoint(&key(2)).expect("checkpoint survives");
+    assert_eq!((steps, frame.as_slice()), (500, &b"frame-bytes"[..]));
+    assert_eq!(tier.stats().quarantined, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_finished_result_discards_the_checkpoint_it_outran() {
+    let dir = scratch("discard");
+    let tier = open_real(&dir);
+    tier.put_checkpoint(&key(9), 100, b"prefix");
+    assert!(tier.checkpoint(&key(9)).is_some());
+    tier.put_result(&key(9), &summary(9), 42);
+    assert!(
+        tier.checkpoint(&key(9)).is_none(),
+        "the frame is a strict prefix of completed work"
+    );
+    assert!(tier.result(&key(9)).is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fsck_sweeps_orphaned_temp_files_and_quarantines_damage() {
+    let dir = scratch("fsck");
+    {
+        let tier = open_real(&dir);
+        tier.put_result(&key(1), &summary(1), 10);
+        tier.put_result(&key(2), &summary(2), 10);
+    }
+    // A crash mid-write leaves a temp orphan; bit rot truncates one entry;
+    // a stray file squats under an entry name it doesn't hash to.
+    std::fs::write(dir.join("r-0000000000000abc.ent.tmp"), b"torn").unwrap();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "ent"))
+        .collect();
+    entries.sort();
+    let victim = &entries[0];
+    let bytes = std::fs::read(victim).unwrap();
+    std::fs::write(victim, &bytes[..bytes.len() / 2]).unwrap();
+    std::fs::write(dir.join("r-00000000deadbeef.ent"), &bytes).unwrap();
+
+    let tier = open_real(&dir);
+    let stats = tier.stats();
+    assert_eq!(
+        stats.quarantined, 2,
+        "the truncated entry and the misnamed entry are set aside: {stats:?}"
+    );
+    assert_eq!(tier.len(), 1, "the intact entry is admitted");
+    assert!(
+        !dir.join("r-0000000000000abc.ent.tmp").exists(),
+        "temp orphans are swept"
+    );
+    assert!(
+        std::fs::read_dir(dir.join("quarantine")).unwrap().count() >= 2,
+        "damage is preserved as evidence, not deleted"
+    );
+    // One of the two keys still hits; the truncated one misses and is
+    // recomputed by the caller — never served wrong.
+    let hits = [key(1), key(2)]
+        .iter()
+        .filter(|k| tier.result(k).is_some())
+        .count();
+    assert_eq!(hits, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn the_byte_budget_evicts_cheapest_first_and_never_overshoots() {
+    let dir = scratch("budget");
+    let probe = {
+        let tier = open_real(&dir);
+        tier.put_result(&key(1), &summary(1), 1);
+        tier.stats().resident_bytes
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Room for roughly two entries. Insert three with ascending value:
+    // the cheapest (lowest compute time) must be the one evicted.
+    let budget = probe * 2 + probe / 2;
+    let tier = DiskTier::open(
+        DiskTierConfig {
+            budget_bytes: budget,
+            ..DiskTierConfig::at(&dir)
+        },
+        Arc::new(RealStorage),
+    )
+    .expect("tier opens");
+    tier.put_result(&key(1), &summary(1), 10);
+    tier.put_result(&key(2), &summary(2), 10_000);
+    tier.put_result(&key(3), &summary(3), 10_000_000);
+    let stats = tier.stats();
+    assert!(
+        stats.resident_bytes <= budget,
+        "residency within budget: {stats:?}"
+    );
+    assert!(stats.evictions >= 1, "{stats:?}");
+    assert!(tier.result(&key(1)).is_none(), "the cheap entry went first");
+    assert!(tier.result(&key(3)).is_some(), "the valuable entry stayed");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn enospc_degrades_with_a_typed_counter_and_keeps_serving_misses() {
+    let dir = scratch("enospc");
+    let tier = open_faulty(&dir, only(|p| p.enospc_prob = 1.0));
+    tier.put_result(&key(1), &summary(1), 10);
+    tier.put_checkpoint(&key(1), 100, b"frame");
+    let stats = tier.stats();
+    assert_eq!(stats.writes, 0, "{stats:?}");
+    assert_eq!(stats.enospc_degraded, 2, "{stats:?}");
+    assert!(tier.result(&key(1)).is_none(), "a clean miss, not an error");
+    assert!(tier.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_writes_are_caught_on_read_and_quarantined() {
+    let dir = scratch("torn");
+    let tier = open_faulty(&dir, only(|p| p.torn_write_prob = 1.0));
+    // The torn write *reports success* — exactly the lying-disk case — so
+    // the entry is indexed; the checksum catches it on first read.
+    tier.put_result(&key(1), &summary(1), 10);
+    assert_eq!(tier.stats().writes, 1);
+    assert!(tier.result(&key(1)).is_none());
+    let stats = tier.stats();
+    assert_eq!(stats.quarantined, 1, "{stats:?}");
+    assert!(tier.result(&key(1)).is_none(), "stays a miss after that");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_reads_quarantine_instead_of_serving_flipped_bits() {
+    let dir = scratch("corrupt-read");
+    let tier = open_faulty(&dir, only(|p| p.corrupt_read_prob = 1.0));
+    tier.put_result(&key(1), &summary(1), 10);
+    assert!(
+        tier.result(&key(1)).is_none(),
+        "a flipped byte can never decode"
+    );
+    assert_eq!(tier.stats().quarantined, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_crash_mid_write_never_damages_the_old_entry() {
+    let dir = scratch("crash-mid-write");
+    {
+        let tier = open_real(&dir);
+        tier.put_result(&key(1), &summary(1), 10);
+    }
+    {
+        // The process "crashes" before the rename while overwriting: the
+        // write errors, the destination keeps the OLD bytes.
+        let tier = open_faulty(&dir, only(|p| p.crash_before_rename_prob = 1.0));
+        tier.put_result(&key(1), &summary(999), 10);
+        let stats = tier.stats();
+        assert_eq!(stats.writes, 0, "{stats:?}");
+        assert_eq!(stats.write_errors, 1, "{stats:?}");
+        let (back, _) = tier.result(&key(1)).expect("old entry intact");
+        assert_eq!(back, summary(1), "never a mixture of old and new");
+    }
+    // The restart drill: reopen sweeps the orphaned temp file and still
+    // serves the old entry bit-identically.
+    let tier = open_real(&dir);
+    assert_eq!(tier.stats().quarantined, 0);
+    let (back, _) = tier.result(&key(1)).expect("old entry survives restart");
+    assert_eq!(back, summary(1));
+    assert!(std::fs::read_dir(&dir).unwrap().all(|e| !e
+        .unwrap()
+        .path()
+        .to_string_lossy()
+        .ends_with(".tmp")));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_crash_after_rename_is_already_durable() {
+    let dir = scratch("crash-after");
+    {
+        let tier = open_faulty(&dir, only(|p| p.crash_after_rename_prob = 1.0));
+        // The write lands, then the process "dies" before acknowledging:
+        // the tier counts an error, but the bytes are durable.
+        tier.put_result(&key(1), &summary(1), 10);
+        assert_eq!(tier.stats().write_errors, 1);
+    }
+    let tier = open_real(&dir);
+    let (back, _) = tier.result(&key(1)).expect("the rename made it durable");
+    assert_eq!(back, summary(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn seeded_fault_storms_never_panic_and_never_serve_wrong_bytes() {
+    for seed in 0..8u64 {
+        let dir = scratch(&format!("storm-{seed}"));
+        let plan = StorageFaultPlan {
+            torn_write_prob: 0.2,
+            enospc_prob: 0.2,
+            corrupt_read_prob: 0.2,
+            crash_before_rename_prob: 0.1,
+            crash_after_rename_prob: 0.1,
+            ..StorageFaultPlan::seeded(seed)
+        };
+        let tier = open_faulty(&dir, plan);
+        for tag in 0..32u64 {
+            tier.put_result(&key(tag), &summary(tag), tag + 1);
+            if let Some((back, _)) = tier.result(&key(tag)) {
+                assert_eq!(back, summary(tag), "a hit must be bit-identical");
+            }
+        }
+        // Reopening after the storm must also never panic, and every
+        // admitted entry must still verify.
+        drop(tier);
+        let tier = open_real(&dir);
+        for tag in 0..32u64 {
+            if let Some((back, _)) = tier.result(&key(tag)) {
+                assert_eq!(back, summary(tag));
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -41,7 +41,8 @@
 
 use crate::config::MachineConfig;
 use crate::energy::EnergyBreakdown;
-use crate::engine::{SimEngine, SimOptions, SimOutcome};
+use crate::engine::{SimEngine, SimOptions, SimOutcome, CANCEL_CHECK_EVENTS};
+use crate::error::SimError;
 use crate::obs::ObsReport;
 use crate::stats::SimStats;
 use std::fmt;
@@ -440,6 +441,55 @@ impl<'a> SimEngine<'a> {
         Ok(eng)
     }
 
+    /// Run to completion like [`SimEngine::run_with_cancel`], additionally
+    /// handing a framed snapshot to `on_frame` every `every` scheduler
+    /// steps — and once more on cooperative cancellation, so an
+    /// interrupted replay always leaves its latest progress behind for a
+    /// later identity-bound resume (`every == 0` is clamped to 1).
+    ///
+    /// `on_frame` receives the step count and the complete checkpoint
+    /// frame; what it does with them (a [`CheckpointStore`], a serving
+    /// tier's disk slot) is the caller's business, and its failures are
+    /// the caller's to swallow — this loop never stops simulating because
+    /// a snapshot could not be persisted.
+    ///
+    /// Note for observability-enabled runs: every snapshot records a
+    /// checkpoint-frame event in the run's history (see
+    /// [`SimEngine::snapshot_to_bytes`]), so a framed run's outcome digest
+    /// differs from an unframed one when `opts.obs` is set. Callers that
+    /// serve digests (the serving layer) run with observability off, where
+    /// the note is a no-op and digests are unaffected.
+    pub fn run_with_cancel_frames(
+        mut self,
+        every: u64,
+        mut on_frame: impl FnMut(u64, &[u8]),
+    ) -> Result<SimOutcome, SimError> {
+        let every = every.max(1);
+        let token = self.opts_ref().cancel.clone();
+        let mut next = self.steps().saturating_add(every);
+        loop {
+            if token.as_ref().is_some_and(|t| t.is_cancelled()) {
+                let steps = self.steps();
+                let frame = self.snapshot_to_bytes();
+                on_frame(steps, &frame);
+                return Err(SimError::Cancelled { steps });
+            }
+            let mut burst = 0u64;
+            while burst < CANCEL_CHECK_EVENTS {
+                if !self.step() {
+                    return Ok(self.finish());
+                }
+                burst += 1;
+                if self.steps() >= next {
+                    let steps = self.steps();
+                    let frame = self.snapshot_to_bytes();
+                    on_frame(steps, &frame);
+                    next = steps.saturating_add(every);
+                }
+            }
+        }
+    }
+
     /// Resume from the newest verifiable checkpoint in `store`, or return
     /// `Ok(None)` when the store holds no checkpoint (fresh start). A
     /// torn `current.ckpt` silently falls back to `prev.ckpt`.
@@ -669,6 +719,63 @@ mod tests {
         assert_eq!(out.memory_image_digest, reference.memory_image_digest);
         assert_eq!(out.energy, reference.energy);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn framed_runs_leave_resumable_frames_and_identical_outcomes() {
+        let p = sample_program();
+        let m = tiny_machine();
+        let opts = SimOptions::default();
+        let reference = simulate_with_options(&p, &m, Protocol::Warden, &opts);
+
+        // A framed run produces the same outcome as a plain one and hands
+        // out monotonically advancing frames.
+        let mut frames: Vec<(u64, Vec<u8>)> = Vec::new();
+        let eng = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        let out = eng
+            .run_with_cancel_frames(500, |steps, frame| frames.push((steps, frame.to_vec())))
+            .expect("no cancel token, must complete");
+        assert_eq!(out.stats, reference.stats);
+        assert_eq!(out.memory_image_digest, reference.memory_image_digest);
+        assert!(!frames.is_empty(), "the run must leave frames behind");
+        assert!(frames.windows(2).all(|w| w[0].0 < w[1].0));
+
+        // Every frame resumes to the bit-identical final outcome.
+        for (steps, frame) in &frames {
+            let resumed = SimEngine::resume_from_bytes(&p, &m, Protocol::Warden, &opts, frame)
+                .unwrap_or_else(|e| panic!("frame at step {steps} must resume: {e}"));
+            assert_eq!(resumed.steps(), *steps);
+            let out = resumed.run();
+            assert_eq!(out.stats, reference.stats);
+            assert_eq!(out.memory_image_digest, reference.memory_image_digest);
+        }
+
+        // A cancelled framed run still emits one final frame at the point
+        // of interruption, and that frame carries the run forward.
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let cancelled_opts = SimOptions {
+            cancel: Some(token),
+            ..SimOptions::default()
+        };
+        let mut last: Option<(u64, Vec<u8>)> = None;
+        let eng = SimEngine::new(&p, &m, Protocol::Warden, &cancelled_opts);
+        let err = eng
+            .run_with_cancel_frames(500, |steps, frame| last = Some((steps, frame.to_vec())))
+            .expect_err("pre-cancelled run must not complete");
+        assert!(matches!(err, SimError::Cancelled { .. }));
+        let (steps, frame) = last.expect("cancellation leaves a final frame");
+        let resumed =
+            SimEngine::resume_from_bytes(&p, &m, Protocol::Warden, &cancelled_opts, &frame)
+                .expect("final frame resumes");
+        assert_eq!(resumed.steps(), steps);
+        // The cancel token is excluded from the options fingerprint, so the
+        // frame also resumes under plain options — the serving layer's
+        // retry path.
+        let retried = SimEngine::resume_from_bytes(&p, &m, Protocol::Warden, &opts, &frame)
+            .expect("frame resumes under a fresh request's options")
+            .run();
+        assert_eq!(retried.stats, reference.stats);
     }
 
     #[test]

@@ -1,9 +1,12 @@
-//! Property tests of the `warden-serve` wire protocol: every request and
-//! response variant must survive encode→decode exactly; every strict
-//! prefix of a valid payload must fail with a typed [`CodecError`] (never
-//! panic, never silently decode to something else); and every strict
-//! prefix of a complete *frame* must fail [`read_frame`] with a typed
-//! error rather than yield a frame.
+//! Property tests of the `warden-serve` wire protocol and the disk tier's
+//! on-disk entry codec: every request and response variant must survive
+//! encode→decode exactly; every strict prefix of a valid payload must fail
+//! with a typed [`CodecError`] (never panic, never silently decode to
+//! something else); every strict prefix of a complete *frame* must fail
+//! [`read_frame`] with a typed error rather than yield a frame; and every
+//! truncation or byte flip of a persisted [`DiskEntry`] must decode to a
+//! typed [`CheckpointError`] — the quarantine-and-continue contract of the
+//! fsck scan.
 
 use proptest::prelude::*;
 use warden::coherence::Protocol;
@@ -12,8 +15,8 @@ use warden::obs::{Hist, MetricsRegistry};
 use warden::pbbs::{Bench, Scale};
 use warden::serve::proto::{read_frame, write_frame, DEFAULT_MAX_FRAME};
 use warden::serve::{
-    ErrorKind, FrameEvent, MachinePreset, MachineSpec, OutcomeSummary, Request, Response,
-    ServeError, SimRequest,
+    CacheKey, DiskBody, DiskEntry, ErrorKind, FrameEvent, MachinePreset, MachineSpec,
+    OutcomeSummary, Request, Response, ServeError, ServedFrom, SimRequest,
 };
 use warden::sim::SimStats;
 
@@ -138,12 +141,39 @@ fn registry() -> impl Strategy<Value = MetricsRegistry> {
         })
 }
 
+fn served_from() -> impl Strategy<Value = ServedFrom> {
+    (0usize..ServedFrom::ALL.len()).prop_map(|i| ServedFrom::ALL[i])
+}
+
+fn cache_key() -> impl Strategy<Value = CacheKey> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u8>()).prop_map(
+        |(options_fp, trace_fp, machine_fp, protocol)| CacheKey {
+            options_fp,
+            trace_fp,
+            machine_fp,
+            protocol,
+        },
+    )
+}
+
+fn disk_entry() -> impl Strategy<Value = DiskEntry> {
+    let body = prop_oneof![
+        (summary(), any::<u64>()).prop_map(|(summary, compute_us)| DiskBody::Result {
+            summary: Box::new(summary),
+            compute_us
+        }),
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..96))
+            .prop_map(|(steps, frame)| DiskBody::Checkpoint { steps, frame }),
+    ];
+    (cache_key(), body).prop_map(|(key, body)| DiskEntry { key, body })
+}
+
 fn response() -> impl Strategy<Value = Response> {
     prop_oneof![
         Just(Response::Pong),
-        (summary(), any::<bool>()).prop_map(|(summary, cache_hit)| Response::Outcome {
+        (summary(), served_from()).prop_map(|(summary, served)| Response::Outcome {
             summary: Box::new(summary),
-            cache_hit
+            served
         }),
         (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
             |(queue_len, queue_cap, retry_after_ms)| Response::Busy {
@@ -244,5 +274,42 @@ proptest! {
         // Decoding corrupted bytes may legitimately succeed (the flip can
         // be a no-op or still-valid encoding); it must simply never panic.
         let _ = Request::decode(&bytes);
+    }
+
+    #[test]
+    fn disk_entries_roundtrip_and_every_prefix_is_a_typed_error(entry in disk_entry()) {
+        let image = entry.encode();
+        prop_assert_eq!(DiskEntry::decode(&image).expect("full image decodes"), entry);
+        // The durability contract behind the fsck scan: a write torn at
+        // ANY byte boundary decodes to a typed error — quarantine and
+        // continue — never a panic, never a wrong entry.
+        for cut in 0..image.len() {
+            prop_assert!(
+                DiskEntry::decode(&image[..cut]).is_err(),
+                "a {cut}-byte prefix of a {}-byte entry decoded",
+                image.len()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_disk_entries_are_typed_errors_never_wrong_data(
+        entry in disk_entry(),
+        pos in any::<u32>(),
+        byte in any::<u8>(),
+    ) {
+        let mut image = entry.encode();
+        let i = pos as usize % image.len();
+        let original = image[i];
+        image[i] = byte;
+        match DiskEntry::decode(&image) {
+            // The whole image — header, payload and footer — is under the
+            // frame checksum, so any real flip is caught.
+            Err(_) => prop_assert_ne!(byte, original),
+            Ok(back) => {
+                prop_assert_eq!(byte, original);
+                prop_assert_eq!(back, entry);
+            }
+        }
     }
 }

@@ -8,6 +8,7 @@
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use warden::bench::loadgen::{drive, Expectation, Target};
 use warden::coherence::Protocol;
@@ -15,10 +16,20 @@ use warden::obs::validate_trace;
 use warden::pbbs::{Bench, Scale};
 use warden::serve::proto::{read_frame, write_frame, DEFAULT_MAX_FRAME};
 use warden::serve::{
-    outcome_digest, Client, FrameEvent, MachinePreset, MachineSpec, Request, ResilientClient,
-    Response, RetryPolicy, ServeConfig, Server, ServerOptions, SimRequest,
+    outcome_digest, protocol_tag, CacheKey, Client, DiskTier, DiskTierConfig, FrameEvent,
+    MachinePreset, MachineSpec, RealStorage, Request, ResilientClient, Response, RetryPolicy,
+    ServeConfig, ServedFrom, Server, ServerOptions, SimRequest, StorageFaultPlan,
 };
-use warden::sim::{simulate_with_options, SimOptions};
+use warden::sim::checkpoint::options_fingerprint;
+use warden::sim::{simulate_with_options, SimEngine, SimOptions};
+
+/// A fresh scratch directory for one durability drill.
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("warden-soak-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
 
 /// Four benchmarks × both protocols on a small dual-socket machine: the
 /// soak plan, with every expected digest computed directly.
@@ -145,9 +156,12 @@ fn backpressure_rejects_typed_then_recovers_without_leaks() {
     let busy_before = snapshot.counter("serve_busy").unwrap_or(0);
     let mut client = Client::connect(&addr).expect("connect");
     match client.call(&Request::Simulate(plan[0].req)).expect("call") {
-        Response::Outcome { summary, cache_hit } => {
+        Response::Outcome { summary, served } => {
             assert_eq!(summary.outcome_digest, plan[0].digest);
-            assert!(cache_hit, "recovered server still has the cached result");
+            assert!(
+                served.cache_hit(),
+                "recovered server still has the cached result"
+            );
         }
         other => panic!("expected an outcome after recovery, got {other:?}"),
     }
@@ -172,7 +186,7 @@ fn oversized_frames_are_rejected_typed_on_the_wire() {
     let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
     let mut raw = Vec::new();
     raw.extend_from_slice(b"WSRV");
-    raw.push(1);
+    raw.push(warden::serve::proto::PROTO_VERSION);
     raw.extend_from_slice(&(1_000_000u32).to_le_bytes());
     stream.write_all(&raw).expect("header sent");
     // Read the reply directly — the server answers TooLarge and hangs up.
@@ -450,7 +464,7 @@ fn tear_first_response_proxy(upstream: String) -> std::net::SocketAddr {
                 if let Ok(FrameEvent::Frame(_)) = read_frame(&mut up, DEFAULT_MAX_FRAME) {
                     // The server answered in full; the client gets five
                     // bytes of frame header and then a closed socket.
-                    let _ = conn.write_all(b"WSRV\x01");
+                    let _ = conn.write_all(b"WSRV\x02");
                 }
             }
             // Dropping both sockets closes the torn connection.
@@ -511,14 +525,17 @@ fn a_retried_request_is_served_from_cache_not_recomputed() {
             seed: 11,
         },
     );
-    let (summary, cache_hit) = client.simulate(req).expect("the retry must succeed");
+    let (summary, served) = client.simulate(req).expect("the retry must succeed");
 
     // The conformance core: the first attempt's computation was completed
     // and cached by the server even though its response was torn on the
     // wire, so the safe re-issue is answered from cache — same digest,
     // zero recomputation.
     assert_eq!(summary.outcome_digest, outcome_digest(&direct));
-    assert!(cache_hit, "the retried request must be served from cache");
+    assert!(
+        served.cache_hit(),
+        "the retried request must be served from cache"
+    );
     assert_eq!(client.retries(), 1, "exactly one retry absorbed the tear");
     assert_eq!(client.reconnects(), 2, "initial dial plus one re-dial");
 
@@ -526,4 +543,244 @@ fn a_retried_request_is_served_from_cache_not_recomputed() {
     assert_eq!(report.cache.misses, 1, "one simulation, not two");
     assert_eq!(report.cache.hits, 1, "the retry was a cache hit");
     assert_eq!(report.metrics.counter("serve_simulate"), Some(2));
+}
+
+#[test]
+fn restart_warm_serves_bit_identically_from_disk_without_resimulating() {
+    let dir = scratch_dir("restart-warm");
+    let plan = plan();
+
+    // Cold process: every unique key is simulated once and persisted.
+    let server = Server::start(ServeConfig {
+        tcp: Some("127.0.0.1:0".to_string()),
+        workers: 2,
+        disk: Some(DiskTierConfig::at(&dir)),
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.tcp_addr().expect("tcp bound").to_string();
+    let report = drive(&Target::Tcp(addr), &plan, 2, plan.len()).expect("cold conformance");
+    assert_eq!(report.mismatches, 0);
+    assert_eq!(report.served.full_sim.count, plan.len() as u64);
+    let down = server.shutdown();
+    let disk = down.disk.expect("disk tier enabled");
+    assert!(
+        disk.writes >= plan.len() as u64,
+        "every result must be persisted: {disk:?}"
+    );
+
+    // "Restarted" process on the same directory: the same mix must be
+    // served bit-identically (drive checks every digest against the
+    // oracle) with ZERO re-simulations — each unique key warms from disk
+    // once, repeats hit memory.
+    let server = Server::start(ServeConfig {
+        tcp: Some("127.0.0.1:0".to_string()),
+        workers: 2,
+        disk: Some(DiskTierConfig::at(&dir)),
+        ..ServeConfig::default()
+    })
+    .expect("server restarts on the populated directory");
+    let addr = server.tcp_addr().expect("tcp bound").to_string();
+    let report = drive(&Target::Tcp(addr), &plan, 2, plan.len()).expect("warm conformance");
+    assert_eq!(report.mismatches, 0);
+    assert_eq!(
+        report.served.full_sim.count, 0,
+        "a warm restart must not re-simulate: {:?}",
+        report.served
+    );
+    assert_eq!(report.served.prefix_resume.count, 0);
+    assert_eq!(
+        report.served.disk_hit.count,
+        plan.len() as u64,
+        "one disk warm-up per unique key"
+    );
+    let down = server.shutdown();
+    assert_eq!(down.metrics.counter("serve_full_sims"), Some(0));
+    assert_eq!(
+        down.metrics.counter("disk_hits"),
+        Some(plan.len() as u64),
+        "the wire metrics agree with the client-side split"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_prefix_sharing_request_resumes_from_a_persisted_checkpoint() {
+    let dir = scratch_dir("prefix-resume");
+    let req = SimRequest {
+        bench: Bench::Tokens,
+        scale: Scale::Tiny,
+        machine: MachineSpec::new(MachinePreset::DualSocket).with_cores(2),
+        protocol: Protocol::Warden,
+        check: false,
+    };
+    let program = Bench::Tokens.build(Scale::Tiny);
+    let resolved = req.machine.to_machine().expect("valid machine");
+    let opts = SimOptions::default();
+    let direct = simulate_with_options(&program, &resolved, Protocol::Warden, &opts);
+
+    // Run a prefix of the same replay directly and persist its frame
+    // through the tier — byte-for-byte what an interrupted leader leaves
+    // behind (the serving path's options differ only by the cancel token,
+    // which the options fingerprint deliberately excludes).
+    let mut eng = SimEngine::try_new(&program, &resolved, Protocol::Warden, &opts).expect("engine");
+    for _ in 0..500 {
+        if !eng.step() {
+            break;
+        }
+    }
+    let steps = eng.steps();
+    let frame = eng.snapshot_to_bytes();
+    let key = CacheKey {
+        options_fp: options_fingerprint(&opts),
+        trace_fp: program.fingerprint(),
+        machine_fp: resolved.fingerprint(),
+        protocol: protocol_tag(Protocol::Warden),
+    };
+    {
+        let tier =
+            DiskTier::open(DiskTierConfig::at(&dir), Arc::new(RealStorage)).expect("tier opens");
+        tier.put_checkpoint(&key, steps, &frame);
+        assert_eq!(tier.stats().checkpoints_written, 1);
+    }
+
+    let server = Server::start(ServeConfig {
+        tcp: Some("127.0.0.1:0".to_string()),
+        disk: Some(DiskTierConfig::at(&dir)),
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.tcp_addr().expect("tcp bound").to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    match client.call(&Request::Simulate(req)).expect("reply") {
+        Response::Outcome { summary, served } => {
+            assert_eq!(
+                summary.outcome_digest,
+                outcome_digest(&direct),
+                "a resumed run must land on the full run's digest"
+            );
+            assert_eq!(served, ServedFrom::Resumed, "provenance is on the wire");
+        }
+        other => panic!("expected an outcome, got {other:?}"),
+    }
+    drop(client);
+    let report = server.shutdown();
+    assert_eq!(report.metrics.counter("resume_from_checkpoint"), Some(1));
+    assert_eq!(
+        report.metrics.counter("serve_full_sims"),
+        Some(0),
+        "the checkpoint spared the from-scratch replay"
+    );
+    let disk = report.disk.expect("disk tier enabled");
+    assert_eq!(disk.checkpoint_hits, 1, "{disk:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_full_disk_degrades_to_memory_serving_and_never_fails_a_request() {
+    let dir = scratch_dir("enospc");
+    let plan = plan();
+    let server = Server::start(ServeConfig {
+        tcp: Some("127.0.0.1:0".to_string()),
+        workers: 2,
+        disk: Some(DiskTierConfig::at(&dir)),
+        storage_faults: Some(StorageFaultPlan {
+            torn_write_prob: 0.0,
+            enospc_prob: 1.0,
+            corrupt_read_prob: 0.0,
+            crash_before_rename_prob: 0.0,
+            crash_after_rename_prob: 0.0,
+            ..StorageFaultPlan::default()
+        }),
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.tcp_addr().expect("tcp bound").to_string();
+
+    // Every write hits ENOSPC, yet every request is answered correctly:
+    // the memory cache and recompute carry the load.
+    let report = drive(&Target::Tcp(addr), &plan, 4, plan.len()).expect("no failed requests");
+    assert_eq!(report.mismatches, 0);
+    assert_eq!(report.responses, 4 * plan.len() as u64);
+
+    let down = server.shutdown();
+    assert_eq!(down.metrics.counter("serve_internal_error"), Some(0));
+    let disk = down.disk.expect("disk tier enabled");
+    assert_eq!(disk.writes, 0, "nothing lands on a full disk: {disk:?}");
+    assert_eq!(
+        disk.enospc_degraded,
+        plan.len() as u64,
+        "each unique key's persist attempt degraded, typed: {disk:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_disk_entries_are_quarantined_and_recomputed_never_served() {
+    let dir = scratch_dir("quarantine");
+    let exp = plan().remove(0);
+
+    // Populate one result entry.
+    let server = Server::start(ServeConfig {
+        tcp: Some("127.0.0.1:0".to_string()),
+        disk: Some(DiskTierConfig::at(&dir)),
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.tcp_addr().expect("tcp bound").to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    match client.call(&Request::Simulate(exp.req)).expect("reply") {
+        Response::Outcome { summary, .. } => assert_eq!(summary.outcome_digest, exp.digest),
+        other => panic!("expected an outcome, got {other:?}"),
+    }
+    drop(client);
+    server.shutdown();
+
+    // Flip one byte in the middle of every persisted entry.
+    let mut flipped = 0usize;
+    for entry in std::fs::read_dir(&dir).expect("read dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "ent") {
+            let mut bytes = std::fs::read(&path).expect("entry bytes");
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            std::fs::write(&path, &bytes).expect("corrupt entry");
+            flipped += 1;
+        }
+    }
+    assert!(
+        flipped > 0,
+        "the first server must have persisted its result"
+    );
+
+    // Restart: fsck sets the damage aside (never panics, never trusts
+    // it), and the request is recomputed from scratch — still correct.
+    let server = Server::start(ServeConfig {
+        tcp: Some("127.0.0.1:0".to_string()),
+        disk: Some(DiskTierConfig::at(&dir)),
+        ..ServeConfig::default()
+    })
+    .expect("fsck never refuses to start over damage");
+    let addr = server.tcp_addr().expect("tcp bound").to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    match client.call(&Request::Simulate(exp.req)).expect("reply") {
+        Response::Outcome { summary, served } => {
+            assert_eq!(summary.outcome_digest, exp.digest);
+            assert_eq!(served, ServedFrom::Fresh, "corrupt bytes are never served");
+        }
+        other => panic!("expected an outcome, got {other:?}"),
+    }
+    drop(client);
+    let report = server.shutdown();
+    let disk = report.disk.expect("disk tier enabled");
+    assert!(disk.quarantined >= 1, "fsck counted the damage: {disk:?}");
+    assert_eq!(disk.hits, 0, "a quarantined entry cannot hit: {disk:?}");
+    let evidence = std::fs::read_dir(dir.join("quarantine"))
+        .expect("quarantine dir")
+        .count();
+    assert!(
+        evidence >= 1,
+        "the damaged entry was set aside, not deleted"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
