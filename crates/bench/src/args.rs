@@ -10,6 +10,7 @@
 //! | `--scale tiny\|paper`  | input scale (default `paper`) |
 //! | `--check`              | run the coherence invariant checker |
 //! | `--faults <seed>`      | inject the benign seeded fault plan |
+//! | `--lanes <n>`          | sharded event lanes (bit-identical to sequential) |
 //! | `--markdown <path>`    | `all_figures`: also write the report as markdown |
 //! | `--obs <dir>`          | record observability; export traces + epoch tables here |
 //! | `--campaign-dir <dir>` | durable campaign state (resume after a crash) |
@@ -64,6 +65,7 @@ pub const VALID_FLAGS: &[&str] = &[
     "--faults <seed>",
     "--iters <n>",
     "--jobs <n>",
+    "--lanes <n>",
     "--markdown <path>",
     "--obs <dir>",
     "--out <path>",
@@ -206,6 +208,13 @@ impl HarnessArgs {
                     };
                 }
                 "--faults" => out.run.faults = Some(number(&mut it, "--faults", "<seed>")?),
+                "--lanes" => {
+                    let n: usize = number(&mut it, "--lanes", "<n>")?;
+                    if n == 0 {
+                        return Err(HarnessError::Args("--lanes must be at least 1".into()));
+                    }
+                    out.run.lanes = n;
+                }
                 "--markdown" => {
                     out.markdown = Some(PathBuf::from(value(&mut it, "--markdown", "<path>")?))
                 }
@@ -397,6 +406,8 @@ mod tests {
             "--check",
             "--faults",
             "7",
+            "--lanes",
+            "4",
             "--markdown",
             "out.md",
             "--obs",
@@ -443,6 +454,7 @@ mod tests {
         assert_eq!(a.scale, SuiteScale::Tiny);
         assert!(a.run.check);
         assert_eq!(a.run.faults, Some(7));
+        assert_eq!(a.run.lanes, 4);
         assert_eq!(a.markdown.as_deref(), Some(std::path::Path::new("out.md")));
         assert_eq!(a.obs.as_deref(), Some(std::path::Path::new("obs.out")));
         assert!(a.run.obs, "--obs also turns on recording");
@@ -497,6 +509,7 @@ mod tests {
         assert!(parse(&["--scale"]).is_err());
         assert!(parse(&["--faults", "xyz"]).is_err());
         assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--lanes", "0"]).is_err());
         assert!(parse(&["--deadline-ms"]).is_err());
         assert!(parse(&["--retries", "-1"]).is_err());
         assert!(parse(&["--clients", "0"]).is_err());

@@ -442,7 +442,7 @@ pub fn drive_resilient(
                 ..policy.clone()
             };
             handles.push(scope.spawn(move || {
-                let mut client = match target {
+                let built = match target {
                     Target::Tcp(addr) => ResilientClient::tcp(addr.clone(), policy),
                     #[cfg(unix)]
                     Target::Uds(path) => ResilientClient::uds(path.clone(), policy),
@@ -452,6 +452,16 @@ pub fn drive_resilient(
                             "client {client_id}: Unix sockets unavailable ({})",
                             path.display()
                         ));
+                        return;
+                    }
+                };
+                let mut client = match built {
+                    Ok(client) => client,
+                    Err(e) => {
+                        failures
+                            .lock()
+                            .expect("failures lock")
+                            .push(format!("client {client_id}: invalid retry policy: {e}"));
                         return;
                     }
                 };

@@ -62,5 +62,5 @@ pub use obs::{decode_events, encode_events, EventSink, ProtocolEvent};
 pub use region::{AddRegion, RegionId, RegionStore};
 pub use state::{DirState, LlcLine, PrivLine, PrivState, Protocol};
 pub use stats::CoherenceStats;
-pub use system::{AccessKind, CacheConfig, CoherenceSystem, DirKind};
+pub use system::{AccessKind, CacheConfig, CoherenceSystem, DirKind, LocalHit};
 pub use topo::{CoreId, LatencyModel, SocketId, Topology};

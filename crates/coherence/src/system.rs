@@ -110,6 +110,24 @@ pub enum AccessKind {
     Rmw,
 }
 
+/// Which private-hierarchy level served a lane-local access.
+///
+/// This is the boundary of the engine's lane partition (see
+/// `warden-sim`'s `lanes` module): accesses that resolve entirely inside
+/// one core's private hierarchy are *lane-local* — they touch no
+/// directory set, no LLC slice and no other core's cache, so event lanes
+/// may order them freely between the directory transactions the merge
+/// serializes. Everything that falls through to the directory is a
+/// *merge-mediated* transaction and executes in canonical
+/// `(clock, core, seq)` order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LocalHit {
+    /// Served by the L1 presence filter at `lat.l1`.
+    L1,
+    /// Served by the private L2 at `lat.l2` (the L1 is refilled).
+    L2,
+}
+
 /// One core's private cache hierarchy. The L1 is a presence/recency filter
 /// over the authoritative L2 lines (inclusive), which keeps a single copy of
 /// coherence state per core while still classifying L1 vs L2 hit latency.
@@ -135,6 +153,52 @@ impl PrivateCache {
             (true, false) => 1,
             (false, _) => 0,
         }
+    }
+
+    /// The lane-local half of a load: serve `block` from the private
+    /// hierarchy if present, refilling the L1 on an L2 hit. Returns `None`
+    /// — with the hierarchy untouched — when the access needs a directory
+    /// transaction.
+    fn try_local_load(&mut self, block: BlockAddr) -> Option<LocalHit> {
+        if self.l1.get(block).is_some() {
+            debug_assert!(self.l2.peek(block).is_some());
+            return Some(LocalHit::L1);
+        }
+        if self.l2.get(block).is_some() {
+            self.l1.insert(block, ());
+            return Some(LocalHit::L2);
+        }
+        None
+    }
+
+    /// The lane-local half of a store: apply `val` in place when the L2
+    /// holds `block` in a writable (M/E/W) state, marking the written
+    /// sectors dirty and promoting the line in the L1. Returns `None` when
+    /// the write needs a directory transaction (miss, or a read-only copy
+    /// needing an upgrade — the latter still refreshes the line's L2
+    /// recency, exactly as the historical inline path did).
+    fn try_local_store(
+        &mut self,
+        block: BlockAddr,
+        offset: u64,
+        val: WriteVal<'_>,
+        sector_bytes: u64,
+    ) -> Option<LocalHit> {
+        let l1_slot = self.l1.locate(block);
+        let line = self.l2.get_mut(block)?;
+        if !line.state.writable() {
+            return None;
+        }
+        line.state = PrivState::Modified;
+        val.apply(&mut line.data, offset);
+        let (ms, ml) = sector_range(sector_bytes, offset, val.len());
+        line.mask.set_range(ms, ml);
+        if let Some(slot) = l1_slot {
+            self.l1.touch(slot); // LRU promote, no rescan
+            return Some(LocalHit::L1);
+        }
+        self.l1.insert(block, ());
+        Some(LocalHit::L2)
     }
 }
 
@@ -1232,6 +1296,49 @@ impl CoherenceSystem {
         Ok(())
     }
 
+    /// Classify — without mutating any state — whether a demand access by
+    /// `core` at `addr` would be served lane-locally by the private
+    /// hierarchy, and at which level.
+    ///
+    /// This is the partition predicate of the sharded engine's event
+    /// lanes: `Some(_)` accesses touch only `core`'s own L1/L2 (no
+    /// directory set, no LLC slice, no other core), `None` accesses are
+    /// directory transactions that the deterministic merge must serialize
+    /// in canonical `(clock, core, seq)` order. RMWs always classify as
+    /// `None`: they are performed coherently even on a private copy (the
+    /// region store is consulted first), so they are never lane-local.
+    ///
+    /// The prediction is exact for the machine's *current* state: a
+    /// subsequent directory transaction may of course invalidate the copy
+    /// it relies on, which is precisely why lanes may only run local
+    /// accesses between merge points.
+    pub fn classify_private(&self, core: CoreId, kind: AccessKind, addr: Addr) -> Option<LocalHit> {
+        let block = addr.block();
+        let pc = &self.cores[core];
+        match kind {
+            AccessKind::Load => {
+                if pc.l1.peek(block).is_some() {
+                    Some(LocalHit::L1)
+                } else if pc.l2.peek(block).is_some() {
+                    Some(LocalHit::L2)
+                } else {
+                    None
+                }
+            }
+            AccessKind::Store => match pc.l2.peek(block) {
+                Some(line) if line.state.writable() => {
+                    if pc.l1.peek(block).is_some() {
+                        Some(LocalHit::L1)
+                    } else {
+                        Some(LocalHit::L2)
+                    }
+                }
+                _ => None,
+            },
+            AccessKind::Rmw => None,
+        }
+    }
+
     /// A load of `size` bytes at `addr`. Returns latency in cycles.
     ///
     /// # Panics
@@ -1249,19 +1356,19 @@ impl CoherenceSystem {
     }
 
     fn load_inner(&mut self, core: CoreId, block: BlockAddr) -> u64 {
-        // L1 fast path.
-        if self.cores[core].l1.get(block).is_some() {
-            debug_assert!(self.cores[core].l2.peek(block).is_some());
-            self.stats.l1_hits += 1;
-            return self.lat.l1;
+        // Lane-local fast path: private hierarchy only.
+        match self.cores[core].try_local_load(block) {
+            Some(LocalHit::L1) => {
+                self.stats.l1_hits += 1;
+                self.lat.l1
+            }
+            Some(LocalHit::L2) => {
+                self.stats.l2_hits += 1;
+                self.lat.l2
+            }
+            // Merge-mediated directory transaction.
+            None => self.get_shared(core, block),
         }
-        // L2 path.
-        if self.cores[core].l2.get(block).is_some() {
-            self.stats.l2_hits += 1;
-            self.cores[core].l1.insert(block, ());
-            return self.lat.l2;
-        }
-        self.get_shared(core, block)
     }
 
     /// A store of `data` at `addr`. Returns the completion latency in
@@ -1286,25 +1393,19 @@ impl CoherenceSystem {
         let block = addr.block();
         let offset = addr.block_offset();
         let sector_bytes = self.sector_bytes;
-        // Writable hit in the private hierarchy?
-        let l1_slot = self.cores[core].l1.locate(block);
-        if let Some(line) = self.cores[core].l2.get_mut(block) {
-            if line.state.writable() {
-                line.state = PrivState::Modified;
-                val.apply(&mut line.data, offset);
-                let (ms, ml) = sector_range(sector_bytes, offset, val.len());
-                line.mask.set_range(ms, ml);
-                if let Some(slot) = l1_slot {
-                    self.cores[core].l1.touch(slot); // LRU promote, no rescan
-                    self.stats.l1_hits += 1;
-                    return self.lat.l1;
-                }
-                self.cores[core].l1.insert(block, ());
-                self.stats.l2_hits += 1;
-                return self.lat.l2;
+        // Lane-local fast path: writable hit in the private hierarchy.
+        match self.cores[core].try_local_store(block, offset, val, sector_bytes) {
+            Some(LocalHit::L1) => {
+                self.stats.l1_hits += 1;
+                self.lat.l1
             }
+            Some(LocalHit::L2) => {
+                self.stats.l2_hits += 1;
+                self.lat.l2
+            }
+            // Merge-mediated directory transaction.
+            None => self.get_modified(core, block, offset, val, false),
         }
-        self.get_modified(core, block, offset, val, false)
     }
 
     /// An atomic read-modify-write writing `data` at `addr`.

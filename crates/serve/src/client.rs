@@ -142,8 +142,11 @@ impl<S: Read + Write> Client<S> {
 pub struct RetryPolicy {
     /// Total attempts per call (first try included). At least 1.
     pub max_attempts: u32,
-    /// Backoff before retry `n` is `base_backoff × 2ⁿ`, jittered down by
-    /// up to half, capped at [`RetryPolicy::max_backoff`].
+    /// Backoff before retry `n` is `base_backoff × 2ⁿ`, capped at
+    /// [`RetryPolicy::max_backoff`], clamped to at least one millisecond,
+    /// then jittered uniformly over `[exp/2, exp]` of that clamped value.
+    /// The clamp is what keeps a zero (or sub-millisecond) base from
+    /// degenerating into a hot spin of back-to-back retries.
     pub base_backoff: Duration,
     /// Upper bound on one backoff sleep.
     pub max_backoff: Duration,
@@ -168,6 +171,33 @@ impl Default for RetryPolicy {
             frame_stall: Duration::from_secs(2),
             seed: 0x9e37_79b9_7f4a_7c15,
         }
+    }
+}
+
+impl RetryPolicy {
+    /// Reject policies that cannot make progress. Called by the
+    /// [`ResilientClient`] constructors, so a nonsensical policy fails
+    /// loudly at build time instead of mid-retry-storm.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        let bad = |msg: String| Err(ServeError::Config(msg));
+        if self.max_attempts == 0 {
+            return bad("retry policy: max_attempts must be at least 1".into());
+        }
+        if self.max_backoff < self.base_backoff {
+            return bad(format!(
+                "retry policy: max_backoff ({:?}) must be >= base_backoff ({:?})",
+                self.max_backoff, self.base_backoff
+            ));
+        }
+        if self.frame_stall.is_zero() {
+            return bad("retry policy: frame_stall must be positive".into());
+        }
+        if let Some(d) = self.call_deadline {
+            if d.is_zero() {
+                return bad("retry policy: call_deadline, when set, must be positive".into());
+            }
+        }
+        Ok(())
     }
 }
 
@@ -201,20 +231,31 @@ pub struct ResilientClient {
 const POLL_TICK: Duration = Duration::from_millis(25);
 
 impl ResilientClient {
-    /// A client for a TCP endpoint. Does not dial until the first call.
-    pub fn tcp(addr: impl Into<String>, policy: RetryPolicy) -> ResilientClient {
+    /// A client for a TCP endpoint. Validates the policy, but does not
+    /// dial until the first call.
+    pub fn tcp(
+        addr: impl Into<String>,
+        policy: RetryPolicy,
+    ) -> Result<ResilientClient, ServeError> {
         ResilientClient::over_endpoint(Endpoint::Tcp(addr.into()), policy)
     }
 
-    /// A client for a Unix-socket endpoint. Does not dial until the first
-    /// call.
+    /// A client for a Unix-socket endpoint. Validates the policy, but does
+    /// not dial until the first call.
     #[cfg(unix)]
-    pub fn uds(path: impl Into<std::path::PathBuf>, policy: RetryPolicy) -> ResilientClient {
+    pub fn uds(
+        path: impl Into<std::path::PathBuf>,
+        policy: RetryPolicy,
+    ) -> Result<ResilientClient, ServeError> {
         ResilientClient::over_endpoint(Endpoint::Uds(path.into()), policy)
     }
 
-    fn over_endpoint(endpoint: Endpoint, policy: RetryPolicy) -> ResilientClient {
-        ResilientClient {
+    fn over_endpoint(
+        endpoint: Endpoint,
+        policy: RetryPolicy,
+    ) -> Result<ResilientClient, ServeError> {
+        policy.validate()?;
+        Ok(ResilientClient {
             endpoint,
             max_frame: proto::DEFAULT_MAX_FRAME,
             rng: policy.seed | 1,
@@ -222,7 +263,7 @@ impl ResilientClient {
             conn: None,
             reconnects: 0,
             retries: 0,
-        }
+        })
     }
 
     /// Override the frame size cap (must match the server's).
@@ -251,16 +292,21 @@ impl ResilientClient {
         x.wrapping_mul(0x2545_f491_4f6c_dd1d)
     }
 
-    /// Backoff for retry `attempt` (0-based), jittered down by up to half,
-    /// floored at the server's latest retry-after hint.
+    /// Backoff for retry `attempt` (0-based): `base_backoff × 2^attempt`
+    /// capped at `max_backoff`, clamped to ≥1 ms, jittered uniformly over
+    /// `[exp/2, exp]`, then floored at the server's latest retry-after
+    /// hint. The clamp happens before the jitter: a zero or
+    /// sub-millisecond base truncates `exp_ms` to 0, and without it every
+    /// retry would sleep 0 ms and hot-spin against the server.
     fn backoff(&mut self, attempt: u32, floor_ms: u64) -> Duration {
         let exp = self
             .policy
             .base_backoff
             .saturating_mul(1u32 << attempt.min(16))
             .min(self.policy.max_backoff);
-        let exp_ms = exp.as_millis() as u64;
-        let jittered = exp_ms / 2 + self.next_rand() % (exp_ms / 2 + 1);
+        let exp_ms = (exp.as_millis() as u64).max(1);
+        let lo = exp_ms - exp_ms / 2;
+        let jittered = lo + self.next_rand() % (exp_ms - lo + 1);
         Duration::from_millis(jittered.max(floor_ms))
     }
 
@@ -411,5 +457,191 @@ impl ResilientClient {
                 "metrics answered with {other:?}"
             ))),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{MachinePreset, MachineSpec};
+    use warden_coherence::Protocol;
+    use warden_pbbs::{Bench, Scale};
+
+    fn client_with(policy: RetryPolicy) -> ResilientClient {
+        // The endpoint is never dialed by the backoff tests.
+        ResilientClient::tcp("127.0.0.1:1", policy).expect("valid policy")
+    }
+
+    #[test]
+    fn backoff_stays_within_half_to_full_exponential() {
+        let base = 10u64;
+        let mut c = client_with(RetryPolicy {
+            base_backoff: Duration::from_millis(base),
+            seed: 0xFEED,
+            ..RetryPolicy::default()
+        });
+        for attempt in 0..10u32 {
+            let exp = (base << attempt.min(16)).min(500);
+            let lo = exp - exp / 2;
+            for _ in 0..100 {
+                let b = c.backoff(attempt, 0).as_millis() as u64;
+                assert!(
+                    (lo..=exp).contains(&b),
+                    "attempt {attempt}: backoff {b} ms outside [{lo}, {exp}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_per_seed() {
+        let policy = RetryPolicy {
+            seed: 42,
+            ..RetryPolicy::default()
+        };
+        let mut a = client_with(policy.clone());
+        let mut b = client_with(policy);
+        for attempt in 0..6 {
+            assert_eq!(a.backoff(attempt, 0), b.backoff(attempt, 0));
+        }
+    }
+
+    #[test]
+    fn zero_base_backoff_still_sleeps_at_least_one_millisecond() {
+        // Regression: `exp_ms` used to truncate to 0 for a zero or
+        // sub-millisecond base, making every retry sleep 0 ms (a hot
+        // spin). The clamp guarantees ≥1 ms before jittering.
+        for base in [
+            Duration::ZERO,
+            Duration::from_micros(1),
+            Duration::from_micros(900),
+        ] {
+            let mut c = client_with(RetryPolicy {
+                base_backoff: base,
+                max_backoff: Duration::from_millis(500),
+                seed: 7,
+                ..RetryPolicy::default()
+            });
+            for attempt in 0..8 {
+                let b = c.backoff(attempt, 0);
+                assert!(
+                    b >= Duration::from_millis(1),
+                    "base {base:?}, attempt {attempt}: backoff {b:?} is a hot spin"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn busy_hint_floors_the_backoff() {
+        let mut c = client_with(RetryPolicy {
+            base_backoff: Duration::from_millis(2),
+            seed: 3,
+            ..RetryPolicy::default()
+        });
+        for _ in 0..50 {
+            assert!(c.backoff(0, 40) >= Duration::from_millis(40));
+        }
+    }
+
+    #[test]
+    fn nonsensical_policies_are_rejected_at_construction() {
+        let cases = [
+            RetryPolicy {
+                max_attempts: 0,
+                ..RetryPolicy::default()
+            },
+            RetryPolicy {
+                base_backoff: Duration::from_millis(100),
+                max_backoff: Duration::from_millis(10),
+                ..RetryPolicy::default()
+            },
+            RetryPolicy {
+                frame_stall: Duration::ZERO,
+                ..RetryPolicy::default()
+            },
+            RetryPolicy {
+                call_deadline: Some(Duration::ZERO),
+                ..RetryPolicy::default()
+            },
+        ];
+        for policy in cases {
+            let err = ResilientClient::tcp("127.0.0.1:1", policy.clone())
+                .err()
+                .unwrap_or_else(|| panic!("policy {policy:?} must be rejected"));
+            assert!(matches!(err, ServeError::Config(_)));
+        }
+        // A zero base is VALID (the backoff clamp handles it); only an
+        // inconsistent max/base pair is not.
+        assert!(RetryPolicy {
+            base_backoff: Duration::ZERO,
+            ..RetryPolicy::default()
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn zero_base_retry_storm_takes_real_wall_time() {
+        // A server that always answers Busy with no retry-after hint, the
+        // worst case for the old bug: floor 0 + zero base = 0 ms sleeps,
+        // i.e. the whole retry budget burned in a busy loop. With the
+        // clamp, 6 attempts must spend ≥6 ms asleep.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        std::thread::spawn(move || {
+            if let Ok((mut stream, _)) = listener.accept() {
+                loop {
+                    match proto::read_frame(&mut stream, proto::DEFAULT_MAX_FRAME) {
+                        Ok(FrameEvent::Frame(_)) => {
+                            let busy = Response::Busy {
+                                queue_len: 1,
+                                queue_cap: 1,
+                                retry_after_ms: 0,
+                            };
+                            if proto::write_frame(
+                                &mut stream,
+                                &busy.encode(),
+                                proto::DEFAULT_MAX_FRAME,
+                            )
+                            .is_err()
+                            {
+                                return;
+                            }
+                        }
+                        _ => return,
+                    }
+                }
+            }
+        });
+
+        let attempts = 6u32;
+        let mut client = ResilientClient::tcp(
+            addr,
+            RetryPolicy {
+                max_attempts: attempts,
+                base_backoff: Duration::ZERO,
+                max_backoff: Duration::ZERO,
+                call_deadline: None,
+                frame_stall: Duration::from_secs(2),
+                seed: 5,
+            },
+        )
+        .expect("valid policy");
+        let req = SimRequest {
+            bench: Bench::Fib,
+            scale: Scale::Tiny,
+            machine: MachineSpec::new(MachinePreset::DualSocket).with_cores(2),
+            protocol: Protocol::Warden,
+            check: false,
+        };
+        let started = Instant::now();
+        let err = client.simulate(req).expect_err("server only says Busy");
+        let elapsed = started.elapsed();
+        assert!(matches!(err, ServeError::RetriesExhausted { .. }));
+        assert!(
+            elapsed >= Duration::from_millis(attempts as u64),
+            "retry storm completed in {elapsed:?} — backoff sleeps collapsed to zero"
+        );
     }
 }

@@ -16,9 +16,11 @@
 //! The injected faults are chosen to exercise the tier's whole recovery
 //! surface:
 //!
-//! - a **torn write** leaves a strict prefix at the destination and reports
-//!   success — only the checksummed entry frame can catch it, on the next
-//!   read (quarantine, recompute);
+//! - a **torn write** leaves a non-empty strict prefix at the destination
+//!   and reports success — only the checksummed entry frame can catch it,
+//!   on the next read (quarantine, recompute). Payloads shorter than two
+//!   bytes have no such prefix, so they are written cleanly and never
+//!   counted as torn;
 //! - **`ENOSPC`** surfaces as the real `os error 28`, so the tier's
 //!   degradation path is tested against exactly what a full disk returns;
 //! - **corrupt-on-read** flips one seeded byte in an otherwise intact
@@ -106,12 +108,14 @@ impl Storage for RealStorage {
 pub struct StorageFaultPlan {
     /// Seed for the fault stream; the same seed replays the same faults.
     pub seed: u64,
-    /// A write leaves a strict prefix at the destination and reports
-    /// success.
+    /// A write leaves a non-empty strict prefix at the destination and
+    /// reports success. Payloads shorter than two bytes have no such
+    /// prefix; they are written cleanly and not counted.
     pub torn_write_prob: f64,
     /// A write fails with the real `ENOSPC` (os error 28).
     pub enospc_prob: f64,
-    /// A read returns the file with one seeded byte flipped.
+    /// A read returns the file with one seeded byte flipped; empty files
+    /// pass through untouched and are not counted.
     pub corrupt_read_prob: f64,
     /// A write crashes before the rename: a complete temporary file is
     /// left behind, the destination is untouched, and the write fails.
@@ -285,14 +289,19 @@ impl Storage for FaultyStorage {
         let roll = self.unit();
         let p = &self.plan;
         let mut bound = p.torn_write_prob;
-        if roll < bound && !bytes.is_empty() {
+        if roll < bound {
             // A torn write: a strict prefix lands at the destination and
             // the write "succeeds". Only the entry frame's checksum can
-            // catch this, on the next read.
-            let cut = 1 + (self.draw() % bytes.len() as u64) as usize;
-            let cut = cut.min(bytes.len().saturating_sub(1)).max(1);
-            self.torn_writes.fetch_add(1, Ordering::Relaxed);
-            return self.inner.write_atomic(path, &bytes[..cut]);
+            // catch this, on the next read. A payload needs at least two
+            // bytes to have a non-empty strict prefix — shorter ones fall
+            // through to a clean write, because "tearing" them would write
+            // the complete payload while the counter claimed a fault.
+            if bytes.len() >= 2 {
+                let cut = 1 + (self.draw() % (bytes.len() as u64 - 1)) as usize;
+                self.torn_writes.fetch_add(1, Ordering::Relaxed);
+                return self.inner.write_atomic(path, &bytes[..cut]);
+            }
+            return self.inner.write_atomic(path, bytes);
         }
         bound += p.enospc_prob;
         if roll < bound {
@@ -385,6 +394,81 @@ mod tests {
         assert!(got.len() < payload.len() && !got.is_empty());
         assert_eq!(got, payload[..got.len()]);
         assert_eq!(s.stats().torn_writes, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tiny_payloads_are_never_falsely_torn() {
+        // Regression: a 1-byte payload used to "tear" into `cut = 1`,
+        // writing the complete payload while still incrementing
+        // `torn_writes` — a fault counter lying about a fault that never
+        // happened. Short payloads must now fall through to a clean write.
+        let dir = scratch("tiny");
+        let plan = StorageFaultPlan {
+            seed: 9,
+            torn_write_prob: 1.0,
+            enospc_prob: 0.0,
+            corrupt_read_prob: 0.0,
+            crash_before_rename_prob: 0.0,
+            crash_after_rename_prob: 0.0,
+        };
+        let s = FaultyStorage::new(RealStorage, plan);
+        for i in 0..16 {
+            let path = dir.join(format!("one-{i}.bin"));
+            s.write_atomic(&path, &[0xAB]).expect("clean write");
+            assert_eq!(std::fs::read(&path).unwrap(), vec![0xAB], "payload intact");
+        }
+        s.write_atomic(&dir.join("empty.bin"), b"")
+            .expect("clean write");
+        assert_eq!(std::fs::read(dir.join("empty.bin")).unwrap(), b"");
+        assert_eq!(
+            s.stats().torn_writes,
+            0,
+            "no torn write actually happened, so none may be counted"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_counted_tear_leaves_a_genuinely_truncated_file() {
+        // The complementary invariant: whenever `torn_writes` does tick,
+        // the file on disk really is a non-empty strict prefix.
+        let dir = scratch("tear-audit");
+        let plan = StorageFaultPlan {
+            seed: 0xBEEF,
+            torn_write_prob: 1.0,
+            enospc_prob: 0.0,
+            corrupt_read_prob: 0.0,
+            crash_before_rename_prob: 0.0,
+            crash_after_rename_prob: 0.0,
+        };
+        let s = FaultyStorage::new(RealStorage, plan);
+        let mut counted = 0u64;
+        for size in 1..=32usize {
+            let path = dir.join(format!("p{size}.bin"));
+            let payload: Vec<u8> = (0..size as u8).collect();
+            s.write_atomic(&path, &payload)
+                .expect("write reports success");
+            let before = counted;
+            counted = s.stats().torn_writes;
+            let got = std::fs::read(&path).unwrap();
+            if counted > before {
+                assert!(
+                    !got.is_empty() && got.len() < payload.len(),
+                    "size {size}: counted tear must truncate (got {} of {} bytes)",
+                    got.len(),
+                    payload.len()
+                );
+                assert_eq!(got, payload[..got.len()], "prefix must match");
+            } else {
+                assert_eq!(got, payload, "uncounted write must be complete");
+            }
+        }
+        assert_eq!(
+            s.stats().torn_writes,
+            31,
+            "every payload of ≥2 bytes tears under probability 1, 1-byte never"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

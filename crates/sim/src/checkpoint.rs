@@ -68,7 +68,15 @@ pub const MAGIC: [u8; 8] = *b"WARDCKPT";
 ///   the coherence payload its undrained event buffer), outcome records the
 ///   optional observability report, and the options fingerprint covers
 ///   [`SimOptions::obs`]. Older files are rejected, not misdecoded.
-pub const VERSION: u32 = 3;
+/// * **4** — engine state records the event-lane count the frame was
+///   written under. Informational only: the merged event order is
+///   canonical regardless of sharding, so a frame written at any
+///   [`SimOptions::lanes`] resumes bit-identically at any other, and the
+///   lane count is deliberately **not** part of the options fingerprint
+///   (like the cancel token, it is an execution-strategy knob, not part of
+///   the computation's identity). Older files are rejected, not
+///   misdecoded.
+pub const VERSION: u32 = 4;
 
 const HEADER_LEN: usize = 8 + 4 + 8;
 const FOOTER_LEN: usize = 8;
@@ -329,6 +337,13 @@ fn protocol_from_tag(tag: u8) -> Result<Protocol, CodecError> {
 /// and fault plan) — everything besides the program, machine and protocol
 /// that affects a replay. Checkpoints and the campaign runner's result
 /// records both embed this value to bind saved state to its inputs.
+///
+/// [`SimOptions::cancel`] and [`SimOptions::lanes`] are deliberately
+/// excluded: both are execution-strategy knobs that leave the replay's
+/// event order, statistics and memory images bit-identical, so the same
+/// simulation requested with a different token or lane count is the same
+/// content-addressed computation (and a checkpoint written at one lane
+/// count resumes at any other).
 pub fn options_fingerprint(opts: &SimOptions) -> u64 {
     let mut enc = Encoder::new();
     let e = &opts.energy;
@@ -572,6 +587,10 @@ pub fn decode_outcome(bytes: &[u8]) -> Result<SimOutcome, CheckpointError> {
         region_peak,
         violations,
         obs,
+        // Like `ObsReport`'s host-side span profile, the lane report is
+        // transient diagnostics: it is not serialized, so a decoded
+        // outcome compares equal across lane counts.
+        lane_report: None,
     })
 }
 

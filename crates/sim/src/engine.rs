@@ -19,6 +19,7 @@ use crate::config::MachineConfig;
 use crate::energy::{energy_of, EnergyBreakdown, EnergyParams};
 use crate::error::SimError;
 use crate::faults::{FaultInjector, FaultPlan};
+use crate::lanes::{LaneReport, LaneSet};
 use crate::obs::{timed, ObsRecorder, ObsReport};
 use crate::stats::SimStats;
 use rand::rngs::SmallRng;
@@ -26,7 +27,7 @@ use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
-use warden_coherence::{CoherenceSystem, InvariantViolation, Protocol, RegionId};
+use warden_coherence::{AccessKind, CoherenceSystem, InvariantViolation, Protocol, RegionId};
 use warden_mem::codec::{CodecError, Decoder, Encoder};
 use warden_mem::Memory;
 use warden_rt::{Event, TaskId, TraceProgram};
@@ -56,6 +57,12 @@ pub struct SimOutcome {
     /// was set): cycle-stamped event timeline, per-epoch summaries, latency
     /// histograms and the Perfetto exporter.
     pub obs: Option<ObsReport>,
+    /// Per-lane accounting of a laned run (always `None` unless
+    /// [`SimOptions::lanes`] requested more than one lane). Diagnostic
+    /// only: the report is not part of [`SimOutcome::stats`] and is never
+    /// serialized, so statistics, digests and observability reports stay
+    /// bit-identical across lane counts.
+    pub lane_report: Option<LaneReport>,
 }
 
 /// Options for [`simulate_with_options`].
@@ -82,6 +89,18 @@ pub struct SimOptions {
     /// simulation requested with different tokens is the same
     /// content-addressed computation — and it is never checkpointed.
     pub cancel: Option<CancelToken>,
+    /// Event lanes: shard the scheduler's core selection into this many
+    /// per-socket [`LaneSet`](crate::LaneSet) lanes merged in canonical
+    /// `(clock, core, seq)` order. `0` and `1` both mean the plain
+    /// sequential scan; values above the core count clamp down. Laned runs
+    /// are **bit-identical** to sequential runs — same statistics, memory
+    /// digests and observability reports — which the lane-determinism CI
+    /// gate asserts across the whole benchmark suite. Like `cancel`, the
+    /// lane count is an execution-strategy knob, not part of the options
+    /// fingerprint: the same simulation at any lane count is the same
+    /// content-addressed computation, and checkpoints resume across
+    /// differing lane counts.
+    pub lanes: usize,
 }
 
 /// Scheduler steps between polls of the cancellation token in
@@ -190,6 +209,9 @@ pub struct SimEngine<'a> {
     completed: usize,
     makespan: u64,
     steps: u64,
+    /// Sharded core selection (`None` when running the plain sequential
+    /// scan, i.e. [`SimOptions::lanes`] `<= 1`).
+    lane_set: Option<LaneSet>,
 }
 
 impl fmt::Debug for SimEngine<'_> {
@@ -262,6 +284,8 @@ impl<'a> SimEngine<'a> {
         };
         cores[0].current = Some(0); // root starts on core 0
 
+        let lane_set = (opts.lanes > 1).then(|| LaneSet::new(machine.topo, opts.lanes));
+
         SimEngine {
             program,
             machine,
@@ -278,6 +302,7 @@ impl<'a> SimEngine<'a> {
             completed: 0,
             makespan: 0,
             steps: 0,
+            lane_set,
         }
     }
 
@@ -379,10 +404,28 @@ impl<'a> SimEngine<'a> {
         let machine = self.machine;
         let ncores = self.cores.len();
 
-        // Pick the core with the smallest clock (ties: lowest id).
-        let cid = (0..ncores)
-            .min_by_key(|&i| (self.cores[i].clock, i))
-            .expect("at least one core");
+        // Pick the core with the smallest clock (ties: lowest id) —
+        // either by the plain sequential scan or, when lanes are on, by
+        // the sharded per-lane frontiers merged in canonical
+        // `(clock, core, seq)` order. Both compute the same argmin, so
+        // laned runs replay the identical event order.
+        let cid = match self.lane_set.as_mut() {
+            Some(ls) => {
+                let cores = &self.cores;
+                let cid = ls.pick(|i| cores[i].clock);
+                debug_assert_eq!(
+                    cid,
+                    (0..ncores)
+                        .min_by_key(|&i| (cores[i].clock, i))
+                        .expect("at least one core"),
+                    "laned merge diverged from the canonical sequential order"
+                );
+                cid
+            }
+            None => (0..ncores)
+                .min_by_key(|&i| (self.cores[i].clock, i))
+                .expect("at least one core"),
+        };
 
         let Some(task) = self.cores[cid].current else {
             acquire_work(
@@ -427,6 +470,12 @@ impl<'a> SimEngine<'a> {
         // stay untouched when recording is off.
         let mut obs_access: Option<u64> = None;
         let mut obs_fault_extra = 0u64;
+        // Lane accounting: whether this step's access was served
+        // lane-locally by the issuing core's private hierarchy (classified
+        // *before* the access mutates cache state). Only evaluated when
+        // lanes are on; purely diagnostic either way.
+        let laned = self.lane_set.is_some();
+        let mut lane_local = false;
         match ev {
             Event::Compute { amount } => {
                 let c = machine.compute_cycles(*amount);
@@ -436,6 +485,9 @@ impl<'a> SimEngine<'a> {
             }
             Event::Load { addr, size } => {
                 drain_store_buffer(core);
+                if laned {
+                    lane_local = coh.classify_private(cid, AccessKind::Load, *addr).is_some();
+                }
                 let lat = timed(recorder, "access.load", || {
                     coh.load(cid, *addr, *size as u64)
                 });
@@ -460,6 +512,11 @@ impl<'a> SimEngine<'a> {
                         stats.store_stall_cycles += t - core.clock;
                         core.clock = t;
                     }
+                }
+                if laned {
+                    lane_local = coh
+                        .classify_private(cid, AccessKind::Store, *addr)
+                        .is_some();
                 }
                 let bytes = val.to_le_bytes();
                 let lat = timed(recorder, "access.store", || {
@@ -562,6 +619,11 @@ impl<'a> SimEngine<'a> {
             }
             rec.drain(&mut self.coh, clock, cid);
         }
+        if lane_local {
+            if let Some(ls) = self.lane_set.as_mut() {
+                ls.note_local(cid);
+            }
+        }
         self.makespan = self.makespan.max(self.cores[cid].clock);
     }
 
@@ -614,6 +676,7 @@ impl<'a> SimEngine<'a> {
             region_peak,
             violations,
             obs,
+            lane_report: self.lane_set.as_ref().map(LaneSet::report),
         }
     }
 
@@ -625,6 +688,13 @@ impl<'a> SimEngine<'a> {
         enc.put_u64(self.makespan);
         enc.put_u64(self.steps);
         enc.put_u64(self.rng.state());
+        // The lane count that produced this frame (format version 4).
+        // Informational only: the merged event order is canonical, so a
+        // frame written at any lane count resumes at any other — the
+        // restoring engine keeps its own lanes and rebuilds their
+        // frontiers from the restored clocks. Per-lane accounting is not
+        // persisted; a resumed run's lane report covers the resumed part.
+        enc.put_usize(self.lane_set.as_ref().map_or(1, LaneSet::num_lanes));
 
         enc.put_usize(self.cores.len());
         for core in &self.cores {
@@ -701,6 +771,19 @@ impl<'a> SimEngine<'a> {
         let makespan = dec.take_u64()?;
         let steps = dec.take_u64()?;
         let rng_state = dec.take_u64()?;
+        // Lane count the frame was written under — informational (see
+        // `encode_state`); sanity-checked but otherwise ignored, so a
+        // frame resumes under any lane count.
+        let frame_lanes = dec.take_usize()?;
+        if frame_lanes == 0 || frame_lanes > self.cores.len() {
+            return Err(invalid(
+                "engine",
+                format!(
+                    "{frame_lanes} lanes, machine has {} cores",
+                    self.cores.len()
+                ),
+            ));
+        }
 
         let ncores = dec.take_usize()?;
         if ncores != self.cores.len() {
@@ -817,6 +900,11 @@ impl<'a> SimEngine<'a> {
         self.tasks = tasks;
         self.regions = regions;
         self.stats = stats;
+        if let Some(ls) = self.lane_set.as_mut() {
+            // The restored clocks moved behind the lane set's back.
+            let cores = &self.cores;
+            ls.rebuild(|i| cores[i].clock);
+        }
         Ok(())
     }
 }

@@ -1,0 +1,350 @@
+//! Sharded event lanes: per-socket partitions of the core set that each
+//! advance their own cores' event frontier, merged through an explicit
+//! deterministic comparator.
+//!
+//! The sequential engine picks, at every scheduler step, the core with the
+//! smallest `(clock, id)` by scanning all cores. A [`LaneSet`] shards that
+//! selection: cores are partitioned into contiguous, socket-aligned lanes,
+//! each lane caches the [`MergeKey`] of its own minimum core, and the merge
+//! picks the smallest lane frontier. Because one scheduler step advances
+//! exactly one core's clock, only that core's lane frontier goes stale —
+//! the next pick refreshes just that lane (`O(cores_per_lane + lanes)`
+//! instead of `O(ncores)`) and the merged order is *bit-identical to the
+//! sequential scan by construction*: both compute the argmin of the same
+//! key over the same set, the lanes merely shard the scan.
+//!
+//! Lane-local work versus merge-mediated work is accounted per lane (see
+//! [`LaneReport`]): private-hierarchy hits touch only the issuing core's
+//! L1/L2, while directory transactions are cross-shard coherence messages
+//! that the merge serializes in canonical [`MergeKey`] order. The
+//! accounting is observational — it never alters the schedule — so every
+//! lane count replays the same canonical event order, which is what the
+//! lane-determinism CI gate and the lane-count property tests assert.
+
+use warden_coherence::Topology;
+
+/// The canonical merge order of the sharded engine: cross-shard work is
+/// serialized by `(clock, core, seq)`, compared lexicographically in that
+/// field order (the derived `Ord` on the struct's declaration order).
+///
+/// * `clock` — the issuing core's local clock at the instruction boundary.
+/// * `core` — the core id; breaks clock ties deterministically (lowest id
+///   first, exactly the sequential engine's tie rule).
+/// * `seq` — the issuing core's scheduler-step counter. Two keys from the
+///   same core always differ in `seq`, so back-to-back zero-cost steps of
+///   one core (which share `clock` *and* `core`) still carry their program
+///   order into the merge explicitly rather than by convention.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MergeKey {
+    /// Local clock of the issuing core, in cycles.
+    pub clock: u64,
+    /// Issuing core id.
+    pub core: u32,
+    /// Scheduler steps the issuing core has already executed.
+    pub seq: u64,
+}
+
+/// One lane: a contiguous span of cores and the cached merge key of its
+/// minimum core.
+#[derive(Clone, Debug)]
+struct Lane {
+    /// Core ids `start..end` owned by this lane (never empty).
+    start: u32,
+    end: u32,
+    /// Cached `min` of [`MergeKey`] over the lane's cores. Exact whenever
+    /// the lane is not the stale one: clocks only change for the executed
+    /// core, and `seq` only changes for executed cores too.
+    frontier: MergeKey,
+    /// Scheduler steps executed by this lane's cores.
+    events: u64,
+    /// Of those, steps whose memory access was served lane-locally by the
+    /// issuing core's private hierarchy (no directory transaction).
+    local_events: u64,
+}
+
+/// Per-lane accounting of a laned run, surfaced on
+/// [`SimOutcome::lane_report`](crate::SimOutcome::lane_report).
+///
+/// The report is diagnostic output only: it is **not** part of the
+/// simulation statistics, is never checkpointed, and never feeds back into
+/// the schedule — statistics, memory images and observability reports stay
+/// bit-identical across lane counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LaneReport {
+    /// One entry per lane, in lane order.
+    pub lanes: Vec<LaneStats>,
+    /// Total merge decisions (equals the run's scheduler steps).
+    pub merges: u64,
+    /// Merges that picked a different lane than the previous merge — the
+    /// number of times the merged order crossed a shard boundary.
+    pub lane_switches: u64,
+}
+
+/// Accounting for a single lane of a [`LaneReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LaneStats {
+    /// First core id owned by the lane.
+    pub first_core: u32,
+    /// Number of cores owned by the lane.
+    pub num_cores: u32,
+    /// Scheduler steps executed by the lane's cores.
+    pub events: u64,
+    /// Steps whose memory access was served lane-locally by the issuing
+    /// core's private hierarchy (subset of `events`).
+    pub local_events: u64,
+}
+
+/// The sharded selection state of a laned engine: the core partition, the
+/// cached per-lane frontiers and the merge accounting.
+#[derive(Clone, Debug)]
+pub struct LaneSet {
+    lanes: Vec<Lane>,
+    /// Per-core scheduler-step counters (the `seq` of [`MergeKey`]).
+    seq: Vec<u64>,
+    /// Lane whose frontier is stale because its core executed last pick.
+    stale: Option<u32>,
+    /// Lane picked by the previous merge.
+    last_lane: Option<u32>,
+    merges: u64,
+    lane_switches: u64,
+}
+
+impl LaneSet {
+    /// Partition `ncores` cores of `topo` into `requested` contiguous
+    /// lanes (clamped to `1..=ncores`).
+    ///
+    /// Lane boundaries come from the balanced split `i * ncores / lanes`,
+    /// which coincides with socket boundaries whenever the lane count
+    /// divides the socket count or vice versa — in particular
+    /// `requested == topo.num_sockets()` yields exactly one lane per
+    /// socket, the natural sharding of a multi-socket directory.
+    ///
+    /// Frontiers start at clock 0; call [`Self::rebuild`] after restoring
+    /// core clocks from a checkpoint.
+    pub fn new(topo: Topology, requested: usize) -> LaneSet {
+        let ncores = topo.num_cores();
+        let nlanes = requested.clamp(1, ncores);
+        let lanes = (0..nlanes)
+            .map(|i| {
+                let start = (i * ncores / nlanes) as u32;
+                let end = ((i + 1) * ncores / nlanes) as u32;
+                Lane {
+                    start,
+                    end,
+                    frontier: MergeKey {
+                        clock: 0,
+                        core: start,
+                        seq: 0,
+                    },
+                    events: 0,
+                    local_events: 0,
+                }
+            })
+            .collect();
+        LaneSet {
+            lanes,
+            seq: vec![0; ncores],
+            stale: None,
+            last_lane: None,
+            merges: 0,
+            lane_switches: 0,
+        }
+    }
+
+    /// Number of lanes.
+    pub fn num_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Recompute every lane frontier from scratch. Needed exactly when
+    /// core clocks changed behind the set's back — i.e. after a checkpoint
+    /// restore. `clock_of(core)` must return the core's current clock.
+    pub fn rebuild(&mut self, clock_of: impl Fn(usize) -> u64) {
+        for l in 0..self.lanes.len() {
+            self.refresh(l, &clock_of);
+        }
+        self.stale = None;
+    }
+
+    /// The merge: pick the core the engine must step next.
+    ///
+    /// Refreshes the one stale lane (the lane of the previously picked
+    /// core — the only lane whose frontier can have moved) and returns the
+    /// core of the smallest lane frontier. This is the argmin of
+    /// [`MergeKey`] over all cores, computed shard-by-shard; the engine
+    /// asserts it equals the sequential scan in debug builds.
+    pub fn pick(&mut self, clock_of: impl Fn(usize) -> u64) -> usize {
+        if let Some(l) = self.stale.take() {
+            self.refresh(l as usize, &clock_of);
+        }
+        let (best, _) = self
+            .lanes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, lane)| lane.frontier)
+            .expect("lane set is never empty");
+        let core = self.lanes[best].frontier.core as usize;
+        self.lanes[best].events += 1;
+        self.merges += 1;
+        if let Some(prev) = self.last_lane {
+            if prev != best as u32 {
+                self.lane_switches += 1;
+            }
+        }
+        self.last_lane = Some(best as u32);
+        self.stale = Some(best as u32);
+        self.seq[core] += 1;
+        core
+    }
+
+    /// Record that the step just executed for `core` was served
+    /// lane-locally by the private hierarchy (purely diagnostic).
+    pub fn note_local(&mut self, core: usize) {
+        let l = self.lane_of(core);
+        self.lanes[l].local_events += 1;
+    }
+
+    /// Produce the per-lane accounting of the run so far.
+    pub fn report(&self) -> LaneReport {
+        LaneReport {
+            lanes: self
+                .lanes
+                .iter()
+                .map(|l| LaneStats {
+                    first_core: l.start,
+                    num_cores: l.end - l.start,
+                    events: l.events,
+                    local_events: l.local_events,
+                })
+                .collect(),
+            merges: self.merges,
+            lane_switches: self.lane_switches,
+        }
+    }
+
+    fn lane_of(&self, core: usize) -> usize {
+        self.lanes
+            .partition_point(|l| (l.end as usize) <= core)
+            .min(self.lanes.len() - 1)
+    }
+
+    fn refresh(&mut self, l: usize, clock_of: &impl Fn(usize) -> u64) {
+        let lane = &mut self.lanes[l];
+        let mut best = MergeKey {
+            clock: clock_of(lane.start as usize),
+            core: lane.start,
+            seq: self.seq[lane.start as usize],
+        };
+        for c in lane.start + 1..lane.end {
+            let key = MergeKey {
+                clock: clock_of(c as usize),
+                core: c,
+                seq: self.seq[c as usize],
+            };
+            if key < best {
+                best = key;
+            }
+        }
+        lane.frontier = best;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spans(set: &LaneSet) -> Vec<(u32, u32)> {
+        set.lanes.iter().map(|l| (l.start, l.end)).collect()
+    }
+
+    #[test]
+    fn partition_is_contiguous_and_balanced() {
+        let topo = Topology::new(2, 4);
+        assert_eq!(spans(&LaneSet::new(topo, 1)), vec![(0, 8)]);
+        assert_eq!(spans(&LaneSet::new(topo, 2)), vec![(0, 4), (4, 8)]);
+        assert_eq!(
+            spans(&LaneSet::new(topo, 4)),
+            vec![(0, 2), (2, 4), (4, 6), (6, 8)]
+        );
+        // Uneven split stays contiguous and covers every core once.
+        let set = LaneSet::new(Topology::new(1, 7), 3);
+        assert_eq!(spans(&set), vec![(0, 2), (2, 4), (4, 7)]);
+    }
+
+    #[test]
+    fn lane_count_per_socket_aligns_with_socket_boundaries() {
+        let topo = Topology::new(4, 3);
+        let set = LaneSet::new(topo, 4);
+        for (i, &(start, end)) in spans(&set).iter().enumerate() {
+            assert_eq!(topo.socket_of(start as usize), i);
+            assert_eq!(topo.socket_of((end - 1) as usize), i);
+        }
+    }
+
+    #[test]
+    fn requested_lanes_clamp_to_core_count() {
+        let topo = Topology::new(1, 4);
+        assert_eq!(LaneSet::new(topo, 0).num_lanes(), 1);
+        assert_eq!(LaneSet::new(topo, 99).num_lanes(), 4);
+    }
+
+    #[test]
+    fn merge_key_orders_by_clock_then_core_then_seq() {
+        let k = |clock, core, seq| MergeKey { clock, core, seq };
+        assert!(k(1, 9, 9) < k(2, 0, 0));
+        assert!(k(5, 1, 9) < k(5, 2, 0));
+        assert!(k(5, 3, 1) < k(5, 3, 2));
+    }
+
+    /// The sharded pick must match the sequential argmin on an arbitrary
+    /// clock evolution where only the picked core's clock advances.
+    #[test]
+    fn pick_matches_sequential_argmin() {
+        let topo = Topology::new(2, 4);
+        let ncores = topo.num_cores();
+        for nlanes in [1usize, 2, 3, 4, 8] {
+            let mut set = LaneSet::new(topo, nlanes);
+            let mut clocks = vec![0u64; ncores];
+            // Deterministic pseudo-random increments (LCG), including
+            // zero-cost steps so `seq` ties get exercised.
+            let mut x = 0x9e3779b97f4a7c15u64;
+            for _ in 0..10_000 {
+                let expect = (0..ncores).min_by_key(|&i| (clocks[i], i)).expect("cores");
+                let got = set.pick(|i| clocks[i]);
+                assert_eq!(got, expect, "lanes={nlanes}");
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                clocks[got] += (x >> 59) % 7; // 0..=6, often 0
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_restores_frontiers_after_external_clock_change() {
+        let topo = Topology::new(2, 2);
+        let mut set = LaneSet::new(topo, 2);
+        let clocks = [40u64, 10, 30, 20];
+        set.rebuild(|i| clocks[i]);
+        assert_eq!(set.pick(|i| clocks[i]), 1);
+    }
+
+    #[test]
+    fn report_accounts_events_per_lane() {
+        let topo = Topology::new(2, 2);
+        let mut set = LaneSet::new(topo, 2);
+        let mut clocks = [0u64; 4];
+        for _ in 0..8 {
+            let c = set.pick(|i| clocks[i]);
+            set.note_local(c);
+            clocks[c] += 1;
+        }
+        let report = set.report();
+        assert_eq!(report.merges, 8);
+        assert_eq!(report.lanes.len(), 2);
+        assert_eq!(report.lanes.iter().map(|l| l.events).sum::<u64>(), 8);
+        assert_eq!(report.lanes.iter().map(|l| l.local_events).sum::<u64>(), 8);
+        // Round-robin over equal clocks crosses the shard boundary often.
+        assert!(report.lane_switches > 0);
+    }
+}

@@ -123,6 +123,7 @@ mod tests {
             region_peak: 0,
             violations: Vec::new(),
             obs: None,
+            lane_report: None,
         }
     }
 

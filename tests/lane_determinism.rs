@@ -1,0 +1,238 @@
+//! Lane determinism: a laned replay (sharded per-socket core selection
+//! merged in canonical `(clock, core, seq)` order) must be **bit-identical**
+//! to the sequential engine — same memory digests, same statistics, same
+//! observability epoch tables — at every lane count, on benchmark traces
+//! and on random fork-join programs, and checkpoints must resume across
+//! differing lane counts.
+
+use proptest::prelude::*;
+use warden::pbbs::{Bench, Scale};
+use warden::prelude::*;
+use warden::rt::TraceProgram;
+use warden::sim::checkpoint::options_fingerprint;
+use warden::sim::{simulate_with_options, SimEngine, SimOptions};
+
+fn laned(lanes: usize) -> SimOptions {
+    SimOptions {
+        lanes,
+        ..SimOptions::default()
+    }
+}
+
+/// Assert two outcomes are bit-identical in everything deterministic
+/// (the lane report itself is diagnostic and differs by construction).
+fn assert_identical(a: &SimOutcome, b: &SimOutcome, what: &str) {
+    assert_eq!(
+        a.memory_image_digest, b.memory_image_digest,
+        "{what}: digest"
+    );
+    assert_eq!(a.stats, b.stats, "{what}: stats");
+    assert_eq!(a.region_peak, b.region_peak, "{what}: region peak");
+    assert_eq!(
+        format!("{:?}", a.violations),
+        format!("{:?}", b.violations),
+        "{what}: violations"
+    );
+    match (&a.obs, &b.obs) {
+        (None, None) => {}
+        (Some(x), Some(y)) => {
+            // Compare field-by-field, skipping the host-side wall-clock
+            // span profile (nondeterministic by nature).
+            assert_eq!(x.epoch_shift, y.epoch_shift, "{what}: epoch shift");
+            assert_eq!(x.epochs, y.epochs, "{what}: epoch tables");
+            assert_eq!(x.timeline, y.timeline, "{what}: obs timeline");
+            assert_eq!(x.metrics, y.metrics, "{what}: obs metrics");
+            assert_eq!(x.region_spans, y.region_spans, "{what}: region spans");
+            assert_eq!(x.dropped_events, y.dropped_events, "{what}: drops");
+        }
+        _ => panic!("{what}: observability presence differs"),
+    }
+}
+
+#[test]
+fn benchmarks_are_lane_count_invariant() {
+    let machine = MachineConfig::dual_socket().with_cores(8);
+    for bench in [Bench::Msort, Bench::SuffixArray, Bench::Fib] {
+        let program = bench.build(Scale::Tiny);
+        for protocol in [Protocol::Mesi, Protocol::Warden] {
+            let seq = simulate_with_options(&program, &machine, protocol, &laned(1));
+            assert!(seq.lane_report.is_none(), "lanes=1 is the sequential scan");
+            for lanes in [2usize, 4, 8] {
+                let lan = simulate_with_options(&program, &machine, protocol, &laned(lanes));
+                assert_identical(&seq, &lan, &format!("{bench:?}/{protocol:?}/lanes={lanes}"));
+                let report = lan.lane_report.expect("laned run reports lanes");
+                assert_eq!(report.lanes.len(), lanes);
+                assert_eq!(
+                    report.lanes.iter().map(|l| l.events).sum::<u64>(),
+                    report.merges,
+                    "per-lane events must partition the merges"
+                );
+                assert!(
+                    report.lanes.iter().all(|l| l.local_events <= l.events),
+                    "lane-local work is a subset of lane work"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lanes_clamp_on_a_single_core_machine() {
+    let machine = MachineConfig::single_socket().with_cores(1);
+    let program = Bench::Fib.build(Scale::Tiny);
+    let seq = simulate_with_options(&program, &machine, Protocol::Warden, &laned(1));
+    let lan = simulate_with_options(&program, &machine, Protocol::Warden, &laned(4));
+    assert_identical(&seq, &lan, "single-core clamp");
+    assert_eq!(lan.lane_report.expect("laned").lanes.len(), 1);
+}
+
+#[test]
+fn lane_count_is_not_part_of_the_options_fingerprint() {
+    // Same computation at any lane count: a checkpoint written at one lane
+    // count must verify (and resume) at any other.
+    assert_eq!(
+        options_fingerprint(&laned(1)),
+        options_fingerprint(&laned(4))
+    );
+    let with_check = SimOptions {
+        check: true,
+        ..laned(4)
+    };
+    assert_ne!(
+        options_fingerprint(&laned(4)),
+        options_fingerprint(&with_check),
+        "sanity: fingerprints still discriminate real option changes"
+    );
+}
+
+#[test]
+fn checkpoints_resume_across_differing_lane_counts() {
+    let machine = MachineConfig::dual_socket().with_cores(4);
+    let program = Bench::Msort.build(Scale::Tiny);
+    let reference = simulate(&program, &machine, Protocol::Warden);
+
+    for (write_lanes, resume_lanes) in [(1usize, 4usize), (4, 1), (2, 4)] {
+        let mut eng = SimEngine::new(&program, &machine, Protocol::Warden, &laned(write_lanes));
+        for _ in 0..5_000 {
+            assert!(eng.step(), "trace must outlast the snapshot point");
+        }
+        let frame = eng.snapshot_to_bytes();
+        let mut resumed = SimEngine::resume_from_bytes(
+            &program,
+            &machine,
+            Protocol::Warden,
+            &laned(resume_lanes),
+            &frame,
+        )
+        .expect("a frame written at one lane count resumes at another");
+        while resumed.step() {}
+        let out = resumed.finish();
+        assert_eq!(
+            out.memory_image_digest, reference.memory_image_digest,
+            "resume {write_lanes}->{resume_lanes}: digest"
+        );
+        assert_eq!(
+            out.stats, reference.stats,
+            "resume {write_lanes}->{resume_lanes}: stats"
+        );
+    }
+}
+
+/// A small recursive fork-join program (same shape as `proptest_rt`): each
+/// node either computes and writes shared + scratch slices, or forks two
+/// subtrees.
+#[derive(Clone, Debug)]
+enum Tree {
+    Leaf { work: u64, writes: u8 },
+    Fork(Box<Tree>, Box<Tree>),
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = (1u64..200, any::<u8>()).prop_map(|(work, writes)| Tree::Leaf { work, writes });
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        (inner.clone(), inner).prop_map(|(a, b)| Tree::Fork(Box::new(a), Box::new(b)))
+    })
+}
+
+fn leaves(t: &Tree) -> u64 {
+    match t {
+        Tree::Leaf { .. } => 1,
+        Tree::Fork(a, b) => leaves(a) + leaves(b),
+    }
+}
+
+fn run_tree(ctx: &mut TaskCtx<'_>, t: &Tree, out: &SimSlice<u64>, next: &mut u64) {
+    match t {
+        Tree::Leaf { work, writes } => {
+            ctx.work(*work);
+            let scratch = ctx.alloc_scratch::<u64>(u64::from(*writes) + 1);
+            for i in 0..scratch.len() {
+                ctx.write(&scratch, i, i ^ *work);
+            }
+            let slot = *next;
+            *next += 1;
+            let check = (0..scratch.len()).fold(0u64, |acc, i| acc ^ ctx.read(&scratch, i));
+            ctx.write(out, slot, check.wrapping_add(slot));
+        }
+        Tree::Fork(a, b) => {
+            let la = leaves(a);
+            let mut na = *next;
+            let mut nb = *next + la;
+            *next += leaves(t);
+            let (aa, bb) = (a.clone(), b.clone());
+            let out_a = *out;
+            let out_b = *out;
+            ctx.fork2_dyn(&mut |c| run_tree(c, &aa, &out_a, &mut na), &mut |c| {
+                run_tree(c, &bb, &out_b, &mut nb)
+            });
+        }
+    }
+}
+
+fn build(t: &Tree) -> TraceProgram {
+    let n = leaves(t);
+    let t = t.clone();
+    trace_program("lanetree", RtOptions::default(), move |ctx| {
+        let out = ctx.alloc::<u64>(n);
+        let mut next = 0;
+        run_tree(ctx, &t, &out, &mut next);
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc = acc.wrapping_add(ctx.read(&out, i));
+        }
+        std::hint::black_box(acc);
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random traces on random machine shapes replay bit-identically at
+    /// 1, 2 and 4 lanes — digests, statistics, and (observability on)
+    /// epoch tables and timelines all equal, with the SWMR checker live.
+    #[test]
+    fn random_traces_are_lane_count_invariant(
+        t in tree_strategy(),
+        cores in 1usize..9,
+        sockets in 1usize..3,
+        seed in any::<u64>(),
+        protocol_warden in any::<bool>(),
+    ) {
+        let p = build(&t);
+        prop_assert!(p.check_invariants().is_ok());
+        let m = match sockets {
+            1 => MachineConfig::single_socket(),
+            _ => MachineConfig::dual_socket(),
+        }
+        .with_cores(cores)
+        .with_seed(seed);
+        let protocol = if protocol_warden { Protocol::Warden } else { Protocol::Mesi };
+        let opts = |lanes| SimOptions { check: true, obs: true, lanes, ..SimOptions::default() };
+        let seq = simulate_with_options(&p, &m, protocol, &opts(1));
+        prop_assert!(seq.violations.is_empty());
+        for lanes in [2usize, 4] {
+            let lan = simulate_with_options(&p, &m, protocol, &opts(lanes));
+            assert_identical(&seq, &lan, &format!("random/{protocol:?}/lanes={lanes}"));
+        }
+    }
+}

@@ -524,7 +524,8 @@ fn a_retried_request_is_served_from_cache_not_recomputed() {
             frame_stall: Duration::from_millis(500),
             seed: 11,
         },
-    );
+    )
+    .expect("valid retry policy");
     let (summary, served) = client.simulate(req).expect("the retry must succeed");
 
     // The conformance core: the first attempt's computation was completed
