@@ -49,6 +49,15 @@
 #                    conformance suite runs once more with seeded storage
 #                    faults (torn writes, ENOSPC, corrupt reads, crashes
 #                    around rename) injected under the disk tier
+#   ./ci.sh protocols  protocol-zoo gate: the full tiny campaign runs once
+#                    with --protocols all and the invariant checker on
+#                    (the campaign layer fails the run if any protocol's
+#                    memory image diverges or any invariant trips), the
+#                    protocol-zoo differential suite and per-protocol
+#                    golden stats run, and a per-protocol replay report
+#                    is written into protocols_report_ci/ for the
+#                    workflow to archive; bench_guard re-confirms the
+#                    MESI/WARDen replay throughput envelope
 #   ./ci.sh          all of the above
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -347,6 +356,38 @@ durable() {
   echo "   wrote durable_metrics_ci.json and $dir/storage_chaos_metrics.json"
 }
 
+protocols() {
+  echo "== protocol zoo: differential suite + per-protocol goldens =="
+  cargo test -q --offline --test protocol_zoo --test golden_stats
+
+  echo "== protocol zoo: full campaign, every registered protocol, checker on =="
+  cargo build -q --release --offline -p warden-bench \
+    --bin all_figures --bin record --bin replay
+  local dir=protocols_report_ci
+  rm -rf "$dir"
+  mkdir -p "$dir"
+  # One combined run: the campaign layer enforces that every protocol's
+  # final memory image matches the reference and that the invariant
+  # checker stays clean on all of them.
+  target/release/all_figures --scale tiny --quiet --check --protocols all \
+    >"$dir/zoo_campaign.txt" 2>/dev/null
+  grep -q "Protocol zoo" "$dir/zoo_campaign.txt"
+
+  # Per-protocol replay reports: one file per registered protocol, each a
+  # checker-on replay of the same recorded trace.
+  target/release/record msort "$dir/msort.trace" --scale tiny >/dev/null
+  local p
+  for p in msi mesi warden si dls; do
+    target/release/replay "$dir/msort.trace" dual-socket --check \
+      --protocols "$p" >"$dir/report-$p.txt"
+    grep -q "invariant checker: clean" "$dir/report-$p.txt"
+  done
+  echo "   zoo campaign + $(ls "$dir"/report-*.txt | wc -l) per-protocol reports in $dir/"
+
+  echo "== throughput envelope unchanged (bench_guard) =="
+  cargo test -q --release --offline -p warden-bench --test bench_guard
+}
+
 stage="${1:-all}"
 case "$stage" in
   checks) checks ;;
@@ -357,6 +398,7 @@ case "$stage" in
   serve) serve ;;
   chaos) chaos ;;
   durable) durable ;;
+  protocols) protocols ;;
   all)
     checks
     smoke
@@ -366,9 +408,10 @@ case "$stage" in
     serve
     chaos
     durable
+    protocols
     ;;
   *)
-    echo "usage: ci.sh [checks|smoke|bench|obs|lanes|serve|chaos|durable|all]" >&2
+    echo "usage: ci.sh [checks|smoke|bench|obs|lanes|serve|chaos|durable|protocols|all]" >&2
     exit 2
     ;;
 esac

@@ -4,7 +4,7 @@
 //! in the hot paths are caught).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use warden_coherence::Protocol;
+use warden_coherence::ProtocolId;
 use warden_pbbs::{Bench, Scale};
 use warden_rt::{trace_program, MarkPolicy, RtOptions};
 use warden_sim::{simulate, MachineConfig};
@@ -13,7 +13,7 @@ fn protocols(c: &mut Criterion) {
     let program = Bench::Msort.build(Scale::Tiny);
     let machine = MachineConfig::dual_socket();
     let mut g = c.benchmark_group("replay_protocol");
-    for proto in [Protocol::Mesi, Protocol::Warden] {
+    for proto in [ProtocolId::Mesi, ProtocolId::Warden] {
         g.bench_with_input(BenchmarkId::from_parameter(proto), &proto, |b, &p| {
             b.iter(|| simulate(&program, &machine, p));
         });
@@ -28,7 +28,7 @@ fn sector_granularity(c: &mut Criterion) {
         let mut machine = MachineConfig::dual_socket();
         machine.cache.sector_bytes = sector;
         g.bench_with_input(BenchmarkId::from_parameter(sector), &machine, |b, m| {
-            b.iter(|| simulate(&program, m, Protocol::Warden));
+            b.iter(|| simulate(&program, m, ProtocolId::Warden));
         });
     }
     g.finish();
@@ -41,7 +41,7 @@ fn region_capacity(c: &mut Criterion) {
         let mut machine = MachineConfig::dual_socket();
         machine.cache.region_capacity = cap;
         g.bench_with_input(BenchmarkId::from_parameter(cap), &machine, |b, m| {
-            b.iter(|| simulate(&program, m, Protocol::Warden));
+            b.iter(|| simulate(&program, m, ProtocolId::Warden));
         });
     }
     g.finish();

@@ -9,7 +9,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use warden_coherence::{
-    AddRegion, CacheConfig, CoherenceSystem, LatencyModel, Protocol, RegionStore, Topology,
+    AddRegion, CacheConfig, CoherenceSystem, LatencyModel, ProtocolId, RegionStore, Topology,
 };
 use warden_mem::{Addr, Memory, PAGE_SIZE};
 use warden_pbbs::Scale;
@@ -50,7 +50,7 @@ fn dir_access(c: &mut Criterion) {
         Topology::new(2, 4),
         LatencyModel::xeon_gold_6126(),
         CacheConfig::paper(4),
-        Protocol::Mesi,
+        ProtocolId::Mesi,
     );
     let mut a = 0u64;
     c.bench_function("hotpath/dir_store_stream", |b| {
@@ -87,10 +87,10 @@ fn replay(c: &mut Criterion) {
         let name = format!("hotpath/replay/{}", bench.name());
         let mut g = c.benchmark_group(&name);
         g.bench_function("mesi", |b| {
-            b.iter(|| simulate(&program, &machine, Protocol::Mesi))
+            b.iter(|| simulate(&program, &machine, ProtocolId::Mesi))
         });
         g.bench_function("warden", |b| {
-            b.iter(|| simulate(&program, &machine, Protocol::Warden))
+            b.iter(|| simulate(&program, &machine, ProtocolId::Warden))
         });
         g.finish();
     }
@@ -112,7 +112,7 @@ fn replay_lanes(c: &mut Criterion) {
                 ..SimOptions::default()
             };
             g.bench_function(format!("warden/lanes{lanes}"), |b| {
-                b.iter(|| simulate_with_options(&program, &machine, Protocol::Warden, &opts))
+                b.iter(|| simulate_with_options(&program, &machine, ProtocolId::Warden, &opts))
             });
         }
         g.finish();

@@ -4,7 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use warden_coherence::{
-    CacheConfig, CoherenceSystem, LatencyModel, Protocol, RegionStore, Topology,
+    CacheConfig, CoherenceSystem, LatencyModel, ProtocolId, RegionStore, Topology,
 };
 use warden_mem::{Addr, BlockAddr, CacheArray, CacheGeometry, PAGE_SIZE};
 use warden_pbbs::{Bench, Scale};
@@ -57,12 +57,12 @@ fn coherence(c: &mut Criterion) {
         )
     };
     c.bench_function("coherence/l1_hit_load", |b| {
-        let mut sys = mk(Protocol::Mesi);
+        let mut sys = mk(ProtocolId::Mesi);
         sys.load(0, Addr(0x1000), 8);
         b.iter(|| sys.load(0, black_box(Addr(0x1000)), 8));
     });
     c.bench_function("coherence/sharing_store", |b| {
-        let mut sys = mk(Protocol::Mesi);
+        let mut sys = mk(ProtocolId::Mesi);
         b.iter(|| {
             // Two cores trading a line: the expensive MESI path.
             sys.store(0, Addr(0x2000), &[1]);
@@ -70,7 +70,7 @@ fn coherence(c: &mut Criterion) {
         });
     });
     c.bench_function("coherence/ward_serve", |b| {
-        let mut sys = mk(Protocol::Warden);
+        let mut sys = mk(ProtocolId::Warden);
         sys.add_region(Addr(0), Addr(PAGE_SIZE)).unwrap();
         b.iter(|| {
             sys.store(0, Addr(64), &[1]);
@@ -78,7 +78,7 @@ fn coherence(c: &mut Criterion) {
         });
     });
     c.bench_function("coherence/region_cycle_with_reconcile", |b| {
-        let mut sys = mk(Protocol::Warden);
+        let mut sys = mk(ProtocolId::Warden);
         b.iter(|| {
             let id = sys.add_region(Addr(0), Addr(PAGE_SIZE)).unwrap();
             sys.store(0, Addr(0), &[1]);
@@ -104,10 +104,10 @@ fn end_to_end(c: &mut Criterion) {
     let program = Bench::MakeArray.build(Scale::Tiny);
     let machine = MachineConfig::dual_socket().with_cores(2);
     c.bench_function("replay/make_array_tiny_mesi", |b| {
-        b.iter(|| simulate(&program, &machine, Protocol::Mesi));
+        b.iter(|| simulate(&program, &machine, ProtocolId::Mesi));
     });
     c.bench_function("replay/make_array_tiny_warden", |b| {
-        b.iter(|| simulate(&program, &machine, Protocol::Warden));
+        b.iter(|| simulate(&program, &machine, ProtocolId::Warden));
     });
 }
 

@@ -45,6 +45,7 @@ use crate::error::HarnessError;
 use crate::runner::{RunOptions, SuiteScale};
 use std::path::PathBuf;
 use std::time::Duration;
+use warden_coherence::ProtocolId;
 use warden_serve::{DiskTierConfig, StorageFaultPlan};
 
 /// Every flag the harness binaries understand, with value placeholders —
@@ -69,6 +70,7 @@ pub const VALID_FLAGS: &[&str] = &[
     "--markdown <path>",
     "--obs <dir>",
     "--out <path>",
+    "--protocols <names|all>",
     "--queue-cap <n>",
     "--quiet",
     "--request-deadline-ms <ms>",
@@ -149,8 +151,34 @@ pub struct HarnessArgs {
     pub storage_chaos: bool,
     /// `--storage-chaos-seed <seed>`: seed for the storage-fault stream.
     pub storage_chaos_seed: Option<u64>,
+    /// `--protocols <names|all>`: which registered coherence protocols a
+    /// binary runs, as comma-separated registry names (`mesi,warden,si`) or
+    /// `all`. `None` keeps each binary's default (usually MESI + WARDen).
+    pub protocols: Option<Vec<ProtocolId>>,
     /// Non-flag arguments, in order (used by `record` and `replay`).
     pub positional: Vec<String>,
+}
+
+/// Parse a `--protocols` value: `all` or comma-separated registry names,
+/// resolved through [`ProtocolId::from_name`] so an unknown name is a typed
+/// usage error listing the registry.
+pub fn parse_protocols(v: &str) -> Result<Vec<ProtocolId>, HarnessError> {
+    if v == "all" {
+        return Ok(ProtocolId::ALL.to_vec());
+    }
+    let mut out = Vec::new();
+    for name in v.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+        let p = ProtocolId::from_name(name).map_err(|e| HarnessError::Args(e.to_string()))?;
+        if !out.contains(&p) {
+            out.push(p);
+        }
+    }
+    if out.is_empty() {
+        return Err(HarnessError::Args(
+            "--protocols needs at least one protocol name (or `all`)".into(),
+        ));
+    }
+    Ok(out)
 }
 
 fn unknown(flag: &str) -> HarnessError {
@@ -305,6 +333,10 @@ impl HarnessArgs {
                 "--storage-chaos-seed" => {
                     out.storage_chaos_seed =
                         Some(number(&mut it, "--storage-chaos-seed", "<seed>")?)
+                }
+                "--protocols" => {
+                    let v = value(&mut it, "--protocols", "<names|all>")?;
+                    out.protocols = Some(parse_protocols(&v)?);
                 }
                 _ if a.starts_with("--") => return Err(unknown(&a)),
                 _ => out.positional.push(a),

@@ -21,7 +21,7 @@ use warden_bench::{
     harness_main, run_campaign, CampaignConfig, HarnessArgs, HarnessError, RunSpec, SuiteScale,
     Workload,
 };
-use warden_coherence::Protocol;
+use warden_coherence::ProtocolId;
 use warden_pbbs::primes;
 use warden_rt::{trace_program, MarkPolicy, RtOptions};
 use warden_sim::{Comparison, MachineConfig, SimOptions, SimOutcome};
@@ -35,10 +35,10 @@ fn scaled(scale: SuiteScale, tiny: u64, paper: u64) -> u64 {
 
 /// Mesi/Warden spec pair for one ablation cell.
 fn pair(id: &str, workload: &Workload, machine: &MachineConfig, opts: &SimOptions) -> [RunSpec; 2] {
-    [Protocol::Mesi, Protocol::Warden].map(|protocol| RunSpec {
+    [ProtocolId::Mesi, ProtocolId::Warden].map(|protocol| RunSpec {
         id: format!(
             "{id}/{}",
-            if protocol == Protocol::Mesi {
+            if protocol == ProtocolId::Mesi {
                 "mesi"
             } else {
                 "warden"
@@ -242,7 +242,7 @@ fn baselines(ctx: &Ctx) -> Result<String, HarnessError> {
         warden_pbbs::Bench::Msort,
         warden_pbbs::Bench::Tokens,
     ];
-    let protocols = [Protocol::Msi, Protocol::Mesi, Protocol::Warden];
+    let protocols = [ProtocolId::Msi, ProtocolId::Mesi, ProtocolId::Warden];
     let mut specs = Vec::new();
     for b in benches {
         let w = Workload::bench(b, ctx.scale.pbbs());

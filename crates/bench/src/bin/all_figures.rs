@@ -11,9 +11,10 @@
 use warden_bench::figures::*;
 use warden_bench::fmt::f2;
 use warden_bench::{
-    campaign_suite, export_outcome, harness_main, paper, BenchRun, HarnessArgs, HarnessError,
+    campaign_suite, export_outcome, harness_main, paper, protocol_campaign, BenchRun, HarnessArgs,
+    HarnessError,
 };
-use warden_coherence::Protocol;
+use warden_coherence::ProtocolId;
 use warden_pbbs::Bench;
 use warden_sim::{mean, simulate_with_options, MachineConfig, SimOptions};
 
@@ -74,6 +75,14 @@ fn run() -> Result<(), HarnessError> {
         "Figure 12 (this reproduction's most-promising subset, same selection rule)",
     );
 
+    eprintln!("Protocol zoo (dual socket, every registered protocol)…");
+    let zoo_protocols = args
+        .protocols
+        .clone()
+        .unwrap_or_else(|| ProtocolId::ALL.to_vec());
+    let zoo_runs = protocol_campaign(&Bench::ALL, scale, &dual, &zoo_protocols, &opts, &cfg)?;
+    let zoo_txt = render_protocol_zoo(&zoo_runs, &zoo_protocols);
+
     let area_txt = render_area();
 
     let all = [
@@ -86,6 +95,7 @@ fn run() -> Result<(), HarnessError> {
         &fig11_txt,
         &fig12_txt,
         &fig12b_txt,
+        &zoo_txt,
         &area_txt,
     ];
     for section in all {
@@ -121,7 +131,7 @@ fn run() -> Result<(), HarnessError> {
             ..args.sim_options()
         };
         let program = Bench::SuffixArray.build(scale);
-        for proto in [Protocol::Mesi, Protocol::Warden] {
+        for proto in [ProtocolId::Mesi, ProtocolId::Warden] {
             let out = simulate_with_options(&program, &dual, proto, &obs_opts);
             for p in export_outcome(dir, &program.name, &out)? {
                 eprintln!("wrote {}", p.display());

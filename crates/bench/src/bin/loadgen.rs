@@ -48,7 +48,7 @@ use warden_bench::chaos::{ChaosConfig, ChaosProxy, Upstream};
 use warden_bench::loadgen::{drive, drive_resilient, metrics_json, oracle, Target};
 use warden_bench::runner::SuiteScale;
 use warden_bench::{harness_main, HarnessArgs, HarnessError};
-use warden_coherence::Protocol;
+use warden_coherence::ProtocolId;
 use warden_pbbs::{Bench, Scale};
 use warden_serve::{
     MachinePreset, MachineSpec, RetryPolicy, ServeConfig, Server, ServerOptions, SimRequest,
@@ -89,9 +89,13 @@ fn run() -> Result<(), HarnessError> {
         Bench::Msort,
         Bench::Tokens,
     ];
+    let protocols = args
+        .protocols
+        .clone()
+        .unwrap_or_else(|| vec![ProtocolId::Mesi, ProtocolId::Warden]);
     let mut requests = Vec::new();
     for bench in benches {
-        for protocol in [Protocol::Mesi, Protocol::Warden] {
+        for &protocol in &protocols {
             requests.push(SimRequest {
                 bench,
                 scale,

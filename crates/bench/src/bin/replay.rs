@@ -1,5 +1,6 @@
-//! Replay a recorded trace (see `record`) under both protocols on a chosen
-//! machine:
+//! Replay a recorded trace (see `record`) under a set of coherence
+//! protocols (default: MESI and WARDen; `--protocols <names|all>` selects
+//! others by registry name) on a chosen machine:
 //!
 //! ```console
 //! $ cargo run -p warden-bench --release --bin replay -- /tmp/primes.trace dual-socket
@@ -23,7 +24,7 @@
 //! lane-determinism CI gate asserts across the whole benchmark suite.
 
 use warden_bench::{export_outcome, harness_main, HarnessArgs, HarnessError, RunOptions};
-use warden_coherence::Protocol;
+use warden_coherence::ProtocolId;
 use warden_rt::{summarize, trace_io};
 use warden_sim::{simulate_with_options, try_simulate, Comparison, MachineConfig, SimOutcome};
 
@@ -95,31 +96,51 @@ fn run() -> Result<(), HarnessError> {
     println!("{} — {}", program.name, summarize(&program));
 
     let sim_opts = args.sim_options();
+    let protocols = args
+        .protocols
+        .clone()
+        .unwrap_or_else(|| vec![ProtocolId::Mesi, ProtocolId::Warden]);
     // Validate machine and plan once through the fallible entry point, then
-    // reuse the infallible one for the second protocol.
-    let mesi = try_simulate(&program, &machine, Protocol::Mesi, &sim_opts)
+    // reuse the infallible one for the remaining protocols.
+    let first = try_simulate(&program, &machine, protocols[0], &sim_opts)
         .map_err(|e| HarnessError::Failed(format!("cannot simulate: {e}")))?;
-    let warden = simulate_with_options(&program, &machine, Protocol::Warden, &sim_opts);
-    let clean = report_robustness(&mesi, &args.run) & report_robustness(&warden, &args.run);
-
-    if mesi.memory_image_digest != warden.memory_image_digest {
-        return Err(HarnessError::ImageMismatch {
-            id: program.name.clone(),
-            mesi: mesi.memory_image_digest,
-            warden: warden.memory_image_digest,
-        });
+    let mut outcomes = vec![first];
+    for &p in &protocols[1..] {
+        outcomes.push(simulate_with_options(&program, &machine, p, &sim_opts));
     }
-    let c = Comparison::of(&program.name, &mesi, &warden);
-    println!(
-        "\n{} on {}: MESI {} cycles, WARDen {} cycles → speedup {:.2}x",
-        program.name, machine.name, mesi.stats.cycles, warden.stats.cycles, c.speedup
-    );
-    println!(
-        "inv+downgrades avoided/k-instr {:.2}, total energy saved {:.1}%",
-        c.inv_dg_reduced_per_kilo, c.total_energy_savings_pct
-    );
+    let mut clean = true;
+    for o in &outcomes {
+        clean &= report_robustness(o, &args.run);
+    }
+
+    for (o, &p) in outcomes.iter().zip(&protocols) {
+        if o.memory_image_digest != outcomes[0].memory_image_digest {
+            return Err(HarnessError::Failed(format!(
+                "{}: protocol {} diverged from {} on the final memory image \
+                 ({:#018x} vs {:#018x})",
+                program.name,
+                p.name(),
+                protocols[0].name(),
+                o.memory_image_digest,
+                outcomes[0].memory_image_digest,
+            )));
+        }
+    }
+    println!("\n{} on {}:", program.name, machine.name);
+    for (o, &p) in outcomes.iter().zip(&protocols) {
+        println!("  {:>7}: {} cycles", p.to_string(), o.stats.cycles);
+    }
+    let mesi_pos = protocols.iter().position(|&p| p == ProtocolId::Mesi);
+    let warden_pos = protocols.iter().position(|&p| p == ProtocolId::Warden);
+    if let (Some(mi), Some(wi)) = (mesi_pos, warden_pos) {
+        let c = Comparison::of(&program.name, &outcomes[mi], &outcomes[wi]);
+        println!(
+            "speedup {:.2}x, inv+downgrades avoided/k-instr {:.2}, total energy saved {:.1}%",
+            c.speedup, c.inv_dg_reduced_per_kilo, c.total_energy_savings_pct
+        );
+    }
     if let Some(dir) = &args.obs {
-        for outcome in [&mesi, &warden] {
+        for outcome in &outcomes {
             for p in export_outcome(dir, &program.name, outcome)? {
                 println!("wrote {}", p.display());
             }

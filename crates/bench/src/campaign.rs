@@ -44,7 +44,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use warden_coherence::Protocol;
+use warden_coherence::ProtocolId;
 use warden_pbbs::{Bench, Scale};
 use warden_rt::TraceProgram;
 use warden_sim::checkpoint::{self, options_fingerprint, CheckpointError, CheckpointStore};
@@ -114,17 +114,13 @@ pub struct RunSpec {
     /// The machine description.
     pub machine: MachineConfig,
     /// The coherence protocol.
-    pub protocol: Protocol,
+    pub protocol: ProtocolId,
     /// Simulator options (energy model, checker, fault plan).
     pub opts: SimOptions,
 }
 
-fn protocol_name(p: Protocol) -> &'static str {
-    match p {
-        Protocol::Msi => "msi",
-        Protocol::Mesi => "mesi",
-        Protocol::Warden => "warden",
-    }
+fn protocol_name(p: ProtocolId) -> &'static str {
+    p.name()
 }
 
 impl RunSpec {
@@ -694,10 +690,60 @@ pub fn campaign_suite(
     opts: &SimOptions,
     cfg: &CampaignConfig,
 ) -> Result<Vec<BenchRun>, HarnessError> {
+    let runs = protocol_campaign(
+        benches,
+        scale,
+        machine,
+        &[ProtocolId::Mesi, ProtocolId::Warden],
+        opts,
+        cfg,
+    )?;
+    Ok(runs
+        .into_iter()
+        .map(|r| {
+            let [mesi, warden]: [SimOutcome; 2] =
+                r.outcomes.try_into().expect("two protocols requested");
+            let cmp = Comparison::of(r.bench.name(), &mesi, &warden);
+            BenchRun {
+                bench: r.bench,
+                mesi,
+                warden,
+                cmp,
+            }
+        })
+        .collect())
+}
+
+/// One benchmark's outcomes across a protocol list (parallel to the
+/// `protocols` argument of [`protocol_campaign`]). All outcomes agree on
+/// the final memory image — the campaign verified it.
+#[derive(Clone, Debug)]
+pub struct ProtocolRun {
+    /// The benchmark.
+    pub bench: Bench,
+    /// One outcome per requested protocol, in request order.
+    pub outcomes: Vec<SimOutcome>,
+}
+
+/// Run `benches` × `protocols` on `machine` through the campaign. Every
+/// protocol must produce the same final memory image as the first one
+/// requested (the reference); a disagreement is a typed error naming the
+/// benchmark and the diverging protocol, not a panic. When the invariant
+/// checker is on ([`SimOptions::check`]), any reported violation also
+/// fails the campaign.
+pub fn protocol_campaign(
+    benches: &[Bench],
+    scale: Scale,
+    machine: &MachineConfig,
+    protocols: &[ProtocolId],
+    opts: &SimOptions,
+    cfg: &CampaignConfig,
+) -> Result<Vec<ProtocolRun>, HarnessError> {
+    assert!(!protocols.is_empty(), "protocol list must be non-empty");
     let scale_token = format!("{scale:?}").to_lowercase();
-    let mut specs = Vec::with_capacity(benches.len() * 2);
+    let mut specs = Vec::with_capacity(benches.len() * protocols.len());
     for &bench in benches {
-        for protocol in [Protocol::Mesi, Protocol::Warden] {
+        for &protocol in protocols {
             specs.push(RunSpec {
                 id: format!(
                     "{}/{scale_token}/{}/{}",
@@ -715,22 +761,33 @@ pub fn campaign_suite(
     let results = run_campaign(&specs, cfg)?;
     let mut runs = Vec::with_capacity(benches.len());
     for (i, &bench) in benches.iter().enumerate() {
-        let mesi = results[2 * i].outcome.clone();
-        let warden = results[2 * i + 1].outcome.clone();
-        if mesi.memory_image_digest != warden.memory_image_digest {
-            return Err(HarnessError::ImageMismatch {
-                id: bench.name().to_string(),
-                mesi: mesi.memory_image_digest,
-                warden: warden.memory_image_digest,
-            });
+        let outcomes: Vec<SimOutcome> = results[i * protocols.len()..(i + 1) * protocols.len()]
+            .iter()
+            .map(|r| r.outcome.clone())
+            .collect();
+        let reference = outcomes[0].memory_image_digest;
+        for (o, &p) in outcomes.iter().zip(protocols) {
+            if o.memory_image_digest != reference {
+                return Err(HarnessError::Failed(format!(
+                    "{}: protocol {} diverged from {} on the final memory image                      ({:#018x} vs {:#018x})",
+                    bench.name(),
+                    protocol_name(p),
+                    protocol_name(protocols[0]),
+                    o.memory_image_digest,
+                    reference,
+                )));
+            }
+            if !o.violations.is_empty() {
+                return Err(HarnessError::Failed(format!(
+                    "{}: protocol {} reported {} invariant violation(s); first: {}",
+                    bench.name(),
+                    protocol_name(p),
+                    o.violations.len(),
+                    o.violations[0],
+                )));
+            }
         }
-        let cmp = Comparison::of(bench.name(), &mesi, &warden);
-        runs.push(BenchRun {
-            bench,
-            mesi,
-            warden,
-            cmp,
-        });
+        runs.push(ProtocolRun { bench, outcomes });
     }
     Ok(runs)
 }
@@ -745,7 +802,7 @@ mod tests {
             id: "t/x".into(),
             workload: Workload::bench(Bench::MakeArray, Scale::Tiny),
             machine: MachineConfig::dual_socket().with_cores(2),
-            protocol: Protocol::Warden,
+            protocol: ProtocolId::Warden,
             opts: SimOptions::default(),
         };
         let program = spec.workload.build();
@@ -769,11 +826,11 @@ mod tests {
             id: "cell".into(),
             workload: Workload::bench(Bench::MakeArray, Scale::Tiny),
             machine: MachineConfig::dual_socket().with_cores(2),
-            protocol: Protocol::Mesi,
+            protocol: ProtocolId::Mesi,
             opts: SimOptions::default(),
         };
         let mut other = base.clone();
-        other.protocol = Protocol::Warden;
+        other.protocol = ProtocolId::Warden;
         assert_ne!(base.fingerprint(), other.fingerprint());
         let mut other = base.clone();
         other.workload = Workload::bench(Bench::MakeArray, Scale::Paper);
@@ -812,7 +869,7 @@ mod tests {
             id: "dup".into(),
             workload: Workload::bench(Bench::MakeArray, Scale::Tiny),
             machine: MachineConfig::dual_socket().with_cores(2),
-            protocol: Protocol::Mesi,
+            protocol: ProtocolId::Mesi,
             opts: SimOptions::default(),
         };
         let cfg = CampaignConfig::ephemeral();

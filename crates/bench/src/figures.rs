@@ -1,10 +1,12 @@
 //! Renderers for each table/figure, shared by the per-figure binaries and
 //! `all_figures`.
 
+use crate::campaign::ProtocolRun;
 use crate::fmt::{bar, f2, pct, table};
 use crate::paper;
 use crate::runner::BenchRun;
 use warden_cacti::{CacheBitBudget, RegionCam};
+use warden_coherence::ProtocolId;
 use warden_sim::{mean, table1, MachineConfig};
 
 /// Table 1: simulator latency validation.
@@ -267,6 +269,38 @@ pub fn render_fig12_titled(runs: &[BenchRun], title: &str) -> String {
         paper::FIG12_MEAN_SPEEDUP,
         paper::FIG12_MEAN_NETWORK_ENERGY,
         paper::FIG12_MEAN_PROCESSOR_ENERGY,
+    )
+}
+
+/// Protocol zoo: per-benchmark cycles for every requested protocol,
+/// normalized to the first one (the reference, conventionally MESI). All
+/// rows come from runs that already agreed on the final memory image.
+pub fn render_protocol_zoo(runs: &[ProtocolRun], protocols: &[ProtocolId]) -> String {
+    let mut headers: Vec<String> = vec!["Benchmark".into()];
+    for &p in protocols {
+        headers.push(format!("{p} cycles"));
+    }
+    for &p in &protocols[1..] {
+        headers.push(format!("{p} vs {}", protocols[0]));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.bench.name().to_string()];
+            for o in &r.outcomes {
+                row.push(o.stats.cycles.to_string());
+            }
+            let base = r.outcomes[0].stats.cycles.max(1) as f64;
+            for o in &r.outcomes[1..] {
+                row.push(format!("{}x", f2(base / o.stats.cycles.max(1) as f64)));
+            }
+            row
+        })
+        .collect();
+    format!(
+        "Protocol zoo: replay cycles across every registered protocol\n\n{}",
+        table(&header_refs, &rows)
     )
 }
 

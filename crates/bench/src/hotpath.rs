@@ -17,7 +17,7 @@
 
 use crate::error::HarnessError;
 use std::time::Instant;
-use warden_coherence::Protocol;
+use warden_coherence::ProtocolId;
 use warden_pbbs::{Bench, Scale};
 use warden_sim::{simulate_with_options, MachineConfig, SimOptions};
 
@@ -68,12 +68,8 @@ pub fn baseline_machine() -> MachineConfig {
     MachineConfig::dual_socket().with_cores(4)
 }
 
-fn protocol_name(p: Protocol) -> &'static str {
-    match p {
-        Protocol::Msi => "msi",
-        Protocol::Mesi => "mesi",
-        Protocol::Warden => "warden",
-    }
+fn protocol_name(p: ProtocolId) -> &'static str {
+    p.name()
 }
 
 /// Replay `bench` under `protocol` `runs` times and take the median wall
@@ -82,7 +78,7 @@ pub fn measure_kernel(
     bench: Bench,
     scale: Scale,
     machine: &MachineConfig,
-    protocol: Protocol,
+    protocol: ProtocolId,
     runs: u32,
 ) -> KernelSample {
     measure_kernel_laned(bench, scale, machine, protocol, runs, 1)
@@ -95,7 +91,7 @@ pub fn measure_kernel_laned(
     bench: Bench,
     scale: Scale,
     machine: &MachineConfig,
-    protocol: Protocol,
+    protocol: ProtocolId,
     runs: u32,
     lanes: usize,
 ) -> KernelSample {
@@ -139,7 +135,7 @@ pub fn measure_suite_laned(scale: Scale, runs: u32, lanes: usize) -> Vec<KernelS
     let machine = baseline_machine();
     let mut out = Vec::new();
     for &bench in KERNELS {
-        for protocol in [Protocol::Mesi, Protocol::Warden] {
+        for protocol in [ProtocolId::Mesi, ProtocolId::Warden] {
             eprint!("  {:<8} {:<6}\r", bench.name(), protocol_name(protocol));
             out.push(measure_kernel_laned(
                 bench, scale, &machine, protocol, runs, lanes,
@@ -357,8 +353,8 @@ mod tests {
     #[test]
     fn laned_measurement_replays_the_same_simulation() {
         let machine = MachineConfig::single_socket().with_cores(2);
-        let seq = measure_kernel(Bench::Fib, Scale::Tiny, &machine, Protocol::Warden, 1);
-        let lan = measure_kernel_laned(Bench::Fib, Scale::Tiny, &machine, Protocol::Warden, 1, 2);
+        let seq = measure_kernel(Bench::Fib, Scale::Tiny, &machine, ProtocolId::Warden, 1);
+        let lan = measure_kernel_laned(Bench::Fib, Scale::Tiny, &machine, ProtocolId::Warden, 1, 2);
         assert_eq!(
             seq.sim_cycles, lan.sim_cycles,
             "laned replay is bit-identical"
@@ -369,7 +365,7 @@ mod tests {
     #[test]
     fn measure_produces_consistent_rates() {
         let machine = MachineConfig::single_socket().with_cores(2);
-        let s = measure_kernel(Bench::Fib, Scale::Tiny, &machine, Protocol::Mesi, 1);
+        let s = measure_kernel(Bench::Fib, Scale::Tiny, &machine, ProtocolId::Mesi, 1);
         assert!(s.events > 0 && s.sim_cycles > 0);
         let secs = s.median_wall_ns as f64 / 1e9;
         assert!((s.events_per_sec - s.events as f64 / secs).abs() < 1.0);

@@ -45,8 +45,11 @@ pub mod obs_export;
 pub mod paper;
 pub mod runner;
 
-pub use args::HarnessArgs;
-pub use campaign::{campaign_suite, run_campaign, CampaignConfig, RunResult, RunSpec, Workload};
+pub use args::{parse_protocols, HarnessArgs};
+pub use campaign::{
+    campaign_suite, protocol_campaign, run_campaign, CampaignConfig, ProtocolRun, RunResult,
+    RunSpec, Workload,
+};
 pub use error::{harness_main, HarnessError, RunFailure};
 pub use obs_export::export_outcome;
 pub use runner::{run_bench, run_pair, suite, BenchRun, RunOptions, SuiteScale};

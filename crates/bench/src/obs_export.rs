@@ -67,7 +67,7 @@ pub fn export_outcome(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use warden_coherence::Protocol;
+    use warden_coherence::ProtocolId;
     use warden_pbbs::{Bench, Scale};
     use warden_sim::{simulate_with_options, MachineConfig, SimOptions};
 
@@ -79,7 +79,7 @@ mod tests {
             obs: true,
             ..SimOptions::default()
         };
-        let out = simulate_with_options(&program, &m, Protocol::Warden, &opts);
+        let out = simulate_with_options(&program, &m, ProtocolId::Warden, &opts);
 
         let dir = std::env::temp_dir().join(format!("warden-obs-export-{}", std::process::id()));
         let paths = export_outcome(&dir, "make_array", &out).expect("export succeeds");
@@ -93,7 +93,7 @@ mod tests {
         let epochs = std::fs::read_to_string(&paths[1]).unwrap();
         assert!(epochs.contains("== event counts =="));
 
-        let plain = simulate_with_options(&program, &m, Protocol::Warden, &SimOptions::default());
+        let plain = simulate_with_options(&program, &m, ProtocolId::Warden, &SimOptions::default());
         assert!(export_outcome(&dir, "make_array", &plain).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }

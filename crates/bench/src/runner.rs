@@ -2,7 +2,7 @@
 
 use crate::args::HarnessArgs;
 use crate::error::HarnessError;
-use warden_coherence::Protocol;
+use warden_coherence::ProtocolId;
 use warden_pbbs::{Bench, Scale};
 use warden_rt::TraceProgram;
 use warden_sim::{simulate, Comparison, FaultPlan, MachineConfig, SimOptions, SimOutcome};
@@ -108,8 +108,8 @@ pub fn run_pair(
     program: &TraceProgram,
     machine: &MachineConfig,
 ) -> (SimOutcome, SimOutcome, Comparison) {
-    let mesi = simulate(program, machine, Protocol::Mesi);
-    let warden = simulate(program, machine, Protocol::Warden);
+    let mesi = simulate(program, machine, ProtocolId::Mesi);
+    let warden = simulate(program, machine, ProtocolId::Warden);
     assert_eq!(
         mesi.memory_image_digest, warden.memory_image_digest,
         "{name}: protocols disagree on the final memory image"

@@ -14,7 +14,7 @@
 use warden_bench::hotpath::{
     baseline_machine, measure_kernel_laned, parse_laned, parse_report, KernelSample, LANED_LANES,
 };
-use warden_coherence::Protocol;
+use warden_coherence::ProtocolId;
 use warden_pbbs::Bench;
 
 /// The kernels the guard tracks: the paper's divide-and-conquer classic,
@@ -33,10 +33,10 @@ const GUARDED: &[Bench] = &[Bench::Fib, Bench::SuffixArray, Bench::Nqueens];
 #[cfg(not(debug_assertions))]
 const FLOOR: f64 = 0.80;
 
-fn protocol_name(p: Protocol) -> &'static str {
+fn protocol_name(p: ProtocolId) -> &'static str {
     match p {
-        Protocol::Mesi => "mesi",
-        Protocol::Warden => "warden",
+        ProtocolId::Mesi => "mesi",
+        ProtocolId::Warden => "warden",
         _ => unreachable!("the baseline only records mesi and warden"),
     }
 }
@@ -67,7 +67,7 @@ fn guard_against(baseline: &[KernelSample], lanes: usize, what: &str) {
     let machine = baseline_machine();
     let mut failures = Vec::new();
     for &bench in GUARDED {
-        for protocol in [Protocol::Mesi, Protocol::Warden] {
+        for protocol in [ProtocolId::Mesi, ProtocolId::Warden] {
             let proto = protocol_name(protocol);
             let base = baseline
                 .iter()
@@ -126,7 +126,7 @@ fn committed_baseline_parses_and_covers_the_guarded_kernels() {
     let baseline = committed_baseline();
     let laned = committed_laned();
     for &bench in GUARDED {
-        for protocol in [Protocol::Mesi, Protocol::Warden] {
+        for protocol in [ProtocolId::Mesi, ProtocolId::Warden] {
             let proto = protocol_name(protocol);
             assert!(
                 baseline
@@ -150,7 +150,7 @@ fn committed_baseline_parses_and_covers_the_guarded_kernels() {
         Bench::Fib,
         Scale::Tiny,
         &baseline_machine(),
-        Protocol::Mesi,
+        ProtocolId::Mesi,
         1,
         LANED_LANES,
     );

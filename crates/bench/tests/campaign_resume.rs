@@ -7,7 +7,7 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use warden_bench::{run_campaign, CampaignConfig, HarnessError, RunSpec, Workload};
-use warden_coherence::Protocol;
+use warden_coherence::ProtocolId;
 use warden_pbbs::{Bench, Scale};
 use warden_rt::{trace_program, RtOptions, TraceProgram};
 use warden_sim::{simulate_with_options, MachineConfig, SimOptions};
@@ -34,7 +34,7 @@ fn tiny_specs() -> Vec<RunSpec> {
     let machine = MachineConfig::dual_socket().with_cores(2);
     let mut specs = Vec::new();
     for bench in [Bench::MakeArray, Bench::Primes] {
-        for (protocol, tag) in [(Protocol::Mesi, "mesi"), (Protocol::Warden, "warden")] {
+        for (protocol, tag) in [(ProtocolId::Mesi, "mesi"), (ProtocolId::Warden, "warden")] {
             specs.push(RunSpec {
                 id: format!("{}/{tag}", bench.name()),
                 workload: Workload::bench(bench, Scale::Tiny),
@@ -170,11 +170,11 @@ fn deadline_cancelled_run_resumes_from_checkpoint_and_completes() {
         id: "deadline/tab".into(),
         workload: Workload::custom("deadline-tab", big_program),
         machine: machine.clone(),
-        protocol: Protocol::Warden,
+        protocol: ProtocolId::Warden,
         opts: SimOptions::default(),
     };
     let p = big_program();
-    let reference = simulate_with_options(&p, &machine, Protocol::Warden, &SimOptions::default());
+    let reference = simulate_with_options(&p, &machine, ProtocolId::Warden, &SimOptions::default());
 
     // First invocation: an already-expired deadline and no retries. The
     // watchdog cancels the run after its first checkpoint batch, and the

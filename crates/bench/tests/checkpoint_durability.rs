@@ -4,7 +4,7 @@
 //! the previous good snapshot.
 
 use proptest::prelude::*;
-use warden_coherence::Protocol;
+use warden_coherence::ProtocolId;
 use warden_rt::{trace_program, RtOptions, TraceProgram};
 use warden_sim::{simulate_with_options, CheckpointStore, MachineConfig, SimEngine, SimOptions};
 
@@ -47,7 +47,7 @@ proptest! {
         pause in 0u64..5_000,
         proto in 0usize..3,
     ) {
-        let protocol = [Protocol::Msi, Protocol::Mesi, Protocol::Warden][proto];
+        let protocol = [ProtocolId::Msi, ProtocolId::Mesi, ProtocolId::Warden][proto];
         let p = workload(n, grain);
         let m = MachineConfig::dual_socket().with_cores(2);
         let opts = SimOptions::default();
@@ -80,7 +80,7 @@ proptest! {
         let p = workload(n, 16);
         let m = MachineConfig::dual_socket().with_cores(2);
         let opts = SimOptions::default();
-        let mut eng = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        let mut eng = SimEngine::new(&p, &m, ProtocolId::Warden, &opts);
         for _ in 0..pause {
             if !eng.step() {
                 break;
@@ -89,7 +89,7 @@ proptest! {
         let bytes = eng.snapshot_to_bytes();
         for cut in 0..bytes.len() {
             prop_assert!(
-                SimEngine::resume_from_bytes(&p, &m, Protocol::Warden, &opts, &bytes[..cut])
+                SimEngine::resume_from_bytes(&p, &m, ProtocolId::Warden, &opts, &bytes[..cut])
                     .is_err(),
                 "a {}-byte prefix of a {}-byte checkpoint must not load",
                 cut,
@@ -100,7 +100,7 @@ proptest! {
             let mut bad = bytes.clone();
             bad[i] ^= 0x20;
             prop_assert!(
-                SimEngine::resume_from_bytes(&p, &m, Protocol::Warden, &opts, &bad).is_err(),
+                SimEngine::resume_from_bytes(&p, &m, ProtocolId::Warden, &opts, &bad).is_err(),
                 "corrupting byte {} must be detected",
                 i
             );
@@ -116,11 +116,11 @@ fn torn_current_slot_falls_back_to_last_good_checkpoint() {
     let p = workload(300, 16);
     let m = MachineConfig::dual_socket().with_cores(2);
     let opts = SimOptions::default();
-    let reference = simulate_with_options(&p, &m, Protocol::Warden, &opts);
+    let reference = simulate_with_options(&p, &m, ProtocolId::Warden, &opts);
 
     let dir = scratch("torn");
     let store = CheckpointStore::new(&dir).expect("create store");
-    let mut eng = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+    let mut eng = SimEngine::new(&p, &m, ProtocolId::Warden, &opts);
     for _ in 0..400 {
         assert!(eng.step(), "workload must outlast both snapshot points");
     }
@@ -135,7 +135,7 @@ fn torn_current_slot_falls_back_to_last_good_checkpoint() {
     let stride = (full.len() / 8).max(1);
     for cut in (0..full.len()).step_by(stride) {
         std::fs::write(store.current_path(), &full[..cut]).expect("tear current slot");
-        let resumed = SimEngine::try_resume(&p, &m, Protocol::Warden, &opts, &store)
+        let resumed = SimEngine::try_resume(&p, &m, ProtocolId::Warden, &opts, &store)
             .expect("fallback must succeed")
             .expect("previous slot must be present");
         assert!(

@@ -59,6 +59,14 @@ pub enum InvariantKind {
     WardEntrySync,
     /// Reconciliation lost or corrupted dirty bytes.
     DirtyConservation,
+    /// A private line survived a self-invalidation sync point (dirty lines
+    /// must self-downgrade, clean lines must self-invalidate).
+    SyncResidue,
+    /// A clean LLC line's data diverged from main memory (a store reached
+    /// the LLC without setting the dirty bit).
+    CleanLineDivergence,
+    /// A protocol that forbids private caching filled a private line.
+    PrivateResidency,
 }
 
 impl InvariantKind {
@@ -70,6 +78,9 @@ impl InvariantKind {
             InvariantKind::MaskMergeability => 3,
             InvariantKind::WardEntrySync => 4,
             InvariantKind::DirtyConservation => 5,
+            InvariantKind::SyncResidue => 6,
+            InvariantKind::CleanLineDivergence => 7,
+            InvariantKind::PrivateResidency => 8,
         }
     }
 
@@ -81,6 +92,9 @@ impl InvariantKind {
             3 => InvariantKind::MaskMergeability,
             4 => InvariantKind::WardEntrySync,
             5 => InvariantKind::DirtyConservation,
+            6 => InvariantKind::SyncResidue,
+            7 => InvariantKind::CleanLineDivergence,
+            8 => InvariantKind::PrivateResidency,
             t => {
                 return Err(CodecError::BadTag {
                     what: "invariant kind",
@@ -100,6 +114,9 @@ impl fmt::Display for InvariantKind {
             InvariantKind::MaskMergeability => "write-mask mergeability",
             InvariantKind::WardEntrySync => "W-entry sync",
             InvariantKind::DirtyConservation => "dirty-byte conservation",
+            InvariantKind::SyncResidue => "sync-point residue",
+            InvariantKind::CleanLineDivergence => "clean-line/memory agreement",
+            InvariantKind::PrivateResidency => "no-private-caching",
         };
         f.write_str(name)
     }
@@ -207,6 +224,27 @@ pub enum ProtocolMutation {
         /// two in `2..=64`.
         sector_bytes: u64,
     },
+    /// Self-invalidation: keep clean copies resident across a sync point
+    /// (dirty sectors still self-downgrade). Later loads can then read
+    /// stale data that a sync was supposed to discard.
+    SkipSelfInvalidate,
+    /// Self-invalidation: drop private lines at a sync point *without*
+    /// merging their dirty sectors into the LLC — writes that a sync was
+    /// supposed to publish are silently lost.
+    SkipSelfDowngrade,
+    /// Serve a ward request without registering the requester in the W
+    /// copy set; the directory then under-counts copies and reconciliation
+    /// misses that core's writes.
+    SkipWardRegistration,
+    /// DLS: fill a private (clean) copy on a read even though the protocol
+    /// forbids private caching — later reads hit it and go stale.
+    DlsCachePrivate,
+    /// DLS: buffer a store in a private dirty line instead of writing the
+    /// home LLC slice — the one place a DLS write must land.
+    DlsDirtyPrivate,
+    /// DLS: apply a store's bytes to the LLC line without setting its
+    /// dirty bit, so an eviction silently discards the write.
+    DlsSkipLlcDirty,
 }
 
 /// The set of active mutations inside a [`crate::CoherenceSystem`].
@@ -216,6 +254,12 @@ pub(crate) struct MutationSet {
     pub(crate) skip_recon_writeback: bool,
     /// `None` = correct byte-granularity merge.
     pub(crate) coarse_merge_sector: Option<u64>,
+    pub(crate) skip_self_invalidate: bool,
+    pub(crate) skip_self_downgrade: bool,
+    pub(crate) skip_ward_registration: bool,
+    pub(crate) dls_cache_private: bool,
+    pub(crate) dls_dirty_private: bool,
+    pub(crate) dls_skip_llc_dirty: bool,
 }
 
 impl MutationSet {
@@ -230,11 +274,25 @@ impl MutationSet {
                 );
                 self.coarse_merge_sector = Some(sector_bytes);
             }
+            ProtocolMutation::SkipSelfInvalidate => self.skip_self_invalidate = true,
+            ProtocolMutation::SkipSelfDowngrade => self.skip_self_downgrade = true,
+            ProtocolMutation::SkipWardRegistration => self.skip_ward_registration = true,
+            ProtocolMutation::DlsCachePrivate => self.dls_cache_private = true,
+            ProtocolMutation::DlsDirtyPrivate => self.dls_dirty_private = true,
+            ProtocolMutation::DlsSkipLlcDirty => self.dls_skip_llc_dirty = true,
         }
     }
 
     pub(crate) fn any(&self) -> bool {
-        self.skip_ward_entry_sync || self.skip_recon_writeback || self.coarse_merge_sector.is_some()
+        self.skip_ward_entry_sync
+            || self.skip_recon_writeback
+            || self.coarse_merge_sector.is_some()
+            || self.skip_self_invalidate
+            || self.skip_self_downgrade
+            || self.skip_ward_registration
+            || self.dls_cache_private
+            || self.dls_dirty_private
+            || self.dls_skip_llc_dirty
     }
 }
 

@@ -53,6 +53,11 @@ pub enum CoherenceError {
     },
     /// `set_memory` was called after the caches warmed up.
     CachesNotCold,
+    /// A protocol name did not match any registered protocol.
+    UnknownProtocol {
+        /// The unrecognized name.
+        name: String,
+    },
     /// A configuration value is invalid (see the message for which).
     BadConfig(String),
 }
@@ -81,6 +86,12 @@ impl fmt::Display for CoherenceError {
             }
             CoherenceError::CachesNotCold => {
                 write!(f, "set_memory requires cold caches")
+            }
+            CoherenceError::UnknownProtocol { name } => {
+                write!(
+                    f,
+                    "unknown protocol {name:?} (registered: msi, mesi, warden, si, dls)"
+                )
             }
             CoherenceError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }

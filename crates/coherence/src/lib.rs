@@ -22,14 +22,14 @@
 //! # Example
 //!
 //! ```
-//! use warden_coherence::{CacheConfig, CoherenceSystem, LatencyModel, Protocol, Topology};
+//! use warden_coherence::{CacheConfig, CoherenceSystem, LatencyModel, ProtocolId, Topology};
 //! use warden_mem::{Addr, PAGE_SIZE};
 //!
 //! let mut sys = CoherenceSystem::new(
 //!     Topology::new(2, 12),
 //!     LatencyModel::xeon_gold_6126(),
 //!     CacheConfig::paper(12),
-//!     Protocol::Warden,
+//!     ProtocolId::Warden,
 //! );
 //! let region = sys.add_region(Addr(0), Addr(PAGE_SIZE)).expect("capacity available");
 //! // Two cores race benign writes; the W state suppresses all invalidations.
@@ -48,6 +48,7 @@
 mod check;
 mod error;
 mod obs;
+mod protocol;
 mod region;
 mod state;
 mod stats;
@@ -58,9 +59,12 @@ pub use check::{
     CheckerReport, InvariantChecker, InvariantKind, InvariantViolation, ProtocolMutation,
 };
 pub use error::CoherenceError;
-pub use obs::{decode_events, encode_events, EventSink, ProtocolEvent};
+pub use obs::{decode_events, encode_events, EventClass, EventSink, ProtocolEvent};
+pub use protocol::{
+    DlsProtocol, MesiProtocol, MsiProtocol, Protocol, SelfInvProtocol, WardenProtocol,
+};
 pub use region::{AddRegion, RegionId, RegionStore};
-pub use state::{DirState, LlcLine, PrivLine, PrivState, Protocol};
+pub use state::{DirState, LlcLine, PrivLine, PrivState, ProtocolId};
 pub use stats::CoherenceStats;
-pub use system::{AccessKind, CacheConfig, CoherenceSystem, DirKind, LocalHit};
+pub use system::{AccessKind, CacheConfig, CoherenceSystem, DirKind, LocalHit, WriteVal};
 pub use topo::{CoreId, LatencyModel, SocketId, Topology};

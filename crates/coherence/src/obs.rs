@@ -117,6 +117,39 @@ pub enum ProtocolEvent {
     },
 }
 
+/// A protocol-specific classification of a [`ProtocolEvent`], assigned by
+/// [`crate::Protocol::classify`]. The same wire event classifies
+/// differently under different protocols: a ward-served GetS is WARD-region
+/// machinery under WARDen but the ordinary demand path under
+/// self-invalidation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventClass {
+    /// Ordinary demand traffic (misses, upgrades).
+    Demand,
+    /// WARD-state machinery (ward serves, entry syncs, reconciliations).
+    Ward,
+    /// Sync-point machinery (self-downgrade/self-invalidate flushes,
+    /// atomics escaping to coherence).
+    Sync,
+    /// Region-instruction bookkeeping.
+    Region,
+    /// Capacity evictions at any level.
+    Eviction,
+}
+
+impl EventClass {
+    /// Short stable name (metrics counters, report rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventClass::Demand => "demand",
+            EventClass::Ward => "ward",
+            EventClass::Sync => "sync",
+            EventClass::Region => "region",
+            EventClass::Eviction => "eviction",
+        }
+    }
+}
+
 impl ProtocolEvent {
     /// Short stable name, used as the Perfetto event name and in summaries.
     pub fn name(&self) -> &'static str {

@@ -1,0 +1,387 @@
+//! The pluggable protocol boundary.
+//!
+//! A coherence protocol is a *policy* layered over the shared machinery in
+//! [`CoherenceSystem`] (the "datapath": private caches, LLC slices with
+//! co-located directories, the write-mask merge unit, the message and
+//! latency accounting). The [`Protocol`] trait owns every per-protocol
+//! decision:
+//!
+//! * how a demand read or write miss is served at the directory
+//!   ([`Protocol::get_shared`] / [`Protocol::get_modified`]),
+//! * how atomics are made coherent ([`Protocol::rmw`]),
+//! * whether WARD-region instructions are honoured
+//!   ([`Protocol::uses_regions`]),
+//! * what happens at a task-boundary sync point ([`Protocol::task_sync`]),
+//! * which invariants the checker holds the protocol to
+//!   ([`Protocol::check_block`]), and
+//! * how observability events are classified for reporting
+//!   ([`Protocol::classify`]).
+//!
+//! Implementations are stateless singletons (all machine state lives in the
+//! [`CoherenceSystem`]), registered by [`ProtocolId`] and resolved with
+//! [`ProtocolId::imp`]. The five registered protocols:
+//!
+//! | id       | private caches | writes visible      | invalidation traffic |
+//! |----------|----------------|---------------------|----------------------|
+//! | `msi`    | MSI            | immediately         | on every conflict    |
+//! | `mesi`   | MESI           | immediately         | on every conflict    |
+//! | `warden` | MESI + W state | immediately / region| outside WARD regions |
+//! | `si`     | self-inv/SD    | at sync points      | only on atomics      |
+//! | `dls`    | bypassed       | immediately (LLC)   | none                 |
+
+use crate::check::InvariantChecker;
+use crate::obs::{EventClass, ProtocolEvent};
+use crate::state::ProtocolId;
+use crate::system::{CoherenceSystem, WardPolicy, WriteVal};
+use crate::topo::CoreId;
+use warden_mem::{Addr, BlockAddr};
+
+/// One pluggable coherence protocol: the directory state machine, region
+/// hooks, sync-point behaviour, invariant set and event classification for
+/// a [`ProtocolId`].
+///
+/// Implementations are zero-sized and stateless; every method receives the
+/// [`CoherenceSystem`] that holds the actual caches and statistics. The
+/// shared directory machinery (`CoherenceSystem::dir_get_shared` and
+/// friends) is parameterized rather than duplicated, so the MESI-family
+/// protocols stay bit-identical to the pre-trait implementation.
+pub trait Protocol: std::fmt::Debug + Sync {
+    /// The identity this implementation is registered under.
+    fn id(&self) -> ProtocolId;
+
+    /// Whether Add-Region / Remove-Region instructions are honoured (only
+    /// WARDen's region CAM consumes them; everyone else treats them as
+    /// no-ops, like a machine without the region ISA extension).
+    fn uses_regions(&self) -> bool {
+        false
+    }
+
+    /// Serve a read that missed the private hierarchy.
+    fn get_shared(&self, sys: &mut CoherenceSystem, core: CoreId, block: BlockAddr) -> u64;
+
+    /// Serve a write that missed a writable private copy. `coherent_only`
+    /// forces baseline (non-ward) semantics; the RMW paths use it.
+    fn get_modified(
+        &self,
+        sys: &mut CoherenceSystem,
+        core: CoreId,
+        block: BlockAddr,
+        offset: u64,
+        val: WriteVal<'_>,
+        coherent_only: bool,
+    ) -> u64;
+
+    /// Perform an atomic read-modify-write coherently.
+    fn rmw(&self, sys: &mut CoherenceSystem, core: CoreId, addr: Addr, val: WriteVal<'_>) -> u64;
+
+    /// A sync point (task boundary, work acquisition) reached by `core`.
+    /// Returns the latency to charge; protocols with eager coherence have
+    /// nothing to do.
+    fn task_sync(&self, sys: &mut CoherenceSystem, core: CoreId) -> u64 {
+        let _ = (sys, core);
+        0
+    }
+
+    /// Validate one block's settled state against this protocol's
+    /// invariant set.
+    fn check_block(&self, sys: &CoherenceSystem, chk: &mut InvariantChecker, block: BlockAddr) {
+        sys.check_block_coherent(chk, block, WardPolicy::InRegion);
+    }
+
+    /// Classify an observability event for this protocol's reports. The
+    /// same wire event means different things under different protocols
+    /// (a ward-served GetS is region machinery under WARDen but the normal
+    /// serve path under self-invalidation).
+    fn classify(&self, ev: &ProtocolEvent) -> EventClass {
+        match ev {
+            ProtocolEvent::GetS { ward: true, .. } | ProtocolEvent::GetM { ward: true, .. } => {
+                EventClass::Ward
+            }
+            ProtocolEvent::GetS { .. } | ProtocolEvent::GetM { .. } => EventClass::Demand,
+            ProtocolEvent::WardEntrySync { .. }
+            | ProtocolEvent::RmwEscape { .. }
+            | ProtocolEvent::Reconcile { .. } => EventClass::Ward,
+            ProtocolEvent::RegionAdd { .. }
+            | ProtocolEvent::RegionOverflow { .. }
+            | ProtocolEvent::RegionRemove { .. } => EventClass::Region,
+            ProtocolEvent::PrivEviction { .. } | ProtocolEvent::LlcEviction { .. } => {
+                EventClass::Eviction
+            }
+        }
+    }
+}
+
+/// Plain MSI: no Exclusive state, so unshared reads fill Shared and the
+/// first write to a read block always pays an upgrade transaction.
+#[derive(Debug)]
+pub struct MsiProtocol;
+
+impl Protocol for MsiProtocol {
+    fn id(&self) -> ProtocolId {
+        ProtocolId::Msi
+    }
+
+    fn get_shared(&self, sys: &mut CoherenceSystem, core: CoreId, block: BlockAddr) -> u64 {
+        sys.dir_get_shared(core, block, false, false)
+    }
+
+    fn get_modified(
+        &self,
+        sys: &mut CoherenceSystem,
+        core: CoreId,
+        block: BlockAddr,
+        offset: u64,
+        val: WriteVal<'_>,
+        _coherent_only: bool,
+    ) -> u64 {
+        sys.dir_get_modified(core, block, offset, val, false)
+    }
+
+    fn rmw(&self, sys: &mut CoherenceSystem, core: CoreId, addr: Addr, val: WriteVal<'_>) -> u64 {
+        sys.store_path(core, addr, val)
+    }
+}
+
+/// The baseline directory MESI protocol (paper §2.2): unshared reads fill
+/// Exclusive, conflicts invalidate or downgrade eagerly.
+#[derive(Debug)]
+pub struct MesiProtocol;
+
+impl Protocol for MesiProtocol {
+    fn id(&self) -> ProtocolId {
+        ProtocolId::Mesi
+    }
+
+    fn get_shared(&self, sys: &mut CoherenceSystem, core: CoreId, block: BlockAddr) -> u64 {
+        sys.dir_get_shared(core, block, false, true)
+    }
+
+    fn get_modified(
+        &self,
+        sys: &mut CoherenceSystem,
+        core: CoreId,
+        block: BlockAddr,
+        offset: u64,
+        val: WriteVal<'_>,
+        _coherent_only: bool,
+    ) -> u64 {
+        sys.dir_get_modified(core, block, offset, val, false)
+    }
+
+    fn rmw(&self, sys: &mut CoherenceSystem, core: CoreId, addr: Addr, val: WriteVal<'_>) -> u64 {
+        sys.store_path(core, addr, val)
+    }
+}
+
+/// MESI plus the W state (paper §5): accesses inside an active WARD region
+/// are served without invalidating or downgrading other copies; region
+/// removal reconciles by write-mask merge.
+#[derive(Debug)]
+pub struct WardenProtocol;
+
+impl Protocol for WardenProtocol {
+    fn id(&self) -> ProtocolId {
+        ProtocolId::Warden
+    }
+
+    fn uses_regions(&self) -> bool {
+        true
+    }
+
+    fn get_shared(&self, sys: &mut CoherenceSystem, core: CoreId, block: BlockAddr) -> u64 {
+        let ward = sys.in_ward_region(core, block);
+        sys.dir_get_shared(core, block, ward, true)
+    }
+
+    fn get_modified(
+        &self,
+        sys: &mut CoherenceSystem,
+        core: CoreId,
+        block: BlockAddr,
+        offset: u64,
+        val: WriteVal<'_>,
+        coherent_only: bool,
+    ) -> u64 {
+        let ward = !coherent_only && sys.in_ward_region(core, block);
+        sys.dir_get_modified(core, block, offset, val, ward)
+    }
+
+    fn rmw(&self, sys: &mut CoherenceSystem, core: CoreId, addr: Addr, val: WriteVal<'_>) -> u64 {
+        sys.ward_rmw(core, addr, val)
+    }
+}
+
+/// Self-invalidation/self-downgrade: every demand access is served with
+/// ward semantics (no remote invalidations or downgrades), and a core makes
+/// its writes globally visible — and drops its possibly-stale clean copies
+/// — at sync points. Atomics sync first, then execute coherently.
+#[derive(Debug)]
+pub struct SelfInvProtocol;
+
+impl Protocol for SelfInvProtocol {
+    fn id(&self) -> ProtocolId {
+        ProtocolId::SelfInv
+    }
+
+    fn get_shared(&self, sys: &mut CoherenceSystem, core: CoreId, block: BlockAddr) -> u64 {
+        sys.dir_get_shared(core, block, true, true)
+    }
+
+    fn get_modified(
+        &self,
+        sys: &mut CoherenceSystem,
+        core: CoreId,
+        block: BlockAddr,
+        offset: u64,
+        val: WriteVal<'_>,
+        coherent_only: bool,
+    ) -> u64 {
+        sys.dir_get_modified(core, block, offset, val, !coherent_only)
+    }
+
+    fn rmw(&self, sys: &mut CoherenceSystem, core: CoreId, addr: Addr, val: WriteVal<'_>) -> u64 {
+        sys.si_rmw(core, addr, val)
+    }
+
+    fn task_sync(&self, sys: &mut CoherenceSystem, core: CoreId) -> u64 {
+        sys.si_sync(core)
+    }
+
+    fn check_block(&self, sys: &CoherenceSystem, chk: &mut InvariantChecker, block: BlockAddr) {
+        // The W state is this protocol's normal serve state, not a
+        // region-scoped privilege: every coherent invariant applies except
+        // W-in-region. Sync-point residue is checked at the sync itself
+        // (`CoherenceSystem::si_sync`).
+        sys.check_block_coherent(chk, block, WardPolicy::Anywhere);
+    }
+
+    fn classify(&self, ev: &ProtocolEvent) -> EventClass {
+        match ev {
+            // Ward-served accesses are this protocol's ordinary demand
+            // path; the sync-point machinery is what deserves its own row.
+            ProtocolEvent::GetS { .. } | ProtocolEvent::GetM { .. } => EventClass::Demand,
+            ProtocolEvent::WardEntrySync { .. }
+            | ProtocolEvent::RmwEscape { .. }
+            | ProtocolEvent::Reconcile { .. } => EventClass::Sync,
+            ProtocolEvent::RegionAdd { .. }
+            | ProtocolEvent::RegionOverflow { .. }
+            | ProtocolEvent::RegionRemove { .. } => EventClass::Region,
+            ProtocolEvent::PrivEviction { .. } | ProtocolEvent::LlcEviction { .. } => {
+                EventClass::Eviction
+            }
+        }
+    }
+}
+
+/// Directoryless shared LLC: the private hierarchy is bypassed, every
+/// access is served at the block's home LLC slice, and no private dirty
+/// line can exist — the LLC is the single coherence point.
+#[derive(Debug)]
+pub struct DlsProtocol;
+
+impl Protocol for DlsProtocol {
+    fn id(&self) -> ProtocolId {
+        ProtocolId::Dls
+    }
+
+    fn get_shared(&self, sys: &mut CoherenceSystem, core: CoreId, block: BlockAddr) -> u64 {
+        sys.dls_get_shared(core, block)
+    }
+
+    fn get_modified(
+        &self,
+        sys: &mut CoherenceSystem,
+        core: CoreId,
+        block: BlockAddr,
+        offset: u64,
+        val: WriteVal<'_>,
+        _coherent_only: bool,
+    ) -> u64 {
+        sys.dls_get_modified(core, block, offset, val)
+    }
+
+    fn rmw(&self, sys: &mut CoherenceSystem, core: CoreId, addr: Addr, val: WriteVal<'_>) -> u64 {
+        // The LLC is the serialization point, so an atomic is just a
+        // directory write like any other.
+        sys.dls_get_modified(core, addr.block(), addr.block_offset(), val)
+    }
+
+    fn check_block(&self, sys: &CoherenceSystem, chk: &mut InvariantChecker, block: BlockAddr) {
+        sys.check_block_dls(chk, block);
+    }
+
+    fn classify(&self, ev: &ProtocolEvent) -> EventClass {
+        match ev {
+            ProtocolEvent::GetS { .. } | ProtocolEvent::GetM { .. } => EventClass::Demand,
+            ProtocolEvent::PrivEviction { .. } | ProtocolEvent::LlcEviction { .. } => {
+                EventClass::Eviction
+            }
+            // Nothing else can legally occur; classify defensively.
+            _ => EventClass::Ward,
+        }
+    }
+}
+
+static MSI: MsiProtocol = MsiProtocol;
+static MESI: MesiProtocol = MesiProtocol;
+static WARDEN: WardenProtocol = WardenProtocol;
+static SELF_INV: SelfInvProtocol = SelfInvProtocol;
+static DLS: DlsProtocol = DlsProtocol;
+
+impl ProtocolId {
+    /// Resolve this id to its registered implementation.
+    pub fn imp(self) -> &'static dyn Protocol {
+        match self {
+            ProtocolId::Msi => &MSI,
+            ProtocolId::Mesi => &MESI,
+            ProtocolId::Warden => &WARDEN,
+            ProtocolId::SelfInv => &SELF_INV,
+            ProtocolId::Dls => &DLS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_id_resolves_to_a_matching_impl() {
+        for p in ProtocolId::ALL {
+            assert_eq!(p.imp().id(), p, "registry wired to the wrong impl");
+        }
+    }
+
+    #[test]
+    fn only_warden_uses_regions() {
+        for p in ProtocolId::ALL {
+            assert_eq!(p.imp().uses_regions(), p == ProtocolId::Warden);
+        }
+    }
+
+    #[test]
+    fn classification_is_protocol_specific() {
+        let ward_gets = ProtocolEvent::GetS {
+            core: 0,
+            block: warden_mem::BlockAddr(1),
+            dir: crate::system::DirKind::Uncached,
+            ward: true,
+        };
+        assert_eq!(
+            ProtocolId::Warden.imp().classify(&ward_gets),
+            EventClass::Ward
+        );
+        assert_eq!(
+            ProtocolId::SelfInv.imp().classify(&ward_gets),
+            EventClass::Demand
+        );
+        let recon = ProtocolEvent::Reconcile {
+            block: warden_mem::BlockAddr(1),
+            holders: 2,
+            writebacks: 1,
+            drops: 1,
+        };
+        assert_eq!(ProtocolId::Warden.imp().classify(&recon), EventClass::Ward);
+        assert_eq!(ProtocolId::SelfInv.imp().classify(&recon), EventClass::Sync);
+    }
+}

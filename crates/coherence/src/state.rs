@@ -1,13 +1,19 @@
 //! Coherence state kept in private caches and the directory.
 
+use crate::error::CoherenceError;
 use crate::CoreId;
 use std::fmt;
 use warden_mem::codec::{CodecError, Decoder, Encoder};
 use warden_mem::{BlockData, WriteMask};
 
 /// Which coherence protocol the system runs.
+///
+/// This is the *identity* of a protocol — the stable name and wire tag that
+/// checkpoints, serve fingerprints and campaign reports bind to. The
+/// behaviour lives behind the [`crate::Protocol`] trait; [`Self::imp`]
+/// resolves an id to its registered implementation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum Protocol {
+pub enum ProtocolId {
     /// A plain MSI directory protocol (no Exclusive state): every
     /// first-write to a privately read block pays an upgrade. Included as a
     /// secondary baseline to isolate what the E state alone buys on these
@@ -17,14 +23,83 @@ pub enum Protocol {
     Mesi,
     /// MESI augmented with the WARD state (paper §5).
     Warden,
+    /// Self-invalidation/self-downgrade ("Mending Fences", arXiv:1611.07372):
+    /// every demand access is served without invalidating or downgrading
+    /// remote copies, and writes become visible at sync points, where a core
+    /// flushes its dirty sectors (self-downgrade) and drops its clean copies
+    /// (self-invalidate). Atomics sync, then execute coherently.
+    SelfInv,
+    /// Directoryless shared-LLC (DLS, arXiv:1206.4753): the private caches
+    /// are bypassed entirely, so no private dirty line can exist and every
+    /// access is served at the block's home LLC slice — the single coherence
+    /// point.
+    Dls,
 }
 
-impl fmt::Display for Protocol {
+impl ProtocolId {
+    /// Every registered protocol, in wire-tag order.
+    pub const ALL: [ProtocolId; 5] = [
+        ProtocolId::Msi,
+        ProtocolId::Mesi,
+        ProtocolId::Warden,
+        ProtocolId::SelfInv,
+        ProtocolId::Dls,
+    ];
+
+    /// The stable lowercase name (CLI flags, golden-file names, campaign
+    /// run ids, report headers).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolId::Msi => "msi",
+            ProtocolId::Mesi => "mesi",
+            ProtocolId::Warden => "warden",
+            ProtocolId::SelfInv => "si",
+            ProtocolId::Dls => "dls",
+        }
+    }
+
+    /// Resolve a name produced by [`Self::name`] (case-insensitive).
+    pub fn from_name(name: &str) -> Result<ProtocolId, CoherenceError> {
+        let lower = name.to_ascii_lowercase();
+        ProtocolId::ALL
+            .into_iter()
+            .find(|p| p.name() == lower)
+            .ok_or_else(|| CoherenceError::UnknownProtocol { name: name.into() })
+    }
+
+    /// The stable one-byte wire tag (checkpoint identity, serve
+    /// fingerprints, campaign result records).
+    pub fn tag(self) -> u8 {
+        match self {
+            ProtocolId::Msi => 0,
+            ProtocolId::Mesi => 1,
+            ProtocolId::Warden => 2,
+            ProtocolId::SelfInv => 3,
+            ProtocolId::Dls => 4,
+        }
+    }
+
+    /// Resolve a wire tag written by [`Self::tag`]; unknown tags are a
+    /// typed decode error, never a panic or a silent default.
+    pub fn from_tag(tag: u8) -> Result<ProtocolId, CodecError> {
+        ProtocolId::ALL
+            .into_iter()
+            .find(|p| p.tag() == tag)
+            .ok_or(CodecError::BadTag {
+                what: "protocol",
+                tag: tag as u64,
+            })
+    }
+}
+
+impl fmt::Display for ProtocolId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Protocol::Msi => write!(f, "MSI"),
-            Protocol::Mesi => write!(f, "MESI"),
-            Protocol::Warden => write!(f, "WARDen"),
+            ProtocolId::Msi => write!(f, "MSI"),
+            ProtocolId::Mesi => write!(f, "MESI"),
+            ProtocolId::Warden => write!(f, "WARDen"),
+            ProtocolId::SelfInv => write!(f, "SelfInv"),
+            ProtocolId::Dls => write!(f, "DLS"),
         }
     }
 }
@@ -263,7 +338,45 @@ mod tests {
 
     #[test]
     fn protocol_display() {
-        assert_eq!(Protocol::Mesi.to_string(), "MESI");
-        assert_eq!(Protocol::Warden.to_string(), "WARDen");
+        assert_eq!(ProtocolId::Mesi.to_string(), "MESI");
+        assert_eq!(ProtocolId::Warden.to_string(), "WARDen");
+        assert_eq!(ProtocolId::SelfInv.to_string(), "SelfInv");
+        assert_eq!(ProtocolId::Dls.to_string(), "DLS");
+    }
+
+    #[test]
+    fn protocol_names_round_trip() {
+        for p in ProtocolId::ALL {
+            assert_eq!(ProtocolId::from_name(p.name()).unwrap(), p);
+            assert_eq!(
+                ProtocolId::from_name(&p.name().to_ascii_uppercase()).unwrap(),
+                p
+            );
+        }
+        match ProtocolId::from_name("moesi") {
+            Err(CoherenceError::UnknownProtocol { name }) => assert_eq!(name, "moesi"),
+            other => panic!("expected UnknownProtocol, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn protocol_tags_round_trip_and_reject_unknown() {
+        for p in ProtocolId::ALL {
+            assert_eq!(ProtocolId::from_tag(p.tag()).unwrap(), p);
+        }
+        // Tags are frozen: reordering the enum would silently re-bind every
+        // existing checkpoint and serve fingerprint.
+        assert_eq!(ProtocolId::Msi.tag(), 0);
+        assert_eq!(ProtocolId::Mesi.tag(), 1);
+        assert_eq!(ProtocolId::Warden.tag(), 2);
+        assert_eq!(ProtocolId::SelfInv.tag(), 3);
+        assert_eq!(ProtocolId::Dls.tag(), 4);
+        match ProtocolId::from_tag(250) {
+            Err(CodecError::BadTag { what, tag }) => {
+                assert_eq!(what, "protocol");
+                assert_eq!(tag, 250);
+            }
+            other => panic!("expected BadTag, got {other:?}"),
+        }
     }
 }

@@ -12,9 +12,9 @@ use crate::check::{
     ProtocolMutation,
 };
 use crate::error::CoherenceError;
-use crate::obs::{decode_events, encode_events, ProtocolEvent};
+use crate::obs::{decode_events, encode_events, EventClass, ProtocolEvent};
 use crate::region::{AddRegion, RegionId, RegionStore};
-use crate::state::{DirState, LlcLine, PrivLine, PrivState, Protocol};
+use crate::state::{DirState, LlcLine, PrivLine, PrivState, ProtocolId};
 use crate::stats::CoherenceStats;
 use crate::topo::{CoreId, LatencyModel, SocketId, Topology};
 use warden_mem::{
@@ -207,14 +207,14 @@ impl PrivateCache {
 /// # Example
 ///
 /// ```
-/// use warden_coherence::{CacheConfig, CoherenceSystem, LatencyModel, Protocol, Topology};
+/// use warden_coherence::{CacheConfig, CoherenceSystem, LatencyModel, ProtocolId, Topology};
 /// use warden_mem::Addr;
 ///
 /// let mut sys = CoherenceSystem::new(
 ///     Topology::new(1, 2),
 ///     LatencyModel::xeon_gold_6126(),
 ///     CacheConfig::paper(2),
-///     Protocol::Mesi,
+///     ProtocolId::Mesi,
 /// );
 /// let t_miss = sys.load(0, Addr(0x1000), 8);
 /// let t_hit = sys.load(0, Addr(0x1000), 8);
@@ -224,7 +224,7 @@ impl PrivateCache {
 pub struct CoherenceSystem {
     topo: Topology,
     lat: LatencyModel,
-    protocol: Protocol,
+    protocol: ProtocolId,
     cores: Vec<PrivateCache>,
     llcs: Vec<CacheArray<LlcLine>>,
     regions: RegionStore,
@@ -277,14 +277,22 @@ fn sector_range(g: u64, offset: u64, len: u64) -> (u64, u64) {
 }
 
 /// The value a write-type access applies once the block is held coherently.
-#[derive(Clone, Copy)]
-enum WriteVal<'a> {
+///
+/// Public because it is the store payload vocabulary of the
+/// [`crate::Protocol`] trait; constructed only inside the crate.
+#[derive(Clone, Copy, Debug)]
+pub enum WriteVal<'a> {
     /// Store these bytes.
     Bytes(&'a [u8]),
     /// Atomically add `delta` to the `size`-byte little-endian integer in
     /// place (fetch-and-add: the result depends on the value the machine
     /// holds when the atomic executes).
-    Add { delta: u64, size: u64 },
+    Add {
+        /// The addend.
+        delta: u64,
+        /// Operand width in bytes (`1..=8`).
+        size: u64,
+    },
 }
 
 impl WriteVal<'_> {
@@ -322,6 +330,18 @@ pub enum DirKind {
     Owned,
     /// The WARD state.
     Ward,
+}
+
+/// Which occurrences of the W directory state a protocol's invariant set
+/// accepts (see [`CoherenceSystem::check_block_coherent`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum WardPolicy {
+    /// W-state blocks must lie inside an active WARD region (MESI-family
+    /// protocols: W can only appear through the region machinery, so for
+    /// them the check also proves W never appears at all).
+    InRegion,
+    /// The W state is the protocol's ordinary serve state (self-inv).
+    Anywhere,
 }
 
 impl From<DirState> for DirKind {
@@ -369,7 +389,7 @@ impl CoherenceSystem {
         topo: Topology,
         lat: LatencyModel,
         cfg: CacheConfig,
-        protocol: Protocol,
+        protocol: ProtocolId,
     ) -> CoherenceSystem {
         CoherenceSystem {
             topo,
@@ -571,16 +591,24 @@ impl CoherenceSystem {
             }
             touched.sort_unstable();
             touched.dedup();
+            let imp = self.protocol.imp();
             for block in touched {
-                self.check_block_state(&mut chk, block);
+                imp.check_block(self, &mut chk, block);
             }
         }
         self.check = Some(chk);
     }
 
-    /// Validate one block's settled state: SWMR, directory agreement,
-    /// W-in-region, and write-mask mergeability.
-    fn check_block_state(&self, chk: &mut InvariantChecker, block: BlockAddr) {
+    /// Validate one block's settled state against the coherent (MESI-family
+    /// and ward) invariant set: SWMR, directory agreement, the configured
+    /// W-state policy, and write-mask mergeability. The shared body behind
+    /// [`Protocol::check_block`] for every protocol with private caches.
+    pub(crate) fn check_block_coherent(
+        &self,
+        chk: &mut InvariantChecker,
+        block: BlockAddr,
+        ward_policy: WardPolicy,
+    ) {
         chk.blocks_checked += 1;
         let home = self.topo.home_of(block);
         let line = self.llcs[home].peek(block);
@@ -691,7 +719,7 @@ impl CoherenceSystem {
                         ),
                     );
                 }
-                if !self.regions.contains_block(block) {
+                if ward_policy == WardPolicy::InRegion && !self.regions.contains_block(block) {
                     chk.report(
                         InvariantKind::WardInRegion,
                         block,
@@ -731,9 +759,72 @@ impl CoherenceSystem {
         }
     }
 
-    /// The protocol this system runs.
-    pub fn protocol(&self) -> Protocol {
+    /// Validate one block under the DLS invariant set: no private copies
+    /// anywhere, a directory that never leaves `Uncached`, and clean LLC
+    /// lines that agree with main memory (every store must set the dirty
+    /// bit at the single coherence point).
+    pub(crate) fn check_block_dls(&self, chk: &mut InvariantChecker, block: BlockAddr) {
+        chk.blocks_checked += 1;
+        for (c, pc) in self.cores.iter().enumerate() {
+            if pc.l2.peek(block).is_some() || pc.l1.peek(block).is_some() {
+                chk.report(
+                    InvariantKind::PrivateResidency,
+                    block,
+                    Some(c),
+                    format!("core {c} holds a private copy under a directoryless protocol"),
+                );
+            }
+        }
+        let home = self.topo.home_of(block);
+        if let Some(l) = self.llcs[home].peek(block) {
+            if l.dir != DirState::Uncached {
+                chk.report(
+                    InvariantKind::DirAgreement,
+                    block,
+                    None,
+                    format!(
+                        "directoryless protocol recorded directory state {:?}",
+                        DirKind::from(l.dir)
+                    ),
+                );
+            }
+            if !l.dirty {
+                let mem = self.memory.read_block(block);
+                if let Some(b) =
+                    (0..BLOCK_SIZE).find(|&b| l.data.bytes()[b as usize] != mem.bytes()[b as usize])
+                {
+                    chk.report(
+                        InvariantKind::CleanLineDivergence,
+                        block,
+                        None,
+                        format!(
+                            "clean LLC line byte {b} diverged from memory (LLC {:#04x}, \
+                             memory {:#04x}) — a store skipped the dirty bit",
+                            l.data.bytes()[b as usize],
+                            mem.bytes()[b as usize]
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// The id of the protocol this system runs.
+    pub fn protocol(&self) -> ProtocolId {
         self.protocol
+    }
+
+    /// Whether the running protocol honours region instructions (see
+    /// [`Protocol::uses_regions`]); the replay engine consults this instead
+    /// of matching on protocol ids.
+    pub fn uses_regions(&self) -> bool {
+        self.protocol.imp().uses_regions()
+    }
+
+    /// Classify a protocol event the way the running protocol reports it
+    /// (see [`Protocol::classify`]).
+    pub fn classify_event(&self, ev: &ProtocolEvent) -> EventClass {
+        self.protocol.imp().classify(ev)
     }
 
     /// The machine topology.
@@ -1018,7 +1109,7 @@ impl CoherenceSystem {
         let Some(llc) = self.llcs[home].peek_mut(block) else {
             // Inclusion means this should not happen; tolerate by writing
             // dirty data straight to memory.
-            debug_assert!(false, "private copy without LLC line");
+            debug_assert!(self.mutations.any(), "private copy without LLC line");
             if !line.mask.is_empty() {
                 let mut blk = self.memory.read_block(block);
                 blk.merge_from(&line.data, line.mask);
@@ -1070,7 +1161,7 @@ impl CoherenceSystem {
                 new_dir = Some(nd);
             }
             DirState::Uncached | DirState::Owned(_) => {
-                debug_assert!(false, "directory out of sync on eviction");
+                debug_assert!(self.mutations.any(), "directory out of sync on eviction");
             }
         }
         if let Some(d) = new_dir {
@@ -1366,8 +1457,8 @@ impl CoherenceSystem {
                 self.stats.l2_hits += 1;
                 self.lat.l2
             }
-            // Merge-mediated directory transaction.
-            None => self.get_shared(core, block),
+            // Merge-mediated directory transaction, served by the protocol.
+            None => self.protocol.imp().get_shared(self, core, block),
         }
     }
 
@@ -1384,12 +1475,12 @@ impl CoherenceSystem {
             "store at {addr} crosses a block boundary"
         );
         self.stats.stores += 1;
-        let t = self.store_inner(core, addr, WriteVal::Bytes(data));
+        let t = self.store_path(core, addr, WriteVal::Bytes(data));
         self.run_checks();
         t
     }
 
-    fn store_inner(&mut self, core: CoreId, addr: Addr, val: WriteVal<'_>) -> u64 {
+    pub(crate) fn store_path(&mut self, core: CoreId, addr: Addr, val: WriteVal<'_>) -> u64 {
         let block = addr.block();
         let offset = addr.block_offset();
         let sector_bytes = self.sector_bytes;
@@ -1403,8 +1494,11 @@ impl CoherenceSystem {
                 self.stats.l2_hits += 1;
                 self.lat.l2
             }
-            // Merge-mediated directory transaction.
-            None => self.get_modified(core, block, offset, val, false),
+            // Merge-mediated directory transaction, served by the protocol.
+            None => self
+                .protocol
+                .imp()
+                .get_modified(self, core, block, offset, val, false),
         }
     }
 
@@ -1443,6 +1537,15 @@ impl CoherenceSystem {
             "rmw at {addr} crosses a block boundary"
         );
         self.stats.rmws += 1;
+        self.protocol.imp().rmw(self, core, addr, val)
+    }
+
+    /// WARDen's atomic path (behind [`Protocol::rmw`]): an RMW inside an
+    /// active region escapes the W state coherently — the block is
+    /// reconciled on demand first — because an atomic operating on stale
+    /// W-state data would break synchronization. This mirrors how real sync
+    /// variables in MPL live outside the marked heap pages.
+    pub(crate) fn ward_rmw(&mut self, core: CoreId, addr: Addr, val: WriteVal<'_>) -> u64 {
         let block = addr.block();
         let in_ward_region = self.in_ward_region(core, block);
         if in_ward_region {
@@ -1451,7 +1554,7 @@ impl CoherenceSystem {
                 // This core is already the sole coherent owner: the atomic
                 // executes on its M/E copy like any store.
                 Some(DirState::Owned(o)) if o == core => {
-                    return self.store_inner(core, addr, val);
+                    return self.store_path(core, addr, val);
                 }
                 Some(DirState::Ward(_)) => {
                     self.stats.ward_rmw_escapes += 1;
@@ -1461,24 +1564,211 @@ impl CoherenceSystem {
                 _ => {}
             }
             // Fall through to a coherent GetM, never entering W.
-            return self.get_modified(core, block, addr.block_offset(), val, true);
+            return self.dir_get_modified(core, block, addr.block_offset(), val, false);
         }
-        self.store_inner(core, addr, val)
+        self.store_path(core, addr, val)
+    }
+
+    /// Self-invalidation's atomic path (behind [`Protocol::rmw`]): an
+    /// atomic is itself a sync point, so the issuing core first
+    /// self-downgrades and self-invalidates, then executes the RMW
+    /// coherently — reconciling the target block out of the W state when
+    /// other cores still hold ward copies of it.
+    pub(crate) fn si_rmw(&mut self, core: CoreId, addr: Addr, val: WriteVal<'_>) -> u64 {
+        let mut t = self.si_sync(core);
+        let block = addr.block();
+        let home = self.topo.home_of(block);
+        if let Some(DirState::Ward(_)) = self.llcs[home].peek(block).map(|l| l.dir) {
+            self.stats.ward_rmw_escapes += 1;
+            self.emit(ProtocolEvent::RmwEscape { core, block });
+            self.reconcile_block(home, block);
+        }
+        t += self.dir_get_modified(core, block, addr.block_offset(), val, false);
+        t
+    }
+
+    /// A self-invalidation sync point (behind [`Protocol::task_sync`] and
+    /// the first half of [`Self::si_rmw`]): drain `core`'s private
+    /// hierarchy in canonical order through the eviction path, so dirty
+    /// sectors self-downgrade (write-mask merge at the LLC) and clean
+    /// copies self-invalidate. Returns the latency to charge the core.
+    pub(crate) fn si_sync(&mut self, core: CoreId) -> u64 {
+        let blocks: Vec<BlockAddr> = self.cores[core].l2.iter().map(|(b, _)| b).collect();
+        let mut flushed = 0u64;
+        for block in blocks {
+            if self.mutations.skip_self_invalidate {
+                // Mutation: only dirty lines leave (self-downgrade without
+                // self-invalidate) — clean residue survives the sync.
+                let dirty = self.cores[core]
+                    .l2
+                    .peek(block)
+                    .is_some_and(|l| !l.mask.is_empty());
+                if !dirty {
+                    continue;
+                }
+            }
+            let Some(line) = self.invalidate_priv(core, block) else {
+                continue;
+            };
+            flushed += 1;
+            if self.mutations.skip_self_downgrade {
+                // Mutation: the line vanishes without publishing its dirty
+                // sectors (and without telling the directory).
+                continue;
+            }
+            self.handle_priv_eviction(core, block, line);
+        }
+        // The protocol's sync-point invariant: nothing may survive.
+        if let Some(mut chk) = self.check.take() {
+            let residue: Vec<BlockAddr> = self.cores[core].l2.iter().map(|(b, _)| b).collect();
+            for block in residue {
+                chk.report(
+                    InvariantKind::SyncResidue,
+                    block,
+                    Some(core),
+                    format!("core {core} kept a private line across a sync point"),
+                );
+            }
+            self.check = Some(chk);
+        }
+        flushed * self.lat.reconcile_per_block
+    }
+
+    /// DLS read path (behind [`Protocol::get_shared`]): served entirely at
+    /// the block's home LLC slice; nothing is filled privately.
+    pub(crate) fn dls_get_shared(&mut self, core: CoreId, block: BlockAddr) -> u64 {
+        let home = self.topo.home_of(block);
+        let csock = self.topo.socket_of(core);
+        let mut t = self.lat.l3 + self.xs(csock, home);
+        self.ctrl_msg(csock, home);
+        self.stats.dir_lookups += 1;
+        let slot = self.llc_ensure(home, block, &mut t);
+        let (dir, data) = {
+            let l = self.llcs[home].at(slot);
+            (l.dir, l.data)
+        };
+        self.emit(ProtocolEvent::GetS {
+            core,
+            block,
+            dir: dir.into(),
+            ward: false,
+        });
+        // The directory never leaves Uncached; the note feeds the
+        // invariant checker's per-access validation of this block.
+        self.note_dir(block, DirState::Uncached);
+        self.data_msg(home, csock);
+        if self.mutations.dls_cache_private {
+            // Mutation: illegally fill a private copy; later reads hit it
+            // and never see other cores' LLC writes.
+            self.fill_private(core, block, PrivLine::filled(PrivState::Shared, data));
+        }
+        t
+    }
+
+    /// DLS write path (behind [`Protocol::get_modified`] and
+    /// [`Protocol::rmw`]): the store's bytes are applied to the home LLC
+    /// line — the single coherence point — and marked dirty.
+    pub(crate) fn dls_get_modified(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+        offset: u64,
+        val: WriteVal<'_>,
+    ) -> u64 {
+        let home = self.topo.home_of(block);
+        let csock = self.topo.socket_of(core);
+        let mut t = self.lat.l3 + self.xs(csock, home);
+        self.ctrl_msg(csock, home);
+        self.stats.dir_lookups += 1;
+        let slot = self.llc_ensure(home, block, &mut t);
+        let dir = self.llcs[home].at(slot).dir;
+        self.emit(ProtocolEvent::GetM {
+            core,
+            block,
+            dir: dir.into(),
+            ward: false,
+            upgrade: false,
+        });
+        self.note_dir(block, DirState::Uncached);
+        self.data_msg(csock, home);
+        if self.mutations.dls_dirty_private {
+            // Mutation: buffer the write in a private dirty line instead of
+            // the LLC — the one place a DLS write must land.
+            let data = self.llcs[home].at(slot).data;
+            let mut line = PrivLine::filled(PrivState::Modified, data);
+            val.apply(&mut line.data, offset);
+            let (ms, ml) = sector_range(self.sector_bytes, offset, val.len());
+            line.mask.set_range(ms, ml);
+            self.fill_private(core, block, line);
+            return t;
+        }
+        let skip_dirty = self.mutations.dls_skip_llc_dirty;
+        let line = self.llcs[home].at_mut(slot);
+        val.apply(&mut line.data, offset);
+        if !skip_dirty {
+            line.dirty = true;
+        }
+        t
+    }
+
+    /// A sync point reached by `core` (task boundary, work acquisition, a
+    /// just-published fork). Dispatches to [`Protocol::task_sync`]; eager
+    /// protocols return 0 and touch nothing, so calling this is free for
+    /// them. Returns the latency to charge the core.
+    pub fn task_sync(&mut self, core: CoreId) -> u64 {
+        let t = self.protocol.imp().task_sync(self, core);
+        if t != 0 {
+            self.run_checks();
+        }
+        t
+    }
+
+    /// The `size`-byte little-endian value `core` would observe at `addr`
+    /// right now, without disturbing any state: its private copy if it
+    /// holds one, else the home LLC line, else memory. Diagnostic — the
+    /// cross-protocol differential tests compare per-core observed-value
+    /// sequences on data-race-free traces with this.
+    pub fn observe(&self, core: CoreId, addr: Addr, size: u64) -> u64 {
+        assert!(
+            (1..=8).contains(&size) && addr.block_offset() + size <= BLOCK_SIZE,
+            "observe at {addr} size {size}"
+        );
+        let block = addr.block();
+        let data = if let Some(line) = self.cores[core].l2.peek(block) {
+            line.data
+        } else if let Some(line) = self.llcs[self.topo.home_of(block)].peek(block) {
+            line.data
+        } else {
+            self.memory.read_block(block)
+        };
+        let off = addr.block_offset() as usize;
+        let mut le = [0u8; 8];
+        le[..size as usize].copy_from_slice(&data.bytes()[off..off + size as usize]);
+        u64::from_le_bytes(le)
     }
 
     /// Full-block write (used by the runtime for freshly allocated pages).
     /// Semantically a store of 64 bytes.
     pub fn store_block(&mut self, core: CoreId, block: BlockAddr, data: &BlockData) -> u64 {
         self.stats.stores += 1;
-        let t = self.store_inner(core, block.base(), WriteVal::Bytes(data.bytes()));
+        let t = self.store_path(core, block.base(), WriteVal::Bytes(data.bytes()));
         self.run_checks();
         t
     }
 
     // ----- GetS -----------------------------------------------------------
 
-    /// Handle a read miss at the directory.
-    fn get_shared(&mut self, core: CoreId, block: BlockAddr) -> u64 {
+    /// Handle a read miss at the directory. `ward_now` is the protocol's
+    /// decision to serve this access with WARD semantics (no invalidations,
+    /// merge on reconcile); `grant_exclusive` selects MESI's E-on-unshared
+    /// optimization over plain MSI's Shared grant.
+    pub(crate) fn dir_get_shared(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+        ward_now: bool,
+        grant_exclusive: bool,
+    ) -> u64 {
         let home = self.topo.home_of(block);
         let csock = self.topo.socket_of(core);
         let mut t = self.lat.l3 + self.xs(csock, home);
@@ -1486,7 +1776,6 @@ impl CoherenceSystem {
         self.stats.dir_lookups += 1;
         let slot = self.llc_ensure(home, block, &mut t);
 
-        let ward_now = self.in_ward_region(core, block);
         let (dir, llc_data) = {
             let l = self.llcs[home].at(slot);
             (l.dir, l.data)
@@ -1522,7 +1811,14 @@ impl CoherenceSystem {
                 }
             };
             self.stats.ward_serves += 1;
-            let new = copies | DirState::bit(core);
+            // Mutation hook: serve the ward copy without registering the
+            // requester in the sharer set — its later dirty sectors are
+            // invisible to reconciliation.
+            let new = if self.mutations.skip_ward_registration {
+                copies
+            } else {
+                copies | DirState::bit(core)
+            };
             let line = self.llcs[home].at_mut(slot);
             line.dir = DirState::Ward(new);
             let data = line.data;
@@ -1548,7 +1844,7 @@ impl CoherenceSystem {
             DirState::Uncached => {
                 // MESI/WARDen grant Exclusive on an unshared read; plain MSI
                 // has no E state and grants Shared.
-                let (dir, fill) = if self.protocol == Protocol::Msi {
+                let (dir, fill) = if !grant_exclusive {
                     (DirState::Shared(DirState::bit(core)), PrivState::Shared)
                 } else {
                     (DirState::Owned(core), PrivState::Exclusive)
@@ -1608,15 +1904,16 @@ impl CoherenceSystem {
 
     // ----- GetM -----------------------------------------------------------
 
-    /// Handle a write miss/upgrade at the directory. `coherent_only` forces
-    /// MESI semantics (used by RMW).
-    fn get_modified(
+    /// Handle a write miss/upgrade at the directory. `ward_now` is the
+    /// protocol's decision to serve this write with WARD semantics (the
+    /// eager protocols always pass `false`, as does any RMW escape).
+    pub(crate) fn dir_get_modified(
         &mut self,
         core: CoreId,
         block: BlockAddr,
         offset: u64,
         val: WriteVal<'_>,
-        coherent_only: bool,
+        ward_now: bool,
     ) -> u64 {
         let home = self.topo.home_of(block);
         let csock = self.topo.socket_of(core);
@@ -1625,7 +1922,6 @@ impl CoherenceSystem {
         self.stats.dir_lookups += 1;
         let slot = self.llc_ensure(home, block, &mut t);
 
-        let ward_now = !coherent_only && self.in_ward_region(core, block);
         let (dir, llc_data) = {
             let l = self.llcs[home].at(slot);
             (l.dir, l.data)
@@ -1662,7 +1958,14 @@ impl CoherenceSystem {
                 }
             };
             self.stats.ward_serves += 1;
-            let new = copies | DirState::bit(core);
+            // Mutation hook: serve the ward copy without registering the
+            // requester in the sharer set — its later dirty sectors are
+            // invisible to reconciliation.
+            let new = if self.mutations.skip_ward_registration {
+                copies
+            } else {
+                copies | DirState::bit(core)
+            };
             let line = self.llcs[home].at_mut(slot);
             line.dir = DirState::Ward(new);
             let fresh = line.data;
@@ -1695,7 +1998,7 @@ impl CoherenceSystem {
                 // cache-level accounting identity exact.
                 self.stats.ward_stale_retries += 1;
                 self.reconcile_block(home, block);
-                self.get_modified(core, block, offset, val, coherent_only)
+                self.dir_get_modified(core, block, offset, val, ward_now)
             }
             DirState::Uncached => {
                 self.llcs[home].at_mut(slot).dir = DirState::Owned(core);
@@ -1807,7 +2110,10 @@ impl CoherenceSystem {
         }
         let osock = self.topo.socket_of(owner);
         let Some(line) = self.cores[owner].l2.peek_mut(block) else {
-            debug_assert!(false, "owner without private copy");
+            // Unreachable in a correct protocol; a seeded mutation (e.g. a
+            // skipped self-downgrade) can desynchronize the directory, and
+            // then the invariant checker — not this assert — must flag it.
+            debug_assert!(self.mutations.any(), "owner without private copy");
             return 0;
         };
         if line.mask.is_empty() {
@@ -1844,7 +2150,7 @@ impl CoherenceSystem {
     ///
     /// Panics if the bounds are not page-aligned.
     pub fn add_region(&mut self, start: Addr, end: Addr) -> Option<RegionId> {
-        if self.protocol != Protocol::Warden {
+        if !self.uses_regions() {
             return None;
         }
         self.stats.region_adds += 1;
@@ -1879,8 +2185,8 @@ impl CoherenceSystem {
     /// §6.2): spatial locality makes consecutive accesses hit the same
     /// page, so most queries never reach the store.
     #[inline]
-    fn in_ward_region(&mut self, core: CoreId, block: BlockAddr) -> bool {
-        if self.protocol != Protocol::Warden {
+    pub(crate) fn in_ward_region(&mut self, core: CoreId, block: BlockAddr) -> bool {
+        if !self.uses_regions() {
             return false;
         }
         let page = block.page();
@@ -1900,7 +2206,7 @@ impl CoherenceSystem {
     ///
     /// Returns the latency to charge the removing core.
     pub fn remove_region(&mut self, id: RegionId) -> u64 {
-        if self.protocol != Protocol::Warden {
+        if !self.uses_regions() {
             return 0;
         }
         self.stats.region_removes += 1;
@@ -2147,7 +2453,10 @@ impl CoherenceSystem {
                 llc.ward_partial = false;
                 nd = DirState::Shared(0);
             } else {
-                debug_assert!(false, "directory holder without private copy");
+                debug_assert!(
+                    self.mutations.any(),
+                    "directory holder without private copy"
+                );
                 let llc = self.llcs[home].peek_mut(block).expect("present");
                 llc.dir = DirState::Uncached;
                 llc.ward_partial = false;
@@ -2285,7 +2594,7 @@ impl CoherenceSystem {
 mod tests {
     use super::*;
 
-    fn sys(protocol: Protocol) -> CoherenceSystem {
+    fn sys(protocol: ProtocolId) -> CoherenceSystem {
         CoherenceSystem::new(
             Topology::new(2, 2),
             LatencyModel::xeon_gold_6126(),
@@ -2321,13 +2630,13 @@ mod tests {
             s.load(1, page(4), 8);
         };
 
-        let mut a = sys(Protocol::Warden);
+        let mut a = sys(ProtocolId::Warden);
         prefix(&mut a);
         let mut enc = warden_mem::codec::Encoder::new();
         a.encode_state(&mut enc);
         let bytes = enc.into_bytes();
 
-        let mut b = sys(Protocol::Warden);
+        let mut b = sys(ProtocolId::Warden);
         let mut dec = warden_mem::codec::Decoder::new(&bytes);
         b.restore_state(&mut dec).unwrap();
         dec.finish().unwrap();
@@ -2351,7 +2660,7 @@ mod tests {
 
     #[test]
     fn restore_rejects_mismatched_configuration() {
-        let mut a = sys(Protocol::Warden);
+        let mut a = sys(ProtocolId::Warden);
         a.store(0, Addr(64), &9u64.to_le_bytes());
         let mut enc = warden_mem::codec::Encoder::new();
         a.encode_state(&mut enc);
@@ -2361,7 +2670,7 @@ mod tests {
             Topology::new(1, 2),
             LatencyModel::xeon_gold_6126(),
             CacheConfig::paper(2),
-            Protocol::Warden,
+            ProtocolId::Warden,
         );
         let mut dec = warden_mem::codec::Decoder::new(&bytes);
         assert!(wrong.restore_state(&mut dec).is_err());
@@ -2370,7 +2679,7 @@ mod tests {
             Topology::new(2, 2),
             LatencyModel::xeon_gold_6126(),
             CacheConfig::tiny(),
-            Protocol::Warden,
+            ProtocolId::Warden,
         );
         let mut dec2 = warden_mem::codec::Decoder::new(&bytes);
         assert!(wrong2.restore_state(&mut dec2).is_err());
@@ -2378,7 +2687,7 @@ mod tests {
 
     #[test]
     fn load_miss_then_hits() {
-        let mut s = sys(Protocol::Mesi);
+        let mut s = sys(ProtocolId::Mesi);
         let a = Addr(0x4000);
         let miss = s.load(0, a, 8);
         assert!(miss >= s.latency_model().l3);
@@ -2389,7 +2698,7 @@ mod tests {
 
     #[test]
     fn store_data_reaches_final_image() {
-        let mut s = sys(Protocol::Mesi);
+        let mut s = sys(ProtocolId::Mesi);
         s.store(0, Addr(0x100), &7u64.to_le_bytes());
         let img = s.final_memory_image();
         assert_eq!(img.read_u64(Addr(0x100)), 7);
@@ -2397,7 +2706,7 @@ mod tests {
 
     #[test]
     fn mesi_read_sharing_downgrades_owner() {
-        let mut s = sys(Protocol::Mesi);
+        let mut s = sys(ProtocolId::Mesi);
         let a = Addr(0x200);
         s.store(0, a, &1u64.to_le_bytes()); // core 0 owns M
         let before = s.stats().downgrades;
@@ -2411,7 +2720,7 @@ mod tests {
 
     #[test]
     fn mesi_write_invalidates_sharers() {
-        let mut s = sys(Protocol::Mesi);
+        let mut s = sys(ProtocolId::Mesi);
         let a = Addr(0x300);
         s.load(0, a, 8);
         s.load(1, a, 8); // both share
@@ -2425,7 +2734,7 @@ mod tests {
 
     #[test]
     fn mesi_upgrade_in_place() {
-        let mut s = sys(Protocol::Mesi);
+        let mut s = sys(ProtocolId::Mesi);
         let a = Addr(0x400);
         s.load(0, a, 8);
         s.load(1, a, 8);
@@ -2437,7 +2746,7 @@ mod tests {
 
     #[test]
     fn dirty_transfer_between_cores_carries_data() {
-        let mut s = sys(Protocol::Mesi);
+        let mut s = sys(ProtocolId::Mesi);
         let a = Addr(0x500);
         s.store(0, a, &0xAAu64.to_le_bytes());
         // Core 1 writes a different byte of the same block.
@@ -2449,7 +2758,7 @@ mod tests {
 
     #[test]
     fn ward_region_suppresses_invalidations() {
-        let mut s = sys(Protocol::Warden);
+        let mut s = sys(ProtocolId::Warden);
         let a = page(4);
         s.add_region(a, page(5)).expect("region accepted");
         // Two cores write the same block repeatedly: no inv, no downgrades.
@@ -2464,7 +2773,7 @@ mod tests {
 
     #[test]
     fn ward_reconciliation_merges_false_sharing() {
-        let mut s = sys(Protocol::Warden);
+        let mut s = sys(ProtocolId::Warden);
         let a = page(4);
         let id = s.add_region(a, page(5)).unwrap();
         s.store(0, a, &1u64.to_le_bytes());
@@ -2482,8 +2791,8 @@ mod tests {
     #[test]
     fn ward_same_value_waw_matches_mesi_image() {
         // The prime-sieve pattern: racing writes of the same value.
-        let mut w = sys(Protocol::Warden);
-        let mut m = sys(Protocol::Mesi);
+        let mut w = sys(ProtocolId::Warden);
+        let mut m = sys(ProtocolId::Mesi);
         let a = page(4);
         let id = w.add_region(a, page(5)).unwrap();
         for core in 0..4 {
@@ -2502,7 +2811,7 @@ mod tests {
 
     #[test]
     fn ward_read_after_reconcile_sees_writes() {
-        let mut s = sys(Protocol::Warden);
+        let mut s = sys(ProtocolId::Warden);
         let a = page(6);
         let id = s.add_region(a, page(7)).unwrap();
         s.store(0, a, &11u64.to_le_bytes());
@@ -2518,7 +2827,7 @@ mod tests {
 
     #[test]
     fn rmw_in_ward_region_escapes_coherently() {
-        let mut s = sys(Protocol::Warden);
+        let mut s = sys(ProtocolId::Warden);
         let a = page(8);
         let _id = s.add_region(a, page(9)).unwrap();
         s.store(0, a, &1u64.to_le_bytes()); // enters W
@@ -2532,7 +2841,7 @@ mod tests {
 
     #[test]
     fn mesi_ignores_region_instructions() {
-        let mut s = sys(Protocol::Mesi);
+        let mut s = sys(ProtocolId::Mesi);
         assert!(s.add_region(page(1), page(2)).is_none());
         assert_eq!(s.stats().region_adds, 0);
     }
@@ -2546,7 +2855,7 @@ mod tests {
                 region_capacity: 1,
                 ..CacheConfig::paper(2)
             },
-            Protocol::Warden,
+            ProtocolId::Warden,
         );
         assert!(s.add_region(page(0), page(1)).is_some());
         assert!(s.add_region(page(1), page(2)).is_none());
@@ -2563,7 +2872,7 @@ mod tests {
     fn reconciliation_flushes_sole_owner_to_llc() {
         // §5.3: the fork-path optimization — after a region is removed,
         // another core's read is served by the LLC without a downgrade.
-        let mut s = sys(Protocol::Warden);
+        let mut s = sys(ProtocolId::Warden);
         let a = page(10);
         let id = s.add_region(a, page(11)).unwrap();
         s.store(0, a, &42u64.to_le_bytes());
@@ -2579,7 +2888,7 @@ mod tests {
 
     #[test]
     fn cross_socket_latency_higher_than_local() {
-        let mut s = sys(Protocol::Mesi);
+        let mut s = sys(ProtocolId::Mesi);
         // Find a block homed on socket 0 and one homed on socket 1.
         let local = Addr(0); // block 0 -> home 0
         let remote = Addr(64); // block 1 -> home 1
@@ -2595,7 +2904,7 @@ mod tests {
             Topology::new(1, 1),
             LatencyModel::xeon_gold_6126(),
             CacheConfig::tiny(),
-            Protocol::Mesi,
+            ProtocolId::Mesi,
         );
         // Touch enough distinct blocks to overflow the tiny L2 (16 blocks).
         for i in 0..64u64 {
@@ -2614,7 +2923,7 @@ mod tests {
             Topology::new(1, 1),
             LatencyModel::xeon_gold_6126(),
             CacheConfig::tiny(), // LLC holds 64 blocks
-            Protocol::Mesi,
+            ProtocolId::Mesi,
         );
         for i in 0..256u64 {
             s.store(0, Addr(i * BLOCK_SIZE), &(i + 1).to_le_bytes());
@@ -2634,7 +2943,7 @@ mod tests {
             Topology::new(1, 2),
             LatencyModel::xeon_gold_6126(),
             CacheConfig::tiny(),
-            Protocol::Warden,
+            ProtocolId::Warden,
         );
         let base = page(0);
         let id = s.add_region(base, page(1)).unwrap();
@@ -2652,8 +2961,8 @@ mod tests {
 
     #[test]
     fn ward_load_avoids_fwd_latency() {
-        let mut w = sys(Protocol::Warden);
-        let mut m = sys(Protocol::Mesi);
+        let mut w = sys(ProtocolId::Warden);
+        let mut m = sys(ProtocolId::Mesi);
         let a = page(12);
         w.add_region(a, page(13)).unwrap();
         w.store(0, a, &1u64.to_le_bytes());
@@ -2668,7 +2977,7 @@ mod tests {
 
     #[test]
     fn stats_count_accesses() {
-        let mut s = sys(Protocol::Mesi);
+        let mut s = sys(ProtocolId::Mesi);
         s.load(0, Addr(0), 8);
         s.store(0, Addr(0), &[1]);
         s.rmw(0, Addr(8), &[2]);
@@ -2682,7 +2991,7 @@ mod tests {
         // The sound-entry intervention: core 0 writes BEFORE the region
         // exists; once the region is active, core 1's W-state read must see
         // core 0's value at the LLC, not stale memory.
-        let mut s = sys(Protocol::Warden);
+        let mut s = sys(ProtocolId::Warden);
         let a = page(20);
         s.store(0, a, &0xBEEFu64.to_le_bytes()); // pre-region: Owned(0), dirty
         let id = s.add_region(a, page(21)).unwrap();
@@ -2703,7 +3012,7 @@ mod tests {
         // sectors into the LLC; core 1 then writes a NEWER value to the same
         // bytes and reconciles away; when core 0's copy finally leaves, its
         // (already-synced, now stale) sectors must not clobber core 1's.
-        let mut s = sys(Protocol::Warden);
+        let mut s = sys(ProtocolId::Warden);
         let a = page(40);
         s.store(0, a, &0x49u64.to_le_bytes()); // pre-region dirty owner
         let id = s.add_region(a, page(41)).unwrap();
@@ -2718,7 +3027,7 @@ mod tests {
 
     #[test]
     fn ward_entry_sync_is_once_per_epoch() {
-        let mut s = sys(Protocol::Warden);
+        let mut s = sys(ProtocolId::Warden);
         let a = page(22);
         s.store(0, a, &1u64.to_le_bytes());
         s.add_region(a, page(23)).unwrap();
@@ -2734,7 +3043,7 @@ mod tests {
     fn rmw_add_converges_under_any_order() {
         // Three cores fetch-add the same counter: the total must be exact
         // regardless of the (here: sequential) order.
-        let mut s = sys(Protocol::Mesi);
+        let mut s = sys(ProtocolId::Mesi);
         let a = Addr(0x900);
         for core in 0..3 {
             for _ in 0..5 {
@@ -2747,7 +3056,7 @@ mod tests {
 
     #[test]
     fn rmw_add_in_ward_region_is_coherent() {
-        let mut s = sys(Protocol::Warden);
+        let mut s = sys(ProtocolId::Warden);
         let a = page(24);
         let _id = s.add_region(a, page(25)).unwrap();
         s.store(0, a, &10u64.to_le_bytes()); // W copy at core 0
@@ -2763,7 +3072,7 @@ mod tests {
         // that already owns the block coherently (Owned, pre-W) must run on
         // its own copy instead of tripping the directory's no-self-owner
         // path.
-        let mut s = sys(Protocol::Warden);
+        let mut s = sys(ProtocolId::Warden);
         let a = page(28);
         let _id = s.add_region(a, page(29)).unwrap();
         // CAS first (coherent GetM: Owned, not Ward), then fetch-add.
@@ -2787,7 +3096,7 @@ mod tests {
                     sector_bytes,
                     ..CacheConfig::paper(2)
                 },
-                Protocol::Warden,
+                ProtocolId::Warden,
             );
             let a = page(4);
             let id = s.add_region(a, page(5)).unwrap();
@@ -2815,7 +3124,7 @@ mod tests {
             Topology::new(1, 2),
             LatencyModel::xeon_gold_6126(),
             CacheConfig::tiny(),
-            Protocol::Warden,
+            ProtocolId::Warden,
         );
         let base = page(0);
         let id = s.add_region(base, page(1)).unwrap();
@@ -2839,7 +3148,7 @@ mod tests {
     fn reconcile_keeps_sole_owner_cached() {
         // §5.2's no-sharing case: the single holder keeps a (clean) copy and
         // continues to hit locally after the region ends.
-        let mut s = sys(Protocol::Warden);
+        let mut s = sys(ProtocolId::Warden);
         let a = page(26);
         let id = s.add_region(a, page(27)).unwrap();
         s.store(0, a, &7u64.to_le_bytes());
@@ -2849,7 +3158,7 @@ mod tests {
 
     #[test]
     fn region_instructions_have_latency() {
-        let mut s = sys(Protocol::Warden);
+        let mut s = sys(ProtocolId::Warden);
         let id = s.add_region(page(1), page(2)).unwrap();
         let lat = s.remove_region(id);
         assert!(lat >= s.latency_model().region_instr);
@@ -2857,7 +3166,7 @@ mod tests {
 
     #[test]
     fn message_counters_track_socket_crossings() {
-        let mut s = sys(Protocol::Mesi);
+        let mut s = sys(ProtocolId::Mesi);
         // Block 1 homes on socket 1; core 0 is on socket 0.
         s.load(0, Addr(64), 8);
         assert!(s.stats().ctrl_inter >= 1, "request crossed the link");
@@ -2871,7 +3180,7 @@ mod tests {
 
     #[test]
     fn overlapping_regions_defer_reconciliation() {
-        let mut s = sys(Protocol::Warden);
+        let mut s = sys(ProtocolId::Warden);
         let a = page(30);
         let id1 = s.add_region(a, page(32)).unwrap(); // pages 30,31
         let id2 = s.add_region(page(31), page(33)).unwrap(); // pages 31,32
@@ -2892,7 +3201,7 @@ mod tests {
     fn set_memory_installs_initial_image() {
         let mut mem = Memory::new();
         mem.write_u64(Addr(0x4000), 99);
-        let mut s = sys(Protocol::Mesi);
+        let mut s = sys(ProtocolId::Mesi);
         s.set_memory(mem);
         s.load(0, Addr(0x4000), 8); // fetches the preloaded value
         let img = s.final_memory_image();
@@ -2902,7 +3211,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "cold caches")]
     fn set_memory_rejects_warm_caches() {
-        let mut s = sys(Protocol::Mesi);
+        let mut s = sys(ProtocolId::Mesi);
         s.load(0, Addr(0), 8);
         s.set_memory(Memory::new());
     }
@@ -2916,8 +3225,8 @@ mod tests {
             s.store(0, a, &1u64.to_le_bytes()); // …then write
             (s.stats().upgrades, s.final_memory_image().read_u64(a))
         };
-        let (mesi_up, mesi_v) = run(Protocol::Mesi);
-        let (msi_up, msi_v) = run(Protocol::Msi);
+        let (mesi_up, mesi_v) = run(ProtocolId::Mesi);
+        let (msi_up, msi_v) = run(ProtocolId::Msi);
         assert_eq!(mesi_up, 0, "MESI: silent E→M");
         assert_eq!(msi_up, 1, "MSI: S→M upgrade");
         assert_eq!(mesi_v, msi_v);
@@ -2925,7 +3234,7 @@ mod tests {
 
     #[test]
     fn msi_never_grants_exclusive_reads() {
-        let mut s = sys(Protocol::Msi);
+        let mut s = sys(ProtocolId::Msi);
         s.load(0, Addr(0x7100), 8);
         s.load(1, Addr(0x7100), 8);
         // Under MESI the second read would downgrade the first reader's E
@@ -2936,14 +3245,14 @@ mod tests {
 
     #[test]
     fn msi_ignores_regions_like_mesi() {
-        let mut s = sys(Protocol::Msi);
+        let mut s = sys(ProtocolId::Msi);
         assert!(s.add_region(page(1), page(2)).is_none());
         assert_eq!(s.stats().region_adds, 0);
     }
 
     #[test]
     fn load_latency_classes_are_ordered() {
-        let mut s = sys(Protocol::Mesi);
+        let mut s = sys(ProtocolId::Mesi);
         let a = Addr(0x6000); // block homes on socket 0, core 0 local
         let t_mem = s.load(0, a, 8); // LLC miss -> memory
         let t_l1 = s.load(0, a, 8);

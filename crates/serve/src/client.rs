@@ -464,7 +464,7 @@ impl ResilientClient {
 mod tests {
     use super::*;
     use crate::proto::{MachinePreset, MachineSpec};
-    use warden_coherence::Protocol;
+    use warden_coherence::ProtocolId;
     use warden_pbbs::{Bench, Scale};
 
     fn client_with(policy: RetryPolicy) -> ResilientClient {
@@ -632,7 +632,7 @@ mod tests {
             bench: Bench::Fib,
             scale: Scale::Tiny,
             machine: MachineSpec::new(MachinePreset::DualSocket).with_cores(2),
-            protocol: Protocol::Warden,
+            protocol: ProtocolId::Warden,
             check: false,
         };
         let started = Instant::now();

@@ -16,7 +16,7 @@
 use crate::error::ServeError;
 use std::io::{Read, Write};
 use std::time::{Duration, Instant};
-use warden_coherence::Protocol;
+use warden_coherence::ProtocolId;
 use warden_mem::codec::{CodecError, Decoder, Encoder};
 use warden_obs::MetricsRegistry;
 use warden_pbbs::{Bench, Scale};
@@ -305,7 +305,7 @@ pub struct SimRequest {
     /// The machine description.
     pub machine: MachineSpec,
     /// The coherence protocol.
-    pub protocol: Protocol,
+    pub protocol: ProtocolId,
     /// Run the coherence invariant checker during the replay.
     pub check: bool,
 }
@@ -341,25 +341,15 @@ fn scale_from_tag(tag: u8) -> Result<Scale, CodecError> {
     }
 }
 
-/// The canonical on-wire tag for a protocol (shared with the cache key).
-pub fn protocol_tag(p: Protocol) -> u8 {
-    match p {
-        Protocol::Msi => 0,
-        Protocol::Mesi => 1,
-        Protocol::Warden => 2,
-    }
+/// The canonical on-wire tag for a protocol (shared with the cache key) —
+/// the registry's own frozen tag, so every registered protocol is
+/// addressable and unknown tags are rejected with a typed error.
+pub fn protocol_tag(p: ProtocolId) -> u8 {
+    p.tag()
 }
 
-fn protocol_from_tag(tag: u8) -> Result<Protocol, CodecError> {
-    match tag {
-        0 => Ok(Protocol::Msi),
-        1 => Ok(Protocol::Mesi),
-        2 => Ok(Protocol::Warden),
-        t => Err(CodecError::BadTag {
-            what: "protocol",
-            tag: t as u64,
-        }),
-    }
+fn protocol_from_tag(tag: u8) -> Result<ProtocolId, CodecError> {
+    ProtocolId::from_tag(tag)
 }
 
 impl SimRequest {
@@ -435,8 +425,8 @@ impl Request {
 /// [`Self::outcome_digest`], which covers it).
 #[derive(Clone, Debug, PartialEq)]
 pub struct OutcomeSummary {
-    /// Protocol the replay ran.
-    pub protocol: Protocol,
+    /// ProtocolId the replay ran.
+    pub protocol: ProtocolId,
     /// Machine name (from the resolved [`MachineConfig`]).
     pub machine: String,
     /// Every measurement, via the existing statistics codec.
@@ -833,7 +823,7 @@ mod tests {
             bench: Bench::Fib,
             scale: Scale::Tiny,
             machine: MachineSpec::new(MachinePreset::SingleSocket),
-            protocol: Protocol::Warden,
+            protocol: ProtocolId::Warden,
             check: false,
         });
         let mut bytes = req.encode();
@@ -847,6 +837,56 @@ mod tests {
             Request::decode(&bytes),
             Err(CodecError::Invalid { .. })
         ));
+    }
+
+    #[test]
+    fn request_codec_covers_every_registered_protocol() {
+        for &protocol in &ProtocolId::ALL {
+            let req = Request::Simulate(SimRequest {
+                bench: Bench::Fib,
+                scale: Scale::Tiny,
+                machine: MachineSpec::new(MachinePreset::SingleSocket),
+                protocol,
+                check: true,
+            });
+            match Request::decode(&req.encode()).expect("round trip") {
+                Request::Simulate(r) => assert_eq!(r.protocol, protocol),
+                other => panic!("wrong request decoded: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_protocol_tag_is_typed() {
+        let build = |protocol| {
+            Request::Simulate(SimRequest {
+                bench: Bench::Fib,
+                scale: Scale::Tiny,
+                machine: MachineSpec::new(MachinePreset::SingleSocket),
+                protocol,
+                check: false,
+            })
+            .encode()
+        };
+        // Two encodings differing only in the protocol field locate the
+        // byte to forge without hard-coding the wire layout here.
+        let wire = build(ProtocolId::Warden);
+        let alt = build(ProtocolId::Mesi);
+        assert_eq!(wire.len(), alt.len());
+        let pos = (0..wire.len())
+            .find(|&i| wire[i] != alt[i])
+            .expect("protocol byte on the wire");
+        for bad in [ProtocolId::ALL.len() as u8, 0xFF] {
+            let mut forged = wire.clone();
+            forged[pos] = bad;
+            match Request::decode(&forged) {
+                Err(CodecError::BadTag { what, tag }) => {
+                    assert_eq!(what, "protocol");
+                    assert_eq!(tag, u64::from(bad));
+                }
+                other => panic!("tag {bad}: expected a typed BadTag, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -41,7 +41,7 @@ use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use warden_coherence::Protocol;
+use warden_coherence::ProtocolId;
 use warden_obs::{ArgVal, AtomicGauge, Gauge, Hist, MetricsRegistry, TraceBuilder};
 use warden_pbbs::Scale;
 use warden_rt::TraceProgram;
@@ -559,7 +559,7 @@ impl Inner {
         key: &CacheKey,
         trace: &TraceProgram,
         machine: &MachineConfig,
-        protocol: Protocol,
+        protocol: ProtocolId,
         opts: &SimOptions,
         served: &Cell<ServedFrom>,
     ) -> Result<Computed<Arc<OutcomeSummary>>, String> {

@@ -9,7 +9,7 @@
 
 use std::path::PathBuf;
 use std::sync::Arc;
-use warden_coherence::Protocol;
+use warden_coherence::ProtocolId;
 use warden_serve::{
     CacheKey, DiskTier, DiskTierConfig, FaultyStorage, OutcomeSummary, RealStorage,
     StorageFaultPlan,
@@ -33,7 +33,7 @@ fn key(tag: u64) -> CacheKey {
 
 fn summary(tag: u64) -> OutcomeSummary {
     OutcomeSummary {
-        protocol: Protocol::Warden,
+        protocol: ProtocolId::Warden,
         machine: format!("machine-{tag}"),
         stats: SimStats {
             cycles: tag,

@@ -49,7 +49,7 @@ use std::fmt;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use warden_coherence::{InvariantViolation, Protocol};
+use warden_coherence::{InvariantViolation, ProtocolId};
 use warden_mem::codec::{fnv1a64, CodecError, Decoder, Encoder};
 use warden_mem::Memory;
 use warden_rt::TraceProgram;
@@ -311,28 +311,6 @@ impl CheckpointStore {
     }
 }
 
-fn protocol_tag(p: Protocol) -> u8 {
-    match p {
-        Protocol::Msi => 0,
-        Protocol::Mesi => 1,
-        Protocol::Warden => 2,
-    }
-}
-
-fn protocol_from_tag(tag: u8) -> Result<Protocol, CodecError> {
-    Ok(match tag {
-        0 => Protocol::Msi,
-        1 => Protocol::Mesi,
-        2 => Protocol::Warden,
-        t => {
-            return Err(CodecError::BadTag {
-                what: "protocol",
-                tag: t as u64,
-            })
-        }
-    })
-}
-
 /// Fingerprint of the simulation options (energy parameters, checker flag
 /// and fault plan) — everything besides the program, machine and protocol
 /// that affects a replay. Checkpoints and the campaign runner's result
@@ -404,7 +382,7 @@ impl<'a> SimEngine<'a> {
         let mut enc = Encoder::new();
         enc.put_u64(self.program_ref().fingerprint());
         enc.put_u64(self.machine_ref().fingerprint());
-        enc.put_u8(protocol_tag(self.protocol()));
+        enc.put_u8(self.protocol().tag());
         enc.put_u64(options_fingerprint(self.opts_ref()));
         self.encode_state(&mut enc);
         frame(enc.bytes())
@@ -422,7 +400,7 @@ impl<'a> SimEngine<'a> {
     pub fn resume_from_bytes(
         program: &'a TraceProgram,
         machine: &'a MachineConfig,
-        protocol: Protocol,
+        protocol: ProtocolId,
         opts: &SimOptions,
         bytes: &[u8],
     ) -> Result<SimEngine<'a>, CheckpointError> {
@@ -433,7 +411,7 @@ impl<'a> SimEngine<'a> {
     fn resume_from_payload(
         program: &'a TraceProgram,
         machine: &'a MachineConfig,
-        protocol: Protocol,
+        protocol: ProtocolId,
         opts: &SimOptions,
         payload: &[u8],
     ) -> Result<SimEngine<'a>, CheckpointError> {
@@ -444,7 +422,7 @@ impl<'a> SimEngine<'a> {
         if dec.take_u64()? != machine.fingerprint() {
             return Err(CheckpointError::Mismatch { what: "machine" });
         }
-        if dec.take_u8()? != protocol_tag(protocol) {
+        if dec.take_u8()? != protocol.tag() {
             return Err(CheckpointError::Mismatch { what: "protocol" });
         }
         if dec.take_u64()? != options_fingerprint(opts) {
@@ -511,7 +489,7 @@ impl<'a> SimEngine<'a> {
     pub fn try_resume(
         program: &'a TraceProgram,
         machine: &'a MachineConfig,
-        protocol: Protocol,
+        protocol: ProtocolId,
         opts: &SimOptions,
         store: &CheckpointStore,
     ) -> Result<Option<SimEngine<'a>>, CheckpointError> {
@@ -528,7 +506,7 @@ impl<'a> SimEngine<'a> {
 /// record (used by the campaign runner's durable result files).
 pub fn encode_outcome(out: &SimOutcome) -> Vec<u8> {
     let mut enc = Encoder::new();
-    enc.put_u8(protocol_tag(out.protocol));
+    enc.put_u8(out.protocol.tag());
     enc.put_str(&out.machine);
     out.stats.encode_into(&mut enc);
     enc.put_f64(out.energy.interconnect_nj);
@@ -555,7 +533,7 @@ pub fn encode_outcome(out: &SimOutcome) -> Vec<u8> {
 pub fn decode_outcome(bytes: &[u8]) -> Result<SimOutcome, CheckpointError> {
     let payload = unframe(bytes)?;
     let mut dec = Decoder::new(payload);
-    let protocol = protocol_from_tag(dec.take_u8()?)?;
+    let protocol = ProtocolId::from_tag(dec.take_u8()?)?;
     let machine = dec.take_str()?;
     let stats = SimStats::decode_from(&mut dec)?;
     let energy = EnergyBreakdown {
@@ -711,17 +689,17 @@ mod tests {
             check: true,
             ..SimOptions::default()
         };
-        let reference = simulate_with_options(&p, &m, Protocol::Warden, &opts);
+        let reference = simulate_with_options(&p, &m, ProtocolId::Warden, &opts);
 
         let dir = scratch("resume");
         let store = CheckpointStore::new(&dir).expect("create store");
         assert!(
-            SimEngine::try_resume(&p, &m, Protocol::Warden, &opts, &store)
+            SimEngine::try_resume(&p, &m, ProtocolId::Warden, &opts, &store)
                 .expect("empty resume")
                 .is_none()
         );
 
-        let mut eng = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        let mut eng = SimEngine::new(&p, &m, ProtocolId::Warden, &opts);
         for _ in 0..1_500 {
             if !eng.step() {
                 break;
@@ -730,7 +708,7 @@ mod tests {
         eng.try_snapshot(&store).expect("snapshot");
         drop(eng); // the interrupted process is gone
 
-        let resumed = SimEngine::try_resume(&p, &m, Protocol::Warden, &opts, &store)
+        let resumed = SimEngine::try_resume(&p, &m, ProtocolId::Warden, &opts, &store)
             .expect("resume")
             .expect("checkpoint present");
         let out = resumed.run();
@@ -745,12 +723,12 @@ mod tests {
         let p = sample_program();
         let m = tiny_machine();
         let opts = SimOptions::default();
-        let reference = simulate_with_options(&p, &m, Protocol::Warden, &opts);
+        let reference = simulate_with_options(&p, &m, ProtocolId::Warden, &opts);
 
         // A framed run produces the same outcome as a plain one and hands
         // out monotonically advancing frames.
         let mut frames: Vec<(u64, Vec<u8>)> = Vec::new();
-        let eng = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        let eng = SimEngine::new(&p, &m, ProtocolId::Warden, &opts);
         let out = eng
             .run_with_cancel_frames(500, |steps, frame| frames.push((steps, frame.to_vec())))
             .expect("no cancel token, must complete");
@@ -761,7 +739,7 @@ mod tests {
 
         // Every frame resumes to the bit-identical final outcome.
         for (steps, frame) in &frames {
-            let resumed = SimEngine::resume_from_bytes(&p, &m, Protocol::Warden, &opts, frame)
+            let resumed = SimEngine::resume_from_bytes(&p, &m, ProtocolId::Warden, &opts, frame)
                 .unwrap_or_else(|e| panic!("frame at step {steps} must resume: {e}"));
             assert_eq!(resumed.steps(), *steps);
             let out = resumed.run();
@@ -778,20 +756,20 @@ mod tests {
             ..SimOptions::default()
         };
         let mut last: Option<(u64, Vec<u8>)> = None;
-        let eng = SimEngine::new(&p, &m, Protocol::Warden, &cancelled_opts);
+        let eng = SimEngine::new(&p, &m, ProtocolId::Warden, &cancelled_opts);
         let err = eng
             .run_with_cancel_frames(500, |steps, frame| last = Some((steps, frame.to_vec())))
             .expect_err("pre-cancelled run must not complete");
         assert!(matches!(err, SimError::Cancelled { .. }));
         let (steps, frame) = last.expect("cancellation leaves a final frame");
         let resumed =
-            SimEngine::resume_from_bytes(&p, &m, Protocol::Warden, &cancelled_opts, &frame)
+            SimEngine::resume_from_bytes(&p, &m, ProtocolId::Warden, &cancelled_opts, &frame)
                 .expect("final frame resumes");
         assert_eq!(resumed.steps(), steps);
         // The cancel token is excluded from the options fingerprint, so the
         // frame also resumes under plain options — the serving layer's
         // retry path.
-        let retried = SimEngine::resume_from_bytes(&p, &m, Protocol::Warden, &opts, &frame)
+        let retried = SimEngine::resume_from_bytes(&p, &m, ProtocolId::Warden, &opts, &frame)
             .expect("frame resumes under a fresh request's options")
             .run();
         assert_eq!(retried.stats, reference.stats);
@@ -802,7 +780,7 @@ mod tests {
         let p = sample_program();
         let m = tiny_machine();
         let opts = SimOptions::default();
-        let mut eng = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        let mut eng = SimEngine::new(&p, &m, ProtocolId::Warden, &opts);
         for _ in 0..200 {
             eng.step();
         }
@@ -812,16 +790,19 @@ mod tests {
             let xs = ctx.alloc::<u64>(8);
             ctx.write(&xs, 0, 1);
         });
-        let err = SimEngine::resume_from_bytes(&other_program, &m, Protocol::Warden, &opts, &bytes)
-            .unwrap_err();
+        let err =
+            SimEngine::resume_from_bytes(&other_program, &m, ProtocolId::Warden, &opts, &bytes)
+                .unwrap_err();
         assert!(matches!(err, CheckpointError::Mismatch { what: "program" }));
 
         let other_machine = tiny_machine().with_seed(99);
-        let err = SimEngine::resume_from_bytes(&p, &other_machine, Protocol::Warden, &opts, &bytes)
-            .unwrap_err();
+        let err =
+            SimEngine::resume_from_bytes(&p, &other_machine, ProtocolId::Warden, &opts, &bytes)
+                .unwrap_err();
         assert!(matches!(err, CheckpointError::Mismatch { what: "machine" }));
 
-        let err = SimEngine::resume_from_bytes(&p, &m, Protocol::Mesi, &opts, &bytes).unwrap_err();
+        let err =
+            SimEngine::resume_from_bytes(&p, &m, ProtocolId::Mesi, &opts, &bytes).unwrap_err();
         assert!(matches!(
             err,
             CheckpointError::Mismatch { what: "protocol" }
@@ -831,15 +812,15 @@ mod tests {
             check: true,
             ..SimOptions::default()
         };
-        let err = SimEngine::resume_from_bytes(&p, &m, Protocol::Warden, &other_opts, &bytes)
+        let err = SimEngine::resume_from_bytes(&p, &m, ProtocolId::Warden, &other_opts, &bytes)
             .unwrap_err();
         assert!(matches!(err, CheckpointError::Mismatch { what: "options" }));
 
         // The matching identity still resumes.
-        let resumed =
-            SimEngine::resume_from_bytes(&p, &m, Protocol::Warden, &opts, &bytes).expect("resume");
+        let resumed = SimEngine::resume_from_bytes(&p, &m, ProtocolId::Warden, &opts, &bytes)
+            .expect("resume");
         let a = resumed.run();
-        let b = simulate_with_options(&p, &m, Protocol::Warden, &opts);
+        let b = simulate_with_options(&p, &m, ProtocolId::Warden, &opts);
         assert_eq!(a.stats, b.stats);
     }
 
@@ -852,7 +833,7 @@ mod tests {
             obs: true,
             ..SimOptions::default()
         };
-        let out = simulate_with_options(&p, &m, Protocol::Warden, &opts);
+        let out = simulate_with_options(&p, &m, ProtocolId::Warden, &opts);
 
         // The report travels inside the outcome record (host spans do not).
         let bytes = encode_outcome(&out);
@@ -868,17 +849,17 @@ mod tests {
         // A snapshot taken with obs on refuses to resume without it, and
         // the matching resume keeps the pre-snapshot event history plus the
         // checkpoint-frame marker.
-        let mut eng = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        let mut eng = SimEngine::new(&p, &m, ProtocolId::Warden, &opts);
         for _ in 0..500 {
             eng.step();
         }
         let snap = eng.snapshot_to_bytes();
         let plain = SimOptions::default();
         let err =
-            SimEngine::resume_from_bytes(&p, &m, Protocol::Warden, &plain, &snap).unwrap_err();
+            SimEngine::resume_from_bytes(&p, &m, ProtocolId::Warden, &plain, &snap).unwrap_err();
         assert!(matches!(err, CheckpointError::Mismatch { what: "options" }));
 
-        let resumed = SimEngine::resume_from_bytes(&p, &m, Protocol::Warden, &opts, &snap)
+        let resumed = SimEngine::resume_from_bytes(&p, &m, ProtocolId::Warden, &opts, &snap)
             .expect("resume")
             .run();
         assert_eq!(resumed.stats, out.stats);
@@ -903,7 +884,7 @@ mod tests {
     fn outcome_records_roundtrip() {
         let p = sample_program();
         let m = tiny_machine();
-        let out = simulate_with_options(&p, &m, Protocol::Warden, &SimOptions::default());
+        let out = simulate_with_options(&p, &m, ProtocolId::Warden, &SimOptions::default());
         let bytes = encode_outcome(&out);
         let back = decode_outcome(&bytes).expect("record decodes");
         assert_eq!(back.protocol, out.protocol);
@@ -920,6 +901,42 @@ mod tests {
         );
         for cut in 0..bytes.len() {
             assert!(decode_outcome(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn outcome_records_cover_every_registered_protocol() {
+        let p = sample_program();
+        let m = tiny_machine();
+        let mut out = simulate_with_options(&p, &m, ProtocolId::Warden, &SimOptions::default());
+        for protocol in ProtocolId::ALL {
+            out.protocol = protocol;
+            let back = decode_outcome(&encode_outcome(&out)).expect("record decodes");
+            assert_eq!(back.protocol, protocol);
+        }
+    }
+
+    #[test]
+    fn outcome_record_rejects_unknown_protocol_tag() {
+        let p = sample_program();
+        let m = tiny_machine();
+        let out = simulate_with_options(&p, &m, ProtocolId::Warden, &SimOptions::default());
+        let payload = unframe(&encode_outcome(&out))
+            .expect("frame verifies")
+            .to_vec();
+        // The protocol tag leads the payload; a stale reader meeting a
+        // protocol from the future must get a typed rejection, not a
+        // misattributed record.
+        for bad in [ProtocolId::ALL.len() as u8, 0xFF] {
+            let mut forged = payload.clone();
+            forged[0] = bad;
+            match decode_outcome(&frame(&forged)) {
+                Err(CheckpointError::Corrupt(CodecError::BadTag { what, tag })) => {
+                    assert_eq!(what, "protocol");
+                    assert_eq!(tag, u64::from(bad));
+                }
+                other => panic!("tag {bad}: expected a typed BadTag, got {other:?}"),
+            }
         }
     }
 }

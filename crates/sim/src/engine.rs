@@ -27,7 +27,7 @@ use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
-use warden_coherence::{AccessKind, CoherenceSystem, InvariantViolation, Protocol, RegionId};
+use warden_coherence::{AccessKind, CoherenceSystem, InvariantViolation, ProtocolId, RegionId};
 use warden_mem::codec::{CodecError, Decoder, Encoder};
 use warden_mem::Memory;
 use warden_rt::{Event, TaskId, TraceProgram};
@@ -35,8 +35,8 @@ use warden_rt::{Event, TaskId, TraceProgram};
 /// The result of one replay.
 #[derive(Clone, Debug)]
 pub struct SimOutcome {
-    /// Protocol the machine ran.
-    pub protocol: Protocol,
+    /// ProtocolId the machine ran.
+    pub protocol: ProtocolId,
     /// Machine name (from [`MachineConfig`]).
     pub machine: String,
     /// All measurements.
@@ -136,7 +136,11 @@ struct TaskRun {
 ///
 /// Panics if the trace is malformed (see
 /// [`TraceProgram::check_invariants`]).
-pub fn simulate(program: &TraceProgram, machine: &MachineConfig, protocol: Protocol) -> SimOutcome {
+pub fn simulate(
+    program: &TraceProgram,
+    machine: &MachineConfig,
+    protocol: ProtocolId,
+) -> SimOutcome {
     simulate_with_energy(program, machine, protocol, &EnergyParams::default())
 }
 
@@ -144,7 +148,7 @@ pub fn simulate(program: &TraceProgram, machine: &MachineConfig, protocol: Proto
 pub fn simulate_with_energy(
     program: &TraceProgram,
     machine: &MachineConfig,
-    protocol: Protocol,
+    protocol: ProtocolId,
     energy_params: &EnergyParams,
 ) -> SimOutcome {
     simulate_with_options(
@@ -164,7 +168,7 @@ pub fn simulate_with_energy(
 pub fn try_simulate(
     program: &TraceProgram,
     machine: &MachineConfig,
-    protocol: Protocol,
+    protocol: ProtocolId,
     opts: &SimOptions,
 ) -> Result<SimOutcome, SimError> {
     SimEngine::try_new(program, machine, protocol, opts)?.run_with_cancel()
@@ -175,7 +179,7 @@ pub fn try_simulate(
 pub fn simulate_with_options(
     program: &TraceProgram,
     machine: &MachineConfig,
-    protocol: Protocol,
+    protocol: ProtocolId,
     opts: &SimOptions,
 ) -> SimOutcome {
     SimEngine::new(program, machine, protocol, opts).run()
@@ -192,7 +196,7 @@ pub fn simulate_with_options(
 pub struct SimEngine<'a> {
     program: &'a TraceProgram,
     machine: &'a MachineConfig,
-    protocol: Protocol,
+    protocol: ProtocolId,
     opts: SimOptions,
     coh: CoherenceSystem,
     injector: Option<FaultInjector>,
@@ -238,7 +242,7 @@ impl<'a> SimEngine<'a> {
     pub fn new(
         program: &'a TraceProgram,
         machine: &'a MachineConfig,
-        protocol: Protocol,
+        protocol: ProtocolId,
         opts: &SimOptions,
     ) -> SimEngine<'a> {
         let mut coh = CoherenceSystem::new(machine.topo, machine.lat, machine.cache, protocol);
@@ -311,7 +315,7 @@ impl<'a> SimEngine<'a> {
     pub fn try_new(
         program: &'a TraceProgram,
         machine: &'a MachineConfig,
-        protocol: Protocol,
+        protocol: ProtocolId,
         opts: &SimOptions,
     ) -> Result<SimEngine<'a>, SimError> {
         machine.validate()?;
@@ -337,7 +341,7 @@ impl<'a> SimEngine<'a> {
     }
 
     /// The protocol this engine replays under.
-    pub fn protocol(&self) -> Protocol {
+    pub fn protocol(&self) -> ProtocolId {
         self.protocol
     }
 
@@ -434,14 +438,20 @@ impl<'a> SimEngine<'a> {
                 machine,
                 &mut self.rng,
                 &mut self.stats,
+                &mut self.coh,
             );
             return;
         };
 
         let events = &program.tasks[task].events;
         if self.tasks[task].next_event == events.len() {
-            // Task complete.
+            // Task complete: a sync point — lazy protocols self-downgrade
+            // and self-invalidate here so the join edge publishes this
+            // task's writes (free for the eager protocols).
             self.completed += 1;
+            let sync = self.coh.task_sync(cid);
+            self.cores[cid].clock += sync;
+            self.stats.region_cycles += sync;
             self.makespan = self.makespan.max(self.cores[cid].clock);
             self.cores[cid].current = None;
             if let Some(parent) = program.tasks[task].parent {
@@ -457,7 +467,6 @@ impl<'a> SimEngine<'a> {
 
         let ev = &events[self.tasks[task].next_event];
         self.tasks[task].next_event += 1;
-        let protocol = self.protocol;
         let coh = &mut self.coh;
         let injector = &mut self.injector;
         let recorder = &mut self.recorder;
@@ -562,6 +571,11 @@ impl<'a> SimEngine<'a> {
                 obs_access = Some(lat);
             }
             Event::Fork { children } => {
+                // The fork edge is a sync point: writes made before the
+                // fork must be visible to whichever core runs a child.
+                let sync = coh.task_sync(cid);
+                core.clock += sync;
+                stats.region_cycles += sync;
                 tasks[task].pending_children = children.len() as u64;
                 core.current = Some(children[0]);
                 for &c in &children[1..] {
@@ -569,7 +583,7 @@ impl<'a> SimEngine<'a> {
                 }
             }
             Event::RegionAdd { start, end, token } => {
-                if protocol == Protocol::Warden {
+                if coh.uses_regions() {
                     core.clock += machine.lat.region_instr;
                     stats.region_cycles += machine.lat.region_instr;
                     stats.instructions += 1;
@@ -587,7 +601,7 @@ impl<'a> SimEngine<'a> {
                 }
             }
             Event::RegionRemove { token } => {
-                if protocol == Protocol::Warden {
+                if coh.uses_regions() {
                     stats.instructions += 1;
                     match regions
                         .binary_search_by_key(token, |&(t, _)| t)
@@ -920,15 +934,25 @@ fn drain_store_buffer(core: &mut Core) {
 }
 
 /// An idle core looks for work: its own deque first, then a random victim.
+///
+/// Taking a task — popped or stolen — is a sync point for the lazy
+/// protocols: the consumer self-invalidates so it observes everything the
+/// producer published at its fork edge. The sync must not perturb the RNG
+/// draw sequence (replays are bit-identical across protocols' schedules),
+/// so it runs strictly after the steal decision.
 fn acquire_work(
     cid: usize,
     cores: &mut [Core],
     machine: &MachineConfig,
     rng: &mut SmallRng,
     stats: &mut SimStats,
+    coh: &mut CoherenceSystem,
 ) {
     if let Some(t) = cores[cid].deque.pop_back() {
         cores[cid].current = Some(t);
+        let sync = coh.task_sync(cid);
+        cores[cid].clock += sync;
+        stats.region_cycles += sync;
         return;
     }
     // Count-then-nth instead of collecting a victims Vec: the hot idle path
@@ -953,6 +977,9 @@ fn acquire_work(
     stats.steal_cycles += machine.steal_cost;
     cores[cid].current = Some(stolen);
     stats.steals += 1;
+    let sync = coh.task_sync(cid);
+    cores[cid].clock += sync;
+    stats.region_cycles += sync;
 }
 
 #[cfg(test)]
@@ -976,8 +1003,8 @@ mod tests {
     fn replay_is_deterministic() {
         let p = sample_program();
         let m = tiny_machine();
-        let a = simulate(&p, &m, Protocol::Warden);
-        let b = simulate(&p, &m, Protocol::Warden);
+        let a = simulate(&p, &m, ProtocolId::Warden);
+        let b = simulate(&p, &m, ProtocolId::Warden);
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.memory_image_digest, b.memory_image_digest);
     }
@@ -986,8 +1013,8 @@ mod tests {
     fn protocols_produce_identical_memory_images() {
         let p = sample_program();
         let m = tiny_machine();
-        let mesi = simulate(&p, &m, Protocol::Mesi);
-        let warden = simulate(&p, &m, Protocol::Warden);
+        let mesi = simulate(&p, &m, ProtocolId::Mesi);
+        let warden = simulate(&p, &m, ProtocolId::Warden);
         assert_eq!(mesi.memory_image_digest, warden.memory_image_digest);
         let (lo, _) = p.address_range;
         let len = p.address_range.1 - lo;
@@ -1002,7 +1029,7 @@ mod tests {
     fn replay_image_matches_logical_image() {
         let p = sample_program();
         let m = tiny_machine();
-        let out = simulate(&p, &m, Protocol::Warden);
+        let out = simulate(&p, &m, ProtocolId::Warden);
         let (lo, hi) = p.address_range;
         assert_eq!(
             out.final_memory.first_difference(&p.memory, lo, hi - lo),
@@ -1016,14 +1043,14 @@ mod tests {
         let p = sample_program();
         let m = tiny_machine();
         let opts = SimOptions::default();
-        let mut eng = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        let mut eng = SimEngine::new(&p, &m, ProtocolId::Warden, &opts);
         assert!(!eng.is_done());
         while eng.step() {}
         assert!(eng.is_done());
         assert!(eng.steps() > 0);
         assert_eq!(eng.completed_tasks(), p.tasks.len());
         let stepped = eng.finish();
-        let oneshot = simulate(&p, &m, Protocol::Warden);
+        let oneshot = simulate(&p, &m, ProtocolId::Warden);
         assert_eq!(stepped.stats, oneshot.stats);
         assert_eq!(stepped.memory_image_digest, oneshot.memory_image_digest);
     }
@@ -1038,7 +1065,7 @@ mod tests {
             cancel: Some(token),
             ..SimOptions::default()
         };
-        match try_simulate(&p, &m, Protocol::Warden, &opts) {
+        match try_simulate(&p, &m, ProtocolId::Warden, &opts) {
             Err(SimError::Cancelled { steps }) => assert_eq!(steps, 0),
             other => panic!("expected Cancelled, got {other:?}"),
         }
@@ -1052,8 +1079,9 @@ mod tests {
             cancel: Some(CancelToken::new()),
             ..SimOptions::default()
         };
-        let with_token = try_simulate(&p, &m, Protocol::Warden, &opts).expect("runs to completion");
-        let plain = simulate(&p, &m, Protocol::Warden);
+        let with_token =
+            try_simulate(&p, &m, ProtocolId::Warden, &opts).expect("runs to completion");
+        let plain = simulate(&p, &m, ProtocolId::Warden);
         assert_eq!(with_token.stats, plain.stats);
         assert_eq!(with_token.memory_image_digest, plain.memory_image_digest);
     }
@@ -1067,7 +1095,7 @@ mod tests {
         let p = sample_program();
         let m = tiny_machine();
         let full = {
-            let mut eng = SimEngine::new(&p, &m, Protocol::Warden, &SimOptions::default());
+            let mut eng = SimEngine::new(&p, &m, ProtocolId::Warden, &SimOptions::default());
             while eng.step() {}
             eng.steps()
         };
@@ -1077,7 +1105,7 @@ mod tests {
             cancel: Some(token.clone()),
             ..SimOptions::default()
         };
-        let mut eng = SimEngine::try_new(&p, &m, Protocol::Warden, &opts).expect("valid machine");
+        let mut eng = SimEngine::try_new(&p, &m, ProtocolId::Warden, &opts).expect("valid machine");
         for _ in 0..head {
             assert!(eng.step(), "half the run must not exhaust the program");
         }
@@ -1105,9 +1133,9 @@ mod tests {
             check: true,
             ..SimOptions::default()
         };
-        let reference = simulate_with_options(&p, &m, Protocol::Warden, &opts);
+        let reference = simulate_with_options(&p, &m, ProtocolId::Warden, &opts);
 
-        let mut eng = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        let mut eng = SimEngine::new(&p, &m, ProtocolId::Warden, &opts);
         for _ in 0..2_000 {
             if !eng.step() {
                 break;
@@ -1117,7 +1145,7 @@ mod tests {
         eng.encode_state(&mut enc);
         let bytes = enc.into_bytes();
 
-        let mut fresh = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        let mut fresh = SimEngine::new(&p, &m, ProtocolId::Warden, &opts);
         let mut dec = Decoder::new(&bytes);
         fresh.apply_state(&mut dec).expect("state applies");
         dec.finish().expect("no trailing bytes");
@@ -1139,13 +1167,13 @@ mod tests {
         use crate::obs::SimEvent;
         let p = sample_program();
         let m = tiny_machine();
-        let plain = simulate(&p, &m, Protocol::Warden);
+        let plain = simulate(&p, &m, ProtocolId::Warden);
         assert!(plain.obs.is_none(), "obs is opt-in");
         let opts = SimOptions {
             obs: true,
             ..SimOptions::default()
         };
-        let observed = simulate_with_options(&p, &m, Protocol::Warden, &opts);
+        let observed = simulate_with_options(&p, &m, ProtocolId::Warden, &opts);
         assert_eq!(
             observed.stats, plain.stats,
             "recording must not perturb the run"
@@ -1190,9 +1218,9 @@ mod tests {
             obs: true,
             ..SimOptions::default()
         };
-        let reference = simulate_with_options(&p, &m, Protocol::Warden, &opts);
+        let reference = simulate_with_options(&p, &m, ProtocolId::Warden, &opts);
 
-        let mut eng = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        let mut eng = SimEngine::new(&p, &m, ProtocolId::Warden, &opts);
         for _ in 0..2_000 {
             if !eng.step() {
                 break;
@@ -1202,7 +1230,7 @@ mod tests {
         eng.encode_state(&mut enc);
         let bytes = enc.into_bytes();
 
-        let mut fresh = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        let mut fresh = SimEngine::new(&p, &m, ProtocolId::Warden, &opts);
         let mut dec = Decoder::new(&bytes);
         fresh.apply_state(&mut dec).expect("state applies");
         dec.finish().expect("no trailing bytes");
@@ -1227,7 +1255,7 @@ mod tests {
         let p = sample_program();
         let m = tiny_machine();
         let opts = SimOptions::default();
-        let mut eng = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        let mut eng = SimEngine::new(&p, &m, ProtocolId::Warden, &opts);
         for _ in 0..500 {
             eng.step();
         }
@@ -1237,7 +1265,7 @@ mod tests {
 
         // A machine with a different core count refuses the state.
         let m1 = MachineConfig::dual_socket().with_cores(1);
-        let mut other = SimEngine::new(&p, &m1, Protocol::Warden, &opts);
+        let mut other = SimEngine::new(&p, &m1, ProtocolId::Warden, &opts);
         assert!(other.apply_state(&mut Decoder::new(&bytes)).is_err());
 
         // An engine expecting a fault injector refuses a fault-free state.
@@ -1245,7 +1273,7 @@ mod tests {
             faults: Some(FaultPlan::benign(1)),
             ..SimOptions::default()
         };
-        let mut other = SimEngine::new(&p, &m, Protocol::Warden, &faulty);
+        let mut other = SimEngine::new(&p, &m, ProtocolId::Warden, &faulty);
         assert!(other.apply_state(&mut Decoder::new(&bytes)).is_err());
 
         // An observed state refuses an engine without a recorder.
@@ -1253,14 +1281,14 @@ mod tests {
             obs: true,
             ..SimOptions::default()
         };
-        let mut eng = SimEngine::new(&p, &m, Protocol::Warden, &observed);
+        let mut eng = SimEngine::new(&p, &m, ProtocolId::Warden, &observed);
         for _ in 0..500 {
             eng.step();
         }
         let mut enc = Encoder::new();
         eng.encode_state(&mut enc);
         let obs_bytes = enc.into_bytes();
-        let mut other = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        let mut other = SimEngine::new(&p, &m, ProtocolId::Warden, &opts);
         assert!(other.apply_state(&mut Decoder::new(&obs_bytes)).is_err());
     }
 
@@ -1273,7 +1301,7 @@ mod tests {
         let p = sample_program();
         let m = tiny_machine();
         let opts = SimOptions::default();
-        let mut eng = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        let mut eng = SimEngine::new(&p, &m, ProtocolId::Warden, &opts);
         for _ in 0..100 {
             eng.step();
         }
@@ -1284,7 +1312,7 @@ mod tests {
         eng.encode_state(&mut enc);
         let bytes = enc.into_bytes();
 
-        let mut fresh = SimEngine::new(&p, &m, Protocol::Warden, &opts);
+        let mut fresh = SimEngine::new(&p, &m, ProtocolId::Warden, &opts);
         let mut dec = Decoder::new(&bytes);
         fresh.apply_state(&mut dec).expect("state applies");
         dec.finish().expect("no trailing bytes");
@@ -1326,8 +1354,8 @@ mod tests {
             let _ = rec(ctx, 7);
         });
         let m = tiny_machine();
-        let mesi = simulate(&p, &m, Protocol::Mesi);
-        let warden = simulate(&p, &m, Protocol::Warden);
+        let mesi = simulate(&p, &m, ProtocolId::Mesi);
+        let warden = simulate(&p, &m, ProtocolId::Warden);
         let (md, wd) = (
             mesi.stats.coherence.downgrades,
             warden.stats.coherence.downgrades,
@@ -1358,8 +1386,8 @@ mod tests {
             let _ = ctx.reduce(0, 4096, 16, &|c, i| c.read(&xs, i), &|a, b| a + b, 0);
         });
         let m = tiny_machine();
-        let mesi = simulate(&p, &m, Protocol::Mesi);
-        let warden = simulate(&p, &m, Protocol::Warden);
+        let mesi = simulate(&p, &m, ProtocolId::Mesi);
+        let warden = simulate(&p, &m, ProtocolId::Warden);
         assert!(
             (warden.stats.cycles as f64) < 1.10 * mesi.stats.cycles as f64,
             "overhead must stay within 10% (mesi {}, warden {})",
@@ -1371,7 +1399,7 @@ mod tests {
     #[test]
     fn mesi_sees_no_region_activity() {
         let p = sample_program();
-        let out = simulate(&p, &tiny_machine(), Protocol::Mesi);
+        let out = simulate(&p, &tiny_machine(), ProtocolId::Mesi);
         assert_eq!(out.stats.coherence.region_adds, 0);
         assert_eq!(out.region_peak, 0);
     }
@@ -1390,8 +1418,8 @@ mod tests {
             },
         );
         let m = tiny_machine();
-        let mesi = simulate(&p, &m, Protocol::Mesi);
-        let warden = simulate(&p, &m, Protocol::Warden);
+        let mesi = simulate(&p, &m, ProtocolId::Mesi);
+        let warden = simulate(&p, &m, ProtocolId::Warden);
         // A legacy (unmarked) application runs unencumbered: identical
         // timing and traffic (Figure 1's legacy path).
         assert_eq!(mesi.stats.cycles, warden.stats.cycles);
@@ -1404,7 +1432,7 @@ mod tests {
     #[test]
     fn work_stealing_uses_multiple_cores() {
         let p = sample_program();
-        let out = simulate(&p, &tiny_machine(), Protocol::Mesi);
+        let out = simulate(&p, &tiny_machine(), ProtocolId::Mesi);
         assert!(out.stats.steals > 0, "parallel work must be stolen");
     }
 
@@ -1415,8 +1443,8 @@ mod tests {
         });
         let m1 = MachineConfig::single_socket().with_cores(1);
         let m4 = MachineConfig::single_socket().with_cores(4);
-        let t1 = simulate(&p, &m1, Protocol::Mesi).stats.cycles;
-        let t4 = simulate(&p, &m4, Protocol::Mesi).stats.cycles;
+        let t1 = simulate(&p, &m1, ProtocolId::Mesi).stats.cycles;
+        let t4 = simulate(&p, &m4, ProtocolId::Mesi).stats.cycles;
         assert!(
             (t4 as f64) < 0.5 * t1 as f64,
             "4 cores should be at least 2x faster ({t4} vs {t1})"
@@ -1427,7 +1455,7 @@ mod tests {
     fn single_core_runs_to_completion_without_steals() {
         let p = sample_program();
         let m = MachineConfig::single_socket().with_cores(1);
-        let out = simulate(&p, &m, Protocol::Warden);
+        let out = simulate(&p, &m, ProtocolId::Warden);
         assert_eq!(out.stats.steals, 0);
         assert_eq!(out.stats.tasks, p.tasks.len() as u64);
     }
@@ -1457,8 +1485,8 @@ mod tests {
         narrow.store_mshrs = 1;
         let mut wide = base.clone();
         wide.store_mshrs = 56;
-        let t_narrow = simulate(&p, &narrow, Protocol::Mesi).stats;
-        let t_wide = simulate(&p, &wide, Protocol::Mesi).stats;
+        let t_narrow = simulate(&p, &narrow, ProtocolId::Mesi).stats;
+        let t_wide = simulate(&p, &wide, ProtocolId::Mesi).stats;
         assert!(
             t_narrow.cycles > t_wide.cycles,
             "1 MSHR ({}) must be slower than 56 ({})",
@@ -1482,7 +1510,7 @@ mod tests {
             });
             let mut m = MachineConfig::single_socket().with_cores(1);
             m.store_mshrs = 1;
-            simulate(&p, &m, Protocol::Mesi).stats.store_stall_cycles
+            simulate(&p, &m, ProtocolId::Mesi).stats.store_stall_cycles
         };
         assert_eq!(run(50), run(5_000));
     }
@@ -1493,7 +1521,7 @@ mod tests {
             ctx.work(100_000);
         });
         let m = MachineConfig::dual_socket();
-        let out = simulate(&p, &m, Protocol::Mesi);
+        let out = simulate(&p, &m, ProtocolId::Mesi);
         // CPI 1/2 on 100k instructions = 50k cycles minimum.
         assert!(out.stats.cycles >= m.compute_cycles(100_000));
         assert!(out.stats.instructions >= 100_000);
@@ -1502,8 +1530,8 @@ mod tests {
     #[test]
     fn disaggregated_is_slower_than_dual_socket() {
         let p = sample_program();
-        let dual = simulate(&p, &MachineConfig::dual_socket(), Protocol::Mesi);
-        let disagg = simulate(&p, &MachineConfig::disaggregated(), Protocol::Mesi);
+        let dual = simulate(&p, &MachineConfig::dual_socket(), ProtocolId::Mesi);
+        let disagg = simulate(&p, &MachineConfig::disaggregated(), ProtocolId::Mesi);
         assert!(
             disagg.stats.cycles > dual.stats.cycles,
             "1 µs remote accesses must hurt ({} vs {})",
@@ -1517,8 +1545,8 @@ mod tests {
         let p = sample_program();
         let mut m = tiny_machine();
         m.cache.region_capacity = 1;
-        let mesi = simulate(&p, &m, Protocol::Mesi);
-        let warden = simulate(&p, &m, Protocol::Warden);
+        let mesi = simulate(&p, &m, ProtocolId::Mesi);
+        let warden = simulate(&p, &m, ProtocolId::Warden);
         assert!(warden.stats.coherence.region_overflows > 0);
         assert_eq!(mesi.memory_image_digest, warden.memory_image_digest);
     }
@@ -1527,11 +1555,11 @@ mod tests {
     fn energy_params_scale_reported_energy() {
         let p = sample_program();
         let m = tiny_machine();
-        let cheap = simulate_with_energy(&p, &m, Protocol::Mesi, &EnergyParams::default());
+        let cheap = simulate_with_energy(&p, &m, ProtocolId::Mesi, &EnergyParams::default());
         let pricey = simulate_with_energy(
             &p,
             &m,
-            Protocol::Mesi,
+            ProtocolId::Mesi,
             &EnergyParams {
                 e_dram: 100.0,
                 ..EnergyParams::default()
@@ -1550,7 +1578,7 @@ mod tests {
             ("sample", MachineConfig::dual_socket()),
         ] {
             let p = sample_program();
-            for proto in [Protocol::Msi, Protocol::Mesi, Protocol::Warden] {
+            for proto in [ProtocolId::Msi, ProtocolId::Mesi, ProtocolId::Warden] {
                 let s = simulate(&p, &m, proto).stats;
                 let classified: u64 = s.cycle_breakdown().iter().map(|&(_, c)| c).sum();
                 assert_eq!(
@@ -1573,8 +1601,8 @@ mod tests {
             let _ = ctx.reduce(0, 2048, 32, &|c, i| c.read(&xs, i), &|a, b| a + b, 0);
         });
         let m = tiny_machine();
-        let mesi = simulate(&p, &m, Protocol::Mesi).stats;
-        let warden = simulate(&p, &m, Protocol::Warden).stats;
+        let mesi = simulate(&p, &m, ProtocolId::Mesi).stats;
+        let warden = simulate(&p, &m, ProtocolId::Warden).stats;
         assert!(warden.load_cycles < mesi.load_cycles);
         assert_eq!(warden.compute_cycles, mesi.compute_cycles);
     }
@@ -1583,8 +1611,8 @@ mod tests {
     fn seeds_change_schedules_not_results() {
         let p = sample_program();
         let base = tiny_machine();
-        let a = simulate(&p, &base.clone().with_seed(1), Protocol::Warden);
-        let b = simulate(&p, &base.clone().with_seed(2), Protocol::Warden);
+        let a = simulate(&p, &base.clone().with_seed(1), ProtocolId::Warden);
+        let b = simulate(&p, &base.clone().with_seed(2), ProtocolId::Warden);
         assert_eq!(a.memory_image_digest, b.memory_image_digest);
         // Cycle counts may differ (different steal schedules) but stay in
         // the same ballpark.

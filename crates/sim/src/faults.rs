@@ -17,7 +17,7 @@
 //!   config) times out and retries with exponential backoff; retry and
 //!   backoff cycles are accounted explicitly in [`FaultStats`] and priced by
 //!   the energy model's `e_link_retry`.
-//! * **Protocol mutations** — deliberate protocol defects
+//! * **ProtocolId mutations** — deliberate protocol defects
 //!   ([`ProtocolMutation`]) the invariant checker must detect.
 //!
 //! Everything is driven by one private [`SmallRng`] seeded from the plan, so
@@ -30,7 +30,7 @@ use crate::config::MachineConfig;
 use crate::error::SimError;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use warden_coherence::{CoherenceSystem, Protocol, ProtocolMutation, RegionId};
+use warden_coherence::{CoherenceSystem, ProtocolId, ProtocolMutation, RegionId};
 use warden_mem::codec::{CodecError, Decoder, Encoder};
 use warden_mem::{Addr, PAGE_SIZE};
 
@@ -76,7 +76,7 @@ pub struct FaultPlan {
     pub link_max_retries: u32,
     /// Backoff cycles before the first retry; doubles per retry.
     pub link_backoff_base: u64,
-    /// Protocol defects to install (empty for a benign plan).
+    /// ProtocolId defects to install (empty for a benign plan).
     pub mutations: Vec<ProtocolMutation>,
 }
 
@@ -368,7 +368,7 @@ impl FaultInjector {
     /// adds overflow into the MESI-fallback path. Returns extra stall
     /// cycles for the issuing core.
     pub(crate) fn after_region_add(&mut self, coh: &mut CoherenceSystem) -> u64 {
-        if coh.protocol() != Protocol::Warden || self.plan.cam_storm_period == 0 {
+        if coh.protocol() != ProtocolId::Warden || self.plan.cam_storm_period == 0 {
             return 0;
         }
         self.region_adds += 1;

@@ -18,15 +18,15 @@
 //! ```
 //! use warden_rt::{trace_program, RtOptions};
 //! use warden_sim::{simulate, MachineConfig};
-//! use warden_coherence::Protocol;
+//! use warden_coherence::ProtocolId;
 //!
 //! let program = trace_program("demo", RtOptions::default(), |ctx| {
 //!     let xs = ctx.tabulate::<u64>(256, 32, &|_c, i| i);
 //!     let _ = ctx.reduce(0, 256, 32, &|c, i| c.read(&xs, i), &|a, b| a + b, 0);
 //! });
 //! let machine = MachineConfig::dual_socket().with_cores(2);
-//! let mesi = simulate(&program, &machine, Protocol::Mesi);
-//! let warden = simulate(&program, &machine, Protocol::Warden);
+//! let mesi = simulate(&program, &machine, ProtocolId::Mesi);
+//! let warden = simulate(&program, &machine, ProtocolId::Warden);
 //! // Same answer, no more coherence penalties than the baseline.
 //! assert_eq!(mesi.memory_image_digest, warden.memory_image_digest);
 //! assert!(warden.stats.coherence.inv_plus_dg() <= mesi.stats.coherence.inv_plus_dg());

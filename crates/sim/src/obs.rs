@@ -207,7 +207,7 @@ macro_rules! for_each_epoch_counter {
 /// The epoch index is the summary's position in [`ObsReport::epochs`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EpochSummary {
-    /// Protocol events observed.
+    /// ProtocolId events observed.
     pub events: u64,
     /// Demand accesses slower than an L2 hit (they reached the directory).
     pub misses: u64,
@@ -354,6 +354,11 @@ impl ObsRecorder {
         let mut buf = std::mem::take(&mut self.scratch);
         coh.drain_events(&mut buf);
         for ev in buf.drain(..) {
+            // Classification is the protocol's own judgement — the same
+            // wire event can be demand traffic under MESI and sync traffic
+            // under self-invalidation.
+            let class = coh.classify_event(&ev);
+            self.counts.add_counter(class.name(), 1);
             self.record_protocol(cycle, core, ev);
         }
         self.scratch = buf;

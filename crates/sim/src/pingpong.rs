@@ -15,7 +15,7 @@
 //! alternating pattern and report cycles per iteration.
 
 use crate::config::MachineConfig;
-use warden_coherence::{CoherenceSystem, CoreId, Protocol};
+use warden_coherence::{CoherenceSystem, CoreId, ProtocolId};
 use warden_mem::Addr;
 
 /// Placement of the two hardware threads (Table 1's three scenarios).
@@ -61,7 +61,7 @@ impl Placement {
 /// ```
 pub fn pingpong(machine: &MachineConfig, placement: Placement, iterations: u64) -> f64 {
     assert!(iterations > 0, "need at least one iteration");
-    let mut sys = CoherenceSystem::new(machine.topo, machine.lat, machine.cache, Protocol::Mesi);
+    let mut sys = CoherenceSystem::new(machine.topo, machine.lat, machine.cache, ProtocolId::Mesi);
     let (a, b) = placement.cores(machine);
     let buf = Addr(4096);
     // Warm up: both threads have touched the line once.

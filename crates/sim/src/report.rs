@@ -98,7 +98,7 @@ mod tests {
     use super::*;
     use crate::energy::EnergyBreakdown;
     use crate::stats::SimStats;
-    use warden_coherence::Protocol;
+    use warden_coherence::ProtocolId;
     use warden_mem::Memory;
 
     fn outcome(cycles: u64, instrs: u64, inv: u64, dg: u64) -> SimOutcome {
@@ -110,7 +110,7 @@ mod tests {
         stats.coherence.invalidations = inv;
         stats.coherence.downgrades = dg;
         SimOutcome {
-            protocol: Protocol::Mesi,
+            protocol: ProtocolId::Mesi,
             machine: "m".into(),
             stats,
             energy: EnergyBreakdown {

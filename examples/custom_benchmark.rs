@@ -60,8 +60,8 @@ fn main() {
         MachineConfig::dual_socket(),
         MachineConfig::disaggregated(),
     ] {
-        let mesi = simulate(&program, &machine, Protocol::Mesi);
-        let warden = simulate(&program, &machine, Protocol::Warden);
+        let mesi = simulate(&program, &machine, ProtocolId::Mesi);
+        let warden = simulate(&program, &machine, ProtocolId::Warden);
         assert_eq!(mesi.memory_image_digest, warden.memory_image_digest);
         let c = Comparison::of("histogram", &mesi, &warden);
         println!(

@@ -27,8 +27,8 @@ fn main() {
         let program = bench.build(Scale::Paper);
         print!("{:14}", bench.name());
         for machine in &machines {
-            let mesi = simulate(&program, machine, Protocol::Mesi);
-            let warden = simulate(&program, machine, Protocol::Warden);
+            let mesi = simulate(&program, machine, ProtocolId::Mesi);
+            let warden = simulate(&program, machine, ProtocolId::Warden);
             assert_eq!(mesi.memory_image_digest, warden.memory_image_digest);
             let speedup = mesi.stats.cycles as f64 / warden.stats.cycles as f64;
             print!(" {:>13.2}x", speedup);

@@ -22,9 +22,9 @@ fn main() {
     let declared = primes(n, 2);
     let automark = primes_automark(n, 2);
 
-    let mesi = simulate(&declared, &machine, Protocol::Mesi);
-    let auto_ward = simulate(&automark, &machine, Protocol::Warden);
-    let full_ward = simulate(&declared, &machine, Protocol::Warden);
+    let mesi = simulate(&declared, &machine, ProtocolId::Mesi);
+    let auto_ward = simulate(&automark, &machine, ProtocolId::Warden);
+    let full_ward = simulate(&declared, &machine, ProtocolId::Warden);
     assert_eq!(mesi.memory_image_digest, full_ward.memory_image_digest);
 
     println!(

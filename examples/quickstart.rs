@@ -32,8 +32,8 @@ fn main() {
 
     // 2. Replay on the paper's dual-socket machine under both protocols.
     let machine = MachineConfig::dual_socket();
-    let mesi = simulate(&program, &machine, Protocol::Mesi);
-    let warden = simulate(&program, &machine, Protocol::Warden);
+    let mesi = simulate(&program, &machine, ProtocolId::Mesi);
+    let warden = simulate(&program, &machine, ProtocolId::Warden);
 
     // 3. WARDen must be semantically transparent…
     assert_eq!(

@@ -24,8 +24,8 @@
 //!     let _ = ctx.reduce(0, 512, 64, &|c, i| c.read(&xs, i), &|a, b| a + b, 0);
 //! });
 //! let machine = MachineConfig::single_socket().with_cores(4);
-//! let baseline = simulate(&program, &machine, Protocol::Mesi);
-//! let warden = simulate(&program, &machine, Protocol::Warden);
+//! let baseline = simulate(&program, &machine, ProtocolId::Mesi);
+//! let warden = simulate(&program, &machine, ProtocolId::Warden);
 //! assert_eq!(baseline.memory_image_digest, warden.memory_image_digest);
 //! ```
 
@@ -41,7 +41,7 @@ pub use warden_sim as sim;
 
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
-    pub use warden_coherence::Protocol;
+    pub use warden_coherence::ProtocolId;
     pub use warden_mem::{Addr, BlockAddr, Memory, BLOCK_SIZE, PAGE_SIZE};
     pub use warden_rt::{trace_program, MarkPolicy, RtOptions, SimSlice, TaskCtx};
     pub use warden_sim::{simulate, Comparison, MachineConfig, Placement, SimOutcome, SimStats};

@@ -14,8 +14,8 @@ use warden::prelude::*;
 fn same_value_races_converge_exactly() {
     let p = primes(2000, 4);
     let m = MachineConfig::dual_socket().with_cores(3);
-    let mesi = simulate(&p, &m, Protocol::Mesi);
-    let warden = simulate(&p, &m, Protocol::Warden);
+    let mesi = simulate(&p, &m, ProtocolId::Mesi);
+    let warden = simulate(&p, &m, ProtocolId::Warden);
     assert_eq!(mesi.memory_image_digest, warden.memory_image_digest);
     let (lo, hi) = p.address_range;
     assert_eq!(
@@ -33,7 +33,7 @@ fn different_value_races_stay_semantically_valid() {
     // be a valid BFS tree.
     for seed in [7u64, 8, 9] {
         let m = MachineConfig::dual_socket().with_cores(3).with_seed(seed);
-        for proto in [Protocol::Mesi, Protocol::Warden] {
+        for proto in [ProtocolId::Mesi, ProtocolId::Warden] {
             let out = simulate(&p, &m, proto);
             validate_parents(
                 &out.final_memory,
@@ -55,8 +55,8 @@ fn bfs_ward_scopes_cover_the_racing_writes() {
     );
     // And WARDen actually exploits them.
     let m = MachineConfig::dual_socket().with_cores(4);
-    let mesi = simulate(&p, &m, Protocol::Mesi);
-    let warden = simulate(&p, &m, Protocol::Warden);
+    let mesi = simulate(&p, &m, ProtocolId::Mesi);
+    let warden = simulate(&p, &m, ProtocolId::Warden);
     assert!(warden.stats.coherence.ward_serves > 0);
     assert!(
         warden.stats.coherence.invalidations <= mesi.stats.coherence.invalidations,

@@ -27,7 +27,7 @@ fn benign_faults_preserve_every_benchmark_image() {
     let mut injected_anything = false;
     for bench in Bench::ALL {
         let p = bench.build(Scale::Tiny);
-        for proto in [Protocol::Mesi, Protocol::Warden] {
+        for proto in [ProtocolId::Mesi, ProtocolId::Warden] {
             let clean = simulate(&p, &m, proto);
             let shaken = try_simulate(&p, &m, proto, &faulty(0xFAB + p.stats.events)).unwrap();
             assert_eq!(
@@ -72,11 +72,11 @@ fn benign_faults_preserve_every_benchmark_image() {
 fn fault_injection_is_deterministic() {
     let m = machine();
     let p = Bench::Msort.build(Scale::Tiny);
-    let a = try_simulate(&p, &m, Protocol::Warden, &faulty(77)).unwrap();
-    let b = try_simulate(&p, &m, Protocol::Warden, &faulty(77)).unwrap();
+    let a = try_simulate(&p, &m, ProtocolId::Warden, &faulty(77)).unwrap();
+    let b = try_simulate(&p, &m, ProtocolId::Warden, &faulty(77)).unwrap();
     assert_eq!(a.stats, b.stats, "same seed must replay identically");
     assert_eq!(a.memory_image_digest, b.memory_image_digest);
-    let c = try_simulate(&p, &m, Protocol::Warden, &faulty(78)).unwrap();
+    let c = try_simulate(&p, &m, ProtocolId::Warden, &faulty(78)).unwrap();
     assert_eq!(
         a.memory_image_digest, c.memory_image_digest,
         "a different fault schedule still must not change the answer"
@@ -96,8 +96,8 @@ fn fault_stats_feed_the_latency_and_energy_models() {
         faults: Some(plan),
         ..SimOptions::default()
     };
-    let clean = simulate(&p, &m, Protocol::Warden);
-    let shaken = try_simulate(&p, &m, Protocol::Warden, &opts).unwrap();
+    let clean = simulate(&p, &m, ProtocolId::Warden);
+    let shaken = try_simulate(&p, &m, ProtocolId::Warden, &opts).unwrap();
     assert!(shaken.stats.faults.latency_spikes > 0);
     assert!(
         shaken.stats.cycles > clean.stats.cycles,
@@ -122,7 +122,7 @@ fn invalid_plans_are_rejected_not_run() {
         faults: Some(plan),
         ..SimOptions::default()
     };
-    assert!(try_simulate(&p, &m, Protocol::Warden, &opts).is_err());
+    assert!(try_simulate(&p, &m, ProtocolId::Warden, &opts).is_err());
 }
 
 /// Random fork-join programs (same generator family as `proptest_rt`) under
@@ -169,7 +169,7 @@ proptest! {
     ) {
         let p = build(script);
         let m = MachineConfig::single_socket().with_cores(2);
-        let proto = if proto_warden { Protocol::Warden } else { Protocol::Mesi };
+        let proto = if proto_warden { ProtocolId::Warden } else { ProtocolId::Mesi };
         let clean = simulate(&p, &m, proto);
         let shaken = try_simulate(&p, &m, proto, &faulty(seed)).unwrap();
         prop_assert_eq!(clean.memory_image_digest, shaken.memory_image_digest);

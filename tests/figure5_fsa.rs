@@ -6,10 +6,12 @@
 //! `Uncached`, S = `Shared`, E/M = `Owned` (the E/M split lives in the
 //! owner's private cache), W = `Ward`.
 
-use warden::coherence::{CacheConfig, CoherenceSystem, DirKind, LatencyModel, Protocol, Topology};
+use warden::coherence::{
+    CacheConfig, CoherenceSystem, DirKind, LatencyModel, ProtocolId, Topology,
+};
 use warden::mem::{Addr, PAGE_SIZE};
 
-fn sys(protocol: Protocol) -> CoherenceSystem {
+fn sys(protocol: ProtocolId) -> CoherenceSystem {
     let mut s = CoherenceSystem::new(
         Topology::new(2, 2),
         LatencyModel::xeon_gold_6126(),
@@ -29,7 +31,7 @@ use DirKind::{Owned, Shared, Uncached, Ward};
 #[test]
 fn gets_from_i_grants_exclusive() {
     // Figure 5: I --GetS--> E.
-    let mut s = sys(Protocol::Mesi);
+    let mut s = sys(ProtocolId::Mesi);
     let a = page(2);
     s.load(0, a, 8);
     assert_eq!(s.dir_history(a.block()), [Uncached, Owned]);
@@ -38,7 +40,7 @@ fn gets_from_i_grants_exclusive() {
 #[test]
 fn getm_from_i_grants_modified() {
     // Figure 5: I --GetM--> M.
-    let mut s = sys(Protocol::Mesi);
+    let mut s = sys(ProtocolId::Mesi);
     let a = page(2);
     s.store(0, a, &[1]);
     assert_eq!(s.dir_history(a.block()), [Uncached, Owned]);
@@ -47,7 +49,7 @@ fn getm_from_i_grants_modified() {
 #[test]
 fn gets_downgrades_owner_to_shared() {
     // Figure 5: E/M --GetS (non-WARD region)--> S, DG owner.
-    let mut s = sys(Protocol::Mesi);
+    let mut s = sys(ProtocolId::Mesi);
     let a = page(2);
     s.store(0, a, &[1]);
     s.load(1, a, 8);
@@ -58,7 +60,7 @@ fn gets_downgrades_owner_to_shared() {
 #[test]
 fn getm_invalidates_sharers() {
     // Figure 5: S --GetM (non-WARD region)--> M, INV sharers.
-    let mut s = sys(Protocol::Mesi);
+    let mut s = sys(ProtocolId::Mesi);
     let a = page(2);
     s.load(0, a, 8);
     s.load(1, a, 8);
@@ -70,7 +72,7 @@ fn getm_invalidates_sharers() {
 #[test]
 fn getm_transfers_ownership_with_invalidation() {
     // Figure 5: M --GetM (non-WARD region)--> M at the new owner, INV owner.
-    let mut s = sys(Protocol::Mesi);
+    let mut s = sys(ProtocolId::Mesi);
     let a = page(2);
     s.store(0, a, &[1]);
     let inv_before = s.stats().invalidations;
@@ -84,7 +86,7 @@ fn getm_transfers_ownership_with_invalidation() {
 #[test]
 fn ward_entry_from_i() {
     // Figure 5: I --GetM or GetS (WARD region)--> W.
-    let mut s = sys(Protocol::Warden);
+    let mut s = sys(ProtocolId::Warden);
     let a = page(2);
     s.add_region(a, page(3)).unwrap();
     s.store(0, a, &[1]);
@@ -95,7 +97,7 @@ fn ward_entry_from_i() {
 fn ward_entry_from_owned_avoids_invalidation() {
     // Figure 5: E/M --GetM or GetS (WARD region)--> W (no INV/DG of the
     // owner; our sound entry performs one LLC snapshot instead).
-    let mut s = sys(Protocol::Warden);
+    let mut s = sys(ProtocolId::Warden);
     let a = page(2);
     s.store(0, a, &[1]); // Owned before the region exists
     s.add_region(a, page(3)).unwrap();
@@ -108,7 +110,7 @@ fn ward_entry_from_owned_avoids_invalidation() {
 #[test]
 fn ward_entry_from_shared() {
     // Figure 5: S --GetM or GetS (WARD region)--> W.
-    let mut s = sys(Protocol::Warden);
+    let mut s = sys(ProtocolId::Warden);
     let a = page(2);
     s.load(0, a, 8);
     s.load(1, a, 8); // Shared
@@ -121,7 +123,7 @@ fn ward_entry_from_shared() {
 #[test]
 fn ward_state_absorbs_all_requests() {
     // Figure 5: W --GetM or GetS--> W (self loop, no negative consequences).
-    let mut s = sys(Protocol::Warden);
+    let mut s = sys(ProtocolId::Warden);
     let a = page(2);
     s.add_region(a, page(3)).unwrap();
     s.store(0, a, &[1]);
@@ -141,7 +143,7 @@ fn reconciliation_exits_ward_to_mesi_states() {
     // §5.2 ("for transitions out of the WARD state"): multi-sharer blocks
     // merge and leave W; a single holder converts in place to a clean
     // shared copy.
-    let mut s = sys(Protocol::Warden);
+    let mut s = sys(ProtocolId::Warden);
     let multi = page(2);
     let solo = page(2) + 64;
     let id = s.add_region(page(2), page(3)).unwrap();
@@ -165,7 +167,7 @@ fn reconciliation_exits_ward_to_mesi_states() {
 fn legacy_traffic_never_reaches_ward() {
     // Figure 1 / §5.1: with no regions declared, a WARDen machine walks only
     // MESI states.
-    let mut s = sys(Protocol::Warden);
+    let mut s = sys(ProtocolId::Warden);
     let a = page(2);
     s.store(0, a, &[1]);
     s.load(1, a, 8);
@@ -176,7 +178,7 @@ fn legacy_traffic_never_reaches_ward() {
 
 #[test]
 fn rmw_escape_path_is_ward_then_uncached_then_owned() {
-    let mut s = sys(Protocol::Warden);
+    let mut s = sys(ProtocolId::Warden);
     let a = page(2);
     s.add_region(a, page(3)).unwrap();
     s.store(0, a, &[1]);

@@ -1,5 +1,6 @@
 //! Golden-stats snapshot tests: every PBBS benchmark at tiny scale, under
-//! both protocols, must reproduce its committed statistics exactly.
+//! every registered protocol, must reproduce its committed statistics
+//! exactly.
 //!
 //! The simulator is deterministic, so any drift in any counter — cycle
 //! counts, hit rates, coherence events, reconciliation totals — is a
@@ -17,7 +18,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::PathBuf;
-use warden::coherence::Protocol;
+use warden::coherence::ProtocolId;
 use warden::pbbs::{Bench, Scale};
 use warden::sim::{simulate, MachineConfig};
 
@@ -74,7 +75,8 @@ fn every_benchmark_matches_its_golden_stats() {
     let mut checked = 0;
     for bench in Bench::ALL {
         let program = bench.build(Scale::Tiny);
-        for (protocol, tag) in [(Protocol::Mesi, "mesi"), (Protocol::Warden, "warden")] {
+        for protocol in ProtocolId::ALL {
+            let tag = protocol.name();
             let out = simulate(&program, &machine, protocol);
             let fields = out.stats.fields();
             let path = goldens_dir().join(format!("{}-{tag}.txt", bench.name()));
@@ -112,7 +114,7 @@ fn every_benchmark_matches_its_golden_stats() {
     );
     assert_eq!(
         checked,
-        Bench::ALL.len() * 2,
-        "expected every benchmark under both protocols"
+        Bench::ALL.len() * ProtocolId::ALL.len(),
+        "expected every benchmark under every registered protocol"
     );
 }

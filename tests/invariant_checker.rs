@@ -4,14 +4,15 @@
 //! there.
 
 use warden::coherence::{
-    CacheConfig, CoherenceSystem, InvariantKind, LatencyModel, Protocol, ProtocolMutation, Topology,
+    CacheConfig, CoherenceSystem, InvariantKind, LatencyModel, ProtocolId, ProtocolMutation,
+    Topology,
 };
 use warden::mem::{Addr, PAGE_SIZE};
 use warden::pbbs::{Bench, Scale};
 use warden::prelude::*;
 use warden::sim::{try_simulate, SimOptions};
 
-fn sys(protocol: Protocol) -> CoherenceSystem {
+fn sys(protocol: ProtocolId) -> CoherenceSystem {
     let mut s = CoherenceSystem::new(
         Topology::new(1, 2),
         LatencyModel::xeon_gold_6126(),
@@ -35,7 +36,7 @@ fn clean_benchmarks_have_zero_violations() {
     };
     for bench in [Bench::Primes, Bench::Msort, Bench::Dedup, Bench::Quickhull] {
         let p = bench.build(Scale::Tiny);
-        for proto in [Protocol::Mesi, Protocol::Warden] {
+        for proto in [ProtocolId::Mesi, ProtocolId::Warden] {
             let out = try_simulate(&p, &m, proto, &opts).unwrap();
             assert!(
                 out.violations.is_empty(),
@@ -50,7 +51,7 @@ fn clean_benchmarks_have_zero_violations() {
 
 #[test]
 fn checker_actually_inspects_transactions() {
-    let mut s = sys(Protocol::Warden);
+    let mut s = sys(ProtocolId::Warden);
     let a = page(4);
     s.store(0, a, &[1]);
     s.load(1, a, 8);
@@ -66,7 +67,7 @@ fn checker_actually_inspects_transactions() {
 fn skipped_ward_entry_sync_is_detected() {
     // Baseline: the same scenario without the mutation is clean and does
     // perform the sync.
-    let mut clean = sys(Protocol::Warden);
+    let mut clean = sys(ProtocolId::Warden);
     let a = page(4);
     clean.store(0, a, &[0xAB]);
     clean.add_region(page(4), page(5)).unwrap();
@@ -77,7 +78,7 @@ fn skipped_ward_entry_sync_is_detected() {
     );
     assert!(clean.violations().is_empty());
 
-    let mut s = sys(Protocol::Warden);
+    let mut s = sys(ProtocolId::Warden);
     s.inject_mutation(ProtocolMutation::SkipWardEntrySync);
     s.store(0, a, &[0xAB]);
     s.add_region(page(4), page(5)).unwrap();
@@ -101,7 +102,7 @@ fn skipped_ward_entry_sync_is_detected() {
 /// Two cores write disjoint bytes of one block inside a WARD region; set up
 /// so that reconciliation merges both masks into the LLC.
 fn disjoint_writes_then_reconcile(mutation: Option<ProtocolMutation>) -> CoherenceSystem {
-    let mut s = sys(Protocol::Warden);
+    let mut s = sys(ProtocolId::Warden);
     if let Some(m) = mutation {
         s.inject_mutation(m);
     }
@@ -165,7 +166,7 @@ fn engine_surfaces_mutation_violations() {
         )),
         ..SimOptions::default()
     };
-    let out = try_simulate(&p, &m, Protocol::Warden, &opts).unwrap();
+    let out = try_simulate(&p, &m, ProtocolId::Warden, &opts).unwrap();
     assert!(
         !out.violations.is_empty(),
         "a dropped reconciliation writeback must be detected in a real run"

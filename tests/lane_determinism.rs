@@ -54,7 +54,7 @@ fn benchmarks_are_lane_count_invariant() {
     let machine = MachineConfig::dual_socket().with_cores(8);
     for bench in [Bench::Msort, Bench::SuffixArray, Bench::Fib] {
         let program = bench.build(Scale::Tiny);
-        for protocol in [Protocol::Mesi, Protocol::Warden] {
+        for protocol in [ProtocolId::Mesi, ProtocolId::Warden] {
             let seq = simulate_with_options(&program, &machine, protocol, &laned(1));
             assert!(seq.lane_report.is_none(), "lanes=1 is the sequential scan");
             for lanes in [2usize, 4, 8] {
@@ -80,8 +80,8 @@ fn benchmarks_are_lane_count_invariant() {
 fn lanes_clamp_on_a_single_core_machine() {
     let machine = MachineConfig::single_socket().with_cores(1);
     let program = Bench::Fib.build(Scale::Tiny);
-    let seq = simulate_with_options(&program, &machine, Protocol::Warden, &laned(1));
-    let lan = simulate_with_options(&program, &machine, Protocol::Warden, &laned(4));
+    let seq = simulate_with_options(&program, &machine, ProtocolId::Warden, &laned(1));
+    let lan = simulate_with_options(&program, &machine, ProtocolId::Warden, &laned(4));
     assert_identical(&seq, &lan, "single-core clamp");
     assert_eq!(lan.lane_report.expect("laned").lanes.len(), 1);
 }
@@ -109,10 +109,10 @@ fn lane_count_is_not_part_of_the_options_fingerprint() {
 fn checkpoints_resume_across_differing_lane_counts() {
     let machine = MachineConfig::dual_socket().with_cores(4);
     let program = Bench::Msort.build(Scale::Tiny);
-    let reference = simulate(&program, &machine, Protocol::Warden);
+    let reference = simulate(&program, &machine, ProtocolId::Warden);
 
     for (write_lanes, resume_lanes) in [(1usize, 4usize), (4, 1), (2, 4)] {
-        let mut eng = SimEngine::new(&program, &machine, Protocol::Warden, &laned(write_lanes));
+        let mut eng = SimEngine::new(&program, &machine, ProtocolId::Warden, &laned(write_lanes));
         for _ in 0..5_000 {
             assert!(eng.step(), "trace must outlast the snapshot point");
         }
@@ -120,7 +120,7 @@ fn checkpoints_resume_across_differing_lane_counts() {
         let mut resumed = SimEngine::resume_from_bytes(
             &program,
             &machine,
-            Protocol::Warden,
+            ProtocolId::Warden,
             &laned(resume_lanes),
             &frame,
         )
@@ -226,7 +226,7 @@ proptest! {
         }
         .with_cores(cores)
         .with_seed(seed);
-        let protocol = if protocol_warden { Protocol::Warden } else { Protocol::Mesi };
+        let protocol = if protocol_warden { ProtocolId::Warden } else { ProtocolId::Mesi };
         let opts = |lanes| SimOptions { check: true, obs: true, lanes, ..SimOptions::default() };
         let seq = simulate_with_options(&p, &m, protocol, &opts(1));
         prop_assert!(seq.violations.is_empty());

@@ -4,7 +4,7 @@
 //! (the no-cross-RAW/WAW-free case every protocol must get exactly right).
 
 use proptest::prelude::*;
-use warden::coherence::{CacheConfig, CoherenceSystem, LatencyModel, Protocol, Topology};
+use warden::coherence::{CacheConfig, CoherenceSystem, LatencyModel, ProtocolId, Topology};
 use warden::mem::{Addr, Memory, PAGE_SIZE};
 
 /// One scripted step.
@@ -16,6 +16,9 @@ enum Step {
     Read { core: usize, slot: u64 },
     /// Toggle a WARD region over one of the pages.
     Region { page: u64 },
+    /// A sync point on `core` — drains the private hierarchy under
+    /// self-invalidation, a no-op under the eager protocols.
+    Sync { core: usize },
 }
 
 const CORES: usize = 4;
@@ -31,6 +34,7 @@ fn step_strategy() -> impl Strategy<Value = Step> {
         }),
         (0..CORES, 0..PAGES * SLOTS).prop_map(|(core, slot)| Step::Read { core, slot }),
         (0..PAGES).prop_map(|page| Step::Region { page }),
+        (0..CORES).prop_map(|core| Step::Sync { core }),
     ]
 }
 
@@ -40,13 +44,19 @@ fn lane(slot: u64, core: usize) -> Addr {
     Addr(PAGE_SIZE + slot * 64 + core as u64)
 }
 
-fn run(protocol: Protocol, steps: &[Step]) -> (Memory, Memory) {
+fn run(protocol: ProtocolId, steps: &[Step]) -> (Memory, Memory) {
     let mut sys = CoherenceSystem::new(
         Topology::new(2, 2),
         LatencyModel::xeon_gold_6126(),
         CacheConfig::tiny(), // tiny caches: constant evictions stress merging
         protocol,
     );
+    // Checker and observability stay on for every random trace: the
+    // invariants must hold mid-stream and event classification must never
+    // panic on any protocol's event mix.
+    sys.enable_checker();
+    sys.enable_obs();
+    let mut events = Vec::new();
     let mut reference = Memory::new();
     let mut region_ids = vec![None; PAGES as usize];
     for step in steps {
@@ -71,8 +81,20 @@ fn run(protocol: Protocol, steps: &[Step]) -> (Memory, Memory) {
                     }
                 }
             }
+            Step::Sync { core } => {
+                sys.task_sync(core);
+            }
         }
     }
+    sys.drain_events(&mut events);
+    for ev in &events {
+        let _ = sys.classify_event(ev).name();
+    }
+    assert!(
+        sys.violations().is_empty(),
+        "{protocol}: invariant violation on a single-writer trace: {}",
+        sys.violations()[0]
+    );
     sys.flush_all();
     (sys.memory().clone(), reference)
 }
@@ -82,7 +104,7 @@ proptest! {
 
     #[test]
     fn mesi_matches_reference(steps in proptest::collection::vec(step_strategy(), 1..300)) {
-        let (mem, reference) = run(Protocol::Mesi, &steps);
+        let (mem, reference) = run(ProtocolId::Mesi, &steps);
         prop_assert_eq!(
             mem.first_difference(&reference, Addr(PAGE_SIZE), PAGES * PAGE_SIZE),
             None
@@ -91,7 +113,7 @@ proptest! {
 
     #[test]
     fn warden_matches_reference(steps in proptest::collection::vec(step_strategy(), 1..300)) {
-        let (mem, reference) = run(Protocol::Warden, &steps);
+        let (mem, reference) = run(ProtocolId::Warden, &steps);
         prop_assert_eq!(
             mem.first_difference(&reference, Addr(PAGE_SIZE), PAGES * PAGE_SIZE),
             None
@@ -99,10 +121,27 @@ proptest! {
     }
 
     #[test]
+    fn every_protocol_matches_reference(steps in proptest::collection::vec(step_strategy(), 1..200)) {
+        for protocol in ProtocolId::ALL {
+            let (mem, reference) = run(protocol, &steps);
+            prop_assert_eq!(
+                mem.first_difference(&reference, Addr(PAGE_SIZE), PAGES * PAGE_SIZE),
+                None,
+                "{} diverged from the flat reference log", protocol
+            );
+        }
+    }
+
+    #[test]
     fn protocols_agree(steps in proptest::collection::vec(step_strategy(), 1..300)) {
-        let (mesi, _) = run(Protocol::Mesi, &steps);
-        let (warden, _) = run(Protocol::Warden, &steps);
-        prop_assert_eq!(mesi.digest(), warden.digest());
+        let (mesi, _) = run(ProtocolId::Mesi, &steps);
+        for &protocol in &ProtocolId::ALL {
+            if protocol == ProtocolId::Mesi {
+                continue;
+            }
+            let (other, _) = run(protocol, &steps);
+            prop_assert_eq!(mesi.digest(), other.digest(), "MESI vs {}", protocol);
+        }
     }
 
     #[test]
@@ -113,7 +152,7 @@ proptest! {
             Topology::new(2, 2),
             LatencyModel::xeon_gold_6126(),
             CacheConfig::tiny(),
-            Protocol::Warden,
+            ProtocolId::Warden,
         );
         let lat = sys.latency_model();
         let bound = 4 * (lat.l3 + lat.fwd + 2 * lat.intersocket + lat.dram);

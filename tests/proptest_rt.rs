@@ -98,8 +98,8 @@ fn regression_unbalanced_tree_replays_faithfully() {
     let m = MachineConfig::single_socket()
         .with_cores(2)
         .with_seed(3463122757351628199);
-    let mesi = simulate(&p, &m, Protocol::Mesi);
-    let warden = simulate(&p, &m, Protocol::Warden);
+    let mesi = simulate(&p, &m, ProtocolId::Mesi);
+    let warden = simulate(&p, &m, ProtocolId::Warden);
     assert_eq!(mesi.memory_image_digest, warden.memory_image_digest);
     let (lo, hi) = p.address_range;
     assert_eq!(
@@ -127,8 +127,8 @@ proptest! {
         }
         .with_cores(cores)
         .with_seed(seed);
-        let mesi = simulate(&p, &m, Protocol::Mesi);
-        let warden = simulate(&p, &m, Protocol::Warden);
+        let mesi = simulate(&p, &m, ProtocolId::Mesi);
+        let warden = simulate(&p, &m, ProtocolId::Warden);
         prop_assert_eq!(mesi.memory_image_digest, warden.memory_image_digest);
         let (lo, hi) = p.address_range;
         prop_assert_eq!(warden.final_memory.first_difference(&p.memory, lo, hi - lo), None);
@@ -140,7 +140,7 @@ proptest! {
     fn instruction_counts_match_trace(t in tree_strategy()) {
         let p = build(&t);
         let m = MachineConfig::single_socket().with_cores(2);
-        let mesi = simulate(&p, &m, Protocol::Mesi);
+        let mesi = simulate(&p, &m, ProtocolId::Mesi);
         // MESI executes exactly the traced instructions minus the region
         // instructions (which only a WARDen machine runs).
         let region_instrs: u64 = p

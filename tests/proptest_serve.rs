@@ -9,7 +9,7 @@
 //! fsck scan.
 
 use proptest::prelude::*;
-use warden::coherence::Protocol;
+use warden::coherence::ProtocolId;
 use warden::mem::codec::CodecError;
 use warden::obs::{Hist, MetricsRegistry};
 use warden::pbbs::{Bench, Scale};
@@ -28,11 +28,11 @@ fn scale() -> impl Strategy<Value = Scale> {
     prop_oneof![Just(Scale::Tiny), Just(Scale::Paper)]
 }
 
-fn protocol() -> impl Strategy<Value = Protocol> {
+fn protocol() -> impl Strategy<Value = ProtocolId> {
     prop_oneof![
-        Just(Protocol::Msi),
-        Just(Protocol::Mesi),
-        Just(Protocol::Warden)
+        Just(ProtocolId::Msi),
+        Just(ProtocolId::Mesi),
+        Just(ProtocolId::Warden)
     ]
 }
 

@@ -57,8 +57,8 @@ fn regression_script_191_32_round_trips() {
     }
     assert_eq!(q.memory.digest(), p.memory.digest());
     let m = MachineConfig::single_socket().with_cores(2);
-    let a = simulate(&p, &m, Protocol::Warden);
-    let b = simulate(&q, &m, Protocol::Warden);
+    let a = simulate(&p, &m, ProtocolId::Warden);
+    let b = simulate(&q, &m, ProtocolId::Warden);
     assert_eq!(a.stats, b.stats);
 }
 
@@ -80,8 +80,8 @@ proptest! {
         prop_assert_eq!(q.memory.digest(), p.memory.digest());
         // And the deserialized trace simulates identically.
         let m = MachineConfig::single_socket().with_cores(2);
-        let a = simulate(&p, &m, Protocol::Warden);
-        let b = simulate(&q, &m, Protocol::Warden);
+        let a = simulate(&p, &m, ProtocolId::Warden);
+        let b = simulate(&q, &m, ProtocolId::Warden);
         prop_assert_eq!(a.stats, b.stats);
     }
 

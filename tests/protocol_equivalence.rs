@@ -17,8 +17,8 @@ fn all_benchmarks_agree_on_final_memory() {
         let p = bench.build(Scale::Tiny);
         p.check_invariants()
             .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
-        let mesi = simulate(&p, &m, Protocol::Mesi);
-        let warden = simulate(&p, &m, Protocol::Warden);
+        let mesi = simulate(&p, &m, ProtocolId::Mesi);
+        let warden = simulate(&p, &m, ProtocolId::Warden);
         assert_eq!(
             mesi.memory_image_digest,
             warden.memory_image_digest,
@@ -48,8 +48,8 @@ fn replays_are_deterministic() {
     let m = machine();
     for bench in [Bench::Msort, Bench::Primes, Bench::Dedup] {
         let p = bench.build(Scale::Tiny);
-        let a = simulate(&p, &m, Protocol::Warden);
-        let b = simulate(&p, &m, Protocol::Warden);
+        let a = simulate(&p, &m, ProtocolId::Warden);
+        let b = simulate(&p, &m, ProtocolId::Warden);
         assert_eq!(a.stats, b.stats, "{}", bench.name());
         assert_eq!(a.memory_image_digest, b.memory_image_digest);
     }
@@ -72,8 +72,8 @@ fn warden_does_not_inflate_downgrades() {
     let m = machine();
     for bench in Bench::ALL {
         let p = bench.build(Scale::Tiny);
-        let mesi = simulate(&p, &m, Protocol::Mesi);
-        let warden = simulate(&p, &m, Protocol::Warden);
+        let mesi = simulate(&p, &m, ProtocolId::Mesi);
+        let warden = simulate(&p, &m, ProtocolId::Warden);
         let (md, wd) = (
             mesi.stats.coherence.downgrades,
             warden.stats.coherence.downgrades,
@@ -91,7 +91,7 @@ fn region_accounting_balances() {
     let m = machine();
     for bench in [Bench::Primes, Bench::Msort, Bench::Quickhull] {
         let p = bench.build(Scale::Tiny);
-        let w = simulate(&p, &m, Protocol::Warden);
+        let w = simulate(&p, &m, ProtocolId::Warden);
         let c = &w.stats.coherence;
         assert_eq!(
             c.region_adds,
@@ -110,7 +110,7 @@ fn different_seeds_still_agree_on_memory() {
     let digests: Vec<u64> = [1u64, 2, 3]
         .into_iter()
         .map(|seed| {
-            simulate(&p, &base.clone().with_seed(seed), Protocol::Warden).memory_image_digest
+            simulate(&p, &base.clone().with_seed(seed), ProtocolId::Warden).memory_image_digest
         })
         .collect();
     assert!(

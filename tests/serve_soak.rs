@@ -11,7 +11,7 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use warden::bench::loadgen::{drive, Expectation, Target};
-use warden::coherence::Protocol;
+use warden::coherence::ProtocolId;
 use warden::obs::validate_trace;
 use warden::pbbs::{Bench, Scale};
 use warden::serve::proto::{read_frame, write_frame, DEFAULT_MAX_FRAME};
@@ -39,7 +39,7 @@ fn plan() -> Vec<Expectation> {
     let mut plan = Vec::new();
     for bench in [Bench::Fib, Bench::MakeArray, Bench::Primes, Bench::Tokens] {
         let program = bench.build(Scale::Tiny);
-        for protocol in [Protocol::Mesi, Protocol::Warden] {
+        for protocol in [ProtocolId::Mesi, ProtocolId::Warden] {
             let out = simulate_with_options(&program, &resolved, protocol, &SimOptions::default());
             plan.push(Expectation {
                 req: SimRequest {
@@ -128,7 +128,7 @@ fn backpressure_rejects_typed_then_recovers_without_leaks() {
             let out = simulate_with_options(
                 &program,
                 &resolved,
-                Protocol::Warden,
+                ProtocolId::Warden,
                 &SimOptions::default(),
             );
             Expectation {
@@ -136,7 +136,7 @@ fn backpressure_rejects_typed_then_recovers_without_leaks() {
                     bench: Bench::Fib,
                     scale: Scale::Tiny,
                     machine,
-                    protocol: Protocol::Warden,
+                    protocol: ProtocolId::Warden,
                     check: false,
                 },
                 digest: outcome_digest(&out),
@@ -227,7 +227,7 @@ fn graceful_drain_completes_every_inflight_request() {
                     scale: Scale::Tiny,
                     machine: MachineSpec::new(MachinePreset::ManySocket(i as u32 % 5 + 1))
                         .with_cores(2),
-                    protocol: Protocol::Warden,
+                    protocol: ProtocolId::Warden,
                     check: i >= 5,
                 };
                 client.call(&Request::Simulate(req)).expect("reply arrives")
@@ -301,7 +301,7 @@ fn deadline_drill_cancels_the_long_request_and_frees_the_worker() {
         bench: Bench::Msort,
         scale: Scale::Paper,
         machine: MachineSpec::new(MachinePreset::ManySocket(4)),
-        protocol: Protocol::Mesi,
+        protocol: ProtocolId::Mesi,
         check: true,
     };
     let mut client = Client::connect(&addr).expect("connect");
@@ -337,7 +337,7 @@ fn deadline_drill_cancels_the_long_request_and_frees_the_worker() {
         bench: Bench::Fib,
         scale: Scale::Tiny,
         machine: MachineSpec::new(MachinePreset::DualSocket).with_cores(2),
-        protocol: Protocol::Warden,
+        protocol: ProtocolId::Warden,
         check: false,
     };
     let program = Bench::Fib.build(Scale::Tiny);
@@ -345,7 +345,7 @@ fn deadline_drill_cancels_the_long_request_and_frees_the_worker() {
     let direct = simulate_with_options(
         &program,
         &resolved,
-        Protocol::Warden,
+        ProtocolId::Warden,
         &SimOptions::default(),
     );
     let recovery = Instant::now() + Duration::from_secs(60);
@@ -502,7 +502,7 @@ fn a_retried_request_is_served_from_cache_not_recomputed() {
         bench: Bench::Primes,
         scale: Scale::Tiny,
         machine: MachineSpec::new(MachinePreset::DualSocket).with_cores(2),
-        protocol: Protocol::Warden,
+        protocol: ProtocolId::Warden,
         check: false,
     };
     let program = Bench::Primes.build(Scale::Tiny);
@@ -510,7 +510,7 @@ fn a_retried_request_is_served_from_cache_not_recomputed() {
     let direct = simulate_with_options(
         &program,
         &resolved,
-        Protocol::Warden,
+        ProtocolId::Warden,
         &SimOptions::default(),
     );
 
@@ -612,19 +612,20 @@ fn a_prefix_sharing_request_resumes_from_a_persisted_checkpoint() {
         bench: Bench::Tokens,
         scale: Scale::Tiny,
         machine: MachineSpec::new(MachinePreset::DualSocket).with_cores(2),
-        protocol: Protocol::Warden,
+        protocol: ProtocolId::Warden,
         check: false,
     };
     let program = Bench::Tokens.build(Scale::Tiny);
     let resolved = req.machine.to_machine().expect("valid machine");
     let opts = SimOptions::default();
-    let direct = simulate_with_options(&program, &resolved, Protocol::Warden, &opts);
+    let direct = simulate_with_options(&program, &resolved, ProtocolId::Warden, &opts);
 
     // Run a prefix of the same replay directly and persist its frame
     // through the tier — byte-for-byte what an interrupted leader leaves
     // behind (the serving path's options differ only by the cancel token,
     // which the options fingerprint deliberately excludes).
-    let mut eng = SimEngine::try_new(&program, &resolved, Protocol::Warden, &opts).expect("engine");
+    let mut eng =
+        SimEngine::try_new(&program, &resolved, ProtocolId::Warden, &opts).expect("engine");
     for _ in 0..500 {
         if !eng.step() {
             break;
@@ -636,7 +637,7 @@ fn a_prefix_sharing_request_resumes_from_a_persisted_checkpoint() {
         options_fp: options_fingerprint(&opts),
         trace_fp: program.fingerprint(),
         machine_fp: resolved.fingerprint(),
-        protocol: protocol_tag(Protocol::Warden),
+        protocol: protocol_tag(ProtocolId::Warden),
     };
     {
         let tier =

@@ -5,7 +5,7 @@
 //! served at exactly one level, and the WARDen protocol never performs
 //! *more* invalidation work than the MESI baseline on WARD-heavy traces.
 
-use warden::coherence::Protocol;
+use warden::coherence::ProtocolId;
 use warden::pbbs::{Bench, Scale};
 use warden::rt::summarize;
 use warden::sim::{simulate, MachineConfig};
@@ -17,7 +17,7 @@ fn coherence_accesses_match_the_trace_and_cache_levels_partition_them() {
         let program = bench.build(Scale::Tiny);
         let s = summarize(&program);
         let trace_ops = s.loads + s.stores + s.rmws;
-        for protocol in [Protocol::Mesi, Protocol::Warden] {
+        for protocol in ProtocolId::ALL {
             let out = simulate(&program, &machine, protocol);
             let c = &out.stats.coherence;
             assert_eq!(
@@ -67,8 +67,8 @@ fn warden_never_adds_invalidation_work_on_ward_heavy_traces() {
     ];
     for bench in Bench::ALL {
         let program = bench.build(Scale::Tiny);
-        let mesi = simulate(&program, &machine, Protocol::Mesi);
-        let warden = simulate(&program, &machine, Protocol::Warden);
+        let mesi = simulate(&program, &machine, ProtocolId::Mesi);
+        let warden = simulate(&program, &machine, ProtocolId::Warden);
         assert_eq!(
             mesi.memory_image_digest,
             warden.memory_image_digest,

@@ -14,7 +14,7 @@ fn serialized_traces_replay_identically() {
         trace_io::write_trace(&mut buf, &original).unwrap();
         let restored = trace_io::read_trace(&mut buf.as_slice()).unwrap();
         restored.check_invariants().unwrap();
-        for proto in [Protocol::Mesi, Protocol::Warden] {
+        for proto in [ProtocolId::Mesi, ProtocolId::Warden] {
             let a = simulate(&original, &m, proto);
             let b = simulate(&restored, &m, proto);
             assert_eq!(a.stats, b.stats, "{} {proto}", bench.name());
