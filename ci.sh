@@ -58,6 +58,16 @@
 #                    is written into protocols_report_ci/ for the
 #                    workflow to archive; bench_guard re-confirms the
 #                    MESI/WARDen replay throughput envelope
+#   ./ci.sh fuzz     differential fuzz gate: the workload-generator test
+#                    suites, then 50 seeded synthetic workloads × every
+#                    registered protocol with the invariant checker on —
+#                    zero disagreements required — then the same gate with
+#                    a deliberately mutated protocol, which must be caught
+#                    and its shrunk reproducer archived + replayed
+#                    (fuzz_ci/ is left behind for the workflow to
+#                    archive); finally the coherence-atlas sweep is
+#                    regenerated and diffed against the committed
+#                    figures/coherence_atlas_tiny.* files
 #   ./ci.sh          all of the above
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -388,6 +398,54 @@ protocols() {
   cargo test -q --release --offline -p warden-bench --test bench_guard
 }
 
+fuzz() {
+  echo "== workload generator + differential gate test suites =="
+  cargo test -q --offline --test proptest_workload --test fuzz_differential
+
+  echo "== differential fuzz gate: 50 workloads x all protocols, checker on =="
+  cargo build -q --release --offline -p warden-bench --bin fuzzgen
+  local bin=target/release/fuzzgen
+  local dir=fuzz_ci
+  rm -rf "$dir"
+  mkdir -p "$dir"
+  "$bin" --fuzz-workloads 50 --fuzz-seed 2023 --protocols all --quiet \
+    --artifacts "$dir/artifacts" >"$dir/gate.txt"
+  grep -q "disagreements: 0" "$dir/gate.txt"
+  echo "   $(grep 'fuzz gate:' "$dir/gate.txt")"
+
+  echo "== mutation gate: a deliberately broken protocol must be caught =="
+  "$bin" --fuzz-workloads 10 --fuzz-seed 2023 --protocols all --quiet \
+    --mutate si:skip-self-invalidate --artifacts "$dir/artifacts" \
+    >"$dir/mutation.txt"
+  grep -q "^caught:" "$dir/mutation.txt"
+  local seed_file
+  seed_file=$(find "$dir/artifacts" -name '*.seed' | head -1)
+  if [ -z "$seed_file" ]; then
+    echo "FAILED: the mutation gate archived no shrunk reproducer" >&2
+    exit 1
+  fi
+  # The archived token replays: clean without the mutation, caught with it.
+  local token
+  token=$(sed -n 's/^token: //p' "$seed_file")
+  "$bin" --replay "$token" --quiet >/dev/null
+  "$bin" --replay "$token" --mutate si:skip-self-invalidate --quiet \
+    >"$dir/replay.txt"
+  grep -q "^caught:" "$dir/replay.txt"
+  echo "   caught + archived $(find "$dir/artifacts" -name '*.seed' | wc -l) shrunk seeds; replayed $token"
+
+  echo "== coherence atlas: regenerate and diff against committed figures =="
+  "$bin" --atlas "$dir/atlas" --quiet >/dev/null
+  if ! diff -u figures/coherence_atlas_tiny.records "$dir/atlas/coherence_atlas.records"; then
+    echo "FAILED: regenerated atlas records differ from figures/coherence_atlas_tiny.records" >&2
+    exit 1
+  fi
+  if ! diff -u figures/coherence_atlas_tiny.txt "$dir/atlas/coherence_atlas.txt"; then
+    echo "FAILED: regenerated atlas figure differs from figures/coherence_atlas_tiny.txt" >&2
+    exit 1
+  fi
+  echo "   atlas is byte-identical to the committed figure data"
+}
+
 stage="${1:-all}"
 case "$stage" in
   checks) checks ;;
@@ -399,6 +457,7 @@ case "$stage" in
   chaos) chaos ;;
   durable) durable ;;
   protocols) protocols ;;
+  fuzz) fuzz ;;
   all)
     checks
     smoke
@@ -409,9 +468,10 @@ case "$stage" in
     chaos
     durable
     protocols
+    fuzz
     ;;
   *)
-    echo "usage: ci.sh [checks|smoke|bench|obs|lanes|serve|chaos|durable|protocols|all]" >&2
+    echo "usage: ci.sh [checks|smoke|bench|obs|lanes|serve|chaos|durable|protocols|fuzz|all]" >&2
     exit 2
     ;;
 esac

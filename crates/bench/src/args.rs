@@ -36,6 +36,13 @@
 //! | `--checkpoint-every <steps>` | steps between prefix-checkpoint frames (0 = off) |
 //! | `--storage-chaos`      | inject seeded storage faults into the disk tier |
 //! | `--storage-chaos-seed <seed>` | seed for the storage-fault stream |
+//! | `--fuzz-workloads <n>` | `fuzzgen`: generated workloads per gate run |
+//! | `--fuzz-seed <seed>`   | `fuzzgen`: workload-generator stream seed |
+//! | `--patterns <names|all>` | `fuzzgen`: sharing patterns to generate |
+//! | `--mutate <protocol:mutation>` | `fuzzgen`: inject a protocol defect the gate must catch |
+//! | `--artifacts <dir>`    | `fuzzgen`: archive shrunk failing seeds here |
+//! | `--atlas <dir>`        | `fuzzgen`: run the coherence-atlas sweep into this directory |
+//! | `--replay <token>`     | `fuzzgen`: re-check one archived workload token |
 //!
 //! Non-flag arguments are collected in [`HarnessArgs::positional`] for the
 //! binaries that take them (`record`, `replay`).
@@ -45,13 +52,16 @@ use crate::error::HarnessError;
 use crate::runner::{RunOptions, SuiteScale};
 use std::path::PathBuf;
 use std::time::Duration;
-use warden_coherence::ProtocolId;
+use warden_coherence::{ProtocolId, ProtocolMutation};
+use warden_rt::workload::SharingPattern;
 use warden_serve::{DiskTierConfig, StorageFaultPlan};
 
 /// Every flag the harness binaries understand, with value placeholders —
 /// printed by the unknown-flag error.
 pub const VALID_FLAGS: &[&str] = &[
     "--addr <host:port>",
+    "--artifacts <dir>",
+    "--atlas <dir>",
     "--baseline <path>",
     "--cache-budget <bytes>",
     "--campaign-dir <dir>",
@@ -64,15 +74,20 @@ pub const VALID_FLAGS: &[&str] = &[
     "--disk-budget <bytes>",
     "--disk-cache <dir>",
     "--faults <seed>",
+    "--fuzz-seed <seed>",
+    "--fuzz-workloads <n>",
     "--iters <n>",
     "--jobs <n>",
     "--lanes <n>",
     "--markdown <path>",
+    "--mutate <protocol:mutation>",
     "--obs <dir>",
     "--out <path>",
+    "--patterns <names|all>",
     "--protocols <names|all>",
     "--queue-cap <n>",
     "--quiet",
+    "--replay <token>",
     "--request-deadline-ms <ms>",
     "--retries <n>",
     "--runs <n>",
@@ -155,8 +170,48 @@ pub struct HarnessArgs {
     /// binary runs, as comma-separated registry names (`mesi,warden,si`) or
     /// `all`. `None` keeps each binary's default (usually MESI + WARDen).
     pub protocols: Option<Vec<ProtocolId>>,
+    /// `--fuzz-workloads <n>`: generated workloads per `fuzzgen` gate run.
+    pub fuzz_workloads: Option<usize>,
+    /// `--fuzz-seed <seed>`: the workload-generator stream seed.
+    pub fuzz_seed: Option<u64>,
+    /// `--patterns <names|all>`: the sharing patterns `fuzzgen` generates,
+    /// as comma-separated registry names (`ping-pong,migratory`) or `all`.
+    pub patterns: Option<Vec<SharingPattern>>,
+    /// `--mutate <protocol:mutation>`: a deliberate protocol defect the
+    /// fuzz gate must catch (e.g. `si:skip-self-invalidate`).
+    pub mutate: Option<(ProtocolId, ProtocolMutation)>,
+    /// `--artifacts <dir>`: where `fuzzgen` archives shrunk failing seeds.
+    pub artifacts: Option<PathBuf>,
+    /// `--atlas <dir>`: run the coherence-atlas sweep and write its figure
+    /// + records files into this directory.
+    pub atlas: Option<PathBuf>,
+    /// `--replay <token>`: re-check one archived workload token instead of
+    /// generating a stream.
+    pub replay: Option<String>,
     /// Non-flag arguments, in order (used by `record` and `replay`).
     pub positional: Vec<String>,
+}
+
+/// Parse a `--patterns` value: `all` or comma-separated pattern names,
+/// resolved through [`SharingPattern::from_name`] so an unknown name is a
+/// typed usage error listing the registry.
+pub fn parse_patterns(v: &str) -> Result<Vec<SharingPattern>, HarnessError> {
+    if v == "all" {
+        return Ok(SharingPattern::ALL.to_vec());
+    }
+    let mut out = Vec::new();
+    for name in v.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+        let p = SharingPattern::from_name(name).map_err(|e| HarnessError::Args(e.to_string()))?;
+        if !out.contains(&p) {
+            out.push(p);
+        }
+    }
+    if out.is_empty() {
+        return Err(HarnessError::Args(
+            "--patterns needs at least one pattern name (or `all`)".into(),
+        ));
+    }
+    Ok(out)
 }
 
 /// Parse a `--protocols` value: `all` or comma-separated registry names,
@@ -338,6 +393,29 @@ impl HarnessArgs {
                     let v = value(&mut it, "--protocols", "<names|all>")?;
                     out.protocols = Some(parse_protocols(&v)?);
                 }
+                "--fuzz-workloads" => {
+                    let n: usize = number(&mut it, "--fuzz-workloads", "<n>")?;
+                    if n == 0 {
+                        return Err(HarnessError::Args(
+                            "--fuzz-workloads must be at least 1".into(),
+                        ));
+                    }
+                    out.fuzz_workloads = Some(n);
+                }
+                "--fuzz-seed" => out.fuzz_seed = Some(number(&mut it, "--fuzz-seed", "<seed>")?),
+                "--patterns" => {
+                    let v = value(&mut it, "--patterns", "<names|all>")?;
+                    out.patterns = Some(parse_patterns(&v)?);
+                }
+                "--mutate" => {
+                    let v = value(&mut it, "--mutate", "<protocol:mutation>")?;
+                    out.mutate = Some(crate::fuzz::parse_mutation_spec(&v)?);
+                }
+                "--artifacts" => {
+                    out.artifacts = Some(PathBuf::from(value(&mut it, "--artifacts", "<dir>")?))
+                }
+                "--atlas" => out.atlas = Some(PathBuf::from(value(&mut it, "--atlas", "<dir>")?)),
+                "--replay" => out.replay = Some(value(&mut it, "--replay", "<token>")?),
                 _ if a.starts_with("--") => return Err(unknown(&a)),
                 _ => out.positional.push(a),
             }
@@ -480,6 +558,20 @@ mod tests {
             "--storage-chaos",
             "--storage-chaos-seed",
             "13",
+            "--fuzz-workloads",
+            "5",
+            "--fuzz-seed",
+            "2023",
+            "--patterns",
+            "ping-pong,migratory",
+            "--mutate",
+            "si:skip-self-invalidate",
+            "--artifacts",
+            "seeds",
+            "--atlas",
+            "atlas.out",
+            "--replay",
+            "migratory-s0000000000000007-t4-r3-o24-f4096",
             "primes",
         ])
         .unwrap();
@@ -515,6 +607,20 @@ mod tests {
         assert_eq!(a.checkpoint_every, Some(50_000));
         assert!(a.storage_chaos);
         assert_eq!(a.storage_chaos_seed, Some(13));
+        assert_eq!((a.fuzz_workloads, a.fuzz_seed), (Some(5), Some(2023)));
+        assert_eq!(
+            a.patterns.as_deref(),
+            Some(&[SharingPattern::PingPong, SharingPattern::Migratory][..])
+        );
+        let (mp, mm) = a.mutate.expect("--mutate parsed");
+        assert_eq!(mp, ProtocolId::SelfInv);
+        assert!(matches!(mm, ProtocolMutation::SkipSelfInvalidate));
+        assert_eq!(a.artifacts.as_deref(), Some(std::path::Path::new("seeds")));
+        assert_eq!(a.atlas.as_deref(), Some(std::path::Path::new("atlas.out")));
+        assert_eq!(
+            a.replay.as_deref(),
+            Some("migratory-s0000000000000007-t4-r3-o24-f4096")
+        );
         assert_eq!(a.positional, vec!["primes".to_string()]);
 
         let cfg = a.campaign_config();
@@ -555,6 +661,22 @@ mod tests {
         assert!(parse(&["--disk-budget", "0"]).is_err());
         assert!(parse(&["--checkpoint-every", "soon"]).is_err());
         assert!(parse(&["--storage-chaos-seed", "many"]).is_err());
+        assert!(parse(&["--fuzz-workloads", "0"]).is_err());
+        assert!(parse(&["--fuzz-seed", "lots"]).is_err());
+        assert!(parse(&["--patterns", "zigzag"]).is_err());
+        assert!(parse(&["--patterns", ""]).is_err());
+        assert!(parse(&["--mutate", "si"]).is_err());
+        assert!(parse(&["--mutate", "si:nope"]).is_err());
+        assert!(parse(&["--replay"]).is_err());
+    }
+
+    #[test]
+    fn patterns_parse_all_and_dedupe() {
+        assert_eq!(parse_patterns("all").unwrap(), SharingPattern::ALL.to_vec());
+        assert_eq!(
+            parse_patterns("migratory, migratory,ping-pong").unwrap(),
+            vec![SharingPattern::Migratory, SharingPattern::PingPong]
+        );
     }
 
     #[test]

@@ -88,6 +88,12 @@ impl Workload {
         }
     }
 
+    /// The workload's identity token as embedded in run fingerprints
+    /// (`bench:<name>:<scale>` or `custom:<token>`).
+    pub fn token(&self) -> &str {
+        &self.token
+    }
+
     /// Build the trace program (potentially expensive).
     pub fn build(&self) -> TraceProgram {
         match &self.builder {

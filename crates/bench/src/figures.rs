@@ -304,6 +304,88 @@ pub fn render_protocol_zoo(runs: &[ProtocolRun], protocols: &[ProtocolId]) -> St
     )
 }
 
+/// The coherence atlas: per-machine cycle tables plus the cross-machine
+/// win-region grid (which protocol is fastest for each sharing pattern at
+/// each machine point).
+pub fn render_coherence_atlas(atlas: &crate::atlas::Atlas) -> String {
+    use std::collections::BTreeMap;
+    let per_group = ProtocolId::ALL.len();
+    let mut s = format!(
+        "Coherence atlas: protocol win regions across the machine space (seed {})\n",
+        atlas.seed
+    );
+
+    // One table per machine: patterns × protocol cycles, winner last.
+    let mut machine_order: Vec<&str> = Vec::new();
+    for group in atlas.cells.chunks(per_group) {
+        let m = group[0].machine.as_str();
+        if machine_order.last() != Some(&m) {
+            machine_order.push(m);
+        }
+    }
+    let mut headers: Vec<String> = vec!["Pattern".into()];
+    for p in ProtocolId::ALL {
+        headers.push(format!("{p} cycles"));
+    }
+    headers.push("winner".into());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    for machine in &machine_order {
+        let rows: Vec<Vec<String>> = atlas
+            .cells
+            .chunks(per_group)
+            .filter(|g| g[0].machine == *machine)
+            .map(|g| {
+                let mut row = vec![g[0].pattern.to_string()];
+                for c in g {
+                    row.push(c.cycles.to_string());
+                }
+                let best = g.iter().min_by_key(|c| c.cycles).expect("non-empty group");
+                row.push(best.protocol.name().to_string());
+                row
+            })
+            .collect();
+        s.push_str(&format!("\n{machine}\n\n{}", table(&header_refs, &rows)));
+    }
+
+    // The win-region grid: rows = patterns, columns = machines.
+    let mut wins: BTreeMap<(String, String), &'static str> = BTreeMap::new();
+    for (machine, pattern, proto) in atlas.winners() {
+        wins.insert((pattern.to_string(), machine.to_string()), proto.name());
+    }
+    let mut grid_headers: Vec<&str> = vec!["Pattern \\ Machine"];
+    grid_headers.extend(machine_order.iter().copied());
+    let patterns: Vec<String> = {
+        let mut seen = Vec::new();
+        for g in atlas.cells.chunks(per_group) {
+            let p = g[0].pattern.to_string();
+            if !seen.contains(&p) {
+                seen.push(p);
+            }
+        }
+        seen
+    };
+    let grid_rows: Vec<Vec<String>> = patterns
+        .iter()
+        .map(|p| {
+            let mut row = vec![p.clone()];
+            for m in &machine_order {
+                row.push(
+                    wins.get(&(p.clone(), (*m).to_string()))
+                        .copied()
+                        .unwrap_or("-")
+                        .to_string(),
+                );
+            }
+            row
+        })
+        .collect();
+    s.push_str(&format!(
+        "\nWin regions (fastest protocol per cell)\n\n{}",
+        table(&grid_headers, &grid_rows)
+    ));
+    s
+}
+
 /// §6.1 hardware-cost estimates.
 pub fn render_area() -> String {
     let sector = CacheBitBudget::llc_line().sectoring_overhead();

@@ -18,6 +18,7 @@
 //! | `ablations`   | design-choice ablations from DESIGN.md |
 //! | `all_figures` | everything above, plus an EXPERIMENTS.md-style report |
 //! | `serve`       | the `warden-serve` simulation server (drains on stdin EOF/`quit`) |
+//! | `fuzzgen`     | seeded differential coherence fuzz gate + coherence-atlas sweep |
 //! | `loadgen`     | oracle-backed conformance load generator for `serve` |
 //!
 //! Run with `cargo run -p warden-bench --release --bin <name> [-- --scale tiny]`.
@@ -34,22 +35,28 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod atlas;
 pub mod campaign;
 pub mod chaos;
 pub mod error;
 pub mod figures;
 pub mod fmt;
+pub mod fuzz;
 pub mod hotpath;
 pub mod loadgen;
 pub mod obs_export;
 pub mod paper;
 pub mod runner;
 
-pub use args::{parse_protocols, HarnessArgs};
+pub use args::{parse_patterns, parse_protocols, HarnessArgs};
+pub use atlas::{atlas_machines, run_atlas, Atlas, AtlasCell};
 pub use campaign::{
     campaign_suite, protocol_campaign, run_campaign, CampaignConfig, ProtocolRun, RunResult,
     RunSpec, Workload,
 };
 pub use error::{harness_main, HarnessError, RunFailure};
+pub use fuzz::{
+    check_spec, parse_mutation_spec, run_fuzz_gate, Disagreement, FuzzOptions, FuzzReport,
+};
 pub use obs_export::export_outcome;
 pub use runner::{run_bench, run_pair, suite, BenchRun, RunOptions, SuiteScale};

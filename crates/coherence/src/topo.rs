@@ -133,6 +133,17 @@ impl LatencyModel {
         }
     }
 
+    /// Latencies for a CXL-class memory expander: local caches and DRAM as
+    /// on the Xeon model, but the cross-socket link runs over CXL.mem at
+    /// roughly 180 ns (~600 cycles at 3.3 GHz) — between the paper's native
+    /// NUMA point and its 1 µs disaggregated point (§7.3).
+    pub fn cxl() -> LatencyModel {
+        LatencyModel {
+            intersocket: 600,
+            ..LatencyModel::xeon_gold_6126()
+        }
+    }
+
     /// Check the model's physical plausibility: non-zero hit latencies
     /// strictly ordered L1 < L2 < L3, with remote figures (DRAM and the
     /// inter-socket crossing) above the L3. The latency composition in the
@@ -179,6 +190,21 @@ impl fmt::Display for LatencyModel {
 mod tests {
     use super::*;
     use warden_mem::BlockAddr;
+
+    #[test]
+    fn latency_presets_are_valid_and_ordered_by_remoteness() {
+        for lat in [
+            LatencyModel::xeon_gold_6126(),
+            LatencyModel::cxl(),
+            LatencyModel::disaggregated(),
+        ] {
+            lat.validate().unwrap();
+        }
+        let native = LatencyModel::xeon_gold_6126().intersocket;
+        let cxl = LatencyModel::cxl().intersocket;
+        let disagg = LatencyModel::disaggregated().intersocket;
+        assert!(native < cxl && cxl < disagg);
+    }
 
     #[test]
     fn socket_mapping() {

@@ -60,6 +60,7 @@ mod scalar;
 pub mod summary;
 mod trace;
 pub mod trace_io;
+pub mod workload;
 
 pub use ctx::{trace_program, MarkPolicy, RtOptions, TaskCtx};
 pub use disentangle::{CheckMode, WardViolation};
@@ -67,6 +68,7 @@ pub use scalar::{Scalar, SimSlice};
 pub use summary::{summarize, TraceSummary};
 pub use trace::{Event, RegionToken, RmwOp, RtStats, TaskId, TaskTrace, TraceProgram};
 pub use trace_io::TraceDecodeError;
+pub use workload::{SharingPattern, WorkloadGen, WorkloadGenError, WorkloadSpec};
 
 use warden_mem::{Addr, PageAddr, PAGE_SIZE};
 

@@ -108,6 +108,49 @@ impl MachineConfig {
         ))
     }
 
+    /// An arbitrary machine-space sweep point: `sockets` × `cores_per_socket`
+    /// under latency model `lat`, fully validated with typed errors.
+    ///
+    /// Sweep drivers (the coherence atlas, `fuzzgen`) construct machines from
+    /// mechanically enumerated knobs, so every extreme point — a zero or
+    /// 65+ socket count, 1-core sockets, a zero-latency link — must surface
+    /// as a [`SimError`] *before* [`Topology::new`]'s debug assertions can
+    /// fire. 1-core sockets are legal (the paper's "many thin sockets"
+    /// direction); the impossible geometries and latencies are not.
+    pub fn sweep_point(
+        name: &str,
+        sockets: usize,
+        cores_per_socket: usize,
+        lat: LatencyModel,
+    ) -> Result<MachineConfig, SimError> {
+        let bad = |msg: String| SimError::Config(CoherenceError::BadConfig(msg));
+        if sockets == 0 {
+            return Err(bad("a sweep point needs at least one socket".into()));
+        }
+        if cores_per_socket == 0 {
+            return Err(bad(
+                "a sweep point needs at least one core per socket".into()
+            ));
+        }
+        let cores = sockets
+            .checked_mul(cores_per_socket)
+            .ok_or_else(|| bad(format!("{sockets} sockets overflow the core count")))?;
+        if cores > 64 {
+            return Err(bad(format!(
+                "{sockets} sockets x {cores_per_socket} cores = {cores} cores exceed the \
+                 64-wide sharer bitmask"
+            )));
+        }
+        let m = MachineConfig {
+            name: name.to_owned(),
+            topo: Topology::new(sockets, cores_per_socket),
+            cache: CacheConfig::paper(cores_per_socket),
+            ..MachineConfig::base(name, 1, lat)
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
     /// Override the core count per socket (smaller machines simulate faster;
     /// useful for tests and examples).
     pub fn with_cores(mut self, cores_per_socket: usize) -> MachineConfig {
@@ -247,6 +290,74 @@ mod tests {
     #[should_panic(expected = "sharer bitmask")]
     fn many_socket_still_panics_on_overflow() {
         let _ = MachineConfig::many_socket(6);
+    }
+
+    #[test]
+    fn sweep_points_cover_extremes_with_typed_errors() {
+        use warden_coherence::LatencyModel;
+        // 1-core sockets are a legal sweep direction, not an error.
+        let thin = MachineConfig::sweep_point("4s1c", 4, 1, LatencyModel::xeon_gold_6126())
+            .expect("1-core sockets are valid");
+        assert_eq!(thin.num_cores(), 4);
+        assert_eq!(thin.topo.cores_per_socket(), 1);
+        thin.validate().unwrap();
+        // The CXL-class preset flows through like any other latency model.
+        let cxl = MachineConfig::sweep_point("2s2c-cxl", 2, 2, LatencyModel::cxl()).unwrap();
+        assert_eq!(cxl.lat.intersocket, 600);
+
+        let expect_bad = |r: Result<MachineConfig, SimError>, what: &str| {
+            let err = r.expect_err(what);
+            assert!(matches!(err, SimError::Config(_)), "{what}: {err}");
+        };
+        let lat = LatencyModel::xeon_gold_6126;
+        expect_bad(
+            MachineConfig::sweep_point("0s", 0, 4, lat()),
+            "zero sockets",
+        );
+        expect_bad(
+            MachineConfig::sweep_point("0c", 2, 0, lat()),
+            "zero cores per socket",
+        );
+        expect_bad(
+            MachineConfig::sweep_point("wide", 65, 1, lat()),
+            ">64 sockets",
+        );
+        expect_bad(
+            MachineConfig::sweep_point("dense", 8, 12, lat()),
+            "96 cores exceed the sharer bitmask",
+        );
+        expect_bad(
+            MachineConfig::sweep_point("huge", usize::MAX, 2, lat()),
+            "core-count overflow",
+        );
+        let mut zero_link = lat();
+        zero_link.intersocket = 0;
+        expect_bad(
+            MachineConfig::sweep_point("0link", 2, 2, zero_link),
+            "zero-latency inter-socket link",
+        );
+        let mut zero_l1 = lat();
+        zero_l1.l1 = 0;
+        expect_bad(
+            MachineConfig::sweep_point("0l1", 1, 2, zero_l1),
+            "zero-latency l1",
+        );
+    }
+
+    #[test]
+    fn sweep_point_fingerprints_bind_the_geometry() {
+        use warden_coherence::LatencyModel;
+        let a = MachineConfig::sweep_point("p", 2, 2, LatencyModel::xeon_gold_6126()).unwrap();
+        let b = MachineConfig::sweep_point("p", 4, 1, LatencyModel::xeon_gold_6126()).unwrap();
+        let c = MachineConfig::sweep_point("p", 2, 2, LatencyModel::cxl()).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(
+            a.fingerprint(),
+            MachineConfig::sweep_point("p", 2, 2, LatencyModel::xeon_gold_6126())
+                .unwrap()
+                .fingerprint()
+        );
     }
 
     #[test]
